@@ -1,0 +1,153 @@
+// Ablation benches for the implementation-level design choices DESIGN.md
+// calls out — knobs this library adds around the paper's algorithm:
+//
+//   1. Stall recovery (DESIGN.md §6): one full-member SVDD round when the
+//      incremental target stops growing. Measures its recall benefit on
+//      thin 2-D clusters and its time cost.
+//   2. SVDD target cap (max_svdd_target): the subsampling safety valve.
+//   3. Penalty-weight anchor count: the O(ñ·m) estimate of the kernel
+//      distance (Eq. 5) vs larger anchor sets.
+//   4. Learning threshold T: Sec. IV-B1 claims T in [2,4] balances time
+//      and accuracy; this sweep validates that claim empirically.
+//
+// Flags: --n=50000 --csv=<path>
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "cluster/dbscan.h"
+#include "core/dbsvec.h"
+#include "data/surrogates.h"
+#include "data/synthetic.h"
+#include "eval/recall.h"
+
+namespace dbsvec {
+namespace {
+
+struct Workload {
+  std::string name;
+  Dataset data{2};
+  double epsilon = 0.0;
+  int min_pts = 0;
+  Clustering reference;
+};
+
+Workload MakeShapeWorkload() {
+  Workload w;
+  w.name = "t4.8k";
+  SurrogateDataset surrogate;
+  (void)MakeSurrogate("t4.8k", &surrogate);
+  w.data = std::move(surrogate.data);
+  w.epsilon = 8.5;
+  w.min_pts = 20;
+  DbscanParams params;
+  params.epsilon = w.epsilon;
+  params.min_pts = w.min_pts;
+  (void)RunDbscan(w.data, params, &w.reference);
+  return w;
+}
+
+Workload MakeWalkWorkload(PointIndex n) {
+  Workload w;
+  w.name = "walk-8d";
+  RandomWalkParams gen;
+  gen.n = n;
+  gen.dim = 8;
+  gen.num_clusters = 10;
+  gen.seed = 43;
+  w.data = GenerateRandomWalk(gen);
+  w.epsilon = 5000.0;
+  w.min_pts = 100;
+  DbscanParams params;
+  params.epsilon = w.epsilon;
+  params.min_pts = w.min_pts;
+  (void)RunDbscan(w.data, params, &w.reference);
+  return w;
+}
+
+void AddRun(bench::Table* table, const Workload& w, const std::string& knob,
+            const DbsvecParams& params) {
+  Clustering out;
+  if (!RunDbsvec(w.data, params, &out).ok()) {
+    table->AddRow({w.name, knob, "ERR", "-", "-", "-"});
+    return;
+  }
+  table->AddRow({w.name, knob,
+                 bench::FormatSeconds(out.stats.elapsed_seconds),
+                 bench::FormatDouble(
+                     PairRecall(w.reference.labels, out.labels), 4),
+                 std::to_string(out.stats.num_svdd_trainings),
+                 std::to_string(out.stats.num_range_queries)});
+}
+
+int Main(int argc, char** argv) {
+  const bench::Args args(argc, argv);
+  const PointIndex n = static_cast<PointIndex>(args.GetInt("n", 50000));
+
+  Workload shape = MakeShapeWorkload();
+  Workload walk = MakeWalkWorkload(n);
+
+  bench::Table table({"dataset", "knob", "time_s", "recall",
+                      "svdd_trainings", "range_queries"});
+
+  std::printf("Design ablation 1: stall recovery (library extension)\n\n");
+  for (Workload* w : {&shape, &walk}) {
+    for (const bool recovery : {true, false}) {
+      DbsvecParams params;
+      params.epsilon = w->epsilon;
+      params.min_pts = w->min_pts;
+      params.stall_recovery = recovery;
+      AddRun(&table, *w,
+             recovery ? "stall_recovery=on" : "stall_recovery=off", params);
+    }
+  }
+  table.Print();
+  table.WriteCsv(args.GetString("csv", ""));
+
+  std::printf("\nDesign ablation 2: SVDD target cap (max_svdd_target)\n\n");
+  bench::Table cap_table({"dataset", "knob", "time_s", "recall",
+                          "svdd_trainings", "range_queries"});
+  for (const int cap : {512, 2048, 4096, 0}) {
+    DbsvecParams params;
+    params.epsilon = walk.epsilon;
+    params.min_pts = walk.min_pts;
+    params.max_svdd_target = cap;
+    AddRun(&cap_table, walk,
+           cap == 0 ? "cap=unlimited" : "cap=" + std::to_string(cap),
+           params);
+  }
+  cap_table.Print();
+
+  std::printf("\nDesign ablation 3: penalty-weight anchor count "
+              "(Eq. 5 estimate)\n\n");
+  bench::Table anchor_table({"dataset", "knob", "time_s", "recall",
+                             "svdd_trainings", "range_queries"});
+  for (const int anchors : {32, 128, 256, 1024}) {
+    DbsvecParams params;
+    params.epsilon = walk.epsilon;
+    params.min_pts = walk.min_pts;
+    params.penalty_anchor_count = anchors;
+    AddRun(&anchor_table, walk, "anchors=" + std::to_string(anchors),
+           params);
+  }
+  anchor_table.Print();
+
+  std::printf("\nDesign ablation 4: learning threshold T "
+              "(paper: T in [2,4] is the sweet spot)\n\n");
+  bench::Table t_table({"dataset", "knob", "time_s", "recall",
+                        "svdd_trainings", "range_queries"});
+  for (const int threshold : {0, 1, 2, 3, 4, 6}) {
+    DbsvecParams params;
+    params.epsilon = walk.epsilon;
+    params.min_pts = walk.min_pts;
+    params.learning_threshold = threshold;
+    AddRun(&t_table, walk, "T=" + std::to_string(threshold), params);
+  }
+  t_table.Print();
+  return 0;
+}
+
+}  // namespace
+}  // namespace dbsvec
+
+int main(int argc, char** argv) { return dbsvec::Main(argc, argv); }

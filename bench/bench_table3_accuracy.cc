@@ -1,0 +1,112 @@
+// Reproduces Table III of the paper: clustering accuracy (pair recall vs
+// exact DBSCAN) of DBSVEC_min, DBSVEC, rho-approximate DBSCAN and
+// DBSCAN-LSH over the 11 open datasets (surrogates).
+//
+// Paper's result: DBSVEC scores 1.000 everywhere with nu*, DBSVEC_min
+// nearly everywhere; rho-approx and LSH fall below on several datasets.
+//
+// Flags: --csv=<path> --datasets=<comma list> (default: all 11)
+
+#include <cstdio>
+#include <sstream>
+
+#include "bench_util.h"
+#include "cluster/dbscan.h"
+#include "cluster/lsh_dbscan.h"
+#include "cluster/rho_approx_dbscan.h"
+#include "core/dbsvec.h"
+#include "data/surrogates.h"
+#include "eval/recall.h"
+
+namespace dbsvec {
+namespace {
+
+int Main(int argc, char** argv) {
+  const bench::Args args(argc, argv);
+  std::vector<std::string> names;
+  const std::string spec = args.GetString("datasets", "");
+  if (spec.empty()) {
+    names = AccuracySurrogateNames();
+  } else {
+    std::stringstream ss(spec);
+    std::string token;
+    while (std::getline(ss, token, ',')) {
+      names.push_back(token);
+    }
+  }
+
+  std::printf("Table III reproduction: recall vs exact DBSCAN "
+              "(self-calibrated eps/MinPts per dataset)\n\n");
+  bench::Table table({"dataset", "n", "d", "eps", "MinPts", "DBSVEC_min",
+                      "DBSVEC", "rho-Appr", "DBSCAN-LSH"});
+
+  for (const std::string& name : names) {
+    SurrogateDataset surrogate;
+    if (const Status s = MakeSurrogate(name, &surrogate); !s.ok()) {
+      std::fprintf(stderr, "%s: %s\n", name.c_str(), s.ToString().c_str());
+      continue;
+    }
+    const Dataset& data = surrogate.data;
+    const double epsilon = surrogate.epsilon;
+    const int min_pts = surrogate.min_pts;
+
+    DbscanParams dbscan_params;
+    dbscan_params.epsilon = epsilon;
+    dbscan_params.min_pts = min_pts;
+    dbscan_params.index = IndexType::kRStarTree;
+    Clustering reference;
+    if (!RunDbscan(data, dbscan_params, &reference).ok()) {
+      continue;
+    }
+
+    auto recall_of = [&](const Clustering& c) {
+      return bench::FormatDouble(PairRecall(reference.labels, c.labels));
+    };
+
+    DbsvecParams min_params;
+    min_params.epsilon = epsilon;
+    min_params.min_pts = min_pts;
+    min_params.nu_mode = NuMode::kMinimum;
+    Clustering dbsvec_min;
+    const bool min_ok = RunDbsvec(data, min_params, &dbsvec_min).ok();
+
+    DbsvecParams auto_params;
+    auto_params.epsilon = epsilon;
+    auto_params.min_pts = min_pts;
+    Clustering dbsvec_auto;
+    const bool auto_ok = RunDbsvec(data, auto_params, &dbsvec_auto).ok();
+
+    RhoApproxParams rho_params;
+    rho_params.epsilon = epsilon;
+    rho_params.min_pts = min_pts;
+    rho_params.rho = 0.001;
+    Clustering rho;
+    const bool rho_ok = RunRhoApproxDbscan(data, rho_params, &rho).ok();
+
+    LshDbscanParams lsh_params;
+    lsh_params.epsilon = epsilon;
+    lsh_params.min_pts = min_pts;
+    Clustering lsh;
+    const bool lsh_ok = RunLshDbscan(data, lsh_params, &lsh).ok();
+
+    table.AddRow({name, std::to_string(data.size()),
+                  std::to_string(data.dim()),
+                  bench::FormatDouble(epsilon, 2), std::to_string(min_pts),
+                  min_ok ? recall_of(dbsvec_min) : "ERR",
+                  auto_ok ? recall_of(dbsvec_auto) : "ERR",
+                  rho_ok ? recall_of(rho) : "ERR",
+                  lsh_ok ? recall_of(lsh) : "ERR"});
+  }
+  table.Print();
+  table.WriteCsv(args.GetString("csv", ""));
+  std::printf(
+      "\nExpected shape (Table III): DBSVEC ~1.000 on every dataset;\n"
+      "DBSVEC_min >= rho-Appr and DBSCAN-LSH on almost all datasets;\n"
+      "DBSCAN-LSH noticeably below 1 on several datasets.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace dbsvec
+
+int main(int argc, char** argv) { return dbsvec::Main(argc, argv); }

@@ -1,0 +1,199 @@
+#ifndef DBSVEC_BENCH_BENCH_UTIL_H_
+#define DBSVEC_BENCH_BENCH_UTIL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cluster/clustering.h"
+#include "common/status.h"
+#include "common/stopwatch.h"
+
+namespace dbsvec::bench {
+
+/// Minimal --key=value flag parser shared by all benchmark harnesses.
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        continue;
+      }
+      const size_t eq = arg.find('=');
+      if (eq == std::string::npos) {
+        flags_.emplace_back(arg.substr(2), "1");
+      } else {
+        flags_.emplace_back(arg.substr(2, eq - 2), arg.substr(eq + 1));
+      }
+    }
+  }
+
+  std::string GetString(std::string_view name,
+                        std::string_view fallback) const {
+    for (const auto& [key, value] : flags_) {
+      if (key == name) {
+        return value;
+      }
+    }
+    return std::string(fallback);
+  }
+
+  int64_t GetInt(std::string_view name, int64_t fallback) const {
+    for (const auto& [key, value] : flags_) {
+      if (key == name) {
+        return std::atoll(value.c_str());
+      }
+    }
+    return fallback;
+  }
+
+  double GetDouble(std::string_view name, double fallback) const {
+    for (const auto& [key, value] : flags_) {
+      if (key == name) {
+        return std::atof(value.c_str());
+      }
+    }
+    return fallback;
+  }
+
+  bool GetBool(std::string_view name, bool fallback = false) const {
+    for (const auto& [key, value] : flags_) {
+      if (key == name) {
+        return value != "0" && value != "false";
+      }
+    }
+    return fallback;
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> flags_;
+};
+
+/// Aligned text-table printer producing paper-style rows.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  void AddRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  void Print() const {
+    std::vector<size_t> widths(header_.size(), 0);
+    for (size_t c = 0; c < header_.size(); ++c) {
+      widths[c] = header_[c].size();
+    }
+    for (const auto& row : rows_) {
+      for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+        widths[c] = std::max(widths[c], row[c].size());
+      }
+    }
+    PrintRow(header_, widths);
+    std::string rule;
+    for (size_t c = 0; c < widths.size(); ++c) {
+      rule += std::string(widths[c], '-');
+      rule += c + 1 < widths.size() ? "-+-" : "";
+    }
+    std::printf("%s\n", rule.c_str());
+    for (const auto& row : rows_) {
+      PrintRow(row, widths);
+    }
+  }
+
+  /// Writes the table as CSV to `path` (no-op for an empty path).
+  void WriteCsv(const std::string& path) const {
+    if (path.empty()) {
+      return;
+    }
+    std::ofstream out(path);
+    WriteCsvRow(out, header_);
+    for (const auto& row : rows_) {
+      WriteCsvRow(out, row);
+    }
+    std::printf("[csv written to %s]\n", path.c_str());
+  }
+
+ private:
+  static void PrintRow(const std::vector<std::string>& row,
+                       const std::vector<size_t>& widths) {
+    std::string line;
+    for (size_t c = 0; c < widths.size(); ++c) {
+      std::string cell = c < row.size() ? row[c] : "";
+      cell.resize(widths[c], ' ');
+      line += cell;
+      line += c + 1 < widths.size() ? " | " : "";
+    }
+    std::printf("%s\n", line.c_str());
+  }
+
+  static void WriteCsvRow(std::ofstream& out,
+                          const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) {
+        out << ',';
+      }
+      out << row[c];
+    }
+    out << '\n';
+  }
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats seconds with sensible precision.
+inline std::string FormatSeconds(double seconds) {
+  char buffer[64];
+  if (seconds < 10.0) {
+    std::snprintf(buffer, sizeof(buffer), "%.3f", seconds);
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%.1f", seconds);
+  }
+  return buffer;
+}
+
+inline std::string FormatDouble(double value, int digits = 3) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", digits, value);
+  return buffer;
+}
+
+/// One competitor in a sweep: a named clustering routine plus a "dead"
+/// flag. Once a run exceeds the per-cell budget, all later (larger) cells
+/// are reported DNF without running — mirroring the paper's 10-hour
+/// cutoff policy.
+struct Competitor {
+  std::string name;
+  std::function<Status(Clustering*)> run;
+  bool dead = false;
+};
+
+/// Runs `competitor` unless it is already dead; returns the cell string
+/// (elapsed seconds, "DNF", or "ERR: ..."). Marks the competitor dead when
+/// the run exceeds `budget_seconds`.
+inline std::string RunCell(Competitor* competitor, double budget_seconds,
+                           Clustering* out) {
+  if (competitor->dead) {
+    return "DNF";
+  }
+  Stopwatch timer;
+  const Status status = competitor->run(out);
+  const double elapsed = timer.ElapsedSeconds();
+  if (!status.ok()) {
+    competitor->dead = true;
+    return "ERR:" + status.ToString();
+  }
+  if (elapsed > budget_seconds) {
+    competitor->dead = true;  // Too slow: skip larger workloads.
+  }
+  return FormatSeconds(elapsed);
+}
+
+}  // namespace dbsvec::bench
+
+#endif  // DBSVEC_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,85 @@
+// Grouping high-dimensional image features — the paper's Corel-Image use
+// case (32-d feature vectors, 68k images). Demonstrates DBSVEC on high-d
+// data where grid-based approximations collapse, and shows the
+// accuracy/efficiency dial: DBSVEC_min (nu = 1/n~, fewest support vectors)
+// vs the default nu* policy.
+//
+// Usage: image_grouping [--n=30000]
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "core/dbsvec.h"
+#include "data/surrogates.h"
+#include "eval/internal_metrics.h"
+#include "eval/recall.h"
+
+int main(int argc, char** argv) {
+  using namespace dbsvec;
+
+  PointIndex n = 30'000;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--n=", 4) == 0) {
+      n = static_cast<PointIndex>(std::atoll(argv[i] + 4));
+    }
+  }
+
+  SurrogateDataset corel;
+  if (const Status status = MakeSurrogate("Corel", &corel, n);
+      !status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("Corel-style features: n=%d, d=%d, eps=%.2f, MinPts=%d\n\n",
+              corel.data.size(), corel.data.dim(), corel.epsilon,
+              corel.min_pts);
+
+  // Variant 1: the default nu* policy (Eq. 20) — accuracy first.
+  DbsvecParams accurate;
+  accurate.epsilon = corel.epsilon;
+  accurate.min_pts = corel.min_pts;
+  Clustering groups;
+  if (const Status status = RunDbsvec(corel.data, accurate, &groups);
+      !status.ok()) {
+    std::fprintf(stderr, "DBSVEC failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+
+  // Variant 2: DBSVEC_min — one support vector per training, maximum
+  // speed, slightly weaker expansion coverage.
+  DbsvecParams fast = accurate;
+  fast.nu_mode = NuMode::kMinimum;
+  Clustering groups_min;
+  if (const Status status = RunDbsvec(corel.data, fast, &groups_min);
+      !status.ok()) {
+    std::fprintf(stderr, "DBSVEC_min failed: %s\n",
+                 status.ToString().c_str());
+    return 1;
+  }
+
+  std::printf("%-12s %-9s %-7s %-8s %-14s %-12s\n", "variant", "groups",
+              "noise", "time_s", "range_queries", "supp.vectors");
+  std::printf("%-12s %-9d %-7d %-8.2f %-14llu %-12llu\n", "DBSVEC (nu*)",
+              groups.num_clusters, groups.CountNoise(),
+              groups.stats.elapsed_seconds,
+              static_cast<unsigned long long>(
+                  groups.stats.num_range_queries),
+              static_cast<unsigned long long>(
+                  groups.stats.num_support_vectors));
+  std::printf("%-12s %-9d %-7d %-8.2f %-14llu %-12llu\n", "DBSVEC_min",
+              groups_min.num_clusters, groups_min.CountNoise(),
+              groups_min.stats.elapsed_seconds,
+              static_cast<unsigned long long>(
+                  groups_min.stats.num_range_queries),
+              static_cast<unsigned long long>(
+                  groups_min.stats.num_support_vectors));
+
+  std::printf("\nagreement of the two variants (pair recall): %.4f\n",
+              PairRecall(groups.labels, groups_min.labels));
+  std::printf("internal quality of nu* grouping: compactness=%.3f "
+              "(higher better), separation=%.3f (lower better)\n",
+              Compactness(corel.data, groups.labels),
+              Separation(corel.data, groups.labels));
+  return 0;
+}

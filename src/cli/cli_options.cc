@@ -1,0 +1,207 @@
+#include "cli/cli_options.h"
+
+#include <cstdlib>
+
+namespace dbsvec::cli {
+namespace {
+
+bool ParseKeyValue(const std::string& arg, std::string* key,
+                   std::string* value) {
+  if (arg.rfind("--", 0) != 0) {
+    return false;
+  }
+  const size_t eq = arg.find('=');
+  if (eq == std::string::npos) {
+    *key = arg.substr(2);
+    *value = "";
+  } else {
+    *key = arg.substr(2, eq - 2);
+    *value = arg.substr(eq + 1);
+  }
+  return true;
+}
+
+Status ParseAlgorithm(const std::string& value, Algorithm* out) {
+  if (value == "dbsvec") {
+    *out = Algorithm::kDbsvec;
+  } else if (value == "dbscan") {
+    *out = Algorithm::kDbscan;
+  } else if (value == "rho" || value == "rho-approx") {
+    *out = Algorithm::kRhoApprox;
+  } else if (value == "lsh" || value == "dbscan-lsh") {
+    *out = Algorithm::kLshDbscan;
+  } else if (value == "nq" || value == "nq-dbscan") {
+    *out = Algorithm::kNqDbscan;
+  } else if (value == "kmeans") {
+    *out = Algorithm::kKMeans;
+  } else if (value == "hdbscan") {
+    *out = Algorithm::kHdbscan;
+  } else {
+    return Status::InvalidArgument("unknown --algorithm: " + value);
+  }
+  return Status::Ok();
+}
+
+Status ParseIndex(const std::string& value, IndexType* out) {
+  if (value == "kd") {
+    *out = IndexType::kKdTree;
+  } else if (value == "rstar" || value == "rtree") {
+    *out = IndexType::kRStarTree;
+  } else if (value == "brute") {
+    *out = IndexType::kBruteForce;
+  } else if (value == "grid") {
+    *out = IndexType::kGrid;
+  } else {
+    return Status::InvalidArgument("unknown --index: " + value);
+  }
+  return Status::Ok();
+}
+
+Status ParseDemo(const std::string& value, DemoData* out) {
+  if (value == "walk") {
+    *out = DemoData::kWalk;
+  } else if (value == "blobs") {
+    *out = DemoData::kBlobs;
+  } else if (value == "t4") {
+    *out = DemoData::kT4;
+  } else {
+    return Status::InvalidArgument("unknown --demo: " + value);
+  }
+  return Status::Ok();
+}
+
+Status ParsePositiveDouble(const std::string& key, const std::string& value,
+                           double* out) {
+  char* end = nullptr;
+  const double parsed = std::strtod(value.c_str(), &end);
+  if (end == value.c_str() || parsed <= 0.0) {
+    return Status::InvalidArgument("--" + key + " must be a positive number");
+  }
+  *out = parsed;
+  return Status::Ok();
+}
+
+Status ParsePositiveInt(const std::string& key, const std::string& value,
+                        int* out) {
+  char* end = nullptr;
+  const long parsed = std::strtol(value.c_str(), &end, 10);
+  if (end == value.c_str() || parsed <= 0) {
+    return Status::InvalidArgument("--" + key + " must be a positive integer");
+  }
+  *out = static_cast<int>(parsed);
+  return Status::Ok();
+}
+
+}  // namespace
+
+const char* AlgorithmName(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kDbsvec:
+      return "DBSVEC";
+    case Algorithm::kDbscan:
+      return "DBSCAN";
+    case Algorithm::kRhoApprox:
+      return "rho-approximate DBSCAN";
+    case Algorithm::kLshDbscan:
+      return "DBSCAN-LSH";
+    case Algorithm::kNqDbscan:
+      return "NQ-DBSCAN";
+    case Algorithm::kKMeans:
+      return "k-means";
+    case Algorithm::kHdbscan:
+      return "HDBSCAN*";
+  }
+  return "unknown";
+}
+
+std::string HelpText() {
+  return
+      "dbsvec_cli — density-based clustering from the command line\n"
+      "\n"
+      "Input (pick one):\n"
+      "  --input=FILE.csv        headerless numeric CSV, one point per row\n"
+      "  --demo=walk|blobs|t4    generate demo data (default: walk)\n"
+      "  --demo-n=N --demo-dim=D demo size (default 20000 x 8)\n"
+      "\n"
+      "Clustering:\n"
+      "  --algorithm=dbsvec|dbscan|rho|lsh|nq|kmeans|hdbscan  (default dbsvec)\n"
+      "  --eps=X                 radius; omit to self-calibrate\n"
+      "  --minpts=N              density threshold (default 100)\n"
+      "  --k=N                   clusters for kmeans (default 10)\n"
+      "  --mcs=N                 min cluster size for hdbscan (default 10)\n"
+      "  --nu=auto|min|X         DBSVEC penalty factor (default auto)\n"
+      "  --index=kd|rstar|brute|grid   range-query engine (default kd)\n"
+      "  --rho=X                 rho for rho-approximate (default 0.001)\n"
+      "  --seed=N                RNG seed (default 7)\n"
+      "\n"
+      "Output:\n"
+      "  --output=FILE.csv       write points + label column\n"
+      "  --compare-dbscan        also run exact DBSCAN, report recall\n"
+      "  --help                  this text\n";
+}
+
+Status ParseCliOptions(const std::vector<std::string>& args,
+                       CliOptions* options) {
+  for (const std::string& arg : args) {
+    std::string key;
+    std::string value;
+    if (!ParseKeyValue(arg, &key, &value)) {
+      return Status::InvalidArgument("unexpected argument: " + arg);
+    }
+    if (key == "help") {
+      options->show_help = true;
+    } else if (key == "input") {
+      options->input_path = value;
+    } else if (key == "output") {
+      options->output_path = value;
+    } else if (key == "demo") {
+      DBSVEC_RETURN_IF_ERROR(ParseDemo(value, &options->demo));
+    } else if (key == "demo-n") {
+      DBSVEC_RETURN_IF_ERROR(ParsePositiveInt(key, value, &options->demo_n));
+    } else if (key == "demo-dim") {
+      DBSVEC_RETURN_IF_ERROR(
+          ParsePositiveInt(key, value, &options->demo_dim));
+    } else if (key == "algorithm") {
+      DBSVEC_RETURN_IF_ERROR(ParseAlgorithm(value, &options->algorithm));
+    } else if (key == "eps") {
+      DBSVEC_RETURN_IF_ERROR(
+          ParsePositiveDouble(key, value, &options->epsilon));
+    } else if (key == "minpts") {
+      DBSVEC_RETURN_IF_ERROR(ParsePositiveInt(key, value, &options->min_pts));
+    } else if (key == "k") {
+      DBSVEC_RETURN_IF_ERROR(
+          ParsePositiveInt(key, value, &options->kmeans_k));
+    } else if (key == "mcs") {
+      DBSVEC_RETURN_IF_ERROR(
+          ParsePositiveInt(key, value, &options->min_cluster_size));
+    } else if (key == "nu") {
+      if (value == "auto") {
+        options->nu_mode = NuMode::kAuto;
+      } else if (value == "min") {
+        options->nu_mode = NuMode::kMinimum;
+      } else {
+        options->nu_mode = NuMode::kFixed;
+        DBSVEC_RETURN_IF_ERROR(
+            ParsePositiveDouble(key, value, &options->fixed_nu));
+        if (options->fixed_nu > 1.0) {
+          return Status::InvalidArgument("--nu must be in (0, 1]");
+        }
+      }
+    } else if (key == "index") {
+      DBSVEC_RETURN_IF_ERROR(ParseIndex(value, &options->index));
+    } else if (key == "rho") {
+      DBSVEC_RETURN_IF_ERROR(ParsePositiveDouble(key, value, &options->rho));
+    } else if (key == "seed") {
+      int seed = 0;
+      DBSVEC_RETURN_IF_ERROR(ParsePositiveInt(key, value, &seed));
+      options->seed = static_cast<uint64_t>(seed);
+    } else if (key == "compare-dbscan") {
+      options->compare_dbscan = value != "0" && value != "false";
+    } else {
+      return Status::InvalidArgument("unknown flag: --" + key);
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace dbsvec::cli

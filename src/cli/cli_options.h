@@ -1,0 +1,71 @@
+#ifndef DBSVEC_CLI_CLI_OPTIONS_H_
+#define DBSVEC_CLI_CLI_OPTIONS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/dbsvec.h"
+#include "index/neighbor_index.h"
+
+namespace dbsvec::cli {
+
+/// Which clusterer the CLI runs.
+enum class Algorithm {
+  kDbsvec,
+  kDbscan,
+  kRhoApprox,
+  kLshDbscan,
+  kNqDbscan,
+  kKMeans,
+  kHdbscan,
+};
+
+/// Built-in demo data generators (used when no --input is given).
+enum class DemoData {
+  kNone,
+  kWalk,   ///< Random-walk clusters (the paper's synthetic workload).
+  kBlobs,  ///< Gaussian blobs.
+  kT4,     ///< t4.8k-style 2-D scene.
+};
+
+/// Parsed command-line options of the dbsvec_cli tool.
+struct CliOptions {
+  Algorithm algorithm = Algorithm::kDbsvec;
+  std::string input_path;   ///< CSV to cluster; empty => use `demo`.
+  std::string output_path;  ///< Labelled CSV to write; empty => stdout
+                            ///< summary only.
+  DemoData demo = DemoData::kWalk;
+  int demo_n = 20'000;
+  int demo_dim = 8;
+
+  double epsilon = 0.0;  ///< <= 0 => self-calibrate via SuggestEpsilon.
+  int min_pts = 100;
+  int kmeans_k = 10;
+  int min_cluster_size = 10;  ///< HDBSCAN only.
+
+  NuMode nu_mode = NuMode::kAuto;
+  double fixed_nu = 0.1;
+  IndexType index = IndexType::kKdTree;
+  double rho = 0.001;
+  uint64_t seed = 7;
+
+  bool compare_dbscan = false;  ///< Also run exact DBSCAN, report recall.
+  bool show_help = false;
+};
+
+/// Parses argv into `*options`. Returns InvalidArgument with a message
+/// naming the offending flag on bad input. Recognized flags are listed by
+/// HelpText().
+Status ParseCliOptions(const std::vector<std::string>& args,
+                       CliOptions* options);
+
+/// Usage text for --help.
+std::string HelpText();
+
+/// Human-readable algorithm name.
+const char* AlgorithmName(Algorithm algorithm);
+
+}  // namespace dbsvec::cli
+
+#endif  // DBSVEC_CLI_CLI_OPTIONS_H_

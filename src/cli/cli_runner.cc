@@ -1,0 +1,113 @@
+#include "cli/cli_runner.h"
+
+#include "cluster/dbscan.h"
+#include "cluster/kmeans.h"
+#include "cluster/lsh_dbscan.h"
+#include "cluster/hdbscan.h"
+#include "cluster/nq_dbscan.h"
+#include "cluster/rho_approx_dbscan.h"
+#include "common/csv.h"
+#include "core/dbsvec.h"
+#include "data/shapes.h"
+#include "data/synthetic.h"
+
+namespace dbsvec::cli {
+
+Status LoadInput(const CliOptions& options, Dataset* dataset) {
+  if (!options.input_path.empty()) {
+    return ReadCsv(options.input_path, /*last_column_is_label=*/false,
+                   dataset, nullptr);
+  }
+  switch (options.demo) {
+    case DemoData::kWalk: {
+      RandomWalkParams params;
+      params.n = options.demo_n;
+      params.dim = options.demo_dim;
+      params.num_clusters = 10;
+      params.seed = options.seed;
+      *dataset = GenerateRandomWalk(params);
+      return Status::Ok();
+    }
+    case DemoData::kBlobs: {
+      GaussianBlobsParams params;
+      params.n = options.demo_n;
+      params.dim = options.demo_dim;
+      params.num_clusters = 5;
+      params.noise_fraction = 0.02;
+      params.seed = options.seed;
+      *dataset = GenerateGaussianBlobs(params);
+      return Status::Ok();
+    }
+    case DemoData::kT4:
+      *dataset = GenerateShapeScene(ShapeScene::kT4, options.demo_n,
+                                    options.seed);
+      return Status::Ok();
+    case DemoData::kNone:
+      break;
+  }
+  return Status::InvalidArgument("no input: pass --input or --demo");
+}
+
+double ResolveEpsilon(const CliOptions& options, const Dataset& dataset) {
+  if (options.epsilon > 0.0) {
+    return options.epsilon;
+  }
+  return SuggestEpsilon(dataset, options.min_pts);
+}
+
+Status RunAlgorithm(const CliOptions& options, const Dataset& dataset,
+                    double epsilon, Clustering* out) {
+  switch (options.algorithm) {
+    case Algorithm::kDbsvec: {
+      DbsvecParams params;
+      params.epsilon = epsilon;
+      params.min_pts = options.min_pts;
+      params.nu_mode = options.nu_mode;
+      params.fixed_nu = options.fixed_nu;
+      params.index = options.index;
+      params.seed = options.seed;
+      return RunDbsvec(dataset, params, out);
+    }
+    case Algorithm::kDbscan: {
+      DbscanParams params;
+      params.epsilon = epsilon;
+      params.min_pts = options.min_pts;
+      params.index = options.index;
+      return RunDbscan(dataset, params, out);
+    }
+    case Algorithm::kRhoApprox: {
+      RhoApproxParams params;
+      params.epsilon = epsilon;
+      params.min_pts = options.min_pts;
+      params.rho = options.rho;
+      return RunRhoApproxDbscan(dataset, params, out);
+    }
+    case Algorithm::kLshDbscan: {
+      LshDbscanParams params;
+      params.epsilon = epsilon;
+      params.min_pts = options.min_pts;
+      params.lsh.seed = options.seed;
+      return RunLshDbscan(dataset, params, out);
+    }
+    case Algorithm::kNqDbscan: {
+      NqDbscanParams params;
+      params.epsilon = epsilon;
+      params.min_pts = options.min_pts;
+      return RunNqDbscan(dataset, params, out);
+    }
+    case Algorithm::kKMeans: {
+      KMeansParams params;
+      params.k = options.kmeans_k;
+      params.seed = options.seed;
+      return RunKMeans(dataset, params, out);
+    }
+    case Algorithm::kHdbscan: {
+      HdbscanParams params;
+      params.min_cluster_size = options.min_cluster_size;
+      return RunHdbscan(dataset, params, out);
+    }
+  }
+  return Status::InvalidArgument("unhandled algorithm");
+}
+
+}  // namespace dbsvec::cli

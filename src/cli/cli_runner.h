@@ -1,0 +1,24 @@
+#ifndef DBSVEC_CLI_CLI_RUNNER_H_
+#define DBSVEC_CLI_CLI_RUNNER_H_
+
+#include "cli/cli_options.h"
+#include "cluster/clustering.h"
+#include "common/dataset.h"
+#include "common/status.h"
+
+namespace dbsvec::cli {
+
+/// Loads (or generates) the dataset selected by `options`.
+Status LoadInput(const CliOptions& options, Dataset* dataset);
+
+/// Resolves the effective epsilon: the explicit --eps value, or the
+/// kth-nearest-neighbor self-calibration when unset. k-means ignores it.
+double ResolveEpsilon(const CliOptions& options, const Dataset& dataset);
+
+/// Runs the selected algorithm with the resolved parameters.
+Status RunAlgorithm(const CliOptions& options, const Dataset& dataset,
+                    double epsilon, Clustering* out);
+
+}  // namespace dbsvec::cli
+
+#endif  // DBSVEC_CLI_CLI_RUNNER_H_

@@ -1,0 +1,43 @@
+#include "cluster/clustering.h"
+
+#include <unordered_map>
+
+namespace dbsvec {
+
+int32_t Clustering::CountNoise() const {
+  int32_t count = 0;
+  for (const int32_t label : labels) {
+    if (label == kNoise) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+int32_t Clustering::CountType(PointType type) const {
+  int32_t count = 0;
+  for (const PointType t : point_types) {
+    if (t == type) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+int32_t CompactLabels(std::vector<int32_t>* labels) {
+  std::unordered_map<int32_t, int32_t> remap;
+  int32_t next = 0;
+  for (int32_t& label : *labels) {
+    if (label == Clustering::kNoise) {
+      continue;
+    }
+    const auto [it, inserted] = remap.emplace(label, next);
+    if (inserted) {
+      ++next;
+    }
+    label = it->second;
+  }
+  return next;
+}
+
+}  // namespace dbsvec

@@ -1,0 +1,99 @@
+#include "cluster/dbscan.h"
+
+#include <deque>
+
+#include "common/stopwatch.h"
+
+namespace dbsvec {
+namespace {
+
+constexpr int32_t kUnclassified = -2;
+
+}  // namespace
+
+Status RunDbscanWithIndex(const NeighborIndex& index, double epsilon,
+                          int min_pts, Clustering* out) {
+  if (epsilon <= 0.0) {
+    return Status::InvalidArgument("DBSCAN: epsilon must be positive");
+  }
+  if (min_pts < 1) {
+    return Status::InvalidArgument("DBSCAN: min_pts must be >= 1");
+  }
+  const Dataset& dataset = index.dataset();
+  const PointIndex n = dataset.size();
+  Stopwatch timer;
+  index.ResetCounters();
+
+  std::vector<int32_t>& labels = out->labels;
+  labels.assign(n, kUnclassified);
+  std::vector<char> is_core(n, 0);
+  int32_t next_cluster = 0;
+
+  std::vector<PointIndex> neighbors;
+  std::vector<PointIndex> expansion;
+  std::deque<PointIndex> frontier;
+  for (PointIndex i = 0; i < n; ++i) {
+    if (labels[i] != kUnclassified) {
+      continue;
+    }
+    index.RangeQuery(i, epsilon, &neighbors);
+    if (static_cast<int>(neighbors.size()) < min_pts) {
+      labels[i] = Clustering::kNoise;
+      continue;
+    }
+    // i is core: open a new cluster and expand it breadth-first.
+    const int32_t cid = next_cluster++;
+    labels[i] = cid;
+    is_core[i] = 1;
+    frontier.clear();
+    for (const PointIndex j : neighbors) {
+      if (labels[j] == kUnclassified || labels[j] == Clustering::kNoise) {
+        labels[j] = cid;
+        frontier.push_back(j);
+      }
+    }
+    while (!frontier.empty()) {
+      const PointIndex q = frontier.front();
+      frontier.pop_front();
+      index.RangeQuery(q, epsilon, &expansion);
+      if (static_cast<int>(expansion.size()) < min_pts) {
+        continue;  // q is a border point.
+      }
+      is_core[q] = 1;
+      for (const PointIndex j : expansion) {
+        if (labels[j] == kUnclassified || labels[j] == Clustering::kNoise) {
+          labels[j] = cid;
+          frontier.push_back(j);
+        }
+      }
+    }
+  }
+
+  out->point_types.resize(n);
+  for (PointIndex i = 0; i < n; ++i) {
+    out->point_types[i] = is_core[i] ? PointType::kCore
+                          : labels[i] == Clustering::kNoise
+                              ? PointType::kNoise
+                              : PointType::kBorder;
+  }
+  out->num_clusters = next_cluster;
+  out->stats = ClusteringStats{};
+  out->stats.num_range_queries = index.num_range_queries();
+  out->stats.num_distance_computations = index.num_distance_computations();
+  out->stats.elapsed_seconds = timer.ElapsedSeconds();
+  return Status::Ok();
+}
+
+Status RunDbscan(const Dataset& dataset, const DbscanParams& params,
+                 Clustering* out) {
+  Stopwatch timer;
+  const std::unique_ptr<NeighborIndex> index =
+      CreateIndex(params.index, dataset, params.epsilon);
+  DBSVEC_RETURN_IF_ERROR(
+      RunDbscanWithIndex(*index, params.epsilon, params.min_pts, out));
+  // Report the full wall time including index construction.
+  out->stats.elapsed_seconds = timer.ElapsedSeconds();
+  return Status::Ok();
+}
+
+}  // namespace dbsvec

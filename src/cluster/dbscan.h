@@ -1,0 +1,36 @@
+#ifndef DBSVEC_CLUSTER_DBSCAN_H_
+#define DBSVEC_CLUSTER_DBSCAN_H_
+
+#include "cluster/clustering.h"
+#include "common/dataset.h"
+#include "common/status.h"
+#include "index/neighbor_index.h"
+
+namespace dbsvec {
+
+/// Parameters of exact DBSCAN (Algorithm 1 of the paper).
+struct DbscanParams {
+  /// Neighborhood radius ε (> 0).
+  double epsilon = 1.0;
+  /// Density threshold MinPts (>= 1); a point is core iff its
+  /// ε-neighborhood (including itself) holds at least MinPts points.
+  int min_pts = 5;
+  /// Range-query engine. kRStarTree reproduces the paper's R-DBSCAN
+  /// baseline, kKdTree its kd-DBSCAN baseline.
+  IndexType index = IndexType::kKdTree;
+};
+
+/// Exact DBSCAN [Ester et al. 1996]. Builds the requested index over
+/// `dataset` and runs Algorithm 1; the result is the ground truth against
+/// which every approximate algorithm in this library is measured.
+Status RunDbscan(const Dataset& dataset, const DbscanParams& params,
+                 Clustering* out);
+
+/// DBSCAN over a caller-supplied range-query engine (the index's dataset is
+/// clustered). Used by DBSCAN-LSH and by tests that compare engines.
+Status RunDbscanWithIndex(const NeighborIndex& index, double epsilon,
+                          int min_pts, Clustering* out);
+
+}  // namespace dbsvec
+
+#endif  // DBSVEC_CLUSTER_DBSCAN_H_

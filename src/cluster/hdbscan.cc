@@ -1,0 +1,283 @@
+#include "cluster/hdbscan.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "common/union_find.h"
+#include "index/kd_tree.h"
+
+namespace dbsvec {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// One node of the single-linkage merge tree: leaves are points 0..n-1,
+/// internal nodes n..2n-2 carry the merge distance and subtree size.
+struct MergeNode {
+  int32_t left = -1;
+  int32_t right = -1;
+  double distance = 0.0;
+  PointIndex size = 1;
+};
+
+/// One cluster of the condensed tree.
+struct CondensedCluster {
+  int32_t parent = -1;
+  double lambda_birth = 0.0;
+  double stability = 0.0;
+  std::vector<int32_t> children;
+  /// Points that fell out of this cluster, with their exit lambda.
+  std::vector<std::pair<PointIndex, double>> exits;
+};
+
+double Lambda(double distance) {
+  return distance > 1e-300 ? 1.0 / distance : 1e300;
+}
+
+}  // namespace
+
+Status RunHdbscan(const Dataset& dataset, const HdbscanParams& params,
+                  Clustering* out) {
+  if (params.min_cluster_size < 2) {
+    return Status::InvalidArgument(
+        "HDBSCAN: min_cluster_size must be >= 2");
+  }
+  if (params.min_samples < 0) {
+    return Status::InvalidArgument("HDBSCAN: min_samples must be >= 0");
+  }
+  Stopwatch timer;
+  const PointIndex n = dataset.size();
+  out->labels.assign(n, Clustering::kNoise);
+  out->num_clusters = 0;
+  out->stats = ClusteringStats{};
+  if (n == 0) {
+    return Status::Ok();
+  }
+  const int min_cluster_size = params.min_cluster_size;
+  const int min_samples =
+      params.min_samples > 0 ? params.min_samples : min_cluster_size;
+
+  // 1. Core distances: distance to the min_samples-th neighbor (self
+  //    included, matching the ε-neighborhood convention of Definition 1).
+  const KdTree tree(dataset);
+  std::vector<double> core(n);
+  std::vector<std::pair<double, PointIndex>> knn;
+  const int k = std::min<int>(min_samples, n);
+  for (PointIndex i = 0; i < n; ++i) {
+    tree.KnnQuery(dataset.point(i), k, &knn);
+    core[i] = knn.back().first;
+  }
+
+  // 2. Minimum spanning tree of the mutual-reachability graph
+  //    mr(a,b) = max(core_a, core_b, dist(a,b)), via dense Prim.
+  std::vector<double> best(n, kInf);
+  std::vector<PointIndex> best_from(n, 0);
+  std::vector<char> in_tree(n, 0);
+  struct Edge {
+    double weight;
+    PointIndex a;
+    PointIndex b;
+  };
+  std::vector<Edge> mst;
+  mst.reserve(n > 0 ? n - 1 : 0);
+  best[0] = 0.0;
+  for (PointIndex step = 0; step < n; ++step) {
+    PointIndex next = -1;
+    double next_weight = kInf;
+    for (PointIndex i = 0; i < n; ++i) {
+      if (!in_tree[i] && best[i] < next_weight) {
+        next_weight = best[i];
+        next = i;
+      }
+    }
+    in_tree[next] = 1;
+    if (step > 0) {
+      mst.push_back({next_weight, best_from[next], next});
+    }
+    for (PointIndex i = 0; i < n; ++i) {
+      if (in_tree[i]) {
+        continue;
+      }
+      const double mr =
+          std::max({core[next], core[i],
+                    std::sqrt(dataset.SquaredDistance(next, i))});
+      if (mr < best[i]) {
+        best[i] = mr;
+        best_from[i] = next;
+      }
+    }
+    out->stats.num_distance_computations += static_cast<uint64_t>(n);
+  }
+
+  // 3. Single-linkage hierarchy: merge MST edges in ascending order.
+  std::sort(mst.begin(), mst.end(),
+            [](const Edge& a, const Edge& b) { return a.weight < b.weight; });
+  std::vector<MergeNode> merges(n);  // Leaves first.
+  merges.reserve(2 * static_cast<size_t>(n));
+  UnionFind components(n);
+  // Representative merge-tree node of each union-find root.
+  std::vector<int32_t> tree_node(n);
+  for (PointIndex i = 0; i < n; ++i) {
+    tree_node[i] = i;
+  }
+  int32_t root = n == 1 ? 0 : -1;
+  for (const Edge& edge : mst) {
+    const int32_t ra = components.Find(edge.a);
+    const int32_t rb = components.Find(edge.b);
+    MergeNode node;
+    node.left = tree_node[ra];
+    node.right = tree_node[rb];
+    node.distance = edge.weight;
+    node.size = merges[node.left].size + merges[node.right].size;
+    const int32_t id = static_cast<int32_t>(merges.size());
+    merges.push_back(node);
+    tree_node[components.Union(ra, rb)] = id;
+    root = id;
+  }
+
+  // 4. Condensed tree: descend the hierarchy; a split is "real" when both
+  //    sides hold >= min_cluster_size points, otherwise the smaller side's
+  //    points fall out of the current condensed cluster at that lambda.
+  std::vector<CondensedCluster> clusters;
+  clusters.push_back({});  // Root cluster, lambda_birth 0.
+  // Worklist of (merge node, condensed cluster id).
+  std::vector<std::pair<int32_t, int32_t>> work = {{root, 0}};
+  std::vector<int32_t> leaf_stack;
+  auto spill_points = [&](int32_t merge_id, int32_t cluster_id,
+                          double lambda) {
+    // All leaf points below merge_id exit cluster_id at `lambda`.
+    leaf_stack.assign(1, merge_id);
+    while (!leaf_stack.empty()) {
+      const int32_t m = leaf_stack.back();
+      leaf_stack.pop_back();
+      if (m < n) {
+        clusters[cluster_id].exits.emplace_back(static_cast<PointIndex>(m),
+                                                lambda);
+      } else {
+        leaf_stack.push_back(merges[m].left);
+        leaf_stack.push_back(merges[m].right);
+      }
+    }
+  };
+  while (!work.empty()) {
+    const auto [merge_id, cluster_id] = work.back();
+    work.pop_back();
+    if (merge_id < n) {
+      // A bare point at the top of its branch: exits immediately.
+      clusters[cluster_id].exits.emplace_back(
+          static_cast<PointIndex>(merge_id), kInf);
+      continue;
+    }
+    const MergeNode& node = merges[merge_id];
+    const double lambda = Lambda(node.distance);
+    const PointIndex left_size = merges[node.left].size;
+    const PointIndex right_size = merges[node.right].size;
+    const bool left_big = left_size >= min_cluster_size;
+    const bool right_big = right_size >= min_cluster_size;
+    if (left_big && right_big) {
+      // True split: two new condensed clusters born at this lambda.
+      for (const int32_t child : {node.left, node.right}) {
+        const int32_t child_cluster =
+            static_cast<int32_t>(clusters.size());
+        clusters.push_back({});
+        clusters[child_cluster].parent = cluster_id;
+        clusters[child_cluster].lambda_birth = lambda;
+        clusters[cluster_id].children.push_back(child_cluster);
+        work.emplace_back(child, child_cluster);
+      }
+      // Points passing to children contribute (lambda - birth) each to the
+      // parent's stability.
+      clusters[cluster_id].stability +=
+          (lambda - clusters[cluster_id].lambda_birth) *
+          static_cast<double>(left_size + right_size);
+    } else {
+      if (left_big) {
+        work.emplace_back(node.left, cluster_id);
+      } else {
+        spill_points(node.left, cluster_id, lambda);
+      }
+      if (right_big) {
+        work.emplace_back(node.right, cluster_id);
+      } else {
+        spill_points(node.right, cluster_id, lambda);
+      }
+    }
+  }
+  // Exit contributions to stability (capped: an infinite exit lambda,
+  // from duplicate points, contributes via the largest finite lambda).
+  for (CondensedCluster& cluster : clusters) {
+    double max_finite = cluster.lambda_birth;
+    for (const auto& [point, lambda] : cluster.exits) {
+      if (std::isfinite(lambda)) {
+        max_finite = std::max(max_finite, lambda);
+      }
+    }
+    for (const auto& [point, lambda] : cluster.exits) {
+      const double capped = std::isfinite(lambda) ? lambda : max_finite;
+      cluster.stability += capped - cluster.lambda_birth;
+    }
+  }
+
+  // 5. Excess-of-mass extraction: bottom-up, keep a subtree's children if
+  //    their combined selected stability beats the node's own; the root is
+  //    never selected (it is "everything").
+  const int32_t num_condensed = static_cast<int32_t>(clusters.size());
+  std::vector<double> selected_stability(num_condensed, 0.0);
+  std::vector<char> selected(num_condensed, 0);
+  // Children were always appended after parents, so reverse order is a
+  // valid bottom-up traversal.
+  for (int32_t c = num_condensed - 1; c >= 0; --c) {
+    double child_sum = 0.0;
+    for (const int32_t child : clusters[c].children) {
+      child_sum += selected_stability[child];
+    }
+    if (clusters[c].children.empty()) {
+      selected_stability[c] = clusters[c].stability;
+      selected[c] = 1;
+    } else if (clusters[c].stability > child_sum && c != 0) {
+      selected_stability[c] = clusters[c].stability;
+      selected[c] = 1;
+      // Deselect all descendants.
+      std::vector<int32_t> stack = clusters[c].children;
+      while (!stack.empty()) {
+        const int32_t d = stack.back();
+        stack.pop_back();
+        selected[d] = 0;
+        stack.insert(stack.end(), clusters[d].children.begin(),
+                     clusters[d].children.end());
+      }
+    } else {
+      selected_stability[c] = child_sum;
+    }
+  }
+  selected[0] = 0;  // Root is never a cluster.
+
+  // 6. Labels: each point belongs to the nearest selected ancestor of the
+  //    cluster it exited from (if any).
+  std::vector<int32_t> dense_id(num_condensed, -1);
+  int32_t next_label = 0;
+  for (int32_t c = 0; c < num_condensed; ++c) {
+    if (selected[c]) {
+      dense_id[c] = next_label++;
+    }
+  }
+  for (int32_t c = 0; c < num_condensed; ++c) {
+    for (const auto& [point, lambda] : clusters[c].exits) {
+      int32_t walk = c;
+      while (walk >= 0 && !selected[walk]) {
+        walk = clusters[walk].parent;
+      }
+      if (walk >= 0) {
+        out->labels[point] = dense_id[walk];
+      }
+    }
+  }
+  out->num_clusters = next_label;
+  out->stats.elapsed_seconds = timer.ElapsedSeconds();
+  return Status::Ok();
+}
+
+}  // namespace dbsvec

@@ -1,0 +1,34 @@
+#ifndef DBSVEC_CLUSTER_HDBSCAN_H_
+#define DBSVEC_CLUSTER_HDBSCAN_H_
+
+#include "cluster/clustering.h"
+#include "common/dataset.h"
+#include "common/status.h"
+
+namespace dbsvec {
+
+/// Parameters of HDBSCAN*.
+struct HdbscanParams {
+  /// Smallest group of points accepted as a cluster.
+  int min_cluster_size = 10;
+  /// k of the core-distance computation (density smoothing); 0 means
+  /// min_cluster_size.
+  int min_samples = 0;
+};
+
+/// HDBSCAN* [Campello, Moulavi, Sander 2013] — library extension beyond
+/// the paper: hierarchical density-based clustering that removes DBSCAN's
+/// single global ε. Pipeline: core distances (k-NN) → mutual-reachability
+/// minimum spanning tree (Prim, O(n²·d)) → single-linkage hierarchy →
+/// condensed tree at `min_cluster_size` → flat extraction by maximum
+/// stability (excess of mass).
+///
+/// Complements DBSVEC in this library: DBSVEC accelerates clustering at a
+/// *known* ε; HDBSCAN answers "what if no single ε fits" (clusters of
+/// varying density). The O(n²) MST limits it to moderate n.
+Status RunHdbscan(const Dataset& dataset, const HdbscanParams& params,
+                  Clustering* out);
+
+}  // namespace dbsvec
+
+#endif  // DBSVEC_CLUSTER_HDBSCAN_H_

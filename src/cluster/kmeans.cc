@@ -1,0 +1,136 @@
+#include "cluster/kmeans.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/rng.h"
+#include "common/stopwatch.h"
+
+namespace dbsvec {
+namespace {
+
+double DistanceToCentroid(const Dataset& dataset, PointIndex i,
+                          const double* centroid, int dim) {
+  const auto p = dataset.point(i);
+  double sum = 0.0;
+  for (int j = 0; j < dim; ++j) {
+    const double diff = p[j] - centroid[j];
+    sum += diff * diff;
+  }
+  return sum;
+}
+
+}  // namespace
+
+Status RunKMeansWithCentroids(const Dataset& dataset,
+                              const KMeansParams& params, Clustering* out,
+                              std::vector<double>* centroids) {
+  const PointIndex n = dataset.size();
+  const int dim = dataset.dim();
+  if (params.k < 1) {
+    return Status::InvalidArgument("k-means: k must be >= 1");
+  }
+  if (n < params.k) {
+    return Status::InvalidArgument("k-means: fewer points than clusters");
+  }
+  Stopwatch timer;
+  Rng rng(params.seed);
+  const int k = params.k;
+  uint64_t distance_computations = 0;
+
+  // k-means++ seeding.
+  std::vector<double> centers(static_cast<size_t>(k) * dim);
+  std::vector<double> nearest_sq(n, std::numeric_limits<double>::infinity());
+  const PointIndex first = static_cast<PointIndex>(rng.NextBounded(n));
+  for (int j = 0; j < dim; ++j) {
+    centers[j] = dataset.at(first, j);
+  }
+  for (int c = 1; c < k; ++c) {
+    double total = 0.0;
+    for (PointIndex i = 0; i < n; ++i) {
+      const double d = DistanceToCentroid(
+          dataset, i, centers.data() + static_cast<size_t>(c - 1) * dim, dim);
+      ++distance_computations;
+      if (d < nearest_sq[i]) {
+        nearest_sq[i] = d;
+      }
+      total += nearest_sq[i];
+    }
+    // Sample the next center proportionally to squared distance.
+    double pick = rng.NextDouble() * total;
+    PointIndex chosen = n - 1;
+    for (PointIndex i = 0; i < n; ++i) {
+      pick -= nearest_sq[i];
+      if (pick <= 0.0) {
+        chosen = i;
+        break;
+      }
+    }
+    for (int j = 0; j < dim; ++j) {
+      centers[static_cast<size_t>(c) * dim + j] = dataset.at(chosen, j);
+    }
+  }
+
+  // Lloyd iterations.
+  std::vector<int32_t>& labels = out->labels;
+  labels.assign(n, 0);
+  std::vector<double> sums(static_cast<size_t>(k) * dim);
+  std::vector<int64_t> counts(k);
+  for (int iter = 0; iter < params.max_iterations; ++iter) {
+    std::fill(sums.begin(), sums.end(), 0.0);
+    std::fill(counts.begin(), counts.end(), 0);
+    for (PointIndex i = 0; i < n; ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      int best_c = 0;
+      for (int c = 0; c < k; ++c) {
+        const double d = DistanceToCentroid(
+            dataset, i, centers.data() + static_cast<size_t>(c) * dim, dim);
+        ++distance_computations;
+        if (d < best) {
+          best = d;
+          best_c = c;
+        }
+      }
+      labels[i] = best_c;
+      ++counts[best_c];
+      const auto p = dataset.point(i);
+      double* sum = sums.data() + static_cast<size_t>(best_c) * dim;
+      for (int j = 0; j < dim; ++j) {
+        sum[j] += p[j];
+      }
+    }
+    double movement = 0.0;
+    for (int c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        continue;  // Empty cluster keeps its previous centroid.
+      }
+      double* center = centers.data() + static_cast<size_t>(c) * dim;
+      const double* sum = sums.data() + static_cast<size_t>(c) * dim;
+      for (int j = 0; j < dim; ++j) {
+        const double updated = sum[j] / static_cast<double>(counts[c]);
+        const double diff = updated - center[j];
+        movement += diff * diff;
+        center[j] = updated;
+      }
+    }
+    if (movement < params.tolerance) {
+      break;
+    }
+  }
+
+  out->num_clusters = k;
+  out->stats = ClusteringStats{};
+  out->stats.num_distance_computations = distance_computations;
+  out->stats.elapsed_seconds = timer.ElapsedSeconds();
+  if (centroids != nullptr) {
+    *centroids = std::move(centers);
+  }
+  return Status::Ok();
+}
+
+Status RunKMeans(const Dataset& dataset, const KMeansParams& params,
+                 Clustering* out) {
+  return RunKMeansWithCentroids(dataset, params, out, nullptr);
+}
+
+}  // namespace dbsvec

@@ -1,0 +1,39 @@
+#ifndef DBSVEC_CLUSTER_KMEANS_H_
+#define DBSVEC_CLUSTER_KMEANS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/clustering.h"
+#include "common/dataset.h"
+#include "common/status.h"
+
+namespace dbsvec {
+
+/// Parameters of k-means.
+struct KMeansParams {
+  /// Number of clusters k (>= 1).
+  int k = 8;
+  /// Lloyd iteration cap.
+  int max_iterations = 100;
+  /// Convergence threshold on total squared centroid movement.
+  double tolerance = 1e-6;
+  /// Seed for the k-means++ initialization.
+  uint64_t seed = 42;
+};
+
+/// k-means [Hartigan & Wong 1979] with k-means++ seeding — the
+/// partitioning-based baseline of Table IV. Produces no noise labels
+/// (every point is assigned to its nearest centroid).
+Status RunKMeans(const Dataset& dataset, const KMeansParams& params,
+                 Clustering* out);
+
+/// Final centroids of a k-means run (row-major k×d), exposed for the
+/// examples and tests.
+Status RunKMeansWithCentroids(const Dataset& dataset,
+                              const KMeansParams& params, Clustering* out,
+                              std::vector<double>* centroids);
+
+}  // namespace dbsvec
+
+#endif  // DBSVEC_CLUSTER_KMEANS_H_

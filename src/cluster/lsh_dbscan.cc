@@ -1,0 +1,21 @@
+#include "cluster/lsh_dbscan.h"
+
+#include "cluster/dbscan.h"
+#include "common/stopwatch.h"
+
+namespace dbsvec {
+
+Status RunLshDbscan(const Dataset& dataset, const LshDbscanParams& params,
+                    Clustering* out) {
+  if (params.epsilon <= 0.0) {
+    return Status::InvalidArgument("DBSCAN-LSH: epsilon must be positive");
+  }
+  Stopwatch timer;
+  const LshIndex index(dataset, params.epsilon, params.lsh);
+  DBSVEC_RETURN_IF_ERROR(
+      RunDbscanWithIndex(index, params.epsilon, params.min_pts, out));
+  out->stats.elapsed_seconds = timer.ElapsedSeconds();
+  return Status::Ok();
+}
+
+}  // namespace dbsvec

@@ -1,0 +1,32 @@
+#ifndef DBSVEC_CLUSTER_LSH_DBSCAN_H_
+#define DBSVEC_CLUSTER_LSH_DBSCAN_H_
+
+#include "cluster/clustering.h"
+#include "common/dataset.h"
+#include "common/status.h"
+#include "index/lsh_index.h"
+
+namespace dbsvec {
+
+/// Parameters of the hashing-based approximate DBSCAN baseline.
+struct LshDbscanParams {
+  /// Neighborhood radius ε (> 0).
+  double epsilon = 1.0;
+  /// Density threshold MinPts (>= 1).
+  int min_pts = 5;
+  /// LSH configuration; the defaults match the paper's setup (eight
+  /// p-stable hash functions).
+  LshParams lsh;
+};
+
+/// DBSCAN-LSH [Li, Heinis, Luk 2016]: DBSCAN with ε-range queries answered
+/// approximately by a p-stable LSH index. Neighborhoods may be
+/// under-counted (a neighbor that never collides with the query is
+/// invisible), which is the source of the accuracy loss the paper measures
+/// in Table III and the ε-sensitivity in Fig. 7.
+Status RunLshDbscan(const Dataset& dataset, const LshDbscanParams& params,
+                    Clustering* out);
+
+}  // namespace dbsvec
+
+#endif  // DBSVEC_CLUSTER_LSH_DBSCAN_H_

@@ -1,0 +1,135 @@
+#include "cluster/nq_dbscan.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <vector>
+
+#include "common/stopwatch.h"
+
+namespace dbsvec {
+namespace {
+
+constexpr int32_t kUnclassified = -2;
+
+}  // namespace
+
+Status RunNqDbscan(const Dataset& dataset, const NqDbscanParams& params,
+                   Clustering* out) {
+  if (params.epsilon <= 0.0) {
+    return Status::InvalidArgument("NQ-DBSCAN: epsilon must be positive");
+  }
+  if (params.min_pts < 1) {
+    return Status::InvalidArgument("NQ-DBSCAN: min_pts must be >= 1");
+  }
+  Stopwatch timer;
+  const PointIndex n = dataset.size();
+  const double eps = params.epsilon;
+  const double eps_sq = eps * eps;
+
+  std::vector<int32_t>& labels = out->labels;
+  labels.assign(n, kUnclassified);
+  std::vector<char> is_core(n, 0);
+  int32_t next_cluster = 0;
+  uint64_t range_queries = 0;
+  uint64_t distance_computations = 0;
+
+  // Pivot-distance table, rebuilt per seed: dist(seed, x) for all x, and
+  // the points sorted by that distance for the triangle-inequality window.
+  std::vector<double> pivot_dist(n);
+  std::vector<PointIndex> by_pivot(n);
+  std::vector<PointIndex> neighbors;
+  std::deque<PointIndex> frontier;
+
+  for (PointIndex i = 0; i < n; ++i) {
+    if (labels[i] != kUnclassified) {
+      continue;
+    }
+    // One full scan anchors the local search structure at this seed.
+    for (PointIndex x = 0; x < n; ++x) {
+      pivot_dist[x] = std::sqrt(dataset.SquaredDistance(i, x));
+    }
+    distance_computations += static_cast<uint64_t>(n);
+    ++range_queries;
+
+    neighbors.clear();
+    for (PointIndex x = 0; x < n; ++x) {
+      if (pivot_dist[x] <= eps) {
+        neighbors.push_back(x);
+      }
+    }
+    if (static_cast<int>(neighbors.size()) < params.min_pts) {
+      labels[i] = Clustering::kNoise;
+      continue;
+    }
+
+    for (PointIndex x = 0; x < n; ++x) {
+      by_pivot[x] = x;
+    }
+    std::sort(by_pivot.begin(), by_pivot.end(),
+              [&pivot_dist](PointIndex a, PointIndex b) {
+                return pivot_dist[a] < pivot_dist[b];
+              });
+
+    const int32_t cid = next_cluster++;
+    labels[i] = cid;
+    is_core[i] = 1;
+    frontier.clear();
+    for (const PointIndex j : neighbors) {
+      if (labels[j] == kUnclassified || labels[j] == Clustering::kNoise) {
+        labels[j] = cid;
+        frontier.push_back(j);
+      }
+    }
+    while (!frontier.empty()) {
+      const PointIndex q = frontier.front();
+      frontier.pop_front();
+      ++range_queries;
+      // Triangle inequality: every x within eps of q satisfies
+      // |pivot_dist[x] − pivot_dist[q]| <= eps, so only that window of the
+      // pivot-sorted order needs exact distance checks.
+      const double lo = pivot_dist[q] - eps;
+      const double hi = pivot_dist[q] + eps;
+      const auto begin = std::lower_bound(
+          by_pivot.begin(), by_pivot.end(), lo,
+          [&pivot_dist](PointIndex a, double v) { return pivot_dist[a] < v; });
+      const auto end = std::upper_bound(
+          begin, by_pivot.end(), hi,
+          [&pivot_dist](double v, PointIndex a) { return v < pivot_dist[a]; });
+
+      neighbors.clear();
+      distance_computations += static_cast<uint64_t>(end - begin);
+      for (auto it = begin; it != end; ++it) {
+        if (dataset.SquaredDistance(q, *it) <= eps_sq) {
+          neighbors.push_back(*it);
+        }
+      }
+      if (static_cast<int>(neighbors.size()) < params.min_pts) {
+        continue;  // Border point.
+      }
+      is_core[q] = 1;
+      for (const PointIndex j : neighbors) {
+        if (labels[j] == kUnclassified || labels[j] == Clustering::kNoise) {
+          labels[j] = cid;
+          frontier.push_back(j);
+        }
+      }
+    }
+  }
+
+  out->point_types.resize(n);
+  for (PointIndex i = 0; i < n; ++i) {
+    out->point_types[i] = is_core[i] ? PointType::kCore
+                          : labels[i] == Clustering::kNoise
+                              ? PointType::kNoise
+                              : PointType::kBorder;
+  }
+  out->num_clusters = next_cluster;
+  out->stats = ClusteringStats{};
+  out->stats.num_range_queries = range_queries;
+  out->stats.num_distance_computations = distance_computations;
+  out->stats.elapsed_seconds = timer.ElapsedSeconds();
+  return Status::Ok();
+}
+
+}  // namespace dbsvec

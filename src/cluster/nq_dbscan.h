@@ -1,0 +1,31 @@
+#ifndef DBSVEC_CLUSTER_NQ_DBSCAN_H_
+#define DBSVEC_CLUSTER_NQ_DBSCAN_H_
+
+#include "cluster/clustering.h"
+#include "common/dataset.h"
+#include "common/status.h"
+
+namespace dbsvec {
+
+/// Parameters of NQ-DBSCAN.
+struct NqDbscanParams {
+  /// Neighborhood radius ε (> 0).
+  double epsilon = 1.0;
+  /// Density threshold MinPts (>= 1).
+  int min_pts = 5;
+};
+
+/// NQ-DBSCAN [Chen et al. 2018]: exact DBSCAN that prunes *distance
+/// computations* (not range queries) with a local neighborhood search.
+///
+/// For each cluster seed p the distances dist(p, ·) to all points are
+/// computed once and the points sorted by them; the ε-neighborhood of any
+/// point q reached during the expansion is then searched only inside the
+/// triangle-inequality window {x : |dist(p,x) − dist(p,q)| ≤ ε}. Produces
+/// exactly DBSCAN's clustering; worst-case time remains O(n²) (Table II).
+Status RunNqDbscan(const Dataset& dataset, const NqDbscanParams& params,
+                   Clustering* out);
+
+}  // namespace dbsvec
+
+#endif  // DBSVEC_CLUSTER_NQ_DBSCAN_H_

@@ -1,0 +1,131 @@
+#include "cluster/optics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "common/stopwatch.h"
+
+namespace dbsvec {
+namespace {
+
+constexpr double kUndefined = std::numeric_limits<double>::infinity();
+
+/// Min-heap entry with lazy invalidation: stale (higher-reachability)
+/// duplicates are skipped when popped.
+struct Seed {
+  double reachability;
+  PointIndex point;
+  bool operator>(const Seed& other) const {
+    return reachability > other.reachability;
+  }
+};
+
+}  // namespace
+
+Status RunOptics(const Dataset& dataset, const OpticsParams& params,
+                 OpticsResult* out) {
+  if (params.max_epsilon <= 0.0) {
+    return Status::InvalidArgument("OPTICS: max_epsilon must be positive");
+  }
+  if (params.min_pts < 1) {
+    return Status::InvalidArgument("OPTICS: min_pts must be >= 1");
+  }
+  const PointIndex n = dataset.size();
+  const std::unique_ptr<NeighborIndex> index =
+      CreateIndex(params.index, dataset, params.max_epsilon);
+
+  out->ordering.clear();
+  out->ordering.reserve(n);
+  out->reachability.assign(n, kUndefined);
+  out->core_distance.assign(n, kUndefined);
+  std::vector<char> processed(n, 0);
+
+  std::vector<PointIndex> neighbors;
+  std::vector<double> dists;
+  std::priority_queue<Seed, std::vector<Seed>, std::greater<Seed>> seeds;
+
+  // Processes one point: appends it to the ordering, computes its core
+  // distance, and (if core) relaxes the reachability of its unprocessed
+  // neighbors through the seed heap.
+  auto process = [&](PointIndex p) {
+    processed[p] = 1;
+    out->ordering.push_back(p);
+    index->RangeQuery(p, params.max_epsilon, &neighbors);
+    if (static_cast<int>(neighbors.size()) >= params.min_pts) {
+      dists.clear();
+      dists.reserve(neighbors.size());
+      for (const PointIndex o : neighbors) {
+        dists.push_back(dataset.SquaredDistance(p, o));
+      }
+      std::nth_element(dists.begin(), dists.begin() + (params.min_pts - 1),
+                       dists.end());
+      out->core_distance[p] = std::sqrt(dists[params.min_pts - 1]);
+      for (const PointIndex o : neighbors) {
+        if (processed[o]) {
+          continue;
+        }
+        const double reach = std::max(
+            out->core_distance[p],
+            std::sqrt(dataset.SquaredDistance(p, o)));
+        if (reach < out->reachability[o]) {
+          out->reachability[o] = reach;
+          seeds.push({reach, o});
+        }
+      }
+    }
+  };
+
+  for (PointIndex start = 0; start < n; ++start) {
+    if (processed[start]) {
+      continue;
+    }
+    process(start);
+    while (!seeds.empty()) {
+      const Seed seed = seeds.top();
+      seeds.pop();
+      if (processed[seed.point] ||
+          seed.reachability > out->reachability[seed.point]) {
+        continue;  // Stale heap entry.
+      }
+      process(seed.point);
+    }
+  }
+  return Status::Ok();
+}
+
+Status ExtractDbscanClustering(const Dataset& dataset,
+                               const OpticsResult& optics, double epsilon,
+                               int min_pts, Clustering* out) {
+  (void)min_pts;
+  const PointIndex n = dataset.size();
+  if (static_cast<PointIndex>(optics.ordering.size()) != n) {
+    return Status::InvalidArgument(
+        "extract: OPTICS result does not cover the dataset");
+  }
+  if (epsilon <= 0.0) {
+    return Status::InvalidArgument("extract: epsilon must be positive");
+  }
+  Stopwatch timer;
+  out->labels.assign(n, Clustering::kNoise);
+  int32_t current = -1;
+  for (const PointIndex p : optics.ordering) {
+    if (optics.reachability[p] > epsilon) {
+      // Not density-reachable at this radius from anything before it.
+      if (optics.core_distance[p] <= epsilon) {
+        ++current;  // p starts a new cluster.
+        out->labels[p] = current;
+      }
+      // else: noise at this epsilon.
+    } else if (current >= 0) {
+      out->labels[p] = current;
+    }
+  }
+  out->num_clusters = current + 1;
+  out->stats = ClusteringStats{};
+  out->stats.elapsed_seconds = timer.ElapsedSeconds();
+  return Status::Ok();
+}
+
+}  // namespace dbsvec

@@ -1,0 +1,52 @@
+#ifndef DBSVEC_CLUSTER_OPTICS_H_
+#define DBSVEC_CLUSTER_OPTICS_H_
+
+#include <vector>
+
+#include "cluster/clustering.h"
+#include "common/dataset.h"
+#include "common/status.h"
+#include "index/neighbor_index.h"
+
+namespace dbsvec {
+
+/// Parameters of OPTICS.
+struct OpticsParams {
+  /// Maximum radius examined (the ε of the reachability computation).
+  double max_epsilon = 1.0;
+  /// Density threshold MinPts.
+  int min_pts = 5;
+  /// Range-query engine.
+  IndexType index = IndexType::kKdTree;
+};
+
+/// OPTICS output: the cluster-ordering with per-point reachability and
+/// core distances. Infinity marks undefined distances.
+struct OpticsResult {
+  /// Points in processing order.
+  std::vector<PointIndex> ordering;
+  /// Reachability distance of each point (indexed by PointIndex).
+  std::vector<double> reachability;
+  /// Core distance of each point (indexed by PointIndex).
+  std::vector<double> core_distance;
+};
+
+/// OPTICS [Ankerst et al. 1999] — library extension beyond the paper: the
+/// density-ordering generalization of DBSCAN, provided so downstream users
+/// can explore the ε-landscape once instead of re-clustering per ε. Built
+/// on the same NeighborIndex substrate as every other clusterer here.
+Status RunOptics(const Dataset& dataset, const OpticsParams& params,
+                 OpticsResult* out);
+
+/// Extracts a DBSCAN-equivalent flat clustering at radius `epsilon`
+/// (must be <= the max_epsilon used to compute `optics`) — the standard
+/// ExtractDBSCAN-Clustering procedure. Core points receive exactly
+/// DBSCAN(ε, MinPts)'s partition; border points may tie-break differently,
+/// as in any DBSCAN implementation.
+Status ExtractDbscanClustering(const Dataset& dataset,
+                               const OpticsResult& optics, double epsilon,
+                               int min_pts, Clustering* out);
+
+}  // namespace dbsvec
+
+#endif  // DBSVEC_CLUSTER_OPTICS_H_

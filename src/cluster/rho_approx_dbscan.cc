@@ -1,0 +1,266 @@
+#include "cluster/rho_approx_dbscan.h"
+
+#include <cmath>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "common/union_find.h"
+#include "index/kd_tree.h"
+
+namespace dbsvec {
+namespace {
+
+struct CellKeyHash {
+  size_t operator()(const std::vector<int32_t>& key) const {
+    uint64_t h = 0x9e3779b97f4a7c15ULL;
+    for (const int32_t c : key) {
+      h ^= static_cast<uint64_t>(static_cast<uint32_t>(c)) +
+           0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+/// The ε/√d grid with per-cell point lists and a kd-tree over cell centers
+/// for neighbor-cell retrieval.
+class CellGrid {
+ public:
+  CellGrid(const Dataset& dataset, double epsilon)
+      : dataset_(dataset),
+        width_(epsilon / std::sqrt(static_cast<double>(dataset.dim()))),
+        centers_(dataset.dim()) {
+    std::unordered_map<std::vector<int32_t>, int32_t, CellKeyHash> ids;
+    std::vector<int32_t> key(dataset.dim());
+    cell_of_point_.resize(dataset.size());
+    for (PointIndex i = 0; i < dataset.size(); ++i) {
+      const auto p = dataset.point(i);
+      for (int j = 0; j < dataset.dim(); ++j) {
+        key[j] = static_cast<int32_t>(std::floor(p[j] / width_));
+      }
+      const auto [it, inserted] =
+          ids.emplace(key, static_cast<int32_t>(points_.size()));
+      if (inserted) {
+        points_.emplace_back();
+        lo_.push_back(key);
+        std::vector<double> center(dataset.dim());
+        for (int j = 0; j < dataset.dim(); ++j) {
+          center[j] = (key[j] + 0.5) * width_;
+        }
+        centers_.Append(center);
+      }
+      points_[it->second].push_back(i);
+      cell_of_point_[i] = it->second;
+    }
+    center_index_ = std::make_unique<KdTree>(centers_);
+  }
+
+  int32_t num_cells() const { return static_cast<int32_t>(points_.size()); }
+  const std::vector<PointIndex>& cell_points(int32_t c) const {
+    return points_[c];
+  }
+  int32_t cell_of(PointIndex i) const { return cell_of_point_[i]; }
+  double width() const { return width_; }
+
+  /// Cells whose boxes may intersect the ball B(q, radius): retrieved via
+  /// the cell-center kd-tree with the padded radius radius + diag/2.
+  void CandidateCells(std::span<const double> q, double radius,
+                      std::vector<PointIndex>* out) const {
+    const double half_diag =
+        0.5 * width_ * std::sqrt(static_cast<double>(dataset_.dim()));
+    center_index_->RangeQuery(q, radius + half_diag, out);
+  }
+
+  /// Squared min/max distance from q to cell c's box.
+  void BoxDistance2(std::span<const double> q, int32_t c, double* min_sq,
+                    double* max_sq) const {
+    double mn = 0.0;
+    double mx = 0.0;
+    for (size_t j = 0; j < q.size(); ++j) {
+      const double lo = lo_[c][j] * width_;
+      const double hi = lo + width_;
+      double d_min = 0.0;
+      if (q[j] < lo) {
+        d_min = lo - q[j];
+      } else if (q[j] > hi) {
+        d_min = q[j] - hi;
+      }
+      const double d_max = std::max(q[j] - lo, hi - q[j]);
+      mn += d_min * d_min;
+      mx += d_max * d_max;
+    }
+    *min_sq = mn;
+    *max_sq = mx;
+  }
+
+  uint64_t distance_computations() const { return distance_computations_; }
+  void AddDistanceComputations(uint64_t k) const {
+    distance_computations_ += k;
+  }
+
+ private:
+  const Dataset& dataset_;
+  double width_;
+  Dataset centers_;
+  std::vector<std::vector<PointIndex>> points_;  // Per cell.
+  std::vector<std::vector<int32_t>> lo_;         // Per-cell integer coords.
+  std::vector<int32_t> cell_of_point_;
+  std::unique_ptr<KdTree> center_index_;
+  mutable uint64_t distance_computations_ = 0;
+};
+
+}  // namespace
+
+Status RunRhoApproxDbscan(const Dataset& dataset,
+                          const RhoApproxParams& params, Clustering* out) {
+  if (params.epsilon <= 0.0) {
+    return Status::InvalidArgument("rho-approx: epsilon must be positive");
+  }
+  if (params.min_pts < 1) {
+    return Status::InvalidArgument("rho-approx: min_pts must be >= 1");
+  }
+  if (params.rho < 0.0) {
+    return Status::InvalidArgument("rho-approx: rho must be >= 0");
+  }
+  Stopwatch timer;
+  const PointIndex n = dataset.size();
+  const double eps = params.epsilon;
+  const double eps_sq = eps * eps;
+  const double relaxed = eps * (1.0 + params.rho);
+  const double relaxed_sq = relaxed * relaxed;
+
+  CellGrid grid(dataset, eps);
+  uint64_t range_queries = 0;
+
+  // Pass 1: core flags. A point in a cell holding >= MinPts points is core
+  // outright (the cell diameter is <= eps); otherwise count neighbors with
+  // wholesale adds for fully-inside cells and per-point checks at the
+  // ρ-relaxed radius on the shell.
+  std::vector<char> core(n, 0);
+  std::vector<PointIndex> candidates;
+  for (PointIndex i = 0; i < n; ++i) {
+    const int32_t own_cell = grid.cell_of(i);
+    if (static_cast<int>(grid.cell_points(own_cell).size()) >=
+        params.min_pts) {
+      core[i] = 1;
+      continue;
+    }
+    const auto q = dataset.point(i);
+    grid.CandidateCells(q, relaxed, &candidates);
+    ++range_queries;
+    int64_t count = 0;
+    for (const PointIndex cell : candidates) {
+      double min_sq = 0.0;
+      double max_sq = 0.0;
+      grid.BoxDistance2(q, cell, &min_sq, &max_sq);
+      if (min_sq > relaxed_sq) {
+        continue;
+      }
+      const std::vector<PointIndex>& members = grid.cell_points(cell);
+      if (max_sq <= eps_sq) {
+        count += static_cast<int64_t>(members.size());
+        continue;
+      }
+      grid.AddDistanceComputations(members.size());
+      for (const PointIndex j : members) {
+        if (dataset.SquaredDistance(i, j) <= relaxed_sq) {
+          ++count;
+        }
+      }
+      if (count >= params.min_pts) {
+        break;
+      }
+    }
+    core[i] = count >= params.min_pts ? 1 : 0;
+  }
+
+  // Per-cell core lists for the connectivity and border passes.
+  std::vector<std::vector<PointIndex>> cell_core(grid.num_cells());
+  for (PointIndex i = 0; i < n; ++i) {
+    if (core[i]) {
+      cell_core[grid.cell_of(i)].push_back(i);
+    }
+  }
+
+  // Pass 2: connect core cells. Two cells join when some core pair across
+  // them is within eps (accepting up to eps(1+rho): the ρ-approximation).
+  UnionFind cells(grid.num_cells());
+  uint64_t merges = 0;
+  for (int32_t u = 0; u < grid.num_cells(); ++u) {
+    if (cell_core[u].empty()) {
+      continue;
+    }
+    // Query around the first core point; the padded radius covers every
+    // core point of this cell (cell diameter <= eps).
+    const auto q = dataset.point(cell_core[u][0]);
+    grid.CandidateCells(q, relaxed + grid.width() *
+                                         std::sqrt(static_cast<double>(
+                                             dataset.dim())),
+                        &candidates);
+    ++range_queries;
+    for (const PointIndex v : candidates) {
+      if (v == u || cell_core[v].empty() || cells.Connected(u, v)) {
+        continue;
+      }
+      bool connected = false;
+      for (const PointIndex p : cell_core[u]) {
+        for (const PointIndex pv : cell_core[v]) {
+          grid.AddDistanceComputations(1);
+          if (dataset.SquaredDistance(p, pv) <= relaxed_sq) {
+            connected = true;
+            break;
+          }
+        }
+        if (connected) {
+          break;
+        }
+      }
+      if (connected) {
+        cells.Union(u, v);
+        ++merges;
+      }
+    }
+  }
+
+  // Pass 3: labels. Core points take their cell component's id; border
+  // points join the component of any core point within eps(1+rho).
+  std::vector<int32_t>& labels = out->labels;
+  labels.assign(n, Clustering::kNoise);
+  for (PointIndex i = 0; i < n; ++i) {
+    if (core[i]) {
+      labels[i] = cells.Find(grid.cell_of(i));
+    }
+  }
+  for (PointIndex i = 0; i < n; ++i) {
+    if (core[i]) {
+      continue;
+    }
+    const auto q = dataset.point(i);
+    grid.CandidateCells(q, relaxed, &candidates);
+    ++range_queries;
+    for (const PointIndex cell : candidates) {
+      bool assigned = false;
+      for (const PointIndex j : cell_core[cell]) {
+        grid.AddDistanceComputations(1);
+        if (dataset.SquaredDistance(i, j) <= relaxed_sq) {
+          labels[i] = cells.Find(static_cast<int32_t>(cell));
+          assigned = true;
+          break;
+        }
+      }
+      if (assigned) {
+        break;
+      }
+    }
+  }
+
+  out->num_clusters = CompactLabels(&labels);
+  out->stats = ClusteringStats{};
+  out->stats.num_range_queries = range_queries;
+  out->stats.num_distance_computations = grid.distance_computations();
+  out->stats.num_merges = merges;
+  out->stats.elapsed_seconds = timer.ElapsedSeconds();
+  return Status::Ok();
+}
+
+}  // namespace dbsvec

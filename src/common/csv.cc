@@ -1,0 +1,90 @@
+#include "common/csv.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace dbsvec {
+
+Status WriteCsv(const Dataset& dataset, const std::vector<int32_t>& labels,
+                const std::string& path) {
+  if (!labels.empty() &&
+      static_cast<PointIndex>(labels.size()) != dataset.size()) {
+    return Status::InvalidArgument("labels size does not match dataset size");
+  }
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IoError("cannot open for writing: " + path);
+  }
+  out.precision(17);
+  for (PointIndex i = 0; i < dataset.size(); ++i) {
+    for (int j = 0; j < dataset.dim(); ++j) {
+      if (j > 0) {
+        out << ',';
+      }
+      out << dataset.at(i, j);
+    }
+    if (!labels.empty()) {
+      out << ',' << labels[i];
+    }
+    out << '\n';
+  }
+  if (!out) {
+    return Status::IoError("write failed: " + path);
+  }
+  return Status::Ok();
+}
+
+Status ReadCsv(const std::string& path, bool last_column_is_label,
+               Dataset* dataset, std::vector<int32_t>* labels) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IoError("cannot open for reading: " + path);
+  }
+  std::string line;
+  std::vector<double> row;
+  int expected_width = -1;
+  std::vector<double> values;
+  std::vector<int32_t> parsed_labels;
+  while (std::getline(in, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    row.clear();
+    std::stringstream ss(line);
+    std::string field;
+    while (std::getline(ss, field, ',')) {
+      char* end = nullptr;
+      const double value = std::strtod(field.c_str(), &end);
+      if (end == field.c_str()) {
+        return Status::IoError("non-numeric field in " + path + ": " + field);
+      }
+      row.push_back(value);
+    }
+    if (expected_width < 0) {
+      expected_width = static_cast<int>(row.size());
+      if (last_column_is_label && expected_width < 2) {
+        return Status::IoError("rows too narrow for a label column: " + path);
+      }
+    } else if (static_cast<int>(row.size()) != expected_width) {
+      return Status::IoError("ragged rows in " + path);
+    }
+    const int coords = last_column_is_label ? expected_width - 1
+                                            : expected_width;
+    values.insert(values.end(), row.begin(), row.begin() + coords);
+    if (last_column_is_label) {
+      parsed_labels.push_back(static_cast<int32_t>(row.back()));
+    }
+  }
+  if (expected_width < 0) {
+    return Status::IoError("empty file: " + path);
+  }
+  const int dim = last_column_is_label ? expected_width - 1 : expected_width;
+  *dataset = Dataset(dim, std::move(values));
+  if (labels != nullptr) {
+    *labels = std::move(parsed_labels);
+  }
+  return Status::Ok();
+}
+
+}  // namespace dbsvec

@@ -1,0 +1,26 @@
+#ifndef DBSVEC_COMMON_CSV_H_
+#define DBSVEC_COMMON_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "common/dataset.h"
+#include "common/status.h"
+
+namespace dbsvec {
+
+/// Writes `dataset` to `path` as plain CSV, one point per row. If `labels`
+/// is non-empty it must have dataset.size() entries and is appended as the
+/// last column (cluster id, -1 for noise).
+Status WriteCsv(const Dataset& dataset, const std::vector<int32_t>& labels,
+                const std::string& path);
+
+/// Reads a headerless numeric CSV into a Dataset. When `last_column_is_label`
+/// is true the final column is split off into `*labels` (may be nullptr to
+/// discard). Rows must all have the same width.
+Status ReadCsv(const std::string& path, bool last_column_is_label,
+               Dataset* dataset, std::vector<int32_t>* labels);
+
+}  // namespace dbsvec
+
+#endif  // DBSVEC_COMMON_CSV_H_

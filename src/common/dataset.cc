@@ -1,0 +1,52 @@
+#include "common/dataset.h"
+
+#include <cassert>
+
+namespace dbsvec {
+
+Dataset::Dataset(int dim, std::vector<double> values)
+    : dim_(dim), data_(std::move(values)) {
+  assert(dim_ > 0);
+  assert(data_.size() % static_cast<size_t>(dim_) == 0);
+  num_points_ = data_.size() / static_cast<size_t>(dim_);
+}
+
+void Dataset::Append(std::span<const double> coords) {
+  assert(static_cast<int>(coords.size()) == dim_);
+  data_.insert(data_.end(), coords.begin(), coords.end());
+  ++num_points_;
+}
+
+double Dataset::SquaredDistance(PointIndex i, PointIndex j) const {
+  const double* a = data_.data() + static_cast<size_t>(i) * dim_;
+  const double* b = data_.data() + static_cast<size_t>(j) * dim_;
+  double sum = 0.0;
+  for (int k = 0; k < dim_; ++k) {
+    const double diff = a[k] - b[k];
+    sum += diff * diff;
+  }
+  return sum;
+}
+
+double Dataset::SquaredDistanceTo(PointIndex i,
+                                  std::span<const double> q) const {
+  const double* a = data_.data() + static_cast<size_t>(i) * dim_;
+  double sum = 0.0;
+  for (int k = 0; k < dim_; ++k) {
+    const double diff = a[k] - q[k];
+    sum += diff * diff;
+  }
+  return sum;
+}
+
+double SquaredDistance(std::span<const double> a, std::span<const double> b) {
+  assert(a.size() == b.size());
+  double sum = 0.0;
+  for (size_t k = 0; k < a.size(); ++k) {
+    const double diff = a[k] - b[k];
+    sum += diff * diff;
+  }
+  return sum;
+}
+
+}  // namespace dbsvec

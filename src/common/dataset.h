@@ -1,0 +1,101 @@
+#ifndef DBSVEC_COMMON_DATASET_H_
+#define DBSVEC_COMMON_DATASET_H_
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dbsvec {
+
+/// Index of a point within a Dataset.
+using PointIndex = int32_t;
+
+/// An immutable-size, row-major collection of `n` points in `d`-dimensional
+/// Euclidean space. The single point container shared by every index,
+/// clusterer and metric in the library.
+///
+/// Points are addressed by their `PointIndex` (0-based row number); cluster
+/// labels produced by the clusterers are parallel arrays indexed the same
+/// way.
+class Dataset {
+ public:
+  /// Creates an empty dataset of dimensionality `dim` (rows appended later
+  /// via Append).
+  explicit Dataset(int dim) : dim_(dim) {}
+
+  /// Adopts a flat row-major buffer of `values.size() / dim` points.
+  /// `values.size()` must be a multiple of `dim`.
+  Dataset(int dim, std::vector<double> values);
+
+  Dataset(const Dataset&) = default;
+  Dataset& operator=(const Dataset&) = default;
+  Dataset(Dataset&&) = default;
+  Dataset& operator=(Dataset&&) = default;
+
+  /// Number of points.
+  PointIndex size() const { return static_cast<PointIndex>(num_points_); }
+  /// Dimensionality d.
+  int dim() const { return dim_; }
+  bool empty() const { return num_points_ == 0; }
+
+  /// Read-only view of point `i`'s coordinates (length d).
+  std::span<const double> point(PointIndex i) const {
+    return {data_.data() + static_cast<size_t>(i) * dim_,
+            static_cast<size_t>(dim_)};
+  }
+
+  /// Coordinate `j` of point `i`.
+  double at(PointIndex i, int j) const {
+    return data_[static_cast<size_t>(i) * dim_ + j];
+  }
+
+  /// Mutable coordinate access (used by generators and normalizers).
+  double& at(PointIndex i, int j) {
+    return data_[static_cast<size_t>(i) * dim_ + j];
+  }
+
+  /// Appends one point; `coords` must have length d.
+  void Append(std::span<const double> coords);
+
+  /// Pre-allocates capacity for `n` points.
+  void Reserve(PointIndex n) {
+    data_.reserve(static_cast<size_t>(n) * dim_);
+  }
+
+  /// Raw row-major buffer (n*d doubles).
+  const std::vector<double>& data() const { return data_; }
+
+  /// Squared Euclidean distance between points `i` and `j` of this dataset.
+  double SquaredDistance(PointIndex i, PointIndex j) const;
+
+  /// Squared Euclidean distance between point `i` and an external query
+  /// point `q` (length d).
+  double SquaredDistanceTo(PointIndex i, std::span<const double> q) const;
+
+  /// Euclidean distance between points `i` and `j`.
+  double Distance(PointIndex i, PointIndex j) const {
+    return std::sqrt(SquaredDistance(i, j));
+  }
+
+ private:
+  int dim_;
+  size_t num_points_ = 0;
+  std::vector<double> data_;
+};
+
+/// Squared Euclidean distance between two coordinate vectors of equal
+/// length.
+double SquaredDistance(std::span<const double> a, std::span<const double> b);
+
+/// Euclidean distance between two coordinate vectors of equal length.
+inline double Distance(std::span<const double> a, std::span<const double> b) {
+  return std::sqrt(SquaredDistance(a, b));
+}
+
+}  // namespace dbsvec
+
+#endif  // DBSVEC_COMMON_DATASET_H_

@@ -1,0 +1,31 @@
+#include "common/normalize.h"
+
+#include <limits>
+#include <vector>
+
+namespace dbsvec {
+
+void NormalizeToRange(Dataset* dataset, double lo, double hi) {
+  if (dataset->empty()) {
+    return;
+  }
+  const int dim = dataset->dim();
+  std::vector<double> min_coord(dim, std::numeric_limits<double>::infinity());
+  std::vector<double> max_coord(dim, -std::numeric_limits<double>::infinity());
+  for (PointIndex i = 0; i < dataset->size(); ++i) {
+    for (int j = 0; j < dim; ++j) {
+      const double v = dataset->at(i, j);
+      if (v < min_coord[j]) min_coord[j] = v;
+      if (v > max_coord[j]) max_coord[j] = v;
+    }
+  }
+  for (PointIndex i = 0; i < dataset->size(); ++i) {
+    for (int j = 0; j < dim; ++j) {
+      const double span = max_coord[j] - min_coord[j];
+      double& v = dataset->at(i, j);
+      v = span > 0.0 ? lo + (hi - lo) * (v - min_coord[j]) / span : lo;
+    }
+  }
+}
+
+}  // namespace dbsvec

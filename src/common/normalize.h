@@ -1,0 +1,20 @@
+#ifndef DBSVEC_COMMON_NORMALIZE_H_
+#define DBSVEC_COMMON_NORMALIZE_H_
+
+#include "common/dataset.h"
+
+namespace dbsvec {
+
+/// Linearly rescales every dimension of `dataset` to [lo, hi], in place.
+/// The paper's efficiency experiments normalize coordinates to [0, 1e5] per
+/// dimension before clustering (Sec. V-C). Constant dimensions map to `lo`.
+void NormalizeToRange(Dataset* dataset, double lo, double hi);
+
+/// Paper default normalization: [0, 1e5] in each dimension.
+inline void NormalizeToPaperRange(Dataset* dataset) {
+  NormalizeToRange(dataset, 0.0, 1e5);
+}
+
+}  // namespace dbsvec
+
+#endif  // DBSVEC_COMMON_NORMALIZE_H_

@@ -1,0 +1,104 @@
+#ifndef DBSVEC_COMMON_RNG_H_
+#define DBSVEC_COMMON_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace dbsvec {
+
+/// Deterministic, seedable pseudo-random generator (xoshiro256** seeded via
+/// splitmix64). Used by all data generators, LSH, and k-means++ so that
+/// every experiment in the repository is reproducible from a fixed seed.
+class Rng {
+ public:
+  /// Seeds the stream; equal seeds give equal streams on every platform.
+  explicit Rng(uint64_t seed) {
+    // splitmix64 expansion of the seed into the 4-word xoshiro state.
+    uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  /// Next raw 64-bit value.
+  uint64_t NextUint64() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) {
+    return lo + (hi - lo) * NextDouble();
+  }
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  uint64_t NextBounded(uint64_t n) {
+    // Lemire's multiply-shift rejection method.
+    uint64_t x = NextUint64();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    uint64_t low = static_cast<uint64_t>(m);
+    if (low < n) {
+      const uint64_t threshold = (0 - n) % n;
+      while (low < threshold) {
+        x = NextUint64();
+        m = static_cast<__uint128_t>(x) * n;
+        low = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  /// Standard normal via Box-Muller.
+  double NextGaussian() {
+    if (has_cached_gaussian_) {
+      has_cached_gaussian_ = false;
+      return cached_gaussian_;
+    }
+    double u1 = NextDouble();
+    while (u1 <= 1e-300) {
+      u1 = NextDouble();
+    }
+    const double u2 = NextDouble();
+    const double radius = std::sqrt(-2.0 * std::log(u1));
+    const double angle = 2.0 * kPi * u2;
+    cached_gaussian_ = radius * std::sin(angle);
+    has_cached_gaussian_ = true;
+    return radius * std::cos(angle);
+  }
+
+  /// Normal with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev) {
+    return mean + stddev * NextGaussian();
+  }
+
+ private:
+  static constexpr double kPi = 3.14159265358979323846;
+
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace dbsvec
+
+#endif  // DBSVEC_COMMON_RNG_H_

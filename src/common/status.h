@@ -1,0 +1,79 @@
+#ifndef DBSVEC_COMMON_STATUS_H_
+#define DBSVEC_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace dbsvec {
+
+/// Outcome of a fallible operation. The library does not use exceptions;
+/// every operation that can fail returns a `Status` (or a value wrapped in
+/// `Result<T>`). Mirrors the Status idiom of RocksDB / absl::Status.
+class Status {
+ public:
+  /// Machine-readable failure category.
+  enum class Code {
+    kOk = 0,
+    kInvalidArgument,
+    kNotFound,
+    kIoError,
+    kFailedPrecondition,
+    kInternal,
+  };
+
+  /// Default-constructed Status is OK.
+  Status() : code_(Code::kOk) {}
+
+  /// Builds a successful status.
+  static Status Ok() { return Status(); }
+  /// Builds an error carrying `message`; `message` should name the offending
+  /// argument or resource.
+  static Status InvalidArgument(std::string message) {
+    return Status(Code::kInvalidArgument, std::move(message));
+  }
+  static Status NotFound(std::string message) {
+    return Status(Code::kNotFound, std::move(message));
+  }
+  static Status IoError(std::string message) {
+    return Status(Code::kIoError, std::move(message));
+  }
+  static Status FailedPrecondition(std::string message) {
+    return Status(Code::kFailedPrecondition, std::move(message));
+  }
+  static Status Internal(std::string message) {
+    return Status(Code::kInternal, std::move(message));
+  }
+
+  /// True iff the operation succeeded.
+  bool ok() const { return code_ == Code::kOk; }
+  Code code() const { return code_; }
+  /// Human-readable description; empty for OK statuses.
+  const std::string& message() const { return message_; }
+  /// "OK" or "<category>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  Status(Code code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Code code_;
+  std::string message_;
+};
+
+/// Evaluates `expr` (a Status expression) and returns it from the enclosing
+/// function if it is not OK.
+#define DBSVEC_RETURN_IF_ERROR(expr)                \
+  do {                                              \
+    ::dbsvec::Status status_macro_value_ = (expr);  \
+    if (!status_macro_value_.ok()) {                \
+      return status_macro_value_;                   \
+    }                                               \
+  } while (false)
+
+}  // namespace dbsvec
+
+#endif  // DBSVEC_COMMON_STATUS_H_

@@ -1,0 +1,33 @@
+#ifndef DBSVEC_COMMON_STOPWATCH_H_
+#define DBSVEC_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace dbsvec {
+
+/// Wall-clock timer used by the benchmark harnesses and the per-run
+/// statistics in `Clustering`.
+class Stopwatch {
+ public:
+  /// Starts timing at construction.
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the timer.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last Reset().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace dbsvec
+
+#endif  // DBSVEC_COMMON_STOPWATCH_H_

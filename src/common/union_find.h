@@ -1,0 +1,68 @@
+#ifndef DBSVEC_COMMON_UNION_FIND_H_
+#define DBSVEC_COMMON_UNION_FIND_H_
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+namespace dbsvec {
+
+/// Disjoint-set forest with path halving and union by size. DBSVEC and the
+/// grid-based baselines use it to merge sub-clusters / core cells (Lemma 3:
+/// two sub-clusters sharing a core point belong to one cluster).
+class UnionFind {
+ public:
+  /// Creates `n` singleton sets labelled 0..n-1.
+  explicit UnionFind(int32_t n) : parent_(n), size_(n, 1) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+
+  /// Creates an empty forest; grow it with MakeSet().
+  UnionFind() = default;
+
+  /// Adds one new singleton set and returns its id.
+  int32_t MakeSet() {
+    const int32_t id = static_cast<int32_t>(parent_.size());
+    parent_.push_back(id);
+    size_.push_back(1);
+    return id;
+  }
+
+  /// Representative of `x`'s set.
+  int32_t Find(int32_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];  // Path halving.
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  /// Merges the sets containing `a` and `b`; returns the new root.
+  int32_t Union(int32_t a, int32_t b) {
+    int32_t ra = Find(a);
+    int32_t rb = Find(b);
+    if (ra == rb) {
+      return ra;
+    }
+    if (size_[ra] < size_[rb]) {
+      std::swap(ra, rb);
+    }
+    parent_[rb] = ra;
+    size_[ra] += size_[rb];
+    return ra;
+  }
+
+  /// True iff `a` and `b` are in the same set.
+  bool Connected(int32_t a, int32_t b) { return Find(a) == Find(b); }
+
+  /// Number of elements ever created.
+  int32_t size() const { return static_cast<int32_t>(parent_.size()); }
+
+ private:
+  std::vector<int32_t> parent_;
+  std::vector<int32_t> size_;
+};
+
+}  // namespace dbsvec
+
+#endif  // DBSVEC_COMMON_UNION_FIND_H_

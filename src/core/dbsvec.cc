@@ -1,0 +1,340 @@
+#include "core/dbsvec.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "common/union_find.h"
+#include "core/parameter_selection.h"
+#include "svm/svdd.h"
+
+namespace dbsvec {
+namespace {
+
+constexpr int32_t kUnclassified = -2;
+constexpr int32_t kPotentialNoise = -3;
+
+/// Mutable state of one DBSVEC run. Labels hold sub-cluster ids (indices
+/// into the union-find forest) during the run and are resolved to dense
+/// cluster ids at the end.
+class DbsvecRun {
+ public:
+  DbsvecRun(const NeighborIndex& index, const DbsvecParams& params,
+            Clustering* out)
+      : index_(index),
+        dataset_(index.dataset()),
+        params_(params),
+        out_(out),
+        rng_(params.seed) {}
+
+  Status Execute();
+
+ private:
+  /// True iff `i` is a core point; issues and caches a counting range query
+  /// on first use.
+  bool IsCore(PointIndex i) {
+    if (neighbor_count_[i] < 0) {
+      neighbor_count_[i] =
+          index_.RangeCount(dataset_.point(i), params_.epsilon);
+    }
+    return neighbor_count_[i] >= params_.min_pts;
+  }
+
+  /// Folds the points of `neighborhood` (the ε-neighborhood of a core
+  /// point) into sub-cluster `cid`: unlabelled and potential-noise points
+  /// are claimed; points of other sub-clusters trigger the overlapping-
+  /// point merge test (Lemma 3).
+  void AbsorbNeighborhood(const std::vector<PointIndex>& neighborhood,
+                          int32_t cid, std::vector<PointIndex>* members);
+
+  /// Support vector expansion (Algorithm 3), iterated until the
+  /// sub-cluster stops growing.
+  Status ExpandCluster(int32_t cid, std::vector<PointIndex>* members);
+
+  /// Builds the SVDD target set for the current training round. When
+  /// `full` is set the incremental-learning filter is bypassed (used for
+  /// the stall-recovery pass).
+  void SelectTarget(const std::vector<PointIndex>& members, bool full,
+                    std::vector<PointIndex>* target);
+
+  /// Noise verification (last step of Algorithm 2).
+  void VerifyNoise();
+
+  const NeighborIndex& index_;
+  const Dataset& dataset_;
+  const DbsvecParams& params_;
+  Clustering* out_;
+  Rng rng_;
+
+  UnionFind sub_clusters_;
+  std::vector<int32_t> labels_;
+  std::vector<int32_t> neighbor_count_;  // -1 = unknown.
+  std::vector<int32_t> train_count_;     // t_i of Sec. IV-B1.
+  std::vector<PointIndex> potential_noise_;
+  std::vector<std::vector<PointIndex>> noise_neighborhoods_;
+  ClusteringStats stats_;
+};
+
+void DbsvecRun::AbsorbNeighborhood(
+    const std::vector<PointIndex>& neighborhood, int32_t cid,
+    std::vector<PointIndex>* members) {
+  for (const PointIndex j : neighborhood) {
+    const int32_t label = labels_[j];
+    if (label == kUnclassified || label == kPotentialNoise) {
+      labels_[j] = cid;
+      train_count_[j] = 0;
+      members->push_back(j);
+    } else if (sub_clusters_.Find(label) != sub_clusters_.Find(cid)) {
+      // Overlapping point from another sub-cluster: merge if it is core
+      // (Lemma 3). The core test may issue a counting range query.
+      if (IsCore(j)) {
+        sub_clusters_.Union(label, cid);
+        ++stats_.num_merges;
+      }
+    }
+  }
+}
+
+void DbsvecRun::SelectTarget(const std::vector<PointIndex>& members,
+                             bool full, std::vector<PointIndex>* target) {
+  target->clear();
+  if (params_.incremental_learning && !full) {
+    for (const PointIndex p : members) {
+      if (train_count_[p] <= params_.learning_threshold) {
+        target->push_back(p);
+      }
+    }
+  } else {
+    *target = members;
+  }
+  if (params_.max_svdd_target > 0 &&
+      static_cast<int>(target->size()) > params_.max_svdd_target) {
+    // Uniform subsample (partial Fisher-Yates): a bounded training set
+    // keeps each SVDD solve O(max_svdd_target).
+    for (int i = 0; i < params_.max_svdd_target; ++i) {
+      const size_t j =
+          i + static_cast<size_t>(rng_.NextBounded(target->size() - i));
+      std::swap((*target)[i], (*target)[j]);
+    }
+    target->resize(params_.max_svdd_target);
+  }
+}
+
+Status DbsvecRun::ExpandCluster(int32_t cid,
+                                std::vector<PointIndex>* members) {
+  std::vector<PointIndex> target;
+  std::vector<PointIndex> neighborhood;
+  // Stall recovery: when the incremental target produces no growth, one
+  // round over the *full* member set runs before the sub-cluster is
+  // declared stable. This keeps incremental learning an efficiency-only
+  // optimization (same fixpoint as training on all members, which is what
+  // Sec. IV-B1's "negligible impact on accuracy" requires) instead of a
+  // source of premature stops on thin, elongated clusters.
+  bool full_pass = false;
+  while (true) {
+    SelectTarget(*members, full_pass, &target);
+    if (target.empty()) {
+      if (params_.incremental_learning && params_.stall_recovery && !full_pass) {
+        full_pass = true;
+        continue;
+      }
+      break;  // Every member exhausted its learning budget: stable.
+    }
+
+    SvddParams svdd_params;
+    svdd_params.smo = params_.smo;
+    svdd_params.sigma = params_.auto_sigma
+                            ? 0.0  // Svdd picks r/√2 itself.
+                            : RandomSigma(dataset_, target, &rng_);
+    const int nn = static_cast<int>(target.size());
+    switch (params_.nu_mode) {
+      case NuMode::kAuto:
+        svdd_params.nu = SelectNuStar(dataset_.dim(), nn, params_.min_pts);
+        break;
+      case NuMode::kMinimum:
+        svdd_params.nu = SelectNuMin(nn);
+        break;
+      case NuMode::kFixed:
+        svdd_params.nu = std::clamp(params_.fixed_nu, 1.0 / nn, 1.0);
+        break;
+    }
+    if (params_.adaptive_weights) {
+      PenaltyWeightOptions weight_options;
+      weight_options.memory_factor = params_.memory_factor;
+      weight_options.anchor_count = params_.penalty_anchor_count;
+      const double sigma = svdd_params.sigma > 0.0
+                               ? svdd_params.sigma
+                               : Svdd::SelectSigma(dataset_, target);
+      svdd_params.sigma = sigma;
+      svdd_params.weights = ComputePenaltyWeights(
+          dataset_, target, train_count_, sigma, weight_options, &rng_);
+    }
+
+    SvddModel model;
+    DBSVEC_RETURN_IF_ERROR(Svdd::Train(dataset_, target, svdd_params,
+                                       &model));
+    ++stats_.num_svdd_trainings;
+    stats_.num_support_vectors += model.support_vectors().size();
+    stats_.smo_iterations += model.smo_iterations();
+    for (const PointIndex p : target) {
+      ++train_count_[p];
+    }
+
+    // Expand from the core support vectors (Definition 6 / Algorithm 3).
+    const size_t last_size = members->size();
+    for (const SvddModel::SupportVector& sv : model.support_vectors()) {
+      if (neighbor_count_[sv.index] >= 0 &&
+          neighbor_count_[sv.index] < params_.min_pts) {
+        continue;  // Known non-core support vector: cannot expand.
+      }
+      index_.RangeQuery(sv.index, params_.epsilon, &neighborhood);
+      neighbor_count_[sv.index] =
+          static_cast<int32_t>(neighborhood.size());
+      if (static_cast<int>(neighborhood.size()) < params_.min_pts) {
+        continue;  // Non-core support vector (SV_2 in Fig. 3b).
+      }
+      AbsorbNeighborhood(neighborhood, cid, members);
+    }
+    if (members->size() == last_size) {
+      if (params_.incremental_learning && params_.stall_recovery && !full_pass) {
+        full_pass = true;  // Stall: try once more with all members.
+        continue;
+      }
+      break;  // No new points: the sub-cluster is stable (Algorithm 3).
+    }
+    full_pass = false;  // Growth: back to the incremental target.
+  }
+  return Status::Ok();
+}
+
+void DbsvecRun::VerifyNoise() {
+  stats_.noise_list_size = potential_noise_.size();
+  for (size_t k = 0; k < potential_noise_.size(); ++k) {
+    const PointIndex p = potential_noise_[k];
+    if (labels_[p] != kPotentialNoise) {
+      continue;  // Absorbed into a cluster after being listed.
+    }
+    // Assign to the cluster of the nearest core point in the stored
+    // ε-neighborhood, or confirm as noise if none exists.
+    const std::vector<PointIndex>& neighborhood = noise_neighborhoods_[k];
+    PointIndex best = -1;
+    double best_dist = std::numeric_limits<double>::infinity();
+    for (const PointIndex q : neighborhood) {
+      if (q == p || labels_[q] == kPotentialNoise ||
+          labels_[q] == kUnclassified) {
+        continue;  // Core points always carry a sub-cluster label.
+      }
+      if (!IsCore(q)) {
+        continue;
+      }
+      const double d = dataset_.SquaredDistance(p, q);
+      if (d < best_dist) {
+        best_dist = d;
+        best = q;
+      }
+    }
+    labels_[p] = best >= 0 ? labels_[best] : Clustering::kNoise;
+  }
+}
+
+Status DbsvecRun::Execute() {
+  const PointIndex n = dataset_.size();
+  Stopwatch timer;
+  index_.ResetCounters();
+  labels_.assign(n, kUnclassified);
+  neighbor_count_.assign(n, -1);
+  train_count_.assign(n, 0);
+
+  std::vector<PointIndex> neighborhood;
+  std::vector<PointIndex> members;
+  for (PointIndex i = 0; i < n; ++i) {
+    if (labels_[i] != kUnclassified) {
+      continue;
+    }
+    index_.RangeQuery(i, params_.epsilon, &neighborhood);
+    neighbor_count_[i] = static_cast<int32_t>(neighborhood.size());
+    if (static_cast<int>(neighborhood.size()) < params_.min_pts) {
+      // Potential noise: keep the neighborhood for noise verification
+      // (it has fewer than MinPts entries, so the list stays small).
+      labels_[i] = kPotentialNoise;
+      potential_noise_.push_back(i);
+      noise_neighborhoods_.push_back(neighborhood);
+      continue;
+    }
+    // i is a core seed: initialize a new sub-cluster from its
+    // ε-neighborhood (Corollary 1) and expand it by support vectors.
+    const int32_t cid = sub_clusters_.MakeSet();
+    members.clear();
+    AbsorbNeighborhood(neighborhood, cid, &members);
+    DBSVEC_RETURN_IF_ERROR(ExpandCluster(cid, &members));
+  }
+
+  VerifyNoise();
+
+  // Resolve sub-cluster ids through the union-find and densify.
+  std::vector<int32_t>& labels = out_->labels;
+  labels.assign(n, Clustering::kNoise);
+  for (PointIndex i = 0; i < n; ++i) {
+    if (labels_[i] >= 0) {
+      labels[i] = sub_clusters_.Find(labels_[i]);
+    }
+  }
+  out_->num_clusters = CompactLabels(&labels);
+  if (params_.classify_points) {
+    // Opt-in role classification; unknown neighborhood counts cost one
+    // counting range query each (reflected in the stats).
+    out_->point_types.resize(n);
+    for (PointIndex i = 0; i < n; ++i) {
+      out_->point_types[i] = labels[i] == Clustering::kNoise
+                                 ? PointType::kNoise
+                             : IsCore(i) ? PointType::kCore
+                                         : PointType::kBorder;
+    }
+  } else {
+    out_->point_types.clear();
+  }
+  stats_.num_range_queries = index_.num_range_queries();
+  stats_.num_distance_computations = index_.num_distance_computations();
+  stats_.elapsed_seconds = timer.ElapsedSeconds();
+  out_->stats = stats_;
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status RunDbsvecWithIndex(const NeighborIndex& index,
+                          const DbsvecParams& params, Clustering* out) {
+  if (params.epsilon <= 0.0) {
+    return Status::InvalidArgument("DBSVEC: epsilon must be positive");
+  }
+  if (params.min_pts < 1) {
+    return Status::InvalidArgument("DBSVEC: min_pts must be >= 1");
+  }
+  if (params.learning_threshold < 0) {
+    return Status::InvalidArgument(
+        "DBSVEC: learning_threshold must be >= 0");
+  }
+  if (params.memory_factor <= 1.0) {
+    return Status::InvalidArgument("DBSVEC: memory_factor must be > 1");
+  }
+  if (params.nu_mode == NuMode::kFixed &&
+      (params.fixed_nu <= 0.0 || params.fixed_nu > 1.0)) {
+    return Status::InvalidArgument("DBSVEC: fixed_nu must be in (0, 1]");
+  }
+  DbsvecRun run(index, params, out);
+  return run.Execute();
+}
+
+Status RunDbsvec(const Dataset& dataset, const DbsvecParams& params,
+                 Clustering* out) {
+  Stopwatch timer;
+  const std::unique_ptr<NeighborIndex> index =
+      CreateIndex(params.index, dataset, params.epsilon);
+  DBSVEC_RETURN_IF_ERROR(RunDbsvecWithIndex(*index, params, out));
+  out->stats.elapsed_seconds = timer.ElapsedSeconds();
+  return Status::Ok();
+}
+
+}  // namespace dbsvec

@@ -1,0 +1,94 @@
+#ifndef DBSVEC_CORE_DBSVEC_H_
+#define DBSVEC_CORE_DBSVEC_H_
+
+#include <cstdint>
+
+#include "cluster/clustering.h"
+#include "common/dataset.h"
+#include "common/status.h"
+#include "core/penalty_weights.h"
+#include "index/neighbor_index.h"
+#include "svm/smo_solver.h"
+
+namespace dbsvec {
+
+/// How the per-training penalty factor ν is chosen.
+enum class NuMode {
+  kAuto,     ///< ν* = d·sqrt(log_MinPts ñ)/ñ (Eq. 20) — the paper default.
+  kMinimum,  ///< ν = 1/ñ — the DBSVEC_min variant of Table III.
+  kFixed,    ///< A caller-supplied constant (Fig. 8 sweeps this).
+};
+
+/// Parameters of DBSVEC (Algorithms 2 & 3 plus the Sec. IV refinements).
+struct DbsvecParams {
+  /// Neighborhood radius ε (> 0).
+  double epsilon = 1.0;
+  /// Density threshold MinPts (>= 1).
+  int min_pts = 5;
+
+  /// Penalty-factor policy; `fixed_nu` applies only under NuMode::kFixed.
+  NuMode nu_mode = NuMode::kAuto;
+  double fixed_nu = 0.1;
+
+  /// Adaptive penalty weights (Sec. IV-A). Disabling reproduces the
+  /// DBSVEC\WF ablation of Fig. 9a.
+  bool adaptive_weights = true;
+  /// Incremental learning (Sec. IV-B1). Disabling reproduces DBSVEC\IL.
+  bool incremental_learning = true;
+  /// Kernel-width selection σ = r/√2 (Sec. IV-B2). Disabling draws σ
+  /// uniformly from the pairwise-distance range — the DBSVEC\OK ablation.
+  bool auto_sigma = true;
+
+  /// Learning threshold T: points trained more than T times leave the SVDD
+  /// target set. Paper default T = 3 (Sec. IV-B1).
+  int learning_threshold = 3;
+  /// Stall recovery (this library's extension, DESIGN.md §6): when the
+  /// incremental target stops growing the sub-cluster, run one training
+  /// round over the full member set before declaring it stable. Restores
+  /// the non-incremental fixpoint on thin elongated clusters at the cost
+  /// of one extra SVDD per sub-cluster.
+  bool stall_recovery = true;
+  /// Memory factor λ > 1 of the penalty weights (Eq. 7).
+  double memory_factor = 2.0;
+  /// Anchor-sample size for the O(ñ) kernel-distance estimate.
+  int penalty_anchor_count = 256;
+
+  /// Range-query engine. The paper evaluates DBSVEC with plain linear
+  /// scans (kBruteForce); kKdTree is this library's faster default.
+  IndexType index = IndexType::kKdTree;
+
+  /// Safety valve: SVDD target sets larger than this are uniformly
+  /// subsampled before training (0 disables). The expansion recursion and
+  /// sub-cluster merging recover any boundary coverage the sample misses.
+  int max_svdd_target = 4096;
+
+  /// Fill Clustering::point_types (core/border/noise) in the result. Off
+  /// by default: DBSVEC's whole point is *not* querying every point's
+  /// neighborhood, and classifying the unqueried members costs one
+  /// counting range query each.
+  bool classify_points = false;
+
+  /// Seed for every stochastic choice (anchor sampling, subsampling, the
+  /// \OK random σ). Equal seeds give identical clusterings.
+  uint64_t seed = 7;
+
+  /// SMO solver options.
+  SmoOptions smo;
+};
+
+/// DBSVEC — Density-Based Support Vector Expansion Clustering (the paper's
+/// contribution). Produces density-based clusters approximating DBSCAN's
+/// with the guarantees of Sec. III-C: every DBSVEC cluster is contained in
+/// a DBSCAN cluster (it may split, never merges DBSCAN clusters) and the
+/// noise set is identical to DBSCAN's.
+Status RunDbsvec(const Dataset& dataset, const DbsvecParams& params,
+                 Clustering* out);
+
+/// DBSVEC over a caller-supplied range-query engine (the index's dataset is
+/// clustered). Exposed for engine-comparison tests and benches.
+Status RunDbsvecWithIndex(const NeighborIndex& index,
+                          const DbsvecParams& params, Clustering* out);
+
+}  // namespace dbsvec
+
+#endif  // DBSVEC_CORE_DBSVEC_H_

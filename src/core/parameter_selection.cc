@@ -1,0 +1,48 @@
+#include "core/parameter_selection.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dbsvec {
+
+double SelectNuStar(int dim, int target_size, int min_pts) {
+  const double n = static_cast<double>(std::max(1, target_size));
+  const double base = static_cast<double>(std::max(2, min_pts));
+  const double log_ratio = std::log(n) / std::log(base);
+  double nu = static_cast<double>(dim) * std::sqrt(std::max(0.0, log_ratio)) /
+              n;
+  nu = std::clamp(nu, 1.0 / n, 1.0);
+  return nu;
+}
+
+double SelectNuMin(int target_size) {
+  return 1.0 / static_cast<double>(std::max(1, target_size));
+}
+
+double RandomSigma(const Dataset& dataset,
+                   std::span<const PointIndex> target, Rng* rng) {
+  const size_t n = target.size();
+  if (n < 2) {
+    return 1.0;
+  }
+  constexpr int kSamplePairs = 64;
+  double min_dist = std::numeric_limits<double>::infinity();
+  double max_dist = 0.0;
+  for (int s = 0; s < kSamplePairs; ++s) {
+    const PointIndex a = target[rng->NextBounded(n)];
+    PointIndex b = target[rng->NextBounded(n)];
+    if (a == b) {
+      continue;
+    }
+    const double d = std::sqrt(dataset.SquaredDistance(a, b));
+    min_dist = std::min(min_dist, d);
+    max_dist = std::max(max_dist, d);
+  }
+  if (!std::isfinite(min_dist) || max_dist <= 0.0) {
+    return 1.0;
+  }
+  const double sigma = rng->Uniform(min_dist, max_dist);
+  return std::max(sigma, 1e-9);
+}
+
+}  // namespace dbsvec

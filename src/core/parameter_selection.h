@@ -1,0 +1,31 @@
+#ifndef DBSVEC_CORE_PARAMETER_SELECTION_H_
+#define DBSVEC_CORE_PARAMETER_SELECTION_H_
+
+#include <span>
+
+#include "common/dataset.h"
+#include "common/rng.h"
+
+namespace dbsvec {
+
+/// The paper's empirical penalty factor ν* (Eq. 20):
+///   ν* = d · sqrt(log_MinPts ñ) / ñ,
+/// clamped into [1/ñ, 1] so that at least one support vector exists and the
+/// dual stays feasible. `min_pts` must be >= 2 for the logarithm base;
+/// smaller values are treated as 2.
+double SelectNuStar(int dim, int target_size, int min_pts);
+
+/// The minimal penalty factor ν = 1/ñ used by the DBSVEC_min variant of
+/// Table III (fewest possible support vectors).
+double SelectNuMin(int target_size);
+
+/// Random kernel width in [min pairwise distance, max pairwise distance] —
+/// the DBSVEC\OK ablation of Fig. 9b (no kernel parameter selection
+/// strategy). Pairwise extremes are estimated from random pairs of the
+/// target set to stay O(ñ).
+double RandomSigma(const Dataset& dataset, std::span<const PointIndex> target,
+                   Rng* rng);
+
+}  // namespace dbsvec
+
+#endif  // DBSVEC_CORE_PARAMETER_SELECTION_H_

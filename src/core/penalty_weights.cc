@@ -1,0 +1,78 @@
+#include "core/penalty_weights.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "svm/kernel.h"
+
+namespace dbsvec {
+
+std::vector<double> ComputePenaltyWeights(
+    const Dataset& dataset, std::span<const PointIndex> target,
+    std::span<const int32_t> train_counts, double sigma,
+    const PenaltyWeightOptions& options, Rng* rng) {
+  const int n = static_cast<int>(target.size());
+  std::vector<double> weights(n, 1.0);
+  if (n == 0) {
+    return weights;
+  }
+  const GaussianKernel kernel(sigma);
+
+  // Anchor set for the kernel-mean estimate: the full target set when it is
+  // small, otherwise a uniform sample without concern for duplicates (the
+  // estimate is a mean).
+  std::vector<PointIndex> anchors;
+  if (n <= options.anchor_count) {
+    anchors.assign(target.begin(), target.end());
+  } else {
+    anchors.reserve(options.anchor_count);
+    for (int s = 0; s < options.anchor_count; ++s) {
+      anchors.push_back(target[rng->NextBounded(n)]);
+    }
+  }
+  const double m = static_cast<double>(anchors.size());
+
+  // Mean kernel value over anchor pairs: (1/m²)·ΣΣ K — the constant first
+  // term of Eq. 5.
+  double mean_kk = 0.0;
+  for (const PointIndex a : anchors) {
+    for (const PointIndex b : anchors) {
+      mean_kk += kernel.FromSquaredDistance(dataset.SquaredDistance(a, b));
+    }
+  }
+  mean_kk /= m * m;
+
+  // Kernel distance D(x_i) = mean_kk + K(x,x) − (2/m)·Σ_a K(x_a, x)
+  // (Eq. 5 with the anchor estimate; K(x,x) = 1 for the Gaussian kernel).
+  std::vector<double> kd(n);
+  double max_kd = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const auto x = dataset.point(target[i]);
+    double s = 0.0;
+    for (const PointIndex a : anchors) {
+      s += kernel.FromSquaredDistance(dataset.SquaredDistanceTo(a, x));
+    }
+    kd[i] = mean_kk + 1.0 - 2.0 * s / m;
+    max_kd = std::max(max_kd, kd[i]);
+  }
+  if (max_kd <= 0.0) {
+    max_kd = 1.0;  // Degenerate target set: all weights become λ^{t_i}.
+  }
+
+  double max_weight = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const int32_t t = train_counts[target[i]];
+    weights[i] = std::pow(options.memory_factor, static_cast<double>(t)) *
+                 (1.0 - kd[i] / max_kd);
+    max_weight = std::max(max_weight, weights[i]);
+  }
+  // Floor so no point is excluded from support-vector status outright.
+  const double floor_value =
+      options.weight_floor * (max_weight > 0.0 ? max_weight : 1.0);
+  for (double& w : weights) {
+    w = std::max(w, floor_value);
+  }
+  return weights;
+}
+
+}  // namespace dbsvec

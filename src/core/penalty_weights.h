@@ -1,0 +1,48 @@
+#ifndef DBSVEC_CORE_PENALTY_WEIGHTS_H_
+#define DBSVEC_CORE_PENALTY_WEIGHTS_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/dataset.h"
+#include "common/rng.h"
+
+namespace dbsvec {
+
+/// Options for the adaptive penalty-weight computation.
+struct PenaltyWeightOptions {
+  /// Memory factor λ > 1 of Eq. 7: old points (large training count t_i)
+  /// receive exponentially larger penalty weights, making them *less*
+  /// likely to be selected as support vectors.
+  double memory_factor = 2.0;
+  /// Anchor-sample size m for estimating the kernel distance (Eq. 5). The
+  /// exact kernel mean costs O(ñ²); sampling m anchors keeps the weight
+  /// pass O(ñ·m), matching the paper's O(ñ) cost claim (Sec. IV-D). Target
+  /// sets of at most m points are computed exactly.
+  int anchor_count = 256;
+  /// Weights are floored at this fraction of their maximum so that no point
+  /// is barred outright from support-vector status (ω_i = 0 would force
+  /// α_i = 0).
+  double weight_floor = 1e-3;
+};
+
+/// Computes the adaptive penalty weights ω_i of Eq. 7,
+///   ω_i = λ^{t_i} · (1 − D(x_i)/max_j D(x_j)),
+/// over `target` (indices into `dataset`), where D is the kernel distance
+/// to the target set's kernel-space mean (Eq. 5) under a Gaussian kernel of
+/// width `sigma`, and t_i = `train_counts[target[i]]` is the number of
+/// SVDD trainings the point has participated in.
+///
+/// Far-from-center and newly-added points receive small weights — small
+/// dual caps ω_iC — which spreads the α mass onto them and makes them more
+/// likely to become (boundary) support vectors, exactly the bias Sec. IV-A
+/// wants for cluster expansion.
+std::vector<double> ComputePenaltyWeights(
+    const Dataset& dataset, std::span<const PointIndex> target,
+    std::span<const int32_t> train_counts, double sigma,
+    const PenaltyWeightOptions& options, Rng* rng);
+
+}  // namespace dbsvec
+
+#endif  // DBSVEC_CORE_PENALTY_WEIGHTS_H_

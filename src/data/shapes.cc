@@ -1,0 +1,108 @@
+#include "data/shapes.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace dbsvec {
+namespace {
+
+constexpr double kTwoPi = 6.28318530717958647692;
+
+}  // namespace
+
+void AddBlob(Dataset* dataset, PointIndex count, double cx, double cy,
+             double stddev, uint64_t seed) {
+  Rng rng(seed);
+  for (PointIndex i = 0; i < count; ++i) {
+    const double p[2] = {cx + rng.Gaussian(0.0, stddev),
+                         cy + rng.Gaussian(0.0, stddev)};
+    dataset->Append(p);
+  }
+}
+
+void AddRing(Dataset* dataset, PointIndex count, double cx, double cy,
+             double radius, double thickness, uint64_t seed) {
+  Rng rng(seed);
+  for (PointIndex i = 0; i < count; ++i) {
+    const double angle = rng.Uniform(0.0, kTwoPi);
+    const double r = radius + rng.Gaussian(0.0, thickness);
+    const double p[2] = {cx + r * std::cos(angle), cy + r * std::sin(angle)};
+    dataset->Append(p);
+  }
+}
+
+void AddSineBand(Dataset* dataset, PointIndex count, double x0, double x1,
+                 double y_base, double amplitude, double period,
+                 double thickness, uint64_t seed) {
+  Rng rng(seed);
+  for (PointIndex i = 0; i < count; ++i) {
+    const double x = rng.Uniform(x0, x1);
+    const double y = y_base + amplitude * std::sin(kTwoPi * (x - x0) / period);
+    const double p[2] = {x, y + rng.Gaussian(0.0, thickness)};
+    dataset->Append(p);
+  }
+}
+
+void AddBar(Dataset* dataset, PointIndex count, double x0, double y0,
+            double x1, double y1, double thickness, uint64_t seed) {
+  Rng rng(seed);
+  for (PointIndex i = 0; i < count; ++i) {
+    const double t = rng.NextDouble();
+    const double x = x0 + t * (x1 - x0);
+    const double y = y0 + t * (y1 - y0);
+    // Jitter perpendicular to the bar direction.
+    const double len = std::max(1e-9, std::hypot(x1 - x0, y1 - y0));
+    const double nx = -(y1 - y0) / len;
+    const double ny = (x1 - x0) / len;
+    const double off = rng.Gaussian(0.0, thickness);
+    const double p[2] = {x + off * nx, y + off * ny};
+    dataset->Append(p);
+  }
+}
+
+void AddUniformNoise(Dataset* dataset, PointIndex count, double x0,
+                     double y0, double x1, double y1, uint64_t seed) {
+  Rng rng(seed);
+  for (PointIndex i = 0; i < count; ++i) {
+    const double p[2] = {rng.Uniform(x0, x1), rng.Uniform(y0, y1)};
+    dataset->Append(p);
+  }
+}
+
+Dataset GenerateShapeScene(ShapeScene scene, PointIndex n, uint64_t seed) {
+  Dataset dataset(2);
+  dataset.Reserve(n);
+  const PointIndex noise = n / 10;  // Chameleon scenes are ~10% noise.
+  const PointIndex signal = n - noise;
+
+  if (scene == ShapeScene::kT4) {
+    // Six shapes inspired by t4.8k: two sine bands, a ring, a diagonal bar
+    // and two dense blobs.
+    const PointIndex share = signal / 6;
+    const PointIndex rest = signal - 5 * share;
+    AddSineBand(&dataset, share, 40, 420, 240, 30, 260, 6, seed + 1);
+    AddSineBand(&dataset, share, 120, 560, 120, 30, 260, 6, seed + 2);
+    AddRing(&dataset, share, 560, 230, 50, 5, seed + 3);
+    AddBar(&dataset, share, 420, 40, 660, 110, 7, seed + 4);
+    AddBlob(&dataset, share, 90, 70, 16, seed + 5);
+    AddBlob(&dataset, rest, 230, 60, 16, seed + 6);
+  } else {
+    // Nine shapes inspired by t7.10k, several interlocking.
+    const PointIndex share = signal / 9;
+    const PointIndex rest = signal - 8 * share;
+    AddSineBand(&dataset, share, 30, 330, 250, 25, 200, 6, seed + 1);
+    AddSineBand(&dataset, share, 60, 360, 180, 25, 200, 6, seed + 2);
+    AddSineBand(&dataset, share, 330, 670, 90, 25, 220, 6, seed + 3);
+    AddRing(&dataset, share, 520, 230, 55, 5, seed + 4);
+    AddRing(&dataset, share, 520, 230, 25, 4, seed + 5);
+    AddBar(&dataset, share, 60, 60, 300, 60, 7, seed + 6);
+    AddBar(&dataset, share, 60, 100, 300, 100, 7, seed + 7);
+    AddBlob(&dataset, share, 650, 280, 14, seed + 8);
+    AddBlob(&dataset, rest, 380, 40, 14, seed + 9);
+  }
+  AddUniformNoise(&dataset, noise, 0, 0, 700, 320, seed + 100);
+  return dataset;
+}
+
+}  // namespace dbsvec

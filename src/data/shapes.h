@@ -1,0 +1,40 @@
+#ifndef DBSVEC_DATA_SHAPES_H_
+#define DBSVEC_DATA_SHAPES_H_
+
+#include <cstdint>
+
+#include "common/dataset.h"
+
+namespace dbsvec {
+
+/// Which chameleon-benchmark-like 2D scene to generate.
+enum class ShapeScene {
+  kT4,  ///< t4.8k-like: sine bands, a ring, a bar and blobs + noise.
+  kT7,  ///< t7.10k-like: more, partially interlocking shapes + noise.
+};
+
+/// Generates a 2D scene of arbitrary-shaped clusters in the style of the
+/// chameleon benchmark datasets t4.8k / t7.10k [13] that the paper uses
+/// for its clustering-quality demonstration (Fig. 1) and Table III. The
+/// scene lives in [0, 700] × [0, 320] (the chameleon datasets' coordinate
+/// scale); about 10% of the points are uniform background noise, the
+/// signature property of these benchmarks.
+Dataset GenerateShapeScene(ShapeScene scene, PointIndex n, uint64_t seed);
+
+/// Low-level 2D shape builders, exposed for custom scenes and tests. Each
+/// appends `count` jittered points to `dataset` (which must be 2-D).
+void AddBlob(Dataset* dataset, PointIndex count, double cx, double cy,
+             double stddev, uint64_t seed);
+void AddRing(Dataset* dataset, PointIndex count, double cx, double cy,
+             double radius, double thickness, uint64_t seed);
+void AddSineBand(Dataset* dataset, PointIndex count, double x0, double x1,
+                 double y_base, double amplitude, double period,
+                 double thickness, uint64_t seed);
+void AddBar(Dataset* dataset, PointIndex count, double x0, double y0,
+            double x1, double y1, double thickness, uint64_t seed);
+void AddUniformNoise(Dataset* dataset, PointIndex count, double x0,
+                     double y0, double x1, double y1, uint64_t seed);
+
+}  // namespace dbsvec
+
+#endif  // DBSVEC_DATA_SHAPES_H_

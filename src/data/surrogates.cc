@@ -1,0 +1,126 @@
+#include "data/surrogates.h"
+
+#include <algorithm>
+
+#include "data/shapes.h"
+#include "data/synthetic.h"
+
+namespace dbsvec {
+namespace {
+
+/// Gaussian-blob family surrogate (UCI-style feature datasets).
+Dataset Blobs(PointIndex n, int dim, int clusters, double stddev,
+              double noise_fraction, uint64_t seed) {
+  GaussianBlobsParams params;
+  params.n = n;
+  params.dim = dim;
+  params.num_clusters = clusters;
+  params.domain = 100.0;
+  params.stddev = stddev;
+  params.noise_fraction = noise_fraction;
+  params.seed = seed;
+  return GenerateGaussianBlobs(params);
+}
+
+/// Random-walk family surrogate (map data / sensor streams: elongated,
+/// irregular clusters).
+Dataset Walks(PointIndex n, int dim, int clusters, double noise_fraction,
+              uint64_t seed) {
+  RandomWalkParams params;
+  params.n = n;
+  params.dim = dim;
+  params.num_clusters = clusters;
+  params.domain = 1e5;
+  params.noise_fraction = noise_fraction;
+  params.seed = seed;
+  return GenerateRandomWalk(params);
+}
+
+PointIndex Clamp(PointIndex paper_n, PointIndex max_points) {
+  return max_points > 0 ? std::min(paper_n, max_points) : paper_n;
+}
+
+}  // namespace
+
+std::vector<std::string> AccuracySurrogateNames() {
+  return {"Seeds", "Map-Joensuu", "Map-Finland", "Breast", "House",
+          "Miss",  "Dim32",       "Dim64",       "D31",    "t4.8k",
+          "t7.10k"};
+}
+
+std::vector<std::string> EfficiencySurrogateNames() {
+  return {"PAMAP2", "Sensors", "Corel"};
+}
+
+Status MakeSurrogate(std::string_view name, SurrogateDataset* out,
+                     PointIndex max_points) {
+  out->name = std::string(name);
+  out->min_pts = 8;
+  bool calibrate = true;
+
+  if (name == "Seeds") {
+    // 210×7, 3 wheat varieties.
+    out->data = Blobs(Clamp(210, max_points), 7, 3, 1.2, 0.0, 101);
+    out->min_pts = 5;
+  } else if (name == "Map-Joensuu") {
+    // 6014×2 GPS points: clumped irregular street/town shapes.
+    out->data = Walks(Clamp(6014, max_points), 2, 8, 0.01, 102);
+  } else if (name == "Map-Finland") {
+    // 13467×2 GPS points.
+    out->data = Walks(Clamp(13467, max_points), 2, 15, 0.01, 103);
+  } else if (name == "Breast") {
+    // 669×9, two diagnostic groups.
+    out->data = Blobs(Clamp(669, max_points), 9, 2, 2.0, 0.01, 104);
+    out->min_pts = 5;
+  } else if (name == "House") {
+    // 34112×3, RGB colour tuples.
+    out->data = Walks(Clamp(34112, max_points), 3, 10, 0.005, 105);
+  } else if (name == "Miss") {
+    // 6480×16, video block features.
+    out->data = Blobs(Clamp(6480, max_points), 16, 8, 1.5, 0.005, 106);
+  } else if (name == "Dim32") {
+    // 1024×32, 16 well-separated Gaussian clusters (Fränti benchmark).
+    out->data = Blobs(Clamp(1024, max_points), 32, 16, 1.0, 0.0, 107);
+    out->min_pts = 5;
+  } else if (name == "Dim64") {
+    // 1024×64, 16 well-separated Gaussian clusters.
+    out->data = Blobs(Clamp(1024, max_points), 64, 16, 1.0, 0.0, 108);
+    out->min_pts = 5;
+  } else if (name == "D31") {
+    // 3100×2, 31 Gaussian clusters of 100 points [35].
+    out->data = Blobs(Clamp(3100, max_points), 2, 31, 0.9, 0.0, 109);
+    out->min_pts = 5;
+  } else if (name == "t4.8k") {
+    // 8000×2 chameleon scene; the paper uses MinPts=20, ε=8.5.
+    out->data = GenerateShapeScene(ShapeScene::kT4, Clamp(8000, max_points),
+                                   110);
+    out->min_pts = 20;
+  } else if (name == "t7.10k") {
+    out->data = GenerateShapeScene(ShapeScene::kT7,
+                                   Clamp(10'000, max_points), 111);
+    out->min_pts = 20;
+  } else if (name == "PAMAP2") {
+    // 1,050,199×17 physical-activity monitoring: a dozen activity modes
+    // traced by slowly drifting sensor readings.
+    out->data = Walks(Clamp(1'050'199, max_points), 17, 12, 0.002, 112);
+    out->min_pts = 100;
+  } else if (name == "Sensors") {
+    // 919,438×11 sensor readings.
+    out->data = Walks(Clamp(919'438, max_points), 11, 10, 0.002, 113);
+    out->min_pts = 100;
+  } else if (name == "Corel") {
+    // 68,040×32 Corel image features.
+    out->data = Blobs(Clamp(68'040, max_points), 32, 20, 1.2, 0.002, 114);
+    out->min_pts = 100;
+  } else {
+    return Status::NotFound("unknown surrogate dataset: " +
+                            std::string(name));
+  }
+
+  if (calibrate) {
+    out->epsilon = SuggestEpsilon(out->data, out->min_pts);
+  }
+  return Status::Ok();
+}
+
+}  // namespace dbsvec

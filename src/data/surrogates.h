@@ -1,0 +1,45 @@
+#ifndef DBSVEC_DATA_SURROGATES_H_
+#define DBSVEC_DATA_SURROGATES_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/dataset.h"
+#include "common/status.h"
+
+namespace dbsvec {
+
+/// A named stand-in for one of the paper's evaluation datasets, together
+/// with self-calibrated DBSCAN parameters that yield a non-degenerate
+/// clustering on it.
+struct SurrogateDataset {
+  std::string name;   ///< Paper's dataset name (e.g. "t4.8k").
+  Dataset data{2};    ///< The generated points.
+  double epsilon = 1.0;  ///< Suggested ε (kth-NN self-calibration).
+  int min_pts = 8;       ///< Suggested MinPts.
+};
+
+/// Builds the surrogate for the paper dataset `name`. Every dataset in the
+/// paper's evaluation is available:
+///   Table III / Fig. 9a:  Seeds, Map-Joensuu, Map-Finland, Breast, House,
+///                         Miss, Dim32, Dim64, D31, t4.8k, t7.10k
+///   Sec. V-C real data:   PAMAP2, Sensors, Corel
+/// The real originals are not redistributable offline; each surrogate
+/// matches the original's cardinality and dimensionality and mimics its
+/// cluster-structure family (see DESIGN.md §4). `max_points` truncates the
+/// cardinality for laptop-scale runs (0 keeps the paper's size).
+/// Generation is deterministic for a given name.
+Status MakeSurrogate(std::string_view name, SurrogateDataset* out,
+                     PointIndex max_points = 0);
+
+/// The 11 dataset names of the paper's accuracy study (Table III), in the
+/// paper's column order.
+std::vector<std::string> AccuracySurrogateNames();
+
+/// The 3 real-world dataset names of the paper's efficiency study.
+std::vector<std::string> EfficiencySurrogateNames();
+
+}  // namespace dbsvec
+
+#endif  // DBSVEC_DATA_SURROGATES_H_

@@ -1,0 +1,165 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "index/kd_tree.h"
+
+namespace dbsvec {
+namespace {
+
+/// Shuffles points (and the optional parallel label array) so that dataset
+/// order carries no information about cluster membership.
+void ShufflePoints(Dataset* dataset, std::vector<int32_t>* labels,
+                   Rng* rng) {
+  const PointIndex n = dataset->size();
+  const int dim = dataset->dim();
+  for (PointIndex i = n - 1; i > 0; --i) {
+    const PointIndex j = static_cast<PointIndex>(rng->NextBounded(i + 1));
+    for (int k = 0; k < dim; ++k) {
+      std::swap(dataset->at(i, k), dataset->at(j, k));
+    }
+    if (labels != nullptr) {
+      std::swap((*labels)[i], (*labels)[j]);
+    }
+  }
+}
+
+}  // namespace
+
+Dataset GenerateRandomWalk(const RandomWalkParams& params) {
+  Rng rng(params.seed);
+  Dataset dataset(params.dim);
+  dataset.Reserve(params.n);
+
+  const PointIndex noise_points = static_cast<PointIndex>(
+      params.noise_fraction * static_cast<double>(params.n));
+  const PointIndex cluster_points = params.n - noise_points;
+  const double step = params.step_scale * params.domain;
+  const double jitter = params.jitter_scale * params.domain;
+
+  std::vector<double> seed_pos(params.dim);
+  std::vector<double> pos(params.dim);
+  std::vector<double> point(params.dim);
+  for (int c = 0; c < params.num_clusters; ++c) {
+    // Keep seeds away from the domain boundary so walks stay inside.
+    for (int j = 0; j < params.dim; ++j) {
+      seed_pos[j] = rng.Uniform(0.15 * params.domain, 0.85 * params.domain);
+    }
+    pos = seed_pos;
+    const PointIndex share =
+        cluster_points / params.num_clusters +
+        (c < cluster_points % params.num_clusters ? 1 : 0);
+    for (PointIndex k = 0; k < share; ++k) {
+      if (rng.NextDouble() < params.restart_probability) {
+        pos = seed_pos;
+      }
+      for (int j = 0; j < params.dim; ++j) {
+        pos[j] += rng.Uniform(-step, step);
+        pos[j] = std::clamp(pos[j], 0.0, params.domain);
+        point[j] = std::clamp(pos[j] + rng.Gaussian(0.0, jitter), 0.0,
+                              params.domain);
+      }
+      dataset.Append(point);
+    }
+  }
+  for (PointIndex k = 0; k < noise_points; ++k) {
+    for (int j = 0; j < params.dim; ++j) {
+      point[j] = rng.Uniform(0.0, params.domain);
+    }
+    dataset.Append(point);
+  }
+  ShufflePoints(&dataset, nullptr, &rng);
+  return dataset;
+}
+
+Dataset GenerateGaussianBlobs(const GaussianBlobsParams& params,
+                              std::vector<int32_t>* ground_truth) {
+  Rng rng(params.seed);
+  Dataset dataset(params.dim);
+  dataset.Reserve(params.n);
+  std::vector<int32_t> labels;
+  labels.reserve(params.n);
+
+  // Rejection-sample well-separated centers (give up after a bounded number
+  // of tries per center so pathological configurations still terminate).
+  const double min_sep = params.min_center_separation * params.stddev;
+  const double min_sep_sq = min_sep * min_sep;
+  std::vector<std::vector<double>> centers;
+  for (int c = 0; c < params.num_clusters; ++c) {
+    std::vector<double> center(params.dim);
+    for (int attempt = 0; attempt < 200; ++attempt) {
+      for (int j = 0; j < params.dim; ++j) {
+        center[j] = rng.Uniform(0.1 * params.domain, 0.9 * params.domain);
+      }
+      bool ok = true;
+      for (const auto& other : centers) {
+        if (SquaredDistance(center, other) < min_sep_sq) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) {
+        break;
+      }
+    }
+    centers.push_back(center);
+  }
+
+  const PointIndex noise_points = static_cast<PointIndex>(
+      params.noise_fraction * static_cast<double>(params.n));
+  const PointIndex cluster_points = params.n - noise_points;
+  std::vector<double> point(params.dim);
+  for (int c = 0; c < params.num_clusters; ++c) {
+    const PointIndex share =
+        cluster_points / params.num_clusters +
+        (c < cluster_points % params.num_clusters ? 1 : 0);
+    for (PointIndex k = 0; k < share; ++k) {
+      for (int j = 0; j < params.dim; ++j) {
+        point[j] = centers[c][j] + rng.Gaussian(0.0, params.stddev);
+      }
+      dataset.Append(point);
+      labels.push_back(c);
+    }
+  }
+  for (PointIndex k = 0; k < noise_points; ++k) {
+    for (int j = 0; j < params.dim; ++j) {
+      point[j] = rng.Uniform(0.0, params.domain);
+    }
+    dataset.Append(point);
+    labels.push_back(-1);
+  }
+  ShufflePoints(&dataset, &labels, &rng);
+  if (ground_truth != nullptr) {
+    *ground_truth = std::move(labels);
+  }
+  return dataset;
+}
+
+double SuggestEpsilon(const Dataset& dataset, int min_pts, int sample_size,
+                      double inflation, uint64_t seed) {
+  const PointIndex n = dataset.size();
+  if (n < 2) {
+    return 1.0;
+  }
+  Rng rng(seed);
+  const int samples = std::min<int>(sample_size, n);
+  // k+1 neighbors because the query point matches itself at distance 0.
+  const int k = std::min<int>(std::max(1, min_pts) + 1, n);
+  const KdTree index(dataset);
+  std::vector<double> kth_distances;
+  kth_distances.reserve(samples);
+  std::vector<std::pair<double, PointIndex>> neighbors;
+  for (int s = 0; s < samples; ++s) {
+    const PointIndex q = static_cast<PointIndex>(rng.NextBounded(n));
+    index.KnnQuery(dataset.point(q), k, &neighbors);
+    kth_distances.push_back(neighbors.back().first);
+  }
+  std::nth_element(kth_distances.begin(),
+                   kth_distances.begin() + kth_distances.size() / 2,
+                   kth_distances.end());
+  return inflation * kth_distances[kth_distances.size() / 2];
+}
+
+}  // namespace dbsvec

@@ -1,0 +1,79 @@
+#ifndef DBSVEC_DATA_SYNTHETIC_H_
+#define DBSVEC_DATA_SYNTHETIC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/dataset.h"
+
+namespace dbsvec {
+
+/// Parameters of the random-walk cluster generator, modelled on the
+/// generator of Gan & Tao [5] that the paper uses for all efficiency
+/// experiments (Sec. V-C): clusters are traced by jittered random walks so
+/// they have arbitrary elongated shapes, plus a fraction of uniform noise.
+struct RandomWalkParams {
+  /// Total number of points (clusters + noise).
+  PointIndex n = 100'000;
+  /// Dimensionality d.
+  int dim = 8;
+  /// Number of cluster walks.
+  int num_clusters = 10;
+  /// Side length of the data domain [0, domain]^d. The paper normalizes to
+  /// [0, 1e5] per dimension.
+  double domain = 1e5;
+  /// Walk step is uniform in [-step_scale·domain, +step_scale·domain] per
+  /// dimension.
+  double step_scale = 0.003;
+  /// Probability of teleporting back to the cluster seed at each step
+  /// (keeps walks compact).
+  double restart_probability = 0.02;
+  /// Gaussian jitter around each walk position, as a fraction of domain.
+  double jitter_scale = 0.002;
+  /// Fraction of points drawn uniformly from the domain as noise.
+  double noise_fraction = 0.0005;
+  /// RNG seed; equal seeds give identical datasets.
+  uint64_t seed = 1;
+};
+
+/// Generates a random-walk clustered dataset. Point order is shuffled so
+/// clusterers cannot exploit generation order.
+Dataset GenerateRandomWalk(const RandomWalkParams& params);
+
+/// Parameters of the isotropic Gaussian-blob generator (used by the
+/// open-dataset surrogates and the quickstart example).
+struct GaussianBlobsParams {
+  PointIndex n = 10'000;
+  int dim = 2;
+  int num_clusters = 5;
+  /// Domain side length; cluster centers are drawn uniformly but kept at
+  /// least `min_center_separation` apart (in units of stddev).
+  double domain = 100.0;
+  /// Per-dimension standard deviation of each blob.
+  double stddev = 1.0;
+  /// Minimum pairwise center distance in multiples of stddev.
+  double min_center_separation = 10.0;
+  /// Fraction of uniform noise points.
+  double noise_fraction = 0.0;
+  uint64_t seed = 1;
+};
+
+/// Generates Gaussian blobs with well-separated centers. If
+/// `ground_truth` is non-null it receives the generating component of each
+/// point (noise points get Clustering-style label -1).
+Dataset GenerateGaussianBlobs(const GaussianBlobsParams& params,
+                              std::vector<int32_t>* ground_truth = nullptr);
+
+/// Distance to the `min_pts`-th nearest neighbor, medianed over a random
+/// sample of `sample_size` points and inflated by `inflation` — the
+/// standard heuristic for picking a DBSCAN ε that yields non-degenerate
+/// clusterings on an unknown dataset. Exposed as a library utility and
+/// used by the surrogate datasets to self-calibrate their suggested
+/// parameters.
+double SuggestEpsilon(const Dataset& dataset, int min_pts,
+                      int sample_size = 200, double inflation = 1.2,
+                      uint64_t seed = 99);
+
+}  // namespace dbsvec
+
+#endif  // DBSVEC_DATA_SYNTHETIC_H_

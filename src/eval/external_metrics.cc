@@ -1,0 +1,102 @@
+#include "eval/external_metrics.h"
+
+#include <cmath>
+#include <unordered_map>
+
+namespace dbsvec {
+namespace {
+
+struct Contingency {
+  std::unordered_map<int64_t, int64_t> cells;
+  std::unordered_map<int32_t, int64_t> row_sums;
+  std::unordered_map<int32_t, int64_t> col_sums;
+  int64_t n = 0;
+};
+
+Contingency BuildContingency(const std::vector<int32_t>& reference,
+                             const std::vector<int32_t>& labels) {
+  Contingency table;
+  table.n = static_cast<int64_t>(reference.size());
+  for (size_t i = 0; i < reference.size(); ++i) {
+    const int32_t r = reference[i];
+    const int32_t l = labels[i];
+    const int64_t key =
+        (static_cast<int64_t>(r) << 32) | static_cast<uint32_t>(l);
+    ++table.cells[key];
+    ++table.row_sums[r];
+    ++table.col_sums[l];
+  }
+  return table;
+}
+
+double Choose2(int64_t c) {
+  return 0.5 * static_cast<double>(c) * static_cast<double>(c - 1);
+}
+
+}  // namespace
+
+double AdjustedRandIndex(const std::vector<int32_t>& reference,
+                         const std::vector<int32_t>& labels) {
+  if (reference.empty()) {
+    return 1.0;
+  }
+  const Contingency table = BuildContingency(reference, labels);
+  double sum_cells = 0.0;
+  for (const auto& [key, count] : table.cells) {
+    sum_cells += Choose2(count);
+  }
+  double sum_rows = 0.0;
+  for (const auto& [label, count] : table.row_sums) {
+    sum_rows += Choose2(count);
+  }
+  double sum_cols = 0.0;
+  for (const auto& [label, count] : table.col_sums) {
+    sum_cols += Choose2(count);
+  }
+  const double total_pairs = Choose2(table.n);
+  if (total_pairs == 0.0) {
+    return 1.0;
+  }
+  const double expected = sum_rows * sum_cols / total_pairs;
+  const double max_index = 0.5 * (sum_rows + sum_cols);
+  const double denom = max_index - expected;
+  if (std::abs(denom) < 1e-12) {
+    return 1.0;  // Both partitions are trivial (all-singletons or all-one).
+  }
+  return (sum_cells - expected) / denom;
+}
+
+double NormalizedMutualInformation(const std::vector<int32_t>& reference,
+                                   const std::vector<int32_t>& labels) {
+  if (reference.empty()) {
+    return 1.0;
+  }
+  const Contingency table = BuildContingency(reference, labels);
+  const double n = static_cast<double>(table.n);
+  double mutual_information = 0.0;
+  for (const auto& [key, count] : table.cells) {
+    const int32_t r = static_cast<int32_t>(key >> 32);
+    const int32_t l = static_cast<int32_t>(key & 0xffffffff);
+    const double p_rl = static_cast<double>(count) / n;
+    const double p_r = static_cast<double>(table.row_sums.at(r)) / n;
+    const double p_l = static_cast<double>(table.col_sums.at(l)) / n;
+    mutual_information += p_rl * std::log(p_rl / (p_r * p_l));
+  }
+  double h_r = 0.0;
+  for (const auto& [label, count] : table.row_sums) {
+    const double p = static_cast<double>(count) / n;
+    h_r -= p * std::log(p);
+  }
+  double h_l = 0.0;
+  for (const auto& [label, count] : table.col_sums) {
+    const double p = static_cast<double>(count) / n;
+    h_l -= p * std::log(p);
+  }
+  const double denom = 0.5 * (h_r + h_l);
+  if (denom < 1e-12) {
+    return 1.0;  // Both partitions are single-cluster: identical.
+  }
+  return std::max(0.0, mutual_information) / denom;
+}
+
+}  // namespace dbsvec

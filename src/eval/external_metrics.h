@@ -1,0 +1,25 @@
+#ifndef DBSVEC_EVAL_EXTERNAL_METRICS_H_
+#define DBSVEC_EVAL_EXTERNAL_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace dbsvec {
+
+/// Supplementary external validation metrics (ground truth required),
+/// beyond the paper's pair recall. Noise (-1) is treated as its own
+/// class on both sides so that noise/cluster disagreements are penalized.
+
+/// Adjusted Rand Index [Hubert & Arabie 1985]: 1 for identical partitions,
+/// ~0 for independent ones (can be negative).
+double AdjustedRandIndex(const std::vector<int32_t>& reference,
+                         const std::vector<int32_t>& labels);
+
+/// Normalized Mutual Information with arithmetic normalization: in [0, 1],
+/// 1 for identical partitions.
+double NormalizedMutualInformation(const std::vector<int32_t>& reference,
+                                   const std::vector<int32_t>& labels);
+
+}  // namespace dbsvec
+
+#endif  // DBSVEC_EVAL_EXTERNAL_METRICS_H_

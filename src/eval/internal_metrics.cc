@@ -1,0 +1,177 @@
+#include "eval/internal_metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+
+#include "common/rng.h"
+
+namespace dbsvec {
+namespace {
+
+/// Dense relabeling of non-noise labels; returns cluster count.
+int32_t DenseClusters(const std::vector<int32_t>& labels,
+                      std::vector<int32_t>* dense) {
+  std::unordered_map<int32_t, int32_t> remap;
+  dense->assign(labels.size(), -1);
+  int32_t next = 0;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (labels[i] < 0) {
+      continue;
+    }
+    const auto [it, inserted] = remap.emplace(labels[i], next);
+    if (inserted) {
+      ++next;
+    }
+    (*dense)[i] = it->second;
+  }
+  return next;
+}
+
+}  // namespace
+
+double Compactness(const Dataset& dataset,
+                   const std::vector<int32_t>& labels, int sample_cap) {
+  std::vector<int32_t> dense;
+  const int32_t k = DenseClusters(labels, &dense);
+  if (k < 2) {
+    return 0.0;
+  }
+  const PointIndex n = dataset.size();
+
+  // Points that participate (non-noise), subsampled deterministically when
+  // the exact O(n²) silhouette would be too slow.
+  std::vector<PointIndex> members;
+  for (PointIndex i = 0; i < n; ++i) {
+    if (dense[i] >= 0) {
+      members.push_back(i);
+    }
+  }
+  std::vector<PointIndex> evaluated = members;
+  if (sample_cap > 0 && static_cast<int>(evaluated.size()) > sample_cap) {
+    Rng rng(12345);
+    for (int i = 0; i < sample_cap; ++i) {
+      const size_t j =
+          i + static_cast<size_t>(rng.NextBounded(evaluated.size() - i));
+      std::swap(evaluated[i], evaluated[j]);
+    }
+    evaluated.resize(sample_cap);
+  }
+
+  // Cluster sizes over the full membership (denominators of the means).
+  std::vector<int64_t> cluster_size(k, 0);
+  for (const PointIndex i : members) {
+    ++cluster_size[dense[i]];
+  }
+
+  double total = 0.0;
+  int64_t counted = 0;
+  std::vector<double> dist_sum(k);
+  for (const PointIndex i : evaluated) {
+    std::fill(dist_sum.begin(), dist_sum.end(), 0.0);
+    for (const PointIndex j : members) {
+      if (j == i) {
+        continue;
+      }
+      dist_sum[dense[j]] += std::sqrt(dataset.SquaredDistance(i, j));
+    }
+    const int32_t own = dense[i];
+    if (cluster_size[own] < 2) {
+      continue;  // Silhouette undefined for singleton clusters.
+    }
+    const double a = dist_sum[own] / static_cast<double>(cluster_size[own] - 1);
+    double b = std::numeric_limits<double>::infinity();
+    for (int32_t c = 0; c < k; ++c) {
+      if (c != own && cluster_size[c] > 0) {
+        b = std::min(b, dist_sum[c] / static_cast<double>(cluster_size[c]));
+      }
+    }
+    const double denom = std::max(a, b);
+    if (denom > 0.0) {
+      total += (b - a) / denom;
+      ++counted;
+    }
+  }
+  return counted > 0 ? total / static_cast<double>(counted) : 0.0;
+}
+
+double Separation(const Dataset& dataset,
+                  const std::vector<int32_t>& labels) {
+  std::vector<int32_t> dense;
+  const int32_t k = DenseClusters(labels, &dense);
+  if (k < 2) {
+    return 0.0;
+  }
+  const PointIndex n = dataset.size();
+  const int dim = dataset.dim();
+
+  // Centroids and mean intra-cluster scatter S_c.
+  std::vector<double> centroids(static_cast<size_t>(k) * dim, 0.0);
+  std::vector<int64_t> counts(k, 0);
+  for (PointIndex i = 0; i < n; ++i) {
+    const int32_t c = dense[i];
+    if (c < 0) {
+      continue;
+    }
+    ++counts[c];
+    const auto p = dataset.point(i);
+    for (int j = 0; j < dim; ++j) {
+      centroids[static_cast<size_t>(c) * dim + j] += p[j];
+    }
+  }
+  for (int32_t c = 0; c < k; ++c) {
+    if (counts[c] > 0) {
+      for (int j = 0; j < dim; ++j) {
+        centroids[static_cast<size_t>(c) * dim + j] /=
+            static_cast<double>(counts[c]);
+      }
+    }
+  }
+  std::vector<double> scatter(k, 0.0);
+  for (PointIndex i = 0; i < n; ++i) {
+    const int32_t c = dense[i];
+    if (c < 0) {
+      continue;
+    }
+    const std::span<const double> center{
+        centroids.data() + static_cast<size_t>(c) * dim,
+        static_cast<size_t>(dim)};
+    scatter[c] += std::sqrt(dataset.SquaredDistanceTo(i, center));
+  }
+  for (int32_t c = 0; c < k; ++c) {
+    if (counts[c] > 0) {
+      scatter[c] /= static_cast<double>(counts[c]);
+    }
+  }
+
+  // Davies-Bouldin: mean over clusters of max_{c'≠c} (S_c + S_c')/M_cc'.
+  double total = 0.0;
+  int32_t used = 0;
+  for (int32_t c = 0; c < k; ++c) {
+    if (counts[c] == 0) {
+      continue;
+    }
+    double worst = 0.0;
+    for (int32_t o = 0; o < k; ++o) {
+      if (o == c || counts[o] == 0) {
+        continue;
+      }
+      const std::span<const double> a{
+          centroids.data() + static_cast<size_t>(c) * dim,
+          static_cast<size_t>(dim)};
+      const std::span<const double> b{
+          centroids.data() + static_cast<size_t>(o) * dim,
+          static_cast<size_t>(dim)};
+      const double m = Distance(a, b);
+      if (m > 0.0) {
+        worst = std::max(worst, (scatter[c] + scatter[o]) / m);
+      }
+    }
+    total += worst;
+    ++used;
+  }
+  return used > 0 ? total / static_cast<double>(used) : 0.0;
+}
+
+}  // namespace dbsvec

@@ -1,0 +1,30 @@
+#ifndef DBSVEC_EVAL_INTERNAL_METRICS_H_
+#define DBSVEC_EVAL_INTERNAL_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/dataset.h"
+
+namespace dbsvec {
+
+/// Internal clustering-validation metrics (no ground truth needed) used by
+/// Table IV of the paper.
+
+/// Compactness via the mean silhouette coefficient [Rousseeuw 1987, the
+/// paper's ref. 37]: in [-1, 1], higher is better. Noise points (label -1)
+/// are excluded. The exact silhouette is O(n²); datasets larger than
+/// `sample_cap` are evaluated on a deterministic subsample of that size
+/// against the full dataset. Returns 0 when fewer than 2 clusters exist.
+double Compactness(const Dataset& dataset,
+                   const std::vector<int32_t>& labels,
+                   int sample_cap = 2000);
+
+/// Separation via the Davies-Bouldin index [Davies & Bouldin 1979, the
+/// paper's ref. 38]: >= 0, lower is better. Noise points are excluded.
+/// Returns 0 when fewer than 2 clusters exist.
+double Separation(const Dataset& dataset, const std::vector<int32_t>& labels);
+
+}  // namespace dbsvec
+
+#endif  // DBSVEC_EVAL_INTERNAL_METRICS_H_

@@ -1,0 +1,63 @@
+#include "eval/recall.h"
+
+#include <cstddef>
+#include <unordered_map>
+
+namespace dbsvec {
+namespace {
+
+/// Number of unordered pairs among `c` items.
+double PairCount(int64_t c) {
+  return 0.5 * static_cast<double>(c) * static_cast<double>(c - 1);
+}
+
+/// Σ over (reference cluster × label cluster) cells of C(cell, 2), and Σ
+/// over reference clusters of C(cluster, 2). Noise (-1) is excluded on
+/// both sides.
+void ContingencyPairSums(const std::vector<int32_t>& reference,
+                         const std::vector<int32_t>& labels,
+                         double* shared_pairs, double* reference_pairs) {
+  std::unordered_map<int64_t, int64_t> cell_counts;
+  std::unordered_map<int32_t, int64_t> reference_counts;
+  const size_t n = reference.size();
+  for (size_t i = 0; i < n; ++i) {
+    const int32_t r = reference[i];
+    if (r < 0) {
+      continue;
+    }
+    ++reference_counts[r];
+    const int32_t l = labels[i];
+    if (l < 0) {
+      continue;
+    }
+    const int64_t key = (static_cast<int64_t>(r) << 32) |
+                        static_cast<uint32_t>(l);
+    ++cell_counts[key];
+  }
+  *shared_pairs = 0.0;
+  for (const auto& [key, count] : cell_counts) {
+    *shared_pairs += PairCount(count);
+  }
+  *reference_pairs = 0.0;
+  for (const auto& [label, count] : reference_counts) {
+    *reference_pairs += PairCount(count);
+  }
+}
+
+}  // namespace
+
+double PairRecall(const std::vector<int32_t>& reference,
+                  const std::vector<int32_t>& labels) {
+  double shared = 0.0;
+  double total = 0.0;
+  ContingencyPairSums(reference, labels, &shared, &total);
+  return total > 0.0 ? shared / total : 1.0;
+}
+
+double PairPrecision(const std::vector<int32_t>& reference,
+                     const std::vector<int32_t>& labels) {
+  // Precision against the reference is recall with the arguments swapped.
+  return PairRecall(labels, reference);
+}
+
+}  // namespace dbsvec

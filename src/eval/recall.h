@@ -1,0 +1,30 @@
+#ifndef DBSVEC_EVAL_RECALL_H_
+#define DBSVEC_EVAL_RECALL_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace dbsvec {
+
+/// Pair-counting recall of an approximate clustering against a reference
+/// clustering — the accuracy metric the paper adopts from Lulli et al.
+/// [22] (Sec. III-C): the fraction of point pairs that share a cluster in
+/// the reference (DBSCAN) and also share a cluster in `labels`.
+///
+/// Noise (label -1) forms no pairs. A reference with no co-clustered pair
+/// at all scores 1.0 by convention. Computed from the contingency counts
+/// in O(n) rather than over all O(n²) pairs.
+double PairRecall(const std::vector<int32_t>& reference,
+                  const std::vector<int32_t>& labels);
+
+/// Pair-counting precision: fraction of pairs co-clustered by `labels`
+/// that are also co-clustered by the reference. Together with PairRecall
+/// this characterizes both split errors (recall < 1) and merge errors
+/// (precision < 1); DBSVEC's Theorem 1 predicts precision 1 whenever its
+/// core points match DBSCAN's.
+double PairPrecision(const std::vector<int32_t>& reference,
+                     const std::vector<int32_t>& labels);
+
+}  // namespace dbsvec
+
+#endif  // DBSVEC_EVAL_RECALL_H_

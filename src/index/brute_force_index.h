@@ -1,0 +1,29 @@
+#ifndef DBSVEC_INDEX_BRUTE_FORCE_INDEX_H_
+#define DBSVEC_INDEX_BRUTE_FORCE_INDEX_H_
+
+#include <span>
+#include <vector>
+
+#include "index/neighbor_index.h"
+
+namespace dbsvec {
+
+/// Linear-scan range queries: O(n·d) per query, zero build cost, no extra
+/// memory. This is the engine the DBSVEC paper assumes for its own
+/// algorithm ("the O(n) factor in our cost is for performing range
+/// queries", Sec. III-D) and the reference implementation every other index
+/// is tested against.
+class BruteForceIndex final : public NeighborIndex {
+ public:
+  explicit BruteForceIndex(const Dataset& dataset)
+      : NeighborIndex(dataset) {}
+
+  void RangeQuery(std::span<const double> query, double epsilon,
+                  std::vector<PointIndex>* out) const override;
+  PointIndex RangeCount(std::span<const double> query,
+                        double epsilon) const override;
+};
+
+}  // namespace dbsvec
+
+#endif  // DBSVEC_INDEX_BRUTE_FORCE_INDEX_H_

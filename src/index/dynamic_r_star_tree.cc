@@ -1,0 +1,503 @@
+#include "index/dynamic_r_star_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace dbsvec {
+
+DynamicRStarTree::DynamicRStarTree(const Dataset& dataset)
+    : NeighborIndex(dataset) {
+  for (PointIndex i = 0; i < dataset.size(); ++i) {
+    Insert(i);
+  }
+}
+
+int32_t DynamicRStarTree::NewNode(bool is_leaf) {
+  const int32_t id = static_cast<int32_t>(nodes_.size());
+  nodes_.emplace_back();
+  Node& node = nodes_.back();
+  node.is_leaf = is_leaf;
+  const int dim = dataset_.dim();
+  node.mbr_min.assign(dim, std::numeric_limits<double>::infinity());
+  node.mbr_max.assign(dim, -std::numeric_limits<double>::infinity());
+  return id;
+}
+
+void DynamicRStarTree::EntryBox(const Node& node, int entry,
+                                std::vector<double>* lo,
+                                std::vector<double>* hi) const {
+  const int dim = dataset_.dim();
+  lo->resize(dim);
+  hi->resize(dim);
+  if (node.is_leaf) {
+    const auto p = dataset_.point(node.children[entry]);
+    for (int j = 0; j < dim; ++j) {
+      (*lo)[j] = p[j];
+      (*hi)[j] = p[j];
+    }
+  } else {
+    const Node& child = nodes_[node.children[entry]];
+    *lo = child.mbr_min;
+    *hi = child.mbr_max;
+  }
+}
+
+void DynamicRStarTree::RecomputeMbr(int32_t node_id) {
+  Node& node = nodes_[node_id];
+  const int dim = dataset_.dim();
+  node.mbr_min.assign(dim, std::numeric_limits<double>::infinity());
+  node.mbr_max.assign(dim, -std::numeric_limits<double>::infinity());
+  std::vector<double> lo;
+  std::vector<double> hi;
+  for (int e = 0; e < static_cast<int>(node.children.size()); ++e) {
+    EntryBox(node, e, &lo, &hi);
+    for (int j = 0; j < dim; ++j) {
+      node.mbr_min[j] = std::min(node.mbr_min[j], lo[j]);
+      node.mbr_max[j] = std::max(node.mbr_max[j], hi[j]);
+    }
+  }
+}
+
+void DynamicRStarTree::ExtendMbr(int32_t node_id, std::span<const double> lo,
+                                 std::span<const double> hi) {
+  Node& node = nodes_[node_id];
+  for (int j = 0; j < dataset_.dim(); ++j) {
+    node.mbr_min[j] = std::min(node.mbr_min[j], lo[j]);
+    node.mbr_max[j] = std::max(node.mbr_max[j], hi[j]);
+  }
+}
+
+double DynamicRStarTree::Area(std::span<const double> lo,
+                              std::span<const double> hi) const {
+  double area = 1.0;
+  for (size_t j = 0; j < lo.size(); ++j) {
+    area *= std::max(0.0, hi[j] - lo[j]);
+  }
+  return area;
+}
+
+double DynamicRStarTree::Margin(std::span<const double> lo,
+                                std::span<const double> hi) const {
+  double margin = 0.0;
+  for (size_t j = 0; j < lo.size(); ++j) {
+    margin += std::max(0.0, hi[j] - lo[j]);
+  }
+  return margin;
+}
+
+double DynamicRStarTree::Overlap(std::span<const double> a_lo,
+                                 std::span<const double> a_hi,
+                                 std::span<const double> b_lo,
+                                 std::span<const double> b_hi) const {
+  double overlap = 1.0;
+  for (size_t j = 0; j < a_lo.size(); ++j) {
+    const double side =
+        std::min(a_hi[j], b_hi[j]) - std::max(a_lo[j], b_lo[j]);
+    if (side <= 0.0) {
+      return 0.0;
+    }
+    overlap *= side;
+  }
+  return overlap;
+}
+
+double DynamicRStarTree::Enlargement(std::span<const double> lo,
+                                     std::span<const double> hi,
+                                     std::span<const double> p) const {
+  double enlarged = 1.0;
+  double original = 1.0;
+  for (size_t j = 0; j < lo.size(); ++j) {
+    original *= std::max(0.0, hi[j] - lo[j]);
+    enlarged *=
+        std::max(0.0, std::max(hi[j], p[j]) - std::min(lo[j], p[j]));
+  }
+  return enlarged - original;
+}
+
+int DynamicRStarTree::NodeLevel(int32_t node_id) const {
+  int level = 0;
+  int32_t current = node_id;
+  while (!nodes_[current].is_leaf) {
+    current = nodes_[current].children.front();
+    ++level;
+  }
+  return level;
+}
+
+int32_t DynamicRStarTree::ChooseSubtree(std::span<const double> p,
+                                        int target_level) const {
+  int32_t current = root_;
+  int level = height_ - 1;
+  std::vector<double> lo;
+  std::vector<double> hi;
+  std::vector<double> other_lo;
+  std::vector<double> other_hi;
+  std::vector<double> grown_lo;
+  std::vector<double> grown_hi;
+  while (level > target_level) {
+    const Node& node = nodes_[current];
+    const bool children_are_leaves = nodes_[node.children.front()].is_leaf;
+    int best = 0;
+    double best_primary = std::numeric_limits<double>::infinity();
+    double best_secondary = std::numeric_limits<double>::infinity();
+    for (int e = 0; e < static_cast<int>(node.children.size()); ++e) {
+      EntryBox(node, e, &lo, &hi);
+      double primary;
+      if (children_are_leaves) {
+        // R*: minimize overlap enlargement among sibling leaves.
+        grown_lo = lo;
+        grown_hi = hi;
+        for (size_t j = 0; j < p.size(); ++j) {
+          grown_lo[j] = std::min(grown_lo[j], p[j]);
+          grown_hi[j] = std::max(grown_hi[j], p[j]);
+        }
+        double overlap_before = 0.0;
+        double overlap_after = 0.0;
+        for (int o = 0; o < static_cast<int>(node.children.size()); ++o) {
+          if (o == e) {
+            continue;
+          }
+          EntryBox(node, o, &other_lo, &other_hi);
+          overlap_before += Overlap(lo, hi, other_lo, other_hi);
+          overlap_after += Overlap(grown_lo, grown_hi, other_lo, other_hi);
+        }
+        primary = overlap_after - overlap_before;
+      } else {
+        primary = Enlargement(lo, hi, p);
+      }
+      const double secondary =
+          children_are_leaves ? Enlargement(lo, hi, p) : Area(lo, hi);
+      if (primary < best_primary ||
+          (primary == best_primary && secondary < best_secondary)) {
+        best_primary = primary;
+        best_secondary = secondary;
+        best = e;
+      }
+    }
+    current = node.children[best];
+    --level;
+  }
+  return current;
+}
+
+void DynamicRStarTree::PropagateMbrUp(int32_t node_id) {
+  int32_t current = nodes_[node_id].parent;
+  while (current >= 0) {
+    RecomputeMbr(current);
+    current = nodes_[current].parent;
+  }
+}
+
+void DynamicRStarTree::InsertEntry(int32_t entry, std::span<const double> lo,
+                                   std::span<const double> hi,
+                                   int target_level,
+                                   std::vector<bool>* reinserted_levels) {
+  const int32_t node_id = ChooseSubtree(lo, target_level);
+  Node& node = nodes_[node_id];
+  node.children.push_back(entry);
+  if (!node.is_leaf) {
+    nodes_[entry].parent = node_id;
+  }
+  ExtendMbr(node_id, lo, hi);
+  PropagateMbrUp(node_id);
+  if (static_cast<int>(node.children.size()) > kMaxEntries) {
+    HandleOverflow(node_id, reinserted_levels);
+  }
+}
+
+void DynamicRStarTree::HandleOverflow(int32_t node_id,
+                                      std::vector<bool>* reinserted_levels) {
+  const int level = NodeLevel(node_id);
+  if (static_cast<size_t>(level) >= reinserted_levels->size()) {
+    reinserted_levels->resize(level + 1, false);
+  }
+  if (node_id != root_ && !(*reinserted_levels)[level]) {
+    (*reinserted_levels)[level] = true;
+    ReinsertEntries(node_id, reinserted_levels);
+  } else {
+    SplitNode(node_id, reinserted_levels);
+  }
+}
+
+void DynamicRStarTree::ReinsertEntries(int32_t node_id,
+                                       std::vector<bool>* reinserted_levels) {
+  const int level = NodeLevel(node_id);
+  const int dim = dataset_.dim();
+  Node& node = nodes_[node_id];
+  // Sort entries by decreasing distance of their box center from the node
+  // MBR center; pull the farthest kReinsertCount out.
+  std::vector<double> center(dim);
+  for (int j = 0; j < dim; ++j) {
+    center[j] = 0.5 * (node.mbr_min[j] + node.mbr_max[j]);
+  }
+  std::vector<double> lo;
+  std::vector<double> hi;
+  std::vector<std::pair<double, int>> by_distance;
+  for (int e = 0; e < static_cast<int>(node.children.size()); ++e) {
+    EntryBox(node, e, &lo, &hi);
+    double dist = 0.0;
+    for (int j = 0; j < dim; ++j) {
+      const double diff = 0.5 * (lo[j] + hi[j]) - center[j];
+      dist += diff * diff;
+    }
+    by_distance.emplace_back(dist, e);
+  }
+  std::sort(by_distance.begin(), by_distance.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+
+  std::vector<int32_t> evicted;
+  std::vector<bool> keep(node.children.size(), true);
+  for (int k = 0; k < kReinsertCount &&
+                  k < static_cast<int>(by_distance.size());
+       ++k) {
+    keep[by_distance[k].second] = false;
+    evicted.push_back(node.children[by_distance[k].second]);
+  }
+  std::vector<int32_t> kept;
+  for (int e = 0; e < static_cast<int>(node.children.size()); ++e) {
+    if (keep[e]) {
+      kept.push_back(node.children[e]);
+    }
+  }
+  node.children = std::move(kept);
+  RecomputeMbr(node_id);
+  PropagateMbrUp(node_id);
+
+  for (const int32_t entry : evicted) {
+    if (nodes_[node_id].is_leaf) {
+      const auto p = dataset_.point(entry);
+      InsertEntry(entry, p, p, level, reinserted_levels);
+    } else {
+      InsertEntry(entry, nodes_[entry].mbr_min, nodes_[entry].mbr_max,
+                  level, reinserted_levels);
+    }
+  }
+}
+
+void DynamicRStarTree::SplitNode(int32_t node_id,
+                                 std::vector<bool>* reinserted_levels) {
+  const int dim = dataset_.dim();
+  // Work on copies: splitting mutates the node list.
+  const bool is_leaf = nodes_[node_id].is_leaf;
+  std::vector<int32_t> entries = nodes_[node_id].children;
+  const int total = static_cast<int>(entries.size());
+
+  std::vector<double> lo;
+  std::vector<double> hi;
+  // R* axis selection: minimize the margin sum over all candidate
+  // distributions along each axis; entries sorted by box lower bound.
+  auto sort_key = [&](int32_t entry, int axis) {
+    if (is_leaf) {
+      return dataset_.at(entry, axis);
+    }
+    return nodes_[entry].mbr_min[axis];
+  };
+
+  int best_axis = 0;
+  double best_margin_sum = std::numeric_limits<double>::infinity();
+  std::vector<int32_t> best_order;
+  for (int axis = 0; axis < dim; ++axis) {
+    std::vector<int32_t> order = entries;
+    std::sort(order.begin(), order.end(), [&](int32_t a, int32_t b) {
+      return sort_key(a, axis) < sort_key(b, axis);
+    });
+    // Prefix/suffix boxes for margin computation.
+    double margin_sum = 0.0;
+    for (int k = kMinEntries; k <= total - kMinEntries; ++k) {
+      std::vector<double> g1_lo(dim,
+                                std::numeric_limits<double>::infinity());
+      std::vector<double> g1_hi(dim,
+                                -std::numeric_limits<double>::infinity());
+      std::vector<double> g2_lo = g1_lo;
+      std::vector<double> g2_hi = g1_hi;
+      for (int e = 0; e < total; ++e) {
+        if (is_leaf) {
+          const auto p = dataset_.point(order[e]);
+          lo.assign(p.begin(), p.end());
+          hi = lo;
+        } else {
+          lo = nodes_[order[e]].mbr_min;
+          hi = nodes_[order[e]].mbr_max;
+        }
+        auto& g_lo = e < k ? g1_lo : g2_lo;
+        auto& g_hi = e < k ? g1_hi : g2_hi;
+        for (int j = 0; j < dim; ++j) {
+          g_lo[j] = std::min(g_lo[j], lo[j]);
+          g_hi[j] = std::max(g_hi[j], hi[j]);
+        }
+      }
+      margin_sum += Margin(g1_lo, g1_hi) + Margin(g2_lo, g2_hi);
+    }
+    if (margin_sum < best_margin_sum) {
+      best_margin_sum = margin_sum;
+      best_axis = axis;
+      best_order = std::move(order);
+    }
+  }
+  (void)best_axis;
+
+  // Split index: minimize overlap between the two groups (area ties).
+  int best_k = kMinEntries;
+  double best_overlap = std::numeric_limits<double>::infinity();
+  double best_area = std::numeric_limits<double>::infinity();
+  for (int k = kMinEntries; k <= total - kMinEntries; ++k) {
+    std::vector<double> g1_lo(dim, std::numeric_limits<double>::infinity());
+    std::vector<double> g1_hi(dim, -std::numeric_limits<double>::infinity());
+    std::vector<double> g2_lo = g1_lo;
+    std::vector<double> g2_hi = g1_hi;
+    for (int e = 0; e < total; ++e) {
+      if (is_leaf) {
+        const auto p = dataset_.point(best_order[e]);
+        lo.assign(p.begin(), p.end());
+        hi = lo;
+      } else {
+        lo = nodes_[best_order[e]].mbr_min;
+        hi = nodes_[best_order[e]].mbr_max;
+      }
+      auto& g_lo = e < k ? g1_lo : g2_lo;
+      auto& g_hi = e < k ? g1_hi : g2_hi;
+      for (int j = 0; j < dim; ++j) {
+        g_lo[j] = std::min(g_lo[j], lo[j]);
+        g_hi[j] = std::max(g_hi[j], hi[j]);
+      }
+    }
+    const double overlap = Overlap(g1_lo, g1_hi, g2_lo, g2_hi);
+    const double area = Area(g1_lo, g1_hi) + Area(g2_lo, g2_hi);
+    if (overlap < best_overlap ||
+        (overlap == best_overlap && area < best_area)) {
+      best_overlap = overlap;
+      best_area = area;
+      best_k = k;
+    }
+  }
+
+  // Materialize the two groups.
+  const int32_t sibling_id = NewNode(is_leaf);
+  Node& node = nodes_[node_id];
+  Node& sibling = nodes_[sibling_id];
+  node.children.assign(best_order.begin(), best_order.begin() + best_k);
+  sibling.children.assign(best_order.begin() + best_k, best_order.end());
+  if (!is_leaf) {
+    for (const int32_t child : sibling.children) {
+      nodes_[child].parent = sibling_id;
+    }
+  }
+  RecomputeMbr(node_id);
+  RecomputeMbr(sibling_id);
+
+  if (node_id == root_) {
+    const int32_t new_root = NewNode(/*is_leaf=*/false);
+    nodes_[new_root].children = {node_id, sibling_id};
+    nodes_[node_id].parent = new_root;
+    nodes_[sibling_id].parent = new_root;
+    RecomputeMbr(new_root);
+    root_ = new_root;
+    ++height_;
+    return;
+  }
+
+  const int32_t parent_id = nodes_[node_id].parent;
+  nodes_[sibling_id].parent = parent_id;
+  nodes_[parent_id].children.push_back(sibling_id);
+  RecomputeMbr(parent_id);
+  PropagateMbrUp(parent_id);
+  if (static_cast<int>(nodes_[parent_id].children.size()) > kMaxEntries) {
+    HandleOverflow(parent_id, reinserted_levels);
+  }
+}
+
+void DynamicRStarTree::Insert(PointIndex i) {
+  if (root_ < 0) {
+    root_ = NewNode(/*is_leaf=*/true);
+    height_ = 1;
+  }
+  std::vector<bool> reinserted_levels(height_, false);
+  const auto p = dataset_.point(i);
+  InsertEntry(i, p, p, /*target_level=*/0, &reinserted_levels);
+  ++count_;
+}
+
+void DynamicRStarTree::RangeQuery(std::span<const double> query,
+                                  double epsilon,
+                                  std::vector<PointIndex>* out) const {
+  out->clear();
+  ++num_range_queries_;
+  if (root_ < 0) {
+    return;
+  }
+  const double eps_sq = epsilon * epsilon;
+  std::vector<int32_t> stack = {root_};
+  while (!stack.empty()) {
+    const Node& node = nodes_[stack.back()];
+    stack.pop_back();
+    // Min squared distance from the query to the node MBR.
+    double min_sq = 0.0;
+    for (size_t j = 0; j < query.size(); ++j) {
+      double diff = 0.0;
+      if (query[j] < node.mbr_min[j]) {
+        diff = node.mbr_min[j] - query[j];
+      } else if (query[j] > node.mbr_max[j]) {
+        diff = query[j] - node.mbr_max[j];
+      }
+      min_sq += diff * diff;
+    }
+    if (min_sq > eps_sq) {
+      continue;
+    }
+    if (node.is_leaf) {
+      num_distance_computations_ += node.children.size();
+      for (const PointIndex i : node.children) {
+        if (dataset_.SquaredDistanceTo(i, query) <= eps_sq) {
+          out->push_back(i);
+        }
+      }
+    } else {
+      stack.insert(stack.end(), node.children.begin(), node.children.end());
+    }
+  }
+}
+
+bool DynamicRStarTree::CheckInvariants() const {
+  if (root_ < 0) {
+    return count_ == 0;
+  }
+  // Every node: children within capacity, MBR tight over entries, parents
+  // consistent; every point reachable exactly once.
+  PointIndex seen = 0;
+  std::vector<int32_t> stack = {root_};
+  std::vector<double> lo;
+  std::vector<double> hi;
+  while (!stack.empty()) {
+    const int32_t node_id = stack.back();
+    stack.pop_back();
+    const Node& node = nodes_[node_id];
+    if (node.children.empty() && node_id != root_) {
+      return false;
+    }
+    if (static_cast<int>(node.children.size()) > kMaxEntries) {
+      return false;
+    }
+    for (int e = 0; e < static_cast<int>(node.children.size()); ++e) {
+      EntryBox(node, e, &lo, &hi);
+      for (int j = 0; j < dataset_.dim(); ++j) {
+        if (lo[j] < node.mbr_min[j] - 1e-12 ||
+            hi[j] > node.mbr_max[j] + 1e-12) {
+          return false;
+        }
+      }
+      if (!node.is_leaf) {
+        if (nodes_[node.children[e]].parent != node_id) {
+          return false;
+        }
+        stack.push_back(node.children[e]);
+      } else {
+        ++seen;
+      }
+    }
+  }
+  return seen == count_;
+}
+
+}  // namespace dbsvec

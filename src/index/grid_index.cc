@@ -1,0 +1,59 @@
+#include "index/grid_index.h"
+
+#include <cmath>
+
+namespace dbsvec {
+
+GridIndex::GridIndex(const Dataset& dataset, double cell_width)
+    : NeighborIndex(dataset), cell_width_(cell_width) {
+  for (PointIndex i = 0; i < dataset.size(); ++i) {
+    cells_[CellOf(dataset.point(i))].push_back(i);
+  }
+}
+
+std::vector<int32_t> GridIndex::CellOf(std::span<const double> p) const {
+  std::vector<int32_t> key(p.size());
+  for (size_t j = 0; j < p.size(); ++j) {
+    key[j] = static_cast<int32_t>(std::floor(p[j] / cell_width_));
+  }
+  return key;
+}
+
+void GridIndex::RangeQuery(std::span<const double> query, double epsilon,
+                           std::vector<PointIndex>* out) const {
+  out->clear();
+  ++num_range_queries_;
+  const double eps_sq = epsilon * epsilon;
+  const int dim = dataset_.dim();
+  const std::vector<int32_t> center = CellOf(query);
+  // Enumerate the 3^d neighborhood with an odometer over per-dimension
+  // offsets in {-1, 0, +1}.
+  std::vector<int32_t> offset(dim, -1);
+  std::vector<int32_t> key(dim);
+  while (true) {
+    for (int j = 0; j < dim; ++j) {
+      key[j] = center[j] + offset[j];
+    }
+    const auto it = cells_.find(key);
+    if (it != cells_.end()) {
+      num_distance_computations_ += it->second.size();
+      for (const PointIndex i : it->second) {
+        if (dataset_.SquaredDistanceTo(i, query) <= eps_sq) {
+          out->push_back(i);
+        }
+      }
+    }
+    // Advance the odometer.
+    int j = 0;
+    while (j < dim && offset[j] == 1) {
+      offset[j] = -1;
+      ++j;
+    }
+    if (j == dim) {
+      break;
+    }
+    ++offset[j];
+  }
+}
+
+}  // namespace dbsvec

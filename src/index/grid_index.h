@@ -1,0 +1,53 @@
+#ifndef DBSVEC_INDEX_GRID_INDEX_H_
+#define DBSVEC_INDEX_GRID_INDEX_H_
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "index/neighbor_index.h"
+
+namespace dbsvec {
+
+/// Uniform hash grid with cell width equal to a fixed radius, answering
+/// range queries for radii up to that width by scanning the 3^d surrounding
+/// cells. Effective in low dimensions only — the per-query cell count grows
+/// exponentially with d, which is exactly the weakness of grid-based
+/// DBSCAN approximations that the paper's Fig. 6b measures.
+class GridIndex final : public NeighborIndex {
+ public:
+  /// `cell_width` must be >= the largest epsilon this index will be queried
+  /// with (queries with larger epsilon return incomplete results).
+  GridIndex(const Dataset& dataset, double cell_width);
+
+  void RangeQuery(std::span<const double> query, double epsilon,
+                  std::vector<PointIndex>* out) const override;
+
+  /// Cell width the index was built with.
+  double cell_width() const { return cell_width_; }
+  /// Number of non-empty cells.
+  size_t num_cells() const { return cells_.size(); }
+
+ private:
+  struct CellHash {
+    size_t operator()(const std::vector<int32_t>& key) const {
+      uint64_t h = 0x9e3779b97f4a7c15ULL;
+      for (const int32_t c : key) {
+        h ^= static_cast<uint64_t>(static_cast<uint32_t>(c)) +
+             0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+      }
+      return static_cast<size_t>(h);
+    }
+  };
+
+  std::vector<int32_t> CellOf(std::span<const double> p) const;
+
+  double cell_width_;
+  std::unordered_map<std::vector<int32_t>, std::vector<PointIndex>, CellHash>
+      cells_;
+};
+
+}  // namespace dbsvec
+
+#endif  // DBSVEC_INDEX_GRID_INDEX_H_

@@ -1,0 +1,214 @@
+#include "index/kd_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+#include <vector>
+#include <limits>
+
+namespace dbsvec {
+
+KdTree::KdTree(const Dataset& dataset) : NeighborIndex(dataset) {
+  const PointIndex n = dataset.size();
+  order_.resize(n);
+  for (PointIndex i = 0; i < n; ++i) {
+    order_[i] = i;
+  }
+  if (n > 0) {
+    nodes_.reserve(static_cast<size_t>(2 * n / kLeafSize + 2));
+    root_ = Build(0, n);
+  }
+}
+
+int32_t KdTree::Build(PointIndex begin, PointIndex end) {
+  const int32_t id = static_cast<int32_t>(nodes_.size());
+  nodes_.emplace_back();
+  {
+    Node& node = nodes_.back();
+    node.begin = begin;
+    node.end = end;
+  }
+  // Compute the bounding box of this range and pick the widest dimension.
+  const int dim = dataset_.dim();
+  std::vector<double> lo(dim, std::numeric_limits<double>::infinity());
+  std::vector<double> hi(dim, -std::numeric_limits<double>::infinity());
+  for (PointIndex k = begin; k < end; ++k) {
+    const auto p = dataset_.point(order_[k]);
+    for (int j = 0; j < dim; ++j) {
+      if (p[j] < lo[j]) lo[j] = p[j];
+      if (p[j] > hi[j]) hi[j] = p[j];
+    }
+  }
+  nodes_[id].bbox_min = lo;
+  nodes_[id].bbox_max = hi;
+
+  if (end - begin <= kLeafSize) {
+    return id;  // Leaf.
+  }
+
+  int split_dim = 0;
+  double widest = -1.0;
+  for (int j = 0; j < dim; ++j) {
+    const double spread = hi[j] - lo[j];
+    if (spread > widest) {
+      widest = spread;
+      split_dim = j;
+    }
+  }
+  if (widest <= 0.0) {
+    return id;  // All points identical: keep as leaf.
+  }
+
+  const PointIndex mid = begin + (end - begin) / 2;
+  std::nth_element(order_.begin() + begin, order_.begin() + mid,
+                   order_.begin() + end,
+                   [this, split_dim](PointIndex a, PointIndex b) {
+                     return dataset_.at(a, split_dim) <
+                            dataset_.at(b, split_dim);
+                   });
+  const double split_value = dataset_.at(order_[mid], split_dim);
+
+  const int32_t left = Build(begin, mid);
+  const int32_t right = Build(mid, end);
+  Node& node = nodes_[id];  // Re-fetch: Build() may reallocate nodes_.
+  node.split_dim = split_dim;
+  node.split_value = split_value;
+  node.left = left;
+  node.right = right;
+  return id;
+}
+
+double KdTree::BboxSquaredDistance(const Node& node,
+                                   std::span<const double> query) const {
+  double sum = 0.0;
+  for (size_t j = 0; j < query.size(); ++j) {
+    double diff = 0.0;
+    if (query[j] < node.bbox_min[j]) {
+      diff = node.bbox_min[j] - query[j];
+    } else if (query[j] > node.bbox_max[j]) {
+      diff = query[j] - node.bbox_max[j];
+    }
+    sum += diff * diff;
+  }
+  return sum;
+}
+
+template <typename Visitor>
+void KdTree::Visit(int32_t node_id, std::span<const double> query,
+                   double eps_sq, Visitor&& visit) const {
+  const Node& node = nodes_[node_id];
+  if (BboxSquaredDistance(node, query) > eps_sq) {
+    return;
+  }
+  if (node.split_dim < 0) {
+    num_distance_computations_ +=
+        static_cast<uint64_t>(node.end - node.begin);
+    for (PointIndex k = node.begin; k < node.end; ++k) {
+      const PointIndex i = order_[k];
+      if (dataset_.SquaredDistanceTo(i, query) <= eps_sq) {
+        visit(i);
+      }
+    }
+    return;
+  }
+  Visit(node.left, query, eps_sq, visit);
+  Visit(node.right, query, eps_sq, visit);
+}
+
+void KdTree::RangeQuery(std::span<const double> query, double epsilon,
+                        std::vector<PointIndex>* out) const {
+  out->clear();
+  ++num_range_queries_;
+  if (root_ < 0) {
+    return;
+  }
+  Visit(root_, query, epsilon * epsilon,
+        [out](PointIndex i) { out->push_back(i); });
+}
+
+namespace {
+
+/// Bounded max-heap of (squared distance, index) candidates.
+class KnnHeap {
+ public:
+  explicit KnnHeap(int k) : k_(static_cast<size_t>(k)) {}
+
+  double Worst() const {
+    return items_.size() < k_ ? std::numeric_limits<double>::infinity()
+                              : items_.front().first;
+  }
+
+  void Offer(double dist_sq, PointIndex index) {
+    if (items_.size() < k_) {
+      items_.emplace_back(dist_sq, index);
+      std::push_heap(items_.begin(), items_.end());
+    } else if (dist_sq < items_.front().first) {
+      std::pop_heap(items_.begin(), items_.end());
+      items_.back() = {dist_sq, index};
+      std::push_heap(items_.begin(), items_.end());
+    }
+  }
+
+  /// Destructive extraction, sorted by ascending distance (not squared).
+  void Drain(std::vector<std::pair<double, PointIndex>>* out) {
+    std::sort(items_.begin(), items_.end());
+    out->clear();
+    out->reserve(items_.size());
+    for (const auto& [dist_sq, index] : items_) {
+      out->emplace_back(std::sqrt(dist_sq), index);
+    }
+  }
+
+ private:
+  size_t k_;
+  std::vector<std::pair<double, PointIndex>> items_;
+};
+
+}  // namespace
+
+void KdTree::KnnQuery(std::span<const double> query, int k,
+                      std::vector<std::pair<double, PointIndex>>* out) const {
+  out->clear();
+  if (root_ < 0 || k <= 0) {
+    return;
+  }
+  KnnHeap heap(k);
+  // Explicit stack of (node, bbox distance), nearest-first descent.
+  std::vector<int32_t> stack = {root_};
+  while (!stack.empty()) {
+    const int32_t node_id = stack.back();
+    stack.pop_back();
+    const Node& node = nodes_[node_id];
+    if (BboxSquaredDistance(node, query) > heap.Worst()) {
+      continue;
+    }
+    if (node.split_dim < 0) {
+      num_distance_computations_ +=
+          static_cast<uint64_t>(node.end - node.begin);
+      for (PointIndex p = node.begin; p < node.end; ++p) {
+        const PointIndex i = order_[p];
+        heap.Offer(dataset_.SquaredDistanceTo(i, query), i);
+      }
+      continue;
+    }
+    // Push the farther child first so the nearer one is explored first.
+    const bool left_first = query[node.split_dim] <= node.split_value;
+    stack.push_back(left_first ? node.right : node.left);
+    stack.push_back(left_first ? node.left : node.right);
+  }
+  heap.Drain(out);
+}
+
+PointIndex KdTree::RangeCount(std::span<const double> query,
+                              double epsilon) const {
+  ++num_range_queries_;
+  if (root_ < 0) {
+    return 0;
+  }
+  PointIndex count = 0;
+  Visit(root_, query, epsilon * epsilon,
+        [&count](PointIndex) { ++count; });
+  return count;
+}
+
+}  // namespace dbsvec

@@ -1,0 +1,64 @@
+#ifndef DBSVEC_INDEX_KD_TREE_H_
+#define DBSVEC_INDEX_KD_TREE_H_
+
+#include <span>
+#include <vector>
+
+#include "index/neighbor_index.h"
+
+namespace dbsvec {
+
+/// Bulk-loaded kd-tree [Bentley 1975] over a static dataset.
+///
+/// Built once by recursive median splits on the widest-spread dimension
+/// (O(n log n)); leaves hold up to `kLeafSize` points. Range queries prune
+/// subtrees by bounding-box distance and scan leaves linearly. This is the
+/// engine behind the paper's kd-DBSCAN baseline and the default query
+/// engine for every clusterer in this library.
+class KdTree final : public NeighborIndex {
+ public:
+  explicit KdTree(const Dataset& dataset);
+
+  void RangeQuery(std::span<const double> query, double epsilon,
+                  std::vector<PointIndex>* out) const override;
+  PointIndex RangeCount(std::span<const double> query,
+                        double epsilon) const override;
+
+  /// k-nearest-neighbor query: fills `*out` with up to `k` (distance,
+  /// index) pairs sorted by ascending distance. A dataset point at the
+  /// query location is included (distance 0). Subtrees are pruned by
+  /// bounding-box distance against the current k-th best.
+  void KnnQuery(std::span<const double> query, int k,
+                std::vector<std::pair<double, PointIndex>>* out) const;
+
+ private:
+  static constexpr int kLeafSize = 24;
+
+  struct Node {
+    // Interval [begin, end) into order_.
+    PointIndex begin = 0;
+    PointIndex end = 0;
+    int split_dim = -1;       // -1 marks a leaf.
+    double split_value = 0.0;
+    int32_t left = -1;        // Child indices into nodes_.
+    int32_t right = -1;
+    std::vector<double> bbox_min;  // Axis-aligned bounding box of subtree.
+    std::vector<double> bbox_max;
+  };
+
+  int32_t Build(PointIndex begin, PointIndex end);
+  void ComputeBbox(Node* node) const;
+  double BboxSquaredDistance(const Node& node,
+                             std::span<const double> query) const;
+  template <typename Visitor>
+  void Visit(int32_t node_id, std::span<const double> query, double eps_sq,
+             Visitor&& visit) const;
+
+  std::vector<PointIndex> order_;  // Permutation of 0..n-1 grouped by leaf.
+  std::vector<Node> nodes_;
+  int32_t root_ = -1;
+};
+
+}  // namespace dbsvec
+
+#endif  // DBSVEC_INDEX_KD_TREE_H_

@@ -1,0 +1,48 @@
+#include "index/neighbor_index.h"
+
+#include "index/brute_force_index.h"
+#include "index/grid_index.h"
+#include "index/kd_tree.h"
+#include "index/r_star_tree.h"
+
+namespace dbsvec {
+
+PointIndex NeighborIndex::RangeCount(std::span<const double> query,
+                                     double epsilon) const {
+  std::vector<PointIndex> scratch;
+  RangeQuery(query, epsilon, &scratch);
+  return static_cast<PointIndex>(scratch.size());
+}
+
+std::unique_ptr<NeighborIndex> CreateIndex(IndexType type,
+                                           const Dataset& dataset,
+                                           double epsilon_hint) {
+  switch (type) {
+    case IndexType::kBruteForce:
+      return std::make_unique<BruteForceIndex>(dataset);
+    case IndexType::kKdTree:
+      return std::make_unique<KdTree>(dataset);
+    case IndexType::kRStarTree:
+      return std::make_unique<RStarTree>(dataset);
+    case IndexType::kGrid:
+      return std::make_unique<GridIndex>(
+          dataset, epsilon_hint > 0.0 ? epsilon_hint : 1.0);
+  }
+  return nullptr;
+}
+
+const char* IndexTypeName(IndexType type) {
+  switch (type) {
+    case IndexType::kBruteForce:
+      return "brute-force";
+    case IndexType::kKdTree:
+      return "kd-tree";
+    case IndexType::kRStarTree:
+      return "R*-tree";
+    case IndexType::kGrid:
+      return "grid";
+  }
+  return "unknown";
+}
+
+}  // namespace dbsvec

@@ -1,0 +1,92 @@
+#ifndef DBSVEC_INDEX_NEIGHBOR_INDEX_H_
+#define DBSVEC_INDEX_NEIGHBOR_INDEX_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/dataset.h"
+
+namespace dbsvec {
+
+/// Range-query engines available to the clusterers.
+enum class IndexType {
+  kBruteForce,  ///< Linear scan (the engine assumed by the DBSVEC paper).
+  kKdTree,      ///< Bulk-loaded kd-tree (kd-DBSCAN baseline).
+  kRStarTree,   ///< STR-packed R*-tree (R-DBSCAN baseline).
+  kGrid,        ///< Uniform hash grid keyed to a fixed radius.
+};
+
+/// Abstract ε-range-query engine over a fixed `Dataset`.
+///
+/// All of the clustering algorithms in this library (DBSCAN, DBSVEC,
+/// NQ-DBSCAN, ...) are written against this interface, so the index is a
+/// swappable component exactly as in the paper's experimental setup
+/// (R-DBSCAN vs kd-DBSCAN differ only in this object).
+///
+/// Implementations also keep instrumentation counters (number of range
+/// queries served, number of point-to-point distance evaluations) that the
+/// complexity benchmarks (Table II) read back.
+class NeighborIndex {
+ public:
+  virtual ~NeighborIndex() = default;
+
+  NeighborIndex(const NeighborIndex&) = delete;
+  NeighborIndex& operator=(const NeighborIndex&) = delete;
+
+  /// Appends to `*out` the indices of every dataset point within Euclidean
+  /// distance `epsilon` of `query` (inclusive). `*out` is cleared first.
+  /// Order of results is implementation-defined.
+  virtual void RangeQuery(std::span<const double> query, double epsilon,
+                          std::vector<PointIndex>* out) const = 0;
+
+  /// Range query centered on dataset point `i` (the point itself is
+  /// included in the result, matching Definition 1 of the paper).
+  void RangeQuery(PointIndex i, double epsilon,
+                  std::vector<PointIndex>* out) const {
+    RangeQuery(dataset_.point(i), epsilon, out);
+  }
+
+  /// Number of points within `epsilon` of `query`. The default
+  /// implementation materializes the result set; subclasses may override
+  /// with a counting-only traversal.
+  virtual PointIndex RangeCount(std::span<const double> query,
+                                double epsilon) const;
+
+  /// The indexed dataset.
+  const Dataset& dataset() const { return dataset_; }
+
+  /// Instrumentation: range queries served so far.
+  uint64_t num_range_queries() const { return num_range_queries_; }
+  /// Instrumentation: point-distance evaluations performed so far.
+  uint64_t num_distance_computations() const {
+    return num_distance_computations_;
+  }
+  /// Resets both instrumentation counters.
+  void ResetCounters() const {
+    num_range_queries_ = 0;
+    num_distance_computations_ = 0;
+  }
+
+ protected:
+  explicit NeighborIndex(const Dataset& dataset) : dataset_(dataset) {}
+
+  const Dataset& dataset_;
+  mutable uint64_t num_range_queries_ = 0;
+  mutable uint64_t num_distance_computations_ = 0;
+};
+
+/// Builds an index of the requested type over `dataset`. `epsilon_hint` is
+/// required by the grid index (its cell width) and ignored by the others.
+/// The dataset must outlive the returned index.
+std::unique_ptr<NeighborIndex> CreateIndex(IndexType type,
+                                           const Dataset& dataset,
+                                           double epsilon_hint = 0.0);
+
+/// Human-readable index name ("kd-tree", "R*-tree", ...).
+const char* IndexTypeName(IndexType type);
+
+}  // namespace dbsvec
+
+#endif  // DBSVEC_INDEX_NEIGHBOR_INDEX_H_

@@ -1,0 +1,160 @@
+#include "index/r_star_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace dbsvec {
+
+RStarTree::RStarTree(const Dataset& dataset) : NeighborIndex(dataset) {
+  const PointIndex n = dataset.size();
+  order_.resize(n);
+  for (PointIndex i = 0; i < n; ++i) {
+    order_[i] = i;
+  }
+  if (n == 0) {
+    return;
+  }
+  std::vector<int32_t> leaves;
+  TileAndPack(0, n, 0, &leaves);
+  // Pack upper levels until a single root remains.
+  std::vector<int32_t> level = std::move(leaves);
+  while (level.size() > 1) {
+    std::vector<int32_t> next;
+    for (size_t i = 0; i < level.size(); i += kFanout) {
+      const size_t end = std::min(level.size(), i + kFanout);
+      std::vector<int32_t> group(level.begin() + i, level.begin() + end);
+      next.push_back(PackLevel(group));
+    }
+    level = std::move(next);
+  }
+  root_ = level.front();
+}
+
+void RStarTree::TileAndPack(PointIndex begin, PointIndex end, int dim,
+                            std::vector<int32_t>* leaves) {
+  const PointIndex count = end - begin;
+  if (count <= kFanout || dim >= dataset_.dim()) {
+    // Terminal slab: emit leaves of up to kFanout consecutive points.
+    for (PointIndex k = begin; k < end; k += kFanout) {
+      leaves->push_back(MakeLeaf(k, std::min(end, k + kFanout)));
+    }
+    return;
+  }
+  // STR: number of slabs along this dimension is ceil(P^(1/r)) where P is
+  // the number of leaf pages in the slab and r the remaining dimensions.
+  const int remaining = dataset_.dim() - dim;
+  const double pages = std::ceil(static_cast<double>(count) / kFanout);
+  const int slabs = std::max(
+      1, static_cast<int>(std::ceil(std::pow(pages, 1.0 / remaining))));
+  const PointIndex slab_size = (count + slabs - 1) / slabs;
+
+  std::sort(order_.begin() + begin, order_.begin() + end,
+            [this, dim](PointIndex a, PointIndex b) {
+              return dataset_.at(a, dim) < dataset_.at(b, dim);
+            });
+  for (PointIndex k = begin; k < end; k += slab_size) {
+    TileAndPack(k, std::min(end, k + slab_size), dim + 1, leaves);
+  }
+}
+
+int32_t RStarTree::MakeLeaf(PointIndex begin, PointIndex end) {
+  const int32_t id = static_cast<int32_t>(nodes_.size());
+  nodes_.emplace_back();
+  Node& node = nodes_.back();
+  node.is_leaf = true;
+  node.begin = begin;
+  node.end = end;
+  const int dim = dataset_.dim();
+  node.mbr_min.assign(dim, std::numeric_limits<double>::infinity());
+  node.mbr_max.assign(dim, -std::numeric_limits<double>::infinity());
+  for (PointIndex k = begin; k < end; ++k) {
+    const auto p = dataset_.point(order_[k]);
+    for (int j = 0; j < dim; ++j) {
+      if (p[j] < node.mbr_min[j]) node.mbr_min[j] = p[j];
+      if (p[j] > node.mbr_max[j]) node.mbr_max[j] = p[j];
+    }
+  }
+  return id;
+}
+
+int32_t RStarTree::PackLevel(const std::vector<int32_t>& level) {
+  const int32_t id = static_cast<int32_t>(nodes_.size());
+  nodes_.emplace_back();
+  Node& node = nodes_.back();
+  node.is_leaf = false;
+  node.children = level;
+  const int dim = dataset_.dim();
+  node.mbr_min.assign(dim, std::numeric_limits<double>::infinity());
+  node.mbr_max.assign(dim, -std::numeric_limits<double>::infinity());
+  for (const int32_t child : level) {
+    for (int j = 0; j < dim; ++j) {
+      node.mbr_min[j] = std::min(node.mbr_min[j], nodes_[child].mbr_min[j]);
+      node.mbr_max[j] = std::max(node.mbr_max[j], nodes_[child].mbr_max[j]);
+    }
+  }
+  return id;
+}
+
+double RStarTree::MbrSquaredDistance(const Node& node,
+                                     std::span<const double> query) const {
+  double sum = 0.0;
+  for (size_t j = 0; j < query.size(); ++j) {
+    double diff = 0.0;
+    if (query[j] < node.mbr_min[j]) {
+      diff = node.mbr_min[j] - query[j];
+    } else if (query[j] > node.mbr_max[j]) {
+      diff = query[j] - node.mbr_max[j];
+    }
+    sum += diff * diff;
+  }
+  return sum;
+}
+
+template <typename Visitor>
+void RStarTree::Visit(int32_t node_id, std::span<const double> query,
+                      double eps_sq, Visitor&& visit) const {
+  const Node& node = nodes_[node_id];
+  if (MbrSquaredDistance(node, query) > eps_sq) {
+    return;
+  }
+  if (node.is_leaf) {
+    num_distance_computations_ +=
+        static_cast<uint64_t>(node.end - node.begin);
+    for (PointIndex k = node.begin; k < node.end; ++k) {
+      const PointIndex i = order_[k];
+      if (dataset_.SquaredDistanceTo(i, query) <= eps_sq) {
+        visit(i);
+      }
+    }
+    return;
+  }
+  for (const int32_t child : node.children) {
+    Visit(child, query, eps_sq, visit);
+  }
+}
+
+void RStarTree::RangeQuery(std::span<const double> query, double epsilon,
+                           std::vector<PointIndex>* out) const {
+  out->clear();
+  ++num_range_queries_;
+  if (root_ < 0) {
+    return;
+  }
+  Visit(root_, query, epsilon * epsilon,
+        [out](PointIndex i) { out->push_back(i); });
+}
+
+PointIndex RStarTree::RangeCount(std::span<const double> query,
+                                 double epsilon) const {
+  ++num_range_queries_;
+  if (root_ < 0) {
+    return 0;
+  }
+  PointIndex count = 0;
+  Visit(root_, query, epsilon * epsilon,
+        [&count](PointIndex) { ++count; });
+  return count;
+}
+
+}  // namespace dbsvec

@@ -1,0 +1,6 @@
+#include "svm/kernel.h"
+
+// GaussianKernel is header-only; this translation unit exists so the build
+// fails loudly if the header stops being self-contained.
+
+namespace dbsvec {}  // namespace dbsvec

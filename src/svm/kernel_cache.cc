@@ -1,0 +1,59 @@
+#include "svm/kernel_cache.h"
+
+#include <algorithm>
+
+namespace dbsvec {
+
+KernelCache::KernelCache(const Dataset& dataset,
+                         std::span<const PointIndex> target, double sigma,
+                         size_t max_bytes)
+    : dataset_(dataset),
+      target_(target.begin(), target.end()),
+      kernel_(sigma) {
+  const size_t row_bytes = std::max<size_t>(1, target_.size()) * sizeof(float);
+  max_rows_ = std::max<size_t>(2, max_bytes / row_bytes);
+}
+
+void KernelCache::ComputeRow(int i, std::vector<float>* row) const {
+  const int n = size();
+  row->resize(n);
+  const auto xi = dataset_.point(target_[i]);
+  for (int j = 0; j < n; ++j) {
+    (*row)[j] = static_cast<float>(kernel_.FromSquaredDistance(
+        dataset_.SquaredDistanceTo(target_[j], xi)));
+  }
+}
+
+std::span<const float> KernelCache::Row(int i) {
+  auto it = rows_.find(i);
+  if (it != rows_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    return it->second.row;
+  }
+  if (rows_.size() >= max_rows_) {
+    const int victim = lru_.back();
+    lru_.pop_back();
+    rows_.erase(victim);
+  }
+  lru_.push_front(i);
+  Entry& entry = rows_[i];
+  entry.lru_pos = lru_.begin();
+  ComputeRow(i, &entry.row);
+  ++rows_computed_;
+  return entry.row;
+}
+
+double KernelCache::At(int i, int j) {
+  const auto it = rows_.find(i);
+  if (it != rows_.end()) {
+    return it->second.row[j];
+  }
+  const auto jt = rows_.find(j);
+  if (jt != rows_.end()) {
+    return jt->second.row[i];
+  }
+  return kernel_.FromSquaredDistance(
+      dataset_.SquaredDistance(target_[i], target_[j]));
+}
+
+}  // namespace dbsvec

@@ -1,0 +1,79 @@
+#ifndef DBSVEC_SVM_KERNEL_CACHE_H_
+#define DBSVEC_SVM_KERNEL_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/dataset.h"
+#include "svm/kernel.h"
+
+namespace dbsvec {
+
+/// Lazily materialized kernel matrix over a *target set* (a subset of a
+/// Dataset), with an LRU row cache — the same design libsvm uses, which the
+/// paper's SVDD implementation is built on.
+///
+/// The SMO solver only ever touches two rows per iteration, so a bounded
+/// row cache keeps memory O(cache_size) instead of O(ñ²) while serving the
+/// common re-touched rows (the support vectors) from memory.
+class KernelCache {
+ public:
+  /// Builds a cache over `target` (indices into `dataset`), Gaussian width
+  /// `sigma`, and at most `max_bytes` of cached rows (at least two rows are
+  /// always retained).
+  KernelCache(const Dataset& dataset, std::span<const PointIndex> target,
+              double sigma, size_t max_bytes = 64u << 20);
+
+  /// Number of target points ñ.
+  int size() const { return static_cast<int>(target_.size()); }
+
+  /// Row i of the kernel matrix: K(x_i, x_j) for every target j. The span
+  /// is valid until the next Row() call (it may be evicted afterwards).
+  std::span<const float> Row(int i);
+
+  /// Diagonal entry K(x_i, x_i); 1 for the Gaussian kernel.
+  double Diag(int i) const {
+    (void)i;
+    return 1.0;
+  }
+
+  /// Single kernel entry (uses the cache if row i is resident).
+  double At(int i, int j);
+
+  /// Kernel value between target point i and an arbitrary query point.
+  double AtQuery(int i, std::span<const double> query) const {
+    return kernel_.FromSquaredDistance(
+        dataset_.SquaredDistanceTo(target_[i], query));
+  }
+
+  /// The kernel in use.
+  const GaussianKernel& kernel() const { return kernel_; }
+  /// Dataset index of target point i.
+  PointIndex target(int i) const { return target_[i]; }
+  /// Instrumentation: rows computed (cache misses).
+  uint64_t rows_computed() const { return rows_computed_; }
+
+ private:
+  void ComputeRow(int i, std::vector<float>* row) const;
+
+  const Dataset& dataset_;
+  std::vector<PointIndex> target_;
+  GaussianKernel kernel_;
+  size_t max_rows_;
+
+  // LRU bookkeeping: most recently used rows at the front.
+  std::list<int> lru_;
+  struct Entry {
+    std::vector<float> row;
+    std::list<int>::iterator lru_pos;
+  };
+  std::unordered_map<int, Entry> rows_;
+  uint64_t rows_computed_ = 0;
+};
+
+}  // namespace dbsvec
+
+#endif  // DBSVEC_SVM_KERNEL_CACHE_H_

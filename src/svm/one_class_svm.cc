@@ -1,0 +1,88 @@
+#include "svm/one_class_svm.h"
+
+#include "svm/kernel.h"
+#include "svm/kernel_cache.h"
+
+namespace dbsvec {
+
+Status OneClassSvm::Train(const Dataset& dataset,
+                          std::span<const PointIndex> target,
+                          const OneClassSvmParams& params) {
+  const int n = static_cast<int>(target.size());
+  if (n == 0) {
+    return Status::InvalidArgument("OC-SVM: empty target set");
+  }
+  if (params.nu <= 0.0 || params.nu > 1.0) {
+    return Status::InvalidArgument("OC-SVM: nu must be in (0, 1]");
+  }
+  if (params.sigma <= 0.0) {
+    return Status::InvalidArgument("OC-SVM: sigma must be positive");
+  }
+  sigma_ = params.sigma;
+
+  // Schölkopf's dual, normalized so that Σα = 1:
+  //   min ½ αᵀKα   s.t.  0 ≤ α_i ≤ 1/(ν·ñ),  Σα = 1.
+  // For the Gaussian kernel (K_ii ≡ 1) this is the SVDD dual (Eq. 4 of
+  // the paper) up to a constant, so the same SMO solver applies — which is
+  // precisely the equivalence footnote 1 of the paper states.
+  const double cap = 1.0 / (params.nu * n);
+  std::vector<double> bounds(n, cap);
+  KernelCache cache(dataset, target, params.sigma);
+  SmoSolution solution;
+  DBSVEC_RETURN_IF_ERROR(
+      SmoSolver::Solve(&cache, bounds, params.smo, &solution));
+
+  support_vectors_.clear();
+  constexpr double kAlphaFloor = 1e-8;
+  for (int i = 0; i < n; ++i) {
+    const double a = solution.alpha[i];
+    if (a <= kAlphaFloor) {
+      continue;
+    }
+    support_vectors_.push_back(
+        {.index = target[i], .alpha = a, .at_bound = a >= cap - 1e-12});
+  }
+
+  // ρ = f-value at the free (non-bound) support vectors, which sit exactly
+  // on the decision surface; averaged for numerical robustness.
+  const GaussianKernel kernel(params.sigma);
+  double rho_sum = 0.0;
+  int rho_count = 0;
+  double bound_sum = 0.0;
+  int bound_count = 0;
+  for (const SupportVector& sv : support_vectors_) {
+    double f = 0.0;
+    for (const SupportVector& other : support_vectors_) {
+      f += other.alpha * kernel.FromSquaredDistance(
+                             dataset.SquaredDistance(other.index, sv.index));
+    }
+    if (!sv.at_bound) {
+      rho_sum += f;
+      ++rho_count;
+    } else {
+      bound_sum += f;
+      ++bound_count;
+    }
+  }
+  if (rho_count > 0) {
+    rho_ = rho_sum / rho_count;
+  } else if (bound_count > 0) {
+    rho_ = bound_sum / bound_count;
+  } else {
+    rho_ = 0.0;
+  }
+  return Status::Ok();
+}
+
+double OneClassSvm::Decision(const Dataset& dataset,
+                             std::span<const double> query) const {
+  const GaussianKernel kernel(sigma_);
+  double f = 0.0;
+  for (const SupportVector& sv : support_vectors_) {
+    f += sv.alpha * kernel.FromSquaredDistance(
+                        dataset.SquaredDistanceTo(sv.index, query));
+  }
+  return f - rho_;
+}
+
+}  // namespace dbsvec

@@ -1,0 +1,68 @@
+#ifndef DBSVEC_SVM_ONE_CLASS_SVM_H_
+#define DBSVEC_SVM_ONE_CLASS_SVM_H_
+
+#include <span>
+#include <vector>
+
+#include "common/dataset.h"
+#include "common/status.h"
+#include "svm/smo_solver.h"
+
+namespace dbsvec {
+
+/// Training configuration for the One-Class SVM.
+struct OneClassSvmParams {
+  /// ν ∈ (0, 1]: upper bound on the outlier fraction, lower bound on the
+  /// support-vector fraction [Schölkopf et al. 2001].
+  double nu = 0.1;
+  /// Gaussian kernel width σ (> 0).
+  double sigma = 1.0;
+  /// Solver options.
+  SmoOptions smo;
+};
+
+/// One-Class SVM [Schölkopf et al. 2001], estimating the support of a
+/// distribution with the Gaussian kernel.
+///
+/// Included to validate footnote 1 of the paper: with a Gaussian kernel
+/// (K(x,x) ≡ 1) and C = 1/(ν·ñ), the SVDD and OC-SVM duals differ only by
+/// a constant, so both methods learn the same decision function. The
+/// test suite asserts that equivalence against `Svdd`.
+class OneClassSvm {
+ public:
+  struct SupportVector {
+    PointIndex index = 0;
+    double alpha = 0.0;
+    bool at_bound = false;
+  };
+
+  /// Trains on `target` (indices into `dataset`).
+  Status Train(const Dataset& dataset, std::span<const PointIndex> target,
+               const OneClassSvmParams& params);
+
+  /// Decision value f(x) = Σ α_i K(x_i, x) − ρ; non-negative inside the
+  /// estimated support.
+  double Decision(const Dataset& dataset,
+                  std::span<const double> query) const;
+
+  /// True iff the query lies inside the estimated support region.
+  bool Contains(const Dataset& dataset, std::span<const double> query) const {
+    return Decision(dataset, query) >= -1e-9;
+  }
+
+  const std::vector<SupportVector>& support_vectors() const {
+    return support_vectors_;
+  }
+  /// The decision offset ρ.
+  double rho() const { return rho_; }
+  double sigma() const { return sigma_; }
+
+ private:
+  std::vector<SupportVector> support_vectors_;
+  double rho_ = 0.0;
+  double sigma_ = 1.0;
+};
+
+}  // namespace dbsvec
+
+#endif  // DBSVEC_SVM_ONE_CLASS_SVM_H_

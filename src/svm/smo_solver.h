@@ -1,0 +1,58 @@
+#ifndef DBSVEC_SVM_SMO_SOLVER_H_
+#define DBSVEC_SVM_SMO_SOLVER_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "svm/kernel_cache.h"
+
+namespace dbsvec {
+
+/// Options for the SMO quadratic-program solver.
+struct SmoOptions {
+  /// KKT violation tolerance: the solve stops when the maximal violating
+  /// pair's gradient gap falls below this.
+  double tolerance = 1e-3;
+  /// Iteration cap; 0 means max(10'000, 100·ñ).
+  int64_t max_iterations = 0;
+};
+
+/// Output of an SMO solve.
+struct SmoSolution {
+  /// Optimal Lagrange multipliers α (length ñ).
+  std::vector<double> alpha;
+  /// αᵀKα at the optimum (needed for the SVDD radius and discrimination
+  /// function, Eq. 12).
+  double alpha_k_alpha = 0.0;
+  /// Iterations actually performed.
+  int64_t iterations = 0;
+  /// False iff the iteration cap was hit before the tolerance was met.
+  bool converged = false;
+};
+
+/// Sequential Minimal Optimization [Platt 1999] for the weighted SVDD dual
+/// (Eq. 11 of the paper):
+///
+///   min   Σᵢⱼ αᵢαⱼ K(xᵢ,xⱼ) − Σᵢ αᵢ K(xᵢ,xᵢ)
+///   s.t.  0 ≤ αᵢ ≤ upper_bound[i]  (= ωᵢ·C),   Σᵢ αᵢ = 1
+///
+/// Working-set selection is the maximal-violating-pair rule (libsvm's
+/// first-order rule). Each iteration updates exactly two multipliers along
+/// the equality constraint and refreshes the cached gradient in O(ñ), so
+/// the overall cost is linear in ñ per iteration — the property the paper
+/// relies on for its O(ñ) SVDD training claim.
+class SmoSolver {
+ public:
+  /// Solves the dual over the target set behind `kernel`. `upper_bounds`
+  /// must have one entry per target point; their sum must be >= 1 for the
+  /// problem to be feasible (returns InvalidArgument otherwise).
+  static Status Solve(KernelCache* kernel,
+                      std::span<const double> upper_bounds,
+                      const SmoOptions& options, SmoSolution* solution);
+};
+
+}  // namespace dbsvec
+
+#endif  // DBSVEC_SVM_SMO_SOLVER_H_

@@ -1,0 +1,130 @@
+#include "svm/svdd.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dbsvec {
+
+double Svdd::SelectSigma(const Dataset& dataset,
+                         std::span<const PointIndex> target) {
+  const int dim = dataset.dim();
+  std::vector<double> centroid(dim, 0.0);
+  for (const PointIndex i : target) {
+    const auto p = dataset.point(i);
+    for (int j = 0; j < dim; ++j) {
+      centroid[j] += p[j];
+    }
+  }
+  for (double& c : centroid) {
+    c /= static_cast<double>(target.size());
+  }
+  double max_dist_sq = 0.0;
+  for (const PointIndex i : target) {
+    max_dist_sq = std::max(max_dist_sq,
+                           dataset.SquaredDistanceTo(i, centroid));
+  }
+  const double r = std::sqrt(max_dist_sq);
+  constexpr double kSqrt2 = 1.41421356237309504880;
+  constexpr double kMinSigma = 1e-9;
+  return std::max(kMinSigma, r / kSqrt2);
+}
+
+Status Svdd::Train(const Dataset& dataset,
+                   std::span<const PointIndex> target,
+                   const SvddParams& params, SvddModel* model) {
+  const int n = static_cast<int>(target.size());
+  if (n == 0) {
+    return Status::InvalidArgument("SVDD: empty target set");
+  }
+  if (!params.weights.empty() &&
+      static_cast<int>(params.weights.size()) != n) {
+    return Status::InvalidArgument("SVDD: weights size mismatch");
+  }
+
+  double c = params.c;
+  if (params.nu > 0.0) {
+    c = 1.0 / (params.nu * n);
+  }
+  if (c <= 0.0) {
+    return Status::InvalidArgument("SVDD: neither nu nor c is set");
+  }
+
+  const double sigma =
+      params.sigma > 0.0 ? params.sigma : SelectSigma(dataset, target);
+
+  // Per-point caps C_i = ω_i·C (Eq. 11). Scale up minimally if infeasible.
+  std::vector<double> bounds(n);
+  double bound_sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double w = params.weights.empty() ? 1.0 : params.weights[i];
+    bounds[i] = std::min(1.0, w * c);
+    bound_sum += bounds[i];
+  }
+  if (bound_sum < 1.0) {
+    const double scale = 1.0000001 / bound_sum;
+    for (double& b : bounds) {
+      b = std::min(1.0, b * scale);
+    }
+  }
+
+  KernelCache cache(dataset, target, sigma);
+  SmoSolution solution;
+  DBSVEC_RETURN_IF_ERROR(
+      SmoSolver::Solve(&cache, bounds, params.smo, &solution));
+
+  model->support_vectors_.clear();
+  model->sigma_ = sigma;
+  model->alpha_k_alpha_ = solution.alpha_k_alpha;
+  model->smo_iterations_ = solution.iterations;
+  model->converged_ = solution.converged;
+
+  // α below this floor is numerical noise, not a support vector.
+  const double alpha_floor = 1e-8;
+  for (int i = 0; i < n; ++i) {
+    const double a = solution.alpha[i];
+    if (a <= alpha_floor) {
+      continue;
+    }
+    const bool at_bound = a >= bounds[i] - 1e-12;
+    model->support_vectors_.push_back(
+        {.index = target[i], .alpha = a, .at_bound = at_bound});
+  }
+  // R² is the mean F(x) over the normal SVs (0 < α < C_i), falling back to
+  // all SVs if every α sits at its bound. Must run after the SV list is
+  // complete since Distance2 sums over it.
+  double nsv_dist_sum = 0.0;
+  int nsv_count = 0;
+  double sv_dist_sum = 0.0;
+  int sv_count = 0;
+  for (const SvddModel::SupportVector& sv : model->support_vectors_) {
+    const double f = model->Distance2(dataset, dataset.point(sv.index));
+    sv_dist_sum += f;
+    ++sv_count;
+    if (!sv.at_bound) {
+      nsv_dist_sum += f;
+      ++nsv_count;
+    }
+  }
+  if (nsv_count > 0) {
+    model->radius_sq_ = nsv_dist_sum / nsv_count;
+  } else if (sv_count > 0) {
+    model->radius_sq_ = sv_dist_sum / sv_count;
+  } else {
+    model->radius_sq_ = 0.0;
+  }
+  return Status::Ok();
+}
+
+double SvddModel::Distance2(const Dataset& dataset,
+                            std::span<const double> query) const {
+  const GaussianKernel kernel(sigma_);
+  double cross = 0.0;
+  for (const SupportVector& sv : support_vectors_) {
+    cross += sv.alpha * kernel.FromSquaredDistance(
+                            dataset.SquaredDistanceTo(sv.index, query));
+  }
+  // K(x, x) = 1 for the Gaussian kernel.
+  return 1.0 - 2.0 * cross + alpha_k_alpha_;
+}
+
+}  // namespace dbsvec

@@ -1,0 +1,101 @@
+#ifndef DBSVEC_SVM_SVDD_H_
+#define DBSVEC_SVM_SVDD_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/dataset.h"
+#include "common/status.h"
+#include "svm/kernel.h"
+#include "svm/smo_solver.h"
+
+namespace dbsvec {
+
+/// Training configuration for (weighted) SVDD.
+struct SvddParams {
+  /// OC-SVM-style penalty ν ∈ (0, 1]: C = 1/(ν·ñ) (Sec. IV-C). ν is an
+  /// upper bound on the fraction of boundary SVs and a lower bound on the
+  /// fraction of SVs. If <= 0, `c` is used directly.
+  double nu = 0.0;
+  /// Direct penalty factor C (used only when nu <= 0). If both are unset,
+  /// training fails with InvalidArgument.
+  double c = 0.0;
+  /// Gaussian width σ; <= 0 selects σ = r/√2 automatically, where r is the
+  /// distance from the target-set centroid to its farthest member
+  /// (Sec. IV-B2).
+  double sigma = 0.0;
+  /// Per-point penalty weights ω_i (Eq. 7); the dual box constraint becomes
+  /// 0 ≤ α_i ≤ ω_i·C. Empty means unweighted (all ω_i = 1). If the weighted
+  /// caps are infeasible (Σ ω_iC < 1) they are scaled up minimally.
+  std::vector<double> weights;
+  /// Solver options.
+  SmoOptions smo;
+};
+
+/// A trained SVDD sphere description (Sec. II-D / IV-A of the paper).
+class SvddModel {
+ public:
+  /// One support vector: a point with α > 0.
+  struct SupportVector {
+    PointIndex index = 0;  ///< Index into the original dataset.
+    double alpha = 0.0;    ///< Lagrange multiplier.
+    bool at_bound = false; ///< True for boundary SVs (α = ω_iC, outside).
+  };
+
+  /// All support vectors (both normal and boundary), α > 0.
+  const std::vector<SupportVector>& support_vectors() const {
+    return support_vectors_;
+  }
+  /// Squared sphere radius in feature space.
+  double radius_sq() const { return radius_sq_; }
+  /// σ used by the trained kernel.
+  double sigma() const { return sigma_; }
+  /// αᵀKα — the constant term of the discrimination function.
+  double alpha_k_alpha() const { return alpha_k_alpha_; }
+  /// Iterations the SMO solve took.
+  int64_t smo_iterations() const { return smo_iterations_; }
+  /// Whether the solver met its tolerance.
+  bool converged() const { return converged_; }
+
+  /// Squared feature-space distance from Φ(query) to the sphere center
+  /// (Eq. 12): F(x) = K(x,x) − 2Σᵢ αᵢK(xᵢ,x) + αᵀKα.
+  double Distance2(const Dataset& dataset,
+                   std::span<const double> query) const;
+
+  /// True iff the query point lies inside or on the sphere
+  /// (F(x) ≤ R², Eq. 12).
+  bool Contains(const Dataset& dataset, std::span<const double> query) const {
+    return Distance2(dataset, query) <= radius_sq_ + 1e-9;
+  }
+
+ private:
+  friend class Svdd;
+
+  std::vector<SupportVector> support_vectors_;
+  double radius_sq_ = 0.0;
+  double sigma_ = 1.0;
+  double alpha_k_alpha_ = 0.0;
+  int64_t smo_iterations_ = 0;
+  bool converged_ = false;
+};
+
+/// Trainer for the weighted SVDD model of Sec. IV-A.
+class Svdd {
+ public:
+  /// Trains on the target set `target` (indices into `dataset`).
+  /// On success fills `*model`.
+  static Status Train(const Dataset& dataset,
+                      std::span<const PointIndex> target,
+                      const SvddParams& params, SvddModel* model);
+
+  /// σ = r/√2 with r the distance from the centroid of `target` to its
+  /// farthest member — the paper's kernel-width selection (Sec. IV-B2).
+  /// Returns a small positive floor if all points coincide.
+  static double SelectSigma(const Dataset& dataset,
+                            std::span<const PointIndex> target);
+};
+
+}  // namespace dbsvec
+
+#endif  // DBSVEC_SVM_SVDD_H_

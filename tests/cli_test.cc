@@ -1,0 +1,165 @@
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "cli/cli_options.h"
+#include "cli/cli_runner.h"
+#include "common/csv.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace dbsvec::cli {
+namespace {
+
+TEST(CliOptionsTest, DefaultsWhenNoArgs) {
+  CliOptions options;
+  ASSERT_TRUE(ParseCliOptions({}, &options).ok());
+  EXPECT_EQ(options.algorithm, Algorithm::kDbsvec);
+  EXPECT_EQ(options.demo, DemoData::kWalk);
+  EXPECT_FALSE(options.show_help);
+}
+
+TEST(CliOptionsTest, ParsesFullCommandLine) {
+  CliOptions options;
+  const std::vector<std::string> args = {
+      "--algorithm=rho", "--eps=2.5",       "--minpts=30",
+      "--rho=0.01",      "--index=rstar",   "--seed=99",
+      "--demo=blobs",    "--demo-n=500",    "--demo-dim=3",
+      "--output=/tmp/x.csv", "--compare-dbscan"};
+  ASSERT_TRUE(ParseCliOptions(args, &options).ok());
+  EXPECT_EQ(options.algorithm, Algorithm::kRhoApprox);
+  EXPECT_DOUBLE_EQ(options.epsilon, 2.5);
+  EXPECT_EQ(options.min_pts, 30);
+  EXPECT_DOUBLE_EQ(options.rho, 0.01);
+  EXPECT_EQ(options.index, IndexType::kRStarTree);
+  EXPECT_EQ(options.seed, 99u);
+  EXPECT_EQ(options.demo, DemoData::kBlobs);
+  EXPECT_EQ(options.demo_n, 500);
+  EXPECT_EQ(options.demo_dim, 3);
+  EXPECT_EQ(options.output_path, "/tmp/x.csv");
+  EXPECT_TRUE(options.compare_dbscan);
+}
+
+TEST(CliOptionsTest, HdbscanFlags) {
+  CliOptions options;
+  ASSERT_TRUE(
+      ParseCliOptions({"--algorithm=hdbscan", "--mcs=25"}, &options).ok());
+  EXPECT_EQ(options.algorithm, Algorithm::kHdbscan);
+  EXPECT_EQ(options.min_cluster_size, 25);
+  EXPECT_FALSE(ParseCliOptions({"--mcs=0"}, &options).ok());
+}
+
+TEST(CliOptionsTest, NuModes) {
+  CliOptions options;
+  ASSERT_TRUE(ParseCliOptions({"--nu=auto"}, &options).ok());
+  EXPECT_EQ(options.nu_mode, NuMode::kAuto);
+  ASSERT_TRUE(ParseCliOptions({"--nu=min"}, &options).ok());
+  EXPECT_EQ(options.nu_mode, NuMode::kMinimum);
+  ASSERT_TRUE(ParseCliOptions({"--nu=0.25"}, &options).ok());
+  EXPECT_EQ(options.nu_mode, NuMode::kFixed);
+  EXPECT_DOUBLE_EQ(options.fixed_nu, 0.25);
+}
+
+TEST(CliOptionsTest, RejectsBadInput) {
+  CliOptions options;
+  EXPECT_FALSE(ParseCliOptions({"positional"}, &options).ok());
+  EXPECT_FALSE(ParseCliOptions({"--no-such-flag=1"}, &options).ok());
+  EXPECT_FALSE(ParseCliOptions({"--algorithm=optics"}, &options).ok());
+  EXPECT_FALSE(ParseCliOptions({"--eps=-3"}, &options).ok());
+  EXPECT_FALSE(ParseCliOptions({"--eps=abc"}, &options).ok());
+  EXPECT_FALSE(ParseCliOptions({"--minpts=0"}, &options).ok());
+  EXPECT_FALSE(ParseCliOptions({"--nu=1.5"}, &options).ok());
+  EXPECT_FALSE(ParseCliOptions({"--index=quadtree"}, &options).ok());
+  EXPECT_FALSE(ParseCliOptions({"--demo=moons"}, &options).ok());
+}
+
+TEST(CliOptionsTest, HelpFlag) {
+  CliOptions options;
+  ASSERT_TRUE(ParseCliOptions({"--help"}, &options).ok());
+  EXPECT_TRUE(options.show_help);
+  EXPECT_FALSE(HelpText().empty());
+}
+
+TEST(CliOptionsTest, AlgorithmNamesNonEmpty) {
+  for (const Algorithm a :
+       {Algorithm::kDbsvec, Algorithm::kDbscan, Algorithm::kRhoApprox,
+        Algorithm::kLshDbscan, Algorithm::kNqDbscan, Algorithm::kKMeans}) {
+    EXPECT_GT(std::string(AlgorithmName(a)).size(), 0u);
+  }
+}
+
+TEST(CliRunnerTest, DemoGeneratorsProduceRequestedShape) {
+  for (const DemoData demo :
+       {DemoData::kWalk, DemoData::kBlobs, DemoData::kT4}) {
+    CliOptions options;
+    options.demo = demo;
+    options.demo_n = 400;
+    options.demo_dim = demo == DemoData::kT4 ? 2 : 3;
+    Dataset dataset(1);
+    ASSERT_TRUE(LoadInput(options, &dataset).ok());
+    EXPECT_EQ(dataset.size(), 400);
+    if (demo != DemoData::kT4) {
+      EXPECT_EQ(dataset.dim(), 3);
+    } else {
+      EXPECT_EQ(dataset.dim(), 2);
+    }
+  }
+}
+
+TEST(CliRunnerTest, LoadsCsvInput) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "dbsvec_cli_in.csv")
+          .string();
+  Dataset points(2, {0.0, 0.0, 1.0, 1.0, 5.0, 5.0});
+  ASSERT_TRUE(WriteCsv(points, {}, path).ok());
+  CliOptions options;
+  options.input_path = path;
+  Dataset dataset(1);
+  ASSERT_TRUE(LoadInput(options, &dataset).ok());
+  EXPECT_EQ(dataset.size(), 3);
+  EXPECT_EQ(dataset.dim(), 2);
+  std::remove(path.c_str());
+}
+
+TEST(CliRunnerTest, MissingInputFileFails) {
+  CliOptions options;
+  options.input_path = "/nonexistent/never.csv";
+  Dataset dataset(1);
+  EXPECT_FALSE(LoadInput(options, &dataset).ok());
+}
+
+TEST(CliRunnerTest, ResolveEpsilonPrefersExplicitValue) {
+  CliOptions options;
+  options.epsilon = 3.5;
+  Dataset dataset(1, {0.0, 1.0, 2.0});
+  EXPECT_DOUBLE_EQ(ResolveEpsilon(options, dataset), 3.5);
+  options.epsilon = 0.0;
+  options.min_pts = 2;
+  EXPECT_GT(ResolveEpsilon(options, dataset), 0.0);
+}
+
+TEST(CliRunnerTest, EveryAlgorithmRunsOnDemoData) {
+  CliOptions options;
+  options.demo = DemoData::kBlobs;
+  options.demo_n = 300;
+  options.demo_dim = 2;
+  options.min_pts = 5;
+  options.kmeans_k = 3;
+  Dataset dataset(1);
+  ASSERT_TRUE(LoadInput(options, &dataset).ok());
+  const double epsilon = ResolveEpsilon(options, dataset);
+  for (const Algorithm a :
+       {Algorithm::kDbsvec, Algorithm::kDbscan, Algorithm::kRhoApprox,
+        Algorithm::kLshDbscan, Algorithm::kNqDbscan, Algorithm::kKMeans,
+        Algorithm::kHdbscan}) {
+    options.algorithm = a;
+    Clustering out;
+    ASSERT_TRUE(RunAlgorithm(options, dataset, epsilon, &out).ok())
+        << AlgorithmName(a);
+    EXPECT_EQ(static_cast<PointIndex>(out.labels.size()), dataset.size())
+        << AlgorithmName(a);
+  }
+}
+
+}  // namespace
+}  // namespace dbsvec::cli

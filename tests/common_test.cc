@@ -1,0 +1,233 @@
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "common/csv.h"
+#include "common/dataset.h"
+#include "common/normalize.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/union_find.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace dbsvec {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.ToString(), "OK");
+  EXPECT_EQ(status, Status::Ok());
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  const Status status = Status::InvalidArgument("epsilon");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), Status::Code::kInvalidArgument);
+  EXPECT_EQ(status.message(), "epsilon");
+  EXPECT_EQ(status.ToString(), "InvalidArgument: epsilon");
+}
+
+TEST(StatusTest, DistinctCodesCompareUnequal) {
+  EXPECT_FALSE(Status::NotFound("x") == Status::IoError("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+  EXPECT_TRUE(Status::NotFound("x") == Status::NotFound("x"));
+}
+
+Status Inner() { return Status::Internal("inner"); }
+
+Status Outer() {
+  DBSVEC_RETURN_IF_ERROR(Inner());
+  return Status::Ok();
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  EXPECT_EQ(Outer().code(), Status::Code::kInternal);
+}
+
+TEST(DatasetTest, AppendAndAccess) {
+  Dataset dataset(3);
+  EXPECT_TRUE(dataset.empty());
+  const double p0[3] = {1.0, 2.0, 3.0};
+  const double p1[3] = {4.0, 5.0, 6.0};
+  dataset.Append(p0);
+  dataset.Append(p1);
+  EXPECT_EQ(dataset.size(), 2);
+  EXPECT_EQ(dataset.dim(), 3);
+  EXPECT_DOUBLE_EQ(dataset.at(1, 2), 6.0);
+  EXPECT_DOUBLE_EQ(dataset.point(0)[1], 2.0);
+}
+
+TEST(DatasetTest, FlatBufferConstructor) {
+  Dataset dataset(2, {0.0, 0.0, 3.0, 4.0});
+  EXPECT_EQ(dataset.size(), 2);
+  EXPECT_DOUBLE_EQ(dataset.SquaredDistance(0, 1), 25.0);
+  EXPECT_DOUBLE_EQ(dataset.Distance(0, 1), 5.0);
+}
+
+TEST(DatasetTest, SquaredDistanceToExternalPoint) {
+  Dataset dataset(2, {1.0, 1.0});
+  const double q[2] = {4.0, 5.0};
+  EXPECT_DOUBLE_EQ(dataset.SquaredDistanceTo(0, q), 25.0);
+}
+
+TEST(DatasetTest, FreeDistanceFunctions) {
+  const std::vector<double> a = {0.0, 0.0};
+  const std::vector<double> b = {3.0, 4.0};
+  EXPECT_DOUBLE_EQ(SquaredDistance(a, b), 25.0);
+  EXPECT_DOUBLE_EQ(Distance(a, b), 5.0);
+}
+
+TEST(RngTest, DeterministicForEqualSeeds) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    equal += a.NextUint64() == b.NextUint64();
+  }
+  EXPECT_LT(equal, 4);
+}
+
+TEST(RngTest, UniformStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.Uniform(-2.0, 5.0);
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(RngTest, BoundedStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(RngTest, GaussianMomentsRoughlyStandard) {
+  Rng rng(11);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.NextGaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.05);
+}
+
+TEST(UnionFindTest, BasicUnionAndFind) {
+  UnionFind uf(5);
+  EXPECT_FALSE(uf.Connected(0, 1));
+  uf.Union(0, 1);
+  EXPECT_TRUE(uf.Connected(0, 1));
+  uf.Union(1, 2);
+  EXPECT_TRUE(uf.Connected(0, 2));
+  EXPECT_FALSE(uf.Connected(0, 4));
+}
+
+TEST(UnionFindTest, MakeSetGrows) {
+  UnionFind uf;
+  EXPECT_EQ(uf.MakeSet(), 0);
+  EXPECT_EQ(uf.MakeSet(), 1);
+  EXPECT_EQ(uf.size(), 2);
+  uf.Union(0, 1);
+  EXPECT_TRUE(uf.Connected(0, 1));
+}
+
+TEST(UnionFindTest, TransitiveClosureOverChain) {
+  const int n = 1000;
+  UnionFind uf(n);
+  for (int i = 0; i + 1 < n; ++i) {
+    uf.Union(i, i + 1);
+  }
+  EXPECT_TRUE(uf.Connected(0, n - 1));
+}
+
+TEST(CsvTest, RoundTripWithLabels) {
+  Dataset dataset(2, {1.5, 2.5, -3.0, 4.0, 0.0, 0.125});
+  const std::vector<int32_t> labels = {0, 1, -1};
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "dbsvec_csv_test.csv")
+          .string();
+  ASSERT_TRUE(WriteCsv(dataset, labels, path).ok());
+  Dataset read(1);
+  std::vector<int32_t> read_labels;
+  ASSERT_TRUE(ReadCsv(path, /*last_column_is_label=*/true, &read,
+                      &read_labels)
+                  .ok());
+  ASSERT_EQ(read.size(), dataset.size());
+  ASSERT_EQ(read.dim(), dataset.dim());
+  for (PointIndex i = 0; i < dataset.size(); ++i) {
+    for (int j = 0; j < dataset.dim(); ++j) {
+      EXPECT_DOUBLE_EQ(read.at(i, j), dataset.at(i, j));
+    }
+  }
+  EXPECT_EQ(read_labels, labels);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, RoundTripWithoutLabels) {
+  Dataset dataset(3, {1, 2, 3, 4, 5, 6});
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "dbsvec_csv_nolabel.csv")
+          .string();
+  ASSERT_TRUE(WriteCsv(dataset, {}, path).ok());
+  Dataset read(1);
+  ASSERT_TRUE(ReadCsv(path, false, &read, nullptr).ok());
+  EXPECT_EQ(read.size(), 2);
+  EXPECT_EQ(read.dim(), 3);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, MissingFileIsIoError) {
+  Dataset read(1);
+  const Status status =
+      ReadCsv("/nonexistent/definitely_missing.csv", false, &read, nullptr);
+  EXPECT_EQ(status.code(), Status::Code::kIoError);
+}
+
+TEST(CsvTest, LabelSizeMismatchRejected) {
+  Dataset dataset(2, {1, 2});
+  const Status status = WriteCsv(dataset, {0, 1}, "/tmp/never_written.csv");
+  EXPECT_EQ(status.code(), Status::Code::kInvalidArgument);
+}
+
+TEST(NormalizeTest, MapsToRequestedRange) {
+  Dataset dataset(2, {0.0, 10.0, 5.0, 20.0, 10.0, 30.0});
+  NormalizeToRange(&dataset, 0.0, 100.0);
+  EXPECT_DOUBLE_EQ(dataset.at(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(dataset.at(2, 0), 100.0);
+  EXPECT_DOUBLE_EQ(dataset.at(1, 0), 50.0);
+  EXPECT_DOUBLE_EQ(dataset.at(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(dataset.at(2, 1), 100.0);
+}
+
+TEST(NormalizeTest, ConstantDimensionMapsToLow) {
+  Dataset dataset(2, {5.0, 1.0, 5.0, 2.0});
+  NormalizeToRange(&dataset, 0.0, 10.0);
+  EXPECT_DOUBLE_EQ(dataset.at(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(dataset.at(1, 0), 0.0);
+  EXPECT_DOUBLE_EQ(dataset.at(1, 1), 10.0);
+}
+
+TEST(TestUtilTest, SamePartitionDetectsRenaming) {
+  EXPECT_TRUE(testing::SamePartition({0, 0, 1, -1}, {5, 5, 2, -1}));
+  EXPECT_FALSE(testing::SamePartition({0, 0, 1, -1}, {5, 4, 2, -1}));
+  EXPECT_FALSE(testing::SamePartition({0, 0, 1, -1}, {5, 5, 2, 2}));
+  EXPECT_FALSE(testing::SamePartition({0, 1}, {0, 0}));
+}
+
+}  // namespace
+}  // namespace dbsvec

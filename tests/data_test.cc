@@ -1,0 +1,207 @@
+#include <algorithm>
+
+#include "cluster/dbscan.h"
+#include "data/shapes.h"
+#include "data/surrogates.h"
+#include "data/synthetic.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace dbsvec {
+namespace {
+
+TEST(RandomWalkTest, SizeAndDimensionRespected) {
+  RandomWalkParams params;
+  params.n = 5000;
+  params.dim = 6;
+  const Dataset dataset = GenerateRandomWalk(params);
+  EXPECT_EQ(dataset.size(), 5000);
+  EXPECT_EQ(dataset.dim(), 6);
+}
+
+TEST(RandomWalkTest, PointsStayInDomain) {
+  RandomWalkParams params;
+  params.n = 2000;
+  params.dim = 3;
+  params.domain = 1e5;
+  const Dataset dataset = GenerateRandomWalk(params);
+  for (PointIndex i = 0; i < dataset.size(); ++i) {
+    for (int j = 0; j < dataset.dim(); ++j) {
+      EXPECT_GE(dataset.at(i, j), 0.0);
+      EXPECT_LE(dataset.at(i, j), 1e5);
+    }
+  }
+}
+
+TEST(RandomWalkTest, DeterministicForEqualSeeds) {
+  RandomWalkParams params;
+  params.n = 1000;
+  const Dataset a = GenerateRandomWalk(params);
+  const Dataset b = GenerateRandomWalk(params);
+  EXPECT_EQ(a.data(), b.data());
+  params.seed = 2;
+  const Dataset c = GenerateRandomWalk(params);
+  EXPECT_NE(a.data(), c.data());
+}
+
+TEST(RandomWalkTest, ProducesDensityClusters) {
+  RandomWalkParams params;
+  params.n = 10'000;
+  params.dim = 4;
+  params.num_clusters = 6;
+  params.seed = 5;
+  const Dataset dataset = GenerateRandomWalk(params);
+  DbscanParams dbscan_params;
+  dbscan_params.min_pts = 30;
+  dbscan_params.epsilon = SuggestEpsilon(dataset, dbscan_params.min_pts);
+  Clustering out;
+  ASSERT_TRUE(RunDbscan(dataset, dbscan_params, &out).ok());
+  EXPECT_GE(out.num_clusters, 2);
+  EXPECT_LT(out.CountNoise(), dataset.size() / 2);
+}
+
+TEST(GaussianBlobsTest, GroundTruthMatchesSizes) {
+  GaussianBlobsParams params;
+  params.n = 1000;
+  params.num_clusters = 4;
+  params.noise_fraction = 0.1;
+  std::vector<int32_t> truth;
+  const Dataset dataset = GenerateGaussianBlobs(params, &truth);
+  EXPECT_EQ(dataset.size(), 1000);
+  ASSERT_EQ(truth.size(), 1000u);
+  int noise = 0;
+  int32_t max_label = -1;
+  for (const int32_t label : truth) {
+    noise += label == -1 ? 1 : 0;
+    max_label = std::max(max_label, label);
+  }
+  EXPECT_EQ(noise, 100);
+  EXPECT_EQ(max_label, 3);
+}
+
+TEST(GaussianBlobsTest, DeterministicForEqualSeeds) {
+  GaussianBlobsParams params;
+  params.n = 500;
+  const Dataset a = GenerateGaussianBlobs(params);
+  const Dataset b = GenerateGaussianBlobs(params);
+  EXPECT_EQ(a.data(), b.data());
+}
+
+TEST(SuggestEpsilonTest, ScalesWithData) {
+  GaussianBlobsParams params;
+  params.n = 500;
+  params.stddev = 1.0;
+  params.seed = 7;
+  const Dataset tight = GenerateGaussianBlobs(params);
+  params.stddev = 5.0;
+  const Dataset loose = GenerateGaussianBlobs(params);
+  EXPECT_LT(SuggestEpsilon(tight, 5), SuggestEpsilon(loose, 5));
+}
+
+TEST(SuggestEpsilonTest, DegenerateInputs) {
+  Dataset empty(2);
+  EXPECT_GT(SuggestEpsilon(empty, 5), 0.0);
+  Dataset one(2, {1.0, 1.0});
+  EXPECT_GT(SuggestEpsilon(one, 5), 0.0);
+}
+
+TEST(ShapeSceneTest, SizeAndBounds) {
+  const Dataset t4 = GenerateShapeScene(ShapeScene::kT4, 8000, 1);
+  EXPECT_EQ(t4.size(), 8000);
+  EXPECT_EQ(t4.dim(), 2);
+  const Dataset t7 = GenerateShapeScene(ShapeScene::kT7, 10'000, 1);
+  EXPECT_EQ(t7.size(), 10'000);
+}
+
+TEST(ShapeSceneTest, SceneContainsMultipleDensityClusters) {
+  const Dataset t4 = GenerateShapeScene(ShapeScene::kT4, 8000, 42);
+  DbscanParams params;
+  params.epsilon = 8.5;
+  params.min_pts = 20;
+  Clustering out;
+  ASSERT_TRUE(RunDbscan(t4, params, &out).ok());
+  EXPECT_GE(out.num_clusters, 4);
+  EXPECT_GT(out.CountNoise(), 0);
+}
+
+TEST(ShapeBuildersTest, CountsRespected) {
+  Dataset dataset(2);
+  AddBlob(&dataset, 10, 0, 0, 1.0, 1);
+  AddRing(&dataset, 20, 0, 0, 5.0, 0.1, 2);
+  AddSineBand(&dataset, 30, 0, 10, 0, 1, 5, 0.1, 3);
+  AddBar(&dataset, 40, 0, 0, 10, 10, 0.1, 4);
+  AddUniformNoise(&dataset, 50, 0, 0, 1, 1, 5);
+  EXPECT_EQ(dataset.size(), 150);
+}
+
+TEST(SurrogatesTest, AllAccuracyNamesResolve) {
+  for (const std::string& name : AccuracySurrogateNames()) {
+    SurrogateDataset surrogate;
+    ASSERT_TRUE(MakeSurrogate(name, &surrogate).ok()) << name;
+    EXPECT_GT(surrogate.data.size(), 0) << name;
+    EXPECT_GT(surrogate.epsilon, 0.0) << name;
+    EXPECT_GE(surrogate.min_pts, 1) << name;
+  }
+}
+
+TEST(SurrogatesTest, UnknownNameRejected) {
+  SurrogateDataset surrogate;
+  EXPECT_EQ(MakeSurrogate("no-such-dataset", &surrogate).code(),
+            Status::Code::kNotFound);
+}
+
+TEST(SurrogatesTest, PaperCardinalitiesAndDimensions) {
+  const struct {
+    const char* name;
+    PointIndex n;
+    int d;
+  } expected[] = {
+      {"Seeds", 210, 7},        {"Map-Joensuu", 6014, 2},
+      {"Map-Finland", 13467, 2}, {"Breast", 669, 9},
+      {"House", 34112, 3},      {"Miss", 6480, 16},
+      {"Dim32", 1024, 32},      {"Dim64", 1024, 64},
+      {"D31", 3100, 2},         {"t4.8k", 8000, 2},
+      {"t7.10k", 10000, 2},
+  };
+  for (const auto& spec : expected) {
+    SurrogateDataset surrogate;
+    ASSERT_TRUE(MakeSurrogate(spec.name, &surrogate).ok()) << spec.name;
+    EXPECT_EQ(surrogate.data.size(), spec.n) << spec.name;
+    EXPECT_EQ(surrogate.data.dim(), spec.d) << spec.name;
+  }
+}
+
+TEST(SurrogatesTest, MaxPointsTruncates) {
+  SurrogateDataset surrogate;
+  ASSERT_TRUE(MakeSurrogate("PAMAP2", &surrogate, 5000).ok());
+  EXPECT_EQ(surrogate.data.size(), 5000);
+  EXPECT_EQ(surrogate.data.dim(), 17);
+}
+
+TEST(SurrogatesTest, SuggestedParamsYieldNonDegenerateClustering) {
+  // Each Table III surrogate must produce multiple clusters with bounded
+  // noise under its own suggested parameters (otherwise the accuracy
+  // experiment would be vacuous).
+  for (const std::string& name : AccuracySurrogateNames()) {
+    SurrogateDataset surrogate;
+    ASSERT_TRUE(MakeSurrogate(name, &surrogate).ok()) << name;
+    DbscanParams params;
+    params.epsilon = surrogate.epsilon;
+    params.min_pts = surrogate.min_pts;
+    Clustering out;
+    ASSERT_TRUE(RunDbscan(surrogate.data, params, &out).ok()) << name;
+    EXPECT_GE(out.num_clusters, 2) << name;
+    EXPECT_LT(out.CountNoise(), surrogate.data.size() / 2) << name;
+  }
+}
+
+TEST(SurrogatesTest, EfficiencyNamesResolveScaled) {
+  for (const std::string& name : EfficiencySurrogateNames()) {
+    SurrogateDataset surrogate;
+    ASSERT_TRUE(MakeSurrogate(name, &surrogate, 3000).ok()) << name;
+    EXPECT_EQ(surrogate.data.size(), 3000) << name;
+  }
+}
+
+}  // namespace
+}  // namespace dbsvec

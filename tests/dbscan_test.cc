@@ -1,0 +1,193 @@
+#include <tuple>
+
+#include "cluster/dbscan.h"
+#include "data/synthetic.h"
+#include "eval/recall.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace dbsvec {
+namespace {
+
+/// Two tight groups of 3 points plus one isolated point.
+Dataset TwoGroupsAndNoise() {
+  return Dataset(2, {0.0, 0.0, 0.1, 0.0, 0.0, 0.1,   // Group A.
+                     5.0, 5.0, 5.1, 5.0, 5.0, 5.1,   // Group B.
+                     20.0, 20.0});                   // Noise.
+}
+
+TEST(DbscanTest, InvalidParamsRejected) {
+  const Dataset dataset = TwoGroupsAndNoise();
+  Clustering out;
+  DbscanParams params;
+  params.epsilon = 0.0;
+  EXPECT_FALSE(RunDbscan(dataset, params, &out).ok());
+  params.epsilon = 1.0;
+  params.min_pts = 0;
+  EXPECT_FALSE(RunDbscan(dataset, params, &out).ok());
+}
+
+TEST(DbscanTest, FindsTwoClustersAndNoise) {
+  const Dataset dataset = TwoGroupsAndNoise();
+  Clustering out;
+  DbscanParams params;
+  params.epsilon = 0.2;
+  params.min_pts = 3;
+  ASSERT_TRUE(RunDbscan(dataset, params, &out).ok());
+  EXPECT_EQ(out.num_clusters, 2);
+  EXPECT_EQ(out.CountNoise(), 1);
+  EXPECT_EQ(out.labels[0], out.labels[1]);
+  EXPECT_EQ(out.labels[0], out.labels[2]);
+  EXPECT_EQ(out.labels[3], out.labels[4]);
+  EXPECT_NE(out.labels[0], out.labels[3]);
+  EXPECT_EQ(out.labels[6], Clustering::kNoise);
+}
+
+TEST(DbscanTest, EverythingNoiseWhenMinPtsTooHigh) {
+  const Dataset dataset = TwoGroupsAndNoise();
+  Clustering out;
+  DbscanParams params;
+  params.epsilon = 0.2;
+  params.min_pts = 5;
+  ASSERT_TRUE(RunDbscan(dataset, params, &out).ok());
+  EXPECT_EQ(out.num_clusters, 0);
+  EXPECT_EQ(out.CountNoise(), 7);
+}
+
+TEST(DbscanTest, SingleClusterWithHugeEpsilon) {
+  const Dataset dataset = TwoGroupsAndNoise();
+  Clustering out;
+  DbscanParams params;
+  params.epsilon = 100.0;
+  params.min_pts = 3;
+  ASSERT_TRUE(RunDbscan(dataset, params, &out).ok());
+  EXPECT_EQ(out.num_clusters, 1);
+  EXPECT_EQ(out.CountNoise(), 0);
+}
+
+TEST(DbscanTest, BorderPointJoinsCluster) {
+  // A chain where the middle point is core and the tips are border points.
+  Dataset dataset(1, {0.0, 1.0, 2.0, 10.0});
+  Clustering out;
+  DbscanParams params;
+  params.epsilon = 1.0;
+  params.min_pts = 3;
+  ASSERT_TRUE(RunDbscan(dataset, params, &out).ok());
+  EXPECT_EQ(out.num_clusters, 1);
+  EXPECT_EQ(out.labels[0], out.labels[1]);
+  EXPECT_EQ(out.labels[2], out.labels[1]);
+  EXPECT_EQ(out.labels[3], Clustering::kNoise);
+}
+
+TEST(DbscanTest, MinPtsOneMakesEveryPointItsOwnCluster) {
+  Dataset dataset(1, {0.0, 10.0, 20.0});
+  Clustering out;
+  DbscanParams params;
+  params.epsilon = 1.0;
+  params.min_pts = 1;
+  ASSERT_TRUE(RunDbscan(dataset, params, &out).ok());
+  EXPECT_EQ(out.num_clusters, 3);
+  EXPECT_EQ(out.CountNoise(), 0);
+}
+
+TEST(DbscanTest, EmptyDataset) {
+  Dataset dataset(2);
+  Clustering out;
+  ASSERT_TRUE(RunDbscan(dataset, DbscanParams(), &out).ok());
+  EXPECT_EQ(out.num_clusters, 0);
+  EXPECT_TRUE(out.labels.empty());
+}
+
+TEST(DbscanTest, PointTypesClassified) {
+  // Chain: middle point core, tips border, far point noise.
+  Dataset dataset(1, {0.0, 1.0, 2.0, 10.0});
+  Clustering out;
+  DbscanParams params;
+  params.epsilon = 1.0;
+  params.min_pts = 3;
+  ASSERT_TRUE(RunDbscan(dataset, params, &out).ok());
+  ASSERT_EQ(out.point_types.size(), 4u);
+  EXPECT_EQ(out.point_types[0], PointType::kBorder);
+  EXPECT_EQ(out.point_types[1], PointType::kCore);
+  EXPECT_EQ(out.point_types[2], PointType::kBorder);
+  EXPECT_EQ(out.point_types[3], PointType::kNoise);
+  EXPECT_EQ(out.CountType(PointType::kCore), 1);
+  EXPECT_EQ(out.CountType(PointType::kBorder), 2);
+  EXPECT_EQ(out.CountType(PointType::kNoise), 1);
+}
+
+TEST(DbscanTest, StatsPopulated) {
+  const Dataset dataset = TwoGroupsAndNoise();
+  Clustering out;
+  DbscanParams params;
+  params.epsilon = 0.2;
+  params.min_pts = 3;
+  ASSERT_TRUE(RunDbscan(dataset, params, &out).ok());
+  EXPECT_EQ(out.stats.num_range_queries, 7u);  // One per point.
+  EXPECT_GT(out.stats.num_distance_computations, 0u);
+  EXPECT_GE(out.stats.elapsed_seconds, 0.0);
+}
+
+// Property: the clustering must not depend on the index backend.
+class DbscanIndexTest : public ::testing::TestWithParam<IndexType> {};
+
+TEST_P(DbscanIndexTest, BackendInvariant) {
+  GaussianBlobsParams gen;
+  gen.n = 800;
+  gen.dim = 2;
+  gen.num_clusters = 4;
+  gen.stddev = 1.0;
+  gen.noise_fraction = 0.05;
+  gen.seed = 77;
+  const Dataset dataset = GenerateGaussianBlobs(gen);
+
+  DbscanParams reference_params;
+  reference_params.epsilon = 0.7;
+  reference_params.min_pts = 5;
+  reference_params.index = IndexType::kBruteForce;
+  Clustering reference;
+  ASSERT_TRUE(RunDbscan(dataset, reference_params, &reference).ok());
+
+  DbscanParams params = reference_params;
+  params.index = GetParam();
+  Clustering out;
+  ASSERT_TRUE(RunDbscan(dataset, params, &out).ok());
+  EXPECT_TRUE(testing::SamePartition(reference.labels, out.labels));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, DbscanIndexTest,
+                         ::testing::Values(IndexType::kKdTree,
+                                           IndexType::kRStarTree,
+                                           IndexType::kGrid));
+
+// Property: on well-separated blobs DBSCAN recovers the generating
+// components for a range of seeds.
+class DbscanBlobRecoveryTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DbscanBlobRecoveryTest, RecoversGeneratedComponents) {
+  GaussianBlobsParams gen;
+  gen.n = 600;
+  gen.dim = 2;
+  gen.num_clusters = 3;
+  gen.stddev = 0.8;
+  gen.min_center_separation = 15.0;
+  gen.seed = GetParam();
+  std::vector<int32_t> truth;
+  const Dataset dataset = GenerateGaussianBlobs(gen, &truth);
+
+  DbscanParams params;
+  params.min_pts = 10;
+  params.epsilon = SuggestEpsilon(dataset, params.min_pts, 200, 1.5);
+  Clustering out;
+  ASSERT_TRUE(RunDbscan(dataset, params, &out).ok());
+  EXPECT_EQ(out.num_clusters, 3);
+  // Gaussian tails are legitimately labelled noise, which costs truth
+  // pairs; the bulk of each component must still be recovered.
+  EXPECT_GT(PairRecall(truth, out.labels), 0.8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DbscanBlobRecoveryTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace dbsvec

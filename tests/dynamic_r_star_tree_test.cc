@@ -1,0 +1,126 @@
+#include <tuple>
+
+#include "gtest/gtest.h"
+#include "index/brute_force_index.h"
+#include "index/dynamic_r_star_tree.h"
+#include "index/r_star_tree.h"
+#include "test_util.h"
+
+namespace dbsvec {
+namespace {
+
+TEST(DynamicRStarTreeTest, EmptyDataset) {
+  Dataset dataset(2);
+  DynamicRStarTree tree(dataset);
+  std::vector<PointIndex> out;
+  const double q[2] = {0.0, 0.0};
+  tree.RangeQuery(q, 10.0, &out);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(tree.size(), 0);
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+TEST(DynamicRStarTreeTest, SinglePoint) {
+  Dataset dataset(2, {3.0, 4.0});
+  DynamicRStarTree tree(dataset);
+  EXPECT_EQ(tree.size(), 1);
+  EXPECT_EQ(tree.height(), 1);
+  std::vector<PointIndex> out;
+  const double q[2] = {3.0, 4.0};
+  tree.RangeQuery(q, 0.1, &out);
+  EXPECT_EQ(out, (std::vector<PointIndex>{0}));
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+TEST(DynamicRStarTreeTest, HeightGrowsWithSplits) {
+  // 1000 points force multiple levels with fanout 16.
+  const Dataset dataset = testing::RandomDataset(1000, 2, 100.0, 301);
+  DynamicRStarTree tree(dataset);
+  EXPECT_EQ(tree.size(), 1000);
+  EXPECT_GE(tree.height(), 2);
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+TEST(DynamicRStarTreeTest, IncrementalInsertAfterConstruction) {
+  Dataset dataset(2);
+  const double p0[2] = {0.0, 0.0};
+  dataset.Append(p0);
+  DynamicRStarTree tree(dataset);
+  // Grow the dataset, then tell the tree.
+  for (int i = 1; i < 200; ++i) {
+    const double p[2] = {static_cast<double>(i % 20),
+                         static_cast<double>(i / 20)};
+    dataset.Append(p);
+    tree.Insert(static_cast<PointIndex>(i));
+  }
+  EXPECT_EQ(tree.size(), 200);
+  EXPECT_TRUE(tree.CheckInvariants());
+  const BruteForceIndex brute(dataset);
+  std::vector<PointIndex> expected;
+  std::vector<PointIndex> actual;
+  const double q[2] = {5.0, 5.0};
+  brute.RangeQuery(q, 3.0, &expected);
+  tree.RangeQuery(q, 3.0, &actual);
+  EXPECT_EQ(testing::Sorted(expected), testing::Sorted(actual));
+}
+
+TEST(DynamicRStarTreeTest, DuplicatePointsSurviveSplits) {
+  // Many coincident points stress the split logic (zero-margin axes).
+  std::vector<double> values;
+  for (int i = 0; i < 100; ++i) {
+    values.push_back(1.0);
+    values.push_back(2.0);
+  }
+  Dataset dataset(2, std::move(values));
+  DynamicRStarTree tree(dataset);
+  EXPECT_TRUE(tree.CheckInvariants());
+  std::vector<PointIndex> out;
+  const double q[2] = {1.0, 2.0};
+  tree.RangeQuery(q, 0.5, &out);
+  EXPECT_EQ(out.size(), 100u);
+}
+
+TEST(DynamicRStarTreeTest, MatchesPackedTreeExactly) {
+  const Dataset dataset = testing::RandomDataset(800, 3, 50.0, 303);
+  const DynamicRStarTree dynamic_tree(dataset);
+  const RStarTree packed_tree(dataset);
+  std::vector<PointIndex> a;
+  std::vector<PointIndex> b;
+  for (PointIndex q = 0; q < 40; ++q) {
+    dynamic_tree.RangeQuery(dataset.point(q), 7.5, &a);
+    packed_tree.RangeQuery(dataset.point(q), 7.5, &b);
+    EXPECT_EQ(testing::Sorted(a), testing::Sorted(b)) << "query " << q;
+  }
+}
+
+using DynSweepParam = std::tuple<int, int, double>;
+
+class DynamicRStarTreeSweepTest
+    : public ::testing::TestWithParam<DynSweepParam> {};
+
+TEST_P(DynamicRStarTreeSweepTest, MatchesBruteForceAndKeepsInvariants) {
+  const auto [n, dim, epsilon] = GetParam();
+  const Dataset dataset =
+      testing::RandomDataset(n, dim, 10.0, 7000 + n * 13 + dim);
+  const BruteForceIndex brute(dataset);
+  const DynamicRStarTree tree(dataset);
+  EXPECT_TRUE(tree.CheckInvariants());
+  std::vector<PointIndex> expected;
+  std::vector<PointIndex> actual;
+  const int queries = std::min<PointIndex>(40, dataset.size());
+  for (PointIndex q = 0; q < queries; ++q) {
+    brute.RangeQuery(dataset.point(q), epsilon, &expected);
+    tree.RangeQuery(dataset.point(q), epsilon, &actual);
+    EXPECT_EQ(testing::Sorted(expected), testing::Sorted(actual))
+        << "query " << q;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DynamicRStarTreeSweepTest,
+    ::testing::Combine(::testing::Values(1, 17, 300, 2000),
+                       ::testing::Values(1, 2, 5, 9),
+                       ::testing::Values(0.3, 1.5, 6.0)));
+
+}  // namespace
+}  // namespace dbsvec

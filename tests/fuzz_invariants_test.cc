@@ -1,0 +1,161 @@
+// Randomized invariant checks: for a sweep of random datasets and random
+// (epsilon, MinPts) settings, every clusterer must uphold its structural
+// contracts — valid labels, DBSVEC's containment/noise theorems, exact
+// algorithms agreeing with each other — regardless of geometry.
+
+#include <tuple>
+
+#include "cluster/dbscan.h"
+#include "cluster/lsh_dbscan.h"
+#include "cluster/nq_dbscan.h"
+#include "cluster/rho_approx_dbscan.h"
+#include "core/dbsvec.h"
+#include "data/synthetic.h"
+#include "eval/recall.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace dbsvec {
+namespace {
+
+/// A random mixture: some blobs, some uniform background, occasionally
+/// degenerate duplicates.
+Dataset FuzzDataset(uint64_t seed, int dim, PointIndex n) {
+  Rng rng(seed);
+  Dataset dataset(dim);
+  dataset.Reserve(n);
+  const int blobs = 1 + static_cast<int>(rng.NextBounded(4));
+  std::vector<double> center(dim);
+  std::vector<double> p(dim);
+  for (int b = 0; b < blobs; ++b) {
+    for (int j = 0; j < dim; ++j) {
+      center[j] = rng.Uniform(0.0, 50.0);
+    }
+    const double spread = rng.Uniform(0.2, 3.0);
+    const PointIndex share = n / (blobs + 1);
+    for (PointIndex i = 0; i < share; ++i) {
+      for (int j = 0; j < dim; ++j) {
+        p[j] = center[j] + rng.Gaussian(0.0, spread);
+      }
+      dataset.Append(p);
+    }
+  }
+  while (dataset.size() < n) {
+    if (rng.NextDouble() < 0.1 && dataset.size() > 0) {
+      // Duplicate an existing point exactly.
+      const PointIndex src =
+          static_cast<PointIndex>(rng.NextBounded(dataset.size()));
+      for (int j = 0; j < dim; ++j) {
+        p[j] = dataset.at(src, j);
+      }
+    } else {
+      for (int j = 0; j < dim; ++j) {
+        p[j] = rng.Uniform(0.0, 50.0);
+      }
+    }
+    dataset.Append(p);
+  }
+  return dataset;
+}
+
+void ExpectValidLabels(const Clustering& c, PointIndex n) {
+  ASSERT_EQ(static_cast<PointIndex>(c.labels.size()), n);
+  for (const int32_t label : c.labels) {
+    EXPECT_GE(label, Clustering::kNoise);
+    EXPECT_LT(label, c.num_clusters);
+  }
+  // Every advertised cluster id actually appears.
+  std::vector<char> seen(std::max(1, c.num_clusters), 0);
+  for (const int32_t label : c.labels) {
+    if (label >= 0) {
+      seen[label] = 1;
+    }
+  }
+  for (int32_t k = 0; k < c.num_clusters; ++k) {
+    EXPECT_TRUE(seen[k]) << "cluster " << k << " is empty";
+  }
+}
+
+using FuzzParam = std::tuple<uint64_t, int>;
+
+class FuzzInvariantsTest : public ::testing::TestWithParam<FuzzParam> {};
+
+TEST_P(FuzzInvariantsTest, AllClusterersUpholdContracts) {
+  const auto [seed, dim] = GetParam();
+  Rng rng(seed * 7919 + 13);
+  const PointIndex n = 300 + static_cast<PointIndex>(rng.NextBounded(500));
+  const Dataset dataset = FuzzDataset(seed, dim, n);
+  const int min_pts = 2 + static_cast<int>(rng.NextBounded(12));
+  const double epsilon =
+      SuggestEpsilon(dataset, min_pts) * rng.Uniform(0.5, 2.0);
+
+  DbscanParams dbscan_params;
+  dbscan_params.epsilon = epsilon;
+  dbscan_params.min_pts = min_pts;
+  Clustering reference;
+  ASSERT_TRUE(RunDbscan(dataset, dbscan_params, &reference).ok());
+  ExpectValidLabels(reference, n);
+
+  // NQ-DBSCAN is exact: identical partition.
+  NqDbscanParams nq_params;
+  nq_params.epsilon = epsilon;
+  nq_params.min_pts = min_pts;
+  Clustering nq;
+  ASSERT_TRUE(RunNqDbscan(dataset, nq_params, &nq).ok());
+  ExpectValidLabels(nq, n);
+  EXPECT_TRUE(testing::SamePartition(reference.labels, nq.labels));
+
+  // DBSVEC: valid labels, noise set identical (Theorem 3), and no two
+  // DBSCAN clusters merged (precision ~1; border tie-breaks excepted).
+  DbsvecParams dbsvec_params;
+  dbsvec_params.epsilon = epsilon;
+  dbsvec_params.min_pts = min_pts;
+  Clustering dbsvec_result;
+  ASSERT_TRUE(RunDbsvec(dataset, dbsvec_params, &dbsvec_result).ok());
+  ExpectValidLabels(dbsvec_result, n);
+  for (PointIndex i = 0; i < n; ++i) {
+    EXPECT_EQ(reference.labels[i] == Clustering::kNoise,
+              dbsvec_result.labels[i] == Clustering::kNoise)
+        << "noise mismatch at " << i;
+  }
+  EXPECT_GE(PairPrecision(reference.labels, dbsvec_result.labels), 0.99);
+  EXPECT_GE(PairRecall(reference.labels, dbsvec_result.labels), 0.9);
+
+  // rho-approximate with rho=0 is exact up to border-point tie-breaks:
+  // the core-point partition and the noise set must match DBSCAN's.
+  RhoApproxParams rho_params;
+  rho_params.epsilon = epsilon;
+  rho_params.min_pts = min_pts;
+  rho_params.rho = 0.0;
+  Clustering rho;
+  ASSERT_TRUE(RunRhoApproxDbscan(dataset, rho_params, &rho).ok());
+  ExpectValidLabels(rho, n);
+  std::vector<int32_t> ref_masked = reference.labels;
+  std::vector<int32_t> rho_masked = rho.labels;
+  for (PointIndex i = 0; i < n; ++i) {
+    EXPECT_EQ(reference.labels[i] == Clustering::kNoise,
+              rho.labels[i] == Clustering::kNoise)
+        << "rho=0 noise mismatch at " << i;
+    if (reference.point_types[i] == PointType::kBorder) {
+      ref_masked[i] = Clustering::kNoise;
+      rho_masked[i] = Clustering::kNoise;
+    }
+  }
+  EXPECT_TRUE(testing::SamePartition(ref_masked, rho_masked));
+
+  // DBSCAN-LSH: approximate but structurally valid.
+  LshDbscanParams lsh_params;
+  lsh_params.epsilon = epsilon;
+  lsh_params.min_pts = min_pts;
+  Clustering lsh;
+  ASSERT_TRUE(RunLshDbscan(dataset, lsh_params, &lsh).ok());
+  ExpectValidLabels(lsh, n);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FuzzInvariantsTest,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10),
+                       ::testing::Values(1, 2, 3, 5, 8)));
+
+}  // namespace
+}  // namespace dbsvec

@@ -1,0 +1,68 @@
+#include <tuple>
+
+#include "gtest/gtest.h"
+#include "index/brute_force_index.h"
+#include "index/grid_index.h"
+#include "test_util.h"
+
+namespace dbsvec {
+namespace {
+
+TEST(GridIndexTest, EmptyDataset) {
+  Dataset dataset(2);
+  GridIndex grid(dataset, 1.0);
+  std::vector<PointIndex> out;
+  const double q[2] = {0.0, 0.0};
+  grid.RangeQuery(q, 1.0, &out);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(grid.num_cells(), 0u);
+}
+
+TEST(GridIndexTest, NegativeCoordinatesHandled) {
+  Dataset dataset(2, {-1.5, -1.5, 1.5, 1.5});
+  GridIndex grid(dataset, 1.0);
+  std::vector<PointIndex> out;
+  const double q[2] = {-1.4, -1.4};
+  grid.RangeQuery(q, 0.5, &out);
+  EXPECT_EQ(out, (std::vector<PointIndex>{0}));
+}
+
+TEST(GridIndexTest, CellWidthStored) {
+  Dataset dataset(2, {0.0, 0.0});
+  GridIndex grid(dataset, 2.5);
+  EXPECT_DOUBLE_EQ(grid.cell_width(), 2.5);
+  EXPECT_EQ(grid.num_cells(), 1u);
+}
+
+using GridSweepParam = std::tuple<int, int, double>;
+
+class GridIndexSweepTest : public ::testing::TestWithParam<GridSweepParam> {
+};
+
+TEST_P(GridIndexSweepTest, MatchesBruteForceWhenRadiusWithinCellWidth) {
+  const auto [n, dim, epsilon] = GetParam();
+  const Dataset dataset =
+      testing::RandomDataset(n, dim, 10.0, 4000 + n * 7 + dim);
+  const BruteForceIndex brute(dataset);
+  // Cell width equal to the query radius: the 3^d neighborhood covers the
+  // ball, so results must be exact.
+  const GridIndex grid(dataset, epsilon);
+  std::vector<PointIndex> expected;
+  std::vector<PointIndex> actual;
+  const int queries = std::min<PointIndex>(30, dataset.size());
+  for (PointIndex q = 0; q < queries; ++q) {
+    brute.RangeQuery(dataset.point(q), epsilon, &expected);
+    grid.RangeQuery(dataset.point(q), epsilon, &actual);
+    EXPECT_EQ(testing::Sorted(expected), testing::Sorted(actual))
+        << "query " << q;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GridIndexSweepTest,
+    ::testing::Combine(::testing::Values(1, 64, 800),
+                       ::testing::Values(1, 2, 4),
+                       ::testing::Values(0.5, 2.0, 8.0)));
+
+}  // namespace
+}  // namespace dbsvec

@@ -1,0 +1,164 @@
+#include "cluster/hdbscan.h"
+#include "data/synthetic.h"
+#include "eval/external_metrics.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace dbsvec {
+namespace {
+
+TEST(HdbscanTest, InvalidParamsRejected) {
+  Dataset dataset(2, {0.0, 0.0});
+  Clustering out;
+  HdbscanParams params;
+  params.min_cluster_size = 1;
+  EXPECT_FALSE(RunHdbscan(dataset, params, &out).ok());
+  params.min_cluster_size = 5;
+  params.min_samples = -1;
+  EXPECT_FALSE(RunHdbscan(dataset, params, &out).ok());
+}
+
+TEST(HdbscanTest, EmptyAndTinyDatasets) {
+  Dataset empty(2);
+  Clustering out;
+  ASSERT_TRUE(RunHdbscan(empty, HdbscanParams(), &out).ok());
+  EXPECT_EQ(out.num_clusters, 0);
+
+  Dataset tiny(2, {0.0, 0.0, 1.0, 1.0});
+  ASSERT_TRUE(RunHdbscan(tiny, HdbscanParams(), &out).ok());
+  // Fewer points than min_cluster_size: everything is noise.
+  EXPECT_EQ(out.num_clusters, 0);
+  EXPECT_EQ(out.CountNoise(), 2);
+}
+
+TEST(HdbscanTest, RecoversSeparatedBlobs) {
+  GaussianBlobsParams gen;
+  gen.n = 600;
+  gen.dim = 2;
+  gen.num_clusters = 3;
+  gen.stddev = 0.8;
+  gen.min_center_separation = 25.0;
+  gen.seed = 501;
+  std::vector<int32_t> truth;
+  const Dataset dataset = GenerateGaussianBlobs(gen, &truth);
+  Clustering out;
+  HdbscanParams params;
+  params.min_cluster_size = 15;
+  ASSERT_TRUE(RunHdbscan(dataset, params, &out).ok());
+  EXPECT_EQ(out.num_clusters, 3);
+  EXPECT_GT(AdjustedRandIndex(truth, out.labels), 0.9);
+}
+
+TEST(HdbscanTest, HandlesVaryingDensityClusters) {
+  // HDBSCAN's selling point: one tight and one diffuse cluster, far
+  // apart — no single DBSCAN epsilon fits both, HDBSCAN finds both.
+  Rng rng(503);
+  Dataset dataset(2);
+  std::vector<int32_t> truth;
+  for (int i = 0; i < 300; ++i) {
+    const double p[2] = {rng.Gaussian(0.0, 0.3), rng.Gaussian(0.0, 0.3)};
+    dataset.Append(p);
+    truth.push_back(0);
+  }
+  for (int i = 0; i < 300; ++i) {
+    const double p[2] = {rng.Gaussian(60.0, 6.0), rng.Gaussian(0.0, 6.0)};
+    dataset.Append(p);
+    truth.push_back(1);
+  }
+  Clustering out;
+  HdbscanParams params;
+  params.min_cluster_size = 20;
+  ASSERT_TRUE(RunHdbscan(dataset, params, &out).ok());
+  EXPECT_EQ(out.num_clusters, 2);
+  EXPECT_GT(AdjustedRandIndex(truth, out.labels), 0.85);
+}
+
+TEST(HdbscanTest, UniformNoiseRejected) {
+  // Background noise between two blobs stays unlabelled.
+  GaussianBlobsParams gen;
+  gen.n = 500;
+  gen.dim = 2;
+  gen.num_clusters = 2;
+  gen.stddev = 0.5;
+  gen.min_center_separation = 40.0;
+  gen.noise_fraction = 0.2;
+  gen.seed = 505;
+  std::vector<int32_t> truth;
+  const Dataset dataset = GenerateGaussianBlobs(gen, &truth);
+  Clustering out;
+  HdbscanParams params;
+  // Above the size of any random clump the 20% background can form (a
+  // 15-point clump is a legitimate density cluster and does get found).
+  params.min_cluster_size = 25;
+  ASSERT_TRUE(RunHdbscan(dataset, params, &out).ok());
+  EXPECT_EQ(out.num_clusters, 2);
+  // Most generated-noise points must be labelled noise.
+  int noise_correct = 0;
+  int noise_total = 0;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    if (truth[i] == -1) {
+      ++noise_total;
+      noise_correct += out.labels[i] == Clustering::kNoise ? 1 : 0;
+    }
+  }
+  EXPECT_GT(noise_correct, noise_total / 2);
+}
+
+TEST(HdbscanTest, LargerMinClusterSizeCoarsens) {
+  GaussianBlobsParams gen;
+  gen.n = 800;
+  gen.dim = 2;
+  gen.num_clusters = 6;
+  gen.stddev = 1.0;
+  gen.seed = 507;
+  const Dataset dataset = GenerateGaussianBlobs(gen);
+  int32_t previous = 1 << 20;
+  for (const int mcs : {10, 80, 300}) {
+    Clustering out;
+    HdbscanParams params;
+    params.min_cluster_size = mcs;
+    ASSERT_TRUE(RunHdbscan(dataset, params, &out).ok());
+    EXPECT_LE(out.num_clusters, previous) << "mcs=" << mcs;
+    previous = out.num_clusters;
+  }
+}
+
+TEST(HdbscanTest, DeterministicAndValidLabels) {
+  const Dataset dataset = testing::RandomDataset(400, 3, 10.0, 509);
+  HdbscanParams params;
+  params.min_cluster_size = 8;
+  Clustering a;
+  Clustering b;
+  ASSERT_TRUE(RunHdbscan(dataset, params, &a).ok());
+  ASSERT_TRUE(RunHdbscan(dataset, params, &b).ok());
+  EXPECT_EQ(a.labels, b.labels);
+  for (const int32_t label : a.labels) {
+    EXPECT_GE(label, Clustering::kNoise);
+    EXPECT_LT(label, a.num_clusters);
+  }
+}
+
+TEST(HdbscanTest, DuplicatePointsHandled) {
+  std::vector<double> values;
+  for (int i = 0; i < 50; ++i) {
+    values.push_back(1.0);
+    values.push_back(1.0);
+  }
+  for (int i = 0; i < 50; ++i) {
+    values.push_back(9.0);
+    values.push_back(9.0);
+  }
+  Dataset dataset(2, std::move(values));
+  Clustering out;
+  HdbscanParams params;
+  params.min_cluster_size = 10;
+  ASSERT_TRUE(RunHdbscan(dataset, params, &out).ok());
+  EXPECT_EQ(out.num_clusters, 2);
+  EXPECT_EQ(out.CountNoise(), 0);
+  EXPECT_EQ(out.labels[0], out.labels[49]);
+  EXPECT_EQ(out.labels[50], out.labels[99]);
+  EXPECT_NE(out.labels[0], out.labels[50]);
+}
+
+}  // namespace
+}  // namespace dbsvec

@@ -1,0 +1,196 @@
+// End-to-end tests across modules: surrogate datasets -> clusterers ->
+// metrics -> CSV export, exercising the same paths as the paper-
+// reproduction benches but at test scale.
+
+#include <cstdio>
+#include <filesystem>
+
+#include "cluster/dbscan.h"
+#include "cluster/kmeans.h"
+#include "cluster/lsh_dbscan.h"
+#include "cluster/rho_approx_dbscan.h"
+#include "common/csv.h"
+#include "common/normalize.h"
+#include "core/dbsvec.h"
+#include "data/surrogates.h"
+#include "eval/external_metrics.h"
+#include "eval/internal_metrics.h"
+#include "eval/recall.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace dbsvec {
+namespace {
+
+/// Table III at test scale: DBSVEC must be essentially exact on the small
+/// surrogate datasets.
+class AccuracySuiteTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(AccuracySuiteTest, DbsvecNearExactOnSurrogate) {
+  SurrogateDataset surrogate;
+  ASSERT_TRUE(MakeSurrogate(GetParam(), &surrogate).ok());
+  DbscanParams dbscan_params;
+  dbscan_params.epsilon = surrogate.epsilon;
+  dbscan_params.min_pts = surrogate.min_pts;
+  Clustering reference;
+  ASSERT_TRUE(RunDbscan(surrogate.data, dbscan_params, &reference).ok());
+
+  DbsvecParams params;
+  params.epsilon = surrogate.epsilon;
+  params.min_pts = surrogate.min_pts;
+  Clustering out;
+  ASSERT_TRUE(RunDbsvec(surrogate.data, params, &out).ok());
+  EXPECT_GE(PairRecall(reference.labels, out.labels), 0.99);
+  EXPECT_GE(PairPrecision(reference.labels, out.labels), 0.999);
+  EXPECT_EQ(reference.CountNoise(), out.CountNoise());  // Theorem 3.
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallSurrogates, AccuracySuiteTest,
+                         ::testing::Values("Seeds", "Breast", "Dim32",
+                                           "Dim64", "D31", "t4.8k"),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (c == '.' || c == '-') {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+TEST(IntegrationTest, AllApproximationsBeatChanceOnD31) {
+  SurrogateDataset surrogate;
+  ASSERT_TRUE(MakeSurrogate("D31", &surrogate).ok());
+  DbscanParams dbscan_params;
+  dbscan_params.epsilon = surrogate.epsilon;
+  dbscan_params.min_pts = surrogate.min_pts;
+  Clustering reference;
+  ASSERT_TRUE(RunDbscan(surrogate.data, dbscan_params, &reference).ok());
+
+  RhoApproxParams rho_params;
+  rho_params.epsilon = surrogate.epsilon;
+  rho_params.min_pts = surrogate.min_pts;
+  Clustering rho;
+  ASSERT_TRUE(RunRhoApproxDbscan(surrogate.data, rho_params, &rho).ok());
+  EXPECT_GT(PairRecall(reference.labels, rho.labels), 0.9);
+
+  LshDbscanParams lsh_params;
+  lsh_params.epsilon = surrogate.epsilon;
+  lsh_params.min_pts = surrogate.min_pts;
+  Clustering lsh;
+  ASSERT_TRUE(RunLshDbscan(surrogate.data, lsh_params, &lsh).ok());
+  EXPECT_GT(PairRecall(reference.labels, lsh.labels), 0.5);
+}
+
+TEST(IntegrationTest, PipelineClusterExportReimportAgreement) {
+  SurrogateDataset surrogate;
+  ASSERT_TRUE(MakeSurrogate("Seeds", &surrogate).ok());
+  DbsvecParams params;
+  params.epsilon = surrogate.epsilon;
+  params.min_pts = surrogate.min_pts;
+  Clustering out;
+  ASSERT_TRUE(RunDbsvec(surrogate.data, params, &out).ok());
+
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "dbsvec_integration.csv")
+          .string();
+  ASSERT_TRUE(WriteCsv(surrogate.data, out.labels, path).ok());
+  Dataset reloaded(1);
+  std::vector<int32_t> labels;
+  ASSERT_TRUE(ReadCsv(path, true, &reloaded, &labels).ok());
+  EXPECT_EQ(reloaded.size(), surrogate.data.size());
+  EXPECT_EQ(labels, out.labels);
+  // Clustering the reloaded data reproduces the identical result.
+  Clustering again;
+  ASSERT_TRUE(RunDbsvec(reloaded, params, &again).ok());
+  EXPECT_EQ(again.labels, out.labels);
+  std::remove(path.c_str());
+}
+
+TEST(IntegrationTest, NormalizationPreservesClusterStructure) {
+  SurrogateDataset surrogate;
+  ASSERT_TRUE(MakeSurrogate("Breast", &surrogate).ok());
+  DbsvecParams params;
+  params.epsilon = surrogate.epsilon;
+  params.min_pts = surrogate.min_pts;
+  Clustering original;
+  ASSERT_TRUE(RunDbsvec(surrogate.data, params, &original).ok());
+
+  // Uniform upscaling of coordinates and epsilon must not change the
+  // partition (Euclidean similarity invariance).
+  Dataset scaled = surrogate.data;
+  for (PointIndex i = 0; i < scaled.size(); ++i) {
+    for (int j = 0; j < scaled.dim(); ++j) {
+      scaled.at(i, j) *= 1000.0;
+    }
+  }
+  params.epsilon = surrogate.epsilon * 1000.0;
+  Clustering rescaled;
+  ASSERT_TRUE(RunDbsvec(scaled, params, &rescaled).ok());
+  EXPECT_TRUE(testing::SamePartition(original.labels, rescaled.labels));
+}
+
+TEST(IntegrationTest, InternalMetricsPreferDbsvecOverRandom) {
+  // Table IV's logic at test scale: DBSVEC's partition must dominate a
+  // random one on both internal metrics.
+  SurrogateDataset surrogate;
+  ASSERT_TRUE(MakeSurrogate("Miss", &surrogate).ok());
+  DbsvecParams params;
+  params.epsilon = surrogate.epsilon;
+  params.min_pts = surrogate.min_pts;
+  Clustering out;
+  ASSERT_TRUE(RunDbsvec(surrogate.data, params, &out).ok());
+  ASSERT_GE(out.num_clusters, 2);
+
+  Rng rng(7);
+  std::vector<int32_t> random(out.labels.size());
+  for (auto& label : random) {
+    label = static_cast<int32_t>(rng.NextBounded(out.num_clusters));
+  }
+  EXPECT_GT(Compactness(surrogate.data, out.labels),
+            Compactness(surrogate.data, random));
+  EXPECT_LT(Separation(surrogate.data, out.labels),
+            Separation(surrogate.data, random));
+}
+
+TEST(IntegrationTest, ExternalMetricsConsistentWithRecall) {
+  SurrogateDataset surrogate;
+  ASSERT_TRUE(MakeSurrogate("Dim32", &surrogate).ok());
+  DbscanParams dbscan_params;
+  dbscan_params.epsilon = surrogate.epsilon;
+  dbscan_params.min_pts = surrogate.min_pts;
+  Clustering reference;
+  ASSERT_TRUE(RunDbscan(surrogate.data, dbscan_params, &reference).ok());
+  DbsvecParams params;
+  params.epsilon = surrogate.epsilon;
+  params.min_pts = surrogate.min_pts;
+  Clustering out;
+  ASSERT_TRUE(RunDbsvec(surrogate.data, params, &out).ok());
+  // Perfect recall+precision implies perfect ARI and NMI.
+  if (PairRecall(reference.labels, out.labels) == 1.0 &&
+      PairPrecision(reference.labels, out.labels) == 1.0) {
+    EXPECT_NEAR(AdjustedRandIndex(reference.labels, out.labels), 1.0, 1e-9);
+    EXPECT_NEAR(NormalizedMutualInformation(reference.labels, out.labels),
+                1.0, 1e-9);
+  }
+}
+
+TEST(IntegrationTest, KMeansAndDbsvecAgreeOnBlobSurrogate) {
+  SurrogateDataset surrogate;
+  ASSERT_TRUE(MakeSurrogate("Dim64", &surrogate).ok());
+  DbsvecParams params;
+  params.epsilon = surrogate.epsilon;
+  params.min_pts = surrogate.min_pts;
+  Clustering density;
+  ASSERT_TRUE(RunDbsvec(surrogate.data, params, &density).ok());
+  KMeansParams kmeans_params;
+  kmeans_params.k = std::max(2, density.num_clusters);
+  Clustering partitional;
+  ASSERT_TRUE(RunKMeans(surrogate.data, kmeans_params, &partitional).ok());
+  // On 16 well-separated Gaussian clusters both families find the same
+  // structure.
+  EXPECT_GT(AdjustedRandIndex(density.labels, partitional.labels), 0.9);
+}
+
+}  // namespace
+}  // namespace dbsvec

@@ -1,0 +1,180 @@
+#include <algorithm>
+#include <tuple>
+#include <utility>
+
+#include "gtest/gtest.h"
+#include "index/brute_force_index.h"
+#include "index/kd_tree.h"
+#include "test_util.h"
+
+namespace dbsvec {
+namespace {
+
+TEST(KdTreeTest, EmptyDatasetReturnsNothing) {
+  Dataset dataset(2);
+  KdTree tree(dataset);
+  std::vector<PointIndex> out;
+  const double q[2] = {0.0, 0.0};
+  tree.RangeQuery(q, 10.0, &out);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(tree.RangeCount(q, 10.0), 0);
+}
+
+TEST(KdTreeTest, SinglePointHitAndMiss) {
+  Dataset dataset(2, {1.0, 1.0});
+  KdTree tree(dataset);
+  std::vector<PointIndex> out;
+  const double near[2] = {1.5, 1.0};
+  tree.RangeQuery(near, 0.6, &out);
+  EXPECT_EQ(out.size(), 1u);
+  const double far[2] = {3.0, 3.0};
+  tree.RangeQuery(far, 0.5, &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(KdTreeTest, BoundaryDistanceIsInclusive) {
+  Dataset dataset(1, {0.0, 3.0});
+  KdTree tree(dataset);
+  std::vector<PointIndex> out;
+  const double q[1] = {0.0};
+  tree.RangeQuery(q, 3.0, &out);
+  EXPECT_EQ(out.size(), 2u);  // Definition 1: dist <= epsilon.
+}
+
+TEST(KdTreeTest, DuplicatePointsAllReturned) {
+  Dataset dataset(2, {2.0, 2.0, 2.0, 2.0, 2.0, 2.0});
+  KdTree tree(dataset);
+  std::vector<PointIndex> out;
+  const double q[2] = {2.0, 2.0};
+  tree.RangeQuery(q, 0.1, &out);
+  EXPECT_EQ(out.size(), 3u);
+}
+
+TEST(KdTreeTest, CountsMatchQueries) {
+  const Dataset dataset = testing::RandomDataset(500, 3, 10.0, 21);
+  KdTree tree(dataset);
+  std::vector<PointIndex> out;
+  for (PointIndex i = 0; i < 20; ++i) {
+    tree.RangeQuery(dataset.point(i), 1.5, &out);
+    EXPECT_EQ(tree.RangeCount(dataset.point(i), 1.5),
+              static_cast<PointIndex>(out.size()));
+  }
+}
+
+TEST(KdTreeTest, InstrumentationCounters) {
+  const Dataset dataset = testing::RandomDataset(100, 2, 10.0, 3);
+  KdTree tree(dataset);
+  std::vector<PointIndex> out;
+  tree.RangeQuery(dataset.point(0), 1.0, &out);
+  tree.RangeQuery(dataset.point(1), 1.0, &out);
+  EXPECT_EQ(tree.num_range_queries(), 2u);
+  EXPECT_GT(tree.num_distance_computations(), 0u);
+  tree.ResetCounters();
+  EXPECT_EQ(tree.num_range_queries(), 0u);
+  EXPECT_EQ(tree.num_distance_computations(), 0u);
+}
+
+TEST(KdTreeKnnTest, EmptyAndDegenerateInputs) {
+  Dataset empty(2);
+  KdTree tree(empty);
+  std::vector<std::pair<double, PointIndex>> out;
+  const double q[2] = {0.0, 0.0};
+  tree.KnnQuery(q, 3, &out);
+  EXPECT_TRUE(out.empty());
+
+  Dataset one(2, {1.0, 1.0});
+  KdTree single(one);
+  single.KnnQuery(q, 0, &out);
+  EXPECT_TRUE(out.empty());
+  single.KnnQuery(q, 5, &out);  // k larger than n.
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].second, 0);
+}
+
+TEST(KdTreeKnnTest, SelfIsNearestNeighbor) {
+  const Dataset dataset = testing::RandomDataset(300, 3, 10.0, 23);
+  KdTree tree(dataset);
+  std::vector<std::pair<double, PointIndex>> out;
+  for (PointIndex q = 0; q < 20; ++q) {
+    tree.KnnQuery(dataset.point(q), 1, &out);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].second, q);
+    EXPECT_DOUBLE_EQ(out[0].first, 0.0);
+  }
+}
+
+TEST(KdTreeKnnTest, ResultsSortedAscending) {
+  const Dataset dataset = testing::RandomDataset(500, 2, 10.0, 25);
+  KdTree tree(dataset);
+  std::vector<std::pair<double, PointIndex>> out;
+  tree.KnnQuery(dataset.point(7), 20, &out);
+  ASSERT_EQ(out.size(), 20u);
+  for (size_t i = 1; i < out.size(); ++i) {
+    EXPECT_LE(out[i - 1].first, out[i].first);
+  }
+}
+
+class KdTreeKnnSweepTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(KdTreeKnnSweepTest, MatchesBruteForceKnn) {
+  const auto [n, dim, k] = GetParam();
+  const Dataset dataset =
+      testing::RandomDataset(n, dim, 10.0, 5000 + n * 3 + dim + k);
+  KdTree tree(dataset);
+  std::vector<std::pair<double, PointIndex>> actual;
+  const int queries = std::min<PointIndex>(20, dataset.size());
+  for (PointIndex q = 0; q < queries; ++q) {
+    tree.KnnQuery(dataset.point(q), k, &actual);
+    // Brute-force reference distances.
+    std::vector<double> all;
+    for (PointIndex i = 0; i < dataset.size(); ++i) {
+      all.push_back(dataset.Distance(q, i));
+    }
+    std::sort(all.begin(), all.end());
+    const size_t expected_count =
+        std::min<size_t>(static_cast<size_t>(k), all.size());
+    ASSERT_EQ(actual.size(), expected_count);
+    for (size_t i = 0; i < expected_count; ++i) {
+      EXPECT_NEAR(actual[i].first, all[i], 1e-9) << "rank " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, KdTreeKnnSweepTest,
+    ::testing::Combine(::testing::Values(5, 100, 1200),
+                       ::testing::Values(1, 3, 8),
+                       ::testing::Values(1, 5, 32)));
+
+// Property sweep: kd-tree results must equal brute force on every
+// (n, d, epsilon) combination.
+using KdTreeSweepParam = std::tuple<int, int, double>;
+
+class KdTreeSweepTest : public ::testing::TestWithParam<KdTreeSweepParam> {};
+
+TEST_P(KdTreeSweepTest, MatchesBruteForce) {
+  const auto [n, dim, epsilon] = GetParam();
+  const Dataset dataset =
+      testing::RandomDataset(n, dim, 10.0, 1000 + n + dim);
+  const BruteForceIndex brute(dataset);
+  const KdTree tree(dataset);
+  std::vector<PointIndex> expected;
+  std::vector<PointIndex> actual;
+  const int queries = std::min<PointIndex>(50, dataset.size());
+  for (PointIndex q = 0; q < queries; ++q) {
+    brute.RangeQuery(dataset.point(q), epsilon, &expected);
+    tree.RangeQuery(dataset.point(q), epsilon, &actual);
+    EXPECT_EQ(testing::Sorted(expected), testing::Sorted(actual))
+        << "query " << q;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, KdTreeSweepTest,
+    ::testing::Combine(::testing::Values(1, 10, 100, 1000),
+                       ::testing::Values(1, 2, 5, 16),
+                       ::testing::Values(0.1, 1.0, 4.0, 20.0)));
+
+}  // namespace
+}  // namespace dbsvec

@@ -1,0 +1,99 @@
+#include "cluster/kmeans.h"
+#include "data/synthetic.h"
+#include "eval/external_metrics.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace dbsvec {
+namespace {
+
+TEST(KMeansTest, InvalidParamsRejected) {
+  Dataset dataset(2, {0.0, 0.0, 1.0, 1.0});
+  Clustering out;
+  KMeansParams params;
+  params.k = 0;
+  EXPECT_FALSE(RunKMeans(dataset, params, &out).ok());
+  params.k = 5;  // More clusters than points.
+  EXPECT_FALSE(RunKMeans(dataset, params, &out).ok());
+}
+
+TEST(KMeansTest, AssignsEveryPoint) {
+  const Dataset dataset = testing::RandomDataset(300, 3, 10.0, 91);
+  Clustering out;
+  KMeansParams params;
+  params.k = 7;
+  ASSERT_TRUE(RunKMeans(dataset, params, &out).ok());
+  EXPECT_EQ(out.num_clusters, 7);
+  EXPECT_EQ(out.CountNoise(), 0);
+  for (const int32_t label : out.labels) {
+    EXPECT_GE(label, 0);
+    EXPECT_LT(label, 7);
+  }
+}
+
+TEST(KMeansTest, RecoversSeparatedBlobs) {
+  GaussianBlobsParams gen;
+  gen.n = 900;
+  gen.dim = 2;
+  gen.num_clusters = 3;
+  gen.stddev = 0.7;
+  gen.min_center_separation = 20.0;
+  gen.seed = 93;
+  std::vector<int32_t> truth;
+  const Dataset dataset = GenerateGaussianBlobs(gen, &truth);
+  Clustering out;
+  KMeansParams params;
+  params.k = 3;
+  ASSERT_TRUE(RunKMeans(dataset, params, &out).ok());
+  EXPECT_GT(AdjustedRandIndex(truth, out.labels), 0.95);
+}
+
+TEST(KMeansTest, DeterministicForEqualSeeds) {
+  const Dataset dataset = testing::RandomDataset(200, 2, 10.0, 95);
+  KMeansParams params;
+  params.k = 4;
+  Clustering a;
+  Clustering b;
+  ASSERT_TRUE(RunKMeans(dataset, params, &a).ok());
+  ASSERT_TRUE(RunKMeans(dataset, params, &b).ok());
+  EXPECT_EQ(a.labels, b.labels);
+}
+
+TEST(KMeansTest, CentroidsMatchAssignments) {
+  const Dataset dataset = testing::RandomDataset(250, 2, 10.0, 97);
+  KMeansParams params;
+  params.k = 5;
+  Clustering out;
+  std::vector<double> centroids;
+  ASSERT_TRUE(
+      RunKMeansWithCentroids(dataset, params, &out, &centroids).ok());
+  ASSERT_EQ(centroids.size(), 5u * 2u);
+  // Every point must be nearest to its assigned centroid.
+  for (PointIndex i = 0; i < dataset.size(); ++i) {
+    double best = 1e300;
+    int best_c = -1;
+    for (int c = 0; c < 5; ++c) {
+      const std::span<const double> center{centroids.data() + 2 * c, 2};
+      const double d = dataset.SquaredDistanceTo(i, center);
+      if (d < best) {
+        best = d;
+        best_c = c;
+      }
+    }
+    EXPECT_EQ(out.labels[i], best_c);
+  }
+}
+
+TEST(KMeansTest, KEqualsOneGroupsEverything) {
+  const Dataset dataset = testing::RandomDataset(50, 2, 10.0, 99);
+  Clustering out;
+  KMeansParams params;
+  params.k = 1;
+  ASSERT_TRUE(RunKMeans(dataset, params, &out).ok());
+  for (const int32_t label : out.labels) {
+    EXPECT_EQ(label, 0);
+  }
+}
+
+}  // namespace
+}  // namespace dbsvec

@@ -1,0 +1,90 @@
+#include "cluster/dbscan.h"
+#include "cluster/lsh_dbscan.h"
+#include "data/synthetic.h"
+#include "eval/recall.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace dbsvec {
+namespace {
+
+TEST(LshDbscanTest, InvalidParamsRejected) {
+  Dataset dataset(2, {0.0, 0.0});
+  Clustering out;
+  LshDbscanParams params;
+  params.epsilon = 0.0;
+  EXPECT_FALSE(RunLshDbscan(dataset, params, &out).ok());
+}
+
+TEST(LshDbscanTest, ReasonableRecallOnSeparatedBlobs) {
+  GaussianBlobsParams gen;
+  gen.n = 800;
+  gen.dim = 3;
+  gen.num_clusters = 4;
+  gen.stddev = 1.0;
+  gen.noise_fraction = 0.02;
+  gen.seed = 81;
+  const Dataset dataset = GenerateGaussianBlobs(gen);
+
+  const int min_pts = 5;
+  const double epsilon = SuggestEpsilon(dataset, min_pts);
+  DbscanParams exact;
+  exact.epsilon = epsilon;
+  exact.min_pts = min_pts;
+  Clustering reference;
+  ASSERT_TRUE(RunDbscan(dataset, exact, &reference).ok());
+
+  LshDbscanParams params;
+  params.epsilon = epsilon;
+  params.min_pts = min_pts;
+  Clustering out;
+  ASSERT_TRUE(RunLshDbscan(dataset, params, &out).ok());
+  // Hashing is lossy: expect decent but not perfect agreement.
+  EXPECT_GT(PairRecall(reference.labels, out.labels), 0.5);
+}
+
+TEST(LshDbscanTest, MoreTablesImproveAgreement) {
+  GaussianBlobsParams gen;
+  gen.n = 600;
+  gen.dim = 4;
+  gen.num_clusters = 3;
+  gen.stddev = 1.0;
+  gen.seed = 83;
+  const Dataset dataset = GenerateGaussianBlobs(gen);
+  const int min_pts = 5;
+  const double epsilon = SuggestEpsilon(dataset, min_pts);
+
+  DbscanParams exact;
+  exact.epsilon = epsilon;
+  exact.min_pts = min_pts;
+  Clustering reference;
+  ASSERT_TRUE(RunDbscan(dataset, exact, &reference).ok());
+
+  double recalls[2] = {0.0, 0.0};
+  const int table_counts[2] = {2, 24};
+  for (int variant = 0; variant < 2; ++variant) {
+    LshDbscanParams params;
+    params.epsilon = epsilon;
+    params.min_pts = min_pts;
+    params.lsh.num_tables = table_counts[variant];
+    Clustering out;
+    ASSERT_TRUE(RunLshDbscan(dataset, params, &out).ok());
+    recalls[variant] = PairRecall(reference.labels, out.labels);
+  }
+  EXPECT_GE(recalls[1] + 0.02, recalls[0]);
+}
+
+TEST(LshDbscanTest, DeterministicForEqualSeeds) {
+  const Dataset dataset = testing::RandomDataset(400, 3, 10.0, 85);
+  LshDbscanParams params;
+  params.epsilon = 1.0;
+  params.min_pts = 4;
+  Clustering a;
+  Clustering b;
+  ASSERT_TRUE(RunLshDbscan(dataset, params, &a).ok());
+  ASSERT_TRUE(RunLshDbscan(dataset, params, &b).ok());
+  EXPECT_EQ(a.labels, b.labels);
+}
+
+}  // namespace
+}  // namespace dbsvec

@@ -1,0 +1,210 @@
+#include <cmath>
+
+#include "data/synthetic.h"
+#include "eval/external_metrics.h"
+#include "eval/internal_metrics.h"
+#include "eval/recall.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace dbsvec {
+namespace {
+
+TEST(PairRecallTest, IdenticalLabelingsScoreOne) {
+  const std::vector<int32_t> labels = {0, 0, 1, 1, 2, -1};
+  EXPECT_DOUBLE_EQ(PairRecall(labels, labels), 1.0);
+  EXPECT_DOUBLE_EQ(PairPrecision(labels, labels), 1.0);
+}
+
+TEST(PairRecallTest, RenamedLabelingsScoreOne) {
+  const std::vector<int32_t> a = {0, 0, 1, 1};
+  const std::vector<int32_t> b = {7, 7, 3, 3};
+  EXPECT_DOUBLE_EQ(PairRecall(a, b), 1.0);
+}
+
+TEST(PairRecallTest, SplitHalvesPairs) {
+  // Reference: one cluster of 4 (6 pairs). Split into two clusters of 2:
+  // 2 preserved pairs -> recall 1/3.
+  const std::vector<int32_t> reference = {0, 0, 0, 0};
+  const std::vector<int32_t> split = {0, 0, 1, 1};
+  EXPECT_NEAR(PairRecall(reference, split), 2.0 / 6.0, 1e-12);
+  // The split labeling loses no pairs of its own: precision 1.
+  EXPECT_DOUBLE_EQ(PairPrecision(reference, split), 1.0);
+}
+
+TEST(PairRecallTest, MergePenalizesPrecisionNotRecall) {
+  const std::vector<int32_t> reference = {0, 0, 1, 1};
+  const std::vector<int32_t> merged = {0, 0, 0, 0};
+  EXPECT_DOUBLE_EQ(PairRecall(reference, merged), 1.0);
+  EXPECT_NEAR(PairPrecision(reference, merged), 2.0 / 6.0, 1e-12);
+}
+
+TEST(PairRecallTest, NoiseFormsNoPairs) {
+  const std::vector<int32_t> reference = {0, 0, -1, -1};
+  const std::vector<int32_t> noisy = {0, 0, 0, 0};
+  // The two reference-noise points form no reference pairs.
+  EXPECT_DOUBLE_EQ(PairRecall(reference, noisy), 1.0);
+  // Losing a clustered point to noise costs recall.
+  const std::vector<int32_t> lost = {0, -1, -1, -1};
+  EXPECT_DOUBLE_EQ(PairRecall(reference, lost), 0.0);
+}
+
+TEST(PairRecallTest, EmptyAndPairFreeReferencesScoreOne) {
+  EXPECT_DOUBLE_EQ(PairRecall({}, {}), 1.0);
+  const std::vector<int32_t> singletons = {0, 1, 2};
+  const std::vector<int32_t> anything = {0, 0, 0};
+  EXPECT_DOUBLE_EQ(PairRecall(singletons, anything), 1.0);
+}
+
+TEST(AriTest, PerfectAgreementIsOne) {
+  const std::vector<int32_t> a = {0, 0, 1, 1, 2, 2};
+  const std::vector<int32_t> b = {5, 5, 9, 9, 1, 1};
+  EXPECT_NEAR(AdjustedRandIndex(a, b), 1.0, 1e-12);
+}
+
+TEST(AriTest, IndependentPartitionsNearZero) {
+  Rng rng(31);
+  std::vector<int32_t> a(2000);
+  std::vector<int32_t> b(2000);
+  for (size_t i = 0; i < a.size(); ++i) {
+    a[i] = static_cast<int32_t>(rng.NextBounded(5));
+    b[i] = static_cast<int32_t>(rng.NextBounded(5));
+  }
+  EXPECT_NEAR(AdjustedRandIndex(a, b), 0.0, 0.05);
+}
+
+TEST(AriTest, DisagreementLowersScore) {
+  const std::vector<int32_t> a = {0, 0, 0, 1, 1, 1};
+  const std::vector<int32_t> b = {0, 0, 1, 1, 1, 0};
+  const double score = AdjustedRandIndex(a, b);
+  EXPECT_LT(score, 1.0);
+  EXPECT_GT(score, -1.0);
+}
+
+TEST(NmiTest, PerfectAgreementIsOne) {
+  const std::vector<int32_t> a = {0, 0, 1, 1};
+  const std::vector<int32_t> b = {3, 3, 7, 7};
+  EXPECT_NEAR(NormalizedMutualInformation(a, b), 1.0, 1e-12);
+}
+
+TEST(NmiTest, IndependentPartitionsNearZero) {
+  Rng rng(37);
+  std::vector<int32_t> a(5000);
+  std::vector<int32_t> b(5000);
+  for (size_t i = 0; i < a.size(); ++i) {
+    a[i] = static_cast<int32_t>(rng.NextBounded(4));
+    b[i] = static_cast<int32_t>(rng.NextBounded(4));
+  }
+  EXPECT_LT(NormalizedMutualInformation(a, b), 0.05);
+}
+
+TEST(NmiTest, BoundedByOne) {
+  const std::vector<int32_t> a = {0, 1, 0, 1, 2, 2};
+  const std::vector<int32_t> b = {0, 0, 1, 1, 2, 0};
+  const double score = NormalizedMutualInformation(a, b);
+  EXPECT_GE(score, 0.0);
+  EXPECT_LE(score, 1.0);
+}
+
+TEST(CompactnessTest, WellSeparatedBlobsScoreNearOne) {
+  GaussianBlobsParams gen;
+  gen.n = 400;
+  gen.dim = 2;
+  gen.num_clusters = 2;
+  gen.stddev = 0.5;
+  gen.min_center_separation = 40.0;
+  gen.seed = 41;
+  std::vector<int32_t> truth;
+  const Dataset dataset = GenerateGaussianBlobs(gen, &truth);
+  EXPECT_GT(Compactness(dataset, truth), 0.85);
+}
+
+TEST(CompactnessTest, BadPartitionScoresLow) {
+  GaussianBlobsParams gen;
+  gen.n = 400;
+  gen.dim = 2;
+  gen.num_clusters = 2;
+  gen.stddev = 0.5;
+  gen.min_center_separation = 40.0;
+  gen.seed = 43;
+  std::vector<int32_t> truth;
+  const Dataset dataset = GenerateGaussianBlobs(gen, &truth);
+  // Random labels: silhouette collapses.
+  Rng rng(44);
+  std::vector<int32_t> random(truth.size());
+  for (auto& label : random) {
+    label = static_cast<int32_t>(rng.NextBounded(2));
+  }
+  EXPECT_LT(Compactness(dataset, random), 0.1);
+  EXPECT_GT(Compactness(dataset, truth),
+            Compactness(dataset, random));
+}
+
+TEST(CompactnessTest, SingleClusterScoresZero) {
+  const Dataset dataset = testing::RandomDataset(100, 2, 10.0, 45);
+  const std::vector<int32_t> one(100, 0);
+  EXPECT_DOUBLE_EQ(Compactness(dataset, one), 0.0);
+}
+
+TEST(CompactnessTest, SampledEvaluationTracksExact) {
+  GaussianBlobsParams gen;
+  gen.n = 1200;
+  gen.dim = 2;
+  gen.num_clusters = 3;
+  gen.stddev = 1.0;
+  gen.seed = 47;
+  std::vector<int32_t> truth;
+  const Dataset dataset = GenerateGaussianBlobs(gen, &truth);
+  const double exact = Compactness(dataset, truth, /*sample_cap=*/0);
+  const double sampled = Compactness(dataset, truth, /*sample_cap=*/300);
+  EXPECT_NEAR(exact, sampled, 0.05);
+}
+
+TEST(SeparationTest, WellSeparatedBlobsScoreLow) {
+  GaussianBlobsParams gen;
+  gen.n = 400;
+  gen.dim = 2;
+  gen.num_clusters = 3;
+  gen.stddev = 0.5;
+  gen.min_center_separation = 40.0;
+  gen.seed = 49;
+  std::vector<int32_t> truth;
+  const Dataset dataset = GenerateGaussianBlobs(gen, &truth);
+  const double good = Separation(dataset, truth);
+  EXPECT_GT(good, 0.0);
+  EXPECT_LT(good, 0.3);
+  // A random partition has much worse (higher) Davies-Bouldin.
+  Rng rng(50);
+  std::vector<int32_t> random(truth.size());
+  for (auto& label : random) {
+    label = static_cast<int32_t>(rng.NextBounded(3));
+  }
+  EXPECT_GT(Separation(dataset, random), good);
+}
+
+TEST(SeparationTest, SingleClusterScoresZero) {
+  const Dataset dataset = testing::RandomDataset(50, 2, 10.0, 51);
+  const std::vector<int32_t> one(50, 0);
+  EXPECT_DOUBLE_EQ(Separation(dataset, one), 0.0);
+}
+
+TEST(SeparationTest, NoiseExcluded) {
+  GaussianBlobsParams gen;
+  gen.n = 300;
+  gen.dim = 2;
+  gen.num_clusters = 2;
+  gen.stddev = 0.5;
+  gen.min_center_separation = 40.0;
+  gen.seed = 53;
+  std::vector<int32_t> truth;
+  const Dataset dataset = GenerateGaussianBlobs(gen, &truth);
+  std::vector<int32_t> with_noise = truth;
+  with_noise[0] = -1;
+  with_noise[1] = -1;
+  // Still well-defined and close to the noise-free value.
+  EXPECT_NEAR(Separation(dataset, with_noise), Separation(dataset, truth),
+              0.05);
+}
+
+}  // namespace
+}  // namespace dbsvec

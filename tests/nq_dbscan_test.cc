@@ -1,0 +1,110 @@
+#include <tuple>
+
+#include "cluster/dbscan.h"
+#include "cluster/nq_dbscan.h"
+#include "data/synthetic.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace dbsvec {
+namespace {
+
+TEST(NqDbscanTest, InvalidParamsRejected) {
+  Dataset dataset(2, {0.0, 0.0});
+  Clustering out;
+  NqDbscanParams params;
+  params.epsilon = 0.0;
+  EXPECT_FALSE(RunNqDbscan(dataset, params, &out).ok());
+  params.epsilon = 1.0;
+  params.min_pts = 0;
+  EXPECT_FALSE(RunNqDbscan(dataset, params, &out).ok());
+}
+
+TEST(NqDbscanTest, EmptyDataset) {
+  Dataset dataset(2);
+  Clustering out;
+  ASSERT_TRUE(RunNqDbscan(dataset, NqDbscanParams(), &out).ok());
+  EXPECT_EQ(out.num_clusters, 0);
+}
+
+TEST(NqDbscanTest, SimpleScene) {
+  Dataset dataset(2, {0.0, 0.0, 0.1, 0.0, 0.0, 0.1,
+                      5.0, 5.0, 5.1, 5.0, 5.0, 5.1,
+                      20.0, 20.0});
+  Clustering out;
+  NqDbscanParams params;
+  params.epsilon = 0.2;
+  params.min_pts = 3;
+  ASSERT_TRUE(RunNqDbscan(dataset, params, &out).ok());
+  EXPECT_EQ(out.num_clusters, 2);
+  EXPECT_EQ(out.CountNoise(), 1);
+}
+
+TEST(NqDbscanTest, PrunesDistanceComputations) {
+  // NQ-DBSCAN's point: fewer distance evaluations than DBSCAN-over-linear-
+  // scan (which needs n per range query) on clustered data.
+  GaussianBlobsParams gen;
+  gen.n = 1500;
+  gen.dim = 2;
+  gen.num_clusters = 5;
+  gen.stddev = 0.8;
+  gen.seed = 87;
+  const Dataset dataset = GenerateGaussianBlobs(gen);
+  const double epsilon = SuggestEpsilon(dataset, 5);
+
+  DbscanParams brute;
+  brute.epsilon = epsilon;
+  brute.min_pts = 5;
+  brute.index = IndexType::kBruteForce;
+  Clustering reference;
+  ASSERT_TRUE(RunDbscan(dataset, brute, &reference).ok());
+
+  NqDbscanParams params;
+  params.epsilon = epsilon;
+  params.min_pts = 5;
+  Clustering out;
+  ASSERT_TRUE(RunNqDbscan(dataset, params, &out).ok());
+  EXPECT_LT(out.stats.num_distance_computations,
+            reference.stats.num_distance_computations);
+}
+
+// Property: NQ-DBSCAN is an *exact* DBSCAN — identical partitions on every
+// dataset family and seed.
+using NqSweepParam = std::tuple<int, uint64_t>;
+
+class NqDbscanSweepTest : public ::testing::TestWithParam<NqSweepParam> {};
+
+TEST_P(NqDbscanSweepTest, ExactlyMatchesDbscan) {
+  const auto [dim, seed] = GetParam();
+  GaussianBlobsParams gen;
+  gen.n = 500;
+  gen.dim = dim;
+  gen.num_clusters = 4;
+  gen.stddev = 1.0;
+  gen.noise_fraction = 0.05;
+  gen.seed = seed;
+  const Dataset dataset = GenerateGaussianBlobs(gen);
+  const int min_pts = 5;
+  const double epsilon = SuggestEpsilon(dataset, min_pts);
+
+  DbscanParams exact;
+  exact.epsilon = epsilon;
+  exact.min_pts = min_pts;
+  Clustering reference;
+  ASSERT_TRUE(RunDbscan(dataset, exact, &reference).ok());
+
+  NqDbscanParams params;
+  params.epsilon = epsilon;
+  params.min_pts = min_pts;
+  Clustering out;
+  ASSERT_TRUE(RunNqDbscan(dataset, params, &out).ok());
+  EXPECT_TRUE(testing::SamePartition(reference.labels, out.labels))
+      << "dim=" << dim << " seed=" << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, NqDbscanSweepTest,
+                         ::testing::Combine(::testing::Values(2, 4, 8),
+                                            ::testing::Values(1, 2, 3, 4)));
+
+}  // namespace
+}  // namespace dbsvec

@@ -1,0 +1,124 @@
+#include <numeric>
+
+#include "gtest/gtest.h"
+#include "svm/one_class_svm.h"
+#include "svm/svdd.h"
+#include "test_util.h"
+
+namespace dbsvec {
+namespace {
+
+std::vector<PointIndex> AllIndices(const Dataset& dataset) {
+  std::vector<PointIndex> idx(dataset.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  return idx;
+}
+
+TEST(OneClassSvmTest, InvalidParamsRejected) {
+  Dataset dataset(2, {0.0, 0.0});
+  const auto target = AllIndices(dataset);
+  OneClassSvm model;
+  OneClassSvmParams params;
+  params.nu = 0.0;
+  EXPECT_FALSE(model.Train(dataset, target, params).ok());
+  params.nu = 1.5;
+  EXPECT_FALSE(model.Train(dataset, target, params).ok());
+  params.nu = 0.5;
+  params.sigma = 0.0;
+  EXPECT_FALSE(model.Train(dataset, target, params).ok());
+  EXPECT_FALSE(model.Train(dataset, {}, OneClassSvmParams()).ok());
+}
+
+TEST(OneClassSvmTest, ContainsBulkOfBlob) {
+  Rng rng(71);
+  Dataset dataset(2);
+  for (int i = 0; i < 400; ++i) {
+    const double p[2] = {rng.Gaussian(0.0, 1.0), rng.Gaussian(0.0, 1.0)};
+    dataset.Append(p);
+  }
+  const auto target = AllIndices(dataset);
+  OneClassSvm model;
+  OneClassSvmParams params;
+  params.nu = 0.05;
+  params.sigma = 2.0;
+  ASSERT_TRUE(model.Train(dataset, target, params).ok());
+  int inside = 0;
+  for (PointIndex i = 0; i < dataset.size(); ++i) {
+    inside += model.Contains(dataset, dataset.point(i)) ? 1 : 0;
+  }
+  EXPECT_GT(inside, static_cast<int>(0.9 * dataset.size()));
+  const std::vector<double> far = {50.0, 50.0};
+  EXPECT_FALSE(model.Contains(dataset, far));
+}
+
+TEST(OneClassSvmTest, NuBoundsOutlierFraction) {
+  const Dataset dataset = testing::RandomDataset(300, 3, 10.0, 73);
+  const auto target = AllIndices(dataset);
+  for (const double nu : {0.1, 0.3}) {
+    OneClassSvm model;
+    OneClassSvmParams params;
+    params.nu = nu;
+    params.sigma = 5.0;
+    ASSERT_TRUE(model.Train(dataset, target, params).ok());
+    int outside = 0;
+    for (PointIndex i = 0; i < dataset.size(); ++i) {
+      outside += model.Contains(dataset, dataset.point(i)) ? 0 : 1;
+    }
+    // At most ~nu fraction of training points fall outside (BSVs).
+    EXPECT_LE(outside, static_cast<int>(nu * dataset.size() * 1.15) + 1)
+        << "nu=" << nu;
+  }
+}
+
+// Footnote 1 of the paper: with the Gaussian kernel and C = 1/(nu*n~),
+// SVDD and OC-SVM learn the same decision function.
+class SvddOcsvmEquivalenceTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(SvddOcsvmEquivalenceTest, SameSupportVectorsAndDecisions) {
+  const double nu = GetParam();
+  const Dataset dataset = testing::RandomDataset(250, 2, 10.0, 75);
+  const auto target = AllIndices(dataset);
+  const double sigma = 3.0;
+
+  SvddModel svdd;
+  SvddParams svdd_params;
+  svdd_params.nu = nu;  // C = 1/(nu*n~) internally.
+  svdd_params.sigma = sigma;
+  svdd_params.smo.tolerance = 1e-6;
+  ASSERT_TRUE(Svdd::Train(dataset, target, svdd_params, &svdd).ok());
+
+  OneClassSvm ocsvm;
+  OneClassSvmParams oc_params;
+  oc_params.nu = nu;
+  oc_params.sigma = sigma;
+  oc_params.smo.tolerance = 1e-6;
+  ASSERT_TRUE(ocsvm.Train(dataset, target, oc_params).ok());
+
+  // Identical duals => identical alphas => identical SV sets.
+  ASSERT_EQ(svdd.support_vectors().size(), ocsvm.support_vectors().size());
+  for (size_t i = 0; i < svdd.support_vectors().size(); ++i) {
+    EXPECT_EQ(svdd.support_vectors()[i].index,
+              ocsvm.support_vectors()[i].index);
+    EXPECT_NEAR(svdd.support_vectors()[i].alpha,
+                ocsvm.support_vectors()[i].alpha, 1e-6);
+  }
+
+  // Same inside/outside decision on a probe grid.
+  Rng rng(76);
+  int agreements = 0;
+  const int probes = 200;
+  for (int p = 0; p < probes; ++p) {
+    const std::vector<double> q = {rng.Uniform(-2.0, 12.0),
+                                   rng.Uniform(-2.0, 12.0)};
+    agreements +=
+        svdd.Contains(dataset, q) == ocsvm.Contains(dataset, q) ? 1 : 0;
+  }
+  // Allow a handful of boundary-epsilon disagreements.
+  EXPECT_GE(agreements, probes - 4);
+}
+
+INSTANTIATE_TEST_SUITE_P(NuSweep, SvddOcsvmEquivalenceTest,
+                         ::testing::Values(0.05, 0.1, 0.2, 0.5));
+
+}  // namespace
+}  // namespace dbsvec

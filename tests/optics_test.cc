@@ -1,0 +1,138 @@
+#include <algorithm>
+#include <cmath>
+
+#include "cluster/dbscan.h"
+#include "cluster/optics.h"
+#include "data/synthetic.h"
+#include "eval/recall.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace dbsvec {
+namespace {
+
+TEST(OpticsTest, InvalidParamsRejected) {
+  Dataset dataset(2, {0.0, 0.0});
+  OpticsResult result;
+  OpticsParams params;
+  params.max_epsilon = 0.0;
+  EXPECT_FALSE(RunOptics(dataset, params, &result).ok());
+  params.max_epsilon = 1.0;
+  params.min_pts = 0;
+  EXPECT_FALSE(RunOptics(dataset, params, &result).ok());
+}
+
+TEST(OpticsTest, OrderingIsAPermutation) {
+  const Dataset dataset = testing::RandomDataset(400, 2, 10.0, 401);
+  OpticsParams params;
+  params.max_epsilon = 2.0;
+  params.min_pts = 5;
+  OpticsResult result;
+  ASSERT_TRUE(RunOptics(dataset, params, &result).ok());
+  ASSERT_EQ(result.ordering.size(), 400u);
+  std::vector<PointIndex> sorted = result.ordering;
+  std::sort(sorted.begin(), sorted.end());
+  for (PointIndex i = 0; i < 400; ++i) {
+    EXPECT_EQ(sorted[i], i);
+  }
+}
+
+TEST(OpticsTest, CoreDistanceMatchesBruteForceKthNeighbor) {
+  const Dataset dataset = testing::RandomDataset(200, 3, 10.0, 403);
+  OpticsParams params;
+  params.max_epsilon = 100.0;  // Cover everything.
+  params.min_pts = 7;
+  OpticsResult result;
+  ASSERT_TRUE(RunOptics(dataset, params, &result).ok());
+  for (PointIndex p = 0; p < 20; ++p) {
+    std::vector<double> dists;
+    for (PointIndex o = 0; o < dataset.size(); ++o) {
+      dists.push_back(dataset.Distance(p, o));
+    }
+    std::sort(dists.begin(), dists.end());
+    EXPECT_NEAR(result.core_distance[p], dists[params.min_pts - 1], 1e-9)
+        << "point " << p;
+  }
+}
+
+TEST(OpticsTest, ReachabilityBoundedByMaxEpsilonWithinClusters) {
+  GaussianBlobsParams gen;
+  gen.n = 500;
+  gen.dim = 2;
+  gen.num_clusters = 2;
+  gen.stddev = 0.5;
+  gen.min_center_separation = 40.0;
+  gen.seed = 405;
+  const Dataset dataset = GenerateGaussianBlobs(gen);
+  OpticsParams params;
+  params.max_epsilon = 2.0;
+  params.min_pts = 5;
+  OpticsResult result;
+  ASSERT_TRUE(RunOptics(dataset, params, &result).ok());
+  // Exactly two points (one per component) may have undefined
+  // reachability; everything else was reached within max_epsilon.
+  int undefined = 0;
+  for (PointIndex i = 0; i < dataset.size(); ++i) {
+    if (std::isinf(result.reachability[i])) {
+      ++undefined;
+    } else {
+      EXPECT_LE(result.reachability[i], params.max_epsilon + 1e-12);
+    }
+  }
+  EXPECT_EQ(undefined, 2);
+}
+
+TEST(OpticsExtractTest, RejectsMismatchedInputs) {
+  Dataset dataset(2, {0.0, 0.0, 1.0, 1.0});
+  OpticsResult empty;
+  Clustering out;
+  EXPECT_FALSE(ExtractDbscanClustering(dataset, empty, 1.0, 5, &out).ok());
+}
+
+class OpticsEquivalenceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(OpticsEquivalenceTest, ExtractionMatchesDbscan) {
+  GaussianBlobsParams gen;
+  gen.n = 700;
+  gen.dim = 2;
+  gen.num_clusters = 4;
+  gen.stddev = 1.0;
+  gen.noise_fraction = 0.05;
+  gen.seed = GetParam();
+  const Dataset dataset = GenerateGaussianBlobs(gen);
+  const int min_pts = 5;
+  const double epsilon = SuggestEpsilon(dataset, min_pts);
+
+  OpticsParams params;
+  params.max_epsilon = epsilon * 1.5;
+  params.min_pts = min_pts;
+  OpticsResult optics;
+  ASSERT_TRUE(RunOptics(dataset, params, &optics).ok());
+  Clustering extracted;
+  ASSERT_TRUE(ExtractDbscanClustering(dataset, optics, epsilon, min_pts,
+                                      &extracted)
+                  .ok());
+
+  DbscanParams dbscan_params;
+  dbscan_params.epsilon = epsilon;
+  dbscan_params.min_pts = min_pts;
+  Clustering reference;
+  ASSERT_TRUE(RunDbscan(dataset, dbscan_params, &reference).ok());
+
+  EXPECT_EQ(extracted.num_clusters, reference.num_clusters);
+  // Core-point partition must match exactly; border points may tie-break
+  // differently (noise agreement subsumes the rest).
+  EXPECT_GE(PairRecall(reference.labels, extracted.labels), 0.99);
+  EXPECT_GE(PairPrecision(reference.labels, extracted.labels), 0.99);
+  for (PointIndex i = 0; i < dataset.size(); ++i) {
+    if (reference.point_types[i] == PointType::kCore) {
+      EXPECT_NE(extracted.labels[i], Clustering::kNoise) << "core " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OpticsEquivalenceTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace dbsvec

@@ -1,0 +1,83 @@
+#include <cmath>
+
+#include "core/parameter_selection.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace dbsvec {
+namespace {
+
+TEST(ParameterSelectionTest, NuStarMatchesFormula) {
+  // Eq. 20: nu* = d*sqrt(log_MinPts n~)/n~.
+  const int dim = 8;
+  const int n = 1000;
+  const int min_pts = 100;
+  const double expected =
+      dim * std::sqrt(std::log(1000.0) / std::log(100.0)) / 1000.0;
+  EXPECT_NEAR(SelectNuStar(dim, n, min_pts), expected, 1e-12);
+}
+
+TEST(ParameterSelectionTest, NuStarClampedToOne) {
+  // Large d with tiny target sets would exceed 1; the clamp keeps the dual
+  // feasible.
+  EXPECT_LE(SelectNuStar(64, 20, 5), 1.0);
+  EXPECT_DOUBLE_EQ(SelectNuStar(1000, 10, 5), 1.0);
+}
+
+TEST(ParameterSelectionTest, NuStarAtLeastOneSupportVector) {
+  for (const int n : {10, 100, 10000}) {
+    EXPECT_GE(SelectNuStar(2, n, 100), 1.0 / n);
+  }
+}
+
+TEST(ParameterSelectionTest, NuStarGrowsWithDimension) {
+  EXPECT_LT(SelectNuStar(2, 5000, 100), SelectNuStar(16, 5000, 100));
+}
+
+TEST(ParameterSelectionTest, NuStarToleratesDegenerateMinPts) {
+  // MinPts < 2 would make the log base ill-defined; treated as 2.
+  EXPECT_GT(SelectNuStar(4, 1000, 1), 0.0);
+  EXPECT_DOUBLE_EQ(SelectNuStar(4, 1000, 1), SelectNuStar(4, 1000, 2));
+}
+
+TEST(ParameterSelectionTest, NuMinIsOneSupportVector) {
+  EXPECT_DOUBLE_EQ(SelectNuMin(500), 1.0 / 500.0);
+  EXPECT_DOUBLE_EQ(SelectNuMin(1), 1.0);
+}
+
+TEST(ParameterSelectionTest, RandomSigmaWithinPairwiseRange) {
+  const Dataset dataset = testing::RandomDataset(200, 3, 10.0, 71);
+  std::vector<PointIndex> target(dataset.size());
+  for (PointIndex i = 0; i < dataset.size(); ++i) {
+    target[i] = i;
+  }
+  // True pairwise extremes for the check.
+  double min_dist = 1e300;
+  double max_dist = 0.0;
+  for (PointIndex i = 0; i < dataset.size(); ++i) {
+    for (PointIndex j = i + 1; j < dataset.size(); ++j) {
+      const double d = dataset.Distance(i, j);
+      min_dist = std::min(min_dist, d);
+      max_dist = std::max(max_dist, d);
+    }
+  }
+  Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    const double sigma = RandomSigma(dataset, target, &rng);
+    EXPECT_GE(sigma, min_dist * 0.99);
+    EXPECT_LE(sigma, max_dist * 1.01);
+  }
+}
+
+TEST(ParameterSelectionTest, RandomSigmaDegenerateTargets) {
+  Dataset dataset(2, {1.0, 1.0});
+  std::vector<PointIndex> one = {0};
+  Rng rng(8);
+  EXPECT_GT(RandomSigma(dataset, one, &rng), 0.0);
+  Dataset same(2, {1.0, 1.0, 1.0, 1.0});
+  std::vector<PointIndex> two = {0, 1};
+  EXPECT_GT(RandomSigma(same, two, &rng), 0.0);
+}
+
+}  // namespace
+}  // namespace dbsvec

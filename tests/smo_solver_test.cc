@@ -1,0 +1,196 @@
+#include <cmath>
+#include <numeric>
+
+#include "gtest/gtest.h"
+#include "svm/kernel_cache.h"
+#include "svm/smo_solver.h"
+#include "test_util.h"
+
+namespace dbsvec {
+namespace {
+
+std::vector<PointIndex> AllIndices(const Dataset& dataset) {
+  std::vector<PointIndex> idx(dataset.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  return idx;
+}
+
+TEST(SmoSolverTest, EmptyTargetRejected) {
+  Dataset dataset(2);
+  std::vector<PointIndex> target;
+  KernelCache cache(dataset, target, 1.0);
+  SmoSolution solution;
+  EXPECT_EQ(SmoSolver::Solve(&cache, {}, SmoOptions(), &solution).code(),
+            Status::Code::kInvalidArgument);
+}
+
+TEST(SmoSolverTest, InfeasibleBoundsRejected) {
+  Dataset dataset(1, {0.0, 1.0});
+  const auto target = AllIndices(dataset);
+  KernelCache cache(dataset, target, 1.0);
+  const std::vector<double> bounds = {0.3, 0.3};  // Sum < 1.
+  SmoSolution solution;
+  EXPECT_EQ(
+      SmoSolver::Solve(&cache, bounds, SmoOptions(), &solution).code(),
+      Status::Code::kInvalidArgument);
+}
+
+TEST(SmoSolverTest, NegativeBoundRejected) {
+  Dataset dataset(1, {0.0, 1.0});
+  const auto target = AllIndices(dataset);
+  KernelCache cache(dataset, target, 1.0);
+  const std::vector<double> bounds = {-0.1, 2.0};
+  SmoSolution solution;
+  EXPECT_EQ(
+      SmoSolver::Solve(&cache, bounds, SmoOptions(), &solution).code(),
+      Status::Code::kInvalidArgument);
+}
+
+TEST(SmoSolverTest, TwoSymmetricPointsSplitEvenly) {
+  Dataset dataset(1, {0.0, 1.0});
+  const auto target = AllIndices(dataset);
+  KernelCache cache(dataset, target, 1.0);
+  const std::vector<double> bounds = {1.0, 1.0};
+  SmoSolution solution;
+  ASSERT_TRUE(SmoSolver::Solve(&cache, bounds, SmoOptions(), &solution).ok());
+  EXPECT_TRUE(solution.converged);
+  EXPECT_NEAR(solution.alpha[0], 0.5, 1e-3);
+  EXPECT_NEAR(solution.alpha[1], 0.5, 1e-3);
+}
+
+TEST(SmoSolverTest, BoxConstraintBinds) {
+  Dataset dataset(1, {0.0, 1.0});
+  const auto target = AllIndices(dataset);
+  KernelCache cache(dataset, target, 1.0);
+  // Unconstrained optimum is (0.5, 0.5); capping alpha_0 at 0.2 pushes the
+  // mass to alpha_1.
+  const std::vector<double> bounds = {0.2, 1.0};
+  SmoSolution solution;
+  ASSERT_TRUE(SmoSolver::Solve(&cache, bounds, SmoOptions(), &solution).ok());
+  EXPECT_NEAR(solution.alpha[0], 0.2, 1e-6);
+  EXPECT_NEAR(solution.alpha[1], 0.8, 1e-6);
+}
+
+TEST(SmoSolverTest, EqualityAndBoundsHoldOnRandomProblems) {
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    const Dataset dataset = testing::RandomDataset(120, 3, 5.0, 100 + seed);
+    const auto target = AllIndices(dataset);
+    KernelCache cache(dataset, target, 2.0);
+    Rng rng(seed);
+    std::vector<double> bounds(dataset.size());
+    for (double& b : bounds) {
+      b = rng.Uniform(0.01, 0.2);
+    }
+    SmoSolution solution;
+    ASSERT_TRUE(
+        SmoSolver::Solve(&cache, bounds, SmoOptions(), &solution).ok());
+    double sum = 0.0;
+    for (int i = 0; i < static_cast<int>(bounds.size()); ++i) {
+      EXPECT_GE(solution.alpha[i], -1e-12);
+      EXPECT_LE(solution.alpha[i], bounds[i] + 1e-12);
+      sum += solution.alpha[i];
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(SmoSolverTest, AlphaKAlphaMatchesDirectComputation) {
+  const Dataset dataset = testing::RandomDataset(60, 2, 5.0, 7);
+  const auto target = AllIndices(dataset);
+  KernelCache cache(dataset, target, 1.5);
+  std::vector<double> bounds(dataset.size(), 0.05);
+  SmoSolution solution;
+  ASSERT_TRUE(SmoSolver::Solve(&cache, bounds, SmoOptions(), &solution).ok());
+  double direct = 0.0;
+  KernelCache fresh(dataset, target, 1.5);
+  for (int i = 0; i < static_cast<int>(target.size()); ++i) {
+    for (int j = 0; j < static_cast<int>(target.size()); ++j) {
+      direct += solution.alpha[i] * solution.alpha[j] * fresh.At(i, j);
+    }
+  }
+  EXPECT_NEAR(solution.alpha_k_alpha, direct, 1e-6);
+}
+
+TEST(SmoSolverTest, SolutionIsNoWorseThanUniform) {
+  // The objective at the solver's alpha must not exceed the objective of
+  // the feasible uniform allocation.
+  const Dataset dataset = testing::RandomDataset(80, 3, 5.0, 11);
+  const auto target = AllIndices(dataset);
+  KernelCache cache(dataset, target, 2.0);
+  std::vector<double> bounds(dataset.size(), 1.0);
+  SmoSolution solution;
+  ASSERT_TRUE(SmoSolver::Solve(&cache, bounds, SmoOptions(), &solution).ok());
+  const int n = static_cast<int>(target.size());
+  KernelCache fresh(dataset, target, 2.0);
+  double uniform_obj = 0.0;
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      uniform_obj += fresh.At(i, j) / (static_cast<double>(n) * n);
+    }
+  }
+  // Objective = alpha'K alpha − Σ alpha_i K_ii; the diagonal term is 1 for
+  // any feasible alpha under the Gaussian kernel, so comparing the
+  // quadratic part suffices.
+  EXPECT_LE(solution.alpha_k_alpha, uniform_obj + 1e-6);
+}
+
+TEST(SmoSolverTest, IterationCapReported) {
+  const Dataset dataset = testing::RandomDataset(200, 4, 5.0, 13);
+  const auto target = AllIndices(dataset);
+  KernelCache cache(dataset, target, 2.0);
+  std::vector<double> bounds(dataset.size(), 0.02);
+  SmoOptions options;
+  options.max_iterations = 3;
+  SmoSolution solution;
+  ASSERT_TRUE(SmoSolver::Solve(&cache, bounds, options, &solution).ok());
+  EXPECT_LE(solution.iterations, 3);
+}
+
+TEST(KernelCacheTest, RowMatchesDirectKernel) {
+  const Dataset dataset = testing::RandomDataset(50, 3, 5.0, 17);
+  std::vector<PointIndex> target = {0, 5, 10, 15, 20};
+  KernelCache cache(dataset, target, 1.7);
+  const GaussianKernel kernel(1.7);
+  const auto row = cache.Row(2);
+  for (int j = 0; j < cache.size(); ++j) {
+    const double expected = kernel(dataset.point(target[2]),
+                                   dataset.point(target[j]));
+    EXPECT_NEAR(row[j], expected, 1e-6);
+  }
+}
+
+TEST(KernelCacheTest, EvictionKeepsResultsCorrect) {
+  const Dataset dataset = testing::RandomDataset(100, 2, 5.0, 19);
+  std::vector<PointIndex> target(dataset.size());
+  std::iota(target.begin(), target.end(), 0);
+  // Tiny cache: 2 rows resident.
+  KernelCache cache(dataset, target, 1.0, /*max_bytes=*/1);
+  const GaussianKernel kernel(1.0);
+  for (const int i : {0, 17, 31, 0, 99, 17}) {
+    const auto row = cache.Row(i);
+    EXPECT_NEAR(row[i], 1.0, 1e-7);
+    EXPECT_NEAR(row[50],
+                kernel(dataset.point(target[i]), dataset.point(target[50])),
+                1e-6);
+  }
+  EXPECT_GT(cache.rows_computed(), 0u);
+}
+
+TEST(KernelCacheTest, DiagIsOneForGaussian) {
+  Dataset dataset(2, {1.0, 2.0});
+  std::vector<PointIndex> target = {0};
+  KernelCache cache(dataset, target, 3.0);
+  EXPECT_DOUBLE_EQ(cache.Diag(0), 1.0);
+}
+
+TEST(GaussianKernelTest, KnownValues) {
+  const GaussianKernel kernel(1.0);
+  const std::vector<double> a = {0.0};
+  const std::vector<double> b = {2.0};
+  EXPECT_NEAR(kernel(a, b), std::exp(-2.0), 1e-12);
+  EXPECT_DOUBLE_EQ(kernel(a, a), 1.0);
+  EXPECT_DOUBLE_EQ(kernel.sigma(), 1.0);
+}
+
+}  // namespace
+}  // namespace dbsvec

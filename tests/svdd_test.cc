@@ -1,0 +1,256 @@
+#include <cmath>
+#include <numeric>
+
+#include "gtest/gtest.h"
+#include "svm/svdd.h"
+#include "test_util.h"
+
+namespace dbsvec {
+namespace {
+
+constexpr double kTwoPi = 6.28318530717958647692;
+
+Dataset RingDataset(int n, double radius, uint64_t seed) {
+  Rng rng(seed);
+  Dataset dataset(2);
+  for (int i = 0; i < n; ++i) {
+    const double angle = kTwoPi * i / n;
+    const double p[2] = {radius * std::cos(angle) + rng.Gaussian(0, 1e-3),
+                         radius * std::sin(angle) + rng.Gaussian(0, 1e-3)};
+    dataset.Append(p);
+  }
+  return dataset;
+}
+
+std::vector<PointIndex> AllIndices(const Dataset& dataset) {
+  std::vector<PointIndex> idx(dataset.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  return idx;
+}
+
+TEST(SvddTest, EmptyTargetRejected) {
+  Dataset dataset(2);
+  SvddModel model;
+  SvddParams params;
+  params.nu = 0.1;
+  EXPECT_EQ(Svdd::Train(dataset, {}, params, &model).code(),
+            Status::Code::kInvalidArgument);
+}
+
+TEST(SvddTest, MissingPenaltyRejected) {
+  Dataset dataset(2, {0.0, 0.0});
+  const auto target = AllIndices(dataset);
+  SvddModel model;
+  SvddParams params;  // Neither nu nor c set.
+  EXPECT_EQ(Svdd::Train(dataset, target, params, &model).code(),
+            Status::Code::kInvalidArgument);
+}
+
+TEST(SvddTest, WeightSizeMismatchRejected) {
+  Dataset dataset(2, {0.0, 0.0, 1.0, 1.0});
+  const auto target = AllIndices(dataset);
+  SvddModel model;
+  SvddParams params;
+  params.nu = 0.5;
+  params.weights = {1.0};
+  EXPECT_EQ(Svdd::Train(dataset, target, params, &model).code(),
+            Status::Code::kInvalidArgument);
+}
+
+TEST(SvddTest, SinglePointBecomesSoleSupportVector) {
+  Dataset dataset(2, {3.0, 4.0});
+  const auto target = AllIndices(dataset);
+  SvddModel model;
+  SvddParams params;
+  params.nu = 0.5;
+  ASSERT_TRUE(Svdd::Train(dataset, target, params, &model).ok());
+  ASSERT_EQ(model.support_vectors().size(), 1u);
+  EXPECT_NEAR(model.support_vectors()[0].alpha, 1.0, 1e-9);
+  EXPECT_TRUE(model.Contains(dataset, dataset.point(0)));
+}
+
+TEST(SvddTest, AlphasSumToOne) {
+  const Dataset dataset = testing::RandomDataset(200, 3, 5.0, 41);
+  const auto target = AllIndices(dataset);
+  SvddModel model;
+  SvddParams params;
+  params.nu = 0.1;
+  ASSERT_TRUE(Svdd::Train(dataset, target, params, &model).ok());
+  double sum = 0.0;
+  for (const auto& sv : model.support_vectors()) {
+    sum += sv.alpha;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-6);
+}
+
+TEST(SvddTest, SelectSigmaIsRadiusOverSqrt2) {
+  const double radius = 4.0;
+  const Dataset dataset = RingDataset(64, radius, 43);
+  const auto target = AllIndices(dataset);
+  const double sigma = Svdd::SelectSigma(dataset, target);
+  EXPECT_NEAR(sigma, radius / std::sqrt(2.0), 0.05);
+}
+
+TEST(SvddTest, SelectSigmaFloorsOnDegenerateData) {
+  Dataset dataset(2, {1.0, 1.0, 1.0, 1.0});
+  const auto target = AllIndices(dataset);
+  EXPECT_GT(Svdd::SelectSigma(dataset, target), 0.0);
+}
+
+TEST(SvddTest, AutoSigmaAvoidsCraterOverfitting) {
+  // The paper's Sec. IV-B2 scenario: data on a circle with empty interior.
+  // With sigma >= r/sqrt(2) (the selected value) the center of the circle
+  // must be *inside* the sphere; with a much smaller sigma, the kernel
+  // surface forms a crater and the center falls outside.
+  const double radius = 5.0;
+  const Dataset dataset = RingDataset(128, radius, 45);
+  const auto target = AllIndices(dataset);
+  const std::vector<double> center = {0.0, 0.0};
+
+  SvddModel good;
+  SvddParams params;
+  params.nu = 0.2;
+  ASSERT_TRUE(Svdd::Train(dataset, target, params, &good).ok());
+  EXPECT_TRUE(good.Contains(dataset, center));
+
+  SvddModel overfit;
+  params.sigma = radius / 10.0;  // Far below the r/sqrt(2) bound.
+  ASSERT_TRUE(Svdd::Train(dataset, target, params, &overfit).ok());
+  EXPECT_FALSE(overfit.Contains(dataset, center));
+}
+
+TEST(SvddTest, NuBoundsSupportVectorFractions) {
+  // Schölkopf & Smola: nu lower-bounds the SV fraction and upper-bounds
+  // the boundary-SV fraction (up to solver tolerance).
+  const Dataset dataset = testing::RandomDataset(300, 2, 10.0, 47);
+  const auto target = AllIndices(dataset);
+  for (const double nu : {0.05, 0.1, 0.3}) {
+    SvddModel model;
+    SvddParams params;
+    params.nu = nu;
+    ASSERT_TRUE(Svdd::Train(dataset, target, params, &model).ok());
+    const double n = static_cast<double>(dataset.size());
+    int bsv = 0;
+    for (const auto& sv : model.support_vectors()) {
+      bsv += sv.at_bound ? 1 : 0;
+    }
+    EXPECT_GE(model.support_vectors().size() + 1,
+              static_cast<size_t>(nu * n * 0.9))
+        << "nu=" << nu;
+    EXPECT_LE(bsv, nu * n * 1.1 + 1) << "nu=" << nu;
+  }
+}
+
+TEST(SvddTest, LargerNuYieldsMoreSupportVectors) {
+  const Dataset dataset = testing::RandomDataset(400, 3, 10.0, 49);
+  const auto target = AllIndices(dataset);
+  size_t previous = 0;
+  for (const double nu : {0.02, 0.1, 0.4}) {
+    SvddModel model;
+    SvddParams params;
+    params.nu = nu;
+    ASSERT_TRUE(Svdd::Train(dataset, target, params, &model).ok());
+    EXPECT_GE(model.support_vectors().size(), previous) << "nu=" << nu;
+    previous = model.support_vectors().size();
+  }
+}
+
+TEST(SvddTest, SphereContainsBulkOfGaussianBlob) {
+  Rng rng(51);
+  Dataset dataset(2);
+  for (int i = 0; i < 500; ++i) {
+    const double p[2] = {rng.Gaussian(10.0, 1.0), rng.Gaussian(-3.0, 1.0)};
+    dataset.Append(p);
+  }
+  const auto target = AllIndices(dataset);
+  SvddModel model;
+  SvddParams params;
+  params.nu = 0.05;
+  ASSERT_TRUE(Svdd::Train(dataset, target, params, &model).ok());
+  int inside = 0;
+  for (PointIndex i = 0; i < dataset.size(); ++i) {
+    inside += model.Contains(dataset, dataset.point(i)) ? 1 : 0;
+  }
+  // At most ~nu fraction may be outside (boundary SVs).
+  EXPECT_GT(inside, static_cast<int>(0.9 * dataset.size()));
+  // A far-away point must be outside the description.
+  const std::vector<double> far = {100.0, 100.0};
+  EXPECT_FALSE(model.Contains(dataset, far));
+}
+
+TEST(SvddTest, SupportVectorsLieOnTheBoundary) {
+  // For a dense blob, normal SVs must be among the farthest points from
+  // the blob centroid, not interior ones.
+  Rng rng(53);
+  Dataset dataset(2);
+  for (int i = 0; i < 400; ++i) {
+    const double p[2] = {rng.Gaussian(0.0, 2.0), rng.Gaussian(0.0, 2.0)};
+    dataset.Append(p);
+  }
+  const auto target = AllIndices(dataset);
+  SvddModel model;
+  SvddParams params;
+  params.nu = 0.08;
+  ASSERT_TRUE(Svdd::Train(dataset, target, params, &model).ok());
+
+  // Median distance of all points vs mean distance of SVs from origin.
+  std::vector<double> dists;
+  for (PointIndex i = 0; i < dataset.size(); ++i) {
+    dists.push_back(std::hypot(dataset.at(i, 0), dataset.at(i, 1)));
+  }
+  std::nth_element(dists.begin(), dists.begin() + dists.size() / 2,
+                   dists.end());
+  const double median = dists[dists.size() / 2];
+  double sv_mean = 0.0;
+  for (const auto& sv : model.support_vectors()) {
+    sv_mean += std::hypot(dataset.at(sv.index, 0), dataset.at(sv.index, 1));
+  }
+  sv_mean /= static_cast<double>(model.support_vectors().size());
+  EXPECT_GT(sv_mean, median);
+}
+
+TEST(SvddTest, SmallWeightMakesOutlierABoundarySV) {
+  // A tight blob plus one outlier. With a small weight on the outlier its
+  // cap binds and it becomes a boundary SV.
+  Rng rng(55);
+  Dataset dataset(2);
+  for (int i = 0; i < 100; ++i) {
+    const double p[2] = {rng.Gaussian(0.0, 0.5), rng.Gaussian(0.0, 0.5)};
+    dataset.Append(p);
+  }
+  const double outlier[2] = {8.0, 8.0};
+  dataset.Append(outlier);
+  const auto target = AllIndices(dataset);
+
+  SvddParams params;
+  params.c = 0.5;
+  params.sigma = 2.0;
+  params.weights.assign(dataset.size(), 1.0);
+  params.weights.back() = 0.01;  // Cap the outlier's alpha at 0.005.
+  SvddModel model;
+  ASSERT_TRUE(Svdd::Train(dataset, target, params, &model).ok());
+  bool outlier_is_bsv = false;
+  for (const auto& sv : model.support_vectors()) {
+    if (sv.index == dataset.size() - 1) {
+      outlier_is_bsv = sv.at_bound;
+      EXPECT_LE(sv.alpha, 0.5 * 0.01 + 1e-9);
+    }
+  }
+  EXPECT_TRUE(outlier_is_bsv);
+}
+
+TEST(SvddTest, RadiusSeparatesInsideFromOutside) {
+  const Dataset dataset = RingDataset(100, 3.0, 57);
+  const auto target = AllIndices(dataset);
+  SvddModel model;
+  SvddParams params;
+  params.nu = 0.3;
+  ASSERT_TRUE(Svdd::Train(dataset, target, params, &model).ok());
+  EXPECT_GT(model.radius_sq(), 0.0);
+  // Ring points are (approximately) on the sphere; a distant point is not.
+  const std::vector<double> far = {30.0, 0.0};
+  EXPECT_GT(model.Distance2(dataset, far), model.radius_sq());
+}
+
+}  // namespace
+}  // namespace dbsvec

@@ -1,0 +1,67 @@
+#ifndef DBSVEC_TESTS_TEST_UTIL_H_
+#define DBSVEC_TESTS_TEST_UTIL_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "common/dataset.h"
+#include "common/rng.h"
+
+namespace dbsvec::testing {
+
+/// True iff two labelings are the same partition up to cluster renaming,
+/// with noise (-1) required to match exactly.
+inline bool SamePartition(const std::vector<int32_t>& a,
+                          const std::vector<int32_t>& b) {
+  if (a.size() != b.size()) {
+    return false;
+  }
+  std::map<int32_t, int32_t> a_to_b;
+  std::map<int32_t, int32_t> b_to_a;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if ((a[i] < 0) != (b[i] < 0)) {
+      return false;
+    }
+    if (a[i] < 0) {
+      continue;
+    }
+    const auto [it_ab, ins_ab] = a_to_b.emplace(a[i], b[i]);
+    if (!ins_ab && it_ab->second != b[i]) {
+      return false;
+    }
+    const auto [it_ba, ins_ba] = b_to_a.emplace(b[i], a[i]);
+    if (!ins_ba && it_ba->second != a[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Uniform random dataset in [0, extent]^dim.
+inline Dataset RandomDataset(PointIndex n, int dim, double extent,
+                             uint64_t seed) {
+  Rng rng(seed);
+  Dataset dataset(dim);
+  dataset.Reserve(n);
+  std::vector<double> p(dim);
+  for (PointIndex i = 0; i < n; ++i) {
+    for (int j = 0; j < dim; ++j) {
+      p[j] = rng.Uniform(0.0, extent);
+    }
+    dataset.Append(p);
+  }
+  return dataset;
+}
+
+/// Sorted copy, for set comparisons of range-query results.
+inline std::vector<PointIndex> Sorted(std::vector<PointIndex> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+}  // namespace dbsvec::testing
+
+#endif  // DBSVEC_TESTS_TEST_UTIL_H_

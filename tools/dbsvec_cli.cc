@@ -1,0 +1,101 @@
+// dbsvec_cli — cluster a CSV (or generated demo data) from the command
+// line with any algorithm in the library. Run with --help for usage.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "cli/cli_options.h"
+#include "cli/cli_runner.h"
+#include "cluster/dbscan.h"
+#include "common/csv.h"
+#include "common/stopwatch.h"
+#include "eval/recall.h"
+
+namespace dbsvec {
+namespace {
+
+int Main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  cli::CliOptions options;
+  if (const Status status = cli::ParseCliOptions(args, &options);
+      !status.ok()) {
+    std::fprintf(stderr, "%s\n\n%s", status.ToString().c_str(),
+                 cli::HelpText().c_str());
+    return 2;
+  }
+  if (options.show_help) {
+    std::printf("%s", cli::HelpText().c_str());
+    return 0;
+  }
+
+  Dataset dataset(1);
+  if (const Status status = cli::LoadInput(options, &dataset);
+      !status.ok()) {
+    std::fprintf(stderr, "input: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  const double epsilon = cli::ResolveEpsilon(options, dataset);
+  std::printf("%s on %d points (d=%d), eps=%.4g, MinPts=%d\n",
+              cli::AlgorithmName(options.algorithm), dataset.size(),
+              dataset.dim(), epsilon, options.min_pts);
+
+  Clustering result;
+  if (const Status status =
+          cli::RunAlgorithm(options, dataset, epsilon, &result);
+      !status.ok()) {
+    std::fprintf(stderr, "clustering: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("clusters=%d noise=%d time=%.3fs range_queries=%llu "
+              "distance_computations=%llu\n",
+              result.num_clusters, result.CountNoise(),
+              result.stats.elapsed_seconds,
+              static_cast<unsigned long long>(
+                  result.stats.num_range_queries),
+              static_cast<unsigned long long>(
+                  result.stats.num_distance_computations));
+  if (result.stats.num_svdd_trainings > 0) {
+    std::printf("svdd_trainings=%llu support_vectors=%llu merges=%llu\n",
+                static_cast<unsigned long long>(
+                    result.stats.num_svdd_trainings),
+                static_cast<unsigned long long>(
+                    result.stats.num_support_vectors),
+                static_cast<unsigned long long>(result.stats.num_merges));
+  }
+
+  if (options.compare_dbscan) {
+    DbscanParams exact;
+    exact.epsilon = epsilon;
+    exact.min_pts = options.min_pts;
+    Clustering reference;
+    if (const Status status = RunDbscan(dataset, exact, &reference);
+        status.ok()) {
+      std::printf("vs exact DBSCAN: recall=%.4f precision=%.4f "
+                  "(dbscan: clusters=%d noise=%d time=%.3fs)\n",
+                  PairRecall(reference.labels, result.labels),
+                  PairPrecision(reference.labels, result.labels),
+                  reference.num_clusters, reference.CountNoise(),
+                  reference.stats.elapsed_seconds);
+    } else {
+      std::fprintf(stderr, "compare: %s\n", status.ToString().c_str());
+    }
+  }
+
+  if (!options.output_path.empty()) {
+    if (const Status status =
+            WriteCsv(dataset, result.labels, options.output_path);
+        !status.ok()) {
+      std::fprintf(stderr, "output: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("labelled points written to %s\n",
+                options.output_path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace dbsvec
+
+int main(int argc, char** argv) { return dbsvec::Main(argc, argv); }
