@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_nu.dir/bench_fig8_nu.cc.o"
+  "CMakeFiles/bench_fig8_nu.dir/bench_fig8_nu.cc.o.d"
+  "bench_fig8_nu"
+  "bench_fig8_nu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_nu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/activity_segmentation.dir/activity_segmentation.cpp.o"
+  "CMakeFiles/activity_segmentation.dir/activity_segmentation.cpp.o.d"
+  "activity_segmentation"
+  "activity_segmentation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/activity_segmentation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epsilon_explorer.dir/epsilon_explorer.cpp.o"
+  "CMakeFiles/epsilon_explorer.dir/epsilon_explorer.cpp.o.d"
+  "epsilon_explorer"
+  "epsilon_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epsilon_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/image_grouping.dir/image_grouping.cpp.o"
+  "CMakeFiles/image_grouping.dir/image_grouping.cpp.o.d"
+  "image_grouping"
+  "image_grouping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/image_grouping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spatial_hotspots.dir/spatial_hotspots.cpp.o"
+  "CMakeFiles/spatial_hotspots.dir/spatial_hotspots.cpp.o.d"
+  "spatial_hotspots"
+  "spatial_hotspots.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spatial_hotspots.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

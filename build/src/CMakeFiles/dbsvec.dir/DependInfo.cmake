@@ -1,0 +1,53 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cli/cli_options.cc" "src/CMakeFiles/dbsvec.dir/cli/cli_options.cc.o" "gcc" "src/CMakeFiles/dbsvec.dir/cli/cli_options.cc.o.d"
+  "/root/repo/src/cli/cli_runner.cc" "src/CMakeFiles/dbsvec.dir/cli/cli_runner.cc.o" "gcc" "src/CMakeFiles/dbsvec.dir/cli/cli_runner.cc.o.d"
+  "/root/repo/src/cluster/clustering.cc" "src/CMakeFiles/dbsvec.dir/cluster/clustering.cc.o" "gcc" "src/CMakeFiles/dbsvec.dir/cluster/clustering.cc.o.d"
+  "/root/repo/src/cluster/dbscan.cc" "src/CMakeFiles/dbsvec.dir/cluster/dbscan.cc.o" "gcc" "src/CMakeFiles/dbsvec.dir/cluster/dbscan.cc.o.d"
+  "/root/repo/src/cluster/hdbscan.cc" "src/CMakeFiles/dbsvec.dir/cluster/hdbscan.cc.o" "gcc" "src/CMakeFiles/dbsvec.dir/cluster/hdbscan.cc.o.d"
+  "/root/repo/src/cluster/kmeans.cc" "src/CMakeFiles/dbsvec.dir/cluster/kmeans.cc.o" "gcc" "src/CMakeFiles/dbsvec.dir/cluster/kmeans.cc.o.d"
+  "/root/repo/src/cluster/lsh_dbscan.cc" "src/CMakeFiles/dbsvec.dir/cluster/lsh_dbscan.cc.o" "gcc" "src/CMakeFiles/dbsvec.dir/cluster/lsh_dbscan.cc.o.d"
+  "/root/repo/src/cluster/nq_dbscan.cc" "src/CMakeFiles/dbsvec.dir/cluster/nq_dbscan.cc.o" "gcc" "src/CMakeFiles/dbsvec.dir/cluster/nq_dbscan.cc.o.d"
+  "/root/repo/src/cluster/optics.cc" "src/CMakeFiles/dbsvec.dir/cluster/optics.cc.o" "gcc" "src/CMakeFiles/dbsvec.dir/cluster/optics.cc.o.d"
+  "/root/repo/src/cluster/rho_approx_dbscan.cc" "src/CMakeFiles/dbsvec.dir/cluster/rho_approx_dbscan.cc.o" "gcc" "src/CMakeFiles/dbsvec.dir/cluster/rho_approx_dbscan.cc.o.d"
+  "/root/repo/src/common/csv.cc" "src/CMakeFiles/dbsvec.dir/common/csv.cc.o" "gcc" "src/CMakeFiles/dbsvec.dir/common/csv.cc.o.d"
+  "/root/repo/src/common/dataset.cc" "src/CMakeFiles/dbsvec.dir/common/dataset.cc.o" "gcc" "src/CMakeFiles/dbsvec.dir/common/dataset.cc.o.d"
+  "/root/repo/src/common/normalize.cc" "src/CMakeFiles/dbsvec.dir/common/normalize.cc.o" "gcc" "src/CMakeFiles/dbsvec.dir/common/normalize.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/dbsvec.dir/common/status.cc.o" "gcc" "src/CMakeFiles/dbsvec.dir/common/status.cc.o.d"
+  "/root/repo/src/core/dbsvec.cc" "src/CMakeFiles/dbsvec.dir/core/dbsvec.cc.o" "gcc" "src/CMakeFiles/dbsvec.dir/core/dbsvec.cc.o.d"
+  "/root/repo/src/core/parameter_selection.cc" "src/CMakeFiles/dbsvec.dir/core/parameter_selection.cc.o" "gcc" "src/CMakeFiles/dbsvec.dir/core/parameter_selection.cc.o.d"
+  "/root/repo/src/core/penalty_weights.cc" "src/CMakeFiles/dbsvec.dir/core/penalty_weights.cc.o" "gcc" "src/CMakeFiles/dbsvec.dir/core/penalty_weights.cc.o.d"
+  "/root/repo/src/data/shapes.cc" "src/CMakeFiles/dbsvec.dir/data/shapes.cc.o" "gcc" "src/CMakeFiles/dbsvec.dir/data/shapes.cc.o.d"
+  "/root/repo/src/data/surrogates.cc" "src/CMakeFiles/dbsvec.dir/data/surrogates.cc.o" "gcc" "src/CMakeFiles/dbsvec.dir/data/surrogates.cc.o.d"
+  "/root/repo/src/data/synthetic.cc" "src/CMakeFiles/dbsvec.dir/data/synthetic.cc.o" "gcc" "src/CMakeFiles/dbsvec.dir/data/synthetic.cc.o.d"
+  "/root/repo/src/eval/external_metrics.cc" "src/CMakeFiles/dbsvec.dir/eval/external_metrics.cc.o" "gcc" "src/CMakeFiles/dbsvec.dir/eval/external_metrics.cc.o.d"
+  "/root/repo/src/eval/internal_metrics.cc" "src/CMakeFiles/dbsvec.dir/eval/internal_metrics.cc.o" "gcc" "src/CMakeFiles/dbsvec.dir/eval/internal_metrics.cc.o.d"
+  "/root/repo/src/eval/recall.cc" "src/CMakeFiles/dbsvec.dir/eval/recall.cc.o" "gcc" "src/CMakeFiles/dbsvec.dir/eval/recall.cc.o.d"
+  "/root/repo/src/index/brute_force_index.cc" "src/CMakeFiles/dbsvec.dir/index/brute_force_index.cc.o" "gcc" "src/CMakeFiles/dbsvec.dir/index/brute_force_index.cc.o.d"
+  "/root/repo/src/index/dynamic_r_star_tree.cc" "src/CMakeFiles/dbsvec.dir/index/dynamic_r_star_tree.cc.o" "gcc" "src/CMakeFiles/dbsvec.dir/index/dynamic_r_star_tree.cc.o.d"
+  "/root/repo/src/index/grid_index.cc" "src/CMakeFiles/dbsvec.dir/index/grid_index.cc.o" "gcc" "src/CMakeFiles/dbsvec.dir/index/grid_index.cc.o.d"
+  "/root/repo/src/index/kd_tree.cc" "src/CMakeFiles/dbsvec.dir/index/kd_tree.cc.o" "gcc" "src/CMakeFiles/dbsvec.dir/index/kd_tree.cc.o.d"
+  "/root/repo/src/index/lsh_index.cc" "src/CMakeFiles/dbsvec.dir/index/lsh_index.cc.o" "gcc" "src/CMakeFiles/dbsvec.dir/index/lsh_index.cc.o.d"
+  "/root/repo/src/index/neighbor_index.cc" "src/CMakeFiles/dbsvec.dir/index/neighbor_index.cc.o" "gcc" "src/CMakeFiles/dbsvec.dir/index/neighbor_index.cc.o.d"
+  "/root/repo/src/index/r_star_tree.cc" "src/CMakeFiles/dbsvec.dir/index/r_star_tree.cc.o" "gcc" "src/CMakeFiles/dbsvec.dir/index/r_star_tree.cc.o.d"
+  "/root/repo/src/svm/kernel.cc" "src/CMakeFiles/dbsvec.dir/svm/kernel.cc.o" "gcc" "src/CMakeFiles/dbsvec.dir/svm/kernel.cc.o.d"
+  "/root/repo/src/svm/kernel_cache.cc" "src/CMakeFiles/dbsvec.dir/svm/kernel_cache.cc.o" "gcc" "src/CMakeFiles/dbsvec.dir/svm/kernel_cache.cc.o.d"
+  "/root/repo/src/svm/one_class_svm.cc" "src/CMakeFiles/dbsvec.dir/svm/one_class_svm.cc.o" "gcc" "src/CMakeFiles/dbsvec.dir/svm/one_class_svm.cc.o.d"
+  "/root/repo/src/svm/smo_solver.cc" "src/CMakeFiles/dbsvec.dir/svm/smo_solver.cc.o" "gcc" "src/CMakeFiles/dbsvec.dir/svm/smo_solver.cc.o.d"
+  "/root/repo/src/svm/svdd.cc" "src/CMakeFiles/dbsvec.dir/svm/svdd.cc.o" "gcc" "src/CMakeFiles/dbsvec.dir/svm/svdd.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

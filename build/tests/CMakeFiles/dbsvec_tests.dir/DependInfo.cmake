@@ -1,0 +1,45 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cli_test.cc" "tests/CMakeFiles/dbsvec_tests.dir/cli_test.cc.o" "gcc" "tests/CMakeFiles/dbsvec_tests.dir/cli_test.cc.o.d"
+  "/root/repo/tests/common_test.cc" "tests/CMakeFiles/dbsvec_tests.dir/common_test.cc.o" "gcc" "tests/CMakeFiles/dbsvec_tests.dir/common_test.cc.o.d"
+  "/root/repo/tests/data_test.cc" "tests/CMakeFiles/dbsvec_tests.dir/data_test.cc.o" "gcc" "tests/CMakeFiles/dbsvec_tests.dir/data_test.cc.o.d"
+  "/root/repo/tests/dbscan_test.cc" "tests/CMakeFiles/dbsvec_tests.dir/dbscan_test.cc.o" "gcc" "tests/CMakeFiles/dbsvec_tests.dir/dbscan_test.cc.o.d"
+  "/root/repo/tests/dbsvec_test.cc" "tests/CMakeFiles/dbsvec_tests.dir/dbsvec_test.cc.o" "gcc" "tests/CMakeFiles/dbsvec_tests.dir/dbsvec_test.cc.o.d"
+  "/root/repo/tests/dynamic_r_star_tree_test.cc" "tests/CMakeFiles/dbsvec_tests.dir/dynamic_r_star_tree_test.cc.o" "gcc" "tests/CMakeFiles/dbsvec_tests.dir/dynamic_r_star_tree_test.cc.o.d"
+  "/root/repo/tests/fuzz_invariants_test.cc" "tests/CMakeFiles/dbsvec_tests.dir/fuzz_invariants_test.cc.o" "gcc" "tests/CMakeFiles/dbsvec_tests.dir/fuzz_invariants_test.cc.o.d"
+  "/root/repo/tests/grid_index_test.cc" "tests/CMakeFiles/dbsvec_tests.dir/grid_index_test.cc.o" "gcc" "tests/CMakeFiles/dbsvec_tests.dir/grid_index_test.cc.o.d"
+  "/root/repo/tests/hdbscan_test.cc" "tests/CMakeFiles/dbsvec_tests.dir/hdbscan_test.cc.o" "gcc" "tests/CMakeFiles/dbsvec_tests.dir/hdbscan_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/dbsvec_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/dbsvec_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/kd_tree_test.cc" "tests/CMakeFiles/dbsvec_tests.dir/kd_tree_test.cc.o" "gcc" "tests/CMakeFiles/dbsvec_tests.dir/kd_tree_test.cc.o.d"
+  "/root/repo/tests/kmeans_test.cc" "tests/CMakeFiles/dbsvec_tests.dir/kmeans_test.cc.o" "gcc" "tests/CMakeFiles/dbsvec_tests.dir/kmeans_test.cc.o.d"
+  "/root/repo/tests/lsh_dbscan_test.cc" "tests/CMakeFiles/dbsvec_tests.dir/lsh_dbscan_test.cc.o" "gcc" "tests/CMakeFiles/dbsvec_tests.dir/lsh_dbscan_test.cc.o.d"
+  "/root/repo/tests/lsh_index_test.cc" "tests/CMakeFiles/dbsvec_tests.dir/lsh_index_test.cc.o" "gcc" "tests/CMakeFiles/dbsvec_tests.dir/lsh_index_test.cc.o.d"
+  "/root/repo/tests/metrics_test.cc" "tests/CMakeFiles/dbsvec_tests.dir/metrics_test.cc.o" "gcc" "tests/CMakeFiles/dbsvec_tests.dir/metrics_test.cc.o.d"
+  "/root/repo/tests/nq_dbscan_test.cc" "tests/CMakeFiles/dbsvec_tests.dir/nq_dbscan_test.cc.o" "gcc" "tests/CMakeFiles/dbsvec_tests.dir/nq_dbscan_test.cc.o.d"
+  "/root/repo/tests/one_class_svm_test.cc" "tests/CMakeFiles/dbsvec_tests.dir/one_class_svm_test.cc.o" "gcc" "tests/CMakeFiles/dbsvec_tests.dir/one_class_svm_test.cc.o.d"
+  "/root/repo/tests/optics_test.cc" "tests/CMakeFiles/dbsvec_tests.dir/optics_test.cc.o" "gcc" "tests/CMakeFiles/dbsvec_tests.dir/optics_test.cc.o.d"
+  "/root/repo/tests/parameter_selection_test.cc" "tests/CMakeFiles/dbsvec_tests.dir/parameter_selection_test.cc.o" "gcc" "tests/CMakeFiles/dbsvec_tests.dir/parameter_selection_test.cc.o.d"
+  "/root/repo/tests/penalty_weights_test.cc" "tests/CMakeFiles/dbsvec_tests.dir/penalty_weights_test.cc.o" "gcc" "tests/CMakeFiles/dbsvec_tests.dir/penalty_weights_test.cc.o.d"
+  "/root/repo/tests/r_star_tree_test.cc" "tests/CMakeFiles/dbsvec_tests.dir/r_star_tree_test.cc.o" "gcc" "tests/CMakeFiles/dbsvec_tests.dir/r_star_tree_test.cc.o.d"
+  "/root/repo/tests/rho_approx_dbscan_test.cc" "tests/CMakeFiles/dbsvec_tests.dir/rho_approx_dbscan_test.cc.o" "gcc" "tests/CMakeFiles/dbsvec_tests.dir/rho_approx_dbscan_test.cc.o.d"
+  "/root/repo/tests/shapes_test.cc" "tests/CMakeFiles/dbsvec_tests.dir/shapes_test.cc.o" "gcc" "tests/CMakeFiles/dbsvec_tests.dir/shapes_test.cc.o.d"
+  "/root/repo/tests/smo_solver_test.cc" "tests/CMakeFiles/dbsvec_tests.dir/smo_solver_test.cc.o" "gcc" "tests/CMakeFiles/dbsvec_tests.dir/smo_solver_test.cc.o.d"
+  "/root/repo/tests/stats_consistency_test.cc" "tests/CMakeFiles/dbsvec_tests.dir/stats_consistency_test.cc.o" "gcc" "tests/CMakeFiles/dbsvec_tests.dir/stats_consistency_test.cc.o.d"
+  "/root/repo/tests/svdd_test.cc" "tests/CMakeFiles/dbsvec_tests.dir/svdd_test.cc.o" "gcc" "tests/CMakeFiles/dbsvec_tests.dir/svdd_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dbsvec.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbsvec_cli.dir/dbsvec_cli.cc.o"
+  "CMakeFiles/dbsvec_cli.dir/dbsvec_cli.cc.o.d"
+  "dbsvec_cli"
+  "dbsvec_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbsvec_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
