@@ -1,0 +1,184 @@
+// Thread-scaling harness: runs DBSVEC (and exact DBSCAN for reference) on
+// the Fig. 6 random-walk workload at increasing thread counts, reports
+// wall-clock speedup over the sequential run, and verifies the labels are
+// identical at every thread count (the determinism contract of the
+// parallel execution engine).
+//
+// Flags: --n --dim --eps --minpts --seed --threads=1,2,4,8 --out
+// Writes BENCH_threads.json (machine-readable) next to the text table.
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "cluster/dbscan.h"
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
+#include "core/dbsvec.h"
+#include "data/synthetic.h"
+
+namespace dbsvec {
+namespace {
+
+struct Run {
+  std::string algorithm;
+  int threads = 1;
+  double seconds = 0.0;
+  double speedup = 1.0;
+  bool labels_match_sequential = true;
+};
+
+std::vector<int> ParseThreadList(const std::string& spec) {
+  std::vector<int> threads;
+  size_t start = 0;
+  while (start < spec.size()) {
+    size_t comma = spec.find(',', start);
+    if (comma == std::string::npos) {
+      comma = spec.size();
+    }
+    const int value = std::atoi(spec.substr(start, comma - start).c_str());
+    if (value >= 1) {
+      threads.push_back(value);
+    }
+    start = comma + 1;
+  }
+  if (threads.empty() || threads.front() != 1) {
+    threads.insert(threads.begin(), 1);  // Sequential baseline is required.
+  }
+  return threads;
+}
+
+int Main(int argc, char** argv) {
+  const bench::Args args(argc, argv);
+  RandomWalkParams data;
+  data.n = static_cast<PointIndex>(args.GetInt("n", 100'000));
+  data.dim = static_cast<int>(args.GetInt("dim", 8));
+  data.seed = static_cast<uint64_t>(args.GetInt("seed", 23));
+  const double epsilon = args.GetDouble("eps", 5'000.0);
+  const int min_pts = static_cast<int>(args.GetInt("minpts", 100));
+  const std::vector<int> thread_counts =
+      ParseThreadList(args.GetString("threads", "1,2,4,8"));
+  const std::string json_path = args.GetString("out", "BENCH_threads.json");
+  const unsigned hardware = std::thread::hardware_concurrency();
+
+  std::printf("generating random-walk workload: n=%d dim=%d seed=%llu\n",
+              data.n, data.dim, static_cast<unsigned long long>(data.seed));
+  const Dataset dataset = GenerateRandomWalk(data);
+
+  std::vector<Run> runs;
+  bench::Table table({"algorithm", "threads", "seconds", "speedup", "match"});
+  std::vector<int32_t> dbsvec_baseline;
+  std::vector<int32_t> dbscan_baseline;
+
+  for (const int threads : thread_counts) {
+    SetGlobalThreads(threads);
+    {
+      DbsvecParams params;
+      params.epsilon = epsilon;
+      params.min_pts = min_pts;
+      Clustering result;
+      Stopwatch timer;
+      const Status status = RunDbsvec(dataset, params, &result);
+      const double elapsed = timer.ElapsedSeconds();
+      if (!status.ok()) {
+        std::fprintf(stderr, "dbsvec(threads=%d): %s\n", threads,
+                     status.ToString().c_str());
+        return 1;
+      }
+      if (threads == 1) {
+        dbsvec_baseline = result.labels;
+      }
+      Run run;
+      run.algorithm = "dbsvec";
+      run.threads = threads;
+      run.seconds = elapsed;
+      run.speedup = threads == 1 ? 1.0 : runs.front().seconds / elapsed;
+      run.labels_match_sequential = result.labels == dbsvec_baseline;
+      table.AddRow({run.algorithm, std::to_string(threads),
+                    bench::FormatSeconds(elapsed),
+                    bench::FormatDouble(run.speedup, 2),
+                    run.labels_match_sequential ? "yes" : "NO"});
+      runs.push_back(run);
+    }
+    {
+      DbscanParams params;
+      params.epsilon = epsilon;
+      params.min_pts = min_pts;
+      Clustering result;
+      Stopwatch timer;
+      const Status status = RunDbscan(dataset, params, &result);
+      const double elapsed = timer.ElapsedSeconds();
+      if (!status.ok()) {
+        std::fprintf(stderr, "dbscan(threads=%d): %s\n", threads,
+                     status.ToString().c_str());
+        return 1;
+      }
+      if (threads == 1) {
+        dbscan_baseline = result.labels;
+      }
+      Run run;
+      run.algorithm = "dbscan";
+      run.threads = threads;
+      run.seconds = elapsed;
+      double base = elapsed;
+      for (const Run& r : runs) {
+        if (r.algorithm == "dbscan" && r.threads == 1) {
+          base = r.seconds;
+        }
+      }
+      run.speedup = base / elapsed;
+      run.labels_match_sequential = result.labels == dbscan_baseline;
+      table.AddRow({run.algorithm, std::to_string(threads),
+                    bench::FormatSeconds(elapsed),
+                    bench::FormatDouble(run.speedup, 2),
+                    run.labels_match_sequential ? "yes" : "NO"});
+      runs.push_back(run);
+    }
+  }
+  SetGlobalThreads(0);
+
+  table.Print();
+
+  bool all_match = true;
+  for (const Run& run : runs) {
+    all_match = all_match && run.labels_match_sequential;
+  }
+
+  std::ofstream json(json_path);
+  json << "{\n"
+       << "  \"workload\": {\"generator\": \"random_walk\", \"n\": " << data.n
+       << ", \"dim\": " << data.dim << ", \"eps\": " << epsilon
+       << ", \"minpts\": " << min_pts << ", \"seed\": " << data.seed
+       << "},\n"
+       << "  \"hardware_threads\": " << hardware << ",\n"
+       << "  \"deterministic\": " << (all_match ? "true" : "false") << ",\n"
+       << "  \"runs\": [\n";
+  for (size_t i = 0; i < runs.size(); ++i) {
+    const Run& run = runs[i];
+    json << "    {\"algorithm\": \"" << run.algorithm
+         << "\", \"threads\": " << run.threads << ", \"seconds\": "
+         << run.seconds << ", \"speedup\": " << run.speedup
+         << ", \"labels_match_sequential\": "
+         << (run.labels_match_sequential ? "true" : "false") << "}"
+         << (i + 1 < runs.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  std::printf("[json written to %s]\n", json_path.c_str());
+
+  if (!all_match) {
+    std::fprintf(stderr,
+                 "FAIL: labels diverged from the sequential run — the "
+                 "determinism contract is broken\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace dbsvec
+
+int main(int argc, char** argv) { return dbsvec::Main(argc, argv); }

@@ -133,6 +133,8 @@ std::string HelpText() {
       "  --index=kd|rstar|brute|grid   range-query engine (default kd)\n"
       "  --rho=X                 rho for rho-approximate (default 0.001)\n"
       "  --seed=N                RNG seed (default 7)\n"
+      "  --threads=N             worker threads: 0 = all cores (default),\n"
+      "                          1 = sequential; results are identical\n"
       "\n"
       "Output:\n"
       "  --output=FILE.csv       write points + label column\n"
@@ -195,6 +197,14 @@ Status ParseCliOptions(const std::vector<std::string>& args,
       int seed = 0;
       DBSVEC_RETURN_IF_ERROR(ParsePositiveInt(key, value, &seed));
       options->seed = static_cast<uint64_t>(seed);
+    } else if (key == "threads") {
+      char* end = nullptr;
+      const long parsed = std::strtol(value.c_str(), &end, 10);
+      if (end == value.c_str() || parsed < 0) {
+        return Status::InvalidArgument(
+            "--threads must be a non-negative integer");
+      }
+      options->threads = static_cast<int>(parsed);
     } else if (key == "compare-dbscan") {
       options->compare_dbscan = value != "0" && value != "false";
     } else {

@@ -49,6 +49,7 @@ struct CliOptions {
   IndexType index = IndexType::kKdTree;
   double rho = 0.001;
   uint64_t seed = 7;
+  int threads = 0;  ///< 0 = hardware concurrency, 1 = sequential.
 
   bool compare_dbscan = false;  ///< Also run exact DBSCAN, report recall.
   bool show_help = false;

@@ -1,13 +1,62 @@
 #include "cluster/dbscan.h"
 
+#include <algorithm>
 #include <deque>
 
 #include "common/stopwatch.h"
+#include "common/thread_pool.h"
 
 namespace dbsvec {
 namespace {
 
 constexpr int32_t kUnclassified = -2;
+
+/// Breadth-first cluster growth with the frontier queried level by level:
+/// all range queries of one BFS level fan out across the thread pool, then
+/// the neighborhoods are absorbed sequentially in frontier order. The
+/// frontier is processed in insertion order exactly like the sequential
+/// deque, and every frontier point is queried unconditionally in both
+/// versions, so labels, core flags, and query counts are identical to the
+/// sequential run.
+void GrowClusterParallel(const NeighborIndex& index, double epsilon,
+                         int min_pts, int32_t cid,
+                         const std::vector<PointIndex>& seed_neighbors,
+                         std::vector<int32_t>* labels,
+                         std::vector<char>* is_core) {
+  std::vector<PointIndex> frontier;
+  std::vector<PointIndex> next;
+  std::vector<std::vector<PointIndex>> neighborhoods;
+  for (const PointIndex j : seed_neighbors) {
+    if ((*labels)[j] == kUnclassified || (*labels)[j] == Clustering::kNoise) {
+      (*labels)[j] = cid;
+      frontier.push_back(j);
+    }
+  }
+  while (!frontier.empty()) {
+    neighborhoods.resize(frontier.size());
+    ParallelFor(frontier.size(), 1, [&](size_t begin, size_t end) {
+      for (size_t k = begin; k < end; ++k) {
+        index.RangeQuery(frontier[k], epsilon, &neighborhoods[k]);
+      }
+    });
+    next.clear();
+    for (size_t k = 0; k < frontier.size(); ++k) {
+      const std::vector<PointIndex>& expansion = neighborhoods[k];
+      if (static_cast<int>(expansion.size()) < min_pts) {
+        continue;  // Border point.
+      }
+      (*is_core)[frontier[k]] = 1;
+      for (const PointIndex j : expansion) {
+        if ((*labels)[j] == kUnclassified ||
+            (*labels)[j] == Clustering::kNoise) {
+          (*labels)[j] = cid;
+          next.push_back(j);
+        }
+      }
+    }
+    frontier.swap(next);
+  }
+}
 
 }  // namespace
 
@@ -29,42 +78,89 @@ Status RunDbscanWithIndex(const NeighborIndex& index, double epsilon,
   std::vector<char> is_core(n, 0);
   int32_t next_cluster = 0;
 
-  std::vector<PointIndex> neighbors;
-  std::vector<PointIndex> expansion;
-  std::deque<PointIndex> frontier;
-  for (PointIndex i = 0; i < n; ++i) {
-    if (labels[i] != kUnclassified) {
-      continue;
-    }
-    index.RangeQuery(i, epsilon, &neighbors);
-    if (static_cast<int>(neighbors.size()) < min_pts) {
-      labels[i] = Clustering::kNoise;
-      continue;
-    }
-    // i is core: open a new cluster and expand it breadth-first.
-    const int32_t cid = next_cluster++;
-    labels[i] = cid;
-    is_core[i] = 1;
-    frontier.clear();
-    for (const PointIndex j : neighbors) {
-      if (labels[j] == kUnclassified || labels[j] == Clustering::kNoise) {
-        labels[j] = cid;
-        frontier.push_back(j);
+  if (GlobalThreadPool() == nullptr) {
+    std::vector<PointIndex> neighbors;
+    std::vector<PointIndex> expansion;
+    std::deque<PointIndex> frontier;
+    for (PointIndex i = 0; i < n; ++i) {
+      if (labels[i] != kUnclassified) {
+        continue;
       }
-    }
-    while (!frontier.empty()) {
-      const PointIndex q = frontier.front();
-      frontier.pop_front();
-      index.RangeQuery(q, epsilon, &expansion);
-      if (static_cast<int>(expansion.size()) < min_pts) {
-        continue;  // q is a border point.
+      index.RangeQuery(i, epsilon, &neighbors);
+      if (static_cast<int>(neighbors.size()) < min_pts) {
+        labels[i] = Clustering::kNoise;
+        continue;
       }
-      is_core[q] = 1;
-      for (const PointIndex j : expansion) {
+      // i is core: open a new cluster and expand it breadth-first.
+      const int32_t cid = next_cluster++;
+      labels[i] = cid;
+      is_core[i] = 1;
+      frontier.clear();
+      for (const PointIndex j : neighbors) {
         if (labels[j] == kUnclassified || labels[j] == Clustering::kNoise) {
           labels[j] = cid;
           frontier.push_back(j);
         }
+      }
+      while (!frontier.empty()) {
+        const PointIndex q = frontier.front();
+        frontier.pop_front();
+        index.RangeQuery(q, epsilon, &expansion);
+        if (static_cast<int>(expansion.size()) < min_pts) {
+          continue;  // q is a border point.
+        }
+        is_core[q] = 1;
+        for (const PointIndex j : expansion) {
+          if (labels[j] == kUnclassified || labels[j] == Clustering::kNoise) {
+            labels[j] = cid;
+            frontier.push_back(j);
+          }
+        }
+      }
+    }
+  } else {
+    // Speculative batched seed scan (see the DBSVEC seed scan for the
+    // consumption rule): prefetched queries for points that a cluster
+    // expansion claims in the meantime are discarded, counters and all,
+    // so the reported stats equal the sequential run's.
+    const size_t batch_target =
+        std::min<size_t>(256, 4 * static_cast<size_t>(GlobalThreads()));
+    std::vector<PointIndex> batch;
+    std::vector<std::vector<PointIndex>> batch_neighborhoods;
+    std::vector<NeighborIndex::QueryCounters> batch_counters;
+    PointIndex scan = 0;
+    while (scan < n) {
+      batch.clear();
+      while (scan < n && batch.size() < batch_target) {
+        if (labels[scan] == kUnclassified) {
+          batch.push_back(scan);
+        }
+        ++scan;
+      }
+      batch_neighborhoods.resize(batch.size());
+      batch_counters.assign(batch.size(), {});
+      ParallelFor(batch.size(), 1, [&](size_t begin, size_t end) {
+        for (size_t k = begin; k < end; ++k) {
+          NeighborIndex::ScopedCounterCapture capture(&batch_counters[k]);
+          index.RangeQuery(batch[k], epsilon, &batch_neighborhoods[k]);
+        }
+      });
+      for (size_t k = 0; k < batch.size(); ++k) {
+        const PointIndex i = batch[k];
+        if (labels[i] != kUnclassified) {
+          continue;  // Claimed by an expansion after prefetch: discard.
+        }
+        index.AccumulateCounters(batch_counters[k]);
+        const std::vector<PointIndex>& neighbors = batch_neighborhoods[k];
+        if (static_cast<int>(neighbors.size()) < min_pts) {
+          labels[i] = Clustering::kNoise;
+          continue;
+        }
+        const int32_t cid = next_cluster++;
+        labels[i] = cid;
+        is_core[i] = 1;
+        GrowClusterParallel(index, epsilon, min_pts, cid, neighbors,
+                            &labels, &is_core);
       }
     }
   }

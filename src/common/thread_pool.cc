@@ -1,0 +1,197 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <memory>
+
+namespace dbsvec {
+namespace {
+
+thread_local bool tls_inside_worker = false;
+
+}  // namespace
+
+ThreadPool::ThreadPool(int num_workers) {
+  workers_.reserve(static_cast<size_t>(std::max(1, num_workers)));
+  for (int i = 0; i < std::max(1, num_workers); ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  wake_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+bool ThreadPool::InsideWorker() { return tls_inside_worker; }
+
+void ThreadPool::RunTasks() {
+  // Claim task indices off the shared counter until the job is drained.
+  // Claim order is irrelevant to correctness: tasks are independent and
+  // their results are absorbed by the caller in task order.
+  while (true) {
+    const int task = next_task_.fetch_add(1, std::memory_order_relaxed);
+    if (task >= num_tasks_) {
+      return;
+    }
+    (*task_)(task);
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  tls_inside_worker = true;
+  uint64_t seen_epoch = 0;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_cv_.wait(lock,
+                    [&] { return stop_ || epoch_ != seen_epoch; });
+      if (stop_) {
+        return;
+      }
+      seen_epoch = epoch_;
+    }
+    RunTasks();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --workers_remaining_;
+    }
+    done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::Execute(int num_tasks, const std::function<void(int)>& task) {
+  if (num_tasks <= 0) {
+    return;
+  }
+  if (tls_inside_worker) {
+    // Nested parallel section: run inline to avoid waiting on workers
+    // that may themselves be blocked on this job.
+    for (int i = 0; i < num_tasks; ++i) {
+      task(i);
+    }
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    task_ = &task;
+    num_tasks_ = num_tasks;
+    next_task_.store(0, std::memory_order_relaxed);
+    workers_remaining_ = static_cast<int>(workers_.size());
+    ++epoch_;
+  }
+  wake_cv_.notify_all();
+  // The caller participates as a de-facto worker; mark it so a nested
+  // Execute issued from one of its tasks runs inline instead of
+  // clobbering the in-flight job.
+  tls_inside_worker = true;
+  RunTasks();
+  tls_inside_worker = false;
+  // Every worker must check in before the next epoch may reuse the job
+  // slots; this also guarantees all tasks have finished.
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [&] { return workers_remaining_ == 0; });
+  task_ = nullptr;
+}
+
+namespace {
+
+struct GlobalPoolState {
+  std::mutex mutex;
+  int requested = 0;  // 0 = hardware concurrency.
+  bool current = false;
+  std::unique_ptr<ThreadPool> pool;
+};
+
+GlobalPoolState& PoolState() {
+  static GlobalPoolState* state = new GlobalPoolState();
+  return *state;
+}
+
+int ResolveThreads(int requested) {
+  if (requested > 0) {
+    return requested;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+}  // namespace
+
+void SetGlobalThreads(int threads) {
+  GlobalPoolState& state = PoolState();
+  std::unique_ptr<ThreadPool> retired;
+  std::lock_guard<std::mutex> lock(state.mutex);
+  state.requested = std::max(0, threads);
+  state.current = false;
+  retired = std::move(state.pool);  // Joined outside any parallel section.
+}
+
+int GlobalThreads() {
+  GlobalPoolState& state = PoolState();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  return ResolveThreads(state.requested);
+}
+
+ThreadPool* GlobalThreadPool() {
+  GlobalPoolState& state = PoolState();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  if (!state.current) {
+    const int threads = ResolveThreads(state.requested);
+    state.pool.reset();
+    if (threads > 1) {
+      state.pool = std::make_unique<ThreadPool>(threads - 1);
+    }
+    state.current = true;
+  }
+  return state.pool.get();
+}
+
+size_t ParallelChunks(size_t n, size_t grain) {
+  ThreadPool* pool = GlobalThreadPool();
+  if (pool == nullptr || ThreadPool::InsideWorker() || n == 0) {
+    return 1;
+  }
+  const size_t min_chunk = std::max<size_t>(1, grain);
+  const size_t by_grain = (n + min_chunk - 1) / min_chunk;
+  return std::max<size_t>(
+      1, std::min(by_grain, static_cast<size_t>(pool->concurrency())));
+}
+
+void ParallelForChunked(
+    size_t n, size_t grain,
+    const std::function<void(size_t chunk, size_t begin, size_t end)>& body) {
+  if (n == 0) {
+    return;
+  }
+  const size_t chunks = ParallelChunks(n, grain);
+  if (chunks <= 1) {
+    body(0, 0, n);
+    return;
+  }
+  const size_t chunk_size = (n + chunks - 1) / chunks;
+  GlobalThreadPool()->Execute(
+      static_cast<int>(chunks), [&](int chunk) {
+        const size_t begin = static_cast<size_t>(chunk) * chunk_size;
+        const size_t end = std::min(n, begin + chunk_size);
+        if (begin < end) {
+          body(static_cast<size_t>(chunk), begin, end);
+        }
+      });
+}
+
+void ParallelFor(size_t n, size_t grain,
+                 const std::function<void(size_t begin, size_t end)>& body) {
+  ParallelForChunked(
+      n, grain,
+      [&body](size_t /*chunk*/, size_t begin, size_t end) {
+        body(begin, end);
+      });
+}
+
+}  // namespace dbsvec

@@ -1,0 +1,104 @@
+#ifndef DBSVEC_COMMON_THREAD_POOL_H_
+#define DBSVEC_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dbsvec {
+
+/// Fixed pool of worker threads executing statically partitioned jobs.
+///
+/// The pool is deliberately work-stealing-free: a job is a set of task
+/// indices claimed off a shared counter, and `ParallelFor` maps task
+/// indices to *contiguous* index ranges so each thread streams through
+/// adjacent memory. Every parallel section in this library is structured
+/// as "fan out pure computations, absorb results sequentially in a fixed
+/// order", which keeps clustering output bit-identical to a sequential
+/// run regardless of the thread count (see docs/ALGORITHM.md, "Threading
+/// model").
+///
+/// Tasks must not throw; an exception escaping a task terminates the
+/// process (there is no cross-thread error channel — parallel sections
+/// only run infallible computations).
+class ThreadPool {
+ public:
+  /// Spawns `num_workers` worker threads (>= 1).
+  explicit ThreadPool(int num_workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of threads that execute a job: the workers plus the caller.
+  int concurrency() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Runs task(0) .. task(num_tasks - 1) across the workers; the calling
+  /// thread participates. Blocks until every task has finished. A call
+  /// made from inside a pool task runs all tasks inline on the calling
+  /// thread (no nested parallelism, no deadlock).
+  void Execute(int num_tasks, const std::function<void(int)>& task);
+
+  /// True when the current thread is a pool worker executing a task.
+  static bool InsideWorker();
+
+ private:
+  void WorkerLoop();
+  void RunTasks();
+
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable wake_cv_;
+  std::condition_variable done_cv_;
+  uint64_t epoch_ = 0;
+  bool stop_ = false;
+  int workers_remaining_ = 0;  // Workers yet to finish the current epoch.
+
+  // Current job; valid for the duration of one epoch.
+  const std::function<void(int)>* task_ = nullptr;
+  int num_tasks_ = 0;
+  std::atomic<int> next_task_{0};
+};
+
+/// Sets the global thread budget used by every parallel section:
+/// 0 = hardware concurrency (the default), 1 = fully sequential, n > 1 =
+/// exactly n threads. Takes effect on the next parallel section; not
+/// thread-safe against concurrent parallel sections (set it at startup or
+/// between runs).
+void SetGlobalThreads(int threads);
+
+/// The resolved global thread budget (>= 1).
+int GlobalThreads();
+
+/// The process-wide pool honoring `SetGlobalThreads`, or nullptr when the
+/// budget is 1 (sequential mode — callers take their unchanged serial
+/// path).
+ThreadPool* GlobalThreadPool();
+
+/// Number of contiguous chunks `ParallelForChunked` splits `n` items into
+/// under the current global thread budget: 1 in sequential mode, else at
+/// most one chunk per thread with every chunk at least `grain` items.
+size_t ParallelChunks(size_t n, size_t grain);
+
+/// Runs body(chunk, begin, end) over the `ParallelChunks(n, grain)`
+/// contiguous chunks of [0, n). Chunk boundaries depend only on `n`,
+/// `grain`, and the thread budget, so callers may pre-size per-chunk
+/// accumulators and fold them in chunk order for deterministic results.
+/// Runs inline when the budget is 1, `n` fits a single chunk, or the
+/// caller is itself a pool task.
+void ParallelForChunked(
+    size_t n, size_t grain,
+    const std::function<void(size_t chunk, size_t begin, size_t end)>& body);
+
+/// Runs body(begin, end) over contiguous chunks of [0, n) in parallel.
+void ParallelFor(size_t n, size_t grain,
+                 const std::function<void(size_t begin, size_t end)>& body);
+
+}  // namespace dbsvec
+
+#endif  // DBSVEC_COMMON_THREAD_POOL_H_

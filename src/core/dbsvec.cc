@@ -6,6 +6,7 @@
 
 #include "common/rng.h"
 #include "common/stopwatch.h"
+#include "common/thread_pool.h"
 #include "common/union_find.h"
 #include "core/parameter_selection.h"
 #include "svm/svdd.h"
@@ -69,6 +70,9 @@ class DbsvecRun {
   Rng rng_;
 
   UnionFind sub_clusters_;
+  // Scratch for the parallel support-vector fan-out (reused per round).
+  std::vector<size_t> queried_svs_;
+  std::vector<std::vector<PointIndex>> sv_neighborhoods_;
   std::vector<int32_t> labels_;
   std::vector<int32_t> neighbor_count_;  // -1 = unknown.
   std::vector<int32_t> train_count_;     // t_i of Sec. IV-B1.
@@ -183,19 +187,53 @@ Status DbsvecRun::ExpandCluster(int32_t cid,
     }
 
     // Expand from the core support vectors (Definition 6 / Algorithm 3).
+    // The skip rule below only depends on neighbor counts known *before*
+    // this round (absorbing one SV's neighborhood never updates the count
+    // of another SV in the list — those are all members of `cid`, and the
+    // core test inside AbsorbNeighborhood only fires for points of other
+    // sub-clusters), so the set of range queries is fixed upfront. That
+    // lets the queries fan out across the thread pool while the absorption
+    // — which mutates labels and the union-find — replays sequentially in
+    // SV order, producing labels, merges, and stats identical to the
+    // sequential run.
     const size_t last_size = members->size();
-    for (const SvddModel::SupportVector& sv : model.support_vectors()) {
-      if (neighbor_count_[sv.index] >= 0 &&
-          neighbor_count_[sv.index] < params_.min_pts) {
+    const auto& svs = model.support_vectors();
+    queried_svs_.clear();
+    for (size_t s = 0; s < svs.size(); ++s) {
+      if (neighbor_count_[svs[s].index] >= 0 &&
+          neighbor_count_[svs[s].index] < params_.min_pts) {
         continue;  // Known non-core support vector: cannot expand.
       }
-      index_.RangeQuery(sv.index, params_.epsilon, &neighborhood);
-      neighbor_count_[sv.index] =
-          static_cast<int32_t>(neighborhood.size());
-      if (static_cast<int>(neighborhood.size()) < params_.min_pts) {
-        continue;  // Non-core support vector (SV_2 in Fig. 3b).
+      queried_svs_.push_back(s);
+    }
+    if (GlobalThreadPool() != nullptr && queried_svs_.size() > 1) {
+      sv_neighborhoods_.resize(queried_svs_.size());
+      ParallelFor(queried_svs_.size(), 1, [&](size_t begin, size_t end) {
+        for (size_t k = begin; k < end; ++k) {
+          index_.RangeQuery(svs[queried_svs_[k]].index, params_.epsilon,
+                            &sv_neighborhoods_[k]);
+        }
+      });
+      for (size_t k = 0; k < queried_svs_.size(); ++k) {
+        const SvddModel::SupportVector& sv = svs[queried_svs_[k]];
+        const std::vector<PointIndex>& hood = sv_neighborhoods_[k];
+        neighbor_count_[sv.index] = static_cast<int32_t>(hood.size());
+        if (static_cast<int>(hood.size()) < params_.min_pts) {
+          continue;  // Non-core support vector (SV_2 in Fig. 3b).
+        }
+        AbsorbNeighborhood(hood, cid, members);
       }
-      AbsorbNeighborhood(neighborhood, cid, members);
+    } else {
+      for (const size_t s : queried_svs_) {
+        const SvddModel::SupportVector& sv = svs[s];
+        index_.RangeQuery(sv.index, params_.epsilon, &neighborhood);
+        neighbor_count_[sv.index] =
+            static_cast<int32_t>(neighborhood.size());
+        if (static_cast<int>(neighborhood.size()) < params_.min_pts) {
+          continue;  // Non-core support vector (SV_2 in Fig. 3b).
+        }
+        AbsorbNeighborhood(neighborhood, cid, members);
+      }
     }
     if (members->size() == last_size) {
       if (params_.incremental_learning && params_.stall_recovery && !full_pass) {
@@ -249,26 +287,81 @@ Status DbsvecRun::Execute() {
 
   std::vector<PointIndex> neighborhood;
   std::vector<PointIndex> members;
-  for (PointIndex i = 0; i < n; ++i) {
-    if (labels_[i] != kUnclassified) {
-      continue;
+  if (GlobalThreadPool() == nullptr) {
+    for (PointIndex i = 0; i < n; ++i) {
+      if (labels_[i] != kUnclassified) {
+        continue;
+      }
+      index_.RangeQuery(i, params_.epsilon, &neighborhood);
+      neighbor_count_[i] = static_cast<int32_t>(neighborhood.size());
+      if (static_cast<int>(neighborhood.size()) < params_.min_pts) {
+        // Potential noise: keep the neighborhood for noise verification
+        // (it has fewer than MinPts entries, so the list stays small).
+        labels_[i] = kPotentialNoise;
+        potential_noise_.push_back(i);
+        noise_neighborhoods_.push_back(neighborhood);
+        continue;
+      }
+      // i is a core seed: initialize a new sub-cluster from its
+      // ε-neighborhood (Corollary 1) and expand it by support vectors.
+      const int32_t cid = sub_clusters_.MakeSet();
+      members.clear();
+      AbsorbNeighborhood(neighborhood, cid, &members);
+      DBSVEC_RETURN_IF_ERROR(ExpandCluster(cid, &members));
     }
-    index_.RangeQuery(i, params_.epsilon, &neighborhood);
-    neighbor_count_[i] = static_cast<int32_t>(neighborhood.size());
-    if (static_cast<int>(neighborhood.size()) < params_.min_pts) {
-      // Potential noise: keep the neighborhood for noise verification
-      // (it has fewer than MinPts entries, so the list stays small).
-      labels_[i] = kPotentialNoise;
-      potential_noise_.push_back(i);
-      noise_neighborhoods_.push_back(neighborhood);
-      continue;
+  } else {
+    // Speculative batched seed scan: prefetch the ε-neighborhoods of the
+    // next batch of still-unclassified points in parallel, then replay the
+    // scan sequentially. A prefetched result is *consumed* only if its
+    // point is still unclassified when the replay reaches it — the exact
+    // set of points the sequential scan would have queried — and only
+    // consumed queries fold their counters into the index, so labels and
+    // stats match the sequential run bit for bit. Queries invalidated by
+    // an intervening cluster expansion are discarded (wasted speculation,
+    // never wrong results).
+    const size_t batch_target = std::min<size_t>(
+        256, 4 * static_cast<size_t>(GlobalThreads()));
+    std::vector<PointIndex> batch;
+    std::vector<std::vector<PointIndex>> batch_neighborhoods;
+    std::vector<NeighborIndex::QueryCounters> batch_counters;
+    PointIndex scan = 0;
+    while (scan < n) {
+      batch.clear();
+      while (scan < n && batch.size() < batch_target) {
+        if (labels_[scan] == kUnclassified) {
+          batch.push_back(scan);
+        }
+        ++scan;
+      }
+      batch_neighborhoods.resize(batch.size());
+      batch_counters.assign(batch.size(), {});
+      ParallelFor(batch.size(), 1, [&](size_t begin, size_t end) {
+        for (size_t k = begin; k < end; ++k) {
+          NeighborIndex::ScopedCounterCapture capture(&batch_counters[k]);
+          index_.RangeQuery(batch[k], params_.epsilon,
+                            &batch_neighborhoods[k]);
+        }
+      });
+      for (size_t k = 0; k < batch.size(); ++k) {
+        const PointIndex i = batch[k];
+        if (labels_[i] != kUnclassified) {
+          continue;  // Claimed by an expansion after prefetch: discard.
+        }
+        index_.AccumulateCounters(batch_counters[k]);
+        std::vector<PointIndex>& hood = batch_neighborhoods[k];
+        neighbor_count_[i] = static_cast<int32_t>(hood.size());
+        if (static_cast<int>(hood.size()) < params_.min_pts) {
+          labels_[i] = kPotentialNoise;
+          potential_noise_.push_back(i);
+          noise_neighborhoods_.push_back(std::move(hood));
+          continue;
+        }
+        const int32_t cid = sub_clusters_.MakeSet();
+        members.clear();
+        AbsorbNeighborhood(hood, cid, &members);
+        DBSVEC_RETURN_IF_ERROR(ExpandCluster(cid, &members));
+      }
     }
-    // i is a core seed: initialize a new sub-cluster from its
-    // ε-neighborhood (Corollary 1) and expand it by support vectors.
-    const int32_t cid = sub_clusters_.MakeSet();
-    members.clear();
-    AbsorbNeighborhood(neighborhood, cid, &members);
-    DBSVEC_RETURN_IF_ERROR(ExpandCluster(cid, &members));
   }
 
   VerifyNoise();

@@ -6,10 +6,10 @@ void BruteForceIndex::RangeQuery(std::span<const double> query,
                                  double epsilon,
                                  std::vector<PointIndex>* out) const {
   out->clear();
-  ++num_range_queries_;
+  CountRangeQuery();
   const double eps_sq = epsilon * epsilon;
   const PointIndex n = dataset_.size();
-  num_distance_computations_ += static_cast<uint64_t>(n);
+  CountDistanceComputations(static_cast<uint64_t>(n));
   for (PointIndex i = 0; i < n; ++i) {
     if (dataset_.SquaredDistanceTo(i, query) <= eps_sq) {
       out->push_back(i);
@@ -19,10 +19,10 @@ void BruteForceIndex::RangeQuery(std::span<const double> query,
 
 PointIndex BruteForceIndex::RangeCount(std::span<const double> query,
                                        double epsilon) const {
-  ++num_range_queries_;
+  CountRangeQuery();
   const double eps_sq = epsilon * epsilon;
   const PointIndex n = dataset_.size();
-  num_distance_computations_ += static_cast<uint64_t>(n);
+  CountDistanceComputations(static_cast<uint64_t>(n));
   PointIndex count = 0;
   for (PointIndex i = 0; i < n; ++i) {
     if (dataset_.SquaredDistanceTo(i, query) <= eps_sq) {

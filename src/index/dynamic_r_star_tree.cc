@@ -423,7 +423,7 @@ void DynamicRStarTree::RangeQuery(std::span<const double> query,
                                   double epsilon,
                                   std::vector<PointIndex>* out) const {
   out->clear();
-  ++num_range_queries_;
+  CountRangeQuery();
   if (root_ < 0) {
     return;
   }
@@ -447,7 +447,7 @@ void DynamicRStarTree::RangeQuery(std::span<const double> query,
       continue;
     }
     if (node.is_leaf) {
-      num_distance_computations_ += node.children.size();
+      CountDistanceComputations(node.children.size());
       for (const PointIndex i : node.children) {
         if (dataset_.SquaredDistanceTo(i, query) <= eps_sq) {
           out->push_back(i);

@@ -2,12 +2,38 @@
 
 #include <cmath>
 
+#include "common/thread_pool.h"
+
 namespace dbsvec {
 
 GridIndex::GridIndex(const Dataset& dataset, double cell_width)
     : NeighborIndex(dataset), cell_width_(cell_width) {
-  for (PointIndex i = 0; i < dataset.size(); ++i) {
-    cells_[CellOf(dataset.point(i))].push_back(i);
+  const size_t n = static_cast<size_t>(dataset.size());
+  constexpr size_t kParallelGrain = 4096;
+  const size_t chunks = ParallelChunks(n, kParallelGrain);
+  if (chunks <= 1) {
+    for (PointIndex i = 0; i < dataset.size(); ++i) {
+      cells_[CellOf(dataset.point(i))].push_back(i);
+    }
+    return;
+  }
+  // Bin contiguous chunks into per-chunk maps, then fold them in chunk
+  // order: every cell vector ends up in ascending point order, exactly as
+  // the sequential loop produces, for any chunk count.
+  std::vector<CellMap> partial(chunks);
+  ParallelForChunked(n, kParallelGrain,
+                     [&](size_t chunk, size_t begin, size_t end) {
+                       CellMap& local = partial[chunk];
+                       for (size_t i = begin; i < end; ++i) {
+                         const PointIndex p = static_cast<PointIndex>(i);
+                         local[CellOf(dataset.point(p))].push_back(p);
+                       }
+                     });
+  for (CellMap& local : partial) {
+    for (auto& [key, points] : local) {
+      std::vector<PointIndex>& cell = cells_[key];
+      cell.insert(cell.end(), points.begin(), points.end());
+    }
   }
 }
 
@@ -22,7 +48,7 @@ std::vector<int32_t> GridIndex::CellOf(std::span<const double> p) const {
 void GridIndex::RangeQuery(std::span<const double> query, double epsilon,
                            std::vector<PointIndex>* out) const {
   out->clear();
-  ++num_range_queries_;
+  CountRangeQuery();
   const double eps_sq = epsilon * epsilon;
   const int dim = dataset_.dim();
   const std::vector<int32_t> center = CellOf(query);
@@ -36,7 +62,7 @@ void GridIndex::RangeQuery(std::span<const double> query, double epsilon,
     }
     const auto it = cells_.find(key);
     if (it != cells_.end()) {
-      num_distance_computations_ += it->second.size();
+      CountDistanceComputations(it->second.size());
       for (const PointIndex i : it->second) {
         if (dataset_.SquaredDistanceTo(i, query) <= eps_sq) {
           out->push_back(i);

@@ -41,11 +41,14 @@ class GridIndex final : public NeighborIndex {
     }
   };
 
+  using CellMap =
+      std::unordered_map<std::vector<int32_t>, std::vector<PointIndex>,
+                         CellHash>;
+
   std::vector<int32_t> CellOf(std::span<const double> p) const;
 
   double cell_width_;
-  std::unordered_map<std::vector<int32_t>, std::vector<PointIndex>, CellHash>
-      cells_;
+  CellMap cells_;
 };
 
 }  // namespace dbsvec

@@ -6,6 +6,8 @@
 #include <vector>
 #include <limits>
 
+#include "common/thread_pool.h"
+
 namespace dbsvec {
 
 KdTree::KdTree(const Dataset& dataset) : NeighborIndex(dataset) {
@@ -14,17 +16,90 @@ KdTree::KdTree(const Dataset& dataset) : NeighborIndex(dataset) {
   for (PointIndex i = 0; i < n; ++i) {
     order_[i] = i;
   }
-  if (n > 0) {
-    nodes_.reserve(static_cast<size_t>(2 * n / kLeafSize + 2));
-    root_ = Build(0, n);
+  if (n == 0) {
+    return;
+  }
+  nodes_.reserve(static_cast<size_t>(2 * n / kLeafSize + 2));
+  if (GlobalThreadPool() != nullptr && n >= kParallelBuildCutoff) {
+    BuildParallel(n);
+  } else {
+    root_ = Build(0, n, 0, &nodes_, nullptr);
   }
 }
 
-int32_t KdTree::Build(PointIndex begin, PointIndex end) {
-  const int32_t id = static_cast<int32_t>(nodes_.size());
-  nodes_.emplace_back();
+void KdTree::BuildParallel(PointIndex n) {
+  // Sequential descent over the top of the tree until ~4 subtrees per
+  // thread exist, then one arena-isolated sequential build per subtree.
+  const int threads = GlobalThreads();
+  int fork_depth = 0;
+  while ((1 << fork_depth) < 4 * threads && fork_depth < 10) {
+    ++fork_depth;
+  }
+  std::vector<SubtreeJob> jobs;
+  root_ = Build(0, n, fork_depth, &nodes_, &jobs);
+
+  struct JobResult {
+    std::vector<Node> arena;
+    int split_dim = 0;
+    double split_value = 0.0;
+    int32_t left = -1;
+    int32_t right = -1;
+  };
+  std::vector<JobResult> results(jobs.size());
+  ParallelFor(jobs.size(), 1, [&](size_t job_begin, size_t job_end) {
+    for (size_t j = job_begin; j < job_end; ++j) {
+      const SubtreeJob& job = jobs[j];
+      JobResult& result = results[j];
+      // The stub node already carries the range bbox; re-derive the split
+      // exactly as the sequential Build would.
+      const Node& stub = nodes_[job.node];
+      int split_dim = 0;
+      double widest = -1.0;
+      for (int d = 0; d < dataset_.dim(); ++d) {
+        const double spread = stub.bbox_max[d] - stub.bbox_min[d];
+        if (spread > widest) {
+          widest = spread;
+          split_dim = d;
+        }
+      }
+      const PointIndex mid = job.begin + (job.end - job.begin) / 2;
+      std::nth_element(order_.begin() + job.begin, order_.begin() + mid,
+                       order_.begin() + job.end,
+                       [this, split_dim](PointIndex a, PointIndex b) {
+                         return dataset_.at(a, split_dim) <
+                                dataset_.at(b, split_dim);
+                       });
+      result.split_dim = split_dim;
+      result.split_value = dataset_.at(order_[mid], split_dim);
+      result.left = Build(job.begin, mid, 0, &result.arena, nullptr);
+      result.right = Build(mid, job.end, 0, &result.arena, nullptr);
+    }
+  });
+
+  // Splice the arenas in job order; node ids shift by the arena offset.
+  for (size_t j = 0; j < jobs.size(); ++j) {
+    JobResult& result = results[j];
+    const int32_t offset = static_cast<int32_t>(nodes_.size());
+    for (Node& node : result.arena) {
+      if (node.left >= 0) node.left += offset;
+      if (node.right >= 0) node.right += offset;
+      nodes_.push_back(std::move(node));
+    }
+    Node& stub = nodes_[jobs[j].node];
+    stub.split_dim = result.split_dim;
+    stub.split_value = result.split_value;
+    stub.left = result.left + offset;
+    stub.right = result.right + offset;
+  }
+}
+
+int32_t KdTree::Build(PointIndex begin, PointIndex end, int fork_depth,
+                      std::vector<Node>* nodes,
+                      std::vector<SubtreeJob>* jobs) {
+  const int32_t id = static_cast<int32_t>(nodes->size());
+  nodes->emplace_back();
   {
-    Node& node = nodes_.back();
+    Node& node = nodes->back();
     node.begin = begin;
     node.end = end;
   }
@@ -39,8 +114,8 @@ int32_t KdTree::Build(PointIndex begin, PointIndex end) {
       if (p[j] > hi[j]) hi[j] = p[j];
     }
   }
-  nodes_[id].bbox_min = lo;
-  nodes_[id].bbox_max = hi;
+  (*nodes)[id].bbox_min = lo;
+  (*nodes)[id].bbox_max = hi;
 
   if (end - begin <= kLeafSize) {
     return id;  // Leaf.
@@ -59,6 +134,11 @@ int32_t KdTree::Build(PointIndex begin, PointIndex end) {
     return id;  // All points identical: keep as leaf.
   }
 
+  if (jobs != nullptr && fork_depth <= 0) {
+    jobs->push_back({.node = id, .begin = begin, .end = end});
+    return id;  // Split deferred to the parallel phase.
+  }
+
   const PointIndex mid = begin + (end - begin) / 2;
   std::nth_element(order_.begin() + begin, order_.begin() + mid,
                    order_.begin() + end,
@@ -68,9 +148,9 @@ int32_t KdTree::Build(PointIndex begin, PointIndex end) {
                    });
   const double split_value = dataset_.at(order_[mid], split_dim);
 
-  const int32_t left = Build(begin, mid);
-  const int32_t right = Build(mid, end);
-  Node& node = nodes_[id];  // Re-fetch: Build() may reallocate nodes_.
+  const int32_t left = Build(begin, mid, fork_depth - 1, nodes, jobs);
+  const int32_t right = Build(mid, end, fork_depth - 1, nodes, jobs);
+  Node& node = (*nodes)[id];  // Re-fetch: Build() may reallocate nodes.
   node.split_dim = split_dim;
   node.split_value = split_value;
   node.left = left;
@@ -101,8 +181,8 @@ void KdTree::Visit(int32_t node_id, std::span<const double> query,
     return;
   }
   if (node.split_dim < 0) {
-    num_distance_computations_ +=
-        static_cast<uint64_t>(node.end - node.begin);
+    CountDistanceComputations(
+        static_cast<uint64_t>(node.end - node.begin));
     for (PointIndex k = node.begin; k < node.end; ++k) {
       const PointIndex i = order_[k];
       if (dataset_.SquaredDistanceTo(i, query) <= eps_sq) {
@@ -118,7 +198,7 @@ void KdTree::Visit(int32_t node_id, std::span<const double> query,
 void KdTree::RangeQuery(std::span<const double> query, double epsilon,
                         std::vector<PointIndex>* out) const {
   out->clear();
-  ++num_range_queries_;
+  CountRangeQuery();
   if (root_ < 0) {
     return;
   }
@@ -183,8 +263,8 @@ void KdTree::KnnQuery(std::span<const double> query, int k,
       continue;
     }
     if (node.split_dim < 0) {
-      num_distance_computations_ +=
-          static_cast<uint64_t>(node.end - node.begin);
+      CountDistanceComputations(
+          static_cast<uint64_t>(node.end - node.begin));
       for (PointIndex p = node.begin; p < node.end; ++p) {
         const PointIndex i = order_[p];
         heap.Offer(dataset_.SquaredDistanceTo(i, query), i);
@@ -201,7 +281,7 @@ void KdTree::KnnQuery(std::span<const double> query, int k,
 
 PointIndex KdTree::RangeCount(std::span<const double> query,
                               double epsilon) const {
-  ++num_range_queries_;
+  CountRangeQuery();
   if (root_ < 0) {
     return 0;
   }

@@ -33,6 +33,9 @@ class KdTree final : public NeighborIndex {
 
  private:
   static constexpr int kLeafSize = 24;
+  /// Below this many points the build stays sequential (forking overhead
+  /// would dominate).
+  static constexpr PointIndex kParallelBuildCutoff = 4096;
 
   struct Node {
     // Interval [begin, end) into order_.
@@ -46,8 +49,26 @@ class KdTree final : public NeighborIndex {
     std::vector<double> bbox_max;
   };
 
-  int32_t Build(PointIndex begin, PointIndex end);
-  void ComputeBbox(Node* node) const;
+  /// A subtree deferred for parallel construction: `node` (in nodes_) has
+  /// its range and bbox set but is still unsplit.
+  struct SubtreeJob {
+    int32_t node = -1;
+    PointIndex begin = 0;
+    PointIndex end = 0;
+  };
+
+  /// Recursively builds order_[begin, end) into `*nodes`, returning the
+  /// subtree root id (an index into `*nodes`). While `fork_depth` > 0 the
+  /// recursion descends sequentially; at depth 0 (and only when `jobs` is
+  /// non-null) splittable nodes are recorded as SubtreeJobs instead of
+  /// being expanded, to be built concurrently into per-job arenas and
+  /// spliced back in job order. The resulting topology, bounding boxes and
+  /// `order_` permutation are identical to a fully sequential build (only
+  /// internal node numbering differs), so query results and instrumentation
+  /// do not depend on the thread count.
+  int32_t Build(PointIndex begin, PointIndex end, int fork_depth,
+                std::vector<Node>* nodes, std::vector<SubtreeJob>* jobs);
+  void BuildParallel(PointIndex n);
   double BboxSquaredDistance(const Node& node,
                              std::span<const double> query) const;
   template <typename Visitor>

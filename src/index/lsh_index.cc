@@ -47,7 +47,7 @@ std::vector<int32_t> LshIndex::HashKey(const Table& table,
 void LshIndex::RangeQuery(std::span<const double> query, double epsilon,
                           std::vector<PointIndex>* out) const {
   out->clear();
-  ++num_range_queries_;
+  CountRangeQuery();
   const double eps_sq = epsilon * epsilon;
   ++visit_epoch_;
   for (const Table& table : tables_) {
@@ -60,7 +60,7 @@ void LshIndex::RangeQuery(std::span<const double> query, double epsilon,
         continue;  // Already considered via an earlier table.
       }
       visit_mark_[i] = visit_epoch_;
-      ++num_distance_computations_;
+      CountDistanceComputations(1);
       if (dataset_.SquaredDistanceTo(i, query) <= eps_sq) {
         out->push_back(i);
       }

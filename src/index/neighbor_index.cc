@@ -7,6 +7,8 @@
 
 namespace dbsvec {
 
+thread_local NeighborIndex::QueryCounters* NeighborIndex::capture_ = nullptr;
+
 PointIndex NeighborIndex::RangeCount(std::span<const double> query,
                                      double epsilon) const {
   std::vector<PointIndex> scratch;

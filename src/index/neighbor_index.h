@@ -1,6 +1,7 @@
 #ifndef DBSVEC_INDEX_NEIGHBOR_INDEX_H_
 #define DBSVEC_INDEX_NEIGHBOR_INDEX_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -28,8 +29,41 @@ enum class IndexType {
 /// Implementations also keep instrumentation counters (number of range
 /// queries served, number of point-to-point distance evaluations) that the
 /// complexity benchmarks (Table II) read back.
+///
+/// Thread safety: the static engines (brute-force, kd-tree, R*-tree, grid)
+/// answer concurrent `RangeQuery`/`RangeCount` calls safely — traversal
+/// state lives on the stack and the counters are atomic. LshIndex keeps
+/// mutable per-query scratch and DynamicRStarTree supports insertion, so
+/// neither may be queried concurrently.
 class NeighborIndex {
  public:
+  /// A pair of instrumentation counters matching the index's own.
+  struct QueryCounters {
+    uint64_t range_queries = 0;
+    uint64_t distance_computations = 0;
+  };
+
+  /// RAII diversion of this thread's counter increments into `*local`
+  /// instead of the index totals. Speculative parallel prefetches use this
+  /// to issue queries whose cost is folded into the index (via
+  /// `AccumulateCounters`) only if the result is actually consumed, keeping
+  /// the reported stats identical to a sequential run that never issued the
+  /// discarded queries.
+  class ScopedCounterCapture {
+   public:
+    explicit ScopedCounterCapture(QueryCounters* local)
+        : previous_(capture_) {
+      capture_ = local;
+    }
+    ~ScopedCounterCapture() { capture_ = previous_; }
+
+    ScopedCounterCapture(const ScopedCounterCapture&) = delete;
+    ScopedCounterCapture& operator=(const ScopedCounterCapture&) = delete;
+
+   private:
+    QueryCounters* previous_;
+  };
+
   virtual ~NeighborIndex() = default;
 
   NeighborIndex(const NeighborIndex&) = delete;
@@ -58,23 +92,54 @@ class NeighborIndex {
   const Dataset& dataset() const { return dataset_; }
 
   /// Instrumentation: range queries served so far.
-  uint64_t num_range_queries() const { return num_range_queries_; }
+  uint64_t num_range_queries() const {
+    return num_range_queries_.load(std::memory_order_relaxed);
+  }
   /// Instrumentation: point-distance evaluations performed so far.
   uint64_t num_distance_computations() const {
-    return num_distance_computations_;
+    return num_distance_computations_.load(std::memory_order_relaxed);
   }
   /// Resets both instrumentation counters.
   void ResetCounters() const {
-    num_range_queries_ = 0;
-    num_distance_computations_ = 0;
+    num_range_queries_.store(0, std::memory_order_relaxed);
+    num_distance_computations_.store(0, std::memory_order_relaxed);
+  }
+  /// Folds captured counters into the index totals (see
+  /// ScopedCounterCapture).
+  void AccumulateCounters(const QueryCounters& counters) const {
+    num_range_queries_.fetch_add(counters.range_queries,
+                                 std::memory_order_relaxed);
+    num_distance_computations_.fetch_add(counters.distance_computations,
+                                         std::memory_order_relaxed);
   }
 
  protected:
   explicit NeighborIndex(const Dataset& dataset) : dataset_(dataset) {}
 
+  /// Counter bumps used by implementations; honor an active capture on the
+  /// calling thread, otherwise hit the shared atomics.
+  void CountRangeQuery() const {
+    if (capture_ != nullptr) {
+      ++capture_->range_queries;
+    } else {
+      num_range_queries_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  void CountDistanceComputations(uint64_t count) const {
+    if (capture_ != nullptr) {
+      capture_->distance_computations += count;
+    } else {
+      num_distance_computations_.fetch_add(count,
+                                           std::memory_order_relaxed);
+    }
+  }
+
   const Dataset& dataset_;
-  mutable uint64_t num_range_queries_ = 0;
-  mutable uint64_t num_distance_computations_ = 0;
+  mutable std::atomic<uint64_t> num_range_queries_{0};
+  mutable std::atomic<uint64_t> num_distance_computations_{0};
+
+ private:
+  static thread_local QueryCounters* capture_;
 };
 
 /// Builds an index of the requested type over `dataset`. `epsilon_hint` is

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "common/thread_pool.h"
+
 namespace dbsvec {
 
 RStarTree::RStarTree(const Dataset& dataset) : NeighborIndex(dataset) {
@@ -16,7 +18,12 @@ RStarTree::RStarTree(const Dataset& dataset) : NeighborIndex(dataset) {
     return;
   }
   std::vector<int32_t> leaves;
-  TileAndPack(0, n, 0, &leaves);
+  if (GlobalThreadPool() != nullptr && n >= kParallelBuildCutoff &&
+      n > kFanout && dataset.dim() > 0) {
+    BuildLeavesParallel(n, &leaves);
+  } else {
+    TileAndPack(0, n, 0, &nodes_, &leaves);
+  }
   // Pack upper levels until a single root remains.
   std::vector<int32_t> level = std::move(leaves);
   while (level.size() > 1) {
@@ -32,12 +39,13 @@ RStarTree::RStarTree(const Dataset& dataset) : NeighborIndex(dataset) {
 }
 
 void RStarTree::TileAndPack(PointIndex begin, PointIndex end, int dim,
+                            std::vector<Node>* nodes,
                             std::vector<int32_t>* leaves) {
   const PointIndex count = end - begin;
   if (count <= kFanout || dim >= dataset_.dim()) {
     // Terminal slab: emit leaves of up to kFanout consecutive points.
     for (PointIndex k = begin; k < end; k += kFanout) {
-      leaves->push_back(MakeLeaf(k, std::min(end, k + kFanout)));
+      leaves->push_back(MakeLeaf(k, std::min(end, k + kFanout), nodes));
     }
     return;
   }
@@ -54,14 +62,56 @@ void RStarTree::TileAndPack(PointIndex begin, PointIndex end, int dim,
               return dataset_.at(a, dim) < dataset_.at(b, dim);
             });
   for (PointIndex k = begin; k < end; k += slab_size) {
-    TileAndPack(k, std::min(end, k + slab_size), dim + 1, leaves);
+    TileAndPack(k, std::min(end, k + slab_size), dim + 1, nodes, leaves);
   }
 }
 
-int32_t RStarTree::MakeLeaf(PointIndex begin, PointIndex end) {
-  const int32_t id = static_cast<int32_t>(nodes_.size());
-  nodes_.emplace_back();
-  Node& node = nodes_.back();
+void RStarTree::BuildLeavesParallel(PointIndex n,
+                                    std::vector<int32_t>* leaves) {
+  // Mirror of the first TileAndPack level: sort once along dimension 0
+  // (sequential — identical comparisons to the sequential build), then
+  // tile each slab concurrently into its own arena.
+  const int remaining = dataset_.dim();
+  const double pages = std::ceil(static_cast<double>(n) / kFanout);
+  const int slabs = std::max(
+      1, static_cast<int>(std::ceil(std::pow(pages, 1.0 / remaining))));
+  const PointIndex slab_size = (n + slabs - 1) / slabs;
+  std::sort(order_.begin(), order_.end(),
+            [this](PointIndex a, PointIndex b) {
+              return dataset_.at(a, 0) < dataset_.at(b, 0);
+            });
+
+  struct SlabResult {
+    std::vector<Node> arena;
+    std::vector<int32_t> leaves;
+  };
+  const size_t num_slabs = static_cast<size_t>((n + slab_size - 1) / slab_size);
+  std::vector<SlabResult> results(num_slabs);
+  ParallelFor(num_slabs, 1, [&](size_t slab_begin, size_t slab_end) {
+    for (size_t s = slab_begin; s < slab_end; ++s) {
+      const PointIndex lo = static_cast<PointIndex>(s) * slab_size;
+      const PointIndex hi = std::min(n, lo + slab_size);
+      TileAndPack(lo, hi, 1, &results[s].arena, &results[s].leaves);
+    }
+  });
+
+  // Splice arenas in slab order; leaves keep their sequential order.
+  for (SlabResult& result : results) {
+    const int32_t offset = static_cast<int32_t>(nodes_.size());
+    for (Node& node : result.arena) {
+      nodes_.push_back(std::move(node));  // Leaf-only arenas: no child ids.
+    }
+    for (const int32_t leaf : result.leaves) {
+      leaves->push_back(leaf + offset);
+    }
+  }
+}
+
+int32_t RStarTree::MakeLeaf(PointIndex begin, PointIndex end,
+                            std::vector<Node>* nodes) {
+  const int32_t id = static_cast<int32_t>(nodes->size());
+  nodes->emplace_back();
+  Node& node = nodes->back();
   node.is_leaf = true;
   node.begin = begin;
   node.end = end;
@@ -119,8 +169,8 @@ void RStarTree::Visit(int32_t node_id, std::span<const double> query,
     return;
   }
   if (node.is_leaf) {
-    num_distance_computations_ +=
-        static_cast<uint64_t>(node.end - node.begin);
+    CountDistanceComputations(
+        static_cast<uint64_t>(node.end - node.begin));
     for (PointIndex k = node.begin; k < node.end; ++k) {
       const PointIndex i = order_[k];
       if (dataset_.SquaredDistanceTo(i, query) <= eps_sq) {
@@ -137,7 +187,7 @@ void RStarTree::Visit(int32_t node_id, std::span<const double> query,
 void RStarTree::RangeQuery(std::span<const double> query, double epsilon,
                            std::vector<PointIndex>* out) const {
   out->clear();
-  ++num_range_queries_;
+  CountRangeQuery();
   if (root_ < 0) {
     return;
   }
@@ -147,7 +197,7 @@ void RStarTree::RangeQuery(std::span<const double> query, double epsilon,
 
 PointIndex RStarTree::RangeCount(std::span<const double> query,
                                  double epsilon) const {
-  ++num_range_queries_;
+  CountRangeQuery();
   if (root_ < 0) {
     return 0;
   }

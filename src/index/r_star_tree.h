@@ -27,6 +27,8 @@ class RStarTree final : public NeighborIndex {
 
  private:
   static constexpr int kFanout = 16;
+  /// Below this many points the bulk load stays sequential.
+  static constexpr PointIndex kParallelBuildCutoff = 4096;
 
   struct Node {
     std::vector<double> mbr_min;
@@ -39,10 +41,18 @@ class RStarTree final : public NeighborIndex {
   };
 
   /// Recursively tiles order_[begin, end) along dimension `dim` and appends
-  /// packed leaves; used by the constructor.
+  /// packed leaves (ids into `*nodes`); used by the constructor. The
+  /// parallel bulk load runs the top-level sort sequentially and then tiles
+  /// each first-dimension slab concurrently into its own node arena; the
+  /// arenas are spliced back in slab order, so `order_`, the leaf sequence
+  /// and every MBR are identical to a sequential build.
   void TileAndPack(PointIndex begin, PointIndex end, int dim,
-                   std::vector<int32_t>* leaves);
-  int32_t MakeLeaf(PointIndex begin, PointIndex end);
+                   std::vector<Node>* nodes, std::vector<int32_t>* leaves);
+  /// Builds the leaf level for n >= kParallelBuildCutoff points using the
+  /// global thread pool.
+  void BuildLeavesParallel(PointIndex n, std::vector<int32_t>* leaves);
+  int32_t MakeLeaf(PointIndex begin, PointIndex end,
+                   std::vector<Node>* nodes);
   int32_t PackLevel(const std::vector<int32_t>& level);
   double MbrSquaredDistance(const Node& node,
                             std::span<const double> query) const;

@@ -2,7 +2,15 @@
 
 #include <algorithm>
 
+#include "common/thread_pool.h"
+
 namespace dbsvec {
+namespace {
+
+/// Kernel entries per parallel chunk; below this a row is computed inline.
+constexpr size_t kRowGrain = 1024;
+
+}  // namespace
 
 KernelCache::KernelCache(const Dataset& dataset,
                          std::span<const PointIndex> target, double sigma,
@@ -15,13 +23,16 @@ KernelCache::KernelCache(const Dataset& dataset,
 }
 
 void KernelCache::ComputeRow(int i, std::vector<float>* row) const {
-  const int n = size();
+  const size_t n = static_cast<size_t>(size());
   row->resize(n);
   const auto xi = dataset_.point(target_[i]);
-  for (int j = 0; j < n; ++j) {
-    (*row)[j] = static_cast<float>(kernel_.FromSquaredDistance(
-        dataset_.SquaredDistanceTo(target_[j], xi)));
-  }
+  float* out = row->data();
+  ParallelFor(n, kRowGrain, [&](size_t begin, size_t end) {
+    for (size_t j = begin; j < end; ++j) {
+      out[j] = static_cast<float>(kernel_.FromSquaredDistance(
+          dataset_.SquaredDistanceTo(target_[j], xi)));
+    }
+  });
 }
 
 std::span<const float> KernelCache::Row(int i) {
@@ -41,6 +52,45 @@ std::span<const float> KernelCache::Row(int i) {
   ComputeRow(i, &entry.row);
   ++rows_computed_;
   return entry.row;
+}
+
+void KernelCache::Materialize(std::span<const int> rows) {
+  // Missing rows, deduplicated, insertion order preserved, capped at the
+  // cache capacity (computing past capacity would evict rows materialized
+  // a moment earlier).
+  std::vector<int> missing;
+  for (const int i : rows) {
+    if (missing.size() >= max_rows_) {
+      break;
+    }
+    if (rows_.find(i) == rows_.end() &&
+        std::find(missing.begin(), missing.end(), i) == missing.end()) {
+      missing.push_back(i);
+    }
+  }
+  if (missing.empty()) {
+    return;
+  }
+  std::vector<std::vector<float>> computed(missing.size());
+  ParallelFor(missing.size(), 1, [&](size_t begin, size_t end) {
+    for (size_t k = begin; k < end; ++k) {
+      ComputeRow(missing[k], &computed[k]);
+    }
+  });
+  // Sequential insertion in argument order reproduces the LRU transitions
+  // of one Row() call per row.
+  for (size_t k = 0; k < missing.size(); ++k) {
+    if (rows_.size() >= max_rows_) {
+      const int victim = lru_.back();
+      lru_.pop_back();
+      rows_.erase(victim);
+    }
+    lru_.push_front(missing[k]);
+    Entry& entry = rows_[missing[k]];
+    entry.lru_pos = lru_.begin();
+    entry.row = std::move(computed[k]);
+    ++rows_computed_;
+  }
 }
 
 double KernelCache::At(int i, int j) {

@@ -32,7 +32,19 @@ class KernelCache {
 
   /// Row i of the kernel matrix: K(x_i, x_j) for every target j. The span
   /// is valid until the next Row() call (it may be evicted afterwards).
+  /// A cache miss materializes the row with the global thread pool when
+  /// the row is large enough to amortize the fan-out.
   std::span<const float> Row(int i);
+
+  /// Materializes the given rows (indices into the target set) into the
+  /// cache, computing the missing ones concurrently. Rows are inserted in
+  /// argument order, so the LRU state ends up exactly as if each row had
+  /// been fetched through Row() in that order; at most max_rows() rows are
+  /// computed. Not safe to call concurrently with itself or Row().
+  void Materialize(std::span<const int> rows);
+
+  /// Cache capacity in rows.
+  size_t max_rows() const { return max_rows_; }
 
   /// Diagonal entry K(x_i, x_i); 1 for the Gaussian kernel.
   double Diag(int i) const {

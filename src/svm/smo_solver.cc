@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "common/thread_pool.h"
+
 namespace dbsvec {
 
 Status SmoSolver::Solve(KernelCache* kernel,
@@ -41,19 +43,30 @@ Status SmoSolver::Solve(KernelCache* kernel,
 
   // Gradient of the objective: g_i = 2·(Kα)_i − K_ii. Initialization costs
   // one cached row per initially-nonzero multiplier (a handful: ~1/C).
+  // The needed rows are known upfront, so they are materialized
+  // concurrently; the accumulation then runs row-by-row in index order
+  // (chunked over i), which keeps the floating-point sums bit-identical
+  // to the sequential loop.
   std::vector<double> grad(n);
   for (int i = 0; i < n; ++i) {
     grad[i] = -kernel->Diag(i);
   }
+  std::vector<int> init_rows;
   for (int j = 0; j < n; ++j) {
-    if (alpha[j] <= 0.0) {
-      continue;
+    if (alpha[j] > 0.0) {
+      init_rows.push_back(j);
     }
+  }
+  kernel->Materialize(init_rows);
+  for (const int j : init_rows) {
     const std::span<const float> row = kernel->Row(j);
     const double aj2 = 2.0 * alpha[j];
-    for (int i = 0; i < n; ++i) {
-      grad[i] += aj2 * row[i];
-    }
+    ParallelFor(static_cast<size_t>(n), 2048,
+                [&](size_t begin, size_t end) {
+                  for (size_t i = begin; i < end; ++i) {
+                    grad[i] += aj2 * row[i];
+                  }
+                });
   }
 
   const int64_t max_iterations =
@@ -62,6 +75,9 @@ Status SmoSolver::Solve(KernelCache* kernel,
           : std::max<int64_t>(10'000, 100LL * n);
 
   solution->converged = false;
+  // Reused across iterations: constructing it inside the loop costs one
+  // heap allocation per SMO step.
+  std::vector<float> row_i_copy;
   int64_t iter = 0;
   for (; iter < max_iterations; ++iter) {
     // Maximal violating pair: i can move up (α_i < C_i) with minimal
@@ -87,7 +103,7 @@ Status SmoSolver::Solve(KernelCache* kernel,
 
     const std::span<const float> row_i = kernel->Row(i_up);
     // Copy: fetching row j may evict row i from the cache.
-    const std::vector<float> row_i_copy(row_i.begin(), row_i.end());
+    row_i_copy.assign(row_i.begin(), row_i.end());
     const std::span<const float> row_j = kernel->Row(j_down);
 
     const double k_ii = kernel->Diag(i_up);

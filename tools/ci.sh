@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# CI entry point: Release build + full test suite, then a ThreadSanitizer
+# build running the concurrency-sensitive tests. Run from anywhere; builds
+# land in <repo>/build-ci-{release,tsan}.
+set -euo pipefail
+
+repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+jobs="$(nproc 2>/dev/null || echo 2)"
+
+echo "=== Release build + full ctest ==="
+cmake -S "${repo}" -B "${repo}/build-ci-release" \
+  -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "${repo}/build-ci-release" -j "${jobs}"
+ctest --test-dir "${repo}/build-ci-release" --output-on-failure -j "${jobs}"
+
+echo "=== ThreadSanitizer build + concurrency tests ==="
+cmake -S "${repo}" -B "${repo}/build-ci-tsan" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DDBSVEC_SANITIZE=thread \
+  -DDBSVEC_BUILD_BENCHMARKS=OFF \
+  -DDBSVEC_BUILD_EXAMPLES=OFF >/dev/null
+cmake --build "${repo}/build-ci-tsan" -j "${jobs}" --target dbsvec_tests
+# Determinism + thread-pool tests force an 8-thread pool, so they exercise
+# every parallel section under TSan even on small machines.
+ctest --test-dir "${repo}/build-ci-tsan" --output-on-failure -j "${jobs}" \
+  -R 'Determinism|ThreadPool'
+
+echo "=== CI green ==="

@@ -10,6 +10,7 @@
 #include "cluster/dbscan.h"
 #include "common/csv.h"
 #include "common/stopwatch.h"
+#include "common/thread_pool.h"
 #include "eval/recall.h"
 
 namespace dbsvec {
@@ -28,6 +29,7 @@ int Main(int argc, char** argv) {
     std::printf("%s", cli::HelpText().c_str());
     return 0;
   }
+  SetGlobalThreads(options.threads);
 
   Dataset dataset(1);
   if (const Status status = cli::LoadInput(options, &dataset);
