@@ -1,0 +1,203 @@
+// Assignment-serving throughput: fits a DBSVEC model on the random-walk
+// workload, then measures AssignBatch points/sec at batch sizes 1, 64, and
+// 4096, each at 1 thread and at the full pool, plus the model file size.
+// Labels are checked bit-identical across every batch size and thread
+// count (the serving side inherits the determinism contract).
+//
+// Flags: --n --dim --eps --minpts --seed --queries --out
+// Writes BENCH_assign.json next to the text table.
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
+#include "core/dbsvec.h"
+#include "data/synthetic.h"
+#include "model/dbsvec_model.h"
+#include "serve/assignment_engine.h"
+
+namespace dbsvec {
+namespace {
+
+struct Run {
+  int batch = 1;
+  int threads = 1;
+  double seconds = 0.0;
+  double points_per_sec = 0.0;
+};
+
+int Main(int argc, char** argv) {
+  const bench::Args args(argc, argv);
+  RandomWalkParams data;
+  data.n = static_cast<PointIndex>(args.GetInt("n", 100'000));
+  data.dim = static_cast<int>(args.GetInt("dim", 8));
+  data.seed = static_cast<uint64_t>(args.GetInt("seed", 23));
+  const double epsilon = args.GetDouble("eps", 5'000.0);
+  const int min_pts = static_cast<int>(args.GetInt("minpts", 100));
+  const PointIndex num_queries =
+      static_cast<PointIndex>(args.GetInt("queries", 50'000));
+  const std::string json_path = args.GetString("out", "BENCH_assign.json");
+  const int hardware =
+      static_cast<int>(std::thread::hardware_concurrency());
+  const int full_threads = hardware > 1 ? hardware : 2;
+
+  std::printf("fitting DBSVEC model: n=%d dim=%d eps=%.4g minpts=%d\n",
+              data.n, data.dim, epsilon, min_pts);
+  const Dataset dataset = GenerateRandomWalk(data);
+  DbsvecParams params;
+  params.epsilon = epsilon;
+  params.min_pts = min_pts;
+  Clustering clustering;
+  DbsvecModel model;
+  Stopwatch fit_timer;
+  if (const Status status = RunDbsvec(dataset, params, &clustering, &model);
+      !status.ok()) {
+    std::fprintf(stderr, "fit: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  const double fit_seconds = fit_timer.ElapsedSeconds();
+
+  const std::string model_path =
+      (std::filesystem::temp_directory_path() / "bench_assign.dbsvm")
+          .string();
+  if (const Status status = SaveModel(model, model_path); !status.ok()) {
+    std::fprintf(stderr, "save: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  const uintmax_t model_bytes = std::filesystem::file_size(model_path);
+  std::printf("model: core_points=%d spheres=%zu file=%ju bytes "
+              "(fit %.2fs)\n",
+              model.core_points.size(), model.spheres.size(), model_bytes,
+              fit_seconds);
+
+  std::unique_ptr<AssignmentEngine> engine;
+  if (const Status status = AssignmentEngine::Load(model_path, {}, &engine);
+      !status.ok()) {
+    std::fprintf(stderr, "load: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::filesystem::remove(model_path);
+
+  // Queries: 90% recycled training points (land inside clusters and reach
+  // the index) and 10% from a fresh generator seed, whose clusters fall
+  // elsewhere and exercise the prefilter reject path.
+  Dataset queries(dataset.dim());
+  queries.Reserve(num_queries);
+  const PointIndex num_inside = num_queries - num_queries / 10;
+  for (PointIndex i = 0; i < num_inside; ++i) {
+    queries.Append(dataset.point(i % dataset.size()));
+  }
+  RandomWalkParams outside_params = data;
+  outside_params.n = num_queries - num_inside;
+  outside_params.seed = data.seed + 1;
+  const Dataset outside = GenerateRandomWalk(outside_params);
+  for (PointIndex i = 0; i < outside.size(); ++i) {
+    queries.Append(outside.point(i));
+  }
+
+  std::vector<Run> runs;
+  bench::Table table({"batch", "threads", "seconds", "points/sec"});
+  std::vector<int32_t> baseline;
+  bool all_match = true;
+
+  for (const int batch : {1, 64, 4096}) {
+    for (const int threads : {1, full_threads}) {
+      SetGlobalThreads(threads);
+      std::vector<int32_t> labels;
+      labels.reserve(queries.size());
+      std::vector<int32_t> chunk_labels;
+      Stopwatch timer;
+      for (PointIndex begin = 0; begin < queries.size(); begin += batch) {
+        const PointIndex end =
+            std::min<PointIndex>(begin + batch, queries.size());
+        Dataset chunk(queries.dim());
+        chunk.Reserve(end - begin);
+        for (PointIndex i = begin; i < end; ++i) {
+          chunk.Append(queries.point(i));
+        }
+        if (const Status status = engine->AssignBatch(chunk, &chunk_labels);
+            !status.ok()) {
+          std::fprintf(stderr, "assign: %s\n", status.ToString().c_str());
+          return 1;
+        }
+        labels.insert(labels.end(), chunk_labels.begin(),
+                      chunk_labels.end());
+      }
+      const double elapsed = timer.ElapsedSeconds();
+      if (baseline.empty()) {
+        baseline = labels;
+      }
+      all_match = all_match && labels == baseline;
+
+      Run run;
+      run.batch = batch;
+      run.threads = threads;
+      run.seconds = elapsed;
+      run.points_per_sec =
+          elapsed > 0.0 ? queries.size() / elapsed : 0.0;
+      table.AddRow({std::to_string(batch), std::to_string(threads),
+                    bench::FormatSeconds(elapsed),
+                    bench::FormatDouble(run.points_per_sec, 0)});
+      runs.push_back(run);
+    }
+  }
+  SetGlobalThreads(0);
+
+  table.Print();
+  const auto stats = engine->stats();
+  std::printf("prefilter: %llu of %llu queries rejected without an index "
+              "probe\n",
+              static_cast<unsigned long long>(stats.sphere_rejections),
+              static_cast<unsigned long long>(stats.points_assigned));
+
+  std::ofstream json(json_path);
+  json << "{\n"
+       << "  \"workload\": {\"generator\": \"random_walk\", \"n\": "
+       << data.n << ", \"dim\": " << data.dim << ", \"eps\": " << epsilon
+       << ", \"minpts\": " << min_pts << ", \"seed\": " << data.seed
+       << ", \"queries\": " << num_queries << "},\n"
+       << "  \"fit_seconds\": " << fit_seconds << ",\n"
+       << "  \"model\": {\"core_points\": " << model.core_points.size()
+       << ", \"spheres\": " << model.spheres.size()
+       << ", \"file_bytes\": " << model_bytes << "},\n"
+       << "  \"hardware_threads\": " << hardware << ",\n"
+       << "  \"deterministic\": " << (all_match ? "true" : "false")
+       << ",\n"
+       << "  \"runs\": [\n";
+  for (size_t i = 0; i < runs.size(); ++i) {
+    const Run& run = runs[i];
+    json << "    {\"batch\": " << run.batch
+         << ", \"threads\": " << run.threads
+         << ", \"seconds\": " << run.seconds
+         << ", \"points_per_sec\": " << run.points_per_sec << "}"
+         << (i + 1 < runs.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  std::printf("[json written to %s]\n", json_path.c_str());
+
+  if (!all_match) {
+    std::fprintf(stderr, "FAIL: labels diverged across batch sizes or "
+                         "thread counts\n");
+    return 1;
+  }
+  // Acceptance floor: the big-batch parallel run must show real
+  // throughput, not a degenerate zero.
+  if (runs.back().points_per_sec <= 0.0) {
+    std::fprintf(stderr, "FAIL: zero assignment throughput\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace dbsvec
+
+int main(int argc, char** argv) { return dbsvec::Main(argc, argv); }

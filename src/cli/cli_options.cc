@@ -118,6 +118,11 @@ std::string HelpText() {
   return
       "dbsvec_cli — density-based clustering from the command line\n"
       "\n"
+      "Usage: dbsvec_cli [fit|assign] [--flags]\n"
+      "  (no command)  cluster a dataset, print a summary (original mode)\n"
+      "  fit           cluster with DBSVEC and persist the trained model\n"
+      "  assign        assign new points using a persisted model\n"
+      "\n"
       "Input (pick one):\n"
       "  --input=FILE.csv        headerless numeric CSV, one point per row\n"
       "  --demo=walk|blobs|t4    generate demo data (default: walk)\n"
@@ -139,15 +144,34 @@ std::string HelpText() {
       "Output:\n"
       "  --output=FILE.csv       write points + label column\n"
       "  --compare-dbscan        also run exact DBSCAN, report recall\n"
-      "  --help                  this text\n";
+      "  --help                  this text\n"
+      "\n"
+      "Model persistence (fit) / serving (assign):\n"
+      "  --model-out=FILE.dbsvm  fit: write the trained model here\n"
+      "  --normalize             fit: normalize to the paper range first;\n"
+      "                          the transform is recorded in the model and\n"
+      "                          replayed on every assigned point\n"
+      "  --model=FILE.dbsvm      assign: model to load\n"
+      "  --batch=N               assign: points per batched call "
+      "(default 4096)\n";
 }
 
 Status ParseCliOptions(const std::vector<std::string>& args,
                        CliOptions* options) {
-  for (const std::string& arg : args) {
+  for (size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
     std::string key;
     std::string value;
     if (!ParseKeyValue(arg, &key, &value)) {
+      // A bare first word selects the command; anything else is an error.
+      if (i == 0 && arg == "fit") {
+        options->command = Command::kFit;
+        continue;
+      }
+      if (i == 0 && arg == "assign") {
+        options->command = Command::kAssign;
+        continue;
+      }
       return Status::InvalidArgument("unexpected argument: " + arg);
     }
     if (key == "help") {
@@ -207,8 +231,30 @@ Status ParseCliOptions(const std::vector<std::string>& args,
       options->threads = static_cast<int>(parsed);
     } else if (key == "compare-dbscan") {
       options->compare_dbscan = value != "0" && value != "false";
+    } else if (key == "model-out") {
+      options->model_out_path = value;
+    } else if (key == "model") {
+      options->model_path = value;
+    } else if (key == "normalize") {
+      options->normalize = value != "0" && value != "false";
+    } else if (key == "batch") {
+      DBSVEC_RETURN_IF_ERROR(
+          ParsePositiveInt(key, value, &options->assign_batch));
     } else {
       return Status::InvalidArgument("unknown flag: --" + key);
+    }
+  }
+  if (options->command == Command::kFit && !options->show_help &&
+      options->model_out_path.empty()) {
+    return Status::InvalidArgument("fit requires --model-out=FILE");
+  }
+  if (options->command == Command::kAssign && !options->show_help) {
+    if (options->model_path.empty()) {
+      return Status::InvalidArgument("assign requires --model=FILE");
+    }
+    if (options->input_path.empty()) {
+      return Status::InvalidArgument(
+          "assign requires --input=FILE.csv (points to assign)");
     }
   }
   return Status::Ok();

@@ -10,6 +10,15 @@
 
 namespace dbsvec::cli {
 
+/// Top-level CLI mode. `cluster` (the default, no command word) keeps the
+/// original flag-only interface; `fit` additionally persists a trained
+/// DBSVEC model; `assign` serves point-assignment queries from one.
+enum class Command {
+  kCluster,
+  kFit,
+  kAssign,
+};
+
 /// Which clusterer the CLI runs.
 enum class Algorithm {
   kDbsvec,
@@ -31,6 +40,7 @@ enum class DemoData {
 
 /// Parsed command-line options of the dbsvec_cli tool.
 struct CliOptions {
+  Command command = Command::kCluster;
   Algorithm algorithm = Algorithm::kDbsvec;
   std::string input_path;   ///< CSV to cluster; empty => use `demo`.
   std::string output_path;  ///< Labelled CSV to write; empty => stdout
@@ -53,6 +63,13 @@ struct CliOptions {
 
   bool compare_dbscan = false;  ///< Also run exact DBSCAN, report recall.
   bool show_help = false;
+
+  // fit/assign (model persistence + serving).
+  std::string model_out_path;  ///< fit: where to write the model.
+  std::string model_path;      ///< assign: model to load.
+  bool normalize = false;      ///< fit: paper-range normalization, recorded
+                               ///< in the model's transform.
+  int assign_batch = 4096;     ///< assign: points per AssignBatch call.
 };
 
 /// Parses argv into `*options`. Returns InvalidArgument with a message

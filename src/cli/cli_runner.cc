@@ -1,5 +1,7 @@
 #include "cli/cli_runner.h"
 
+#include <algorithm>
+
 #include "cluster/dbscan.h"
 #include "cluster/kmeans.h"
 #include "cluster/lsh_dbscan.h"
@@ -7,9 +9,11 @@
 #include "cluster/nq_dbscan.h"
 #include "cluster/rho_approx_dbscan.h"
 #include "common/csv.h"
+#include "common/normalize.h"
 #include "core/dbsvec.h"
 #include "data/shapes.h"
 #include "data/synthetic.h"
+#include "serve/assignment_engine.h"
 
 namespace dbsvec::cli {
 
@@ -108,6 +112,64 @@ Status RunAlgorithm(const CliOptions& options, const Dataset& dataset,
     }
   }
   return Status::InvalidArgument("unhandled algorithm");
+}
+
+Status RunFit(const CliOptions& options, Dataset* dataset, Clustering* out,
+              DbsvecModel* model) {
+  if (options.model_out_path.empty()) {
+    return Status::InvalidArgument("fit requires --model-out=FILE");
+  }
+  AffineTransform transform;
+  if (options.normalize) {
+    transform = NormalizeToRangeWithTransform(dataset, 0.0, 1e5);
+  }
+  const double epsilon = ResolveEpsilon(options, *dataset);
+  DbsvecParams params;
+  params.epsilon = epsilon;
+  params.min_pts = options.min_pts;
+  params.nu_mode = options.nu_mode;
+  params.fixed_nu = options.fixed_nu;
+  params.index = options.index;
+  params.seed = options.seed;
+  DBSVEC_RETURN_IF_ERROR(RunDbsvec(*dataset, params, out, model));
+  model->transform = std::move(transform);
+  return SaveModel(*model, options.model_out_path);
+}
+
+Status RunAssign(const CliOptions& options, Dataset* points,
+                 std::vector<int32_t>* labels) {
+  std::unique_ptr<AssignmentEngine> engine;
+  AssignmentOptions serve_options;
+  serve_options.index = options.index;
+  DBSVEC_RETURN_IF_ERROR(
+      AssignmentEngine::Load(options.model_path, serve_options, &engine));
+  DBSVEC_RETURN_IF_ERROR(ReadCsv(options.input_path,
+                                 /*last_column_is_label=*/false, points,
+                                 nullptr));
+  if (points->dim() != engine->dim()) {
+    return Status::InvalidArgument(
+        "assign: input has dimension " + std::to_string(points->dim()) +
+        ", model expects " + std::to_string(engine->dim()));
+  }
+  // Stream through the batch size: bounded scratch regardless of input
+  // size, and each batch fans out on the thread pool.
+  const PointIndex n = points->size();
+  const PointIndex batch = std::max(1, options.assign_batch);
+  labels->clear();
+  labels->reserve(n);
+  Dataset chunk(points->dim());
+  std::vector<int32_t> chunk_labels;
+  for (PointIndex begin = 0; begin < n; begin += batch) {
+    const PointIndex end = std::min<PointIndex>(begin + batch, n);
+    chunk = Dataset(points->dim());
+    chunk.Reserve(end - begin);
+    for (PointIndex i = begin; i < end; ++i) {
+      chunk.Append(points->point(i));
+    }
+    DBSVEC_RETURN_IF_ERROR(engine->AssignBatch(chunk, &chunk_labels));
+    labels->insert(labels->end(), chunk_labels.begin(), chunk_labels.end());
+  }
+  return Status::Ok();
 }
 
 }  // namespace dbsvec::cli

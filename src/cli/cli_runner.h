@@ -5,6 +5,7 @@
 #include "cluster/clustering.h"
 #include "common/dataset.h"
 #include "common/status.h"
+#include "model/dbsvec_model.h"
 
 namespace dbsvec::cli {
 
@@ -18,6 +19,19 @@ double ResolveEpsilon(const CliOptions& options, const Dataset& dataset);
 /// Runs the selected algorithm with the resolved parameters.
 Status RunAlgorithm(const CliOptions& options, const Dataset& dataset,
                     double epsilon, Clustering* out);
+
+/// `fit`: optionally normalizes `*dataset` in place (--normalize), resolves
+/// ε on the data DBSVEC will actually see, clusters with DBSVEC, and writes
+/// the trained model (with the normalization transform attached) to
+/// --model-out. `*out` receives the training clustering.
+Status RunFit(const CliOptions& options, Dataset* dataset, Clustering* out,
+              DbsvecModel* model);
+
+/// `assign`: loads --model, reads the points CSV from --input, assigns
+/// every point in batches of --batch, and fills `*labels`. `*points`
+/// receives the raw input points (for --output).
+Status RunAssign(const CliOptions& options, Dataset* points,
+                 std::vector<int32_t>* labels);
 
 }  // namespace dbsvec::cli
 

@@ -5,9 +5,18 @@
 
 namespace dbsvec {
 
-void NormalizeToRange(Dataset* dataset, double lo, double hi) {
+void AffineTransform::Apply(std::span<const double> in,
+                            std::span<double> out) const {
+  for (size_t d = 0; d < in.size(); ++d) {
+    out[d] = in[d] * scale[d] + shift[d];
+  }
+}
+
+AffineTransform NormalizeToRangeWithTransform(Dataset* dataset, double lo,
+                                              double hi) {
+  AffineTransform transform;
   if (dataset->empty()) {
-    return;
+    return transform;
   }
   const int dim = dataset->dim();
   std::vector<double> min_coord(dim, std::numeric_limits<double>::infinity());
@@ -19,13 +28,37 @@ void NormalizeToRange(Dataset* dataset, double lo, double hi) {
       if (v > max_coord[j]) max_coord[j] = v;
     }
   }
-  for (PointIndex i = 0; i < dataset->size(); ++i) {
-    for (int j = 0; j < dim; ++j) {
-      const double span = max_coord[j] - min_coord[j];
-      double& v = dataset->at(i, j);
-      v = span > 0.0 ? lo + (hi - lo) * (v - min_coord[j]) / span : lo;
+  // x' = (x - min) * (hi - lo)/span + lo = x * scale + shift with
+  // scale = (hi - lo)/span and shift = lo - min * scale. Constant
+  // dimensions use scale 0 and shift `lo` (every value maps exactly there).
+  transform.scale.resize(dim);
+  transform.shift.resize(dim);
+  for (int j = 0; j < dim; ++j) {
+    const double span = max_coord[j] - min_coord[j];
+    if (span > 0.0) {
+      const double scale = (hi - lo) / span;
+      transform.scale[j] = scale;
+      transform.shift[j] = lo - min_coord[j] * scale;
+    } else {
+      transform.scale[j] = 0.0;
+      transform.shift[j] = lo;
     }
   }
+  std::vector<double> row(dim);
+  for (PointIndex i = 0; i < dataset->size(); ++i) {
+    for (int j = 0; j < dim; ++j) {
+      row[j] = dataset->at(i, j);
+    }
+    transform.Apply(row, row);
+    for (int j = 0; j < dim; ++j) {
+      dataset->at(i, j) = row[j];
+    }
+  }
+  return transform;
+}
+
+void NormalizeToRange(Dataset* dataset, double lo, double hi) {
+  NormalizeToRangeWithTransform(dataset, lo, hi);
 }
 
 }  // namespace dbsvec

@@ -1,14 +1,41 @@
 #ifndef DBSVEC_COMMON_NORMALIZE_H_
 #define DBSVEC_COMMON_NORMALIZE_H_
 
+#include <span>
+#include <vector>
+
 #include "common/dataset.h"
 
 namespace dbsvec {
+
+/// Per-dimension affine map x'_d = x_d * scale[d] + shift[d]. An empty
+/// transform is the identity. Persisted inside a DbsvecModel so points
+/// assigned after training pass through the exact mapping the training data
+/// saw.
+struct AffineTransform {
+  std::vector<double> scale;
+  std::vector<double> shift;
+
+  bool empty() const { return scale.empty(); }
+  int dim() const { return static_cast<int>(scale.size()); }
+
+  /// Maps `in` (length dim) into `out` (length dim; may alias `in`).
+  void Apply(std::span<const double> in, std::span<double> out) const;
+
+  friend bool operator==(const AffineTransform&,
+                         const AffineTransform&) = default;
+};
 
 /// Linearly rescales every dimension of `dataset` to [lo, hi], in place.
 /// The paper's efficiency experiments normalize coordinates to [0, 1e5] per
 /// dimension before clustering (Sec. V-C). Constant dimensions map to `lo`.
 void NormalizeToRange(Dataset* dataset, double lo, double hi);
+
+/// As NormalizeToRange, but also returns the applied per-dimension
+/// transform so the same mapping can be replayed on points arriving later
+/// (model serving). Constant dimensions get scale 0 (they map to `lo`).
+AffineTransform NormalizeToRangeWithTransform(Dataset* dataset, double lo,
+                                              double hi);
 
 /// Paper default normalization: [0, 1e5] in each dimension.
 inline void NormalizeToPaperRange(Dataset* dataset) {

@@ -1,0 +1,92 @@
+#ifndef DBSVEC_CORE_CORE_TRACKER_H_
+#define DBSVEC_CORE_CORE_TRACKER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/dataset.h"
+#include "index/neighbor_index.h"
+
+namespace dbsvec {
+
+/// Core-point bookkeeping of a DBSVEC run, extracted from the run loop so
+/// the same record can drive both clustering and model emission.
+///
+/// Tracks, per point, the cached ε-neighborhood size (-1 while unknown —
+/// DBSVEC's whole contribution is querying as few neighborhoods as
+/// possible) and whether the point ever served as an SVDD support vector.
+/// At the end of a run the set of *known* core points (count observed and
+/// >= MinPts) is exactly the summary a DbsvecModel persists: every
+/// non-noise training point was absorbed through the ε-neighborhood of a
+/// known core point, so the known-core set answers assignment queries with
+/// DBSCAN semantics (see docs/SERVING.md).
+class CoreTracker {
+ public:
+  CoreTracker(const NeighborIndex& index, double epsilon, int min_pts)
+      : index_(index), epsilon_(epsilon), min_pts_(min_pts) {}
+
+  /// Resets all bookkeeping for a dataset of `n` points.
+  void Reset(PointIndex n) {
+    neighbor_count_.assign(n, -1);
+    is_support_vector_.assign(n, 0);
+  }
+
+  /// True iff `i` is a core point; issues and caches a counting range
+  /// query on first use.
+  bool IsCore(PointIndex i) {
+    if (neighbor_count_[i] < 0) {
+      neighbor_count_[i] =
+          index_.RangeCount(index_.dataset().point(i), epsilon_);
+    }
+    return neighbor_count_[i] >= min_pts_;
+  }
+
+  /// Cached neighborhood size of `i`, or -1 while unknown. Never queries.
+  int32_t count(PointIndex i) const { return neighbor_count_[i]; }
+
+  /// Records a neighborhood size learned from a materialized range query.
+  void RecordCount(PointIndex i, int32_t count) {
+    neighbor_count_[i] = count;
+  }
+
+  /// True iff `i`'s neighborhood is cached and below MinPts (the skip rule
+  /// of the support-vector fan-out: a known non-core SV cannot expand).
+  bool IsKnownNonCore(PointIndex i) const {
+    return neighbor_count_[i] >= 0 && neighbor_count_[i] < min_pts_;
+  }
+
+  /// True iff `i`'s neighborhood is cached and dense.
+  bool IsKnownCore(PointIndex i) const {
+    return neighbor_count_[i] >= min_pts_;
+  }
+
+  /// Marks `i` as having been a support vector of some training round.
+  void MarkSupportVector(PointIndex i) { is_support_vector_[i] = 1; }
+
+  bool IsSupportVector(PointIndex i) const {
+    return is_support_vector_[i] != 0;
+  }
+
+  /// All known core points, in ascending point order (deterministic).
+  std::vector<PointIndex> KnownCorePoints() const {
+    std::vector<PointIndex> cores;
+    for (PointIndex i = 0;
+         i < static_cast<PointIndex>(neighbor_count_.size()); ++i) {
+      if (neighbor_count_[i] >= min_pts_) {
+        cores.push_back(i);
+      }
+    }
+    return cores;
+  }
+
+ private:
+  const NeighborIndex& index_;
+  const double epsilon_;
+  const int min_pts_;
+  std::vector<int32_t> neighbor_count_;     // -1 = unknown.
+  std::vector<uint8_t> is_support_vector_;
+};
+
+}  // namespace dbsvec
+
+#endif  // DBSVEC_CORE_CORE_TRACKER_H_

@@ -8,7 +8,9 @@
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
 #include "common/union_find.h"
+#include "core/core_tracker.h"
 #include "core/parameter_selection.h"
+#include "model/dbsvec_model.h"
 #include "svm/svdd.h"
 
 namespace dbsvec {
@@ -20,29 +22,29 @@ constexpr int32_t kPotentialNoise = -3;
 /// Mutable state of one DBSVEC run. Labels hold sub-cluster ids (indices
 /// into the union-find forest) during the run and are resolved to dense
 /// cluster ids at the end.
+/// SVDD sphere parameters of a sub-cluster's most recent training round,
+/// captured for model emission.
+struct SphereCapture {
+  double sigma = 0.0;
+  double radius_sq = 0.0;
+  int32_t num_support_vectors = 0;
+};
+
 class DbsvecRun {
  public:
   DbsvecRun(const NeighborIndex& index, const DbsvecParams& params,
-            Clustering* out)
+            Clustering* out, DbsvecModel* model_out)
       : index_(index),
         dataset_(index.dataset()),
         params_(params),
         out_(out),
-        rng_(params.seed) {}
+        model_out_(model_out),
+        rng_(params.seed),
+        core_(index, params.epsilon, params.min_pts) {}
 
   Status Execute();
 
  private:
-  /// True iff `i` is a core point; issues and caches a counting range query
-  /// on first use.
-  bool IsCore(PointIndex i) {
-    if (neighbor_count_[i] < 0) {
-      neighbor_count_[i] =
-          index_.RangeCount(dataset_.point(i), params_.epsilon);
-    }
-    return neighbor_count_[i] >= params_.min_pts;
-  }
-
   /// Folds the points of `neighborhood` (the ε-neighborhood of a core
   /// point) into sub-cluster `cid`: unlabelled and potential-noise points
   /// are claimed; points of other sub-clusters trigger the overlapping-
@@ -63,21 +65,28 @@ class DbsvecRun {
   /// Noise verification (last step of Algorithm 2).
   void VerifyNoise();
 
+  /// Reduces the finished run to a servable DbsvecModel (known-core
+  /// summary + sub-cluster spheres). `labels` are the final dense labels.
+  void BuildModel(const std::vector<int32_t>& labels);
+
   const NeighborIndex& index_;
   const Dataset& dataset_;
   const DbsvecParams& params_;
   Clustering* out_;
+  DbsvecModel* model_out_;  // nullptr = no model emission.
   Rng rng_;
+  CoreTracker core_;
 
   UnionFind sub_clusters_;
   // Scratch for the parallel support-vector fan-out (reused per round).
   std::vector<size_t> queried_svs_;
   std::vector<std::vector<PointIndex>> sv_neighborhoods_;
   std::vector<int32_t> labels_;
-  std::vector<int32_t> neighbor_count_;  // -1 = unknown.
   std::vector<int32_t> train_count_;     // t_i of Sec. IV-B1.
   std::vector<PointIndex> potential_noise_;
   std::vector<std::vector<PointIndex>> noise_neighborhoods_;
+  // Last-round SVDD sphere per sub-cluster id (model emission only).
+  std::vector<SphereCapture> sphere_captures_;
   ClusteringStats stats_;
 };
 
@@ -93,7 +102,7 @@ void DbsvecRun::AbsorbNeighborhood(
     } else if (sub_clusters_.Find(label) != sub_clusters_.Find(cid)) {
       // Overlapping point from another sub-cluster: merge if it is core
       // (Lemma 3). The core test may issue a counting range query.
-      if (IsCore(j)) {
+      if (core_.IsCore(j)) {
         sub_clusters_.Union(label, cid);
         ++stats_.num_merges;
       }
@@ -185,6 +194,19 @@ Status DbsvecRun::ExpandCluster(int32_t cid,
     for (const PointIndex p : target) {
       ++train_count_[p];
     }
+    if (model_out_ != nullptr) {
+      // Capture the fitted sphere (the latest round wins) and the core-SV
+      // flags for model emission.
+      if (cid >= static_cast<int32_t>(sphere_captures_.size())) {
+        sphere_captures_.resize(cid + 1);
+      }
+      sphere_captures_[cid] = {model.sigma(), model.radius_sq(),
+                               static_cast<int32_t>(
+                                   model.support_vectors().size())};
+      for (const SvddModel::SupportVector& sv : model.support_vectors()) {
+        core_.MarkSupportVector(sv.index);
+      }
+    }
 
     // Expand from the core support vectors (Definition 6 / Algorithm 3).
     // The skip rule below only depends on neighbor counts known *before*
@@ -200,8 +222,7 @@ Status DbsvecRun::ExpandCluster(int32_t cid,
     const auto& svs = model.support_vectors();
     queried_svs_.clear();
     for (size_t s = 0; s < svs.size(); ++s) {
-      if (neighbor_count_[svs[s].index] >= 0 &&
-          neighbor_count_[svs[s].index] < params_.min_pts) {
+      if (core_.IsKnownNonCore(svs[s].index)) {
         continue;  // Known non-core support vector: cannot expand.
       }
       queried_svs_.push_back(s);
@@ -217,7 +238,7 @@ Status DbsvecRun::ExpandCluster(int32_t cid,
       for (size_t k = 0; k < queried_svs_.size(); ++k) {
         const SvddModel::SupportVector& sv = svs[queried_svs_[k]];
         const std::vector<PointIndex>& hood = sv_neighborhoods_[k];
-        neighbor_count_[sv.index] = static_cast<int32_t>(hood.size());
+        core_.RecordCount(sv.index, static_cast<int32_t>(hood.size()));
         if (static_cast<int>(hood.size()) < params_.min_pts) {
           continue;  // Non-core support vector (SV_2 in Fig. 3b).
         }
@@ -227,8 +248,8 @@ Status DbsvecRun::ExpandCluster(int32_t cid,
       for (const size_t s : queried_svs_) {
         const SvddModel::SupportVector& sv = svs[s];
         index_.RangeQuery(sv.index, params_.epsilon, &neighborhood);
-        neighbor_count_[sv.index] =
-            static_cast<int32_t>(neighborhood.size());
+        core_.RecordCount(sv.index,
+                          static_cast<int32_t>(neighborhood.size()));
         if (static_cast<int>(neighborhood.size()) < params_.min_pts) {
           continue;  // Non-core support vector (SV_2 in Fig. 3b).
         }
@@ -264,7 +285,7 @@ void DbsvecRun::VerifyNoise() {
           labels_[q] == kUnclassified) {
         continue;  // Core points always carry a sub-cluster label.
       }
-      if (!IsCore(q)) {
+      if (!core_.IsCore(q)) {
         continue;
       }
       const double d = dataset_.SquaredDistance(p, q);
@@ -277,12 +298,112 @@ void DbsvecRun::VerifyNoise() {
   }
 }
 
+void DbsvecRun::BuildModel(const std::vector<int32_t>& labels) {
+  DbsvecModel& model = *model_out_;
+  model = DbsvecModel();
+  const int dim = dataset_.dim();
+  const PointIndex n = dataset_.size();
+  model.epsilon = params_.epsilon;
+  model.min_pts = params_.min_pts;
+  model.dim = dim;
+  model.train_size = n;
+  model.num_clusters = out_->num_clusters;
+
+  if (n > 0) {
+    model.train_min.assign(dim, std::numeric_limits<double>::infinity());
+    model.train_max.assign(dim, -std::numeric_limits<double>::infinity());
+    for (PointIndex i = 0; i < n; ++i) {
+      for (int d = 0; d < dim; ++d) {
+        const double v = dataset_.at(i, d);
+        if (v < model.train_min[d]) model.train_min[d] = v;
+        if (v > model.train_max[d]) model.train_max[d] = v;
+      }
+    }
+  }
+
+  // Known-core summary, in ascending point order. Known cores always carry
+  // a cluster label (absorption labels them on discovery); the guard is
+  // belt and braces.
+  Dataset cores(dim);
+  for (const PointIndex i : core_.KnownCorePoints()) {
+    if (labels[i] < 0) {
+      continue;
+    }
+    cores.Append(dataset_.point(i));
+    model.core_labels.push_back(labels[i]);
+    model.core_is_sv.push_back(core_.IsSupportVector(i) ? 1 : 0);
+  }
+  model.core_points = std::move(cores);
+
+  // One sphere per sub-cluster: input-space centroid + covering radius of
+  // its members (labels_ still holds the raw sub-cluster ids), annotated
+  // with the last fitted SVDD sphere of that sub-cluster.
+  const int32_t num_cids = sub_clusters_.size();
+  if (num_cids == 0) {
+    return;
+  }
+  std::vector<int64_t> member_count(num_cids, 0);
+  std::vector<double> centroid(static_cast<size_t>(num_cids) * dim, 0.0);
+  std::vector<int32_t> dense_cluster(num_cids, -1);
+  for (PointIndex i = 0; i < n; ++i) {
+    const int32_t cid = labels_[i];
+    if (cid < 0) {
+      continue;
+    }
+    ++member_count[cid];
+    dense_cluster[cid] = labels[i];
+    for (int d = 0; d < dim; ++d) {
+      centroid[static_cast<size_t>(cid) * dim + d] += dataset_.at(i, d);
+    }
+  }
+  for (int32_t cid = 0; cid < num_cids; ++cid) {
+    if (member_count[cid] > 0) {
+      for (int d = 0; d < dim; ++d) {
+        centroid[static_cast<size_t>(cid) * dim + d] /=
+            static_cast<double>(member_count[cid]);
+      }
+    }
+  }
+  std::vector<double> max_dist_sq(num_cids, 0.0);
+  for (PointIndex i = 0; i < n; ++i) {
+    const int32_t cid = labels_[i];
+    if (cid < 0) {
+      continue;
+    }
+    const std::span<const double> center{
+        centroid.data() + static_cast<size_t>(cid) * dim,
+        static_cast<size_t>(dim)};
+    const double d2 = dataset_.SquaredDistanceTo(i, center);
+    if (d2 > max_dist_sq[cid]) {
+      max_dist_sq[cid] = d2;
+    }
+  }
+  for (int32_t cid = 0; cid < num_cids; ++cid) {
+    if (member_count[cid] == 0 || dense_cluster[cid] < 0) {
+      continue;
+    }
+    SubClusterSphere sphere;
+    sphere.cluster = dense_cluster[cid];
+    if (cid < static_cast<int32_t>(sphere_captures_.size())) {
+      sphere.sigma = sphere_captures_[cid].sigma;
+      sphere.radius_sq = sphere_captures_[cid].radius_sq;
+      sphere.num_support_vectors = sphere_captures_[cid].num_support_vectors;
+    }
+    sphere.center.assign(
+        centroid.begin() + static_cast<size_t>(cid) * dim,
+        centroid.begin() + static_cast<size_t>(cid + 1) * dim);
+    sphere.radius = std::sqrt(max_dist_sq[cid]);
+    sphere.num_members = member_count[cid];
+    model.spheres.push_back(std::move(sphere));
+  }
+}
+
 Status DbsvecRun::Execute() {
   const PointIndex n = dataset_.size();
   Stopwatch timer;
   index_.ResetCounters();
   labels_.assign(n, kUnclassified);
-  neighbor_count_.assign(n, -1);
+  core_.Reset(n);
   train_count_.assign(n, 0);
 
   std::vector<PointIndex> neighborhood;
@@ -293,7 +414,7 @@ Status DbsvecRun::Execute() {
         continue;
       }
       index_.RangeQuery(i, params_.epsilon, &neighborhood);
-      neighbor_count_[i] = static_cast<int32_t>(neighborhood.size());
+      core_.RecordCount(i, static_cast<int32_t>(neighborhood.size()));
       if (static_cast<int>(neighborhood.size()) < params_.min_pts) {
         // Potential noise: keep the neighborhood for noise verification
         // (it has fewer than MinPts entries, so the list stays small).
@@ -349,7 +470,7 @@ Status DbsvecRun::Execute() {
         }
         index_.AccumulateCounters(batch_counters[k]);
         std::vector<PointIndex>& hood = batch_neighborhoods[k];
-        neighbor_count_[i] = static_cast<int32_t>(hood.size());
+        core_.RecordCount(i, static_cast<int32_t>(hood.size()));
         if (static_cast<int>(hood.size()) < params_.min_pts) {
           labels_[i] = kPotentialNoise;
           potential_noise_.push_back(i);
@@ -375,6 +496,12 @@ Status DbsvecRun::Execute() {
     }
   }
   out_->num_clusters = CompactLabels(&labels);
+  if (model_out_ != nullptr) {
+    // Before the optional role classification: the model must be the
+    // compact summary of neighborhoods the run actually proved dense, not
+    // inflated by classification's extra counting queries.
+    BuildModel(labels);
+  }
   if (params_.classify_points) {
     // Opt-in role classification; unknown neighborhood counts cost one
     // counting range query each (reflected in the stats).
@@ -382,8 +509,8 @@ Status DbsvecRun::Execute() {
     for (PointIndex i = 0; i < n; ++i) {
       out_->point_types[i] = labels[i] == Clustering::kNoise
                                  ? PointType::kNoise
-                             : IsCore(i) ? PointType::kCore
-                                         : PointType::kBorder;
+                             : core_.IsCore(i) ? PointType::kCore
+                                               : PointType::kBorder;
     }
   } else {
     out_->point_types.clear();
@@ -398,7 +525,8 @@ Status DbsvecRun::Execute() {
 }  // namespace
 
 Status RunDbsvecWithIndex(const NeighborIndex& index,
-                          const DbsvecParams& params, Clustering* out) {
+                          const DbsvecParams& params, Clustering* out,
+                          DbsvecModel* model) {
   if (params.epsilon <= 0.0) {
     return Status::InvalidArgument("DBSVEC: epsilon must be positive");
   }
@@ -416,16 +544,16 @@ Status RunDbsvecWithIndex(const NeighborIndex& index,
       (params.fixed_nu <= 0.0 || params.fixed_nu > 1.0)) {
     return Status::InvalidArgument("DBSVEC: fixed_nu must be in (0, 1]");
   }
-  DbsvecRun run(index, params, out);
+  DbsvecRun run(index, params, out, model);
   return run.Execute();
 }
 
 Status RunDbsvec(const Dataset& dataset, const DbsvecParams& params,
-                 Clustering* out) {
+                 Clustering* out, DbsvecModel* model) {
   Stopwatch timer;
   const std::unique_ptr<NeighborIndex> index =
       CreateIndex(params.index, dataset, params.epsilon);
-  DBSVEC_RETURN_IF_ERROR(RunDbsvecWithIndex(*index, params, out));
+  DBSVEC_RETURN_IF_ERROR(RunDbsvecWithIndex(*index, params, out, model));
   out->stats.elapsed_seconds = timer.ElapsedSeconds();
   return Status::Ok();
 }

@@ -8,6 +8,7 @@
 #include "common/status.h"
 #include "core/penalty_weights.h"
 #include "index/neighbor_index.h"
+#include "model/dbsvec_model.h"
 #include "svm/smo_solver.h"
 
 namespace dbsvec {
@@ -81,13 +82,20 @@ struct DbsvecParams {
 /// with the guarantees of Sec. III-C: every DBSVEC cluster is contained in
 /// a DBSCAN cluster (it may split, never merges DBSCAN clusters) and the
 /// noise set is identical to DBSCAN's.
+///
+/// When `model` is non-null the run additionally emits a servable
+/// DbsvecModel: the known-core summary, per-sub-cluster SVDD spheres, and
+/// the fitted parameters (the model's `transform` is left empty — callers
+/// that normalized the data attach the transform themselves). Model
+/// emission never changes the clustering output or its statistics.
 Status RunDbsvec(const Dataset& dataset, const DbsvecParams& params,
-                 Clustering* out);
+                 Clustering* out, DbsvecModel* model = nullptr);
 
 /// DBSVEC over a caller-supplied range-query engine (the index's dataset is
 /// clustered). Exposed for engine-comparison tests and benches.
 Status RunDbsvecWithIndex(const NeighborIndex& index,
-                          const DbsvecParams& params, Clustering* out);
+                          const DbsvecParams& params, Clustering* out,
+                          DbsvecModel* model = nullptr);
 
 }  // namespace dbsvec
 

@@ -1,0 +1,257 @@
+#include "model/dbsvec_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "model/serialize.h"
+
+namespace dbsvec {
+namespace {
+
+/// File magic: "DBSVECM1" as raw bytes at offset 0.
+constexpr uint8_t kMagic[8] = {'D', 'B', 'S', 'V', 'E', 'C', 'M', '1'};
+/// Header: magic (8) + version (4) + payload CRC-32 (4) + payload size (8).
+constexpr size_t kHeaderBytes = 24;
+
+Status Corrupt(const std::string& what) {
+  return Status::InvalidArgument("model file corrupt: " + what);
+}
+
+bool AllFinite(std::span<const double> values) {
+  for (const double v : values) {
+    if (!std::isfinite(v)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool DbsvecModel::operator==(const DbsvecModel& other) const {
+  return epsilon == other.epsilon && min_pts == other.min_pts &&
+         dim == other.dim && train_size == other.train_size &&
+         num_clusters == other.num_clusters &&
+         train_min == other.train_min && train_max == other.train_max &&
+         transform == other.transform &&
+         core_points.dim() == other.core_points.dim() &&
+         core_points.data() == other.core_points.data() &&
+         core_labels == other.core_labels &&
+         core_is_sv == other.core_is_sv && spheres == other.spheres;
+}
+
+Status ValidateModel(const DbsvecModel& model) {
+  if (!(model.epsilon > 0.0) || !std::isfinite(model.epsilon)) {
+    return Status::InvalidArgument("model: epsilon must be positive");
+  }
+  if (model.min_pts < 1) {
+    return Status::InvalidArgument("model: min_pts must be >= 1");
+  }
+  if (model.dim < 1) {
+    return Status::InvalidArgument("model: dim must be >= 1");
+  }
+  if (model.num_clusters < 0 || model.train_size < 0) {
+    return Status::InvalidArgument("model: negative size field");
+  }
+  if (model.core_points.dim() != model.dim) {
+    return Status::InvalidArgument("model: core point dim mismatch");
+  }
+  const size_t num_core = static_cast<size_t>(model.core_points.size());
+  if (model.core_labels.size() != num_core ||
+      model.core_is_sv.size() != num_core) {
+    return Status::InvalidArgument("model: core summary arrays disagree");
+  }
+  for (const int32_t label : model.core_labels) {
+    if (label < 0 || label >= model.num_clusters) {
+      return Status::InvalidArgument("model: core label out of range");
+    }
+  }
+  if (!model.transform.empty() &&
+      (model.transform.dim() != model.dim ||
+       model.transform.shift.size() != model.transform.scale.size())) {
+    return Status::InvalidArgument("model: transform dim mismatch");
+  }
+  if (!model.train_min.empty() &&
+      (model.train_min.size() != static_cast<size_t>(model.dim) ||
+       model.train_max.size() != static_cast<size_t>(model.dim))) {
+    return Status::InvalidArgument("model: train range dim mismatch");
+  }
+  if (!AllFinite(model.core_points.data())) {
+    return Status::InvalidArgument("model: non-finite core coordinate");
+  }
+  for (const SubClusterSphere& sphere : model.spheres) {
+    if (sphere.cluster < 0 || sphere.cluster >= model.num_clusters) {
+      return Status::InvalidArgument("model: sphere cluster out of range");
+    }
+    if (sphere.center.size() != static_cast<size_t>(model.dim)) {
+      return Status::InvalidArgument("model: sphere center dim mismatch");
+    }
+    if (!(sphere.radius >= 0.0) || !std::isfinite(sphere.radius) ||
+        !AllFinite(sphere.center)) {
+      return Status::InvalidArgument("model: invalid sphere geometry");
+    }
+  }
+  return Status::Ok();
+}
+
+Status SerializeModel(const DbsvecModel& model, std::vector<uint8_t>* bytes) {
+  DBSVEC_RETURN_IF_ERROR(ValidateModel(model));
+
+  ByteWriter payload;
+  payload.WriteF64(model.epsilon);
+  payload.WriteI32(model.min_pts);
+  payload.WriteI32(model.dim);
+  payload.WriteI64(model.train_size);
+  payload.WriteI32(model.num_clusters);
+
+  payload.WriteU8(model.transform.empty() ? 0 : 1);
+  if (!model.transform.empty()) {
+    payload.WriteF64Span(model.transform.scale);
+    payload.WriteF64Span(model.transform.shift);
+  }
+  payload.WriteU8(model.train_min.empty() ? 0 : 1);
+  if (!model.train_min.empty()) {
+    payload.WriteF64Span(model.train_min);
+    payload.WriteF64Span(model.train_max);
+  }
+
+  payload.WriteU64(static_cast<uint64_t>(model.core_points.size()));
+  payload.WriteF64Span(model.core_points.data());
+  for (const int32_t label : model.core_labels) {
+    payload.WriteI32(label);
+  }
+  payload.WriteBytes(model.core_is_sv);
+
+  payload.WriteU32(static_cast<uint32_t>(model.spheres.size()));
+  for (const SubClusterSphere& sphere : model.spheres) {
+    payload.WriteI32(sphere.cluster);
+    payload.WriteF64(sphere.sigma);
+    payload.WriteF64(sphere.radius_sq);
+    payload.WriteF64Span(sphere.center);
+    payload.WriteF64(sphere.radius);
+    payload.WriteI64(sphere.num_members);
+    payload.WriteI32(sphere.num_support_vectors);
+  }
+
+  ByteWriter out;
+  out.WriteBytes(kMagic);
+  out.WriteU32(DbsvecModel::kFormatVersion);
+  out.WriteU32(Crc32(payload.bytes()));
+  out.WriteU64(payload.bytes().size());
+  out.WriteBytes(payload.bytes());
+  *bytes = out.TakeBytes();
+  return Status::Ok();
+}
+
+Status DeserializeModel(std::span<const uint8_t> bytes, DbsvecModel* model) {
+  if (bytes.size() < kHeaderBytes) {
+    return Corrupt("shorter than the header");
+  }
+  for (size_t i = 0; i < sizeof(kMagic); ++i) {
+    if (bytes[i] != kMagic[i]) {
+      return Corrupt("bad magic (not a DBSVEC model file)");
+    }
+  }
+  ByteReader header(bytes.subspan(sizeof(kMagic), kHeaderBytes - 8));
+  uint32_t version = 0;
+  uint32_t expected_crc = 0;
+  uint64_t payload_size = 0;
+  DBSVEC_RETURN_IF_ERROR(header.ReadU32(&version));
+  DBSVEC_RETURN_IF_ERROR(header.ReadU32(&expected_crc));
+  DBSVEC_RETURN_IF_ERROR(header.ReadU64(&payload_size));
+  if (version > DbsvecModel::kFormatVersion) {
+    return Status::FailedPrecondition(
+        "model format version " + std::to_string(version) +
+        " is newer than this build supports (" +
+        std::to_string(DbsvecModel::kFormatVersion) + ")");
+  }
+  if (version == 0) {
+    return Corrupt("version 0 is not a valid format version");
+  }
+  if (payload_size != bytes.size() - kHeaderBytes) {
+    return Corrupt(payload_size > bytes.size() - kHeaderBytes
+                       ? "payload truncated"
+                       : "trailing bytes after payload");
+  }
+  const std::span<const uint8_t> payload = bytes.subspan(kHeaderBytes);
+  if (Crc32(payload) != expected_crc) {
+    return Corrupt("checksum mismatch");
+  }
+
+  DbsvecModel parsed;
+  ByteReader reader(payload);
+  DBSVEC_RETURN_IF_ERROR(reader.ReadF64(&parsed.epsilon));
+  DBSVEC_RETURN_IF_ERROR(reader.ReadI32(&parsed.min_pts));
+  DBSVEC_RETURN_IF_ERROR(reader.ReadI32(&parsed.dim));
+  DBSVEC_RETURN_IF_ERROR(reader.ReadI64(&parsed.train_size));
+  DBSVEC_RETURN_IF_ERROR(reader.ReadI32(&parsed.num_clusters));
+  if (parsed.dim < 1 || parsed.dim > (1 << 20)) {
+    return Corrupt("implausible dimensionality");
+  }
+  const size_t dim = static_cast<size_t>(parsed.dim);
+
+  uint8_t has_transform = 0;
+  DBSVEC_RETURN_IF_ERROR(reader.ReadU8(&has_transform));
+  if (has_transform != 0) {
+    DBSVEC_RETURN_IF_ERROR(reader.ReadF64Vector(dim, &parsed.transform.scale));
+    DBSVEC_RETURN_IF_ERROR(reader.ReadF64Vector(dim, &parsed.transform.shift));
+  }
+  uint8_t has_range = 0;
+  DBSVEC_RETURN_IF_ERROR(reader.ReadU8(&has_range));
+  if (has_range != 0) {
+    DBSVEC_RETURN_IF_ERROR(reader.ReadF64Vector(dim, &parsed.train_min));
+    DBSVEC_RETURN_IF_ERROR(reader.ReadF64Vector(dim, &parsed.train_max));
+  }
+
+  uint64_t num_core = 0;
+  DBSVEC_RETURN_IF_ERROR(reader.ReadU64(&num_core));
+  if (num_core > reader.remaining() / (dim * 8)) {
+    return Corrupt("core table larger than the file");
+  }
+  std::vector<double> core_values;
+  DBSVEC_RETURN_IF_ERROR(reader.ReadF64Vector(num_core * dim, &core_values));
+  parsed.core_points = Dataset(parsed.dim, std::move(core_values));
+  parsed.core_labels.reserve(num_core);
+  for (uint64_t i = 0; i < num_core; ++i) {
+    int32_t label = 0;
+    DBSVEC_RETURN_IF_ERROR(reader.ReadI32(&label));
+    parsed.core_labels.push_back(label);
+  }
+  DBSVEC_RETURN_IF_ERROR(reader.ReadBytes(num_core, &parsed.core_is_sv));
+
+  uint32_t num_spheres = 0;
+  DBSVEC_RETURN_IF_ERROR(reader.ReadU32(&num_spheres));
+  parsed.spheres.reserve(std::min<size_t>(num_spheres, 1024));
+  for (uint32_t s = 0; s < num_spheres; ++s) {
+    SubClusterSphere sphere;
+    DBSVEC_RETURN_IF_ERROR(reader.ReadI32(&sphere.cluster));
+    DBSVEC_RETURN_IF_ERROR(reader.ReadF64(&sphere.sigma));
+    DBSVEC_RETURN_IF_ERROR(reader.ReadF64(&sphere.radius_sq));
+    DBSVEC_RETURN_IF_ERROR(reader.ReadF64Vector(dim, &sphere.center));
+    DBSVEC_RETURN_IF_ERROR(reader.ReadF64(&sphere.radius));
+    DBSVEC_RETURN_IF_ERROR(reader.ReadI64(&sphere.num_members));
+    DBSVEC_RETURN_IF_ERROR(reader.ReadI32(&sphere.num_support_vectors));
+    parsed.spheres.push_back(std::move(sphere));
+  }
+  if (!reader.AtEnd()) {
+    return Corrupt("unparsed bytes inside payload");
+  }
+  DBSVEC_RETURN_IF_ERROR(ValidateModel(parsed));
+  *model = std::move(parsed);
+  return Status::Ok();
+}
+
+Status SaveModel(const DbsvecModel& model, const std::string& path) {
+  std::vector<uint8_t> bytes;
+  DBSVEC_RETURN_IF_ERROR(SerializeModel(model, &bytes));
+  return WriteFileBytes(path, bytes);
+}
+
+Status LoadModel(const std::string& path, DbsvecModel* model) {
+  std::vector<uint8_t> bytes;
+  DBSVEC_RETURN_IF_ERROR(ReadFileBytes(path, &bytes));
+  return DeserializeModel(bytes, model);
+}
+
+}  // namespace dbsvec

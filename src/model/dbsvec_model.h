@@ -1,0 +1,106 @@
+#ifndef DBSVEC_MODEL_DBSVEC_MODEL_H_
+#define DBSVEC_MODEL_DBSVEC_MODEL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/dataset.h"
+#include "common/normalize.h"
+#include "common/status.h"
+
+namespace dbsvec {
+
+/// Fitted SVDD boundary descriptor of one sub-cluster, plus the
+/// input-space bounding sphere of the sub-cluster's members. The input
+/// sphere (center, radius) is what the assignment engine uses as a
+/// prefilter: a query can only join cluster `cluster` through this
+/// sub-cluster if it lies within radius + ε of the center. σ and the
+/// feature-space R² are the fitted SVDD sphere parameters (Sec. IV-B2 /
+/// Eq. 12 of the paper), kept for diagnostics and future boundary-based
+/// serving.
+struct SubClusterSphere {
+  int32_t cluster = 0;       ///< Final (dense) cluster id.
+  double sigma = 0.0;        ///< Kernel width of the last SVDD training.
+  double radius_sq = 0.0;    ///< Feature-space R² of the last SVDD sphere.
+  std::vector<double> center;  ///< Input-space centroid of the members.
+  double radius = 0.0;       ///< Max input-space distance center → member.
+  int64_t num_members = 0;   ///< Members at the end of the run.
+  int32_t num_support_vectors = 0;  ///< SVs of the last training round.
+
+  friend bool operator==(const SubClusterSphere&,
+                         const SubClusterSphere&) = default;
+};
+
+/// A trained DBSVEC clustering reduced to a servable artifact: every point
+/// whose ε-neighborhood the run proved dense (the "known core" set — seed
+/// cores, core support vectors, and merge/noise-verification cores), its
+/// final cluster label, plus the per-sub-cluster SVDD sphere summaries and
+/// the normalization applied to the training data.
+///
+/// The summary is sufficient for assignment because every non-noise
+/// training point was absorbed through the ε-neighborhood of a known core
+/// point, and DBSCAN semantics (Definition 2) assign a new point x to a
+/// cluster iff x lies within ε of one of that cluster's core points. See
+/// docs/SERVING.md for the exact agreement guarantees.
+struct DbsvecModel {
+  /// Current file-format version; see docs/SERVING.md for the policy.
+  static constexpr uint32_t kFormatVersion = 1;
+
+  // -- Fitted parameters -------------------------------------------------
+  double epsilon = 0.0;
+  int32_t min_pts = 0;
+
+  // -- Dataset summary ---------------------------------------------------
+  int32_t dim = 0;
+  int64_t train_size = 0;       ///< Points the model was fitted on.
+  int32_t num_clusters = 0;
+  /// Per-dimension min/max of the (transformed) training coordinates.
+  std::vector<double> train_min;
+  std::vector<double> train_max;
+  /// Normalization applied to the training data before clustering; empty
+  /// means the model operates on raw coordinates. Assignment queries pass
+  /// through this transform before any distance is computed.
+  AffineTransform transform;
+
+  // -- Core summary ------------------------------------------------------
+  /// Coordinates of every known-core point (dim columns per row).
+  Dataset core_points{0};
+  /// Cluster id of each core point, parallel to `core_points`.
+  std::vector<int32_t> core_labels;
+  /// 1 iff the core point was a support vector of some SVDD training
+  /// round (a core-SV in the sense of Definition 6).
+  std::vector<uint8_t> core_is_sv;
+
+  // -- Sub-cluster spheres ----------------------------------------------
+  std::vector<SubClusterSphere> spheres;
+
+  bool operator==(const DbsvecModel& other) const;
+};
+
+/// Structural validity: dimensions agree, labels are in range, parameters
+/// are positive. Run by Save before writing and by Load after parsing, so
+/// neither a logic bug nor a hand-crafted file can produce an engine with
+/// out-of-range indices.
+Status ValidateModel(const DbsvecModel& model);
+
+/// Serializes `model` into the versioned binary format (magic + version +
+/// CRC-32 + little-endian payload). Deterministic: equal models produce
+/// identical bytes.
+Status SerializeModel(const DbsvecModel& model, std::vector<uint8_t>* bytes);
+
+/// Parses bytes produced by SerializeModel. Returns InvalidArgument for
+/// corrupt/truncated data or a bad checksum and FailedPrecondition for a
+/// format version newer than kFormatVersion; never crashes on malformed
+/// input.
+Status DeserializeModel(std::span<const uint8_t> bytes, DbsvecModel* model);
+
+/// SerializeModel + write to `path`.
+Status SaveModel(const DbsvecModel& model, const std::string& path);
+
+/// Read `path` + DeserializeModel.
+Status LoadModel(const std::string& path, DbsvecModel* model);
+
+}  // namespace dbsvec
+
+#endif  // DBSVEC_MODEL_DBSVEC_MODEL_H_

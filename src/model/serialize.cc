@@ -1,0 +1,174 @@
+#include "model/serialize.h"
+
+#include <array>
+#include <bit>
+#include <cstdio>
+
+namespace dbsvec {
+namespace {
+
+/// Table-driven CRC-32, table built once at first use.
+const std::array<uint32_t, 256>& Crc32Table() {
+  static const std::array<uint32_t, 256> table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1u) ? 0xedb88320u : 0u);
+      }
+      t[i] = crc;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32(std::span<const uint8_t> bytes) {
+  const auto& table = Crc32Table();
+  uint32_t crc = 0xffffffffu;
+  for (const uint8_t byte : bytes) {
+    crc = (crc >> 8) ^ table[(crc ^ byte) & 0xffu];
+  }
+  return crc ^ 0xffffffffu;
+}
+
+void ByteWriter::WriteU32(uint32_t value) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    bytes_.push_back(static_cast<uint8_t>(value >> shift));
+  }
+}
+
+void ByteWriter::WriteU64(uint64_t value) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    bytes_.push_back(static_cast<uint8_t>(value >> shift));
+  }
+}
+
+void ByteWriter::WriteF64(double value) {
+  WriteU64(std::bit_cast<uint64_t>(value));
+}
+
+void ByteWriter::WriteF64Span(std::span<const double> values) {
+  for (const double value : values) {
+    WriteF64(value);
+  }
+}
+
+void ByteWriter::WriteBytes(std::span<const uint8_t> values) {
+  bytes_.insert(bytes_.end(), values.begin(), values.end());
+}
+
+Status ByteReader::Need(size_t count) const {
+  if (bytes_.size() - offset_ < count) {
+    return Status::InvalidArgument("model data truncated");
+  }
+  return Status::Ok();
+}
+
+Status ByteReader::ReadU8(uint8_t* value) {
+  DBSVEC_RETURN_IF_ERROR(Need(1));
+  *value = bytes_[offset_++];
+  return Status::Ok();
+}
+
+Status ByteReader::ReadU32(uint32_t* value) {
+  DBSVEC_RETURN_IF_ERROR(Need(4));
+  uint32_t v = 0;
+  for (int shift = 0; shift < 32; shift += 8) {
+    v |= static_cast<uint32_t>(bytes_[offset_++]) << shift;
+  }
+  *value = v;
+  return Status::Ok();
+}
+
+Status ByteReader::ReadU64(uint64_t* value) {
+  DBSVEC_RETURN_IF_ERROR(Need(8));
+  uint64_t v = 0;
+  for (int shift = 0; shift < 64; shift += 8) {
+    v |= static_cast<uint64_t>(bytes_[offset_++]) << shift;
+  }
+  *value = v;
+  return Status::Ok();
+}
+
+Status ByteReader::ReadI32(int32_t* value) {
+  uint32_t v = 0;
+  DBSVEC_RETURN_IF_ERROR(ReadU32(&v));
+  *value = static_cast<int32_t>(v);
+  return Status::Ok();
+}
+
+Status ByteReader::ReadI64(int64_t* value) {
+  uint64_t v = 0;
+  DBSVEC_RETURN_IF_ERROR(ReadU64(&v));
+  *value = static_cast<int64_t>(v);
+  return Status::Ok();
+}
+
+Status ByteReader::ReadF64(double* value) {
+  uint64_t bits = 0;
+  DBSVEC_RETURN_IF_ERROR(ReadU64(&bits));
+  *value = std::bit_cast<double>(bits);
+  return Status::Ok();
+}
+
+Status ByteReader::ReadF64Vector(size_t count, std::vector<double>* values) {
+  // Guard the multiplication: a corrupt count must not overflow into a
+  // passing bounds check (or a giant reserve).
+  if (count > remaining() / 8) {
+    return Status::InvalidArgument("model data truncated");
+  }
+  values->reserve(values->size() + count);
+  for (size_t i = 0; i < count; ++i) {
+    double v = 0.0;
+    DBSVEC_RETURN_IF_ERROR(ReadF64(&v));
+    values->push_back(v);
+  }
+  return Status::Ok();
+}
+
+Status ByteReader::ReadBytes(size_t count, std::vector<uint8_t>* values) {
+  DBSVEC_RETURN_IF_ERROR(Need(count));
+  values->insert(values->end(), bytes_.begin() + offset_,
+                 bytes_.begin() + offset_ + count);
+  offset_ += count;
+  return Status::Ok();
+}
+
+Status WriteFileBytes(const std::string& path,
+                      std::span<const uint8_t> bytes) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    return Status::IoError("cannot open for writing: " + path);
+  }
+  const size_t written =
+      bytes.empty() ? 0 : std::fwrite(bytes.data(), 1, bytes.size(), file);
+  const bool close_ok = std::fclose(file) == 0;
+  if (written != bytes.size() || !close_ok) {
+    return Status::IoError("write failed: " + path);
+  }
+  return Status::Ok();
+}
+
+Status ReadFileBytes(const std::string& path, std::vector<uint8_t>* bytes) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return Status::IoError("cannot open for reading: " + path);
+  }
+  bytes->clear();
+  uint8_t buffer[1 << 16];
+  size_t got = 0;
+  while ((got = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    bytes->insert(bytes->end(), buffer, buffer + got);
+  }
+  const bool read_error = std::ferror(file) != 0;
+  std::fclose(file);
+  if (read_error) {
+    return Status::IoError("read failed: " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace dbsvec

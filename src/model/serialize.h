@@ -1,0 +1,76 @@
+#ifndef DBSVEC_MODEL_SERIALIZE_H_
+#define DBSVEC_MODEL_SERIALIZE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dbsvec {
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected) of `bytes`. Used as the
+/// integrity checksum of the model file payload.
+uint32_t Crc32(std::span<const uint8_t> bytes);
+
+/// Append-only little-endian byte encoder. Every multi-byte value is
+/// written byte by byte, so the produced stream is identical on big- and
+/// little-endian hosts and a round-tripped model file is byte-stable.
+class ByteWriter {
+ public:
+  void WriteU8(uint8_t value) { bytes_.push_back(value); }
+  void WriteU32(uint32_t value);
+  void WriteU64(uint64_t value);
+  void WriteI32(int32_t value) { WriteU32(static_cast<uint32_t>(value)); }
+  void WriteI64(int64_t value) { WriteU64(static_cast<uint64_t>(value)); }
+  /// IEEE-754 bit pattern, little-endian.
+  void WriteF64(double value);
+  void WriteF64Span(std::span<const double> values);
+  void WriteBytes(std::span<const uint8_t> values);
+
+  const std::vector<uint8_t>& bytes() const { return bytes_; }
+  std::vector<uint8_t> TakeBytes() { return std::move(bytes_); }
+
+ private:
+  std::vector<uint8_t> bytes_;
+};
+
+/// Bounds-checked little-endian decoder over a fixed buffer. Every read
+/// returns a Status instead of reading out of bounds, so a truncated or
+/// garbage model file surfaces as an error, never as a crash.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const uint8_t> bytes) : bytes_(bytes) {}
+
+  Status ReadU8(uint8_t* value);
+  Status ReadU32(uint32_t* value);
+  Status ReadU64(uint64_t* value);
+  Status ReadI32(int32_t* value);
+  Status ReadI64(int64_t* value);
+  Status ReadF64(double* value);
+  /// Reads `count` doubles appended to `*values`.
+  Status ReadF64Vector(size_t count, std::vector<double>* values);
+  Status ReadBytes(size_t count, std::vector<uint8_t>* values);
+
+  size_t remaining() const { return bytes_.size() - offset_; }
+  bool AtEnd() const { return offset_ == bytes_.size(); }
+
+ private:
+  Status Need(size_t count) const;
+
+  std::span<const uint8_t> bytes_;
+  size_t offset_ = 0;
+};
+
+/// Writes `bytes` to `path` atomically enough for a model artifact (single
+/// write, error-checked close).
+Status WriteFileBytes(const std::string& path, std::span<const uint8_t> bytes);
+
+/// Reads the whole of `path` into `*bytes`.
+Status ReadFileBytes(const std::string& path, std::vector<uint8_t>* bytes);
+
+}  // namespace dbsvec
+
+#endif  // DBSVEC_MODEL_SERIALIZE_H_

@@ -1,0 +1,157 @@
+#include "serve/assignment_engine.h"
+
+#include <cmath>
+#include <limits>
+
+#include "cluster/clustering.h"
+#include "common/thread_pool.h"
+
+namespace dbsvec {
+
+AssignmentEngine::AssignmentEngine(DbsvecModel model,
+                                   const AssignmentOptions& options)
+    : model_(std::move(model)), options_(options) {
+  const int dim = model_.dim;
+  sphere_reach_sq_.reserve(model_.spheres.size());
+  for (const SubClusterSphere& sphere : model_.spheres) {
+    const double reach = sphere.radius + model_.epsilon;
+    sphere_reach_sq_.push_back(reach * reach);
+  }
+  if (model_.core_points.size() > 0) {
+    bbox_min_.assign(dim, std::numeric_limits<double>::infinity());
+    bbox_max_.assign(dim, -std::numeric_limits<double>::infinity());
+    for (PointIndex i = 0; i < model_.core_points.size(); ++i) {
+      for (int d = 0; d < dim; ++d) {
+        const double v = model_.core_points.at(i, d);
+        if (v < bbox_min_[d]) bbox_min_[d] = v;
+        if (v > bbox_max_[d]) bbox_max_[d] = v;
+      }
+    }
+    for (int d = 0; d < dim; ++d) {
+      bbox_min_[d] -= model_.epsilon;
+      bbox_max_[d] += model_.epsilon;
+    }
+    index_ = CreateIndex(options.index, model_.core_points, model_.epsilon);
+  }
+}
+
+Status AssignmentEngine::Create(DbsvecModel model,
+                                const AssignmentOptions& options,
+                                std::unique_ptr<AssignmentEngine>* out) {
+  DBSVEC_RETURN_IF_ERROR(ValidateModel(model));
+  if (options.batch_grain < 1) {
+    return Status::InvalidArgument("serve: batch_grain must be >= 1");
+  }
+  out->reset(new AssignmentEngine(std::move(model), options));
+  return Status::Ok();
+}
+
+Status AssignmentEngine::Load(const std::string& path,
+                              const AssignmentOptions& options,
+                              std::unique_ptr<AssignmentEngine>* out) {
+  DbsvecModel model;
+  DBSVEC_RETURN_IF_ERROR(LoadModel(path, &model));
+  return Create(std::move(model), options, out);
+}
+
+int32_t AssignmentEngine::AssignTransformed(
+    std::span<const double> query, std::vector<PointIndex>* scratch) const {
+  points_assigned_.fetch_add(1, std::memory_order_relaxed);
+  if (index_ == nullptr) {
+    return Clustering::kNoise;  // Model with an empty core summary.
+  }
+  if (options_.sphere_prefilter) {
+    for (size_t d = 0; d < query.size(); ++d) {
+      if (query[d] < bbox_min_[d] || query[d] > bbox_max_[d]) {
+        sphere_rejections_.fetch_add(1, std::memory_order_relaxed);
+        return Clustering::kNoise;
+      }
+    }
+    bool inside_some_sphere = model_.spheres.empty();
+    for (size_t s = 0; s < model_.spheres.size() && !inside_some_sphere;
+         ++s) {
+      const double d2 =
+          SquaredDistance(query, model_.spheres[s].center);
+      inside_some_sphere = d2 <= sphere_reach_sq_[s];
+    }
+    if (!inside_some_sphere) {
+      // Outside every sub-cluster's member sphere inflated by ε: no core
+      // point (a member by construction) can be within ε.
+      sphere_rejections_.fetch_add(1, std::memory_order_relaxed);
+      return Clustering::kNoise;
+    }
+  }
+  range_queries_.fetch_add(1, std::memory_order_relaxed);
+  index_->RangeQuery(query, model_.epsilon, scratch);
+  // Nearest core point wins; ties break toward the smaller cluster id so
+  // the answer is independent of the index's result order.
+  int32_t best_cluster = Clustering::kNoise;
+  double best_dist = std::numeric_limits<double>::infinity();
+  for (const PointIndex core : *scratch) {
+    const double d2 =
+        model_.core_points.SquaredDistanceTo(core, query);
+    const int32_t cluster = model_.core_labels[core];
+    if (d2 < best_dist ||
+        (d2 == best_dist && cluster < best_cluster)) {
+      best_dist = d2;
+      best_cluster = cluster;
+    }
+  }
+  return best_cluster;
+}
+
+Status AssignmentEngine::Assign(std::span<const double> point,
+                                int32_t* label) const {
+  if (static_cast<int>(point.size()) != model_.dim) {
+    return Status::InvalidArgument(
+        "assign: point has dimension " + std::to_string(point.size()) +
+        ", model expects " + std::to_string(model_.dim));
+  }
+  std::vector<PointIndex> scratch;
+  if (model_.transform.empty()) {
+    *label = AssignTransformed(point, &scratch);
+  } else {
+    std::vector<double> transformed(point.size());
+    model_.transform.Apply(point, transformed);
+    *label = AssignTransformed(transformed, &scratch);
+  }
+  return Status::Ok();
+}
+
+Status AssignmentEngine::AssignBatch(const Dataset& points,
+                                     std::vector<int32_t>* labels) const {
+  if (points.dim() != model_.dim) {
+    return Status::InvalidArgument(
+        "assign: batch has dimension " + std::to_string(points.dim()) +
+        ", model expects " + std::to_string(model_.dim));
+  }
+  const PointIndex n = points.size();
+  labels->assign(n, Clustering::kNoise);
+  ParallelFor(static_cast<size_t>(n),
+              static_cast<size_t>(options_.batch_grain),
+              [&](size_t begin, size_t end) {
+                std::vector<PointIndex> scratch;
+                std::vector<double> transformed(model_.dim);
+                for (size_t i = begin; i < end; ++i) {
+                  const PointIndex p = static_cast<PointIndex>(i);
+                  std::span<const double> query = points.point(p);
+                  if (!model_.transform.empty()) {
+                    model_.transform.Apply(query, transformed);
+                    query = transformed;
+                  }
+                  (*labels)[i] = AssignTransformed(query, &scratch);
+                }
+              });
+  return Status::Ok();
+}
+
+AssignmentEngine::ServeStats AssignmentEngine::stats() const {
+  ServeStats stats;
+  stats.points_assigned = points_assigned_.load(std::memory_order_relaxed);
+  stats.sphere_rejections =
+      sphere_rejections_.load(std::memory_order_relaxed);
+  stats.range_queries = range_queries_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace dbsvec

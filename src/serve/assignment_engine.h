@@ -1,0 +1,101 @@
+#ifndef DBSVEC_SERVE_ASSIGNMENT_ENGINE_H_
+#define DBSVEC_SERVE_ASSIGNMENT_ENGINE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/dataset.h"
+#include "common/status.h"
+#include "index/neighbor_index.h"
+#include "model/dbsvec_model.h"
+
+namespace dbsvec {
+
+/// Serving-side options of the assignment engine.
+struct AssignmentOptions {
+  /// Range-query engine built over the model's core summary. The kd-tree
+  /// is the default, matching the training-side default.
+  IndexType index = IndexType::kKdTree;
+  /// Minimum points per thread-pool chunk of a batched Assign.
+  int batch_grain = 64;
+  /// Skip queries outside every sub-cluster sphere (inflated by ε) without
+  /// touching the index. Off is only useful for benchmarking the filter.
+  bool sphere_prefilter = true;
+};
+
+/// Online point-assignment over a trained DbsvecModel.
+///
+/// Semantics (DBSCAN Definition 2, restricted to the model's known-core
+/// summary): a query x joins the cluster of the nearest core point within
+/// ε, and is noise if no core point lies within ε. Ties are broken toward
+/// the smaller cluster id, so the answer does not depend on range-query
+/// result order. Agreement guarantees against the training labels are
+/// spelled out in docs/SERVING.md.
+///
+/// Thread safety: Assign/AssignBatch are const and may be called
+/// concurrently (the serving counters are atomic). AssignBatch fans its
+/// chunks out on the global thread pool; per-point results are
+/// independent, so output is bit-identical at every thread count.
+class AssignmentEngine {
+ public:
+  /// Validates `model` and builds the serving index over its core summary.
+  static Status Create(DbsvecModel model, const AssignmentOptions& options,
+                       std::unique_ptr<AssignmentEngine>* out);
+
+  /// LoadModel + Create.
+  static Status Load(const std::string& path,
+                     const AssignmentOptions& options,
+                     std::unique_ptr<AssignmentEngine>* out);
+
+  /// Assigns one raw point (length dim; the model's transform is applied
+  /// internally). On success `*label` is a cluster id in
+  /// [0, model.num_clusters) or Clustering::kNoise.
+  Status Assign(std::span<const double> point, int32_t* label) const;
+
+  /// Assigns every point of `points` into `*labels` (resized), fanning
+  /// chunks out on the global thread pool.
+  Status AssignBatch(const Dataset& points,
+                     std::vector<int32_t>* labels) const;
+
+  const DbsvecModel& model() const { return model_; }
+  int dim() const { return model_.dim; }
+
+  /// Cumulative serving counters (relaxed atomics; cheap, approximate
+  /// under concurrency, exact when queries are serial).
+  struct ServeStats {
+    uint64_t points_assigned = 0;
+    uint64_t sphere_rejections = 0;  ///< Answered kNoise by the prefilter.
+    uint64_t range_queries = 0;      ///< Queries that reached the index.
+  };
+  ServeStats stats() const;
+
+ private:
+  AssignmentEngine(DbsvecModel model, const AssignmentOptions& options);
+
+  /// Assignment of one already-transformed query point.
+  int32_t AssignTransformed(std::span<const double> query,
+                            std::vector<PointIndex>* scratch) const;
+
+  const DbsvecModel model_;
+  const AssignmentOptions options_;
+  std::unique_ptr<NeighborIndex> index_;  // Over model_.core_points.
+  // Sub-cluster sphere radii inflated by ε, squared, parallel to
+  // model_.spheres (precomputed for the prefilter).
+  std::vector<double> sphere_reach_sq_;
+  // Bounding box of all core points inflated by ε: the O(d) reject that
+  // runs before the per-sphere loop.
+  std::vector<double> bbox_min_;
+  std::vector<double> bbox_max_;
+
+  mutable std::atomic<uint64_t> points_assigned_{0};
+  mutable std::atomic<uint64_t> sphere_rejections_{0};
+  mutable std::atomic<uint64_t> range_queries_{0};
+};
+
+}  // namespace dbsvec
+
+#endif  // DBSVEC_SERVE_ASSIGNMENT_ENGINE_H_

@@ -138,6 +138,125 @@ TEST(CliRunnerTest, ResolveEpsilonPrefersExplicitValue) {
   EXPECT_GT(ResolveEpsilon(options, dataset), 0.0);
 }
 
+TEST(CliOptionsTest, ParsesFitCommand) {
+  CliOptions options;
+  ASSERT_TRUE(ParseCliOptions({"fit", "--model-out=/tmp/m.dbsvm",
+                               "--normalize", "--demo=blobs"},
+                              &options)
+                  .ok());
+  EXPECT_EQ(options.command, Command::kFit);
+  EXPECT_EQ(options.model_out_path, "/tmp/m.dbsvm");
+  EXPECT_TRUE(options.normalize);
+  // fit without --model-out is an error (unless just asking for help).
+  CliOptions fresh;
+  EXPECT_FALSE(ParseCliOptions({"fit"}, &fresh).ok());
+  CliOptions help;
+  EXPECT_TRUE(ParseCliOptions({"fit", "--help"}, &help).ok());
+}
+
+TEST(CliOptionsTest, ParsesAssignCommand) {
+  CliOptions options;
+  ASSERT_TRUE(ParseCliOptions({"assign", "--model=/tmp/m.dbsvm",
+                               "--input=/tmp/p.csv", "--batch=128"},
+                              &options)
+                  .ok());
+  EXPECT_EQ(options.command, Command::kAssign);
+  EXPECT_EQ(options.model_path, "/tmp/m.dbsvm");
+  EXPECT_EQ(options.input_path, "/tmp/p.csv");
+  EXPECT_EQ(options.assign_batch, 128);
+  // Both --model and --input are required.
+  CliOptions no_model;
+  EXPECT_FALSE(
+      ParseCliOptions({"assign", "--input=/tmp/p.csv"}, &no_model).ok());
+  CliOptions no_input;
+  EXPECT_FALSE(
+      ParseCliOptions({"assign", "--model=/tmp/m.dbsvm"}, &no_input).ok());
+  CliOptions bad_batch;
+  EXPECT_FALSE(ParseCliOptions({"assign", "--model=/tmp/m.dbsvm",
+                                "--input=/tmp/p.csv", "--batch=0"},
+                               &bad_batch)
+                   .ok());
+  // The command word is only recognized in first position.
+  CliOptions late_word;
+  EXPECT_FALSE(ParseCliOptions({"--eps=2", "assign"}, &late_word).ok());
+}
+
+TEST(CliRunnerTest, FitAssignRoundTripReproducesTrainingLabels) {
+  const auto tmp = std::filesystem::temp_directory_path();
+  const std::string model_path = (tmp / "dbsvec_cli_fit.dbsvm").string();
+  const std::string points_path = (tmp / "dbsvec_cli_fit_pts.csv").string();
+
+  CliOptions fit;
+  fit.command = Command::kFit;
+  fit.model_out_path = model_path;
+  fit.demo = DemoData::kBlobs;
+  fit.demo_n = 800;
+  fit.demo_dim = 3;
+  fit.min_pts = 10;
+  fit.normalize = true;
+  Dataset dataset(1);
+  ASSERT_TRUE(LoadInput(fit, &dataset).ok());
+  // Keep the raw points: assign must see pre-normalization coordinates.
+  const Dataset raw = dataset;
+  Clustering trained;
+  DbsvecModel model;
+  ASSERT_TRUE(RunFit(fit, &dataset, &trained, &model).ok());
+  ASSERT_TRUE(WriteCsv(raw, {}, points_path).ok());
+  EXPECT_FALSE(model.transform.empty());
+
+  CliOptions assign;
+  assign.command = Command::kAssign;
+  assign.model_path = model_path;
+  assign.input_path = points_path;
+  assign.assign_batch = 100;  // Forces several streamed batches.
+  Dataset points(1);
+  std::vector<int32_t> labels;
+  ASSERT_TRUE(RunAssign(assign, &points, &labels).ok());
+  std::remove(model_path.c_str());
+  std::remove(points_path.c_str());
+
+  ASSERT_EQ(points.size(), raw.size());
+  ASSERT_EQ(static_cast<PointIndex>(labels.size()), raw.size());
+  // Assigning the training set back must reproduce the training labels
+  // (core-reachable points exactly; blobs have no ambiguous border here).
+  int32_t mismatches = 0;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    mismatches += labels[i] != trained.labels[i] ? 1 : 0;
+  }
+  EXPECT_EQ(mismatches, 0);
+}
+
+TEST(CliRunnerTest, RunAssignFailsOnDimensionMismatch) {
+  const auto tmp = std::filesystem::temp_directory_path();
+  const std::string model_path = (tmp / "dbsvec_cli_dim.dbsvm").string();
+  const std::string points_path = (tmp / "dbsvec_cli_dim_pts.csv").string();
+
+  CliOptions fit;
+  fit.command = Command::kFit;
+  fit.model_out_path = model_path;
+  fit.demo = DemoData::kBlobs;
+  fit.demo_n = 400;
+  fit.demo_dim = 2;
+  fit.min_pts = 8;
+  Dataset dataset(1);
+  ASSERT_TRUE(LoadInput(fit, &dataset).ok());
+  Clustering trained;
+  DbsvecModel model;
+  ASSERT_TRUE(RunFit(fit, &dataset, &trained, &model).ok());
+
+  Dataset wrong_dim(3, {1.0, 2.0, 3.0});
+  ASSERT_TRUE(WriteCsv(wrong_dim, {}, points_path).ok());
+  CliOptions assign;
+  assign.command = Command::kAssign;
+  assign.model_path = model_path;
+  assign.input_path = points_path;
+  Dataset points(1);
+  std::vector<int32_t> labels;
+  EXPECT_FALSE(RunAssign(assign, &points, &labels).ok());
+  std::remove(model_path.c_str());
+  std::remove(points_path.c_str());
+}
+
 TEST(CliRunnerTest, EveryAlgorithmRunsOnDemoData) {
   CliOptions options;
   options.demo = DemoData::kBlobs;

@@ -7,6 +7,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -15,6 +16,7 @@
 #include "common/thread_pool.h"
 #include "core/dbsvec.h"
 #include "data/synthetic.h"
+#include "serve/assignment_engine.h"
 
 namespace dbsvec {
 namespace {
@@ -167,6 +169,31 @@ TEST(ThreadPoolTest, GlobalBudgetOfOneDisablesPool) {
   ScopedThreads threads(1);
   EXPECT_EQ(GlobalThreads(), 1);
   EXPECT_EQ(GlobalThreadPool(), nullptr);
+}
+
+TEST(DeterminismTest, AssignBatchMatchesSequential) {
+  const Dataset dataset = WalkDataset();
+  DbsvecParams params;
+  params.epsilon = 5'000.0;
+  params.min_pts = 60;
+  Clustering out;
+  DbsvecModel model;
+  ASSERT_TRUE(RunDbsvec(dataset, params, &out, &model).ok());
+
+  std::unique_ptr<AssignmentEngine> engine;
+  ASSERT_TRUE(AssignmentEngine::Create(std::move(model), {}, &engine).ok());
+
+  std::vector<int32_t> sequential;
+  {
+    ScopedThreads threads(1);
+    ASSERT_TRUE(engine->AssignBatch(dataset, &sequential).ok());
+  }
+  std::vector<int32_t> parallel;
+  {
+    ScopedThreads threads(kParallelThreads);
+    ASSERT_TRUE(engine->AssignBatch(dataset, &parallel).ok());
+  }
+  EXPECT_EQ(sequential, parallel);
 }
 
 }  // namespace

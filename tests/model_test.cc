@@ -1,0 +1,268 @@
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/dbsvec.h"
+#include "data/synthetic.h"
+#include "gtest/gtest.h"
+#include "model/dbsvec_model.h"
+#include "model/serialize.h"
+#include "test_util.h"
+
+namespace dbsvec {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+/// Small hand-built model exercising every field, including transform and
+/// an empty-feature sphere.
+DbsvecModel HandBuiltModel() {
+  DbsvecModel model;
+  model.epsilon = 0.75;
+  model.min_pts = 3;
+  model.dim = 2;
+  model.train_size = 9;
+  model.num_clusters = 2;
+  model.train_min = {0.0, -1.0};
+  model.train_max = {4.0, 3.0};
+  model.transform.scale = {2.0, 0.0};
+  model.transform.shift = {-1.0, 5.0};
+  model.core_points = Dataset(2, {0.0, 0.0, 0.5, 0.5, 3.0, 3.0});
+  model.core_labels = {0, 0, 1};
+  model.core_is_sv = {0, 1, 1};
+  SubClusterSphere a;
+  a.cluster = 0;
+  a.sigma = 0.3;
+  a.radius_sq = 0.9;
+  a.center = {0.25, 0.25};
+  a.radius = 0.4;
+  a.num_members = 5;
+  a.num_support_vectors = 2;
+  SubClusterSphere b;
+  b.cluster = 1;
+  b.center = {3.0, 3.0};
+  b.num_members = 4;
+  model.spheres = {a, b};
+  return model;
+}
+
+/// Model fitted on real data, for round trips of a nontrivial artifact.
+DbsvecModel FittedModel() {
+  GaussianBlobsParams data_params;
+  data_params.n = 600;
+  data_params.dim = 3;
+  data_params.num_clusters = 4;
+  data_params.noise_fraction = 0.02;
+  data_params.seed = 11;
+  const Dataset dataset = GenerateGaussianBlobs(data_params);
+  DbsvecParams params;
+  params.epsilon = 6.0;
+  params.min_pts = 10;
+  Clustering out;
+  DbsvecModel model;
+  EXPECT_TRUE(RunDbsvec(dataset, params, &out, &model).ok());
+  EXPECT_GT(model.core_points.size(), 0);
+  return model;
+}
+
+TEST(ModelFormatTest, Crc32KnownVector) {
+  const std::string text = "123456789";
+  const std::span<const uint8_t> bytes(
+      reinterpret_cast<const uint8_t*>(text.data()), text.size());
+  EXPECT_EQ(Crc32(bytes), 0xCBF43926u);
+  EXPECT_EQ(Crc32({}), 0u);
+}
+
+TEST(ModelFormatTest, ByteReaderRejectsShortBuffer) {
+  const std::vector<uint8_t> three = {1, 2, 3};
+  ByteReader reader(three);
+  uint32_t value = 0;
+  EXPECT_FALSE(reader.ReadU32(&value).ok());
+  double d = 0.0;
+  EXPECT_FALSE(ByteReader(three).ReadF64(&d).ok());
+  std::vector<double> doubles;
+  EXPECT_FALSE(ByteReader(three).ReadF64Vector(1u << 30, &doubles).ok());
+}
+
+TEST(ModelFormatTest, WriterReaderRoundTripValues) {
+  ByteWriter writer;
+  writer.WriteU8(0xAB);
+  writer.WriteU32(0xDEADBEEFu);
+  writer.WriteI64(-42);
+  writer.WriteF64(-0.125);
+  ByteReader reader(writer.bytes());
+  uint8_t u8 = 0;
+  uint32_t u32 = 0;
+  int64_t i64 = 0;
+  double f64 = 0.0;
+  ASSERT_TRUE(reader.ReadU8(&u8).ok());
+  ASSERT_TRUE(reader.ReadU32(&u32).ok());
+  ASSERT_TRUE(reader.ReadI64(&i64).ok());
+  ASSERT_TRUE(reader.ReadF64(&f64).ok());
+  EXPECT_EQ(u8, 0xAB);
+  EXPECT_EQ(u32, 0xDEADBEEFu);
+  EXPECT_EQ(i64, -42);
+  EXPECT_EQ(f64, -0.125);
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(ModelFormatTest, SerializeDeserializeSerializeIsByteIdentical) {
+  for (const DbsvecModel& model : {HandBuiltModel(), FittedModel()}) {
+    std::vector<uint8_t> bytes;
+    ASSERT_TRUE(SerializeModel(model, &bytes).ok());
+    DbsvecModel parsed;
+    ASSERT_TRUE(DeserializeModel(bytes, &parsed).ok());
+    EXPECT_TRUE(parsed == model);
+    std::vector<uint8_t> bytes_again;
+    ASSERT_TRUE(SerializeModel(parsed, &bytes_again).ok());
+    EXPECT_EQ(bytes, bytes_again);
+  }
+}
+
+TEST(ModelFormatTest, SaveLoadFileRoundTrip) {
+  const DbsvecModel model = FittedModel();
+  const std::string path = TempPath("dbsvec_model_roundtrip.dbsvm");
+  ASSERT_TRUE(SaveModel(model, path).ok());
+  DbsvecModel loaded;
+  ASSERT_TRUE(LoadModel(path, &loaded).ok());
+  EXPECT_TRUE(loaded == model);
+  std::remove(path.c_str());
+}
+
+TEST(ModelFormatTest, LoadMissingFileFails) {
+  DbsvecModel model;
+  EXPECT_FALSE(LoadModel("/nonexistent/never.dbsvm", &model).ok());
+}
+
+TEST(ModelFormatTest, EveryTruncationFailsCleanly) {
+  std::vector<uint8_t> bytes;
+  ASSERT_TRUE(SerializeModel(HandBuiltModel(), &bytes).ok());
+  ASSERT_GT(bytes.size(), 24u);
+  // A fuzz loop over every prefix: no truncation may parse or crash.
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    DbsvecModel parsed;
+    const Status status = DeserializeModel(
+        std::span<const uint8_t>(bytes.data(), len), &parsed);
+    EXPECT_FALSE(status.ok()) << "prefix of " << len << " bytes parsed";
+  }
+}
+
+TEST(ModelFormatTest, ChecksumCatchesEveryFlippedPayloadByte) {
+  std::vector<uint8_t> bytes;
+  ASSERT_TRUE(SerializeModel(HandBuiltModel(), &bytes).ok());
+  // Flip one byte at a time across the whole payload (after the 24-byte
+  // header); CRC-32 must reject each single-byte corruption.
+  for (size_t i = 24; i < bytes.size(); ++i) {
+    std::vector<uint8_t> corrupt = bytes;
+    corrupt[i] ^= 0x5A;
+    DbsvecModel parsed;
+    EXPECT_FALSE(DeserializeModel(corrupt, &parsed).ok())
+        << "flip at byte " << i << " parsed";
+  }
+}
+
+TEST(ModelFormatTest, BadMagicFails) {
+  std::vector<uint8_t> bytes;
+  ASSERT_TRUE(SerializeModel(HandBuiltModel(), &bytes).ok());
+  bytes[0] = 'X';
+  DbsvecModel parsed;
+  const Status status = DeserializeModel(bytes, &parsed);
+  EXPECT_EQ(status.code(), Status::Code::kInvalidArgument);
+}
+
+TEST(ModelFormatTest, FutureVersionIsFailedPrecondition) {
+  std::vector<uint8_t> bytes;
+  ASSERT_TRUE(SerializeModel(HandBuiltModel(), &bytes).ok());
+  // The version lives in bytes 8..11, little-endian, after the magic.
+  bytes[8] = static_cast<uint8_t>(DbsvecModel::kFormatVersion + 1);
+  DbsvecModel parsed;
+  const Status status = DeserializeModel(bytes, &parsed);
+  EXPECT_EQ(status.code(), Status::Code::kFailedPrecondition);
+}
+
+TEST(ModelFormatTest, TrailingBytesFail) {
+  std::vector<uint8_t> bytes;
+  ASSERT_TRUE(SerializeModel(HandBuiltModel(), &bytes).ok());
+  bytes.push_back(0);
+  DbsvecModel parsed;
+  EXPECT_FALSE(DeserializeModel(bytes, &parsed).ok());
+}
+
+TEST(ModelFormatTest, GarbageBuffersFailCleanly) {
+  DbsvecModel parsed;
+  EXPECT_FALSE(DeserializeModel({}, &parsed).ok());
+  const std::vector<uint8_t> zeros(64, 0);
+  EXPECT_FALSE(DeserializeModel(zeros, &parsed).ok());
+  std::vector<uint8_t> noise(256);
+  Rng rng(3);
+  for (auto& b : noise) {
+    b = static_cast<uint8_t>(rng.Uniform(0.0, 256.0));
+  }
+  EXPECT_FALSE(DeserializeModel(noise, &parsed).ok());
+}
+
+TEST(ModelFormatTest, ValidateRejectsStructuralErrors) {
+  EXPECT_TRUE(ValidateModel(HandBuiltModel()).ok());
+  {
+    DbsvecModel m = HandBuiltModel();
+    m.epsilon = 0.0;
+    EXPECT_FALSE(ValidateModel(m).ok());
+  }
+  {
+    DbsvecModel m = HandBuiltModel();
+    m.min_pts = 0;
+    EXPECT_FALSE(ValidateModel(m).ok());
+  }
+  {
+    DbsvecModel m = HandBuiltModel();
+    m.core_labels[0] = m.num_clusters;  // Out of range.
+    EXPECT_FALSE(ValidateModel(m).ok());
+  }
+  {
+    DbsvecModel m = HandBuiltModel();
+    m.core_labels.pop_back();  // Parallel arrays out of sync.
+    EXPECT_FALSE(ValidateModel(m).ok());
+  }
+  {
+    DbsvecModel m = HandBuiltModel();
+    m.spheres[0].center.pop_back();  // Sphere dim mismatch.
+    EXPECT_FALSE(ValidateModel(m).ok());
+  }
+  {
+    DbsvecModel m = HandBuiltModel();
+    m.transform.scale.pop_back();  // Transform dim mismatch.
+    EXPECT_FALSE(ValidateModel(m).ok());
+  }
+  // Serialization refuses to write an invalid model.
+  DbsvecModel bad = HandBuiltModel();
+  bad.epsilon = -1.0;
+  std::vector<uint8_t> bytes;
+  EXPECT_FALSE(SerializeModel(bad, &bytes).ok());
+}
+
+TEST(ModelFormatTest, ModelEmissionDoesNotChangeClustering) {
+  GaussianBlobsParams data_params;
+  data_params.n = 500;
+  data_params.dim = 2;
+  data_params.num_clusters = 3;
+  data_params.seed = 5;
+  const Dataset dataset = GenerateGaussianBlobs(data_params);
+  DbsvecParams params;
+  params.epsilon = 5.0;
+  params.min_pts = 8;
+  Clustering without_model;
+  ASSERT_TRUE(RunDbsvec(dataset, params, &without_model).ok());
+  Clustering with_model;
+  DbsvecModel model;
+  ASSERT_TRUE(RunDbsvec(dataset, params, &with_model, &model).ok());
+  EXPECT_EQ(without_model.labels, with_model.labels);
+  EXPECT_EQ(without_model.num_clusters, with_model.num_clusters);
+  EXPECT_EQ(without_model.stats.num_range_queries,
+            with_model.stats.num_range_queries);
+}
+
+}  // namespace
+}  // namespace dbsvec

@@ -1,0 +1,297 @@
+// Assignment-engine semantics: agreement with the training run's ground
+// truth (core points exact, noise exact, border divergence bounded),
+// transform replay, the sphere prefilter's transparency, and error paths.
+
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/clustering.h"
+#include "core/dbsvec.h"
+#include "data/synthetic.h"
+#include "gtest/gtest.h"
+#include "model/dbsvec_model.h"
+#include "serve/assignment_engine.h"
+#include "test_util.h"
+
+namespace dbsvec {
+namespace {
+
+Dataset BlobsDataset(int n, int dim, uint64_t seed) {
+  GaussianBlobsParams params;
+  params.n = n;
+  params.dim = dim;
+  params.num_clusters = 4;
+  params.noise_fraction = 0.03;
+  params.seed = seed;
+  return GenerateGaussianBlobs(params);
+}
+
+/// Fits DBSVEC with point classification on, returning both the training
+/// clustering (the agreement ground truth) and the servable model.
+void FitWithGroundTruth(const Dataset& dataset, double epsilon, int min_pts,
+                        Clustering* out, DbsvecModel* model) {
+  DbsvecParams params;
+  params.epsilon = epsilon;
+  params.min_pts = min_pts;
+  params.classify_points = true;
+  ASSERT_TRUE(RunDbsvec(dataset, params, out, model).ok());
+  ASSERT_GT(model->core_points.size(), 0);
+}
+
+std::unique_ptr<AssignmentEngine> MakeEngine(DbsvecModel model,
+                                             AssignmentOptions options = {}) {
+  std::unique_ptr<AssignmentEngine> engine;
+  EXPECT_TRUE(
+      AssignmentEngine::Create(std::move(model), options, &engine).ok());
+  return engine;
+}
+
+/// Two equidistant cores in different clusters: the tie must break toward
+/// the smaller cluster id regardless of index result order.
+DbsvecModel TieModel() {
+  DbsvecModel model;
+  model.epsilon = 1.5;
+  model.min_pts = 1;
+  model.dim = 2;
+  model.train_size = 2;
+  model.num_clusters = 2;
+  model.train_min = {-1.0, 0.0};
+  model.train_max = {1.0, 0.0};
+  model.core_points = Dataset(2, {1.0, 0.0, -1.0, 0.0});
+  model.core_labels = {1, 0};
+  model.core_is_sv = {1, 1};
+  for (int cluster = 0; cluster < 2; ++cluster) {
+    SubClusterSphere sphere;
+    sphere.cluster = cluster;
+    sphere.center = {cluster == 0 ? -1.0 : 1.0, 0.0};
+    sphere.radius = 0.0;
+    sphere.num_members = 1;
+    model.spheres.push_back(sphere);
+  }
+  return model;
+}
+
+TEST(ServeTest, AgreesWithTrainingGroundTruth) {
+  const Dataset dataset = BlobsDataset(1'500, 3, 29);
+  Clustering truth;
+  DbsvecModel model;
+  FitWithGroundTruth(dataset, 6.0, 15, &truth, &model);
+
+  auto engine = MakeEngine(model);
+  std::vector<int32_t> assigned;
+  ASSERT_TRUE(engine->AssignBatch(dataset, &assigned).ok());
+  ASSERT_EQ(assigned.size(), truth.labels.size());
+
+  int32_t border_total = 0;
+  int32_t border_diverged = 0;
+  for (size_t i = 0; i < assigned.size(); ++i) {
+    switch (truth.point_types[i]) {
+      case PointType::kCore:
+        // Core training points reproduce their label exactly.
+        EXPECT_EQ(assigned[i], truth.labels[i]) << "core point " << i;
+        break;
+      case PointType::kNoise:
+        // Noise is exactly DBSCAN's noise set (Theorem 1), and no core
+        // point lies within ε of it, so assignment must agree.
+        EXPECT_EQ(assigned[i], Clustering::kNoise) << "noise point " << i;
+        break;
+      case PointType::kBorder:
+        // Border points are within ε of some core point, so they can
+        // never become noise; points touching several clusters may land
+        // in a different one than training did.
+        EXPECT_NE(assigned[i], Clustering::kNoise) << "border point " << i;
+        ++border_total;
+        border_diverged += assigned[i] != truth.labels[i] ? 1 : 0;
+        break;
+    }
+  }
+  // Divergence is confined to multi-cluster-contact border points; on
+  // well-separated blobs that is a small minority of the border set.
+  if (border_total > 0) {
+    EXPECT_LE(border_diverged, border_total / 2)
+        << border_diverged << " of " << border_total
+        << " border points diverged";
+  }
+}
+
+TEST(ServeTest, EngineFileRoundTrip) {
+  const Dataset dataset = BlobsDataset(800, 2, 31);
+  Clustering truth;
+  DbsvecModel model;
+  FitWithGroundTruth(dataset, 5.0, 10, &truth, &model);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "dbsvec_serve_rt.dbsvm")
+          .string();
+  ASSERT_TRUE(SaveModel(model, path).ok());
+
+  std::unique_ptr<AssignmentEngine> engine;
+  ASSERT_TRUE(AssignmentEngine::Load(path, {}, &engine).ok());
+  std::remove(path.c_str());
+  EXPECT_TRUE(engine->model() == model);
+
+  std::vector<int32_t> from_file;
+  ASSERT_TRUE(engine->AssignBatch(dataset, &from_file).ok());
+  std::vector<int32_t> from_memory;
+  ASSERT_TRUE(MakeEngine(model)->AssignBatch(dataset, &from_memory).ok());
+  EXPECT_EQ(from_file, from_memory);
+}
+
+TEST(ServeTest, SingleAndBatchedAssignAgree) {
+  const Dataset dataset = BlobsDataset(400, 2, 37);
+  Clustering truth;
+  DbsvecModel model;
+  FitWithGroundTruth(dataset, 5.0, 10, &truth, &model);
+  auto engine = MakeEngine(model);
+
+  const Dataset queries = testing::RandomDataset(200, 2, 120.0, 41);
+  std::vector<int32_t> batched;
+  ASSERT_TRUE(engine->AssignBatch(queries, &batched).ok());
+  for (PointIndex i = 0; i < queries.size(); ++i) {
+    int32_t label = 0;
+    ASSERT_TRUE(engine->Assign(queries.point(i), &label).ok());
+    EXPECT_EQ(label, batched[i]) << "query " << i;
+  }
+}
+
+TEST(ServeTest, PrefilterIsTransparent) {
+  const Dataset dataset = BlobsDataset(600, 3, 43);
+  Clustering truth;
+  DbsvecModel model;
+  FitWithGroundTruth(dataset, 6.0, 12, &truth, &model);
+
+  AssignmentOptions with;
+  with.sphere_prefilter = true;
+  AssignmentOptions without;
+  without.sphere_prefilter = false;
+  auto filtered = MakeEngine(model, with);
+  auto unfiltered = MakeEngine(model, without);
+
+  // Mix of in-range and far-away queries so the filter actually rejects.
+  Dataset queries = testing::RandomDataset(300, 3, 100.0, 47);
+  for (PointIndex i = 0; i < 50; ++i) {
+    queries.Append(std::vector<double>{1e6 + i, -1e6, 5e5});
+  }
+  std::vector<int32_t> a;
+  std::vector<int32_t> b;
+  ASSERT_TRUE(filtered->AssignBatch(queries, &a).ok());
+  ASSERT_TRUE(unfiltered->AssignBatch(queries, &b).ok());
+  EXPECT_EQ(a, b);
+
+  const auto filtered_stats = filtered->stats();
+  const auto unfiltered_stats = unfiltered->stats();
+  EXPECT_GT(filtered_stats.sphere_rejections, 0u);
+  EXPECT_LT(filtered_stats.range_queries, unfiltered_stats.range_queries);
+  EXPECT_EQ(filtered_stats.points_assigned,
+            static_cast<uint64_t>(queries.size()));
+}
+
+TEST(ServeTest, TransformIsReplayedOnQueries) {
+  const Dataset dataset = BlobsDataset(500, 2, 53);
+  Clustering truth;
+  DbsvecModel model;
+  FitWithGroundTruth(dataset, 5.0, 10, &truth, &model);
+
+  // A model whose transform halves every coordinate expects raw queries at
+  // twice the training scale; assignments must match the plain model fed
+  // the training-scale points.
+  DbsvecModel scaled = model;
+  scaled.transform.scale = {0.5, 0.5};
+  scaled.transform.shift = {0.0, 0.0};
+  auto plain = MakeEngine(model);
+  auto halved = MakeEngine(scaled);
+  for (PointIndex i = 0; i < 100; ++i) {
+    const auto p = dataset.point(i);
+    int32_t expected = 0;
+    ASSERT_TRUE(plain->Assign(p, &expected).ok());
+    const std::vector<double> doubled = {2.0 * p[0], 2.0 * p[1]};
+    int32_t actual = 0;
+    ASSERT_TRUE(halved->Assign(doubled, &actual).ok());
+    EXPECT_EQ(actual, expected) << "point " << i;
+  }
+}
+
+TEST(ServeTest, TieBreaksTowardSmallerClusterId) {
+  auto engine = MakeEngine(TieModel());
+  int32_t label = -2;
+  ASSERT_TRUE(engine->Assign(std::vector<double>{0.0, 0.0}, &label).ok());
+  EXPECT_EQ(label, 0);
+  // Off-center queries resolve by distance, not by id.
+  ASSERT_TRUE(engine->Assign(std::vector<double>{0.5, 0.0}, &label).ok());
+  EXPECT_EQ(label, 1);
+  ASSERT_TRUE(engine->Assign(std::vector<double>{-0.5, 0.0}, &label).ok());
+  EXPECT_EQ(label, 0);
+  // Beyond ε of both cores: noise.
+  ASSERT_TRUE(engine->Assign(std::vector<double>{0.0, 9.0}, &label).ok());
+  EXPECT_EQ(label, Clustering::kNoise);
+}
+
+TEST(ServeTest, EmptyCoreSummaryAssignsEverythingNoise) {
+  DbsvecModel model;
+  model.epsilon = 1.0;
+  model.min_pts = 2;
+  model.dim = 2;
+  model.train_size = 0;
+  model.num_clusters = 0;
+  model.core_points = Dataset(2);
+  auto engine = MakeEngine(std::move(model));
+  std::vector<int32_t> labels;
+  ASSERT_TRUE(engine->AssignBatch(testing::RandomDataset(20, 2, 10.0, 59),
+                                  &labels).ok());
+  for (const int32_t label : labels) {
+    EXPECT_EQ(label, Clustering::kNoise);
+  }
+}
+
+TEST(ServeTest, RejectsDimensionMismatch) {
+  auto engine = MakeEngine(TieModel());
+  int32_t label = 0;
+  EXPECT_FALSE(engine->Assign(std::vector<double>{1.0}, &label).ok());
+  EXPECT_FALSE(
+      engine->Assign(std::vector<double>{1.0, 2.0, 3.0}, &label).ok());
+  std::vector<int32_t> labels;
+  EXPECT_FALSE(
+      engine->AssignBatch(Dataset(3, {0.0, 0.0, 0.0}), &labels).ok());
+}
+
+TEST(ServeTest, CreateRejectsInvalidInput) {
+  std::unique_ptr<AssignmentEngine> engine;
+  DbsvecModel invalid = TieModel();
+  invalid.epsilon = -1.0;
+  EXPECT_FALSE(
+      AssignmentEngine::Create(std::move(invalid), {}, &engine).ok());
+  AssignmentOptions bad_grain;
+  bad_grain.batch_grain = 0;
+  EXPECT_FALSE(
+      AssignmentEngine::Create(TieModel(), bad_grain, &engine).ok());
+  EXPECT_FALSE(
+      AssignmentEngine::Load("/nonexistent/never.dbsvm", {}, &engine).ok());
+}
+
+TEST(ServeTest, EveryIndexEngineGivesSameAssignments) {
+  const Dataset dataset = BlobsDataset(600, 2, 61);
+  Clustering truth;
+  DbsvecModel model;
+  FitWithGroundTruth(dataset, 5.0, 10, &truth, &model);
+  const Dataset queries = testing::RandomDataset(200, 2, 120.0, 67);
+
+  std::vector<int32_t> reference;
+  AssignmentOptions brute;
+  brute.index = IndexType::kBruteForce;
+  ASSERT_TRUE(
+      MakeEngine(model, brute)->AssignBatch(queries, &reference).ok());
+  for (const IndexType index : {IndexType::kKdTree, IndexType::kRStarTree,
+                                IndexType::kGrid}) {
+    AssignmentOptions options;
+    options.index = index;
+    std::vector<int32_t> labels;
+    ASSERT_TRUE(
+        MakeEngine(model, options)->AssignBatch(queries, &labels).ok());
+    EXPECT_EQ(labels, reference) << "index " << static_cast<int>(index);
+  }
+}
+
+}  // namespace
+}  // namespace dbsvec

@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
-# CI entry point: Release build + full test suite, then a ThreadSanitizer
-# build running the concurrency-sensitive tests. Run from anywhere; builds
-# land in <repo>/build-ci-{release,tsan}.
+# CI entry point: Release build + full test suite, a ThreadSanitizer build
+# running the concurrency-sensitive tests, and an AddressSanitizer build
+# running the model-format and serving tests (malformed model files must
+# fail with a Status, never with memory errors). Run from anywhere; builds
+# land in <repo>/build-ci-{release,tsan,asan}.
 set -euo pipefail
 
 repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -24,5 +26,17 @@ cmake --build "${repo}/build-ci-tsan" -j "${jobs}" --target dbsvec_tests
 # every parallel section under TSan even on small machines.
 ctest --test-dir "${repo}/build-ci-tsan" --output-on-failure -j "${jobs}" \
   -R 'Determinism|ThreadPool'
+
+echo "=== AddressSanitizer build + model/serving tests ==="
+cmake -S "${repo}" -B "${repo}/build-ci-asan" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DDBSVEC_SANITIZE=address \
+  -DDBSVEC_BUILD_BENCHMARKS=OFF \
+  -DDBSVEC_BUILD_EXAMPLES=OFF >/dev/null
+cmake --build "${repo}/build-ci-asan" -j "${jobs}" --target dbsvec_tests
+# The model tests fuzz truncations and bit flips of the binary format;
+# under ASan any out-of-bounds parse becomes a hard failure.
+ctest --test-dir "${repo}/build-ci-asan" --output-on-failure -j "${jobs}" \
+  -R 'Model|Serve|Cli'
 
 echo "=== CI green ==="

@@ -1,6 +1,7 @@
 // dbsvec_cli — cluster a CSV (or generated demo data) from the command
 // line with any algorithm in the library. Run with --help for usage.
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -12,9 +13,81 @@
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
 #include "eval/recall.h"
+#include "model/dbsvec_model.h"
 
 namespace dbsvec {
 namespace {
+
+/// `fit`: cluster with DBSVEC, persist the model, report its summary.
+int RunFitCommand(const cli::CliOptions& options) {
+  Dataset dataset(1);
+  if (const Status status = cli::LoadInput(options, &dataset);
+      !status.ok()) {
+    std::fprintf(stderr, "input: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  Clustering result;
+  DbsvecModel model;
+  Stopwatch timer;
+  if (const Status status =
+          cli::RunFit(options, &dataset, &result, &model);
+      !status.ok()) {
+    std::fprintf(stderr, "fit: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("fit: DBSVEC on %d points (d=%d), eps=%.4g, MinPts=%d\n",
+              dataset.size(), dataset.dim(), model.epsilon, model.min_pts);
+  std::printf("clusters=%d noise=%d time=%.3fs\n", result.num_clusters,
+              result.CountNoise(), timer.ElapsedSeconds());
+  std::printf("model: core_points=%d (%d core-SVs) spheres=%zu -> %s\n",
+              model.core_points.size(),
+              static_cast<int>(std::count(model.core_is_sv.begin(),
+                                          model.core_is_sv.end(), 1)),
+              model.spheres.size(), options.model_out_path.c_str());
+  if (!options.output_path.empty()) {
+    if (const Status status =
+            WriteCsv(dataset, result.labels, options.output_path);
+        !status.ok()) {
+      std::fprintf(stderr, "output: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("labelled points written to %s\n",
+                options.output_path.c_str());
+  }
+  return 0;
+}
+
+/// `assign`: load a model, stream the input points through it.
+int RunAssignCommand(const cli::CliOptions& options) {
+  Dataset points(1);
+  std::vector<int32_t> labels;
+  Stopwatch timer;
+  if (const Status status = cli::RunAssign(options, &points, &labels);
+      !status.ok()) {
+    std::fprintf(stderr, "assign: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  const double elapsed = timer.ElapsedSeconds();
+  int32_t noise = 0;
+  for (const int32_t label : labels) {
+    noise += label < 0 ? 1 : 0;
+  }
+  std::printf("assign: %d points from %s, noise=%d time=%.3fs "
+              "(%.0f points/s)\n",
+              points.size(), options.input_path.c_str(), noise, elapsed,
+              elapsed > 0.0 ? points.size() / elapsed : 0.0);
+  if (!options.output_path.empty()) {
+    if (const Status status =
+            WriteCsv(points, labels, options.output_path);
+        !status.ok()) {
+      std::fprintf(stderr, "output: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("labelled points written to %s\n",
+                options.output_path.c_str());
+  }
+  return 0;
+}
 
 int Main(int argc, char** argv) {
   std::vector<std::string> args(argv + 1, argv + argc);
@@ -30,6 +103,12 @@ int Main(int argc, char** argv) {
     return 0;
   }
   SetGlobalThreads(options.threads);
+  if (options.command == cli::Command::kFit) {
+    return RunFitCommand(options);
+  }
+  if (options.command == cli::Command::kAssign) {
+    return RunAssignCommand(options);
+  }
 
   Dataset dataset(1);
   if (const Status status = cli::LoadInput(options, &dataset);
