@@ -1,0 +1,248 @@
+// SIMD micro-kernel harness: throughput of the batched primitives
+// (squared-distance and eps-count over SoA blocks) scalar vs AVX2 at
+// d ∈ {2, 8, 32}, plus end-to-end DBSVEC wall time on the Fig. 6
+// random-walk workload with the SIMD dispatch forced off and on. Labels
+// must be bit-identical across backends — the harness fails otherwise.
+//
+// Flags: --points --reps --n --dim --eps --minpts --seed --out
+// Writes BENCH_simd.json next to the text tables.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/dataset.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
+#include "core/dbsvec.h"
+#include "data/synthetic.h"
+#include "simd/simd.h"
+#include "simd/soa_block.h"
+
+namespace dbsvec {
+namespace {
+
+struct PrimitiveRun {
+  std::string primitive;
+  int dim = 0;
+  double scalar_mpts = 0.0;  // Million point-distances per second.
+  double simd_mpts = 0.0;
+  double speedup = 1.0;
+};
+
+Dataset RandomDataset(PointIndex n, int dim, uint64_t seed) {
+  Rng rng(seed);
+  Dataset dataset(dim);
+  dataset.Reserve(n);
+  std::vector<double> p(dim);
+  for (PointIndex i = 0; i < n; ++i) {
+    for (int j = 0; j < dim; ++j) {
+      p[j] = rng.Uniform(0.0, 100.0);
+    }
+    dataset.Append(p);
+  }
+  return dataset;
+}
+
+/// Best-of-`reps` wall time of `body()` (which must consume its result via
+/// the returned checksum so the work cannot be optimized away).
+template <typename Body>
+double BestSeconds(int reps, double* checksum, const Body& body) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    Stopwatch timer;
+    *checksum += body();
+    const double elapsed = timer.ElapsedSeconds();
+    if (elapsed < best) {
+      best = elapsed;
+    }
+  }
+  return best;
+}
+
+double DistancePass(const simd::SoaBlockView& view,
+                    std::span<const double> query, double* d2, int inner) {
+  double sum = 0.0;
+  for (int k = 0; k < inner; ++k) {
+    view.SquaredDistances(query, 0, view.size(), d2);
+    sum += d2[view.size() - 1];
+  }
+  return sum;
+}
+
+double CountPass(const simd::SoaBlockView& view, std::span<const double> query,
+                 double eps_sq, int inner) {
+  size_t total = 0;
+  for (int k = 0; k < inner; ++k) {
+    total += view.CountWithin(query, 0, view.size(), eps_sq);
+  }
+  return static_cast<double>(total);
+}
+
+int Main(int argc, char** argv) {
+  const bench::Args args(argc, argv);
+  const PointIndex points =
+      static_cast<PointIndex>(args.GetInt("points", 4'096));
+  const int reps = static_cast<int>(args.GetInt("reps", 7));
+  const std::string json_path = args.GetString("out", "BENCH_simd.json");
+  const bool have_avx2 = simd::Avx2Available();
+
+  std::printf("simd backends: scalar%s\n", have_avx2 ? ", avx2" : "");
+
+  // --- Primitive throughput, cache-resident blocks -----------------------
+  std::vector<PrimitiveRun> primitives;
+  bench::Table prim_table(
+      {"primitive", "dim", "scalar Mpt/s", "simd Mpt/s", "speedup"});
+  double checksum = 0.0;
+  for (const int dim : {2, 8, 32}) {
+    const Dataset dataset = RandomDataset(points, dim, 1000 + dim);
+    const simd::SoaBlockView view(dataset);
+    std::vector<double> query(dataset.point(0).begin(),
+                              dataset.point(0).end());
+    std::vector<double> d2(view.size());
+    // Scale the inner loop so one timed pass does ~16M point-distances.
+    const int inner = static_cast<int>(16'000'000 / points) + 1;
+    const double total = static_cast<double>(points) * inner;
+
+    // eps_sq near the median distance keeps the count branch honest.
+    view.SquaredDistances(query, 0, view.size(), d2.data());
+    std::vector<double> sorted = d2;
+    std::sort(sorted.begin(), sorted.end());
+    const double eps_sq = sorted[sorted.size() / 2];
+
+    struct Timing {
+      double scalar = 0.0;
+      double simd = 0.0;
+    };
+    Timing dist, count;
+    {
+      simd::ForceBackend(simd::Backend::kScalar);
+      dist.scalar = BestSeconds(reps, &checksum, [&] {
+        return DistancePass(view, query, d2.data(), inner);
+      });
+      count.scalar = BestSeconds(reps, &checksum, [&] {
+        return CountPass(view, query, eps_sq, inner);
+      });
+    }
+    if (have_avx2) {
+      simd::ForceBackend(simd::Backend::kAvx2);
+      dist.simd = BestSeconds(reps, &checksum, [&] {
+        return DistancePass(view, query, d2.data(), inner);
+      });
+      count.simd = BestSeconds(reps, &checksum, [&] {
+        return CountPass(view, query, eps_sq, inner);
+      });
+    }
+
+    const auto add = [&](const char* name, const Timing& t) {
+      PrimitiveRun run;
+      run.primitive = name;
+      run.dim = dim;
+      run.scalar_mpts = total / t.scalar / 1e6;
+      run.simd_mpts = t.simd > 0.0 ? total / t.simd / 1e6 : 0.0;
+      run.speedup = t.simd > 0.0 ? t.scalar / t.simd : 1.0;
+      prim_table.AddRow({run.primitive, std::to_string(dim),
+                         bench::FormatDouble(run.scalar_mpts, 1),
+                         bench::FormatDouble(run.simd_mpts, 1),
+                         bench::FormatDouble(run.speedup, 2)});
+      primitives.push_back(run);
+    };
+    add("squared_distance", dist);
+    add("count_within", count);
+  }
+  prim_table.Print();
+
+  // --- End-to-end DBSVEC on the Fig. 6 workload --------------------------
+  RandomWalkParams data;
+  data.n = static_cast<PointIndex>(args.GetInt("n", 100'000));
+  data.dim = static_cast<int>(args.GetInt("dim", 8));
+  data.seed = static_cast<uint64_t>(args.GetInt("seed", 23));
+  DbsvecParams params;
+  params.epsilon = args.GetDouble("eps", 5'000.0);
+  params.min_pts = static_cast<int>(args.GetInt("minpts", 100));
+
+  std::printf("generating random-walk workload: n=%d dim=%d seed=%llu\n",
+              data.n, data.dim, static_cast<unsigned long long>(data.seed));
+  const Dataset dataset = GenerateRandomWalk(data);
+
+  double scalar_seconds = 0.0;
+  double simd_seconds = 0.0;
+  bool labels_match = true;
+  std::vector<int32_t> scalar_labels;
+  bench::Table e2e_table({"backend", "seconds", "speedup", "match"});
+  {
+    simd::ForceBackend(simd::Backend::kScalar);
+    Clustering result;
+    Stopwatch timer;
+    const Status status = RunDbsvec(dataset, params, &result);
+    scalar_seconds = timer.ElapsedSeconds();
+    if (!status.ok()) {
+      std::fprintf(stderr, "dbsvec(scalar): %s\n", status.ToString().c_str());
+      return 1;
+    }
+    scalar_labels = std::move(result.labels);
+    e2e_table.AddRow({"scalar", bench::FormatSeconds(scalar_seconds), "1.00",
+                      "yes"});
+  }
+  if (have_avx2) {
+    simd::ForceBackend(simd::Backend::kAvx2);
+    Clustering result;
+    Stopwatch timer;
+    const Status status = RunDbsvec(dataset, params, &result);
+    simd_seconds = timer.ElapsedSeconds();
+    if (!status.ok()) {
+      std::fprintf(stderr, "dbsvec(avx2): %s\n", status.ToString().c_str());
+      return 1;
+    }
+    labels_match = result.labels == scalar_labels;
+    e2e_table.AddRow({"avx2", bench::FormatSeconds(simd_seconds),
+                      bench::FormatDouble(scalar_seconds / simd_seconds, 2),
+                      labels_match ? "yes" : "NO"});
+  }
+  e2e_table.Print();
+
+  std::ofstream json(json_path);
+  json << "{\n"
+       << "  \"avx2_available\": " << (have_avx2 ? "true" : "false") << ",\n"
+       << "  \"primitive_points\": " << points << ",\n"
+       << "  \"primitives\": [\n";
+  for (size_t i = 0; i < primitives.size(); ++i) {
+    const PrimitiveRun& run = primitives[i];
+    json << "    {\"primitive\": \"" << run.primitive
+         << "\", \"dim\": " << run.dim << ", \"scalar_mpts\": "
+         << run.scalar_mpts << ", \"simd_mpts\": " << run.simd_mpts
+         << ", \"speedup\": " << run.speedup << "}"
+         << (i + 1 < primitives.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n"
+       << "  \"end_to_end\": {\"workload\": {\"generator\": \"random_walk\", "
+       << "\"n\": " << data.n << ", \"dim\": " << data.dim
+       << ", \"eps\": " << params.epsilon << ", \"minpts\": "
+       << params.min_pts << ", \"seed\": " << data.seed << "},\n"
+       << "    \"scalar_seconds\": " << scalar_seconds
+       << ", \"simd_seconds\": " << simd_seconds << ", \"speedup\": "
+       << (simd_seconds > 0.0 ? scalar_seconds / simd_seconds : 1.0)
+       << ", \"labels_match\": " << (labels_match ? "true" : "false")
+       << "}\n}\n";
+  std::printf("[json written to %s] (checksum %.3g)\n", json_path.c_str(),
+              checksum);
+
+  if (!labels_match) {
+    std::fprintf(stderr,
+                 "FAIL: labels diverged between scalar and AVX2 backends — "
+                 "the determinism contract is broken\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace dbsvec
+
+int main(int argc, char** argv) { return dbsvec::Main(argc, argv); }

@@ -5,19 +5,15 @@
 
 #include "common/rng.h"
 #include "common/stopwatch.h"
+#include "simd/distance.h"
 
 namespace dbsvec {
 namespace {
 
 double DistanceToCentroid(const Dataset& dataset, PointIndex i,
                           const double* centroid, int dim) {
-  const auto p = dataset.point(i);
-  double sum = 0.0;
-  for (int j = 0; j < dim; ++j) {
-    const double diff = p[j] - centroid[j];
-    sum += diff * diff;
-  }
-  return sum;
+  return simd::SquaredDistance(dataset.point(i).data(), centroid,
+                               static_cast<size_t>(dim));
 }
 
 }  // namespace

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "simd/distance.h"
+
 namespace dbsvec {
 
 Dataset::Dataset(int dim, std::vector<double> values)
@@ -20,33 +22,18 @@ void Dataset::Append(std::span<const double> coords) {
 double Dataset::SquaredDistance(PointIndex i, PointIndex j) const {
   const double* a = data_.data() + static_cast<size_t>(i) * dim_;
   const double* b = data_.data() + static_cast<size_t>(j) * dim_;
-  double sum = 0.0;
-  for (int k = 0; k < dim_; ++k) {
-    const double diff = a[k] - b[k];
-    sum += diff * diff;
-  }
-  return sum;
+  return simd::SquaredDistance(a, b, static_cast<size_t>(dim_));
 }
 
 double Dataset::SquaredDistanceTo(PointIndex i,
                                   std::span<const double> q) const {
   const double* a = data_.data() + static_cast<size_t>(i) * dim_;
-  double sum = 0.0;
-  for (int k = 0; k < dim_; ++k) {
-    const double diff = a[k] - q[k];
-    sum += diff * diff;
-  }
-  return sum;
+  return simd::SquaredDistance(a, q.data(), static_cast<size_t>(dim_));
 }
 
 double SquaredDistance(std::span<const double> a, std::span<const double> b) {
   assert(a.size() == b.size());
-  double sum = 0.0;
-  for (size_t k = 0; k < a.size(); ++k) {
-    const double diff = a[k] - b[k];
-    sum += diff * diff;
-  }
-  return sum;
+  return simd::SquaredDistance(a, b);
 }
 
 }  // namespace dbsvec

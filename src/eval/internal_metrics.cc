@@ -6,6 +6,8 @@
 #include <unordered_map>
 
 #include "common/rng.h"
+#include "simd/simd.h"
+#include "simd/soa_block.h"
 
 namespace dbsvec {
 namespace {
@@ -65,16 +67,31 @@ double Compactness(const Dataset& dataset,
     ++cluster_size[dense[i]];
   }
 
+  // SoA view over the members so the O(|evaluated|·|members|) distance
+  // pass runs through the batched micro-kernels; accumulation stays in
+  // member order (chunked only in the buffer), so the sums are
+  // bit-identical to the pointwise loop.
+  const simd::SoaBlockView member_view(dataset, members);
+  constexpr size_t kChunk = 2048;
+  simd::ScratchLease scratch(std::min(members.size(), kChunk));
+  double* d2 = scratch.data();
+
   double total = 0.0;
   int64_t counted = 0;
   std::vector<double> dist_sum(k);
   for (const PointIndex i : evaluated) {
     std::fill(dist_sum.begin(), dist_sum.end(), 0.0);
-    for (const PointIndex j : members) {
-      if (j == i) {
-        continue;
+    const auto query = dataset.point(i);
+    for (size_t begin = 0; begin < members.size(); begin += kChunk) {
+      const size_t end = std::min(members.size(), begin + kChunk);
+      member_view.SquaredDistances(query, begin, end, d2);
+      for (size_t p = begin; p < end; ++p) {
+        const PointIndex j = members[p];
+        if (j == i) {
+          continue;
+        }
+        dist_sum[dense[j]] += std::sqrt(d2[p - begin]);
       }
-      dist_sum[dense[j]] += std::sqrt(dataset.SquaredDistance(i, j));
     }
     const int32_t own = dense[i];
     if (cluster_size[own] < 2) {

@@ -1,35 +1,56 @@
 #include "index/brute_force_index.h"
 
+#include <algorithm>
+
 namespace dbsvec {
+
+template <typename Visitor>
+void BruteForceIndex::Scan(std::span<const double> query, double eps_sq,
+                           Visitor&& visit) const {
+  const size_t n = view_.size();
+  simd::ScratchLease scratch(std::min(n, kScanChunk));
+  double* d2 = scratch.data();
+  for (size_t begin = 0; begin < n; begin += kScanChunk) {
+    const size_t end = std::min(n, begin + kScanChunk);
+    view_.SquaredDistances(query, begin, end, d2);
+    for (size_t i = begin; i < end; ++i) {
+      const double dist_sq = d2[i - begin];
+      if (dist_sq <= eps_sq) {
+        visit(static_cast<PointIndex>(i), dist_sq);
+      }
+    }
+  }
+}
 
 void BruteForceIndex::RangeQuery(std::span<const double> query,
                                  double epsilon,
                                  std::vector<PointIndex>* out) const {
   out->clear();
   CountRangeQuery();
-  const double eps_sq = epsilon * epsilon;
-  const PointIndex n = dataset_.size();
-  CountDistanceComputations(static_cast<uint64_t>(n));
-  for (PointIndex i = 0; i < n; ++i) {
-    if (dataset_.SquaredDistanceTo(i, query) <= eps_sq) {
-      out->push_back(i);
-    }
-  }
+  CountDistanceComputations(static_cast<uint64_t>(dataset_.size()));
+  Scan(query, epsilon * epsilon,
+       [out](PointIndex i, double) { out->push_back(i); });
+}
+
+void BruteForceIndex::RangeQueryWithDistances(
+    std::span<const double> query, double epsilon,
+    std::vector<PointIndex>* out, std::vector<double>* dist_sq) const {
+  out->clear();
+  dist_sq->clear();
+  CountRangeQuery();
+  CountDistanceComputations(static_cast<uint64_t>(dataset_.size()));
+  Scan(query, epsilon * epsilon, [out, dist_sq](PointIndex i, double d2) {
+    out->push_back(i);
+    dist_sq->push_back(d2);
+  });
 }
 
 PointIndex BruteForceIndex::RangeCount(std::span<const double> query,
                                        double epsilon) const {
   CountRangeQuery();
-  const double eps_sq = epsilon * epsilon;
-  const PointIndex n = dataset_.size();
-  CountDistanceComputations(static_cast<uint64_t>(n));
-  PointIndex count = 0;
-  for (PointIndex i = 0; i < n; ++i) {
-    if (dataset_.SquaredDistanceTo(i, query) <= eps_sq) {
-      ++count;
-    }
-  }
-  return count;
+  CountDistanceComputations(static_cast<uint64_t>(dataset_.size()));
+  return static_cast<PointIndex>(
+      view_.CountWithin(query, 0, view_.size(), epsilon * epsilon));
 }
 
 }  // namespace dbsvec

@@ -5,6 +5,8 @@
 #include <limits>
 #include <numeric>
 
+#include "simd/distance.h"
+
 namespace dbsvec {
 
 DynamicRStarTree::DynamicRStarTree(const Dataset& dataset)
@@ -433,16 +435,8 @@ void DynamicRStarTree::RangeQuery(std::span<const double> query,
     const Node& node = nodes_[stack.back()];
     stack.pop_back();
     // Min squared distance from the query to the node MBR.
-    double min_sq = 0.0;
-    for (size_t j = 0; j < query.size(); ++j) {
-      double diff = 0.0;
-      if (query[j] < node.mbr_min[j]) {
-        diff = node.mbr_min[j] - query[j];
-      } else if (query[j] > node.mbr_max[j]) {
-        diff = query[j] - node.mbr_max[j];
-      }
-      min_sq += diff * diff;
-    }
+    const double min_sq = simd::BoxSquaredDistance(
+        query.data(), node.mbr_min.data(), node.mbr_max.data(), query.size());
     if (min_sq > eps_sq) {
       continue;
     }

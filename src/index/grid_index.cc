@@ -10,31 +10,49 @@ GridIndex::GridIndex(const Dataset& dataset, double cell_width)
     : NeighborIndex(dataset), cell_width_(cell_width) {
   const size_t n = static_cast<size_t>(dataset.size());
   constexpr size_t kParallelGrain = 4096;
+  std::unordered_map<std::vector<int32_t>, std::vector<PointIndex>, CellHash>
+      binned;
   const size_t chunks = ParallelChunks(n, kParallelGrain);
   if (chunks <= 1) {
     for (PointIndex i = 0; i < dataset.size(); ++i) {
-      cells_[CellOf(dataset.point(i))].push_back(i);
+      binned[CellOf(dataset.point(i))].push_back(i);
     }
-    return;
-  }
-  // Bin contiguous chunks into per-chunk maps, then fold them in chunk
-  // order: every cell vector ends up in ascending point order, exactly as
-  // the sequential loop produces, for any chunk count.
-  std::vector<CellMap> partial(chunks);
-  ParallelForChunked(n, kParallelGrain,
-                     [&](size_t chunk, size_t begin, size_t end) {
-                       CellMap& local = partial[chunk];
-                       for (size_t i = begin; i < end; ++i) {
-                         const PointIndex p = static_cast<PointIndex>(i);
-                         local[CellOf(dataset.point(p))].push_back(p);
-                       }
-                     });
-  for (CellMap& local : partial) {
-    for (auto& [key, points] : local) {
-      std::vector<PointIndex>& cell = cells_[key];
-      cell.insert(cell.end(), points.begin(), points.end());
+  } else {
+    // Bin contiguous chunks into per-chunk maps, then fold them in chunk
+    // order: every cell vector ends up in ascending point order, exactly
+    // as the sequential loop produces, for any chunk count.
+    std::vector<
+        std::unordered_map<std::vector<int32_t>, std::vector<PointIndex>,
+                           CellHash>>
+        partial(chunks);
+    ParallelForChunked(n, kParallelGrain,
+                       [&](size_t chunk, size_t begin, size_t end) {
+                         auto& local = partial[chunk];
+                         for (size_t i = begin; i < end; ++i) {
+                           const PointIndex p = static_cast<PointIndex>(i);
+                           local[CellOf(dataset.point(p))].push_back(p);
+                         }
+                       });
+    for (auto& local : partial) {
+      for (auto& [key, points] : local) {
+        std::vector<PointIndex>& cell = binned[key];
+        cell.insert(cell.end(), points.begin(), points.end());
+      }
     }
   }
+  // Flatten each cell into a contiguous range of cell_order_ so leaf scans
+  // run on the batched SoA view. Per-cell member order is preserved, so
+  // query result order is unchanged.
+  cell_order_.reserve(n);
+  cells_.reserve(binned.size());
+  for (auto& [key, points] : binned) {
+    CellRange range;
+    range.begin = static_cast<uint32_t>(cell_order_.size());
+    cell_order_.insert(cell_order_.end(), points.begin(), points.end());
+    range.end = static_cast<uint32_t>(cell_order_.size());
+    cells_.emplace(key, range);
+  }
+  view_ = simd::SoaBlockView(dataset, cell_order_);
 }
 
 std::vector<int32_t> GridIndex::CellOf(std::span<const double> p) const {
@@ -45,11 +63,9 @@ std::vector<int32_t> GridIndex::CellOf(std::span<const double> p) const {
   return key;
 }
 
-void GridIndex::RangeQuery(std::span<const double> query, double epsilon,
-                           std::vector<PointIndex>* out) const {
-  out->clear();
-  CountRangeQuery();
-  const double eps_sq = epsilon * epsilon;
+template <typename CellVisitor>
+void GridIndex::VisitCells(std::span<const double> query,
+                           CellVisitor&& visit) const {
   const int dim = dataset_.dim();
   const std::vector<int32_t> center = CellOf(query);
   // Enumerate the 3^d neighborhood with an odometer over per-dimension
@@ -62,12 +78,7 @@ void GridIndex::RangeQuery(std::span<const double> query, double epsilon,
     }
     const auto it = cells_.find(key);
     if (it != cells_.end()) {
-      CountDistanceComputations(it->second.size());
-      for (const PointIndex i : it->second) {
-        if (dataset_.SquaredDistanceTo(i, query) <= eps_sq) {
-          out->push_back(i);
-        }
-      }
+      visit(it->second);
     }
     // Advance the odometer.
     int j = 0;
@@ -80,6 +91,62 @@ void GridIndex::RangeQuery(std::span<const double> query, double epsilon,
     }
     ++offset[j];
   }
+}
+
+void GridIndex::RangeQuery(std::span<const double> query, double epsilon,
+                           std::vector<PointIndex>* out) const {
+  out->clear();
+  CountRangeQuery();
+  const double eps_sq = epsilon * epsilon;
+  VisitCells(query, [&](const CellRange& cell) {
+    const size_t count = cell.end - cell.begin;
+    CountDistanceComputations(count);
+    simd::ScratchLease scratch(count);
+    double* d2 = scratch.data();
+    view_.SquaredDistances(query, cell.begin, cell.end, d2);
+    for (size_t k = cell.begin; k < cell.end; ++k) {
+      if (d2[k - cell.begin] <= eps_sq) {
+        out->push_back(cell_order_[k]);
+      }
+    }
+  });
+}
+
+void GridIndex::RangeQueryWithDistances(std::span<const double> query,
+                                        double epsilon,
+                                        std::vector<PointIndex>* out,
+                                        std::vector<double>* dist_sq) const {
+  out->clear();
+  dist_sq->clear();
+  CountRangeQuery();
+  const double eps_sq = epsilon * epsilon;
+  VisitCells(query, [&](const CellRange& cell) {
+    const size_t count = cell.end - cell.begin;
+    CountDistanceComputations(count);
+    simd::ScratchLease scratch(count);
+    double* d2 = scratch.data();
+    view_.SquaredDistances(query, cell.begin, cell.end, d2);
+    for (size_t k = cell.begin; k < cell.end; ++k) {
+      const double dist = d2[k - cell.begin];
+      if (dist <= eps_sq) {
+        out->push_back(cell_order_[k]);
+        dist_sq->push_back(dist);
+      }
+    }
+  });
+}
+
+PointIndex GridIndex::RangeCount(std::span<const double> query,
+                                 double epsilon) const {
+  CountRangeQuery();
+  const double eps_sq = epsilon * epsilon;
+  PointIndex count = 0;
+  VisitCells(query, [&](const CellRange& cell) {
+    CountDistanceComputations(cell.end - cell.begin);
+    count += static_cast<PointIndex>(
+        view_.CountWithin(query, cell.begin, cell.end, eps_sq));
+  });
+  return count;
 }
 
 }  // namespace dbsvec

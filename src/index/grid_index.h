@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "index/neighbor_index.h"
+#include "simd/soa_block.h"
 
 namespace dbsvec {
 
@@ -15,6 +16,10 @@ namespace dbsvec {
 /// cells. Effective in low dimensions only — the per-query cell count grows
 /// exponentially with d, which is exactly the weakness of grid-based
 /// DBSCAN approximations that the paper's Fig. 6b measures.
+///
+/// Cell membership is stored as contiguous ranges of one flat point
+/// permutation (`cell_order_`), mirrored by a structure-of-arrays view, so
+/// each visited cell is scanned with the batched SIMD distance primitives.
 class GridIndex final : public NeighborIndex {
  public:
   /// `cell_width` must be >= the largest epsilon this index will be queried
@@ -23,6 +28,11 @@ class GridIndex final : public NeighborIndex {
 
   void RangeQuery(std::span<const double> query, double epsilon,
                   std::vector<PointIndex>* out) const override;
+  void RangeQueryWithDistances(std::span<const double> query, double epsilon,
+                               std::vector<PointIndex>* out,
+                               std::vector<double>* dist_sq) const override;
+  PointIndex RangeCount(std::span<const double> query,
+                        double epsilon) const override;
 
   /// Cell width the index was built with.
   double cell_width() const { return cell_width_; }
@@ -41,14 +51,30 @@ class GridIndex final : public NeighborIndex {
     }
   };
 
+  /// Interval [begin, end) into cell_order_.
+  struct CellRange {
+    uint32_t begin = 0;
+    uint32_t end = 0;
+  };
+
   using CellMap =
-      std::unordered_map<std::vector<int32_t>, std::vector<PointIndex>,
-                         CellHash>;
+      std::unordered_map<std::vector<int32_t>, CellRange, CellHash>;
 
   std::vector<int32_t> CellOf(std::span<const double> p) const;
 
+  /// Calls visit(range) for every non-empty cell in the 3^d neighborhood
+  /// of `query`'s cell, in odometer order.
+  template <typename CellVisitor>
+  void VisitCells(std::span<const double> query,
+                  CellVisitor&& visit) const;
+
   double cell_width_;
   CellMap cells_;
+  /// Points grouped by cell; each cell's members keep ascending point
+  /// order, exactly as the pre-flattening per-cell vectors did.
+  std::vector<PointIndex> cell_order_;
+  /// SoA copy of the dataset permuted by cell_order_ (cell-contiguous).
+  simd::SoaBlockView view_;
 };
 
 }  // namespace dbsvec

@@ -7,6 +7,7 @@
 #include <limits>
 
 #include "common/thread_pool.h"
+#include "simd/distance.h"
 
 namespace dbsvec {
 
@@ -25,6 +26,9 @@ KdTree::KdTree(const Dataset& dataset) : NeighborIndex(dataset) {
   } else {
     root_ = Build(0, n, 0, &nodes_, nullptr);
   }
+  // Leaf-order SoA copy for batched leaf scans; built once the order_
+  // permutation is final.
+  view_ = simd::SoaBlockView(dataset, order_);
 }
 
 void KdTree::BuildParallel(PointIndex n) {
@@ -160,17 +164,8 @@ int32_t KdTree::Build(PointIndex begin, PointIndex end, int fork_depth,
 
 double KdTree::BboxSquaredDistance(const Node& node,
                                    std::span<const double> query) const {
-  double sum = 0.0;
-  for (size_t j = 0; j < query.size(); ++j) {
-    double diff = 0.0;
-    if (query[j] < node.bbox_min[j]) {
-      diff = node.bbox_min[j] - query[j];
-    } else if (query[j] > node.bbox_max[j]) {
-      diff = query[j] - node.bbox_max[j];
-    }
-    sum += diff * diff;
-  }
-  return sum;
+  return simd::BoxSquaredDistance(query.data(), node.bbox_min.data(),
+                                  node.bbox_max.data(), query.size());
 }
 
 template <typename Visitor>
@@ -181,18 +176,39 @@ void KdTree::Visit(int32_t node_id, std::span<const double> query,
     return;
   }
   if (node.split_dim < 0) {
-    CountDistanceComputations(
-        static_cast<uint64_t>(node.end - node.begin));
+    const size_t count = static_cast<size_t>(node.end - node.begin);
+    CountDistanceComputations(count);
+    simd::ScratchLease scratch(count);
+    double* d2 = scratch.data();
+    view_.SquaredDistances(query, static_cast<size_t>(node.begin),
+                           static_cast<size_t>(node.end), d2);
     for (PointIndex k = node.begin; k < node.end; ++k) {
-      const PointIndex i = order_[k];
-      if (dataset_.SquaredDistanceTo(i, query) <= eps_sq) {
-        visit(i);
+      const double dist_sq = d2[k - node.begin];
+      if (dist_sq <= eps_sq) {
+        visit(order_[k], dist_sq);
       }
     }
     return;
   }
   Visit(node.left, query, eps_sq, visit);
   Visit(node.right, query, eps_sq, visit);
+}
+
+PointIndex KdTree::CountVisit(int32_t node_id, std::span<const double> query,
+                              double eps_sq) const {
+  const Node& node = nodes_[node_id];
+  if (BboxSquaredDistance(node, query) > eps_sq) {
+    return 0;
+  }
+  if (node.split_dim < 0) {
+    CountDistanceComputations(
+        static_cast<uint64_t>(node.end - node.begin));
+    return static_cast<PointIndex>(
+        view_.CountWithin(query, static_cast<size_t>(node.begin),
+                          static_cast<size_t>(node.end), eps_sq));
+  }
+  return CountVisit(node.left, query, eps_sq) +
+         CountVisit(node.right, query, eps_sq);
 }
 
 void KdTree::RangeQuery(std::span<const double> query, double epsilon,
@@ -203,7 +219,24 @@ void KdTree::RangeQuery(std::span<const double> query, double epsilon,
     return;
   }
   Visit(root_, query, epsilon * epsilon,
-        [out](PointIndex i) { out->push_back(i); });
+        [out](PointIndex i, double) { out->push_back(i); });
+}
+
+void KdTree::RangeQueryWithDistances(std::span<const double> query,
+                                     double epsilon,
+                                     std::vector<PointIndex>* out,
+                                     std::vector<double>* dist_sq) const {
+  out->clear();
+  dist_sq->clear();
+  CountRangeQuery();
+  if (root_ < 0) {
+    return;
+  }
+  Visit(root_, query, epsilon * epsilon,
+        [out, dist_sq](PointIndex i, double d2) {
+          out->push_back(i);
+          dist_sq->push_back(d2);
+        });
 }
 
 namespace {
@@ -263,11 +296,14 @@ void KdTree::KnnQuery(std::span<const double> query, int k,
       continue;
     }
     if (node.split_dim < 0) {
-      CountDistanceComputations(
-          static_cast<uint64_t>(node.end - node.begin));
+      const size_t count = static_cast<size_t>(node.end - node.begin);
+      CountDistanceComputations(count);
+      simd::ScratchLease scratch(count);
+      double* d2 = scratch.data();
+      view_.SquaredDistances(query, static_cast<size_t>(node.begin),
+                             static_cast<size_t>(node.end), d2);
       for (PointIndex p = node.begin; p < node.end; ++p) {
-        const PointIndex i = order_[p];
-        heap.Offer(dataset_.SquaredDistanceTo(i, query), i);
+        heap.Offer(d2[p - node.begin], order_[p]);
       }
       continue;
     }
@@ -285,10 +321,7 @@ PointIndex KdTree::RangeCount(std::span<const double> query,
   if (root_ < 0) {
     return 0;
   }
-  PointIndex count = 0;
-  Visit(root_, query, epsilon * epsilon,
-        [&count](PointIndex) { ++count; });
-  return count;
+  return CountVisit(root_, query, epsilon * epsilon);
 }
 
 }  // namespace dbsvec

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "index/neighbor_index.h"
+#include "simd/soa_block.h"
 
 namespace dbsvec {
 
@@ -21,6 +22,9 @@ class KdTree final : public NeighborIndex {
 
   void RangeQuery(std::span<const double> query, double epsilon,
                   std::vector<PointIndex>* out) const override;
+  void RangeQueryWithDistances(std::span<const double> query, double epsilon,
+                               std::vector<PointIndex>* out,
+                               std::vector<double>* dist_sq) const override;
   PointIndex RangeCount(std::span<const double> query,
                         double epsilon) const override;
 
@@ -71,13 +75,22 @@ class KdTree final : public NeighborIndex {
   void BuildParallel(PointIndex n);
   double BboxSquaredDistance(const Node& node,
                              std::span<const double> query) const;
+  /// Recursive range traversal; leaves are scanned as SoA blocks and the
+  /// visitor receives (point index, squared distance) for every hit.
   template <typename Visitor>
   void Visit(int32_t node_id, std::span<const double> query, double eps_sq,
              Visitor&& visit) const;
+  /// Counting-only traversal: leaves go through the batched
+  /// CountWithinEps primitive, never materializing distances.
+  PointIndex CountVisit(int32_t node_id, std::span<const double> query,
+                        double eps_sq) const;
 
   std::vector<PointIndex> order_;  // Permutation of 0..n-1 grouped by leaf.
   std::vector<Node> nodes_;
   int32_t root_ = -1;
+  /// SoA copy of the dataset permuted by order_, so every leaf's interval
+  /// [begin, end) is a contiguous position range for the batched kernels.
+  simd::SoaBlockView view_;
 };
 
 }  // namespace dbsvec

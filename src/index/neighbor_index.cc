@@ -16,6 +16,17 @@ PointIndex NeighborIndex::RangeCount(std::span<const double> query,
   return static_cast<PointIndex>(scratch.size());
 }
 
+void NeighborIndex::RangeQueryWithDistances(
+    std::span<const double> query, double epsilon,
+    std::vector<PointIndex>* out, std::vector<double>* dist_sq) const {
+  RangeQuery(query, epsilon, out);
+  dist_sq->clear();
+  dist_sq->reserve(out->size());
+  for (const PointIndex i : *out) {
+    dist_sq->push_back(dataset_.SquaredDistanceTo(i, query));
+  }
+}
+
 std::unique_ptr<NeighborIndex> CreateIndex(IndexType type,
                                            const Dataset& dataset,
                                            double epsilon_hint) {

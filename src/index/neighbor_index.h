@@ -82,6 +82,17 @@ class NeighborIndex {
     RangeQuery(dataset_.point(i), epsilon, out);
   }
 
+  /// Like RangeQuery, but also returns each result's squared distance to
+  /// the query in `*dist_sq` (parallel to `*out`; both cleared first). The
+  /// batched engines fill the distances from the leaf-scan batch they
+  /// already computed, so serving-time consumers (nearest-core lookup in
+  /// AssignmentEngine) avoid a second distance pass. The default
+  /// implementation recomputes them after a plain RangeQuery.
+  virtual void RangeQueryWithDistances(std::span<const double> query,
+                                       double epsilon,
+                                       std::vector<PointIndex>* out,
+                                       std::vector<double>* dist_sq) const;
+
   /// Number of points within `epsilon` of `query`. The default
   /// implementation materializes the result set; subclasses may override
   /// with a counting-only traversal.

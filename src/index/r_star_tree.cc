@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/thread_pool.h"
+#include "simd/distance.h"
 
 namespace dbsvec {
 
@@ -36,6 +37,8 @@ RStarTree::RStarTree(const Dataset& dataset) : NeighborIndex(dataset) {
     level = std::move(next);
   }
   root_ = level.front();
+  // Leaf-order SoA copy for batched leaf scans; order_ is final here.
+  view_ = simd::SoaBlockView(dataset, order_);
 }
 
 void RStarTree::TileAndPack(PointIndex begin, PointIndex end, int dim,
@@ -148,17 +151,8 @@ int32_t RStarTree::PackLevel(const std::vector<int32_t>& level) {
 
 double RStarTree::MbrSquaredDistance(const Node& node,
                                      std::span<const double> query) const {
-  double sum = 0.0;
-  for (size_t j = 0; j < query.size(); ++j) {
-    double diff = 0.0;
-    if (query[j] < node.mbr_min[j]) {
-      diff = node.mbr_min[j] - query[j];
-    } else if (query[j] > node.mbr_max[j]) {
-      diff = query[j] - node.mbr_max[j];
-    }
-    sum += diff * diff;
-  }
-  return sum;
+  return simd::BoxSquaredDistance(query.data(), node.mbr_min.data(),
+                                  node.mbr_max.data(), query.size());
 }
 
 template <typename Visitor>
@@ -169,12 +163,16 @@ void RStarTree::Visit(int32_t node_id, std::span<const double> query,
     return;
   }
   if (node.is_leaf) {
-    CountDistanceComputations(
-        static_cast<uint64_t>(node.end - node.begin));
+    const size_t count = static_cast<size_t>(node.end - node.begin);
+    CountDistanceComputations(count);
+    simd::ScratchLease scratch(count);
+    double* d2 = scratch.data();
+    view_.SquaredDistances(query, static_cast<size_t>(node.begin),
+                           static_cast<size_t>(node.end), d2);
     for (PointIndex k = node.begin; k < node.end; ++k) {
-      const PointIndex i = order_[k];
-      if (dataset_.SquaredDistanceTo(i, query) <= eps_sq) {
-        visit(i);
+      const double dist_sq = d2[k - node.begin];
+      if (dist_sq <= eps_sq) {
+        visit(order_[k], dist_sq);
       }
     }
     return;
@@ -182,6 +180,27 @@ void RStarTree::Visit(int32_t node_id, std::span<const double> query,
   for (const int32_t child : node.children) {
     Visit(child, query, eps_sq, visit);
   }
+}
+
+PointIndex RStarTree::CountVisit(int32_t node_id,
+                                 std::span<const double> query,
+                                 double eps_sq) const {
+  const Node& node = nodes_[node_id];
+  if (MbrSquaredDistance(node, query) > eps_sq) {
+    return 0;
+  }
+  if (node.is_leaf) {
+    CountDistanceComputations(
+        static_cast<uint64_t>(node.end - node.begin));
+    return static_cast<PointIndex>(
+        view_.CountWithin(query, static_cast<size_t>(node.begin),
+                          static_cast<size_t>(node.end), eps_sq));
+  }
+  PointIndex count = 0;
+  for (const int32_t child : node.children) {
+    count += CountVisit(child, query, eps_sq);
+  }
+  return count;
 }
 
 void RStarTree::RangeQuery(std::span<const double> query, double epsilon,
@@ -192,7 +211,24 @@ void RStarTree::RangeQuery(std::span<const double> query, double epsilon,
     return;
   }
   Visit(root_, query, epsilon * epsilon,
-        [out](PointIndex i) { out->push_back(i); });
+        [out](PointIndex i, double) { out->push_back(i); });
+}
+
+void RStarTree::RangeQueryWithDistances(std::span<const double> query,
+                                        double epsilon,
+                                        std::vector<PointIndex>* out,
+                                        std::vector<double>* dist_sq) const {
+  out->clear();
+  dist_sq->clear();
+  CountRangeQuery();
+  if (root_ < 0) {
+    return;
+  }
+  Visit(root_, query, epsilon * epsilon,
+        [out, dist_sq](PointIndex i, double d2) {
+          out->push_back(i);
+          dist_sq->push_back(d2);
+        });
 }
 
 PointIndex RStarTree::RangeCount(std::span<const double> query,
@@ -201,10 +237,7 @@ PointIndex RStarTree::RangeCount(std::span<const double> query,
   if (root_ < 0) {
     return 0;
   }
-  PointIndex count = 0;
-  Visit(root_, query, epsilon * epsilon,
-        [&count](PointIndex) { ++count; });
-  return count;
+  return CountVisit(root_, query, epsilon * epsilon);
 }
 
 }  // namespace dbsvec

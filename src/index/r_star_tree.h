@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "index/neighbor_index.h"
+#include "simd/soa_block.h"
 
 namespace dbsvec {
 
@@ -22,6 +23,9 @@ class RStarTree final : public NeighborIndex {
 
   void RangeQuery(std::span<const double> query, double epsilon,
                   std::vector<PointIndex>* out) const override;
+  void RangeQueryWithDistances(std::span<const double> query, double epsilon,
+                               std::vector<PointIndex>* out,
+                               std::vector<double>* dist_sq) const override;
   PointIndex RangeCount(std::span<const double> query,
                         double epsilon) const override;
 
@@ -56,13 +60,20 @@ class RStarTree final : public NeighborIndex {
   int32_t PackLevel(const std::vector<int32_t>& level);
   double MbrSquaredDistance(const Node& node,
                             std::span<const double> query) const;
+  /// Recursive range traversal; leaves are scanned as SoA blocks and the
+  /// visitor receives (point index, squared distance) for every hit.
   template <typename Visitor>
   void Visit(int32_t node_id, std::span<const double> query, double eps_sq,
              Visitor&& visit) const;
+  /// Counting-only traversal through the batched CountWithinEps primitive.
+  PointIndex CountVisit(int32_t node_id, std::span<const double> query,
+                        double eps_sq) const;
 
   std::vector<PointIndex> order_;
   std::vector<Node> nodes_;
   int32_t root_ = -1;
+  /// SoA copy of the dataset permuted by order_ (leaf-contiguous).
+  simd::SoaBlockView view_;
 };
 
 }  // namespace dbsvec

@@ -54,8 +54,8 @@ Status AssignmentEngine::Load(const std::string& path,
   return Create(std::move(model), options, out);
 }
 
-int32_t AssignmentEngine::AssignTransformed(
-    std::span<const double> query, std::vector<PointIndex>* scratch) const {
+int32_t AssignmentEngine::AssignTransformed(std::span<const double> query,
+                                            QueryScratch* scratch) const {
   points_assigned_.fetch_add(1, std::memory_order_relaxed);
   if (index_ == nullptr) {
     return Clustering::kNoise;  // Model with an empty core summary.
@@ -82,15 +82,17 @@ int32_t AssignmentEngine::AssignTransformed(
     }
   }
   range_queries_.fetch_add(1, std::memory_order_relaxed);
-  index_->RangeQuery(query, model_.epsilon, scratch);
+  index_->RangeQueryWithDistances(query, model_.epsilon, &scratch->ids,
+                                  &scratch->dist_sq);
   // Nearest core point wins; ties break toward the smaller cluster id so
-  // the answer is independent of the index's result order.
+  // the answer is independent of the index's result order. The distances
+  // come straight from the index's batched leaf scans (bit-identical to
+  // SquaredDistanceTo), so no second distance pass runs here.
   int32_t best_cluster = Clustering::kNoise;
   double best_dist = std::numeric_limits<double>::infinity();
-  for (const PointIndex core : *scratch) {
-    const double d2 =
-        model_.core_points.SquaredDistanceTo(core, query);
-    const int32_t cluster = model_.core_labels[core];
+  for (size_t k = 0; k < scratch->ids.size(); ++k) {
+    const double d2 = scratch->dist_sq[k];
+    const int32_t cluster = model_.core_labels[scratch->ids[k]];
     if (d2 < best_dist ||
         (d2 == best_dist && cluster < best_cluster)) {
       best_dist = d2;
@@ -107,7 +109,7 @@ Status AssignmentEngine::Assign(std::span<const double> point,
         "assign: point has dimension " + std::to_string(point.size()) +
         ", model expects " + std::to_string(model_.dim));
   }
-  std::vector<PointIndex> scratch;
+  QueryScratch scratch;
   if (model_.transform.empty()) {
     *label = AssignTransformed(point, &scratch);
   } else {
@@ -130,7 +132,7 @@ Status AssignmentEngine::AssignBatch(const Dataset& points,
   ParallelFor(static_cast<size_t>(n),
               static_cast<size_t>(options_.batch_grain),
               [&](size_t begin, size_t end) {
-                std::vector<PointIndex> scratch;
+                QueryScratch scratch;
                 std::vector<double> transformed(model_.dim);
                 for (size_t i = begin; i < end; ++i) {
                   const PointIndex p = static_cast<PointIndex>(i);

@@ -76,9 +76,17 @@ class AssignmentEngine {
  private:
   AssignmentEngine(DbsvecModel model, const AssignmentOptions& options);
 
+  /// Reused per-thread buffers of one assignment: the range-query result
+  /// ids and their squared distances (filled by the index's batched leaf
+  /// scans, so the nearest-core argmin needs no second distance pass).
+  struct QueryScratch {
+    std::vector<PointIndex> ids;
+    std::vector<double> dist_sq;
+  };
+
   /// Assignment of one already-transformed query point.
   int32_t AssignTransformed(std::span<const double> query,
-                            std::vector<PointIndex>* scratch) const;
+                            QueryScratch* scratch) const;
 
   const DbsvecModel model_;
   const AssignmentOptions options_;

@@ -1,0 +1,52 @@
+#ifndef DBSVEC_SIMD_DISTANCE_H_
+#define DBSVEC_SIMD_DISTANCE_H_
+
+#include <cstddef>
+#include <span>
+
+namespace dbsvec::simd {
+
+/// The one scalar squared-Euclidean-distance definition in the library.
+///
+/// Every distance in dbsvec — Dataset methods, index leaf scans, kernel
+/// evaluations, metrics — reduces to this exact operation sequence:
+/// accumulate (a[k] - b[k])² in ascending dimension order with a separate
+/// multiply and add (no FMA contraction). The vector micro-kernels in
+/// kernels_avx2.cc replicate the same per-point operation order lane-wise,
+/// which is what makes `DBSVEC_SIMD=off` and `on` bit-identical (see
+/// docs/PERFORMANCE.md, "Determinism policy").
+inline double SquaredDistance(const double* a, const double* b, size_t dim) {
+  double sum = 0.0;
+  for (size_t k = 0; k < dim; ++k) {
+    const double diff = a[k] - b[k];
+    sum += diff * diff;
+  }
+  return sum;
+}
+
+inline double SquaredDistance(std::span<const double> a,
+                              std::span<const double> b) {
+  return SquaredDistance(a.data(), b.data(), a.size());
+}
+
+/// Min squared distance from `q` to the axis-aligned box [lo, hi] — the
+/// pruning test shared by the kd-tree, the static R*-tree, and the dynamic
+/// R*-tree (zero when the query is inside the box).
+inline double BoxSquaredDistance(const double* q, const double* lo,
+                                 const double* hi, size_t dim) {
+  double sum = 0.0;
+  for (size_t j = 0; j < dim; ++j) {
+    double diff = 0.0;
+    if (q[j] < lo[j]) {
+      diff = lo[j] - q[j];
+    } else if (q[j] > hi[j]) {
+      diff = q[j] - hi[j];
+    }
+    sum += diff * diff;
+  }
+  return sum;
+}
+
+}  // namespace dbsvec::simd
+
+#endif  // DBSVEC_SIMD_DISTANCE_H_

@@ -1,0 +1,63 @@
+// Portable scalar implementations of the batched micro-kernels. These are
+// the *reference* semantics: each lane accumulates its point's squared
+// distance in ascending dimension order with a separate multiply and add.
+// The AVX2 kernels perform the identical per-lane operation sequence, so
+// both backends produce bit-identical results.
+//
+// This file is compiled with -ffp-contract=off so the compiler cannot fuse
+// the multiply-add into an FMA (which rounds once instead of twice) on
+// builds where FMA is available (-march=native); contraction would break
+// the DBSVEC_SIMD=off|on determinism contract.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "simd/simd_kernels.h"
+
+namespace dbsvec::simd {
+
+void SquaredDistanceBlockScalar(const double* query, const double* block,
+                                int dim, double* out) {
+  for (size_t lane = 0; lane < kBlockWidth; ++lane) {
+    double sum = 0.0;
+    for (int j = 0; j < dim; ++j) {
+      const double diff = block[kBlockWidth * j + lane] - query[j];
+      sum += diff * diff;
+    }
+    out[lane] = sum;
+  }
+}
+
+uint32_t CountWithinBlockScalar(const double* query, const double* block,
+                                int dim, uint32_t lane_mask, double eps_sq) {
+  uint32_t count = 0;
+  for (size_t lane = 0; lane < kBlockWidth; ++lane) {
+    if ((lane_mask & (1u << lane)) == 0) {
+      continue;
+    }
+    double sum = 0.0;
+    for (int j = 0; j < dim; ++j) {
+      const double diff = block[kBlockWidth * j + lane] - query[j];
+      sum += diff * diff;
+    }
+    if (sum <= eps_sq) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+void AxpyFloatScalar(double a, const float* x, double* y, size_t n) {
+  for (size_t k = 0; k < n; ++k) {
+    y[k] += a * x[k];
+  }
+}
+
+void GradientUpdateScalar(double a, const float* xi, const float* xj,
+                          double* y, size_t n) {
+  for (size_t k = 0; k < n; ++k) {
+    y[k] += a * (xi[k] - xj[k]);
+  }
+}
+
+}  // namespace dbsvec::simd

@@ -1,0 +1,98 @@
+#ifndef DBSVEC_SIMD_SIMD_H_
+#define DBSVEC_SIMD_SIMD_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace dbsvec::simd {
+
+/// Width of one structure-of-arrays block: the batched micro-kernels always
+/// process `kBlockWidth` points at a time (one cache line of doubles per
+/// dimension).
+inline constexpr size_t kBlockWidth = 8;
+
+/// Available micro-kernel implementations.
+enum class Backend {
+  kScalar,  ///< Portable fallback; the reference operation order.
+  kAvx2,    ///< AVX2 256-bit lanes (x86-64, runtime-detected).
+};
+
+/// Human-readable backend name ("scalar", "avx2").
+const char* BackendName(Backend backend);
+
+/// True when this build contains the AVX2 kernels and the running CPU
+/// (and OS) support them.
+bool Avx2Available();
+
+/// The backend the dispatch table currently points at. Resolved once on
+/// first use: the best available backend, unless the `DBSVEC_SIMD`
+/// environment variable says otherwise (`off`/`0`/`scalar`/`false` force
+/// the scalar fallback; `avx2` forces AVX2 and aborts if unavailable;
+/// anything else selects automatically).
+Backend ActiveBackend();
+
+/// Test/bench hook: repoints the dispatch table at `backend` (must be
+/// available). Not thread-safe against concurrent kernel calls — switch
+/// between runs, never during one.
+void ForceBackend(Backend backend);
+
+/// The batched micro-kernel dispatch table. One entry per primitive; all
+/// entries of a table come from the same backend so mixed-backend
+/// accumulation cannot occur.
+///
+/// Block layout contract (see SoaBlockView): a block is `kBlockWidth * dim`
+/// doubles, 64-byte aligned, holding dimension j of its 8 points at
+/// `block[8 * j + lane]`.
+struct Ops {
+  const char* name;
+
+  /// out[lane] = squared Euclidean distance from `query` (length `dim`)
+  /// to block lane `lane`, for all 8 lanes. `out` need not be aligned.
+  void (*squared_distance_block)(const double* query, const double* block,
+                                 int dim, double* out);
+
+  /// Number of lanes selected by `lane_mask` (bit l = lane l) whose squared
+  /// distance to `query` is <= `eps_sq`.
+  uint32_t (*count_within_block)(const double* query, const double* block,
+                                 int dim, uint32_t lane_mask, double eps_sq);
+
+  /// y[k] += a * x[k] for k in [0, n) — float row into double accumulator
+  /// (the SMO gradient initialization product).
+  void (*axpy_float)(double a, const float* x, double* y, size_t n);
+
+  /// y[k] += a * (xi[k] - xj[k]) for k in [0, n), with the subtraction in
+  /// float exactly as written (the SMO gradient update row product).
+  void (*gradient_update)(double a, const float* xi, const float* xj,
+                          double* y, size_t n);
+};
+
+/// The active dispatch table (env-resolved on first call, see
+/// ActiveBackend).
+const Ops& ActiveOps();
+
+/// RAII lease of a thread-local double buffer of at least `n` elements,
+/// used by index leaf scans for per-leaf distance batches. Leases nest
+/// (each lease gets a distinct buffer), so a range query issued from inside
+/// a visitor callback cannot clobber the caller's distances; buffers are
+/// returned to a per-thread freelist on destruction, so steady-state leaf
+/// scans allocate nothing.
+class ScratchLease {
+ public:
+  explicit ScratchLease(size_t n);
+  ~ScratchLease();
+
+  ScratchLease(const ScratchLease&) = delete;
+  ScratchLease& operator=(const ScratchLease&) = delete;
+
+  double* data() { return buffer_->data(); }
+  std::span<double> span(size_t n) { return {buffer_->data(), n}; }
+
+ private:
+  std::vector<double>* buffer_;
+};
+
+}  // namespace dbsvec::simd
+
+#endif  // DBSVEC_SIMD_SIMD_H_

@@ -1,0 +1,34 @@
+#ifndef DBSVEC_SIMD_SIMD_KERNELS_H_
+#define DBSVEC_SIMD_SIMD_KERNELS_H_
+
+// Internal declarations shared between the per-backend kernel translation
+// units and the dispatch table in dispatch.cc. Consumers use simd/simd.h.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "simd/simd.h"
+
+namespace dbsvec::simd {
+
+void SquaredDistanceBlockScalar(const double* query, const double* block,
+                                int dim, double* out);
+uint32_t CountWithinBlockScalar(const double* query, const double* block,
+                                int dim, uint32_t lane_mask, double eps_sq);
+void AxpyFloatScalar(double a, const float* x, double* y, size_t n);
+void GradientUpdateScalar(double a, const float* xi, const float* xj,
+                          double* y, size_t n);
+
+#if defined(DBSVEC_HAVE_AVX2)
+void SquaredDistanceBlockAvx2(const double* query, const double* block,
+                              int dim, double* out);
+uint32_t CountWithinBlockAvx2(const double* query, const double* block,
+                              int dim, uint32_t lane_mask, double eps_sq);
+void AxpyFloatAvx2(double a, const float* x, double* y, size_t n);
+void GradientUpdateAvx2(double a, const float* xi, const float* xj,
+                        double* y, size_t n);
+#endif  // DBSVEC_HAVE_AVX2
+
+}  // namespace dbsvec::simd
+
+#endif  // DBSVEC_SIMD_SIMD_KERNELS_H_

@@ -33,6 +33,11 @@ class GaussianKernel {
   /// The RMS width parameter.
   double sigma() const { return sigma_; }
 
+  /// The precomputed exponent coefficient 1/(2σ²) — handed to the batched
+  /// RbfRow micro-kernel so its exp() argument matches
+  /// FromSquaredDistance bit for bit.
+  double inv_two_sigma_sq() const { return inv_two_sigma_sq_; }
+
  private:
   double inv_two_sigma_sq_;
   double sigma_;

@@ -17,6 +17,7 @@ KernelCache::KernelCache(const Dataset& dataset,
                          size_t max_bytes)
     : dataset_(dataset),
       target_(target.begin(), target.end()),
+      target_view_(dataset, target_),
       kernel_(sigma) {
   const size_t row_bytes = std::max<size_t>(1, target_.size()) * sizeof(float);
   max_rows_ = std::max<size_t>(2, max_bytes / row_bytes);
@@ -26,12 +27,10 @@ void KernelCache::ComputeRow(int i, std::vector<float>* row) const {
   const size_t n = static_cast<size_t>(size());
   row->resize(n);
   const auto xi = dataset_.point(target_[i]);
+  const double inv_two_sigma_sq = kernel_.inv_two_sigma_sq();
   float* out = row->data();
   ParallelFor(n, kRowGrain, [&](size_t begin, size_t end) {
-    for (size_t j = begin; j < end; ++j) {
-      out[j] = static_cast<float>(kernel_.FromSquaredDistance(
-          dataset_.SquaredDistanceTo(target_[j], xi)));
-    }
+    target_view_.RbfRow(xi, inv_two_sigma_sq, begin, end, out + begin);
   });
 }
 

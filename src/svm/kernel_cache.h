@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/dataset.h"
+#include "simd/soa_block.h"
 #include "svm/kernel.h"
 
 namespace dbsvec {
@@ -73,6 +74,9 @@ class KernelCache {
 
   const Dataset& dataset_;
   std::vector<PointIndex> target_;
+  /// SoA copy of the target points: row fills run through the batched
+  /// RbfRow micro-kernel instead of per-point distance loops.
+  simd::SoaBlockView target_view_;
   GaussianKernel kernel_;
   size_t max_rows_;
 

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/thread_pool.h"
+#include "simd/simd.h"
 
 namespace dbsvec {
 
@@ -63,9 +64,11 @@ Status SmoSolver::Solve(KernelCache* kernel,
     const double aj2 = 2.0 * alpha[j];
     ParallelFor(static_cast<size_t>(n), 2048,
                 [&](size_t begin, size_t end) {
-                  for (size_t i = begin; i < end; ++i) {
-                    grad[i] += aj2 * row[i];
-                  }
+                  // grad[i] += aj2 * row[i], batched; element-wise, so any
+                  // chunking is bit-identical to the sequential loop.
+                  simd::ActiveOps().axpy_float(aj2, row.data() + begin,
+                                               grad.data() + begin,
+                                               end - begin);
                 });
   }
 
@@ -127,9 +130,10 @@ Status SmoSolver::Solve(KernelCache* kernel,
     alpha[i_up] += t;
     alpha[j_down] -= t;
     const double t2 = 2.0 * t;
-    for (int k = 0; k < n; ++k) {
-      grad[k] += t2 * (row_i_copy[k] - row_j[k]);
-    }
+    // grad[k] += t2 * (row_i[k] - row_j[k]) over the whole row — the
+    // per-iteration hot loop of the solver, batched.
+    simd::ActiveOps().gradient_update(t2, row_i_copy.data(), row_j.data(),
+                                      grad.data(), static_cast<size_t>(n));
   }
   solution->iterations = iter;
 

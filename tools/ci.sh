@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
-# CI entry point: Release build + full test suite, a ThreadSanitizer build
-# running the concurrency-sensitive tests, and an AddressSanitizer build
-# running the model-format and serving tests (malformed model files must
-# fail with a Status, never with memory errors). Run from anywhere; builds
-# land in <repo>/build-ci-{release,tsan,asan}.
+# CI entry point: Release build + full test suite (run twice: once with the
+# best SIMD backend, once with DBSVEC_SIMD=off so the scalar fallback stays
+# green), a ThreadSanitizer build running the concurrency-sensitive tests,
+# and an AddressSanitizer build running the model-format, serving, and SIMD
+# agreement tests (malformed model files must fail with a Status, never
+# with memory errors; the SoA block views must never read out of bounds).
+# Run from anywhere; builds land in <repo>/build-ci-{release,tsan,asan}.
 set -euo pipefail
 
 repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -14,6 +16,10 @@ cmake -S "${repo}" -B "${repo}/build-ci-release" \
   -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "${repo}/build-ci-release" -j "${jobs}"
 ctest --test-dir "${repo}/build-ci-release" --output-on-failure -j "${jobs}"
+
+echo "=== Release ctest with the scalar SIMD fallback (DBSVEC_SIMD=off) ==="
+DBSVEC_SIMD=off \
+  ctest --test-dir "${repo}/build-ci-release" --output-on-failure -j "${jobs}"
 
 echo "=== ThreadSanitizer build + concurrency tests ==="
 cmake -S "${repo}" -B "${repo}/build-ci-tsan" \
@@ -35,8 +41,10 @@ cmake -S "${repo}" -B "${repo}/build-ci-asan" \
   -DDBSVEC_BUILD_EXAMPLES=OFF >/dev/null
 cmake --build "${repo}/build-ci-asan" -j "${jobs}" --target dbsvec_tests
 # The model tests fuzz truncations and bit flips of the binary format;
-# under ASan any out-of-bounds parse becomes a hard failure.
+# under ASan any out-of-bounds parse becomes a hard failure. The SIMD
+# agreement tests sweep every remainder-lane shape, so a kernel touching
+# block padding it shouldn't would trip ASan here.
 ctest --test-dir "${repo}/build-ci-asan" --output-on-failure -j "${jobs}" \
-  -R 'Model|Serve|Cli'
+  -R 'Model|Serve|Cli|Simd'
 
 echo "=== CI green ==="
