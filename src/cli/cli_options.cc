@@ -153,7 +153,14 @@ std::string HelpText() {
       "                          replayed on every assigned point\n"
       "  --model=FILE.dbsvm      assign: model to load\n"
       "  --batch=N               assign: points per batched call "
-      "(default 4096)\n";
+      "(default 4096)\n"
+      "\n"
+      "Robustness:\n"
+      "  --deadline-ms=N         overall time budget; an exceeded budget\n"
+      "                          exits with a DeadlineExceeded status\n"
+      "  --failpoints=SPEC       arm fault-injection sites, same syntax as\n"
+      "                          the DBSVEC_FAILPOINTS env var\n"
+      "                          (site:mode[:arg],...)\n";
 }
 
 Status ParseCliOptions(const std::vector<std::string>& args,
@@ -240,6 +247,16 @@ Status ParseCliOptions(const std::vector<std::string>& args,
     } else if (key == "batch") {
       DBSVEC_RETURN_IF_ERROR(
           ParsePositiveInt(key, value, &options->assign_batch));
+    } else if (key == "deadline-ms") {
+      int deadline_ms = 0;
+      DBSVEC_RETURN_IF_ERROR(ParsePositiveInt(key, value, &deadline_ms));
+      options->deadline_ms = deadline_ms;
+    } else if (key == "failpoints") {
+      if (value.empty()) {
+        return Status::InvalidArgument(
+            "--failpoints needs a site:mode[:arg],... spec");
+      }
+      options->failpoints = value;
     } else {
       return Status::InvalidArgument("unknown flag: --" + key);
     }

@@ -70,6 +70,10 @@ struct CliOptions {
   bool normalize = false;      ///< fit: paper-range normalization, recorded
                                ///< in the model's transform.
   int assign_batch = 4096;     ///< assign: points per AssignBatch call.
+
+  // Robustness (docs/ROBUSTNESS.md).
+  int64_t deadline_ms = 0;   ///< > 0: overall time budget for the run.
+  std::string failpoints;    ///< DBSVEC_FAILPOINTS-syntax spec to arm.
 };
 
 /// Parses argv into `*options`. Returns InvalidArgument with a message

@@ -16,6 +16,16 @@
 #include "serve/assignment_engine.h"
 
 namespace dbsvec::cli {
+namespace {
+
+/// The run's time budget: --deadline-ms counted from the moment the run
+/// starts, or unlimited when the flag is unset.
+Deadline RunDeadline(const CliOptions& options) {
+  return options.deadline_ms > 0 ? Deadline::AfterMillis(options.deadline_ms)
+                                 : Deadline();
+}
+
+}  // namespace
 
 Status LoadInput(const CliOptions& options, Dataset* dataset) {
   if (!options.input_path.empty()) {
@@ -70,6 +80,7 @@ Status RunAlgorithm(const CliOptions& options, const Dataset& dataset,
       params.fixed_nu = options.fixed_nu;
       params.index = options.index;
       params.seed = options.seed;
+      params.deadline = RunDeadline(options);
       return RunDbsvec(dataset, params, out);
     }
     case Algorithm::kDbscan: {
@@ -131,6 +142,7 @@ Status RunFit(const CliOptions& options, Dataset* dataset, Clustering* out,
   params.fixed_nu = options.fixed_nu;
   params.index = options.index;
   params.seed = options.seed;
+  params.deadline = RunDeadline(options);
   DBSVEC_RETURN_IF_ERROR(RunDbsvec(*dataset, params, out, model));
   model->transform = std::move(transform);
   return SaveModel(*model, options.model_out_path);
@@ -138,9 +150,11 @@ Status RunFit(const CliOptions& options, Dataset* dataset, Clustering* out,
 
 Status RunAssign(const CliOptions& options, Dataset* points,
                  std::vector<int32_t>* labels) {
+  const Deadline deadline = RunDeadline(options);
   std::unique_ptr<AssignmentEngine> engine;
   AssignmentOptions serve_options;
   serve_options.index = options.index;
+  serve_options.build_deadline = deadline;
   DBSVEC_RETURN_IF_ERROR(
       AssignmentEngine::Load(options.model_path, serve_options, &engine));
   DBSVEC_RETURN_IF_ERROR(ReadCsv(options.input_path,
@@ -166,7 +180,8 @@ Status RunAssign(const CliOptions& options, Dataset* points,
     for (PointIndex i = begin; i < end; ++i) {
       chunk.Append(points->point(i));
     }
-    DBSVEC_RETURN_IF_ERROR(engine->AssignBatch(chunk, &chunk_labels));
+    DBSVEC_RETURN_IF_ERROR(engine->AssignBatch(chunk, &chunk_labels,
+                                               deadline));
     labels->insert(labels->end(), chunk_labels.begin(), chunk_labels.end());
   }
   return Status::Ok();

@@ -26,6 +26,16 @@ struct ClusteringStats {
   uint64_t noise_list_size = 0;
   /// Total SMO iterations (DBSVEC only).
   int64_t smo_iterations = 0;
+  /// Sub-clusters whose SVDD expansion was replaced by exact range-query
+  /// expansion (DBSCAN semantics) because the solve failed, did not
+  /// converge, or produced a degenerate sphere (DBSVEC only).
+  uint64_t num_svdd_fallbacks = 0;
+  /// SMO solves that hit the iteration cap without meeting the tolerance
+  /// (DBSVEC only).
+  uint64_t num_nonconverged_solves = 0;
+  /// SVDD trainings whose weighted caps were infeasible (Σ ω_iC < 1) and
+  /// had to be scaled up minimally (DBSVEC only).
+  uint64_t num_caps_rescaled = 0;
 };
 
 /// Role of a point in the density structure (Definitions 1-2 of the

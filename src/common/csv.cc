@@ -1,8 +1,12 @@
 #include "common/csv.h"
 
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
+#include <limits>
 #include <sstream>
+
+#include "fault/failpoint.h"
 
 namespace dbsvec {
 
@@ -37,16 +41,22 @@ Status WriteCsv(const Dataset& dataset, const std::vector<int32_t>& labels,
 
 Status ReadCsv(const std::string& path, bool last_column_is_label,
                Dataset* dataset, std::vector<int32_t>* labels) {
+  DBSVEC_RETURN_IF_ERROR(FailpointCheck("csv.read"));
   std::ifstream in(path);
   if (!in) {
     return Status::IoError("cannot open for reading: " + path);
   }
+  // Deterministic ingest corruption: poison the first coordinate parsed so
+  // the finite-value validation below must catch it.
+  bool corrupt_next_value = FailpointCorrupt("csv.read");
   std::string line;
   std::vector<double> row;
   int expected_width = -1;
+  int line_number = 0;
   std::vector<double> values;
   std::vector<int32_t> parsed_labels;
   while (std::getline(in, line)) {
+    ++line_number;
     if (line.empty()) {
       continue;
     }
@@ -55,19 +65,38 @@ Status ReadCsv(const std::string& path, bool last_column_is_label,
     std::string field;
     while (std::getline(ss, field, ',')) {
       char* end = nullptr;
-      const double value = std::strtod(field.c_str(), &end);
+      double value = std::strtod(field.c_str(), &end);
       if (end == field.c_str()) {
-        return Status::IoError("non-numeric field in " + path + ": " + field);
+        return Status::InvalidArgument(
+            "non-numeric field '" + field + "' at " + path + " line " +
+            std::to_string(line_number));
+      }
+      if (corrupt_next_value) {
+        value = std::numeric_limits<double>::quiet_NaN();
+        corrupt_next_value = false;
+      }
+      if (!std::isfinite(value)) {
+        // NaN/Inf coordinates would flow straight into distance
+        // computations and poison every comparison downstream; reject at
+        // the ingest boundary, naming the offending line.
+        return Status::InvalidArgument(
+            "non-finite value '" + field + "' at " + path + " line " +
+            std::to_string(line_number));
       }
       row.push_back(value);
     }
     if (expected_width < 0) {
       expected_width = static_cast<int>(row.size());
       if (last_column_is_label && expected_width < 2) {
-        return Status::IoError("rows too narrow for a label column: " + path);
+        return Status::InvalidArgument(
+            "rows too narrow for a label column: " + path + " line " +
+            std::to_string(line_number));
       }
     } else if (static_cast<int>(row.size()) != expected_width) {
-      return Status::IoError("ragged rows in " + path);
+      return Status::InvalidArgument(
+          "ragged row at " + path + " line " + std::to_string(line_number) +
+          ": got " + std::to_string(row.size()) + " fields, expected " +
+          std::to_string(expected_width));
     }
     const int coords = last_column_is_label ? expected_width - 1
                                             : expected_width;
@@ -77,7 +106,7 @@ Status ReadCsv(const std::string& path, bool last_column_is_label,
     }
   }
   if (expected_width < 0) {
-    return Status::IoError("empty file: " + path);
+    return Status::InvalidArgument("empty file: " + path);
   }
   const int dim = last_column_is_label ? expected_width - 1 : expected_width;
   *dataset = Dataset(dim, std::move(values));

@@ -1,6 +1,8 @@
 #include "common/dataset.h"
 
 #include <cassert>
+#include <cmath>
+#include <string>
 
 #include "simd/distance.h"
 
@@ -29,6 +31,19 @@ double Dataset::SquaredDistanceTo(PointIndex i,
                                   std::span<const double> q) const {
   const double* a = data_.data() + static_cast<size_t>(i) * dim_;
   return simd::SquaredDistance(a, q.data(), static_cast<size_t>(dim_));
+}
+
+Status ValidateFinite(const Dataset& dataset) {
+  const std::vector<double>& data = dataset.data();
+  for (size_t k = 0; k < data.size(); ++k) {
+    if (!std::isfinite(data[k])) {
+      const size_t dim = static_cast<size_t>(dataset.dim());
+      return Status::InvalidArgument(
+          "non-finite coordinate at point " + std::to_string(k / dim) +
+          ", dim " + std::to_string(k % dim));
+    }
+  }
+  return Status::Ok();
 }
 
 double SquaredDistance(std::span<const double> a, std::span<const double> b) {

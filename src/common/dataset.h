@@ -87,6 +87,13 @@ class Dataset {
   std::vector<double> data_;
 };
 
+/// OK iff every coordinate of `dataset` is finite; otherwise
+/// InvalidArgument naming the first offending point and dimension. The
+/// clustering entry points run this on ingest so a NaN/Inf coordinate
+/// (which would poison every distance comparison) fails fast instead of
+/// silently degrading the output.
+Status ValidateFinite(const Dataset& dataset);
+
 /// Squared Euclidean distance between two coordinate vectors of equal
 /// length.
 double SquaredDistance(std::span<const double> a, std::span<const double> b);

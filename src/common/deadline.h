@@ -1,0 +1,107 @@
+#ifndef DBSVEC_COMMON_DEADLINE_H_
+#define DBSVEC_COMMON_DEADLINE_H_
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "common/status.h"
+
+namespace dbsvec {
+
+/// Shared cooperative cancellation flag. Copies alias the same flag, so a
+/// caller can hand a Deadline to a long run, keep a copy, and cancel from
+/// another thread; the run observes it at its next check point.
+class CancelFlag {
+ public:
+  CancelFlag() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  void Cancel() const { flag_->store(true, std::memory_order_relaxed); }
+  bool cancelled() const { return flag_->load(std::memory_order_relaxed); }
+
+ private:
+  friend class Deadline;
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+/// A cooperative time budget plus optional cancellation, threaded through
+/// the long-running entry points (RunDbsvec, index builds, AssignmentEngine
+/// batches). Cheap to copy and to check; the default-constructed Deadline
+/// never expires and holds no allocation, so existing call sites pay one
+/// branch per check point.
+///
+/// Expiry and cancellation both surface as Status::DeadlineExceeded — the
+/// caller asked the run to stop, and partial statistics are still filled in
+/// (see the individual entry points for what "partial" means there).
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Never expires, cannot be cancelled.
+  Deadline() = default;
+
+  /// Expires `seconds` from now (<= 0 means already expired).
+  static Deadline After(double seconds) {
+    Deadline d;
+    d.has_time_limit_ = true;
+    d.expires_at_ =
+        Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double>(seconds));
+    return d;
+  }
+
+  static Deadline AfterMillis(int64_t ms) {
+    return After(static_cast<double>(ms) / 1000.0);
+  }
+
+  /// Never expires by time, but honors `flag` — the pure-cancellation form.
+  static Deadline Cancellable(const CancelFlag& flag) {
+    return Deadline().WithCancel(flag);
+  }
+
+  /// Attaches a cancellation flag to this deadline (time limit retained).
+  Deadline WithCancel(const CancelFlag& flag) const {
+    Deadline d = *this;
+    d.cancel_ = flag.flag_;
+    return d;
+  }
+
+  /// True when no time limit and no cancel flag are attached.
+  bool unlimited() const {
+    return !has_time_limit_ && cancel_ == nullptr;
+  }
+
+  /// True once the time budget has run out or cancellation was requested.
+  bool Expired() const {
+    if (cancel_ != nullptr && cancel_->load(std::memory_order_relaxed)) {
+      return true;
+    }
+    return has_time_limit_ && Clock::now() >= expires_at_;
+  }
+
+  /// OK while live; Status::DeadlineExceeded naming `what` once expired or
+  /// cancelled. The standard check-point call:
+  ///   DBSVEC_RETURN_IF_ERROR(deadline.Check("dbsvec fit"));
+  Status Check(std::string_view what) const {
+    if (!Expired()) {
+      return Status::Ok();
+    }
+    const bool cancelled =
+        cancel_ != nullptr && cancel_->load(std::memory_order_relaxed);
+    return Status::DeadlineExceeded(
+        std::string(what) +
+        (cancelled ? ": cancelled" : ": deadline exceeded"));
+  }
+
+ private:
+  bool has_time_limit_ = false;
+  Clock::time_point expires_at_{};
+  std::shared_ptr<const std::atomic<bool>> cancel_;
+};
+
+}  // namespace dbsvec
+
+#endif  // DBSVEC_COMMON_DEADLINE_H_

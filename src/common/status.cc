@@ -17,6 +17,10 @@ const char* CodeName(Status::Code code) {
       return "FailedPrecondition";
     case Status::Code::kInternal:
       return "Internal";
+    case Status::Code::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case Status::Code::kResourceExhausted:
+      return "ResourceExhausted";
   }
   return "Unknown";
 }

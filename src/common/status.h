@@ -19,6 +19,8 @@ class Status {
     kIoError,
     kFailedPrecondition,
     kInternal,
+    kDeadlineExceeded,   ///< A deadline expired or the run was cancelled.
+    kResourceExhausted,  ///< A resource budget (memory, quota) ran out.
   };
 
   /// Default-constructed Status is OK.
@@ -42,6 +44,12 @@ class Status {
   }
   static Status Internal(std::string message) {
     return Status(Code::kInternal, std::move(message));
+  }
+  static Status DeadlineExceeded(std::string message) {
+    return Status(Code::kDeadlineExceeded, std::move(message));
+  }
+  static Status ResourceExhausted(std::string message) {
+    return Status(Code::kResourceExhausted, std::move(message));
   }
 
   /// True iff the operation succeeded.

@@ -2,6 +2,10 @@
 
 #include <algorithm>
 #include <memory>
+#include <string>
+#include <utility>
+
+#include "fault/failpoint.h"
 
 namespace dbsvec {
 namespace {
@@ -30,6 +34,14 @@ ThreadPool::~ThreadPool() {
 
 bool ThreadPool::InsideWorker() { return tls_inside_worker; }
 
+void ThreadPool::RecordTaskException(int task, std::exception_ptr exception) {
+  std::lock_guard<std::mutex> lock(exception_mutex_);
+  if (first_exception_task_ < 0 || task < first_exception_task_) {
+    first_exception_ = std::move(exception);
+    first_exception_task_ = task;
+  }
+}
+
 void ThreadPool::RunTasks() {
   // Claim task indices off the shared counter until the job is drained.
   // Claim order is irrelevant to correctness: tasks are independent and
@@ -39,7 +51,13 @@ void ThreadPool::RunTasks() {
     if (task >= num_tasks_) {
       return;
     }
-    (*task_)(task);
+    try {
+      (*task_)(task);
+    } catch (...) {
+      // Contain the failure: record it, keep draining so sibling tasks
+      // finish and the pool stays healthy. Execute rethrows on the caller.
+      RecordTaskException(task, std::current_exception());
+    }
   }
 }
 
@@ -85,6 +103,11 @@ void ThreadPool::Execute(int num_tasks, const std::function<void(int)>& task) {
     workers_remaining_ = static_cast<int>(workers_.size());
     ++epoch_;
   }
+  {
+    std::lock_guard<std::mutex> lock(exception_mutex_);
+    first_exception_ = nullptr;
+    first_exception_task_ = -1;
+  }
   wake_cv_.notify_all();
   // The caller participates as a de-facto worker; mark it so a nested
   // Execute issued from one of its tasks runs inline instead of
@@ -94,9 +117,53 @@ void ThreadPool::Execute(int num_tasks, const std::function<void(int)>& task) {
   tls_inside_worker = false;
   // Every worker must check in before the next epoch may reuse the job
   // slots; this also guarantees all tasks have finished.
-  std::unique_lock<std::mutex> lock(mutex_);
-  done_cv_.wait(lock, [&] { return workers_remaining_ == 0; });
-  task_ = nullptr;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] { return workers_remaining_ == 0; });
+    task_ = nullptr;
+  }
+  std::exception_ptr failure;
+  {
+    std::lock_guard<std::mutex> lock(exception_mutex_);
+    failure = std::exchange(first_exception_, nullptr);
+    first_exception_task_ = -1;
+  }
+  if (failure != nullptr) {
+    std::rethrow_exception(failure);
+  }
+}
+
+Status ThreadPool::ExecuteWithStatus(int num_tasks,
+                                     const std::function<Status(int)>& task) {
+  if (num_tasks <= 0) {
+    return Status::Ok();
+  }
+  // Per-task Status slots: collecting them all and scanning in index order
+  // afterwards makes the reported failure independent of worker
+  // scheduling ("first" always means lowest task index).
+  std::vector<Status> statuses(static_cast<size_t>(num_tasks));
+  Execute(num_tasks, [&](int i) {
+    try {
+      // The `thread_pool.task` failpoint models a task failing inside the
+      // pool itself; checked here so every with-status batch call (kernel
+      // materialization, batched assignment) can be failed per task.
+      Status injected = FailpointCheck("thread_pool.task");
+      statuses[static_cast<size_t>(i)] =
+          injected.ok() ? task(i) : std::move(injected);
+    } catch (const std::exception& e) {
+      statuses[static_cast<size_t>(i)] =
+          Status::Internal(std::string("task threw: ") + e.what());
+    } catch (...) {
+      statuses[static_cast<size_t>(i)] =
+          Status::Internal("task threw a non-std exception");
+    }
+  });
+  for (const Status& status : statuses) {
+    if (!status.ok()) {
+      return status;
+    }
+  }
+  return Status::Ok();
 }
 
 namespace {
@@ -191,6 +258,28 @@ void ParallelFor(size_t n, size_t grain,
       n, grain,
       [&body](size_t /*chunk*/, size_t begin, size_t end) {
         body(begin, end);
+      });
+}
+
+Status ParallelForWithStatus(
+    size_t n, size_t grain,
+    const std::function<Status(size_t begin, size_t end)>& body) {
+  if (n == 0) {
+    return Status::Ok();
+  }
+  const size_t chunks = ParallelChunks(n, grain);
+  if (chunks <= 1) {
+    // Keep the failure surface identical at every thread count: the
+    // single-chunk path honors the per-task failpoint too.
+    DBSVEC_RETURN_IF_ERROR(FailpointCheck("thread_pool.task"));
+    return body(0, n);
+  }
+  const size_t chunk_size = (n + chunks - 1) / chunks;
+  return GlobalThreadPool()->ExecuteWithStatus(
+      static_cast<int>(chunks), [&](int chunk) {
+        const size_t begin = static_cast<size_t>(chunk) * chunk_size;
+        const size_t end = std::min(n, begin + chunk_size);
+        return begin < end ? body(begin, end) : Status::Ok();
       });
 }
 

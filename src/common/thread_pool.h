@@ -4,10 +4,13 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/status.h"
 
 namespace dbsvec {
 
@@ -22,9 +25,13 @@ namespace dbsvec {
 /// run regardless of the thread count (see docs/ALGORITHM.md, "Threading
 /// model").
 ///
-/// Tasks must not throw; an exception escaping a task terminates the
-/// process (there is no cross-thread error channel — parallel sections
-/// only run infallible computations).
+/// Fault containment: an exception escaping a task no longer terminates
+/// the process. The first exception (in task-index order) is captured,
+/// every remaining task still runs, and `Execute` rethrows it on the
+/// calling thread once the job has drained — so the pool itself survives
+/// and stays reusable. Fallible tasks should prefer the Status channel
+/// (`ExecuteWithStatus` / `ParallelForWithStatus`), which reports the
+/// lowest-index failure deterministically.
 class ThreadPool {
  public:
   /// Spawns `num_workers` worker threads (>= 1).
@@ -40,8 +47,18 @@ class ThreadPool {
   /// Runs task(0) .. task(num_tasks - 1) across the workers; the calling
   /// thread participates. Blocks until every task has finished. A call
   /// made from inside a pool task runs all tasks inline on the calling
-  /// thread (no nested parallelism, no deadlock).
+  /// thread (no nested parallelism, no deadlock). If any task throws, the
+  /// first captured exception (by task index) is rethrown here after the
+  /// job drains.
   void Execute(int num_tasks, const std::function<void(int)>& task);
+
+  /// Like Execute for fallible tasks: every task runs (a failure does not
+  /// cancel the remaining tasks — results stay deterministic), and the
+  /// non-OK Status of the lowest-index failing task is returned. A thrown
+  /// exception is contained and reported as Status::Internal carrying the
+  /// exception message.
+  Status ExecuteWithStatus(int num_tasks,
+                           const std::function<Status(int)>& task);
 
   /// True when the current thread is a pool worker executing a task.
   static bool InsideWorker();
@@ -49,6 +66,10 @@ class ThreadPool {
  private:
   void WorkerLoop();
   void RunTasks();
+
+  /// Records `exception` as the job's failure if it is the lowest task
+  /// index seen so far.
+  void RecordTaskException(int task, std::exception_ptr exception);
 
   std::vector<std::thread> workers_;
 
@@ -63,6 +84,12 @@ class ThreadPool {
   const std::function<void(int)>* task_ = nullptr;
   int num_tasks_ = 0;
   std::atomic<int> next_task_{0};
+
+  // First exception of the current job (lowest task index wins, so the
+  // rethrown failure does not depend on worker scheduling).
+  std::mutex exception_mutex_;
+  std::exception_ptr first_exception_;
+  int first_exception_task_ = -1;
 };
 
 /// Sets the global thread budget used by every parallel section:
@@ -98,6 +125,14 @@ void ParallelForChunked(
 /// Runs body(begin, end) over contiguous chunks of [0, n) in parallel.
 void ParallelFor(size_t n, size_t grain,
                  const std::function<void(size_t begin, size_t end)>& body);
+
+/// Fallible ParallelFor: every chunk runs to completion and the Status of
+/// the lowest-index failing chunk is returned (OK when all chunks
+/// succeed). Chunk boundaries match ParallelFor exactly, so a chunk that
+/// fails identically at any thread count reports the identical Status.
+Status ParallelForWithStatus(
+    size_t n, size_t grain,
+    const std::function<Status(size_t begin, size_t end)>& body);
 
 }  // namespace dbsvec
 

@@ -56,6 +56,20 @@ class DbsvecRun {
   /// sub-cluster stops growing.
   Status ExpandCluster(int32_t cid, std::vector<PointIndex>* members);
 
+  /// Graceful degradation: exact range-query expansion of `members` with
+  /// plain DBSCAN semantics — every member with an unknown neighborhood
+  /// count is queried, core members absorb their neighborhoods, and the
+  /// member list grows until closure. Used when a training round for this
+  /// sub-cluster fails, does not converge, or yields a degenerate sphere;
+  /// by Theorem 1 the result still sits inside the DBSCAN cluster of the
+  /// seed, so correctness degrades to exact DBSCAN, never to garbage.
+  Status ExpandExact(int32_t cid, std::vector<PointIndex>* members);
+
+  /// The seed scan (Algorithm 2 main loop): sequential or speculative
+  /// batched depending on the thread pool. Split out of Execute so stats
+  /// can be finalized even when the scan stops early (deadline, fault).
+  Status Scan();
+
   /// Builds the SVDD target set for the current training round. When
   /// `full` is set the incremental-learning filter is bypassed (used for
   /// the stall-recovery pass).
@@ -135,6 +149,31 @@ void DbsvecRun::SelectTarget(const std::vector<PointIndex>& members,
   }
 }
 
+Status DbsvecRun::ExpandExact(int32_t cid,
+                              std::vector<PointIndex>* members) {
+  ++stats_.num_svdd_fallbacks;
+  std::vector<PointIndex> neighborhood;
+  // `members` grows while we iterate: absorbed points are appended and
+  // processed in turn, exactly DBSCAN's expansion queue.
+  for (size_t k = 0; k < members->size(); ++k) {
+    DBSVEC_RETURN_IF_ERROR(params_.deadline.Check("DBSVEC exact expansion"));
+    const PointIndex p = (*members)[k];
+    if (core_.count(p) >= 0) {
+      // Known count ⇒ already handled: the seed and previously queried
+      // support vectors had their neighborhoods absorbed when the count
+      // was recorded, and known non-core members cannot expand.
+      continue;
+    }
+    index_.RangeQuery(p, params_.epsilon, &neighborhood);
+    core_.RecordCount(p, static_cast<int32_t>(neighborhood.size()));
+    if (static_cast<int>(neighborhood.size()) < params_.min_pts) {
+      continue;  // Border point of this sub-cluster.
+    }
+    AbsorbNeighborhood(neighborhood, cid, members);
+  }
+  return Status::Ok();
+}
+
 Status DbsvecRun::ExpandCluster(int32_t cid,
                                 std::vector<PointIndex>* members) {
   std::vector<PointIndex> target;
@@ -147,6 +186,7 @@ Status DbsvecRun::ExpandCluster(int32_t cid,
   // source of premature stops on thin, elongated clusters.
   bool full_pass = false;
   while (true) {
+    DBSVEC_RETURN_IF_ERROR(params_.deadline.Check("DBSVEC expansion"));
     SelectTarget(*members, full_pass, &target);
     if (target.empty()) {
       if (params_.incremental_learning && params_.stall_recovery && !full_pass) {
@@ -186,13 +226,33 @@ Status DbsvecRun::ExpandCluster(int32_t cid,
     }
 
     SvddModel model;
-    DBSVEC_RETURN_IF_ERROR(Svdd::Train(dataset_, target, svdd_params,
-                                       &model));
+    const Status train_status =
+        Svdd::Train(dataset_, target, svdd_params, &model);
+    if (!train_status.ok()) {
+      if (train_status.code() == Status::Code::kDeadlineExceeded) {
+        return train_status;  // The caller asked to stop; do not degrade.
+      }
+      // Solve failed outright (injected fault, numerically infeasible
+      // caps, ...): fall back to exact expansion of this sub-cluster.
+      return ExpandExact(cid, members);
+    }
     ++stats_.num_svdd_trainings;
     stats_.num_support_vectors += model.support_vectors().size();
     stats_.smo_iterations += model.smo_iterations();
+    if (model.caps_rescaled()) {
+      ++stats_.num_caps_rescaled;
+    }
+    if (!model.converged()) {
+      ++stats_.num_nonconverged_solves;
+    }
     for (const PointIndex p : target) {
       ++train_count_[p];
+    }
+    if (!model.converged() || model.degenerate()) {
+      // A sphere the solver did not finish (or that came out degenerate)
+      // may miss support vectors on the true boundary; expanding from it
+      // risks under-covering the sub-cluster. Degrade to exact expansion.
+      return ExpandExact(cid, members);
     }
     if (model_out_ != nullptr) {
       // Capture the fitted sphere (the latest round wins) and the core-SV
@@ -398,14 +458,8 @@ void DbsvecRun::BuildModel(const std::vector<int32_t>& labels) {
   }
 }
 
-Status DbsvecRun::Execute() {
+Status DbsvecRun::Scan() {
   const PointIndex n = dataset_.size();
-  Stopwatch timer;
-  index_.ResetCounters();
-  labels_.assign(n, kUnclassified);
-  core_.Reset(n);
-  train_count_.assign(n, 0);
-
   std::vector<PointIndex> neighborhood;
   std::vector<PointIndex> members;
   if (GlobalThreadPool() == nullptr) {
@@ -413,6 +467,7 @@ Status DbsvecRun::Execute() {
       if (labels_[i] != kUnclassified) {
         continue;
       }
+      DBSVEC_RETURN_IF_ERROR(params_.deadline.Check("DBSVEC seed scan"));
       index_.RangeQuery(i, params_.epsilon, &neighborhood);
       core_.RecordCount(i, static_cast<int32_t>(neighborhood.size()));
       if (static_cast<int>(neighborhood.size()) < params_.min_pts) {
@@ -447,6 +502,7 @@ Status DbsvecRun::Execute() {
     std::vector<NeighborIndex::QueryCounters> batch_counters;
     PointIndex scan = 0;
     while (scan < n) {
+      DBSVEC_RETURN_IF_ERROR(params_.deadline.Check("DBSVEC seed scan"));
       batch.clear();
       while (scan < n && batch.size() < batch_target) {
         if (labels_[scan] == kUnclassified) {
@@ -483,6 +539,31 @@ Status DbsvecRun::Execute() {
         DBSVEC_RETURN_IF_ERROR(ExpandCluster(cid, &members));
       }
     }
+  }
+  return Status::Ok();
+}
+
+Status DbsvecRun::Execute() {
+  const PointIndex n = dataset_.size();
+  Stopwatch timer;
+  index_.ResetCounters();
+  labels_.assign(n, kUnclassified);
+  core_.Reset(n);
+  train_count_.assign(n, 0);
+
+  const Status scan_status = Scan();
+  if (!scan_status.ok()) {
+    // Interrupted run (deadline, cancellation, injected fault): callers
+    // get the statistics accumulated so far, but no labels — a
+    // half-expanded labelling is not a clustering.
+    out_->labels.clear();
+    out_->num_clusters = 0;
+    out_->point_types.clear();
+    stats_.num_range_queries = index_.num_range_queries();
+    stats_.num_distance_computations = index_.num_distance_computations();
+    stats_.elapsed_seconds = timer.ElapsedSeconds();
+    out_->stats = stats_;
+    return scan_status;
   }
 
   VerifyNoise();
@@ -544,6 +625,7 @@ Status RunDbsvecWithIndex(const NeighborIndex& index,
       (params.fixed_nu <= 0.0 || params.fixed_nu > 1.0)) {
     return Status::InvalidArgument("DBSVEC: fixed_nu must be in (0, 1]");
   }
+  DBSVEC_RETURN_IF_ERROR(ValidateFinite(index.dataset()));
   DbsvecRun run(index, params, out, model);
   return run.Execute();
 }
@@ -551,8 +633,17 @@ Status RunDbsvecWithIndex(const NeighborIndex& index,
 Status RunDbsvec(const Dataset& dataset, const DbsvecParams& params,
                  Clustering* out, DbsvecModel* model) {
   Stopwatch timer;
-  const std::unique_ptr<NeighborIndex> index =
-      CreateIndex(params.index, dataset, params.epsilon);
+  std::unique_ptr<NeighborIndex> index;
+  const Status index_status = CreateIndexChecked(
+      params.index, dataset, params.epsilon, params.deadline, &index);
+  if (!index_status.ok()) {
+    out->labels.clear();
+    out->num_clusters = 0;
+    out->point_types.clear();
+    out->stats = ClusteringStats{};
+    out->stats.elapsed_seconds = timer.ElapsedSeconds();
+    return index_status;
+  }
   DBSVEC_RETURN_IF_ERROR(RunDbsvecWithIndex(*index, params, out, model));
   out->stats.elapsed_seconds = timer.ElapsedSeconds();
   return Status::Ok();

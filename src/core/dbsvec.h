@@ -5,6 +5,7 @@
 
 #include "cluster/clustering.h"
 #include "common/dataset.h"
+#include "common/deadline.h"
 #include "common/status.h"
 #include "core/penalty_weights.h"
 #include "index/neighbor_index.h"
@@ -72,6 +73,13 @@ struct DbsvecParams {
   /// Seed for every stochastic choice (anchor sampling, subsampling, the
   /// \OK random σ). Equal seeds give identical clusterings.
   uint64_t seed = 7;
+
+  /// Time budget / cancellation for the whole run (index build, seed scan,
+  /// SVDD training, expansion, noise verification). Default: unlimited.
+  /// When it expires the run stops at the next check point and returns
+  /// Status with Code::kDeadlineExceeded; Clustering::stats is still filled
+  /// with the partial counts accumulated so far (labels are cleared).
+  Deadline deadline;
 
   /// SMO solver options.
   SmoOptions smo;

@@ -1,0 +1,115 @@
+#ifndef DBSVEC_FAULT_FAILPOINT_H_
+#define DBSVEC_FAULT_FAILPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dbsvec {
+
+/// Deterministic fault-injection registry (docs/ROBUSTNESS.md).
+///
+/// Every fallible layer of the library declares a named *failpoint site*
+/// (csv ingest, model I/O, kernel materialization, the SMO solve, ...).
+/// A site is inert until armed; armed sites fire on every hit, so a test
+/// or an operator can force a specific failure mode through the full
+/// fit/save/load/assign pipeline and observe that it surfaces as a clean
+/// `Status` instead of a crash or silent degradation.
+///
+/// Arming is either programmatic (`Arm`/`ArmSpec`, used by tests) or via
+/// the environment at process start:
+///
+///   DBSVEC_FAILPOINTS=site:mode[:arg][,site:mode[:arg]...]
+///
+/// Modes:
+///   error[:code]   The site returns an injected Status. `code` selects the
+///                  category: internal (default), io, invalid_argument,
+///                  deadline_exceeded, resource_exhausted.
+///   delay_ms:N     The site sleeps N milliseconds, then proceeds normally
+///                  (exposes deadline/cancellation races deterministically).
+///   nonconverge    Solver sites report a completed-but-not-converged
+///                  solve; other sites ignore this mode.
+///   corrupt        Data sites deterministically corrupt their payload
+///                  (a NaN coordinate, a flipped model byte) so the
+///                  downstream validation layer must catch it.
+///
+/// The set of sites is fixed at compile time (`FailpointRegistry::Sites`),
+/// so a sweep test can enumerate and arm every site one at a time. Arming
+/// an unknown site is an InvalidArgument, never a silent no-op.
+///
+/// Thread safety: checks are safe from any thread (pool workers included).
+/// The disarmed fast path is one relaxed atomic load. Arm/Disarm are safe
+/// too but are meant to bracket a run, not race one.
+class FailpointRegistry {
+ public:
+  enum class Mode : uint8_t {
+    kError,
+    kDelayMs,
+    kNonconverge,
+    kCorrupt,
+  };
+
+  /// The process-wide registry. Reads DBSVEC_FAILPOINTS once, on first use.
+  static FailpointRegistry& Instance();
+
+  /// All registered site names, in registration order.
+  static std::vector<std::string_view> Sites();
+
+  /// Arms `site` with the parsed form of one spec entry. `arg` is the
+  /// status-code name for kError ("" = internal) or the millisecond count
+  /// for kDelayMs (required); it is ignored by the other modes.
+  Status Arm(std::string_view site, Mode mode, std::string_view arg = {});
+
+  /// Arms from one "site:mode[:arg]" entry or a comma-separated list of
+  /// them (the DBSVEC_FAILPOINTS syntax).
+  Status ArmSpec(std::string_view spec);
+
+  /// Disarms one site (a no-op when it is not armed).
+  void Disarm(std::string_view site);
+  /// Disarms every site and resets all hit counters.
+  void DisarmAll();
+
+  /// Hits `site` has taken while armed (any mode). Tests use this to prove
+  /// a site is actually on the exercised path.
+  uint64_t HitCount(std::string_view site) const;
+
+  // -- Site-side checks (called by the instrumented library code) --------
+
+  /// The standard site check: fires kError (returns the injected Status)
+  /// and kDelayMs (sleeps, then returns OK). Disarmed or armed with a mode
+  /// the site interprets itself (nonconverge/corrupt), returns OK.
+  Status Check(std::string_view site);
+
+  /// True iff `site` is armed with the given self-interpreted mode
+  /// (kNonconverge or kCorrupt); counts a hit when it is.
+  bool IsArmed(std::string_view site, Mode mode);
+
+  /// Opaque per-site slot (defined in failpoint.cc).
+  struct SiteState;
+
+ private:
+  FailpointRegistry();
+
+  SiteState* FindSite(std::string_view site);
+  const SiteState* FindSite(std::string_view site) const;
+};
+
+/// Convenience wrappers over the process-wide registry.
+inline Status FailpointCheck(std::string_view site) {
+  return FailpointRegistry::Instance().Check(site);
+}
+inline bool FailpointNonconverge(std::string_view site) {
+  return FailpointRegistry::Instance().IsArmed(
+      site, FailpointRegistry::Mode::kNonconverge);
+}
+inline bool FailpointCorrupt(std::string_view site) {
+  return FailpointRegistry::Instance().IsArmed(
+      site, FailpointRegistry::Mode::kCorrupt);
+}
+
+}  // namespace dbsvec
+
+#endif  // DBSVEC_FAULT_FAILPOINT_H_

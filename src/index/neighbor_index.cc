@@ -1,13 +1,12 @@
 #include "index/neighbor_index.h"
 
+#include "fault/failpoint.h"
 #include "index/brute_force_index.h"
 #include "index/grid_index.h"
 #include "index/kd_tree.h"
 #include "index/r_star_tree.h"
 
 namespace dbsvec {
-
-thread_local NeighborIndex::QueryCounters* NeighborIndex::capture_ = nullptr;
 
 PointIndex NeighborIndex::RangeCount(std::span<const double> query,
                                      double epsilon) const {
@@ -42,6 +41,24 @@ std::unique_ptr<NeighborIndex> CreateIndex(IndexType type,
           dataset, epsilon_hint > 0.0 ? epsilon_hint : 1.0);
   }
   return nullptr;
+}
+
+Status CreateIndexChecked(IndexType type, const Dataset& dataset,
+                          double epsilon_hint, const Deadline& deadline,
+                          std::unique_ptr<NeighborIndex>* out) {
+  out->reset();
+  DBSVEC_RETURN_IF_ERROR(FailpointCheck("index.build"));
+  DBSVEC_RETURN_IF_ERROR(deadline.Check("index build"));
+  std::unique_ptr<NeighborIndex> index =
+      CreateIndex(type, dataset, epsilon_hint);
+  if (index == nullptr) {
+    return Status::InvalidArgument("unknown index type");
+  }
+  // Bulk loads run to completion; an expired deadline is only observed
+  // here, after the build.
+  DBSVEC_RETURN_IF_ERROR(deadline.Check("index build"));
+  *out = std::move(index);
+  return Status::Ok();
 }
 
 const char* IndexTypeName(IndexType type) {

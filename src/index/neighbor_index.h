@@ -8,6 +8,8 @@
 #include <vector>
 
 #include "common/dataset.h"
+#include "common/deadline.h"
+#include "common/status.h"
 
 namespace dbsvec {
 
@@ -52,10 +54,10 @@ class NeighborIndex {
   class ScopedCounterCapture {
    public:
     explicit ScopedCounterCapture(QueryCounters* local)
-        : previous_(capture_) {
-      capture_ = local;
+        : previous_(CaptureSlot()) {
+      CaptureSlot() = local;
     }
-    ~ScopedCounterCapture() { capture_ = previous_; }
+    ~ScopedCounterCapture() { CaptureSlot() = previous_; }
 
     ScopedCounterCapture(const ScopedCounterCapture&) = delete;
     ScopedCounterCapture& operator=(const ScopedCounterCapture&) = delete;
@@ -130,15 +132,17 @@ class NeighborIndex {
   /// Counter bumps used by implementations; honor an active capture on the
   /// calling thread, otherwise hit the shared atomics.
   void CountRangeQuery() const {
-    if (capture_ != nullptr) {
-      ++capture_->range_queries;
+    QueryCounters* capture = CaptureSlot();
+    if (capture != nullptr) {
+      ++capture->range_queries;
     } else {
       num_range_queries_.fetch_add(1, std::memory_order_relaxed);
     }
   }
   void CountDistanceComputations(uint64_t count) const {
-    if (capture_ != nullptr) {
-      capture_->distance_computations += count;
+    QueryCounters* capture = CaptureSlot();
+    if (capture != nullptr) {
+      capture->distance_computations += count;
     } else {
       num_distance_computations_.fetch_add(count,
                                            std::memory_order_relaxed);
@@ -150,7 +154,15 @@ class NeighborIndex {
   mutable std::atomic<uint64_t> num_distance_computations_{0};
 
  private:
-  static thread_local QueryCounters* capture_;
+  /// The calling thread's active capture slot. A function-local
+  /// thread_local (rather than a class-static member) so the slot is
+  /// reached through the inline function's guaranteed-initialized local,
+  /// not a cross-TU TLS wrapper — the wrapper path trips UBSan's null
+  /// checks on some toolchains.
+  static QueryCounters*& CaptureSlot() {
+    static thread_local QueryCounters* capture = nullptr;
+    return capture;
+  }
 };
 
 /// Builds an index of the requested type over `dataset`. `epsilon_hint` is
@@ -159,6 +171,14 @@ class NeighborIndex {
 std::unique_ptr<NeighborIndex> CreateIndex(IndexType type,
                                            const Dataset& dataset,
                                            double epsilon_hint = 0.0);
+
+/// Fallible variant of CreateIndex: honors `deadline` (checked before and
+/// after the build — bulk loads are not interruptible mid-flight) and the
+/// `index.build` failpoint. On success `*out` holds the index; on error
+/// `*out` is reset to null.
+Status CreateIndexChecked(IndexType type, const Dataset& dataset,
+                          double epsilon_hint, const Deadline& deadline,
+                          std::unique_ptr<NeighborIndex>* out);
 
 /// Human-readable index name ("kd-tree", "R*-tree", ...).
 const char* IndexTypeName(IndexType type);

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "fault/failpoint.h"
 #include "model/serialize.h"
 
 namespace dbsvec {
@@ -243,14 +244,25 @@ Status DeserializeModel(std::span<const uint8_t> bytes, DbsvecModel* model) {
 }
 
 Status SaveModel(const DbsvecModel& model, const std::string& path) {
+  DBSVEC_RETURN_IF_ERROR(FailpointCheck("model.save"));
   std::vector<uint8_t> bytes;
   DBSVEC_RETURN_IF_ERROR(SerializeModel(model, &bytes));
+  if (FailpointCorrupt("model.save") && bytes.size() > kHeaderBytes) {
+    // Flip one payload byte after the CRC was computed: the file lands on
+    // disk bit-rotted, and LoadModel must reject it with a checksum
+    // mismatch instead of parsing garbage.
+    bytes[kHeaderBytes] ^= 0x01;
+  }
   return WriteFileBytes(path, bytes);
 }
 
 Status LoadModel(const std::string& path, DbsvecModel* model) {
+  DBSVEC_RETURN_IF_ERROR(FailpointCheck("model.load"));
   std::vector<uint8_t> bytes;
   DBSVEC_RETURN_IF_ERROR(ReadFileBytes(path, &bytes));
+  if (FailpointCorrupt("model.load") && bytes.size() > kHeaderBytes) {
+    bytes[kHeaderBytes] ^= 0x01;  // Simulated bit rot on the read path.
+  }
   return DeserializeModel(bytes, model);
 }
 

@@ -5,6 +5,7 @@
 
 #include "cluster/clustering.h"
 #include "common/thread_pool.h"
+#include "fault/failpoint.h"
 
 namespace dbsvec {
 
@@ -31,8 +32,15 @@ AssignmentEngine::AssignmentEngine(DbsvecModel model,
       bbox_min_[d] -= model_.epsilon;
       bbox_max_[d] += model_.epsilon;
     }
-    index_ = CreateIndex(options.index, model_.core_points, model_.epsilon);
   }
+}
+
+Status AssignmentEngine::BuildIndex(const Deadline& deadline) {
+  if (model_.core_points.size() == 0) {
+    return Status::Ok();  // Empty core summary: everything is noise.
+  }
+  return CreateIndexChecked(options_.index, model_.core_points,
+                            model_.epsilon, deadline, &index_);
 }
 
 Status AssignmentEngine::Create(DbsvecModel model,
@@ -43,6 +51,11 @@ Status AssignmentEngine::Create(DbsvecModel model,
     return Status::InvalidArgument("serve: batch_grain must be >= 1");
   }
   out->reset(new AssignmentEngine(std::move(model), options));
+  const Status built = (*out)->BuildIndex(options.build_deadline);
+  if (!built.ok()) {
+    out->reset();  // Never hand back a half-initialized engine.
+    return built;
+  }
   return Status::Ok();
 }
 
@@ -103,7 +116,9 @@ int32_t AssignmentEngine::AssignTransformed(std::span<const double> query,
 }
 
 Status AssignmentEngine::Assign(std::span<const double> point,
-                                int32_t* label) const {
+                                int32_t* label,
+                                const Deadline& deadline) const {
+  DBSVEC_RETURN_IF_ERROR(deadline.Check("assign"));
   if (static_cast<int>(point.size()) != model_.dim) {
     return Status::InvalidArgument(
         "assign: point has dimension " + std::to_string(point.size()) +
@@ -121,7 +136,8 @@ Status AssignmentEngine::Assign(std::span<const double> point,
 }
 
 Status AssignmentEngine::AssignBatch(const Dataset& points,
-                                     std::vector<int32_t>* labels) const {
+                                     std::vector<int32_t>* labels,
+                                     const Deadline& deadline) const {
   if (points.dim() != model_.dim) {
     return Status::InvalidArgument(
         "assign: batch has dimension " + std::to_string(points.dim()) +
@@ -129,22 +145,27 @@ Status AssignmentEngine::AssignBatch(const Dataset& points,
   }
   const PointIndex n = points.size();
   labels->assign(n, Clustering::kNoise);
-  ParallelFor(static_cast<size_t>(n),
-              static_cast<size_t>(options_.batch_grain),
-              [&](size_t begin, size_t end) {
-                QueryScratch scratch;
-                std::vector<double> transformed(model_.dim);
-                for (size_t i = begin; i < end; ++i) {
-                  const PointIndex p = static_cast<PointIndex>(i);
-                  std::span<const double> query = points.point(p);
-                  if (!model_.transform.empty()) {
-                    model_.transform.Apply(query, transformed);
-                    query = transformed;
-                  }
-                  (*labels)[i] = AssignTransformed(query, &scratch);
-                }
-              });
-  return Status::Ok();
+  // Per-chunk check points: an expired deadline or armed failpoint stops
+  // new chunks; chunks already running finish their points. The first
+  // failing chunk (lowest index) determines the returned Status.
+  return ParallelForWithStatus(
+      static_cast<size_t>(n), static_cast<size_t>(options_.batch_grain),
+      [&](size_t begin, size_t end) -> Status {
+        DBSVEC_RETURN_IF_ERROR(FailpointCheck("assign.batch"));
+        DBSVEC_RETURN_IF_ERROR(deadline.Check("assign batch"));
+        QueryScratch scratch;
+        std::vector<double> transformed(model_.dim);
+        for (size_t i = begin; i < end; ++i) {
+          const PointIndex p = static_cast<PointIndex>(i);
+          std::span<const double> query = points.point(p);
+          if (!model_.transform.empty()) {
+            model_.transform.Apply(query, transformed);
+            query = transformed;
+          }
+          (*labels)[i] = AssignTransformed(query, &scratch);
+        }
+        return Status::Ok();
+      });
 }
 
 AssignmentEngine::ServeStats AssignmentEngine::stats() const {

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/dataset.h"
+#include "common/deadline.h"
 #include "common/status.h"
 #include "index/neighbor_index.h"
 #include "model/dbsvec_model.h"
@@ -25,6 +26,10 @@ struct AssignmentOptions {
   /// Skip queries outside every sub-cluster sphere (inflated by ε) without
   /// touching the index. Off is only useful for benchmarking the filter.
   bool sphere_prefilter = true;
+  /// Time budget for building the serving index inside Create/Load.
+  /// Default: unlimited. Per-call budgets are passed to Assign/AssignBatch
+  /// directly.
+  Deadline build_deadline;
 };
 
 /// Online point-assignment over a trained DbsvecModel.
@@ -53,13 +58,17 @@ class AssignmentEngine {
 
   /// Assigns one raw point (length dim; the model's transform is applied
   /// internally). On success `*label` is a cluster id in
-  /// [0, model.num_clusters) or Clustering::kNoise.
-  Status Assign(std::span<const double> point, int32_t* label) const;
+  /// [0, model.num_clusters) or Clustering::kNoise. `deadline` is checked
+  /// once at entry (a single assignment is not interruptible mid-query).
+  Status Assign(std::span<const double> point, int32_t* label,
+                const Deadline& deadline = Deadline()) const;
 
   /// Assigns every point of `points` into `*labels` (resized), fanning
-  /// chunks out on the global thread pool.
-  Status AssignBatch(const Dataset& points,
-                     std::vector<int32_t>* labels) const;
+  /// chunks out on the global thread pool. `deadline` is checked once per
+  /// chunk; on a non-OK return (deadline, injected fault) the contents of
+  /// `*labels` are unspecified.
+  Status AssignBatch(const Dataset& points, std::vector<int32_t>* labels,
+                     const Deadline& deadline = Deadline()) const;
 
   const DbsvecModel& model() const { return model_; }
   int dim() const { return model_.dim; }
@@ -75,6 +84,11 @@ class AssignmentEngine {
 
  private:
   AssignmentEngine(DbsvecModel model, const AssignmentOptions& options);
+
+  /// Builds the serving index over the core summary; split out of the
+  /// constructor so Create can surface build failures (deadline, injected
+  /// fault) as a Status instead of constructing a half-initialized engine.
+  Status BuildIndex(const Deadline& deadline);
 
   /// Reused per-thread buffers of one assignment: the range-query result
   /// ids and their squared distances (filled by the index's batched leaf

@@ -1,8 +1,10 @@
 #include "svm/kernel_cache.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/thread_pool.h"
+#include "fault/failpoint.h"
 
 namespace dbsvec {
 namespace {
@@ -23,9 +25,28 @@ KernelCache::KernelCache(const Dataset& dataset,
   max_rows_ = std::max<size_t>(2, max_bytes / row_bytes);
 }
 
+void KernelCache::RecordStatus(Status status) const {
+  std::lock_guard<std::mutex> lock(status_mutex_);
+  if (status_.ok()) {
+    status_ = std::move(status);
+  }
+}
+
+Status KernelCache::status() const {
+  std::lock_guard<std::mutex> lock(status_mutex_);
+  return status_;
+}
+
 void KernelCache::ComputeRow(int i, std::vector<float>* row) const {
   const size_t n = static_cast<size_t>(size());
   row->resize(n);
+  if (Status injected = FailpointCheck("kernel_cache.materialize");
+      !injected.ok()) {
+    // The row buffer stays zeroed; the sticky status tells the solver to
+    // abandon the solve before any such row can influence the result.
+    RecordStatus(std::move(injected));
+    return;
+  }
   const auto xi = dataset_.point(target_[i]);
   const double inv_two_sigma_sq = kernel_.inv_two_sigma_sq();
   float* out = row->data();

@@ -3,11 +3,13 @@
 
 #include <cstdint>
 #include <list>
+#include <mutex>
 #include <span>
 #include <unordered_map>
 #include <vector>
 
 #include "common/dataset.h"
+#include "common/status.h"
 #include "simd/soa_block.h"
 #include "svm/kernel.h"
 
@@ -69,8 +71,19 @@ class KernelCache {
   /// Instrumentation: rows computed (cache misses).
   uint64_t rows_computed() const { return rows_computed_; }
 
+  /// Sticky materialization status. Row()/Materialize() cannot return a
+  /// Status (Row hands out a span on the solver's hot path), so a row fill
+  /// that fails — today only via the `kernel_cache.materialize` failpoint —
+  /// records its first error here and the consumer (SmoSolver) checks it
+  /// at its next step boundary. Once non-OK, subsequent row contents are
+  /// unspecified and the solve must be abandoned.
+  Status status() const;
+
  private:
   void ComputeRow(int i, std::vector<float>* row) const;
+  /// Records `status` as the sticky error if none is set yet. Safe from
+  /// pool workers (Materialize fills rows concurrently).
+  void RecordStatus(Status status) const;
 
   const Dataset& dataset_;
   std::vector<PointIndex> target_;
@@ -88,6 +101,9 @@ class KernelCache {
   };
   std::unordered_map<int, Entry> rows_;
   uint64_t rows_computed_ = 0;
+
+  mutable std::mutex status_mutex_;
+  mutable Status status_;  // First row-fill failure; OK while healthy.
 };
 
 }  // namespace dbsvec

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/thread_pool.h"
+#include "fault/failpoint.h"
 #include "simd/simd.h"
 
 namespace dbsvec {
@@ -12,6 +13,7 @@ namespace dbsvec {
 Status SmoSolver::Solve(KernelCache* kernel,
                         std::span<const double> upper_bounds,
                         const SmoOptions& options, SmoSolution* solution) {
+  DBSVEC_RETURN_IF_ERROR(FailpointCheck("smo.solve"));
   const int n = kernel->size();
   if (n == 0) {
     return Status::InvalidArgument("SMO: empty target set");
@@ -59,6 +61,7 @@ Status SmoSolver::Solve(KernelCache* kernel,
     }
   }
   kernel->Materialize(init_rows);
+  DBSVEC_RETURN_IF_ERROR(kernel->status());
   for (const int j : init_rows) {
     const std::span<const float> row = kernel->Row(j);
     const double aj2 = 2.0 * alpha[j];
@@ -108,6 +111,10 @@ Status SmoSolver::Solve(KernelCache* kernel,
     // Copy: fetching row j may evict row i from the cache.
     row_i_copy.assign(row_i.begin(), row_i.end());
     const std::span<const float> row_j = kernel->Row(j_down);
+    // A row fill that failed (fault injection) leaves the cache with a
+    // sticky error and unspecified row contents; abandon the solve before
+    // those rows can steer an update.
+    DBSVEC_RETURN_IF_ERROR(kernel->status());
 
     const double k_ii = kernel->Diag(i_up);
     const double k_jj = kernel->Diag(j_down);
@@ -146,6 +153,12 @@ Status SmoSolver::Solve(KernelCache* kernel,
     alpha_diag += alpha[i] * kernel->Diag(i);
   }
   solution->alpha_k_alpha = 0.5 * (alpha_grad + alpha_diag);
+  if (FailpointNonconverge("smo.solve")) {
+    // Deterministic degraded solve: the multipliers are a valid feasible
+    // point, but the solve reports the iteration cap as hit — exactly what
+    // downstream degradation policies must survive.
+    solution->converged = false;
+  }
   return Status::Ok();
 }
 

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+
+#include "fault/failpoint.h"
 
 namespace dbsvec {
 
@@ -32,6 +35,7 @@ double Svdd::SelectSigma(const Dataset& dataset,
 Status Svdd::Train(const Dataset& dataset,
                    std::span<const PointIndex> target,
                    const SvddParams& params, SvddModel* model) {
+  DBSVEC_RETURN_IF_ERROR(FailpointCheck("svdd.train"));
   const int n = static_cast<int>(target.size());
   if (n == 0) {
     return Status::InvalidArgument("SVDD: empty target set");
@@ -60,11 +64,13 @@ Status Svdd::Train(const Dataset& dataset,
     bounds[i] = std::min(1.0, w * c);
     bound_sum += bounds[i];
   }
+  bool caps_rescaled = false;
   if (bound_sum < 1.0) {
     const double scale = 1.0000001 / bound_sum;
     for (double& b : bounds) {
       b = std::min(1.0, b * scale);
     }
+    caps_rescaled = true;
   }
 
   KernelCache cache(dataset, target, sigma);
@@ -77,6 +83,10 @@ Status Svdd::Train(const Dataset& dataset,
   model->alpha_k_alpha_ = solution.alpha_k_alpha;
   model->smo_iterations_ = solution.iterations;
   model->converged_ = solution.converged;
+  model->caps_rescaled_ = caps_rescaled;
+  if (FailpointNonconverge("svdd.train")) {
+    model->converged_ = false;
+  }
 
   // α below this floor is numerical noise, not a support vector.
   const double alpha_floor = 1e-8;
@@ -111,6 +121,12 @@ Status Svdd::Train(const Dataset& dataset,
     model->radius_sq_ = sv_dist_sum / sv_count;
   } else {
     model->radius_sq_ = 0.0;
+  }
+  if (FailpointCorrupt("svdd.train")) {
+    // Deterministic degenerate sphere: a NaN radius is what a genuinely
+    // pathological solve produces, and it must route the caller to the
+    // exact-expansion fallback rather than poison containment tests.
+    model->radius_sq_ = std::numeric_limits<double>::quiet_NaN();
   }
   return Status::Ok();
 }

@@ -1,6 +1,7 @@
 #ifndef DBSVEC_SVM_SVDD_H_
 #define DBSVEC_SVM_SVDD_H_
 
+#include <cmath>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -57,6 +58,19 @@ class SvddModel {
   int64_t smo_iterations() const { return smo_iterations_; }
   /// Whether the solver met its tolerance.
   bool converged() const { return converged_; }
+  /// True when the weighted caps were infeasible (Σ ω_iC < 1) and had to be
+  /// scaled up to admit a solution — a sign the caller's ν/weights were too
+  /// aggressive for this target set.
+  bool caps_rescaled() const { return caps_rescaled_; }
+
+  /// True when the trained sphere is unusable for expansion: a non-finite
+  /// radius or constant term, or no support vectors at all. Callers should
+  /// fall back to exact range-query expansion for such sub-clusters.
+  bool degenerate() const {
+    return support_vectors_.empty() || !std::isfinite(radius_sq_) ||
+           !std::isfinite(alpha_k_alpha_) || !std::isfinite(sigma_) ||
+           sigma_ <= 0.0;
+  }
 
   /// Squared feature-space distance from Φ(query) to the sphere center
   /// (Eq. 12): F(x) = K(x,x) − 2Σᵢ αᵢK(xᵢ,x) + αᵀKα.
@@ -78,6 +92,7 @@ class SvddModel {
   double alpha_k_alpha_ = 0.0;
   int64_t smo_iterations_ = 0;
   bool converged_ = false;
+  bool caps_rescaled_ = false;
 };
 
 /// Trainer for the weighted SVDD model of Sec. IV-A.

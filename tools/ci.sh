@@ -2,10 +2,13 @@
 # CI entry point: Release build + full test suite (run twice: once with the
 # best SIMD backend, once with DBSVEC_SIMD=off so the scalar fallback stays
 # green), a ThreadSanitizer build running the concurrency-sensitive tests,
-# and an AddressSanitizer build running the model-format, serving, and SIMD
-# agreement tests (malformed model files must fail with a Status, never
-# with memory errors; the SoA block views must never read out of bounds).
-# Run from anywhere; builds land in <repo>/build-ci-{release,tsan,asan}.
+# an AddressSanitizer build running the model-format, serving, fault, and
+# SIMD agreement tests (malformed model files must fail with a Status, never
+# with memory errors; the SoA block views must never read out of bounds),
+# an UndefinedBehaviorSanitizer build over the same set, and a
+# DBSVEC_FAILPOINTS sweep driving the CLI end-to-end under ASan with every
+# failpoint site armed via the environment (docs/ROBUSTNESS.md).
+# Run from anywhere; builds land in <repo>/build-ci-{release,tsan,asan,ubsan}.
 set -euo pipefail
 
 repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -39,12 +42,76 @@ cmake -S "${repo}" -B "${repo}/build-ci-asan" \
   -DDBSVEC_SANITIZE=address \
   -DDBSVEC_BUILD_BENCHMARKS=OFF \
   -DDBSVEC_BUILD_EXAMPLES=OFF >/dev/null
-cmake --build "${repo}/build-ci-asan" -j "${jobs}" --target dbsvec_tests
+cmake --build "${repo}/build-ci-asan" -j "${jobs}" --target dbsvec_tests \
+  --target dbsvec_cli
 # The model tests fuzz truncations and bit flips of the binary format;
 # under ASan any out-of-bounds parse becomes a hard failure. The SIMD
 # agreement tests sweep every remainder-lane shape, so a kernel touching
-# block padding it shouldn't would trip ASan here.
+# block padding it shouldn't would trip ASan here. The fault tests arm
+# every failpoint site through the full fit/save/load/assign pipeline, so
+# every injected failure path is leak- and overflow-checked too.
 ctest --test-dir "${repo}/build-ci-asan" --output-on-failure -j "${jobs}" \
-  -R 'Model|Serve|Cli|Simd'
+  -R 'Model|Serve|Cli|Simd|Fault'
+
+echo "=== DBSVEC_FAILPOINTS env sweep through the CLI (under ASan) ==="
+# The env-var arming path is only reachable at process start, so it gets
+# its own leg: each run arms one site via DBSVEC_FAILPOINTS and must exit
+# either cleanly (degraded sites) or with the CLI's error exit code 1 —
+# never a crash (ASan would turn memory errors into non-{0,1} exits).
+cli="${repo}/build-ci-asan/tools/dbsvec_cli"
+sweep_dir="$(mktemp -d)"
+trap 'rm -rf "${sweep_dir}"' EXIT
+"${cli}" fit --demo=blobs --demo-n=400 --demo-dim=2 --minpts=5 \
+  --model-out="${sweep_dir}/model.bin" --output="${sweep_dir}/labeled.csv"
+# fit --output appends the label column; strip it to get assign input, and
+# prove the healthy assign works before sweeping failures through it.
+cut -d, -f1-2 "${sweep_dir}/labeled.csv" > "${sweep_dir}/points.csv"
+"${cli}" assign --model="${sweep_dir}/model.bin" \
+  --input="${sweep_dir}/points.csv"
+# site:expected-exit — injected failures on the fit path exit 1 with a
+# clean error, while solver-layer failures degrade to exact expansion and
+# the fit still succeeds (exit 0).
+for entry in index.build:1 model.save:1 \
+             kernel_cache.materialize:0 smo.solve:0 svdd.train:0; do
+  site="${entry%:*}"
+  expected="${entry#*:}"
+  echo "--- fit with ${site}:error armed (expect exit ${expected}) ---"
+  DBSVEC_FAILPOINTS="${site}:error" \
+    "${cli}" fit --demo=blobs --demo-n=400 --demo-dim=2 --minpts=5 \
+      --model-out="${sweep_dir}/model-armed.bin" && status=0 || status=$?
+  if [ "${status}" -ne "${expected}" ]; then
+    echo "fit sweep: ${site} exited ${status}, expected ${expected}" >&2
+    exit 1
+  fi
+done
+for site in csv.read model.load assign.batch thread_pool.task; do
+  echo "--- assign with ${site}:error armed ---"
+  DBSVEC_FAILPOINTS="${site}:error" \
+    "${cli}" assign --model="${sweep_dir}/model.bin" \
+      --input="${sweep_dir}/points.csv" && status=0 || status=$?
+  if [ "${status}" -ne 1 ]; then
+    echo "assign sweep: ${site} exited ${status}, expected 1" >&2
+    exit 1
+  fi
+done
+# Degraded-but-successful fit: nonconverged solves must be surfaced, not
+# hidden — the summary line is part of the CLI contract.
+DBSVEC_FAILPOINTS="smo.solve:nonconverge" \
+  "${cli}" fit --demo=blobs --demo-n=400 --demo-dim=2 --minpts=5 \
+    --model-out="${sweep_dir}/model-degraded.bin" \
+  | grep -q '^degraded: nonconverged_solves='
+
+echo "=== UndefinedBehaviorSanitizer build + model/serving/fault tests ==="
+cmake -S "${repo}" -B "${repo}/build-ci-ubsan" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DDBSVEC_SANITIZE=undefined \
+  -DDBSVEC_BUILD_BENCHMARKS=OFF \
+  -DDBSVEC_BUILD_EXAMPLES=OFF >/dev/null
+cmake --build "${repo}/build-ci-ubsan" -j "${jobs}" --target dbsvec_tests
+# -fno-sanitize-recover turns any UB (signed overflow in an index
+# computation, misaligned load in the serializers, ...) into a test
+# failure rather than a diagnostic that scrolls by.
+ctest --test-dir "${repo}/build-ci-ubsan" --output-on-failure -j "${jobs}" \
+  -R 'Model|Serve|Cli|Simd|Fault'
 
 echo "=== CI green ==="

@@ -13,10 +13,25 @@
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
 #include "eval/recall.h"
+#include "fault/failpoint.h"
 #include "model/dbsvec_model.h"
 
 namespace dbsvec {
 namespace {
+
+/// Degraded-solve summary shared by the cluster and fit outputs: printed
+/// only when something actually degraded, so healthy runs stay unchanged.
+void PrintDegradedStats(const ClusteringStats& stats) {
+  if (stats.num_nonconverged_solves == 0 && stats.num_svdd_fallbacks == 0 &&
+      stats.num_caps_rescaled == 0) {
+    return;
+  }
+  std::printf("degraded: nonconverged_solves=%llu svdd_fallbacks=%llu "
+              "caps_rescaled=%llu\n",
+              static_cast<unsigned long long>(stats.num_nonconverged_solves),
+              static_cast<unsigned long long>(stats.num_svdd_fallbacks),
+              static_cast<unsigned long long>(stats.num_caps_rescaled));
+}
 
 /// `fit`: cluster with DBSVEC, persist the model, report its summary.
 int RunFitCommand(const cli::CliOptions& options) {
@@ -39,6 +54,7 @@ int RunFitCommand(const cli::CliOptions& options) {
               dataset.size(), dataset.dim(), model.epsilon, model.min_pts);
   std::printf("clusters=%d noise=%d time=%.3fs\n", result.num_clusters,
               result.CountNoise(), timer.ElapsedSeconds());
+  PrintDegradedStats(result.stats);
   std::printf("model: core_points=%d (%d core-SVs) spheres=%zu -> %s\n",
               model.core_points.size(),
               static_cast<int>(std::count(model.core_is_sv.begin(),
@@ -103,6 +119,14 @@ int Main(int argc, char** argv) {
     return 0;
   }
   SetGlobalThreads(options.threads);
+  if (!options.failpoints.empty()) {
+    if (const Status status =
+            FailpointRegistry::Instance().ArmSpec(options.failpoints);
+        !status.ok()) {
+      std::fprintf(stderr, "--failpoints: %s\n", status.ToString().c_str());
+      return 2;
+    }
+  }
   if (options.command == cli::Command::kFit) {
     return RunFitCommand(options);
   }
@@ -144,6 +168,7 @@ int Main(int argc, char** argv) {
                     result.stats.num_support_vectors),
                 static_cast<unsigned long long>(result.stats.num_merges));
   }
+  PrintDegradedStats(result.stats);
 
   if (options.compare_dbscan) {
     DbscanParams exact;
