@@ -1,0 +1,309 @@
+// Serving-path harness: end-to-end latency and throughput of the epoll
+// HTTP server on /v1/assign, swept over worker-thread count, concurrent
+// client connections, and batch size, for both JSON and binary payloads.
+// Everything runs in-process over loopback: the server under test is the
+// production Server, the clients are the blocking keep-alive HttpClient.
+//
+// Labels must be bit-identical to the offline engine for every cell — the
+// harness fails otherwise, so a throughput number can never be quoted for
+// a server that returns wrong answers.
+//
+// Flags: --n --dim --clusters --eps --minpts --seed --requests --out
+// Writes BENCH_serve.json next to the text tables.
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "bench_util.h"
+#include "common/dataset.h"
+#include "common/stopwatch.h"
+#include "core/dbsvec.h"
+#include "data/synthetic.h"
+#include "model/dbsvec_model.h"
+#include "serve/assignment_engine.h"
+#include "server/http_client.h"
+#include "server/server.h"
+
+namespace dbsvec {
+namespace {
+
+struct Cell {
+  int workers = 0;
+  int clients = 0;
+  int batch = 0;
+  std::string encoding;
+  double qps = 0.0;          // Requests per second across all clients.
+  double points_per_sec = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double max_us = 0.0;
+};
+
+double Percentile(std::vector<double>* sorted_us, double q) {
+  if (sorted_us->empty()) {
+    return 0.0;
+  }
+  const size_t idx = static_cast<size_t>(
+      q * static_cast<double>(sorted_us->size() - 1) + 0.5);
+  return (*sorted_us)[std::min(idx, sorted_us->size() - 1)];
+}
+
+/// Builds the request body for points [offset, offset + batch) of `queries`
+/// in the wire format documented in server/payload.h.
+std::string MakeBody(const Dataset& queries, int offset, int batch,
+                     bool binary) {
+  const int dim = queries.dim();
+  std::string body;
+  if (binary) {
+    const uint32_t count = static_cast<uint32_t>(batch);
+    const uint32_t udim = static_cast<uint32_t>(dim);
+    body.append(reinterpret_cast<const char*>(&count), 4);
+    body.append(reinterpret_cast<const char*>(&udim), 4);
+    for (int i = 0; i < batch; ++i) {
+      const auto point = queries.point((offset + i) % queries.size());
+      body.append(reinterpret_cast<const char*>(point.data()), dim * 8);
+    }
+    return body;
+  }
+  body = "{\"points\":[";
+  char buffer[64];
+  for (int i = 0; i < batch; ++i) {
+    body += i > 0 ? ",[" : "[";
+    const auto point = queries.point((offset + i) % queries.size());
+    for (int d = 0; d < dim; ++d) {
+      std::snprintf(buffer, sizeof(buffer), "%s%.17g", d > 0 ? "," : "",
+                    point[d]);
+      body += buffer;
+    }
+    body += "]";
+  }
+  body += "]}";
+  return body;
+}
+
+int Main(int argc, char** argv) {
+  const bench::Args args(argc, argv);
+  GaussianBlobsParams data;
+  data.n = static_cast<PointIndex>(args.GetInt("n", 20'000));
+  data.dim = static_cast<int>(args.GetInt("dim", 8));
+  data.num_clusters = static_cast<int>(args.GetInt("clusters", 6));
+  data.noise_fraction = 0.05;
+  data.seed = static_cast<uint64_t>(args.GetInt("seed", 29));
+  DbsvecParams params;
+  params.epsilon = args.GetDouble("eps", 9.0);
+  params.min_pts = static_cast<int>(args.GetInt("minpts", 30));
+  const int requests_per_client =
+      static_cast<int>(args.GetInt("requests", 400));
+  const std::string json_path = args.GetString("out", "BENCH_serve.json");
+
+  std::printf("fitting model: n=%d dim=%d clusters=%d eps=%g minpts=%d\n",
+              data.n, data.dim, data.num_clusters, params.epsilon,
+              params.min_pts);
+  const Dataset train = GenerateGaussianBlobs(data);
+  Clustering result;
+  DbsvecModel model;
+  Status status = RunDbsvec(train, params, &result, &model);
+  if (!status.ok()) {
+    std::fprintf(stderr, "fit: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  const std::string model_path =
+      (std::filesystem::temp_directory_path() /
+       ("bench_serve_" + std::to_string(::getpid()) + ".dbsvm"))
+          .string();
+  status = SaveModel(model, model_path);
+  if (!status.ok()) {
+    std::fprintf(stderr, "save: %s\n", status.ToString().c_str());
+    return 1;
+  }
+
+  // Query stream drawn from the training distribution plus the reference
+  // answer computed once against the offline engine.
+  GaussianBlobsParams query_params = data;
+  query_params.n = 4'096;
+  const Dataset queries = GenerateGaussianBlobs(query_params);
+  std::vector<int32_t> expected;
+  {
+    std::unique_ptr<AssignmentEngine> engine;
+    status = AssignmentEngine::Load(model_path, {}, &engine);
+    if (!status.ok()) {
+      std::fprintf(stderr, "load: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    status = engine->AssignBatch(queries, &expected);
+    if (!status.ok()) {
+      std::fprintf(stderr, "assign: %s\n", status.ToString().c_str());
+      return 1;
+    }
+  }
+
+  std::vector<Cell> cells;
+  bench::Table table({"workers", "clients", "batch", "encoding", "qps",
+                      "Mpt/s", "p50 us", "p99 us", "max us"});
+  bool all_match = true;
+  for (const int workers : {1, 2, 4}) {
+    server::ServerOptions options;
+    options.num_workers = workers;
+    options.max_inflight = 256;
+    options.port = 0;
+    std::unique_ptr<AssignmentEngine> engine;
+    status = AssignmentEngine::Load(model_path, options.engine_options,
+                                    &engine);
+    if (!status.ok()) {
+      std::fprintf(stderr, "load: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::unique_ptr<server::Server> server;
+    status = server::Server::Start(
+        std::shared_ptr<AssignmentEngine>(std::move(engine)), options,
+        &server);
+    if (!status.ok()) {
+      std::fprintf(stderr, "start: %s\n", status.ToString().c_str());
+      return 1;
+    }
+
+    for (const int clients : {1, 4, 8}) {
+      for (const int batch : {1, 64, 512}) {
+        for (const bool binary : {false, true}) {
+          std::vector<std::vector<double>> latencies(clients);
+          std::atomic<int> mismatches{0};
+          std::atomic<int> failures{0};
+          Stopwatch wall;
+          std::vector<std::thread> threads;
+          for (int c = 0; c < clients; ++c) {
+            threads.emplace_back([&, c] {
+              server::HttpClient client;
+              if (!client.Connect("127.0.0.1", server->port()).ok()) {
+                failures.fetch_add(1);
+                return;
+              }
+              const char* content_type = binary
+                                             ? "application/octet-stream"
+                                             : "application/json";
+              latencies[c].reserve(requests_per_client);
+              for (int r = 0; r < requests_per_client; ++r) {
+                const int offset = (c * requests_per_client + r) * batch;
+                const std::string body =
+                    MakeBody(queries, offset, batch, binary);
+                server::HttpResponse response;
+                Stopwatch timer;
+                const Status rt = client.Roundtrip(
+                    "POST", "/v1/assign", content_type, body, {}, &response);
+                const double us = timer.ElapsedSeconds() * 1e6;
+                if (!rt.ok() || response.status_code != 200) {
+                  failures.fetch_add(1);
+                  return;
+                }
+                latencies[c].push_back(us);
+                // Verify the batch against the offline reference labels.
+                if (binary) {
+                  for (int i = 0; i < batch; ++i) {
+                    int32_t label = 0;
+                    std::memcpy(&label, response.body.data() + 4 + i * 4, 4);
+                    const int32_t want =
+                        expected[(offset + i) % queries.size()];
+                    if (label != want) {
+                      mismatches.fetch_add(1);
+                      return;
+                    }
+                  }
+                }
+              }
+            });
+          }
+          for (auto& thread : threads) {
+            thread.join();
+          }
+          const double seconds = wall.ElapsedSeconds();
+          if (failures.load() > 0 || mismatches.load() > 0) {
+            std::fprintf(stderr,
+                         "FAIL: workers=%d clients=%d batch=%d %s: "
+                         "%d failures, %d label mismatches\n",
+                         workers, clients, batch,
+                         binary ? "binary" : "json", failures.load(),
+                         mismatches.load());
+            all_match = false;
+            continue;
+          }
+          std::vector<double> merged;
+          for (const auto& per_client : latencies) {
+            merged.insert(merged.end(), per_client.begin(),
+                          per_client.end());
+          }
+          std::sort(merged.begin(), merged.end());
+          Cell cell;
+          cell.workers = workers;
+          cell.clients = clients;
+          cell.batch = batch;
+          cell.encoding = binary ? "binary" : "json";
+          cell.qps = static_cast<double>(merged.size()) / seconds;
+          cell.points_per_sec = cell.qps * batch;
+          cell.p50_us = Percentile(&merged, 0.50);
+          cell.p99_us = Percentile(&merged, 0.99);
+          cell.max_us = merged.empty() ? 0.0 : merged.back();
+          table.AddRow({std::to_string(cell.workers),
+                        std::to_string(cell.clients),
+                        std::to_string(cell.batch), cell.encoding,
+                        bench::FormatDouble(cell.qps, 0),
+                        bench::FormatDouble(cell.points_per_sec / 1e6, 3),
+                        bench::FormatDouble(cell.p50_us, 0),
+                        bench::FormatDouble(cell.p99_us, 0),
+                        bench::FormatDouble(cell.max_us, 0)});
+          cells.push_back(cell);
+        }
+      }
+    }
+    server->Shutdown();
+  }
+  table.Print();
+
+  std::ofstream json(json_path);
+  json << "{\n"
+       << "  \"workload\": {\"generator\": \"gaussian_blobs\", \"n\": "
+       << data.n << ", \"dim\": " << data.dim << ", \"clusters\": "
+       << data.num_clusters << ", \"eps\": " << params.epsilon
+       << ", \"minpts\": " << params.min_pts << ", \"seed\": " << data.seed
+       << "},\n"
+       << "  \"requests_per_client\": " << requests_per_client << ",\n"
+       << "  \"all_labels_match\": " << (all_match ? "true" : "false")
+       << ",\n"
+       << "  \"cells\": [\n";
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const Cell& cell = cells[i];
+    json << "    {\"workers\": " << cell.workers << ", \"clients\": "
+         << cell.clients << ", \"batch\": " << cell.batch
+         << ", \"encoding\": \"" << cell.encoding << "\", \"qps\": "
+         << cell.qps << ", \"points_per_sec\": " << cell.points_per_sec
+         << ", \"p50_us\": " << cell.p50_us << ", \"p99_us\": "
+         << cell.p99_us << ", \"max_us\": " << cell.max_us << "}"
+         << (i + 1 < cells.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  std::printf("[json written to %s]\n", json_path.c_str());
+
+  std::error_code ec;
+  std::filesystem::remove(model_path, ec);
+  if (!all_match) {
+    std::fprintf(stderr,
+                 "FAIL: at least one cell failed or returned labels that "
+                 "diverge from the offline engine\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace dbsvec
+
+int main(int argc, char** argv) { return dbsvec::Main(argc, argv); }

@@ -118,10 +118,11 @@ std::string HelpText() {
   return
       "dbsvec_cli — density-based clustering from the command line\n"
       "\n"
-      "Usage: dbsvec_cli [fit|assign] [--flags]\n"
+      "Usage: dbsvec_cli [fit|assign|serve] [--flags]\n"
       "  (no command)  cluster a dataset, print a summary (original mode)\n"
       "  fit           cluster with DBSVEC and persist the trained model\n"
       "  assign        assign new points using a persisted model\n"
+      "  serve         expose a persisted model over HTTP (docs/SERVING.md)\n"
       "\n"
       "Input (pick one):\n"
       "  --input=FILE.csv        headerless numeric CSV, one point per row\n"
@@ -155,6 +156,18 @@ std::string HelpText() {
       "  --batch=N               assign: points per batched call "
       "(default 4096)\n"
       "\n"
+      "Serving (serve; also honors --model, --index, --threads):\n"
+      "  --host=ADDR             bind address (default 127.0.0.1)\n"
+      "  --port=N                TCP port; 0 = ephemeral (default 8080)\n"
+      "  --io-threads=N          event-loop threads (default 1)\n"
+      "  --workers=N             request worker threads (default 2)\n"
+      "  --max-inflight=N        admission bound; beyond it /v1/assign and\n"
+      "                          /v1/reload are shed with 503 (default 64)\n"
+      "  --deadline-ms-default=N per-request budget when the client sends\n"
+      "                          no X-Deadline-Ms header (default: none)\n"
+      "  --refresh               absorb core-adjacent assigned points into\n"
+      "                          the dynamic overlay (online refresh)\n"
+      "\n"
       "Robustness:\n"
       "  --deadline-ms=N         overall time budget; an exceeded budget\n"
       "                          exits with a DeadlineExceeded status\n"
@@ -177,6 +190,10 @@ Status ParseCliOptions(const std::vector<std::string>& args,
       }
       if (i == 0 && arg == "assign") {
         options->command = Command::kAssign;
+        continue;
+      }
+      if (i == 0 && arg == "serve") {
+        options->command = Command::kServe;
         continue;
       }
       return Status::InvalidArgument("unexpected argument: " + arg);
@@ -251,6 +268,30 @@ Status ParseCliOptions(const std::vector<std::string>& args,
       int deadline_ms = 0;
       DBSVEC_RETURN_IF_ERROR(ParsePositiveInt(key, value, &deadline_ms));
       options->deadline_ms = deadline_ms;
+    } else if (key == "host") {
+      options->serve_host = value;
+    } else if (key == "port") {
+      char* end = nullptr;
+      const long parsed = std::strtol(value.c_str(), &end, 10);
+      if (end == value.c_str() || parsed < 0 || parsed > 65535) {
+        return Status::InvalidArgument("--port must be in [0, 65535]");
+      }
+      options->serve_port = static_cast<int>(parsed);
+    } else if (key == "io-threads") {
+      DBSVEC_RETURN_IF_ERROR(
+          ParsePositiveInt(key, value, &options->serve_io_threads));
+    } else if (key == "workers") {
+      DBSVEC_RETURN_IF_ERROR(
+          ParsePositiveInt(key, value, &options->serve_workers));
+    } else if (key == "max-inflight") {
+      DBSVEC_RETURN_IF_ERROR(
+          ParsePositiveInt(key, value, &options->serve_max_inflight));
+    } else if (key == "deadline-ms-default") {
+      int default_ms = 0;
+      DBSVEC_RETURN_IF_ERROR(ParsePositiveInt(key, value, &default_ms));
+      options->serve_default_deadline_ms = default_ms;
+    } else if (key == "refresh") {
+      options->serve_refresh = value != "0" && value != "false";
     } else if (key == "failpoints") {
       if (value.empty()) {
         return Status::InvalidArgument(
@@ -273,6 +314,10 @@ Status ParseCliOptions(const std::vector<std::string>& args,
       return Status::InvalidArgument(
           "assign requires --input=FILE.csv (points to assign)");
     }
+  }
+  if (options->command == Command::kServe && !options->show_help &&
+      options->model_path.empty()) {
+    return Status::InvalidArgument("serve requires --model=FILE");
   }
   return Status::Ok();
 }

@@ -12,11 +12,13 @@ namespace dbsvec::cli {
 
 /// Top-level CLI mode. `cluster` (the default, no command word) keeps the
 /// original flag-only interface; `fit` additionally persists a trained
-/// DBSVEC model; `assign` serves point-assignment queries from one.
+/// DBSVEC model; `assign` serves point-assignment queries from one;
+/// `serve` exposes a model over HTTP (docs/SERVING.md).
 enum class Command {
   kCluster,
   kFit,
   kAssign,
+  kServe,
 };
 
 /// Which clusterer the CLI runs.
@@ -74,6 +76,16 @@ struct CliOptions {
   // Robustness (docs/ROBUSTNESS.md).
   int64_t deadline_ms = 0;   ///< > 0: overall time budget for the run.
   std::string failpoints;    ///< DBSVEC_FAILPOINTS-syntax spec to arm.
+
+  // serve (docs/SERVING.md). --model, --index, and --threads above also
+  // apply; --threads sizes the global pool AssignBatch fans out on.
+  std::string serve_host = "127.0.0.1";
+  int serve_port = 8080;      ///< 0 binds an ephemeral port.
+  int serve_io_threads = 1;   ///< Event-loop threads.
+  int serve_workers = 2;      ///< Request-processing threads.
+  int serve_max_inflight = 64;
+  int64_t serve_default_deadline_ms = 0;  ///< Per-request default budget.
+  bool serve_refresh = false;  ///< Online core absorption (overlay).
 };
 
 /// Parses argv into `*options`. Returns InvalidArgument with a message

@@ -14,7 +14,8 @@ Status WriteCsv(const Dataset& dataset, const std::vector<int32_t>& labels,
                 const std::string& path) {
   if (!labels.empty() &&
       static_cast<PointIndex>(labels.size()) != dataset.size()) {
-    return Status::InvalidArgument("labels size does not match dataset size");
+    return Status::InvalidArgument(
+        "labels size does not match dataset size writing " + path);
   }
   std::ofstream out(path);
   if (!out) {

@@ -21,6 +21,8 @@ const char* CodeName(Status::Code code) {
       return "DeadlineExceeded";
     case Status::Code::kResourceExhausted:
       return "ResourceExhausted";
+    case Status::Code::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }

@@ -21,6 +21,7 @@ class Status {
     kInternal,
     kDeadlineExceeded,   ///< A deadline expired or the run was cancelled.
     kResourceExhausted,  ///< A resource budget (memory, quota) ran out.
+    kUnavailable,        ///< Transiently unable to serve (shed load, retry).
   };
 
   /// Default-constructed Status is OK.
@@ -50,6 +51,9 @@ class Status {
   }
   static Status ResourceExhausted(std::string message) {
     return Status(Code::kResourceExhausted, std::move(message));
+  }
+  static Status Unavailable(std::string message) {
+    return Status(Code::kUnavailable, std::move(message));
   }
 
   /// True iff the operation succeeded.

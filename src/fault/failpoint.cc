@@ -14,7 +14,7 @@ namespace {
 /// Every failpoint site in the library, in pipeline order. A site name has
 /// the form "<layer>.<operation>"; adding a site means adding it here and
 /// placing the matching check in the instrumented code.
-constexpr std::array<std::string_view, 9> kSites = {
+constexpr std::array<std::string_view, 12> kSites = {
     "csv.read",                  // Dataset ingest from CSV.
     "index.build",               // Range-query index construction.
     "kernel_cache.materialize",  // Kernel row materialization.
@@ -24,6 +24,9 @@ constexpr std::array<std::string_view, 9> kSites = {
     "model.save",                // Model serialization + file write.
     "model.load",                // Model file read + parse.
     "assign.batch",              // AssignmentEngine (per point / chunk).
+    "server.accept",             // Server accept path (per connection).
+    "server.reload",             // Server model reload (/v1/reload).
+    "serve.refresh",             // Online core absorption (per batch).
 };
 
 Status InjectedError(std::string_view site, std::string_view code) {

@@ -243,6 +243,16 @@ Status DeserializeModel(std::span<const uint8_t> bytes, DbsvecModel* model) {
   return Status::Ok();
 }
 
+Status ModelPayloadCrc(const DbsvecModel& model, uint32_t* crc) {
+  std::vector<uint8_t> bytes;
+  DBSVEC_RETURN_IF_ERROR(SerializeModel(model, &bytes));
+  // The header stores the payload CRC at offset 12 (see the layout above);
+  // recompute it over the payload instead of peeking at the header so this
+  // stays correct if the header ever grows.
+  *crc = Crc32(std::span<const uint8_t>(bytes).subspan(kHeaderBytes));
+  return Status::Ok();
+}
+
 Status SaveModel(const DbsvecModel& model, const std::string& path) {
   DBSVEC_RETURN_IF_ERROR(FailpointCheck("model.save"));
   std::vector<uint8_t> bytes;

@@ -95,6 +95,13 @@ Status SerializeModel(const DbsvecModel& model, std::vector<uint8_t>* bytes);
 /// input.
 Status DeserializeModel(std::span<const uint8_t> bytes, DbsvecModel* model);
 
+/// CRC-32 of the model's serialized payload — the same checksum stored in
+/// the file header, so a fitted-in-memory model and its on-disk artifact
+/// report the same identity. Serving surfaces (`fit` CLI line, /v1/statz)
+/// use (kFormatVersion, crc) as the model identity without re-reading the
+/// file.
+Status ModelPayloadCrc(const DbsvecModel& model, uint32_t* crc);
+
 /// SerializeModel + write to `path`.
 Status SaveModel(const DbsvecModel& model, const std::string& path);
 

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <limits>
+#include <mutex>
 
 #include "cluster/clustering.h"
 #include "common/thread_pool.h"
@@ -11,12 +12,16 @@ namespace dbsvec {
 
 AssignmentEngine::AssignmentEngine(DbsvecModel model,
                                    const AssignmentOptions& options)
-    : model_(std::move(model)), options_(options) {
+    : model_(std::move(model)),
+      options_(options),
+      absorbed_points_(model_.dim) {
   const int dim = model_.dim;
   sphere_reach_sq_.reserve(model_.spheres.size());
+  sphere_radius_sq_.reserve(model_.spheres.size());
   for (const SubClusterSphere& sphere : model_.spheres) {
     const double reach = sphere.radius + model_.epsilon;
     sphere_reach_sq_.push_back(reach * reach);
+    sphere_radius_sq_.push_back(sphere.radius * sphere.radius);
   }
   if (model_.core_points.size() > 0) {
     bbox_min_.assign(dim, std::numeric_limits<double>::infinity());
@@ -32,6 +37,9 @@ AssignmentEngine::AssignmentEngine(DbsvecModel model,
       bbox_min_[d] -= model_.epsilon;
       bbox_max_[d] += model_.epsilon;
     }
+  }
+  if (options_.online_refresh) {
+    absorbed_tree_ = std::make_unique<DynamicRStarTree>(absorbed_points_);
   }
 }
 
@@ -50,7 +58,13 @@ Status AssignmentEngine::Create(DbsvecModel model,
   if (options.batch_grain < 1) {
     return Status::InvalidArgument("serve: batch_grain must be >= 1");
   }
+  if (options.max_absorbed < 0) {
+    return Status::InvalidArgument("serve: max_absorbed must be >= 0");
+  }
+  uint32_t crc = 0;
+  DBSVEC_RETURN_IF_ERROR(ModelPayloadCrc(model, &crc));
   out->reset(new AssignmentEngine(std::move(model), options));
+  (*out)->model_crc_ = crc;
   const Status built = (*out)->BuildIndex(options.build_deadline);
   if (!built.ok()) {
     out->reset();  // Never hand back a half-initialized engine.
@@ -67,50 +81,97 @@ Status AssignmentEngine::Load(const std::string& path,
   return Create(std::move(model), options, out);
 }
 
+void AssignmentEngine::MergeOverlayNearest(std::span<const double> query,
+                                           double* best_dist,
+                                           int32_t* best_cluster) const {
+  if (overlay_size_.load(std::memory_order_acquire) == 0) {
+    return;
+  }
+  std::shared_lock<std::shared_mutex> lock(overlay_mutex_);
+  std::vector<PointIndex> ids;
+  absorbed_tree_->RangeQuery(query, model_.epsilon, &ids);
+  for (const PointIndex id : ids) {
+    const double d2 = absorbed_points_.SquaredDistanceTo(id, query);
+    const int32_t cluster = absorbed_labels_[static_cast<size_t>(id)];
+    if (d2 < *best_dist || (d2 == *best_dist && cluster < *best_cluster)) {
+      *best_dist = d2;
+      *best_cluster = cluster;
+    }
+  }
+}
+
+bool AssignmentEngine::InsideMemberSphere(
+    std::span<const double> query) const {
+  for (size_t s = 0; s < model_.spheres.size(); ++s) {
+    if (SquaredDistance(query, model_.spheres[s].center) <=
+        sphere_radius_sq_[s]) {
+      return true;
+    }
+  }
+  return false;
+}
+
 int32_t AssignmentEngine::AssignTransformed(std::span<const double> query,
                                             QueryScratch* scratch) const {
   points_assigned_.fetch_add(1, std::memory_order_relaxed);
-  if (index_ == nullptr) {
+  const bool overlay_live =
+      options_.online_refresh &&
+      overlay_size_.load(std::memory_order_acquire) > 0;
+  if (index_ == nullptr && !overlay_live) {
     return Clustering::kNoise;  // Model with an empty core summary.
   }
-  if (options_.sphere_prefilter) {
-    for (size_t d = 0; d < query.size(); ++d) {
-      if (query[d] < bbox_min_[d] || query[d] > bbox_max_[d]) {
-        sphere_rejections_.fetch_add(1, std::memory_order_relaxed);
-        return Clustering::kNoise;
-      }
-    }
-    bool inside_some_sphere = model_.spheres.empty();
-    for (size_t s = 0; s < model_.spheres.size() && !inside_some_sphere;
-         ++s) {
-      const double d2 =
-          SquaredDistance(query, model_.spheres[s].center);
-      inside_some_sphere = d2 <= sphere_reach_sq_[s];
-    }
-    if (!inside_some_sphere) {
-      // Outside every sub-cluster's member sphere inflated by ε: no core
-      // point (a member by construction) can be within ε.
-      sphere_rejections_.fetch_add(1, std::memory_order_relaxed);
-      return Clustering::kNoise;
-    }
-  }
-  range_queries_.fetch_add(1, std::memory_order_relaxed);
-  index_->RangeQueryWithDistances(query, model_.epsilon, &scratch->ids,
-                                  &scratch->dist_sq);
-  // Nearest core point wins; ties break toward the smaller cluster id so
-  // the answer is independent of the index's result order. The distances
-  // come straight from the index's batched leaf scans (bit-identical to
-  // SquaredDistanceTo), so no second distance pass runs here.
   int32_t best_cluster = Clustering::kNoise;
   double best_dist = std::numeric_limits<double>::infinity();
-  for (size_t k = 0; k < scratch->ids.size(); ++k) {
-    const double d2 = scratch->dist_sq[k];
-    const int32_t cluster = model_.core_labels[scratch->ids[k]];
-    if (d2 < best_dist ||
-        (d2 == best_dist && cluster < best_cluster)) {
-      best_dist = d2;
-      best_cluster = cluster;
+  bool prefilter_rejected = false;
+  if (index_ != nullptr) {
+    if (options_.sphere_prefilter) {
+      for (size_t d = 0; d < query.size(); ++d) {
+        if (query[d] < bbox_min_[d] || query[d] > bbox_max_[d]) {
+          prefilter_rejected = true;
+          break;
+        }
+      }
+      if (!prefilter_rejected) {
+        bool inside_some_sphere = model_.spheres.empty();
+        for (size_t s = 0; s < model_.spheres.size() && !inside_some_sphere;
+             ++s) {
+          const double d2 =
+              SquaredDistance(query, model_.spheres[s].center);
+          inside_some_sphere = d2 <= sphere_reach_sq_[s];
+        }
+        // Outside every sub-cluster's member sphere inflated by ε: no core
+        // point (a member by construction) can be within ε.
+        prefilter_rejected = !inside_some_sphere;
+      }
+      if (prefilter_rejected) {
+        sphere_rejections_.fetch_add(1, std::memory_order_relaxed);
+      }
     }
+    if (!prefilter_rejected) {
+      range_queries_.fetch_add(1, std::memory_order_relaxed);
+      index_->RangeQueryWithDistances(query, model_.epsilon, &scratch->ids,
+                                      &scratch->dist_sq);
+      // Nearest core point wins; ties break toward the smaller cluster id
+      // so the answer is independent of the index's result order. The
+      // distances come straight from the index's batched leaf scans
+      // (bit-identical to SquaredDistanceTo), so no second distance pass
+      // runs here.
+      for (size_t k = 0; k < scratch->ids.size(); ++k) {
+        const double d2 = scratch->dist_sq[k];
+        const int32_t cluster = model_.core_labels[scratch->ids[k]];
+        if (d2 < best_dist ||
+            (d2 == best_dist && cluster < best_cluster)) {
+          best_dist = d2;
+          best_cluster = cluster;
+        }
+      }
+    }
+  }
+  // Absorbed overlay cores extend the summary past the trained spheres, so
+  // they are consulted even for prefilter-rejected queries (a drifted
+  // cluster lives outside every training-time sphere by definition).
+  if (overlay_live) {
+    MergeOverlayNearest(query, &best_dist, &best_cluster);
   }
   return best_cluster;
 }
@@ -168,12 +229,72 @@ Status AssignmentEngine::AssignBatch(const Dataset& points,
       });
 }
 
+Status AssignmentEngine::AbsorbCoreAdjacent(const Dataset& points,
+                                            const std::vector<int32_t>& labels,
+                                            uint64_t* absorbed) {
+  if (absorbed != nullptr) {
+    *absorbed = 0;
+  }
+  if (!options_.online_refresh) {
+    return Status::FailedPrecondition(
+        "serve: AbsorbCoreAdjacent requires online_refresh");
+  }
+  if (points.dim() != model_.dim) {
+    return Status::InvalidArgument(
+        "absorb: batch has dimension " + std::to_string(points.dim()) +
+        ", model expects " + std::to_string(model_.dim));
+  }
+  if (static_cast<PointIndex>(labels.size()) != points.size()) {
+    return Status::InvalidArgument(
+        "absorb: labels are not parallel to points");
+  }
+  DBSVEC_RETURN_IF_ERROR(FailpointCheck("serve.refresh"));
+  uint64_t added = 0;
+  std::vector<double> transformed(model_.dim);
+  std::vector<PointIndex> near;
+  std::unique_lock<std::shared_mutex> lock(overlay_mutex_);
+  for (PointIndex i = 0; i < points.size(); ++i) {
+    if (labels[static_cast<size_t>(i)] < 0) {
+      continue;  // Noise is never core-adjacent.
+    }
+    if (absorbed_points_.size() >= options_.max_absorbed) {
+      break;
+    }
+    std::span<const double> query = points.point(i);
+    if (!model_.transform.empty()) {
+      model_.transform.Apply(query, transformed);
+      query = transformed;
+    }
+    if (!InsideMemberSphere(query)) {
+      continue;  // Prefilter distance says it is not core-adjacent.
+    }
+    // Dedupe against cores already absorbed: a point within ε of one adds
+    // no reach to the summary.
+    absorbed_tree_->RangeQuery(query, model_.epsilon, &near);
+    if (!near.empty()) {
+      continue;
+    }
+    absorbed_points_.Append(query);
+    absorbed_labels_.push_back(labels[static_cast<size_t>(i)]);
+    absorbed_tree_->Insert(absorbed_points_.size() - 1);
+    ++added;
+  }
+  overlay_size_.store(absorbed_points_.size(), std::memory_order_release);
+  lock.unlock();
+  cores_absorbed_.fetch_add(added, std::memory_order_relaxed);
+  if (absorbed != nullptr) {
+    *absorbed = added;
+  }
+  return Status::Ok();
+}
+
 AssignmentEngine::ServeStats AssignmentEngine::stats() const {
   ServeStats stats;
   stats.points_assigned = points_assigned_.load(std::memory_order_relaxed);
   stats.sphere_rejections =
       sphere_rejections_.load(std::memory_order_relaxed);
   stats.range_queries = range_queries_.load(std::memory_order_relaxed);
+  stats.cores_absorbed = cores_absorbed_.load(std::memory_order_relaxed);
   return stats;
 }
 

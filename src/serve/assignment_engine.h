@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <shared_mutex>
 #include <span>
 #include <string>
 #include <vector>
@@ -11,6 +12,7 @@
 #include "common/dataset.h"
 #include "common/deadline.h"
 #include "common/status.h"
+#include "index/dynamic_r_star_tree.h"
 #include "index/neighbor_index.h"
 #include "model/dbsvec_model.h"
 
@@ -30,6 +32,14 @@ struct AssignmentOptions {
   /// Default: unlimited. Per-call budgets are passed to Assign/AssignBatch
   /// directly.
   Deadline build_deadline;
+  /// Online model refresh (docs/SERVING.md): maintain a dynamic R*-tree
+  /// overlay of absorbed core points next to the static core summary, fed
+  /// by AbsorbCoreAdjacent. Off (the default) keeps the engine strictly
+  /// immutable and its output bit-identical for a fixed model snapshot.
+  bool online_refresh = false;
+  /// Cap on absorbed overlay cores; absorption stops silently at the cap
+  /// (the overlay is a drift tracker, not a second training set).
+  int32_t max_absorbed = 100'000;
 };
 
 /// Online point-assignment over a trained DbsvecModel.
@@ -44,7 +54,11 @@ struct AssignmentOptions {
 /// Thread safety: Assign/AssignBatch are const and may be called
 /// concurrently (the serving counters are atomic). AssignBatch fans its
 /// chunks out on the global thread pool; per-point results are
-/// independent, so output is bit-identical at every thread count.
+/// independent, so output is bit-identical at every thread count. With
+/// online_refresh enabled, AbsorbCoreAdjacent may run concurrently with
+/// assignments (overlay reads take a shared lock, absorption an exclusive
+/// one); assignments then additionally depend on the absorption history,
+/// so the bit-identical guarantee holds per overlay state, not globally.
 class AssignmentEngine {
  public:
   /// Validates `model` and builds the serving index over its core summary.
@@ -70,8 +84,28 @@ class AssignmentEngine {
   Status AssignBatch(const Dataset& points, std::vector<int32_t>* labels,
                      const Deadline& deadline = Deadline()) const;
 
+  /// Online refresh hook (requires options.online_refresh): absorbs every
+  /// point of `points` whose assigned label is non-noise and whose
+  /// transformed coordinates lie inside a sub-cluster member sphere (the
+  /// sphere-prefilter distance marks it core-adjacent) into the dynamic
+  /// overlay, so subsequent assignments treat it as a known core of that
+  /// cluster. Points within ε of an already-absorbed core are skipped
+  /// (the overlay summarizes drift, it does not mirror traffic), as is
+  /// everything beyond max_absorbed. `labels` must be parallel to
+  /// `points` (typically the AssignBatch output). `*absorbed` (optional)
+  /// receives the number of cores actually added. Guarded by the
+  /// `serve.refresh` failpoint.
+  Status AbsorbCoreAdjacent(const Dataset& points,
+                            const std::vector<int32_t>& labels,
+                            uint64_t* absorbed = nullptr);
+
   const DbsvecModel& model() const { return model_; }
   int dim() const { return model_.dim; }
+  /// Model identity without re-reading the file: the format version this
+  /// library writes and the payload CRC-32 (equal to the file header's
+  /// checksum field for a model loaded from disk).
+  uint32_t model_version() const { return DbsvecModel::kFormatVersion; }
+  uint32_t model_crc() const { return model_crc_; }
 
   /// Cumulative serving counters (relaxed atomics; cheap, approximate
   /// under concurrency, exact when queries are serial).
@@ -79,6 +113,7 @@ class AssignmentEngine {
     uint64_t points_assigned = 0;
     uint64_t sphere_rejections = 0;  ///< Answered kNoise by the prefilter.
     uint64_t range_queries = 0;      ///< Queries that reached the index.
+    uint64_t cores_absorbed = 0;     ///< Overlay cores added by refresh.
   };
   ServeStats stats() const;
 
@@ -102,20 +137,46 @@ class AssignmentEngine {
   int32_t AssignTransformed(std::span<const double> query,
                             QueryScratch* scratch) const;
 
+  /// Overlay lookup of one transformed query; merges the nearest absorbed
+  /// core within ε into (best_dist, best_cluster) under the same
+  /// tie-break. No-op unless online_refresh is on and cores were absorbed.
+  void MergeOverlayNearest(std::span<const double> query, double* best_dist,
+                           int32_t* best_cluster) const;
+
+  /// True iff the transformed point sits inside some sub-cluster member
+  /// sphere (un-inflated radius — the core-adjacency criterion).
+  bool InsideMemberSphere(std::span<const double> query) const;
+
   const DbsvecModel model_;
   const AssignmentOptions options_;
+  uint32_t model_crc_ = 0;
   std::unique_ptr<NeighborIndex> index_;  // Over model_.core_points.
   // Sub-cluster sphere radii inflated by ε, squared, parallel to
   // model_.spheres (precomputed for the prefilter).
   std::vector<double> sphere_reach_sq_;
+  // Un-inflated member-sphere radii, squared (core-adjacency test).
+  std::vector<double> sphere_radius_sq_;
   // Bounding box of all core points inflated by ε: the O(d) reject that
   // runs before the per-sphere loop.
   std::vector<double> bbox_min_;
   std::vector<double> bbox_max_;
 
+  // -- Online-refresh overlay (online_refresh only) ----------------------
+  // Absorbed cores live in their own append-only dataset indexed by a
+  // dynamic R*-tree; readers take the shared side of the lock, absorption
+  // the exclusive side. The count of usable overlay points is published
+  // through overlay_size_ so the common no-overlay read path stays a
+  // single relaxed load (no lock).
+  mutable std::shared_mutex overlay_mutex_;
+  Dataset absorbed_points_;
+  std::vector<int32_t> absorbed_labels_;
+  std::unique_ptr<DynamicRStarTree> absorbed_tree_;
+  std::atomic<int32_t> overlay_size_{0};
+
   mutable std::atomic<uint64_t> points_assigned_{0};
   mutable std::atomic<uint64_t> sphere_rejections_{0};
   mutable std::atomic<uint64_t> range_queries_{0};
+  std::atomic<uint64_t> cores_absorbed_{0};
 };
 
 }  // namespace dbsvec

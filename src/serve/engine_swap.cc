@@ -1,0 +1,17 @@
+#include "serve/engine_swap.h"
+
+#include <utility>
+
+namespace dbsvec {
+
+Status EngineHandle::LoadAndSwap(const std::string& path,
+                                 AssignmentOptions options,
+                                 const Deadline& deadline) {
+  options.build_deadline = deadline;
+  std::unique_ptr<AssignmentEngine> next;
+  DBSVEC_RETURN_IF_ERROR(AssignmentEngine::Load(path, options, &next));
+  Swap(std::shared_ptr<AssignmentEngine>(std::move(next)));
+  return Status::Ok();
+}
+
+}  // namespace dbsvec

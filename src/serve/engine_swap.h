@@ -1,0 +1,57 @@
+#ifndef DBSVEC_SERVE_ENGINE_SWAP_H_
+#define DBSVEC_SERVE_ENGINE_SWAP_H_
+
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+
+#include "common/deadline.h"
+#include "common/status.h"
+#include "serve/assignment_engine.h"
+
+namespace dbsvec {
+
+/// RCU-style holder of the live AssignmentEngine: request threads Get() a
+/// shared_ptr snapshot (shared lock + refcount bump) and keep serving from
+/// it for the whole request, while a reload builds the replacement engine
+/// off to the side and flips the pointer in one exclusive-lock swap. An
+/// old snapshot drains naturally — the last in-flight request holding its
+/// shared_ptr destroys it — so a swap never tears or stalls a response.
+///
+/// Rollback is inherent: LoadAndSwap constructs and fully validates the
+/// new engine (file read, checksum, structural validation, index build)
+/// before touching the pointer, so any failure leaves the previous engine
+/// serving untouched.
+class EngineHandle {
+ public:
+  explicit EngineHandle(std::shared_ptr<AssignmentEngine> engine)
+      : engine_(std::move(engine)) {}
+
+  /// The current engine snapshot; never null.
+  std::shared_ptr<AssignmentEngine> Get() const {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    return engine_;
+  }
+
+  /// Atomically replaces the live engine. `next` must be non-null.
+  void Swap(std::shared_ptr<AssignmentEngine> next) {
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    engine_ = std::move(next);
+  }
+
+  /// Loads `path` (CRC-verified by LoadModel), builds the serving index,
+  /// and swaps the result in. On any failure the current engine keeps
+  /// serving and the error is returned. `options` configures the new
+  /// engine (`options.build_deadline` is overridden by `deadline`).
+  Status LoadAndSwap(const std::string& path, AssignmentOptions options,
+                     const Deadline& deadline = Deadline());
+
+ private:
+  mutable std::shared_mutex mutex_;
+  std::shared_ptr<AssignmentEngine> engine_;
+};
+
+}  // namespace dbsvec
+
+#endif  // DBSVEC_SERVE_ENGINE_SWAP_H_

@@ -1,0 +1,242 @@
+#include "server/http.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+namespace dbsvec::server {
+namespace {
+
+constexpr std::string_view kCrlf = "\r\n";
+constexpr std::string_view kHeadEnd = "\r\n\r\n";
+/// Head cap independent of the body cap: no request line + header block is
+/// legitimately this large, and an unbounded head would let a client grow
+/// the connection buffer without ever completing a request.
+constexpr size_t kMaxHeadBytes = 16 * 1024;
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+}  // namespace
+
+bool AsciiCaseEqual(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string_view HttpRequest::Header(std::string_view name) const {
+  for (const auto& [key, value] : headers) {
+    if (AsciiCaseEqual(key, name)) {
+      return value;
+    }
+  }
+  return {};
+}
+
+Status HttpParser::ParseHead(std::string_view head, HttpRequest* request) {
+  const size_t line_end = head.find(kCrlf);
+  const std::string_view request_line = head.substr(0, line_end);
+  const size_t method_end = request_line.find(' ');
+  if (method_end == std::string_view::npos) {
+    return Status::InvalidArgument("http: malformed request line");
+  }
+  const size_t target_end = request_line.find(' ', method_end + 1);
+  if (target_end == std::string_view::npos) {
+    return Status::InvalidArgument("http: malformed request line");
+  }
+  request->method = std::string(request_line.substr(0, method_end));
+  request->target = std::string(
+      request_line.substr(method_end + 1, target_end - method_end - 1));
+  const std::string_view version = request_line.substr(target_end + 1);
+  if (version != "HTTP/1.1" && version != "HTTP/1.0") {
+    return Status::InvalidArgument("http: unsupported version '" +
+                                   std::string(version) + "'");
+  }
+  request->keep_alive = version == "HTTP/1.1";
+  if (request->method.empty() || request->target.empty() ||
+      request->target[0] != '/') {
+    return Status::InvalidArgument("http: malformed request line");
+  }
+
+  size_t pos = line_end == std::string_view::npos ? head.size() : line_end + 2;
+  while (pos < head.size()) {
+    size_t end = head.find(kCrlf, pos);
+    if (end == std::string_view::npos) {
+      end = head.size();
+    }
+    const std::string_view line = head.substr(pos, end - pos);
+    pos = end + 2;
+    if (line.empty()) {
+      continue;
+    }
+    if (line.front() == ' ' || line.front() == '\t') {
+      return Status::InvalidArgument("http: obsolete line folding");
+    }
+    const size_t colon = line.find(':');
+    if (colon == std::string_view::npos) {
+      return Status::InvalidArgument("http: malformed header line");
+    }
+    request->headers.emplace_back(std::string(line.substr(0, colon)),
+                                  std::string(Trim(line.substr(colon + 1))));
+  }
+
+  if (const std::string_view connection = request->Header("Connection");
+      !connection.empty()) {
+    request->keep_alive = !AsciiCaseEqual(connection, "close");
+  }
+  if (!request->Header("Transfer-Encoding").empty()) {
+    return Status::InvalidArgument("http: chunked bodies are not supported");
+  }
+  return Status::Ok();
+}
+
+Status HttpParser::Feed(std::string_view data) {
+  buffer_.append(data);
+  while (!ready_) {
+    if (!head_done_) {
+      const size_t head_end = buffer_.find(kHeadEnd);
+      if (head_end == std::string::npos) {
+        if (buffer_.size() > kMaxHeadBytes) {
+          return Status::InvalidArgument("http: request head too large");
+        }
+        return Status::Ok();  // Need more bytes.
+      }
+      pending_ = HttpRequest();
+      DBSVEC_RETURN_IF_ERROR(
+          ParseHead(std::string_view(buffer_).substr(0, head_end), &pending_));
+      buffer_.erase(0, head_end + kHeadEnd.size());
+      body_needed_ = 0;
+      if (const std::string_view length = pending_.Header("Content-Length");
+          !length.empty()) {
+        char* end = nullptr;
+        const std::string length_str(length);
+        const unsigned long long parsed =
+            std::strtoull(length_str.c_str(), &end, 10);
+        if (end == length_str.c_str() || *end != '\0') {
+          return Status::InvalidArgument("http: bad Content-Length '" +
+                                         length_str + "'");
+        }
+        if (parsed > max_body_bytes_) {
+          return Status::ResourceExhausted(
+              "http: body of " + length_str + " bytes exceeds the " +
+              std::to_string(max_body_bytes_) + "-byte cap");
+        }
+        body_needed_ = static_cast<size_t>(parsed);
+      }
+      head_done_ = true;
+    }
+    if (buffer_.size() < body_needed_) {
+      return Status::Ok();  // Need more body bytes.
+    }
+    pending_.body = buffer_.substr(0, body_needed_);
+    buffer_.erase(0, body_needed_);
+    head_done_ = false;
+    ready_ = true;
+  }
+  return Status::Ok();
+}
+
+bool HttpParser::Next(HttpRequest* out) {
+  if (!ready_) {
+    return false;
+  }
+  *out = std::move(pending_);
+  pending_ = HttpRequest();
+  ready_ = false;
+  // Pipelined bytes already buffered may complete the next request.
+  if (!buffer_.empty()) {
+    std::string carry;
+    carry.swap(buffer_);
+    (void)Feed(carry);  // Errors resurface on the caller's next Feed.
+  }
+  return true;
+}
+
+std::string_view ReasonPhrase(int status_code) {
+  switch (status_code) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 412:
+      return "Precondition Failed";
+    case 413:
+      return "Payload Too Large";
+    case 500:
+      return "Internal Server Error";
+    case 503:
+      return "Service Unavailable";
+    case 504:
+      return "Gateway Timeout";
+    default:
+      return "Unknown";
+  }
+}
+
+int HttpStatusFromStatus(const Status& status) {
+  switch (status.code()) {
+    case Status::Code::kOk:
+      return 200;
+    case Status::Code::kInvalidArgument:
+      return 400;
+    case Status::Code::kNotFound:
+      return 404;
+    case Status::Code::kFailedPrecondition:
+      return 412;
+    case Status::Code::kDeadlineExceeded:
+      return 504;
+    case Status::Code::kIoError:
+    case Status::Code::kResourceExhausted:
+    case Status::Code::kUnavailable:
+      return 503;
+    case Status::Code::kInternal:
+      return 500;
+  }
+  return 500;
+}
+
+std::string SerializeResponse(int status_code, std::string_view content_type,
+                              std::string_view body,
+                              const std::vector<std::string>& extra_headers,
+                              bool keep_alive) {
+  std::string out = "HTTP/1.1 " + std::to_string(status_code) + " ";
+  out += ReasonPhrase(status_code);
+  out += kCrlf;
+  out += "Content-Type: ";
+  out += content_type;
+  out += kCrlf;
+  out += "Content-Length: " + std::to_string(body.size());
+  out += kCrlf;
+  if (!keep_alive) {
+    out += "Connection: close";
+    out += kCrlf;
+  }
+  for (const std::string& header : extra_headers) {
+    out += header;
+    out += kCrlf;
+  }
+  out += kCrlf;
+  out += body;
+  return out;
+}
+
+}  // namespace dbsvec::server

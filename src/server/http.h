@@ -1,0 +1,83 @@
+#ifndef DBSVEC_SERVER_HTTP_H_
+#define DBSVEC_SERVER_HTTP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dbsvec::server {
+
+/// One parsed HTTP/1.1 request. The server speaks a minimal, dependency-free
+/// subset of the protocol (docs/SERVING.md, "Wire protocol"): request line +
+/// headers + an optional Content-Length body. Chunked transfer encoding,
+/// multi-line headers, and trailers are rejected with 400.
+struct HttpRequest {
+  std::string method;  ///< "GET", "POST", ... (uppercase as received).
+  std::string target;  ///< Path of the request line ("/v1/assign").
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+  bool keep_alive = true;  ///< false on "Connection: close".
+
+  /// Value of the first header matching `name` (case-insensitive), or ""
+  /// when absent.
+  std::string_view Header(std::string_view name) const;
+};
+
+/// Incremental HTTP/1.1 request parser: feed bytes as they arrive off the
+/// socket, harvest complete requests. One parser per connection; the parser
+/// retains partial data between Feed calls, so a request split across any
+/// number of reads parses identically to one delivered whole.
+class HttpParser {
+ public:
+  explicit HttpParser(size_t max_body_bytes) : max_body_bytes_(max_body_bytes) {}
+
+  /// Appends `data` to the connection buffer. Returns InvalidArgument for a
+  /// malformed request line/headers and ResourceExhausted when the declared
+  /// body exceeds the configured cap; both are terminal for the connection.
+  Status Feed(std::string_view data);
+
+  /// True when a complete request is buffered; `*out` receives it and the
+  /// parser advances past it (pipelined bytes are retained for the next
+  /// call). False when more bytes are needed.
+  bool Next(HttpRequest* out);
+
+ private:
+  Status ParseHead(std::string_view head, HttpRequest* request);
+
+  size_t max_body_bytes_;
+  std::string buffer_;
+  // Parsed-but-unfinished request: head consumed, waiting for body bytes.
+  bool head_done_ = false;
+  size_t body_needed_ = 0;
+  HttpRequest pending_;
+  bool ready_ = false;
+};
+
+/// Serializes a response with the given status code, reason inferred from
+/// the code, Content-Type and body; always emits Content-Length. Extra
+/// headers are appended verbatim (each "Name: value", no CRLF).
+std::string SerializeResponse(int status_code, std::string_view content_type,
+                              std::string_view body,
+                              const std::vector<std::string>& extra_headers = {},
+                              bool keep_alive = true);
+
+/// Canonical reason phrase of a status code ("OK", "Bad Request", ...).
+std::string_view ReasonPhrase(int status_code);
+
+/// Maps a library Status to the HTTP status code the wire protocol
+/// prescribes (docs/SERVING.md): OK=200, InvalidArgument=400, NotFound=404,
+/// FailedPrecondition=412, DeadlineExceeded=504, Unavailable /
+/// ResourceExhausted / IoError=503, Internal (and anything else)=500.
+int HttpStatusFromStatus(const Status& status);
+
+/// ASCII case-insensitive string equality (header names, header values).
+bool AsciiCaseEqual(std::string_view a, std::string_view b);
+
+}  // namespace dbsvec::server
+
+#endif  // DBSVEC_SERVER_HTTP_H_

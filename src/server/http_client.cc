@@ -1,0 +1,189 @@
+#include "server/http_client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include "server/http.h"
+
+namespace dbsvec::server {
+
+std::string_view HttpResponse::Header(std::string_view name) const {
+  for (const auto& [key, value] : headers) {
+    if (AsciiCaseEqual(key, name)) {
+      return value;
+    }
+  }
+  return {};
+}
+
+HttpClient::~HttpClient() { Close(); }
+
+void HttpClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  residual_.clear();
+}
+
+Status HttpClient::Connect(const std::string& host, int port) {
+  Close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) {
+    return Status::IoError(std::string("client: socket: ") +
+                           std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    Close();
+    return Status::InvalidArgument("client: bad address '" + host + "'");
+  }
+  int rc;
+  do {
+    rc = ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) {
+    const Status status = Status::IoError(
+        "client: connect " + host + ":" + std::to_string(port) + ": " +
+        std::strerror(errno));
+    Close();
+    return status;
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return Status::Ok();
+}
+
+namespace {
+
+Status SendAll(int fd, std::string_view data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return Status::IoError(std::string("client: send: ") +
+                             std::strerror(errno));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status HttpClient::Roundtrip(std::string_view method, std::string_view target,
+                             std::string_view content_type,
+                             std::string_view body,
+                             const std::vector<std::string>& extra_headers,
+                             HttpResponse* response) {
+  if (fd_ < 0) {
+    return Status::FailedPrecondition("client: not connected");
+  }
+  std::string request;
+  request.reserve(256 + body.size());
+  request.append(method).append(" ").append(target).append(" HTTP/1.1\r\n");
+  request.append("Host: dbsvec\r\n");
+  if (!body.empty() || method == "POST") {
+    if (!content_type.empty()) {
+      request.append("Content-Type: ").append(content_type).append("\r\n");
+    }
+    request.append("Content-Length: ")
+        .append(std::to_string(body.size()))
+        .append("\r\n");
+  }
+  for (const std::string& header : extra_headers) {
+    request.append(header).append("\r\n");
+  }
+  request.append("\r\n").append(body);
+  DBSVEC_RETURN_IF_ERROR(SendAll(fd_, request));
+
+  // Read the response: head first, then exactly Content-Length body bytes.
+  std::string buffer = std::move(residual_);
+  residual_.clear();
+  const auto read_more = [this, &buffer]() -> Status {
+    char chunk[64 * 1024];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n == 0) {
+      return Status::IoError("client: connection closed mid-response");
+    }
+    if (n < 0) {
+      if (errno == EINTR) {
+        return Status::Ok();
+      }
+      return Status::IoError(std::string("client: recv: ") +
+                             std::strerror(errno));
+    }
+    buffer.append(chunk, static_cast<size_t>(n));
+    return Status::Ok();
+  };
+  size_t head_end;
+  while ((head_end = buffer.find("\r\n\r\n")) == std::string::npos) {
+    DBSVEC_RETURN_IF_ERROR(read_more());
+  }
+
+  response->status_code = 0;
+  response->headers.clear();
+  response->body.clear();
+  const std::string_view head(buffer.data(), head_end);
+  size_t line_end = head.find("\r\n");
+  if (line_end == std::string_view::npos) {
+    line_end = head.size();
+  }
+  const std::string_view status_line = head.substr(0, line_end);
+  // "HTTP/1.1 200 OK"
+  const size_t sp = status_line.find(' ');
+  if (sp == std::string_view::npos || status_line.size() < sp + 4) {
+    return Status::IoError("client: malformed status line '" +
+                           std::string(status_line) + "'");
+  }
+  response->status_code =
+      std::atoi(std::string(status_line.substr(sp + 1, 3)).c_str());
+
+  size_t content_length = 0;
+  size_t cursor = line_end + 2;
+  while (cursor < head.size()) {
+    size_t next = head.find("\r\n", cursor);
+    if (next == std::string_view::npos) {
+      next = head.size();
+    }
+    const std::string_view line = head.substr(cursor, next - cursor);
+    cursor = next + 2;
+    const size_t colon = line.find(':');
+    if (colon == std::string_view::npos) {
+      continue;
+    }
+    std::string_view value = line.substr(colon + 1);
+    while (!value.empty() && (value.front() == ' ' || value.front() == '\t')) {
+      value.remove_prefix(1);
+    }
+    response->headers.emplace_back(std::string(line.substr(0, colon)),
+                                   std::string(value));
+    if (AsciiCaseEqual(line.substr(0, colon), "Content-Length")) {
+      content_length =
+          static_cast<size_t>(std::atoll(std::string(value).c_str()));
+    }
+  }
+
+  const size_t body_start = head_end + 4;
+  while (buffer.size() < body_start + content_length) {
+    DBSVEC_RETURN_IF_ERROR(read_more());
+  }
+  response->body = buffer.substr(body_start, content_length);
+  residual_ = buffer.substr(body_start + content_length);
+  return Status::Ok();
+}
+
+}  // namespace dbsvec::server

@@ -1,0 +1,54 @@
+#ifndef DBSVEC_SERVER_HTTP_CLIENT_H_
+#define DBSVEC_SERVER_HTTP_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dbsvec::server {
+
+/// One HTTP response as seen by the client.
+struct HttpResponse {
+  int status_code = 0;
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  /// First header matching `name` (case-insensitive), or "".
+  std::string_view Header(std::string_view name) const;
+};
+
+/// Minimal blocking HTTP/1.1 client over one TCP connection, sufficient to
+/// drive this repo's server from tests, the load-generator tool, and the
+/// serving benchmark. Keep-alive: one Connect, many Roundtrips. Not thread
+/// safe — use one client per driving thread.
+class HttpClient {
+ public:
+  HttpClient() = default;
+  ~HttpClient();
+  HttpClient(const HttpClient&) = delete;
+  HttpClient& operator=(const HttpClient&) = delete;
+
+  Status Connect(const std::string& host, int port);
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  /// Sends one request and blocks for the full response. `extra_headers`
+  /// entries are verbatim "Name: value" lines. A body is sent with
+  /// Content-Length whenever non-empty or the method is POST.
+  Status Roundtrip(std::string_view method, std::string_view target,
+                   std::string_view content_type, std::string_view body,
+                   const std::vector<std::string>& extra_headers,
+                   HttpResponse* response);
+
+ private:
+  int fd_ = -1;
+  std::string residual_;  // Bytes past the previous response (keep-alive).
+};
+
+}  // namespace dbsvec::server
+
+#endif  // DBSVEC_SERVER_HTTP_CLIENT_H_

@@ -1,0 +1,224 @@
+#include "server/payload.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "model/serialize.h"
+#include "server/http.h"
+
+namespace dbsvec::server {
+namespace {
+
+Status Malformed(const std::string& what) {
+  return Status::InvalidArgument("assign body: " + what);
+}
+
+/// Cursor over the JSON text; methods consume leading whitespace.
+struct JsonCursor {
+  std::string_view text;
+  size_t pos = 0;
+
+  void SkipSpace() {
+    while (pos < text.size() &&
+           (text[pos] == ' ' || text[pos] == '\t' || text[pos] == '\n' ||
+            text[pos] == '\r')) {
+      ++pos;
+    }
+  }
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+  bool Peek(char c) {
+    SkipSpace();
+    return pos < text.size() && text[pos] == c;
+  }
+};
+
+Status ParseNumber(JsonCursor* cursor, double* out) {
+  cursor->SkipSpace();
+  const char* begin = cursor->text.data() + cursor->pos;
+  char* end = nullptr;
+  // The body is a std::string (NUL-terminated), so strtod stops at the
+  // first non-number character without running off the buffer.
+  const double value = std::strtod(begin, &end);
+  if (end == begin) {
+    return Malformed("expected a number at offset " +
+                     std::to_string(cursor->pos));
+  }
+  if (!std::isfinite(value)) {
+    return Malformed("non-finite coordinate at offset " +
+                     std::to_string(cursor->pos));
+  }
+  cursor->pos += static_cast<size_t>(end - begin);
+  *out = value;
+  return Status::Ok();
+}
+
+Status ParseJsonPoints(std::string_view body, uint32_t max_points,
+                       Dataset* points) {
+  JsonCursor cursor{body};
+  if (!cursor.Consume('{')) {
+    return Malformed("expected '{'");
+  }
+  if (!cursor.Consume('"')) {
+    return Malformed("expected \"points\" key");
+  }
+  constexpr std::string_view kKey = "points\"";
+  if (cursor.text.substr(cursor.pos, kKey.size()) != kKey) {
+    return Malformed("expected \"points\" key");
+  }
+  cursor.pos += kKey.size();
+  if (!cursor.Consume(':') || !cursor.Consume('[')) {
+    return Malformed("expected \"points\": [");
+  }
+
+  std::vector<double> row;
+  int dim = -1;
+  uint32_t count = 0;
+  if (!cursor.Peek(']')) {
+    do {
+      if (!cursor.Consume('[')) {
+        return Malformed("expected '[' opening row " + std::to_string(count));
+      }
+      row.clear();
+      if (!cursor.Peek(']')) {
+        do {
+          double value = 0.0;
+          DBSVEC_RETURN_IF_ERROR(ParseNumber(&cursor, &value));
+          row.push_back(value);
+        } while (cursor.Consume(','));
+      }
+      if (!cursor.Consume(']')) {
+        return Malformed("expected ']' closing row " + std::to_string(count));
+      }
+      if (row.empty()) {
+        return Malformed("row " + std::to_string(count) + " is empty");
+      }
+      if (dim < 0) {
+        dim = static_cast<int>(row.size());
+        *points = Dataset(dim);
+      } else if (static_cast<int>(row.size()) != dim) {
+        return Malformed("row " + std::to_string(count) + " has " +
+                         std::to_string(row.size()) + " coordinates, row 0 " +
+                         "has " + std::to_string(dim));
+      }
+      if (count >= max_points) {
+        return Status::ResourceExhausted(
+            "assign body: more than " + std::to_string(max_points) +
+            " points in one request");
+      }
+      points->Append(row);
+      ++count;
+    } while (cursor.Consume(','));
+  }
+  if (!cursor.Consume(']') || !cursor.Consume('}')) {
+    return Malformed("expected ]} at the end");
+  }
+  cursor.SkipSpace();
+  if (cursor.pos != cursor.text.size()) {
+    return Malformed("trailing bytes after the points object");
+  }
+  if (dim < 0) {
+    return Malformed("no points given");
+  }
+  return Status::Ok();
+}
+
+Status ParseBinaryPoints(std::string_view body, uint32_t max_points,
+                         Dataset* points) {
+  const std::span<const uint8_t> bytes(
+      reinterpret_cast<const uint8_t*>(body.data()), body.size());
+  ByteReader reader(bytes);
+  uint32_t count = 0;
+  uint32_t dim = 0;
+  DBSVEC_RETURN_IF_ERROR(reader.ReadU32(&count));
+  DBSVEC_RETURN_IF_ERROR(reader.ReadU32(&dim));
+  if (count == 0 || dim == 0) {
+    return Malformed("binary header declares zero points or dimensions");
+  }
+  if (count > max_points) {
+    return Status::ResourceExhausted(
+        "assign body: more than " + std::to_string(max_points) +
+        " points in one request");
+  }
+  if (static_cast<uint64_t>(count) * dim * 8 != reader.remaining()) {
+    return Malformed("binary body size disagrees with its header");
+  }
+  std::vector<double> values;
+  DBSVEC_RETURN_IF_ERROR(
+      reader.ReadF64Vector(static_cast<size_t>(count) * dim, &values));
+  for (const double v : values) {
+    if (!std::isfinite(v)) {
+      return Malformed("non-finite coordinate");
+    }
+  }
+  *points = Dataset(static_cast<int>(dim), std::move(values));
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status EncodingFromContentType(std::string_view content_type,
+                               PayloadEncoding* encoding) {
+  // Ignore any ";charset=..." parameter.
+  if (const size_t semi = content_type.find(';');
+      semi != std::string_view::npos) {
+    content_type = content_type.substr(0, semi);
+  }
+  while (!content_type.empty() && content_type.back() == ' ') {
+    content_type.remove_suffix(1);
+  }
+  if (content_type.empty() ||
+      AsciiCaseEqual(content_type, "application/json")) {
+    *encoding = PayloadEncoding::kJson;
+    return Status::Ok();
+  }
+  if (AsciiCaseEqual(content_type, "application/octet-stream")) {
+    *encoding = PayloadEncoding::kBinary;
+    return Status::Ok();
+  }
+  return Status::InvalidArgument("assign: unsupported Content-Type '" +
+                                 std::string(content_type) + "'");
+}
+
+Status ParseAssignBody(std::string_view body, PayloadEncoding encoding,
+                       uint32_t max_points, Dataset* points) {
+  return encoding == PayloadEncoding::kJson
+             ? ParseJsonPoints(body, max_points, points)
+             : ParseBinaryPoints(body, max_points, points);
+}
+
+std::string EncodeAssignResponse(const std::vector<int32_t>& labels,
+                                 PayloadEncoding encoding) {
+  if (encoding == PayloadEncoding::kJson) {
+    std::string out = "{\"labels\":[";
+    for (size_t i = 0; i < labels.size(); ++i) {
+      if (i > 0) {
+        out += ',';
+      }
+      out += std::to_string(labels[i]);
+    }
+    out += "]}";
+    return out;
+  }
+  ByteWriter writer;
+  writer.WriteU32(static_cast<uint32_t>(labels.size()));
+  for (const int32_t label : labels) {
+    writer.WriteI32(label);
+  }
+  const std::vector<uint8_t>& bytes = writer.bytes();
+  return std::string(reinterpret_cast<const char*>(bytes.data()),
+                     bytes.size());
+}
+
+std::string_view ContentTypeName(PayloadEncoding encoding) {
+  return encoding == PayloadEncoding::kJson ? "application/json"
+                                            : "application/octet-stream";
+}
+
+}  // namespace dbsvec::server

@@ -1,0 +1,48 @@
+#ifndef DBSVEC_SERVER_PAYLOAD_H_
+#define DBSVEC_SERVER_PAYLOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/dataset.h"
+#include "common/status.h"
+
+namespace dbsvec::server {
+
+/// Assign-request body encodings (docs/SERVING.md, "Wire protocol").
+///
+/// JSON (`Content-Type: application/json`):
+///   {"points": [[x00, x01, ...], [x10, x11, ...], ...]}
+/// rows must be rectangular; the parser accepts exactly this shape (plus
+/// whitespace) and nothing else — it is a wire-format scanner, not a
+/// general JSON library.
+///
+/// Binary (`Content-Type: application/octet-stream`), all little-endian:
+///   u32 count, u32 dim, then count*dim f64 coordinates row-major.
+/// The response mirrors the request encoding: JSON {"labels": [...]} or
+/// u32 count followed by count i32 labels.
+enum class PayloadEncoding { kJson, kBinary };
+
+/// Picks the encoding from a Content-Type value; defaults to JSON when the
+/// header is absent, rejects anything else.
+Status EncodingFromContentType(std::string_view content_type,
+                               PayloadEncoding* encoding);
+
+/// Parses an assign body into `*points`. `max_points` bounds the decoded
+/// row count (ResourceExhausted beyond it); dimensionality is taken from
+/// the payload itself and validated by the caller against the model.
+Status ParseAssignBody(std::string_view body, PayloadEncoding encoding,
+                       uint32_t max_points, Dataset* points);
+
+/// Renders labels in the given encoding.
+std::string EncodeAssignResponse(const std::vector<int32_t>& labels,
+                                 PayloadEncoding encoding);
+
+/// Content-Type header value of an encoding.
+std::string_view ContentTypeName(PayloadEncoding encoding);
+
+}  // namespace dbsvec::server
+
+#endif  // DBSVEC_SERVER_PAYLOAD_H_

@@ -1,0 +1,85 @@
+#include "server/retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "common/rng.h"
+
+namespace dbsvec::server {
+
+RetryPolicy::RetryPolicy(const RetryOptions& options) : options_(options) {
+  options_.max_attempts = std::max(1, options_.max_attempts);
+  options_.initial_backoff_ms = std::max(0.0, options_.initial_backoff_ms);
+  options_.backoff_multiplier = std::max(1.0, options_.backoff_multiplier);
+  options_.max_backoff_ms =
+      std::max(options_.initial_backoff_ms, options_.max_backoff_ms);
+  options_.jitter = std::clamp(options_.jitter, 0.0, 1.0);
+}
+
+bool RetryPolicy::IsRetryable(const Status& status) {
+  switch (status.code()) {
+    case Status::Code::kIoError:
+    case Status::Code::kResourceExhausted:
+    case Status::Code::kUnavailable:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::vector<double> RetryPolicy::BackoffScheduleMs() const {
+  Rng rng(options_.seed);
+  std::vector<double> schedule;
+  double base = options_.initial_backoff_ms;
+  for (int retry = 0; retry + 1 < options_.max_attempts; ++retry) {
+    const double factor =
+        1.0 + options_.jitter * (2.0 * rng.NextDouble() - 1.0);
+    schedule.push_back(base * factor);
+    base = std::min(base * options_.backoff_multiplier,
+                    options_.max_backoff_ms);
+  }
+  return schedule;
+}
+
+Status RetryPolicy::Run(std::string_view what, const Deadline& deadline,
+                        const std::function<Status()>& op,
+                        RetryReport* report) const {
+  const std::vector<double> schedule = BackoffScheduleMs();
+  RetryReport local;
+  RetryReport& out = report != nullptr ? *report : local;
+  out = RetryReport();
+  Status last;
+  for (int attempt = 0; attempt < options_.max_attempts; ++attempt) {
+    DBSVEC_RETURN_IF_ERROR(deadline.Check(what));
+    ++out.attempts;
+    last = op();
+    if (last.ok() || !IsRetryable(last)) {
+      return last;
+    }
+    if (attempt + 1 >= options_.max_attempts) {
+      break;
+    }
+    const double sleep_ms = schedule[static_cast<size_t>(attempt)];
+    out.backoffs_ms.push_back(sleep_ms);
+    // Sleep in small slices so an expiring deadline or cancellation cuts
+    // the wait short instead of stalling a whole max_backoff.
+    auto remaining = std::chrono::duration<double, std::milli>(sleep_ms);
+    while (remaining.count() > 0.0) {
+      if (deadline.Expired()) {
+        return deadline.Check(what);
+      }
+      const auto slice = std::min(
+          remaining, std::chrono::duration<double, std::milli>(10.0));
+      std::this_thread::sleep_for(slice);
+      remaining -= slice;
+    }
+  }
+  out.exhausted = true;
+  return Status::Unavailable(
+      std::string(what) + ": retry budget exhausted after " +
+      std::to_string(out.attempts) + " attempts (last: " + last.ToString() +
+      ")");
+}
+
+}  // namespace dbsvec::server

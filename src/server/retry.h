@@ -1,0 +1,65 @@
+#ifndef DBSVEC_SERVER_RETRY_H_
+#define DBSVEC_SERVER_RETRY_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/deadline.h"
+#include "common/status.h"
+
+namespace dbsvec::server {
+
+/// Exponential backoff with deterministic jitter and a bounded attempt
+/// budget, layered over the library's Status surface. Transient failure
+/// categories — kIoError, kResourceExhausted, kUnavailable — are retried;
+/// everything else (bad model file, invalid argument, deadline) fails fast.
+struct RetryOptions {
+  int max_attempts = 4;          ///< Total tries, including the first.
+  double initial_backoff_ms = 10.0;
+  double backoff_multiplier = 2.0;
+  double max_backoff_ms = 2000.0;
+  /// Each sleep is scaled by a factor drawn uniformly from
+  /// [1 - jitter, 1 + jitter] to decorrelate concurrent retriers.
+  double jitter = 0.2;
+  /// Jitter stream seed; fixed seed => reproducible backoff schedule.
+  uint64_t seed = 1;
+};
+
+/// Outcome of one RetryPolicy::Run, for logs, /v1/statz, and tests.
+struct RetryReport {
+  int attempts = 0;                 ///< Tries actually made.
+  std::vector<double> backoffs_ms;  ///< Sleep before each retry, in order.
+  bool exhausted = false;           ///< Budget ran out on a retryable error.
+};
+
+class RetryPolicy {
+ public:
+  explicit RetryPolicy(const RetryOptions& options);
+
+  /// True iff `status` is a transient failure worth retrying.
+  static bool IsRetryable(const Status& status);
+
+  /// Runs `op` until it succeeds, fails terminally, the attempt budget is
+  /// exhausted, or `deadline` expires (checked before every attempt and
+  /// honored while sleeping). On exhaustion the last transient error is
+  /// wrapped as kUnavailable naming `what` and the attempt count, so
+  /// callers (the HTTP router) map it to 503. `report` may be null.
+  Status Run(std::string_view what, const Deadline& deadline,
+             const std::function<Status()>& op,
+             RetryReport* report = nullptr) const;
+
+  /// The deterministic backoff schedule this policy would use: sleep before
+  /// retry k (0-based), jitter applied. Exposed so tests assert the
+  /// schedule without timing sleeps.
+  std::vector<double> BackoffScheduleMs() const;
+
+ private:
+  RetryOptions options_;
+};
+
+}  // namespace dbsvec::server
+
+#endif  // DBSVEC_SERVER_RETRY_H_

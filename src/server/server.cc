@@ -1,0 +1,801 @@
+#include "server/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+#include "fault/failpoint.h"
+#include "server/payload.h"
+
+namespace dbsvec::server {
+namespace {
+
+constexpr int kMaxEpollEvents = 64;
+constexpr size_t kReadChunk = 64 * 1024;
+
+std::string JsonError(const std::string& message) {
+  // Error strings are library-generated (paths, numbers, site names); the
+  // only JSON-hostile bytes they can carry are quotes and backslashes.
+  std::string escaped;
+  escaped.reserve(message.size());
+  for (const char c : message) {
+    if (c == '"' || c == '\\') {
+      escaped += '\\';
+    }
+    escaped += c == '\n' ? ' ' : c;
+  }
+  return "{\"error\":\"" + escaped + "\"}";
+}
+
+}  // namespace
+
+struct Server::Connection {
+  Connection(int fd, size_t max_body) : fd(fd), parser(max_body) {}
+
+  const int fd;
+  IoLoop* loop = nullptr;
+
+  // Io-thread-only state (socket + parser are driven by the owning loop).
+  HttpParser parser;
+  bool protocol_error = false;  ///< Parser poisoned; stop dispatching.
+  bool want_epollout = false;
+
+  // Cross-thread state: workers append responses, the loop flushes them.
+  std::mutex mutex;
+  bool processing = false;
+  std::string out;
+  size_t out_offset = 0;
+  int unflushed_responses = 0;
+  bool close_after_write = false;
+  bool closed = false;
+};
+
+struct Server::IoLoop {
+  int epoll_fd = -1;
+  int event_fd = -1;
+  bool has_listener = false;
+  std::thread thread;
+
+  std::mutex mutex;  // Guards incoming + ready (the cross-thread mailbox).
+  std::vector<int> incoming;
+  std::vector<std::shared_ptr<Connection>> ready;
+
+  // Io-thread-only connection table.
+  std::unordered_map<int, std::shared_ptr<Connection>> conns;
+};
+
+struct Server::RequestWork {
+  std::shared_ptr<Connection> conn;
+  HttpRequest request;
+  Deadline deadline;
+  std::chrono::steady_clock::time_point start;
+  bool counted = false;  ///< Holds an inflight_ slot (assign/reload).
+};
+
+Server::Server(std::shared_ptr<AssignmentEngine> engine,
+               const ServerOptions& options)
+    : options_(options), handle_(std::move(engine)) {}
+
+Status Server::Start(std::shared_ptr<AssignmentEngine> engine,
+                     const ServerOptions& options,
+                     std::unique_ptr<Server>* out) {
+  if (engine == nullptr) {
+    return Status::InvalidArgument("server: engine must not be null");
+  }
+  if (options.num_io_threads < 1 || options.num_workers < 1 ||
+      options.max_inflight < 1) {
+    return Status::InvalidArgument(
+        "server: num_io_threads, num_workers, and max_inflight must be >= 1");
+  }
+  std::unique_ptr<Server> server(new Server(std::move(engine), options));
+  DBSVEC_RETURN_IF_ERROR(server->Listen());
+  DBSVEC_RETURN_IF_ERROR(server->SpawnThreads());
+  *out = std::move(server);
+  return Status::Ok();
+}
+
+Status Server::Listen() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                        0);
+  if (listen_fd_ < 0) {
+    return Status::IoError(std::string("server: socket: ") +
+                           std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("server: bad bind address '" +
+                                   options_.host + "'");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const Status status = Status::IoError(
+        "server: bind " + options_.host + ":" +
+        std::to_string(options_.port) + ": " + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  if (::listen(listen_fd_, 128) < 0) {
+    const Status status =
+        Status::IoError(std::string("server: listen: ") +
+                        std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) ==
+      0) {
+    port_ = ntohs(bound.sin_port);
+  }
+  return Status::Ok();
+}
+
+Status Server::SpawnThreads() {
+  loops_.reserve(static_cast<size_t>(options_.num_io_threads));
+  for (int i = 0; i < options_.num_io_threads; ++i) {
+    auto loop = std::make_unique<IoLoop>();
+    loop->epoll_fd = ::epoll_create1(EPOLL_CLOEXEC);
+    loop->event_fd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+    if (loop->epoll_fd < 0 || loop->event_fd < 0) {
+      return Status::IoError("server: epoll/eventfd setup failed");
+    }
+    epoll_event event{};
+    event.events = EPOLLIN;
+    event.data.fd = loop->event_fd;
+    ::epoll_ctl(loop->epoll_fd, EPOLL_CTL_ADD, loop->event_fd, &event);
+    if (i == 0) {
+      loop->has_listener = true;
+      epoll_event listen_event{};
+      listen_event.events = EPOLLIN;
+      listen_event.data.fd = listen_fd_;
+      ::epoll_ctl(loop->epoll_fd, EPOLL_CTL_ADD, listen_fd_, &listen_event);
+    }
+    loops_.push_back(std::move(loop));
+  }
+  accepting_.store(true, std::memory_order_release);
+  for (auto& loop : loops_) {
+    loop->thread = std::thread([this, raw = loop.get()] { IoLoopMain(raw); });
+  }
+  workers_.reserve(static_cast<size_t>(options_.num_workers));
+  for (int i = 0; i < options_.num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerMain(); });
+  }
+  return Status::Ok();
+}
+
+void Server::WakeLoop(IoLoop* loop) {
+  const uint64_t one = 1;
+  // A full eventfd counter (EAGAIN) still wakes the loop; other errors are
+  // unrecoverable here and surface as a stalled loop in tests.
+  [[maybe_unused]] const ssize_t n =
+      ::write(loop->event_fd, &one, sizeof(one));
+}
+
+void Server::IoLoopMain(IoLoop* loop) {
+  epoll_event events[kMaxEpollEvents];
+  while (true) {
+    const int n = ::epoll_wait(loop->epoll_fd, events, kMaxEpollEvents, 100);
+    if (n < 0 && errno != EINTR) {
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == loop->event_fd) {
+        uint64_t drained = 0;
+        while (::read(loop->event_fd, &drained, sizeof(drained)) > 0) {
+        }
+        continue;
+      }
+      if (loop->has_listener && fd == listen_fd_) {
+        AcceptReady(loop);
+        continue;
+      }
+      const auto it = loop->conns.find(fd);
+      if (it == loop->conns.end()) {
+        continue;
+      }
+      std::shared_ptr<Connection> conn = it->second;
+      if (events[i].events & (EPOLLHUP | EPOLLERR)) {
+        CloseConnection(loop, conn);
+        continue;
+      }
+      if (events[i].events & EPOLLIN) {
+        OnReadable(loop, conn);
+      }
+      if (events[i].events & EPOLLOUT) {
+        FlushWrites(loop, conn);
+      }
+    }
+    AdoptIncoming(loop);
+    std::vector<std::shared_ptr<Connection>> ready;
+    {
+      std::lock_guard<std::mutex> lock(loop->mutex);
+      ready.swap(loop->ready);
+    }
+    for (const auto& conn : ready) {
+      FlushWrites(loop, conn);
+      MaybeDispatch(loop, conn);
+    }
+    if (stopping_.load(std::memory_order_acquire)) {
+      break;
+    }
+  }
+  for (auto& [fd, conn] : loop->conns) {
+    std::lock_guard<std::mutex> lock(conn->mutex);
+    if (!conn->closed) {
+      conn->closed = true;
+      pending_responses_.fetch_sub(conn->unflushed_responses,
+                                   std::memory_order_relaxed);
+      conn->unflushed_responses = 0;
+      ::close(fd);
+    }
+  }
+  loop->conns.clear();
+  if (loop->has_listener && listen_fd_ >= 0) {
+    ::close(listen_fd_);
+  }
+  ::close(loop->event_fd);
+  ::close(loop->epoll_fd);
+}
+
+void Server::AcceptReady(IoLoop* loop) {
+  while (true) {
+    const int fd =
+        ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      break;  // EAGAIN or a transient accept error: wait for the next event.
+    }
+    if (!accepting_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      continue;
+    }
+    if (const Status status = FailpointCheck("server.accept"); !status.ok()) {
+      stats_.connections_rejected.fetch_add(1, std::memory_order_relaxed);
+      ::close(fd);
+      continue;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    stats_.connections_accepted.fetch_add(1, std::memory_order_relaxed);
+    const size_t target =
+        next_loop_.fetch_add(1, std::memory_order_relaxed) % loops_.size();
+    IoLoop* owner = loops_[target].get();
+    if (owner == loop) {
+      AdoptIncoming(loop);  // Flush any queued fds first to keep FIFO order.
+      auto conn = std::make_shared<Connection>(fd, options_.max_body_bytes);
+      conn->loop = loop;
+      loop->conns.emplace(fd, conn);
+      epoll_event event{};
+      event.events = EPOLLIN;
+      event.data.fd = fd;
+      ::epoll_ctl(loop->epoll_fd, EPOLL_CTL_ADD, fd, &event);
+    } else {
+      {
+        std::lock_guard<std::mutex> lock(owner->mutex);
+        owner->incoming.push_back(fd);
+      }
+      WakeLoop(owner);
+    }
+  }
+}
+
+void Server::AdoptIncoming(IoLoop* loop) {
+  std::vector<int> incoming;
+  {
+    std::lock_guard<std::mutex> lock(loop->mutex);
+    incoming.swap(loop->incoming);
+  }
+  for (const int fd : incoming) {
+    auto conn = std::make_shared<Connection>(fd, options_.max_body_bytes);
+    conn->loop = loop;
+    loop->conns.emplace(fd, conn);
+    epoll_event event{};
+    event.events = EPOLLIN;
+    event.data.fd = fd;
+    ::epoll_ctl(loop->epoll_fd, EPOLL_CTL_ADD, fd, &event);
+  }
+}
+
+void Server::CloseConnection(IoLoop* loop,
+                             const std::shared_ptr<Connection>& conn) {
+  {
+    std::lock_guard<std::mutex> lock(conn->mutex);
+    if (conn->closed) {
+      return;
+    }
+    conn->closed = true;
+    pending_responses_.fetch_sub(conn->unflushed_responses,
+                                 std::memory_order_relaxed);
+    conn->unflushed_responses = 0;
+  }
+  ::epoll_ctl(loop->epoll_fd, EPOLL_CTL_DEL, conn->fd, nullptr);
+  ::close(conn->fd);
+  loop->conns.erase(conn->fd);
+}
+
+void Server::OnReadable(IoLoop* loop,
+                        const std::shared_ptr<Connection>& conn) {
+  char buffer[kReadChunk];
+  while (true) {
+    const ssize_t n = ::recv(conn->fd, buffer, sizeof(buffer), 0);
+    if (n == 0) {
+      CloseConnection(loop, conn);
+      return;
+    }
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        break;
+      }
+      if (errno == EINTR) {
+        continue;
+      }
+      CloseConnection(loop, conn);
+      return;
+    }
+    if (conn->protocol_error) {
+      continue;  // Drain and discard; the error response is on its way out.
+    }
+    if (const Status status =
+            conn->parser.Feed(std::string_view(buffer, n));
+        !status.ok()) {
+      conn->protocol_error = true;
+      stats_.requests_bad.fetch_add(1, std::memory_order_relaxed);
+      const int code =
+          status.code() == Status::Code::kResourceExhausted ? 413 : 400;
+      RespondInline(loop, conn,
+                    SerializeResponse(code, "application/json",
+                                      JsonError(status.message()), {},
+                                      /*keep_alive=*/false),
+                    /*close_after=*/true);
+      return;
+    }
+  }
+  MaybeDispatch(loop, conn);
+}
+
+void Server::MaybeDispatch(IoLoop* loop,
+                           const std::shared_ptr<Connection>& conn) {
+  if (conn->protocol_error) {
+    return;
+  }
+  HttpRequest request;
+  {
+    std::lock_guard<std::mutex> lock(conn->mutex);
+    if (conn->closed || conn->processing) {
+      return;
+    }
+    if (!conn->parser.Next(&request)) {
+      return;
+    }
+    conn->processing = true;
+  }
+  stats_.requests_total.fetch_add(1, std::memory_order_relaxed);
+
+  // Per-request deadline: X-Deadline-Ms header, else the server default.
+  int64_t deadline_ms = options_.default_deadline_ms;
+  if (const std::string_view header = request.Header("X-Deadline-Ms");
+      !header.empty()) {
+    const std::string header_str(header);
+    char* end = nullptr;
+    const long long parsed = std::strtoll(header_str.c_str(), &end, 10);
+    if (end == header_str.c_str() || *end != '\0' || parsed <= 0) {
+      stats_.requests_bad.fetch_add(1, std::memory_order_relaxed);
+      RespondInline(loop, conn,
+                    SerializeResponse(
+                        400, "application/json",
+                        JsonError("bad X-Deadline-Ms '" + header_str + "'"),
+                        {}, request.keep_alive),
+                    !request.keep_alive);
+      return;
+    }
+    deadline_ms = parsed;
+  }
+
+  RequestWork work;
+  work.deadline =
+      deadline_ms > 0 ? Deadline::AfterMillis(deadline_ms) : Deadline();
+  work.start = std::chrono::steady_clock::now();
+
+  // Admission control covers the expensive endpoints; health and stats
+  // always pass so the server stays observable under overload.
+  const bool gated =
+      request.target == "/v1/assign" || request.target == "/v1/reload";
+  if (gated) {
+    const int current = inflight_.fetch_add(1, std::memory_order_acq_rel);
+    if (current >= options_.max_inflight) {
+      inflight_.fetch_sub(1, std::memory_order_acq_rel);
+      stats_.requests_shed.fetch_add(1, std::memory_order_relaxed);
+      RespondInline(
+          loop, conn,
+          SerializeResponse(503, "application/json",
+                            JsonError("shed: " +
+                                      std::to_string(options_.max_inflight) +
+                                      " requests already in flight"),
+                            {"Retry-After: 1"}, request.keep_alive),
+          !request.keep_alive);
+      return;
+    }
+    work.counted = true;
+  }
+
+  work.conn = conn;
+  work.request = std::move(request);
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    queue_.push_back(std::move(work));
+  }
+  queue_cv_.notify_one();
+}
+
+void Server::EnqueueResponse(const std::shared_ptr<Connection>& conn,
+                             std::string response, bool close_after) {
+  bool dropped = false;
+  {
+    std::lock_guard<std::mutex> lock(conn->mutex);
+    conn->processing = false;
+    if (conn->closed) {
+      dropped = true;
+    } else {
+      conn->out += response;
+      conn->close_after_write |= close_after;
+      ++conn->unflushed_responses;
+      pending_responses_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  if (dropped) {
+    return;
+  }
+  IoLoop* loop = conn->loop;
+  {
+    std::lock_guard<std::mutex> lock(loop->mutex);
+    loop->ready.push_back(conn);
+  }
+  WakeLoop(loop);
+}
+
+void Server::RespondInline(IoLoop* loop,
+                           const std::shared_ptr<Connection>& conn,
+                           std::string response, bool close_after) {
+  EnqueueResponse(conn, std::move(response), close_after);
+  FlushWrites(loop, conn);
+}
+
+void Server::FlushWrites(IoLoop* loop,
+                         const std::shared_ptr<Connection>& conn) {
+  bool close_now = false;
+  bool want_out = false;
+  {
+    std::lock_guard<std::mutex> lock(conn->mutex);
+    if (conn->closed) {
+      return;
+    }
+    while (conn->out_offset < conn->out.size()) {
+      const ssize_t n =
+          ::send(conn->fd, conn->out.data() + conn->out_offset,
+                 conn->out.size() - conn->out_offset, MSG_NOSIGNAL);
+      if (n > 0) {
+        conn->out_offset += static_cast<size_t>(n);
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        want_out = true;
+        break;
+      }
+      if (n < 0 && errno == EINTR) {
+        continue;
+      }
+      close_now = true;  // Peer vanished mid-response.
+      break;
+    }
+    if (conn->out_offset == conn->out.size()) {
+      conn->out.clear();
+      conn->out_offset = 0;
+      pending_responses_.fetch_sub(conn->unflushed_responses,
+                                   std::memory_order_relaxed);
+      conn->unflushed_responses = 0;
+      close_now |= conn->close_after_write;
+    }
+  }
+  if (close_now) {
+    CloseConnection(loop, conn);
+    return;
+  }
+  if (want_out != conn->want_epollout) {
+    conn->want_epollout = want_out;
+    epoll_event event{};
+    event.events = want_out ? (EPOLLIN | EPOLLOUT) : EPOLLIN;
+    event.data.fd = conn->fd;
+    ::epoll_ctl(loop->epoll_fd, EPOLL_CTL_MOD, conn->fd, &event);
+  }
+}
+
+void Server::WorkerMain() {
+  while (true) {
+    RequestWork work;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock, [this] {
+        return stopping_.load(std::memory_order_acquire) || !queue_.empty();
+      });
+      if (queue_.empty()) {
+        if (stopping_.load(std::memory_order_acquire)) {
+          return;
+        }
+        continue;
+      }
+      work = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    std::string response = ProcessRequest(work.request, work.deadline);
+    if (work.request.target == "/v1/assign") {
+      const auto elapsed = std::chrono::duration<double, std::micro>(
+          std::chrono::steady_clock::now() - work.start);
+      stats_.assign_latency.Record(elapsed.count());
+    }
+    EnqueueResponse(work.conn, std::move(response),
+                    !work.request.keep_alive);
+    if (work.counted) {
+      inflight_.fetch_sub(1, std::memory_order_acq_rel);
+    }
+  }
+}
+
+std::string Server::ProcessRequest(const HttpRequest& request,
+                                   const Deadline& deadline) {
+  if (request.target == "/v1/healthz") {
+    if (request.method != "GET") {
+      stats_.requests_bad.fetch_add(1, std::memory_order_relaxed);
+      return SerializeResponse(405, "text/plain", "method not allowed\n", {},
+                               request.keep_alive);
+    }
+    return SerializeResponse(200, "text/plain", "ok\n", {},
+                             request.keep_alive);
+  }
+  if (request.target == "/v1/statz") {
+    if (request.method != "GET") {
+      stats_.requests_bad.fetch_add(1, std::memory_order_relaxed);
+      return SerializeResponse(405, "text/plain", "method not allowed\n", {},
+                               request.keep_alive);
+    }
+    return SerializeResponse(200, "application/json", HandleStatz(), {},
+                             request.keep_alive);
+  }
+  if (request.target == "/v1/assign") {
+    if (request.method != "POST") {
+      stats_.requests_bad.fetch_add(1, std::memory_order_relaxed);
+      return SerializeResponse(405, "text/plain", "method not allowed\n", {},
+                               request.keep_alive);
+    }
+    return HandleAssign(request, deadline);
+  }
+  if (request.target == "/v1/reload") {
+    if (request.method != "POST") {
+      stats_.requests_bad.fetch_add(1, std::memory_order_relaxed);
+      return SerializeResponse(405, "text/plain", "method not allowed\n", {},
+                               request.keep_alive);
+    }
+    return HandleReload(request, deadline);
+  }
+  stats_.requests_bad.fetch_add(1, std::memory_order_relaxed);
+  return SerializeResponse(404, "application/json",
+                           JsonError("no handler for " + request.target), {},
+                           request.keep_alive);
+}
+
+std::string Server::HandleAssign(const HttpRequest& request,
+                                 const Deadline& deadline) {
+  PayloadEncoding encoding = PayloadEncoding::kJson;
+  Status status =
+      EncodingFromContentType(request.Header("Content-Type"), &encoding);
+  Dataset points(1);
+  if (status.ok()) {
+    status = ParseAssignBody(request.body, encoding,
+                             options_.max_points_per_request, &points);
+  }
+  std::shared_ptr<AssignmentEngine> engine = handle_.Get();
+  if (status.ok() && points.dim() != engine->dim()) {
+    status = Status::InvalidArgument(
+        "assign: request has dimension " + std::to_string(points.dim()) +
+        ", model expects " + std::to_string(engine->dim()));
+  }
+  std::vector<int32_t> labels;
+  if (status.ok()) {
+    status = engine->AssignBatch(points, &labels, deadline);
+  }
+  if (!status.ok()) {
+    const int code = HttpStatusFromStatus(status);
+    if (code == 504) {
+      // Deadline expiry is an expected production outcome: count it and
+      // hand back the partial serving stats alongside the error.
+      const uint64_t hits =
+          stats_.num_deadline_hits.fetch_add(1, std::memory_order_relaxed) +
+          1;
+      return SerializeResponse(
+          504, "application/json",
+          "{\"error\":\"deadline exceeded\",\"num_deadline_hits\":" +
+              std::to_string(hits) + ",\"points_received\":" +
+              std::to_string(points.size()) + "}",
+          {}, request.keep_alive);
+    }
+    if (code >= 400 && code < 500) {
+      stats_.requests_bad.fetch_add(1, std::memory_order_relaxed);
+    }
+    return SerializeResponse(code, "application/json",
+                             JsonError(status.ToString()), {},
+                             request.keep_alive);
+  }
+  stats_.requests_assign.fetch_add(1, std::memory_order_relaxed);
+  stats_.points_assigned.fetch_add(static_cast<uint64_t>(points.size()),
+                                   std::memory_order_relaxed);
+  if (options_.online_refresh) {
+    uint64_t absorbed = 0;
+    const Status refresh =
+        engine->AbsorbCoreAdjacent(points, labels, &absorbed);
+    if (refresh.ok()) {
+      stats_.cores_absorbed.fetch_add(absorbed, std::memory_order_relaxed);
+    } else {
+      // Refresh is best-effort: the labels are already correct for the
+      // pinned snapshot, so a failed absorb pass degrades to no-op.
+      stats_.refresh_failures.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  return SerializeResponse(200, ContentTypeName(encoding),
+                           EncodeAssignResponse(labels, encoding), {},
+                           request.keep_alive);
+}
+
+std::string Server::HandleStatz() {
+  std::shared_ptr<AssignmentEngine> engine = handle_.Get();
+  const AssignmentEngine::ServeStats engine_stats = engine->stats();
+  return stats_.ToJson(engine->model_version(), engine->model_crc(),
+                       engine_stats.points_assigned,
+                       engine_stats.sphere_rejections,
+                       engine_stats.range_queries,
+                       inflight_.load(std::memory_order_relaxed),
+                       options_.max_inflight);
+}
+
+std::string Server::HandleReload(const HttpRequest& request,
+                                 const Deadline& deadline) {
+  // Body: either a plain-text path or {"path": "..."} (no escapes).
+  std::string path;
+  std::string_view body = request.body;
+  while (!body.empty() && (body.front() == ' ' || body.front() == '\n' ||
+                           body.front() == '\r' || body.front() == '\t')) {
+    body.remove_prefix(1);
+  }
+  while (!body.empty() && (body.back() == ' ' || body.back() == '\n' ||
+                           body.back() == '\r' || body.back() == '\t')) {
+    body.remove_suffix(1);
+  }
+  if (!body.empty() && body.front() == '{') {
+    const size_t key = body.find("\"path\"");
+    const size_t colon =
+        key == std::string_view::npos ? key : body.find(':', key);
+    const size_t open =
+        colon == std::string_view::npos ? colon : body.find('"', colon);
+    const size_t close =
+        open == std::string_view::npos ? open : body.find('"', open + 1);
+    if (close == std::string_view::npos) {
+      stats_.requests_bad.fetch_add(1, std::memory_order_relaxed);
+      return SerializeResponse(
+          400, "application/json",
+          JsonError("reload body must be a path or {\"path\": \"...\"}"), {},
+          request.keep_alive);
+    }
+    path = std::string(body.substr(open + 1, close - open - 1));
+  } else {
+    path = std::string(body);
+  }
+  if (path.empty()) {
+    stats_.requests_bad.fetch_add(1, std::memory_order_relaxed);
+    return SerializeResponse(400, "application/json",
+                             JsonError("reload: empty model path"), {},
+                             request.keep_alive);
+  }
+
+  RetryReport report;
+  const Status status = Reload(path, deadline, &report);
+  if (!status.ok()) {
+    const int code = HttpStatusFromStatus(status);
+    if (code >= 400 && code < 500) {
+      stats_.requests_bad.fetch_add(1, std::memory_order_relaxed);
+    }
+    return SerializeResponse(
+        code, "application/json",
+        "{\"error\":\"" + status.ToString() + "\",\"attempts\":" +
+            std::to_string(report.attempts) + "}",
+        {}, request.keep_alive);
+  }
+  std::shared_ptr<AssignmentEngine> engine = handle_.Get();
+  char crc_hex[16];
+  std::snprintf(crc_hex, sizeof(crc_hex), "%08x", engine->model_crc());
+  return SerializeResponse(
+      200, "application/json",
+      "{\"reloaded\":true,\"model_version\":" +
+          std::to_string(engine->model_version()) + ",\"model_crc\":\"" +
+          crc_hex + "\",\"attempts\":" + std::to_string(report.attempts) +
+          "}",
+      {}, request.keep_alive);
+}
+
+Status Server::Reload(const std::string& path, const Deadline& deadline,
+                      RetryReport* report) {
+  std::lock_guard<std::mutex> serialize_reloads(reload_mutex_);
+  RetryReport local;
+  RetryReport& out = report != nullptr ? *report : local;
+  const RetryPolicy policy(options_.reload_retry);
+  const Status status = policy.Run(
+      "reload " + path, deadline,
+      [&]() -> Status {
+        DBSVEC_RETURN_IF_ERROR(FailpointCheck("server.reload"));
+        return handle_.LoadAndSwap(path, options_.engine_options, deadline);
+      },
+      &out);
+  stats_.reload_attempts.fetch_add(static_cast<uint64_t>(out.attempts),
+                                   std::memory_order_relaxed);
+  if (status.ok()) {
+    stats_.reloads_ok.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    stats_.reloads_failed.fetch_add(1, std::memory_order_relaxed);
+  }
+  return status;
+}
+
+void Server::Shutdown(const Deadline& drain) {
+  {
+    std::lock_guard<std::mutex> lock(shutdown_mutex_);
+    if (shutdown_done_) {
+      return;
+    }
+    shutdown_done_ = true;
+  }
+  // Phase 1: stop taking new work; connections already accepted keep
+  // being served.
+  accepting_.store(false, std::memory_order_release);
+  // Phase 2: drain — every dispatched request answers and every response
+  // reaches the socket (or its connection dies), bounded by `drain`.
+  while (!drain.Expired() &&
+         (inflight_.load(std::memory_order_acquire) > 0 ||
+          pending_responses_.load(std::memory_order_relaxed) > 0)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  // Phase 3: tear down loops and workers.
+  stopping_.store(true, std::memory_order_release);
+  queue_cv_.notify_all();
+  for (auto& loop : loops_) {
+    WakeLoop(loop.get());
+  }
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+  for (auto& loop : loops_) {
+    loop->thread.join();
+  }
+  workers_.clear();
+  loops_.clear();
+}
+
+Server::~Server() { Shutdown(); }
+
+}  // namespace dbsvec::server

@@ -1,0 +1,173 @@
+#ifndef DBSVEC_SERVER_SERVER_H_
+#define DBSVEC_SERVER_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/deadline.h"
+#include "common/status.h"
+#include "serve/engine_swap.h"
+#include "server/http.h"
+#include "server/retry.h"
+#include "server/stats.h"
+
+namespace dbsvec::server {
+
+/// Configuration of one Server instance.
+struct ServerOptions {
+  /// Bind address; loopback by default (put a real proxy in front for
+  /// anything else).
+  std::string host = "127.0.0.1";
+  /// TCP port; 0 binds an ephemeral port (read it back via port()).
+  int port = 0;
+  /// Event-loop threads (connection I/O + HTTP parsing). One loop handles
+  /// thousands of connections; raise this only past one socket's worth of
+  /// NIC interrupts.
+  int num_io_threads = 1;
+  /// Request-processing worker threads (AssignBatch itself additionally
+  /// fans out on the global thread pool).
+  int num_workers = 2;
+  /// Admission control: requests dispatched but not yet answered. At the
+  /// bound, /v1/assign and /v1/reload are shed with 503 + Retry-After
+  /// (healthz/statz always pass — observability must survive overload).
+  int max_inflight = 64;
+  /// Default per-request time budget when the client sends no
+  /// X-Deadline-Ms header; 0 = unlimited.
+  int64_t default_deadline_ms = 0;
+  /// Request-body cap; a larger declared Content-Length is answered 413.
+  size_t max_body_bytes = 64u << 20;
+  /// Cap on points per assign request (defense against a tiny body
+  /// declaring a huge binary count is structural; this bounds JSON too).
+  uint32_t max_points_per_request = 1u << 20;
+  /// Engine construction options used for /v1/reload swaps (index type,
+  /// online_refresh, ...). The initial engine is built by the caller.
+  AssignmentOptions engine_options;
+  /// Retry/backoff policy for model load + index build inside /v1/reload.
+  RetryOptions reload_retry;
+  /// Absorb core-adjacent assigned points into the engine's dynamic
+  /// overlay after each successful /v1/assign (requires
+  /// engine_options.online_refresh on the engine actually serving).
+  bool online_refresh = false;
+};
+
+/// Dependency-free epoll TCP server speaking the minimal HTTP/1.1 subset
+/// of docs/SERVING.md over an AssignmentEngine:
+///
+///   POST /v1/assign   batched point -> label assignment (JSON or binary)
+///   GET  /v1/healthz  liveness
+///   GET  /v1/statz    counters, latency percentiles, model identity
+///   POST /v1/reload   atomic model swap with retry/backoff + rollback
+///
+/// Requests, not datasets, are the unit of work here: connections are
+/// multiplexed on epoll event loops, parsed requests flow through a
+/// bounded in-flight gate into a worker pool, and responses stream back
+/// through the owning loop (partial writes re-armed via EPOLLOUT). Model
+/// swaps are RCU-style through EngineHandle: every request pins the
+/// engine snapshot it started with, so labels for a fixed snapshot stay
+/// bit-identical at any thread count and a reload never tears an
+/// in-flight response.
+class Server {
+ public:
+  /// Binds, listens, and starts the loops + workers. On success the
+  /// server is live and `*out` owns it; on failure nothing is running.
+  static Status Start(std::shared_ptr<AssignmentEngine> engine,
+                      const ServerOptions& options,
+                      std::unique_ptr<Server>* out);
+
+  /// Graceful stop: closes the listener, waits for in-flight requests to
+  /// answer and their responses to flush (bounded by `drain`), then tears
+  /// the loops and workers down. Idempotent; also run by the destructor.
+  void Shutdown(const Deadline& drain = Deadline::AfterMillis(10'000));
+
+  ~Server();
+
+  /// The bound port (resolves an ephemeral bind).
+  int port() const { return port_; }
+  const ServerStats& stats() const { return stats_; }
+  /// Snapshot of the currently serving engine.
+  std::shared_ptr<AssignmentEngine> engine() const { return handle_.Get(); }
+
+  /// The /v1/reload implementation, exposed for tests and operators:
+  /// retry/backoff over load + index build, atomic swap, rollback on
+  /// failure. `report` (optional) receives the retry trace.
+  Status Reload(const std::string& path, const Deadline& deadline,
+                RetryReport* report = nullptr);
+
+ private:
+  struct Connection;
+  struct IoLoop;
+  struct RequestWork;
+
+  Server(std::shared_ptr<AssignmentEngine> engine,
+         const ServerOptions& options);
+
+  Status Listen();
+  Status SpawnThreads();
+
+  void IoLoopMain(IoLoop* loop);
+  void WorkerMain();
+
+  // -- Io-thread-only connection handling --------------------------------
+  void AdoptIncoming(IoLoop* loop);
+  void AcceptReady(IoLoop* loop);
+  void OnReadable(IoLoop* loop, const std::shared_ptr<Connection>& conn);
+  void FlushWrites(IoLoop* loop, const std::shared_ptr<Connection>& conn);
+  void MaybeDispatch(IoLoop* loop, const std::shared_ptr<Connection>& conn);
+  void CloseConnection(IoLoop* loop, const std::shared_ptr<Connection>& conn);
+  /// Queues `response` straight from the io thread (shed/parse errors).
+  void RespondInline(IoLoop* loop, const std::shared_ptr<Connection>& conn,
+                     std::string response, bool close_after);
+
+  // -- Worker-side request handling --------------------------------------
+  std::string ProcessRequest(const HttpRequest& request,
+                             const Deadline& deadline);
+  std::string HandleAssign(const HttpRequest& request,
+                           const Deadline& deadline);
+  std::string HandleStatz();
+  std::string HandleReload(const HttpRequest& request,
+                           const Deadline& deadline);
+  /// Appends the response to the connection's out buffer and wakes its
+  /// loop. Called from workers (and from RespondInline via the same path).
+  void EnqueueResponse(const std::shared_ptr<Connection>& conn,
+                       std::string response, bool close_after);
+
+  void WakeLoop(IoLoop* loop);
+
+  const ServerOptions options_;
+  EngineHandle handle_;
+  ServerStats stats_;
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::vector<std::unique_ptr<IoLoop>> loops_;
+  std::atomic<size_t> next_loop_{0};  // Round-robin connection placement.
+
+  // Worker pool.
+  std::vector<std::thread> workers_;
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<RequestWork> queue_;
+
+  std::atomic<int> inflight_{0};           // Dispatched, not yet answered.
+  std::atomic<int> pending_responses_{0};  // Answered, not yet flushed.
+  std::atomic<bool> accepting_{false};
+  std::atomic<bool> stopping_{false};
+  // Serializes concurrent /v1/reload requests: swaps stay ordered and a
+  // retry storm cannot pile up N simultaneous index builds.
+  std::mutex reload_mutex_;
+  bool shutdown_done_ = false;
+  std::mutex shutdown_mutex_;
+};
+
+}  // namespace dbsvec::server
+
+#endif  // DBSVEC_SERVER_SERVER_H_

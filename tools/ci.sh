@@ -5,9 +5,12 @@
 # an AddressSanitizer build running the model-format, serving, fault, and
 # SIMD agreement tests (malformed model files must fail with a Status, never
 # with memory errors; the SoA block views must never read out of bounds),
-# an UndefinedBehaviorSanitizer build over the same set, and a
+# an UndefinedBehaviorSanitizer build over the same set, a
 # DBSVEC_FAILPOINTS sweep driving the CLI end-to-end under ASan with every
-# failpoint site armed via the environment (docs/ROBUSTNESS.md).
+# failpoint site armed via the environment (docs/ROBUSTNESS.md), and a
+# serve smoke leg: the ASan server with a delay failpoint armed takes
+# client traffic (JSON + binary assign, reload, an expect-504 deadline
+# probe) and must drain cleanly on SIGTERM (docs/SERVING.md).
 # Run from anywhere; builds land in <repo>/build-ci-{release,tsan,asan,ubsan}.
 set -euo pipefail
 
@@ -32,9 +35,11 @@ cmake -S "${repo}" -B "${repo}/build-ci-tsan" \
   -DDBSVEC_BUILD_EXAMPLES=OFF >/dev/null
 cmake --build "${repo}/build-ci-tsan" -j "${jobs}" --target dbsvec_tests
 # Determinism + thread-pool tests force an 8-thread pool, so they exercise
-# every parallel section under TSan even on small machines.
+# every parallel section under TSan even on small machines. The server
+# reload-under-load test hammers /v1/assign from 8 connections while the
+# model pointer swaps, so the RCU handoff is race-checked too.
 ctest --test-dir "${repo}/build-ci-tsan" --output-on-failure -j "${jobs}" \
-  -R 'Determinism|ThreadPool'
+  -R 'Determinism|ThreadPool|ServerTest.ReloadUnderLoad'
 
 echo "=== AddressSanitizer build + model/serving tests ==="
 cmake -S "${repo}" -B "${repo}/build-ci-asan" \
@@ -43,7 +48,7 @@ cmake -S "${repo}" -B "${repo}/build-ci-asan" \
   -DDBSVEC_BUILD_BENCHMARKS=OFF \
   -DDBSVEC_BUILD_EXAMPLES=OFF >/dev/null
 cmake --build "${repo}/build-ci-asan" -j "${jobs}" --target dbsvec_tests \
-  --target dbsvec_cli
+  --target dbsvec_cli --target dbsvec_client
 # The model tests fuzz truncations and bit flips of the binary format;
 # under ASan any out-of-bounds parse becomes a hard failure. The SIMD
 # agreement tests sweep every remainder-lane shape, so a kernel touching
@@ -100,6 +105,60 @@ DBSVEC_FAILPOINTS="smo.solve:nonconverge" \
   "${cli}" fit --demo=blobs --demo-n=400 --demo-dim=2 --minpts=5 \
     --model-out="${sweep_dir}/model-degraded.bin" \
   | grep -q '^degraded: nonconverged_solves='
+
+echo "=== Serve smoke under ASan: failpoints, client traffic, SIGTERM ==="
+# The server runs under ASan with the assign-path delay failpoint armed for
+# its whole life, so every request crosses an injected slowdown. The load
+# generator drives JSON and binary assigns, a reload swap, and a
+# deadline probe that must surface as 504; finally SIGTERM must drain
+# in-flight work and exit 0 with the clean-shutdown banner.
+client="${repo}/build-ci-asan/tools/dbsvec_client"
+serve_log="${sweep_dir}/serve.log"
+DBSVEC_FAILPOINTS="assign.batch:delay_ms:20" \
+  "${cli}" serve --model="${sweep_dir}/model.bin" --port=0 --workers=2 \
+  > "${serve_log}" 2>&1 &
+serve_pid=$!
+port=""
+for _ in $(seq 1 100); do
+  port="$(sed -n 's/.*listening on [0-9.]*:\([0-9]*\).*/\1/p' \
+    "${serve_log}" 2>/dev/null || true)"
+  [ -n "${port}" ] && break
+  if ! kill -0 "${serve_pid}" 2>/dev/null; then
+    echo "serve smoke: server died before listening" >&2
+    cat "${serve_log}" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+if [ -z "${port}" ]; then
+  echo "serve smoke: no listening banner within 10s" >&2
+  cat "${serve_log}" >&2
+  exit 1
+fi
+"${client}" --mode=health --port="${port}" --quiet
+"${client}" --mode=assign --port="${port}" --requests=20 --batch=16 \
+  --threads=2 --dim=2 --quiet
+"${client}" --mode=assign --port="${port}" --requests=20 --batch=16 \
+  --threads=2 --dim=2 --binary --quiet
+"${client}" --mode=reload --port="${port}" \
+  --reload-model="${sweep_dir}/model.bin" --quiet
+# The armed 20ms delay plus a 5ms deadline must produce at least one 504.
+"${client}" --mode=assign --port="${port}" --requests=5 --batch=4 \
+  --threads=1 --dim=2 --deadline-ms=5 --expect-status=504 --quiet
+"${client}" --mode=statz --port="${port}" --quiet
+kill -TERM "${serve_pid}"
+serve_status=0
+wait "${serve_pid}" || serve_status=$?
+if [ "${serve_status}" -ne 0 ]; then
+  echo "serve smoke: SIGTERM shutdown exited ${serve_status}" >&2
+  cat "${serve_log}" >&2
+  exit 1
+fi
+grep -q 'shut down cleanly' "${serve_log}" || {
+  echo "serve smoke: clean-shutdown banner missing" >&2
+  cat "${serve_log}" >&2
+  exit 1
+}
 
 echo "=== UndefinedBehaviorSanitizer build + model/serving/fault tests ==="
 cmake -S "${repo}" -B "${repo}/build-ci-ubsan" \

@@ -2,8 +2,12 @@
 // line with any algorithm in the library. Run with --help for usage.
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "cli/cli_options.h"
@@ -15,6 +19,8 @@
 #include "eval/recall.h"
 #include "fault/failpoint.h"
 #include "model/dbsvec_model.h"
+#include "serve/assignment_engine.h"
+#include "server/server.h"
 
 namespace dbsvec {
 namespace {
@@ -55,11 +61,19 @@ int RunFitCommand(const cli::CliOptions& options) {
   std::printf("clusters=%d noise=%d time=%.3fs\n", result.num_clusters,
               result.CountNoise(), timer.ElapsedSeconds());
   PrintDegradedStats(result.stats);
-  std::printf("model: core_points=%d (%d core-SVs) spheres=%zu -> %s\n",
+  uint32_t model_crc = 0;
+  if (const Status status = ModelPayloadCrc(model, &model_crc);
+      !status.ok()) {
+    std::fprintf(stderr, "model crc: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("model: core_points=%d (%d core-SVs) spheres=%zu version=%u "
+              "crc=%08x -> %s\n",
               model.core_points.size(),
               static_cast<int>(std::count(model.core_is_sv.begin(),
                                           model.core_is_sv.end(), 1)),
-              model.spheres.size(), options.model_out_path.c_str());
+              model.spheres.size(), DbsvecModel::kFormatVersion, model_crc,
+              options.model_out_path.c_str());
   if (!options.output_path.empty()) {
     if (const Status status =
             WriteCsv(dataset, result.labels, options.output_path);
@@ -105,6 +119,71 @@ int RunAssignCommand(const cli::CliOptions& options) {
   return 0;
 }
 
+volatile std::sig_atomic_t g_stop_requested = 0;
+
+void HandleStopSignal(int) { g_stop_requested = 1; }
+
+/// `serve`: load a model, serve it over HTTP until SIGTERM/SIGINT, then
+/// drain and shut down cleanly.
+int RunServeCommand(const cli::CliOptions& options) {
+  AssignmentOptions engine_options;
+  engine_options.index = options.index;
+  engine_options.online_refresh = options.serve_refresh;
+  std::unique_ptr<AssignmentEngine> loaded;
+  if (const Status status =
+          AssignmentEngine::Load(options.model_path, engine_options, &loaded);
+      !status.ok()) {
+    std::fprintf(stderr, "serve: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::shared_ptr<AssignmentEngine> engine(std::move(loaded));
+
+  server::ServerOptions server_options;
+  server_options.host = options.serve_host;
+  server_options.port = options.serve_port;
+  server_options.num_io_threads = options.serve_io_threads;
+  server_options.num_workers = options.serve_workers;
+  server_options.max_inflight = options.serve_max_inflight;
+  server_options.default_deadline_ms = options.serve_default_deadline_ms;
+  server_options.engine_options = engine_options;
+  server_options.online_refresh = options.serve_refresh;
+  std::unique_ptr<server::Server> server;
+  if (const Status status =
+          server::Server::Start(engine, server_options, &server);
+      !status.ok()) {
+    std::fprintf(stderr, "serve: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("serve: model=%s version=%u crc=%08x\n",
+              options.model_path.c_str(), engine->model_version(),
+              engine->model_crc());
+  std::printf("serve: listening on %s:%d (io=%d workers=%d inflight<=%d%s)\n",
+              server_options.host.c_str(), server->port(),
+              server_options.num_io_threads, server_options.num_workers,
+              server_options.max_inflight,
+              options.serve_refresh ? " refresh=on" : "");
+  std::fflush(stdout);
+
+  struct sigaction action {};
+  action.sa_handler = HandleStopSignal;
+  sigaction(SIGTERM, &action, nullptr);
+  sigaction(SIGINT, &action, nullptr);
+  while (g_stop_requested == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  std::printf("serve: stop signal received, draining\n");
+  server->Shutdown();
+  const server::ServerStats& stats = server->stats();
+  std::printf("serve: shut down cleanly (requests=%llu assigned=%llu "
+              "shed=%llu deadline_hits=%llu)\n",
+              static_cast<unsigned long long>(stats.requests_total.load()),
+              static_cast<unsigned long long>(stats.points_assigned.load()),
+              static_cast<unsigned long long>(stats.requests_shed.load()),
+              static_cast<unsigned long long>(
+                  stats.num_deadline_hits.load()));
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   std::vector<std::string> args(argv + 1, argv + argc);
   cli::CliOptions options;
@@ -132,6 +211,9 @@ int Main(int argc, char** argv) {
   }
   if (options.command == cli::Command::kAssign) {
     return RunAssignCommand(options);
+  }
+  if (options.command == cli::Command::kServe) {
+    return RunServeCommand(options);
   }
 
   Dataset dataset(1);

@@ -1,0 +1,391 @@
+// dbsvec_client — load generator and smoke client for the dbsvec serving
+// endpoint (docs/SERVING.md). Four modes:
+//
+//   --mode=assign  (default) fire --requests batched /v1/assign calls of
+//                  --batch points each from --threads connections; points
+//                  come from --input=FILE.csv or a seeded generator.
+//   --mode=health  one GET /v1/healthz.
+//   --mode=statz   one GET /v1/statz (prints the JSON).
+//   --mode=reload  one POST /v1/reload with --reload-model=PATH.
+//
+// --deadline-ms sets the X-Deadline-Ms header on assign requests;
+// --binary switches the assign payload to application/octet-stream.
+// --expect-status=N makes the exit code demand at least one response with
+// that HTTP status (e.g. 504 for a deadline smoke, 503 for shed smoke);
+// without it, assign mode demands at least one 200 and zero transport
+// errors.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/csv.h"
+#include "common/dataset.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "server/http_client.h"
+#include "server/payload.h"
+
+namespace dbsvec {
+namespace {
+
+struct ClientOptions {
+  std::string mode = "assign";
+  std::string host = "127.0.0.1";
+  int port = 8080;
+  int requests = 100;
+  int batch = 64;
+  int dim = 8;
+  int threads = 1;
+  int64_t deadline_ms = 0;
+  bool binary = false;
+  uint64_t seed = 7;
+  std::string input_path;
+  std::string reload_model;
+  int expect_status = 0;
+  bool quiet = false;
+};
+
+bool ParseFlag(const std::string& arg, std::string* key, std::string* value) {
+  if (arg.rfind("--", 0) != 0) {
+    return false;
+  }
+  const size_t eq = arg.find('=');
+  *key = eq == std::string::npos ? arg.substr(2) : arg.substr(2, eq - 2);
+  *value = eq == std::string::npos ? "" : arg.substr(eq + 1);
+  return true;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "dbsvec_client --mode=assign|health|statz|reload [--host=ADDR] "
+      "[--port=N]\n"
+      "  assign: --requests=N --batch=N --threads=N --dim=D [--seed=N]\n"
+      "          [--input=FILE.csv] [--deadline-ms=N] [--binary]\n"
+      "          [--expect-status=N] [--quiet]\n"
+      "  reload: --reload-model=PATH\n");
+  return 2;
+}
+
+/// Shared outcome counters across driver threads.
+struct Tally {
+  std::mutex mutex;
+  std::map<int, int> status_counts;  // HTTP status -> responses.
+  int transport_errors = 0;
+  std::vector<double> latencies_ms;
+  std::string first_error;
+};
+
+std::string BuildAssignBody(const Dataset& points, int begin, int count,
+                            bool binary) {
+  if (binary) {
+    std::string body;
+    const uint32_t n = static_cast<uint32_t>(count);
+    const uint32_t dim = static_cast<uint32_t>(points.dim());
+    const auto put_u32 = [&body](uint32_t v) {
+      for (int b = 0; b < 4; ++b) {
+        body.push_back(static_cast<char>((v >> (8 * b)) & 0xff));
+      }
+    };
+    put_u32(n);
+    put_u32(dim);
+    for (int i = 0; i < count; ++i) {
+      const auto point = points.point(begin + i);
+      for (const double x : point) {
+        uint64_t bits;
+        std::memcpy(&bits, &x, sizeof(bits));
+        for (int b = 0; b < 8; ++b) {
+          body.push_back(static_cast<char>((bits >> (8 * b)) & 0xff));
+        }
+      }
+    }
+    return body;
+  }
+  std::string body = "{\"points\":[";
+  char buffer[64];
+  for (int i = 0; i < count; ++i) {
+    if (i > 0) {
+      body += ",";
+    }
+    body += "[";
+    const auto point = points.point(begin + i);
+    for (size_t d = 0; d < point.size(); ++d) {
+      if (d > 0) {
+        body += ",";
+      }
+      std::snprintf(buffer, sizeof(buffer), "%.17g", point[d]);
+      body += buffer;
+    }
+    body += "]";
+  }
+  body += "]}";
+  return body;
+}
+
+void AssignWorker(const ClientOptions& options, const Dataset& points,
+                  int thread_id, int num_requests, Tally* tally) {
+  server::HttpClient client;
+  if (const Status status = client.Connect(options.host, options.port);
+      !status.ok()) {
+    std::lock_guard<std::mutex> lock(tally->mutex);
+    tally->transport_errors += num_requests;
+    if (tally->first_error.empty()) {
+      tally->first_error = status.ToString();
+    }
+    return;
+  }
+  Rng rng(options.seed + 1000 + static_cast<uint64_t>(thread_id));
+  std::vector<std::string> extra;
+  if (options.deadline_ms > 0) {
+    extra.push_back("X-Deadline-Ms: " + std::to_string(options.deadline_ms));
+  }
+  const char* content_type =
+      options.binary ? "application/octet-stream" : "application/json";
+  for (int r = 0; r < num_requests; ++r) {
+    const int max_begin = points.size() - options.batch;
+    const int begin =
+        max_begin > 0
+            ? static_cast<int>(rng.NextBounded(
+                  static_cast<uint64_t>(max_begin) + 1))
+            : 0;
+    const int count = std::min(options.batch, static_cast<int>(points.size()));
+    const std::string body =
+        BuildAssignBody(points, begin, count, options.binary);
+    server::HttpResponse response;
+    const auto start = std::chrono::steady_clock::now();
+    Status status = client.Roundtrip("POST", "/v1/assign", content_type, body,
+                                     extra, &response);
+    const double elapsed_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    if (!status.ok()) {
+      // One reconnect per failure: the server closes connections on
+      // protocol errors and teardown races are expected under load.
+      client.Connect(options.host, options.port);
+      std::lock_guard<std::mutex> lock(tally->mutex);
+      ++tally->transport_errors;
+      if (tally->first_error.empty()) {
+        tally->first_error = status.ToString();
+      }
+      continue;
+    }
+    std::lock_guard<std::mutex> lock(tally->mutex);
+    ++tally->status_counts[response.status_code];
+    tally->latencies_ms.push_back(elapsed_ms);
+  }
+}
+
+int RunAssign(const ClientOptions& options) {
+  Dataset points(options.dim);
+  if (!options.input_path.empty()) {
+    points = Dataset(1);
+    if (const Status status =
+            ReadCsv(options.input_path, /*last_column_is_label=*/false,
+                    &points, nullptr);
+        !status.ok()) {
+      std::fprintf(stderr, "input: %s\n", status.ToString().c_str());
+      return 1;
+    }
+  } else {
+    // Seeded synthetic queries: clustered around a handful of centers so a
+    // realistic mix of in-cluster and noise assignments is exercised.
+    Rng rng(options.seed);
+    const int num_centers = 8;
+    std::vector<double> centers(
+        static_cast<size_t>(num_centers) * options.dim);
+    for (double& c : centers) {
+      c = rng.Uniform(-10.0, 10.0);
+    }
+    const int n = std::max(options.batch * 8, 1024);
+    std::vector<double> point(options.dim);
+    for (int i = 0; i < n; ++i) {
+      const int center = static_cast<int>(rng.NextBounded(num_centers));
+      for (int d = 0; d < options.dim; ++d) {
+        point[d] = centers[static_cast<size_t>(center) * options.dim + d] +
+                   rng.Gaussian(0.0, 0.5);
+      }
+      points.Append(point);
+    }
+  }
+  if (points.size() == 0) {
+    std::fprintf(stderr, "no points to assign\n");
+    return 1;
+  }
+
+  Tally tally;
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  const int per_thread = options.requests / std::max(1, options.threads);
+  const int remainder = options.requests % std::max(1, options.threads);
+  for (int t = 0; t < options.threads; ++t) {
+    const int count = per_thread + (t < remainder ? 1 : 0);
+    if (count == 0) {
+      continue;
+    }
+    threads.emplace_back(AssignWorker, std::cref(options), std::cref(points),
+                         t, count, &tally);
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  const double elapsed_s = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - start)
+                               .count();
+
+  std::sort(tally.latencies_ms.begin(), tally.latencies_ms.end());
+  const auto percentile = [&tally](double p) {
+    if (tally.latencies_ms.empty()) {
+      return 0.0;
+    }
+    const size_t rank = static_cast<size_t>(
+        p / 100.0 * static_cast<double>(tally.latencies_ms.size() - 1));
+    return tally.latencies_ms[rank];
+  };
+  int total_responses = 0;
+  std::string status_summary;
+  for (const auto& [code, count] : tally.status_counts) {
+    total_responses += count;
+    status_summary +=
+        " " + std::to_string(code) + "=" + std::to_string(count);
+  }
+  if (!options.quiet) {
+    std::printf("assign: %d responses in %.3fs (%.0f req/s, %.0f points/s)\n",
+                total_responses, elapsed_s,
+                elapsed_s > 0 ? total_responses / elapsed_s : 0.0,
+                elapsed_s > 0
+                    ? total_responses / elapsed_s * options.batch
+                    : 0.0);
+    std::printf("status:%s transport_errors=%d\n", status_summary.c_str(),
+                tally.transport_errors);
+    std::printf("latency_ms: p50=%.3f p99=%.3f max=%.3f\n", percentile(50),
+                percentile(99),
+                tally.latencies_ms.empty() ? 0.0
+                                           : tally.latencies_ms.back());
+  }
+  if (!tally.first_error.empty() && !options.quiet) {
+    std::fprintf(stderr, "first transport error: %s\n",
+                 tally.first_error.c_str());
+  }
+  if (options.expect_status != 0) {
+    if (tally.status_counts[options.expect_status] == 0) {
+      std::fprintf(stderr, "expected at least one %d response, got none\n",
+                   options.expect_status);
+      return 1;
+    }
+    return 0;
+  }
+  if (tally.status_counts[200] == 0 || tally.transport_errors > 0) {
+    return 1;
+  }
+  return 0;
+}
+
+int RunSimple(const ClientOptions& options) {
+  server::HttpClient client;
+  if (const Status status = client.Connect(options.host, options.port);
+      !status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  server::HttpResponse response;
+  Status status;
+  if (options.mode == "health") {
+    status = client.Roundtrip("GET", "/v1/healthz", "", "", {}, &response);
+  } else if (options.mode == "statz") {
+    status = client.Roundtrip("GET", "/v1/statz", "", "", {}, &response);
+  } else {  // reload
+    if (options.reload_model.empty()) {
+      std::fprintf(stderr, "reload mode requires --reload-model=PATH\n");
+      return 2;
+    }
+    std::vector<std::string> extra;
+    if (options.deadline_ms > 0) {
+      extra.push_back("X-Deadline-Ms: " +
+                      std::to_string(options.deadline_ms));
+    }
+    status = client.Roundtrip(
+        "POST", "/v1/reload", "application/json",
+        "{\"path\": \"" + options.reload_model + "\"}", extra, &response);
+  }
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("%d %s\n", response.status_code, response.body.c_str());
+  if (options.expect_status != 0) {
+    return response.status_code == options.expect_status ? 0 : 1;
+  }
+  return response.status_code == 200 ? 0 : 1;
+}
+
+int Main(int argc, char** argv) {
+  ClientOptions options;
+  for (int i = 1; i < argc; ++i) {
+    std::string key;
+    std::string value;
+    if (!ParseFlag(argv[i], &key, &value)) {
+      return Usage();
+    }
+    if (key == "mode") {
+      options.mode = value;
+    } else if (key == "host") {
+      options.host = value;
+    } else if (key == "port") {
+      options.port = std::atoi(value.c_str());
+    } else if (key == "requests") {
+      options.requests = std::atoi(value.c_str());
+    } else if (key == "batch") {
+      options.batch = std::atoi(value.c_str());
+    } else if (key == "dim") {
+      options.dim = std::atoi(value.c_str());
+    } else if (key == "threads") {
+      options.threads = std::atoi(value.c_str());
+    } else if (key == "deadline-ms") {
+      options.deadline_ms = std::atoll(value.c_str());
+    } else if (key == "binary") {
+      options.binary = value != "0" && value != "false";
+    } else if (key == "seed") {
+      options.seed = static_cast<uint64_t>(std::atoll(value.c_str()));
+    } else if (key == "input") {
+      options.input_path = value;
+    } else if (key == "reload-model") {
+      options.reload_model = value;
+    } else if (key == "expect-status") {
+      options.expect_status = std::atoi(value.c_str());
+    } else if (key == "quiet") {
+      options.quiet = value != "0" && value != "false";
+    } else if (key == "help") {
+      Usage();
+      return 0;
+    } else {
+      return Usage();
+    }
+  }
+  if (options.port <= 0 || options.requests < 0 || options.batch <= 0 ||
+      options.dim <= 0 || options.threads <= 0) {
+    return Usage();
+  }
+  if (options.mode == "assign") {
+    return RunAssign(options);
+  }
+  if (options.mode == "health" || options.mode == "statz" ||
+      options.mode == "reload") {
+    return RunSimple(options);
+  }
+  return Usage();
+}
+
+}  // namespace
+}  // namespace dbsvec
+
+int main(int argc, char** argv) { return dbsvec::Main(argc, argv); }
