@@ -1,0 +1,234 @@
+// Sharded-execution harness: runs the DBSVEC fit on the Fig. 6
+// random-walk workload across a (shards x threads x engine) grid, reports
+// wall-clock speedup over the unsharded sequential run of the same engine,
+// and verifies labels are bit-identical to the shards=1/threads=1 baseline
+// at every grid point (the sharded determinism contract: the merged
+// range-query result depends only on the point set). The harness fails on
+// any divergence.
+//
+// Flags: --n --dim --eps --minpts --seed --shards=1,2,4 --threads=1,2,4
+//        --engines=brute,kd,rstar,grid --out
+// Writes BENCH_shard.json next to the text table.
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
+#include "core/dbsvec.h"
+#include "data/synthetic.h"
+#include "exec/topology.h"
+#include "index/neighbor_index.h"
+
+namespace dbsvec {
+namespace {
+
+struct Run {
+  std::string engine;
+  int shards = 0;  // 0 = unsharded legacy path.
+  int threads = 1;
+  double seconds = 0.0;
+  double speedup_vs_unsharded_seq = 1.0;
+  bool labels_match_baseline = true;
+};
+
+std::vector<int> ParseIntList(const std::string& spec, int min_value) {
+  std::vector<int> values;
+  size_t start = 0;
+  while (start < spec.size()) {
+    size_t comma = spec.find(',', start);
+    if (comma == std::string::npos) {
+      comma = spec.size();
+    }
+    const int value = std::atoi(spec.substr(start, comma - start).c_str());
+    if (value >= min_value) {
+      values.push_back(value);
+    }
+    start = comma + 1;
+  }
+  return values;
+}
+
+bool ParseEngines(const std::string& spec, std::vector<IndexType>* engines) {
+  size_t start = 0;
+  while (start < spec.size()) {
+    size_t comma = spec.find(',', start);
+    if (comma == std::string::npos) {
+      comma = spec.size();
+    }
+    const std::string name = spec.substr(start, comma - start);
+    if (name == "brute") {
+      engines->push_back(IndexType::kBruteForce);
+    } else if (name == "kd") {
+      engines->push_back(IndexType::kKdTree);
+    } else if (name == "rstar") {
+      engines->push_back(IndexType::kRStarTree);
+    } else if (name == "grid") {
+      engines->push_back(IndexType::kGrid);
+    } else {
+      std::fprintf(stderr, "unknown engine \"%s\" (brute|kd|rstar|grid)\n",
+                   name.c_str());
+      return false;
+    }
+    start = comma + 1;
+  }
+  return !engines->empty();
+}
+
+int Main(int argc, char** argv) {
+  const bench::Args args(argc, argv);
+  RandomWalkParams data;
+  data.n = static_cast<PointIndex>(args.GetInt("n", 40'000));
+  data.dim = static_cast<int>(args.GetInt("dim", 8));
+  data.seed = static_cast<uint64_t>(args.GetInt("seed", 23));
+  const double epsilon = args.GetDouble("eps", 5'000.0);
+  const int min_pts = static_cast<int>(args.GetInt("minpts", 100));
+  const std::string json_path = args.GetString("out", "BENCH_shard.json");
+  const unsigned hardware = std::thread::hardware_concurrency();
+
+  std::vector<int> shard_counts =
+      ParseIntList(args.GetString("shards", "1,2,4"), 1);
+  if (shard_counts.empty() || shard_counts.front() != 1) {
+    shard_counts.insert(shard_counts.begin(), 1);  // Label baseline.
+  }
+  std::vector<int> thread_counts =
+      ParseIntList(args.GetString("threads", "1,2,4"), 1);
+  if (thread_counts.empty() || thread_counts.front() != 1) {
+    thread_counts.insert(thread_counts.begin(), 1);
+  }
+  std::vector<IndexType> engines;
+  if (!ParseEngines(args.GetString("engines", "brute,kd,rstar,grid"),
+                    &engines)) {
+    return 1;
+  }
+
+  const exec::Topology topology = exec::DetectTopology();
+  std::printf("topology: %zu NUMA node(s), %d cpu(s)%s\n",
+              topology.nodes.size(), topology.num_cpus(),
+              topology.from_sysfs ? " (sysfs)" : " (fallback)");
+  std::printf("generating random-walk workload: n=%d dim=%d seed=%llu\n",
+              data.n, data.dim, static_cast<unsigned long long>(data.seed));
+  const Dataset dataset = GenerateRandomWalk(data);
+
+  std::vector<Run> runs;
+  bench::Table table(
+      {"engine", "shards", "threads", "seconds", "speedup", "match"});
+  bool all_match = true;
+
+  for (const IndexType engine : engines) {
+    DbsvecParams params;
+    params.epsilon = epsilon;
+    params.min_pts = min_pts;
+    params.index = engine;
+
+    // Unsharded sequential run: the timing baseline every grid point's
+    // speedup is measured against.
+    double unsharded_seconds = 0.0;
+    {
+      SetGlobalThreads(1);
+      params.shards = 0;
+      Clustering result;
+      Stopwatch timer;
+      const Status status = RunDbsvec(dataset, params, &result);
+      unsharded_seconds = timer.ElapsedSeconds();
+      if (!status.ok()) {
+        std::fprintf(stderr, "dbsvec(%s, unsharded): %s\n",
+                     IndexTypeName(engine), status.ToString().c_str());
+        return 1;
+      }
+      Run run;
+      run.engine = IndexTypeName(engine);
+      run.shards = 0;
+      run.threads = 1;
+      run.seconds = unsharded_seconds;
+      table.AddRow({run.engine, "0", "1",
+                    bench::FormatSeconds(unsharded_seconds), "1.00", "yes"});
+      runs.push_back(run);
+    }
+
+    // Label baseline: shards=1, threads=1. Every sharded grid point must
+    // reproduce these labels bit for bit. (The unsharded path is not the
+    // label reference: its per-query neighbor *order* is traversal order,
+    // not sorted order, so cluster numbering may legitimately differ.)
+    std::vector<int32_t> baseline_labels;
+
+    for (const int shards : shard_counts) {
+      for (const int threads : thread_counts) {
+        SetGlobalThreads(threads);
+        params.shards = shards;
+        Clustering result;
+        Stopwatch timer;
+        const Status status = RunDbsvec(dataset, params, &result);
+        const double elapsed = timer.ElapsedSeconds();
+        if (!status.ok()) {
+          std::fprintf(stderr, "dbsvec(%s, shards=%d, threads=%d): %s\n",
+                       IndexTypeName(engine), shards, threads,
+                       status.ToString().c_str());
+          return 1;
+        }
+        if (baseline_labels.empty()) {
+          baseline_labels = result.labels;
+        }
+        Run run;
+        run.engine = IndexTypeName(engine);
+        run.shards = shards;
+        run.threads = threads;
+        run.seconds = elapsed;
+        run.speedup_vs_unsharded_seq = unsharded_seconds / elapsed;
+        run.labels_match_baseline = result.labels == baseline_labels;
+        all_match = all_match && run.labels_match_baseline;
+        table.AddRow({run.engine, std::to_string(shards),
+                      std::to_string(threads), bench::FormatSeconds(elapsed),
+                      bench::FormatDouble(run.speedup_vs_unsharded_seq, 2),
+                      run.labels_match_baseline ? "yes" : "NO"});
+        runs.push_back(run);
+      }
+    }
+  }
+  SetGlobalThreads(0);
+
+  table.Print();
+
+  std::ofstream json(json_path);
+  json << "{\n"
+       << "  \"workload\": {\"generator\": \"random_walk\", \"n\": " << data.n
+       << ", \"dim\": " << data.dim << ", \"eps\": " << epsilon
+       << ", \"minpts\": " << min_pts << ", \"seed\": " << data.seed
+       << "},\n"
+       << "  \"hardware_threads\": " << hardware << ",\n"
+       << "  \"numa_nodes\": " << topology.nodes.size() << ",\n"
+       << "  \"topology_from_sysfs\": "
+       << (topology.from_sysfs ? "true" : "false") << ",\n"
+       << "  \"deterministic\": " << (all_match ? "true" : "false") << ",\n"
+       << "  \"runs\": [\n";
+  for (size_t i = 0; i < runs.size(); ++i) {
+    const Run& run = runs[i];
+    json << "    {\"engine\": \"" << run.engine << "\", \"shards\": "
+         << run.shards << ", \"threads\": " << run.threads
+         << ", \"seconds\": " << run.seconds
+         << ", \"speedup_vs_unsharded_seq\": "
+         << run.speedup_vs_unsharded_seq << ", \"labels_match_baseline\": "
+         << (run.labels_match_baseline ? "true" : "false") << "}"
+         << (i + 1 < runs.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  std::printf("[json written to %s]\n", json_path.c_str());
+
+  if (!all_match) {
+    std::fprintf(stderr,
+                 "FAIL: labels diverged from the shards=1/threads=1 "
+                 "baseline — the sharded determinism contract is broken\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace dbsvec
+
+int main(int argc, char** argv) { return dbsvec::Main(argc, argv); }

@@ -1,13 +1,17 @@
 // SIMD micro-kernel harness: throughput of the batched primitives
-// (squared-distance and eps-count over SoA blocks) scalar vs AVX2 at
-// d ∈ {2, 8, 32}, plus end-to-end DBSVEC wall time on the Fig. 6
-// random-walk workload with the SIMD dispatch forced off and on. Labels
-// must be bit-identical across backends — the harness fails otherwise.
+// (squared-distance and eps-count over SoA blocks) scalar vs the best
+// vector backend (AVX-512 when available, else AVX2) at d ∈ {2, 8, 32},
+// plus end-to-end DBSVEC wall time on the Fig. 6 random-walk workload with
+// the SIMD dispatch forced off and on — unsharded and sharded. Labels must
+// be bit-identical across backends — the harness fails otherwise. The JSON
+// additionally reports the primitive-vs-e2e speedup ratio: how much of the
+// micro-kernel gain survives to the full fit.
 //
-// Flags: --points --reps --n --dim --eps --minpts --seed --out
+// Flags: --points --reps --n --dim --eps --minpts --seed --shards --out
 // Writes BENCH_simd.json next to the text tables.
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
@@ -91,9 +95,18 @@ int Main(int argc, char** argv) {
       static_cast<PointIndex>(args.GetInt("points", 4'096));
   const int reps = static_cast<int>(args.GetInt("reps", 7));
   const std::string json_path = args.GetString("out", "BENCH_simd.json");
+  const int e2e_shards = static_cast<int>(args.GetInt("shards", 4));
   const bool have_avx2 = simd::Avx2Available();
+  const bool have_avx512 = simd::Avx512Available();
+  const simd::Backend best = have_avx512  ? simd::Backend::kAvx512
+                             : have_avx2 ? simd::Backend::kAvx2
+                                         : simd::Backend::kScalar;
+  const bool have_simd = best != simd::Backend::kScalar;
+  const char* best_name = simd::BackendName(best);
 
-  std::printf("simd backends: scalar%s\n", have_avx2 ? ", avx2" : "");
+  std::printf("simd backends: scalar%s%s (best: %s)\n",
+              have_avx2 ? ", avx2" : "", have_avx512 ? ", avx512" : "",
+              best_name);
 
   // --- Primitive throughput, cache-resident blocks -----------------------
   std::vector<PrimitiveRun> primitives;
@@ -130,8 +143,8 @@ int Main(int argc, char** argv) {
         return CountPass(view, query, eps_sq, inner);
       });
     }
-    if (have_avx2) {
-      simd::ForceBackend(simd::Backend::kAvx2);
+    if (have_simd) {
+      simd::ForceBackend(best);
       dist.simd = BestSeconds(reps, &checksum, [&] {
         return DistancePass(view, query, d2.data(), inner);
       });
@@ -171,45 +184,117 @@ int Main(int argc, char** argv) {
               data.n, data.dim, static_cast<unsigned long long>(data.seed));
   const Dataset dataset = GenerateRandomWalk(data);
 
-  double scalar_seconds = 0.0;
-  double simd_seconds = 0.0;
+  struct E2eRun {
+    std::string backend;
+    int shards = 0;
+    double seconds = 0.0;
+    double speedup = 1.0;  // vs scalar at the same shard count.
+    bool labels_match = true;
+  };
+  std::vector<E2eRun> e2e_runs;
   bool labels_match = true;
-  std::vector<int32_t> scalar_labels;
-  bench::Table e2e_table({"backend", "seconds", "speedup", "match"});
-  {
-    simd::ForceBackend(simd::Backend::kScalar);
-    Clustering result;
-    Stopwatch timer;
-    const Status status = RunDbsvec(dataset, params, &result);
-    scalar_seconds = timer.ElapsedSeconds();
-    if (!status.ok()) {
-      std::fprintf(stderr, "dbsvec(scalar): %s\n", status.ToString().c_str());
-      return 1;
+  double scalar_seconds = 0.0;  // Unsharded scalar reference.
+  double simd_seconds = 0.0;    // Unsharded best-backend time.
+  bench::Table e2e_table({"backend", "shards", "seconds", "speedup", "match"});
+  for (const int shards : {0, e2e_shards}) {
+    if (shards != 0 && shards == e2e_shards && e2e_shards <= 0) {
+      break;
     }
-    scalar_labels = std::move(result.labels);
-    e2e_table.AddRow({"scalar", bench::FormatSeconds(scalar_seconds), "1.00",
-                      "yes"});
-  }
-  if (have_avx2) {
-    simd::ForceBackend(simd::Backend::kAvx2);
-    Clustering result;
-    Stopwatch timer;
-    const Status status = RunDbsvec(dataset, params, &result);
-    simd_seconds = timer.ElapsedSeconds();
-    if (!status.ok()) {
-      std::fprintf(stderr, "dbsvec(avx2): %s\n", status.ToString().c_str());
-      return 1;
+    params.shards = shards;
+    // The scalar run at this shard count is both the timing and the label
+    // reference (label numbering is only comparable within a shard
+    // setting: the sharded engine's merged neighbor order is sorted, the
+    // unsharded engines' is traversal order).
+    double shard_scalar_seconds = 0.0;
+    std::vector<int32_t> shard_scalar_labels;
+    {
+      simd::ForceBackend(simd::Backend::kScalar);
+      Clustering result;
+      Stopwatch timer;
+      const Status status = RunDbsvec(dataset, params, &result);
+      shard_scalar_seconds = timer.ElapsedSeconds();
+      if (!status.ok()) {
+        std::fprintf(stderr, "dbsvec(scalar, shards=%d): %s\n", shards,
+                     status.ToString().c_str());
+        return 1;
+      }
+      shard_scalar_labels = std::move(result.labels);
+      if (shards == 0) {
+        scalar_seconds = shard_scalar_seconds;
+      }
+      e2e_runs.push_back({"scalar", shards, shard_scalar_seconds, 1.0, true});
+      e2e_table.AddRow({"scalar", std::to_string(shards),
+                        bench::FormatSeconds(shard_scalar_seconds), "1.00",
+                        "yes"});
     }
-    labels_match = result.labels == scalar_labels;
-    e2e_table.AddRow({"avx2", bench::FormatSeconds(simd_seconds),
-                      bench::FormatDouble(scalar_seconds / simd_seconds, 2),
-                      labels_match ? "yes" : "NO"});
+    if (have_simd) {
+      simd::ForceBackend(best);
+      Clustering result;
+      Stopwatch timer;
+      const Status status = RunDbsvec(dataset, params, &result);
+      const double elapsed = timer.ElapsedSeconds();
+      if (!status.ok()) {
+        std::fprintf(stderr, "dbsvec(%s, shards=%d): %s\n", best_name, shards,
+                     status.ToString().c_str());
+        return 1;
+      }
+      const bool match = result.labels == shard_scalar_labels;
+      labels_match = labels_match && match;
+      if (shards == 0) {
+        simd_seconds = elapsed;
+      }
+      e2e_runs.push_back(
+          {best_name, shards, elapsed, shard_scalar_seconds / elapsed, match});
+      e2e_table.AddRow({best_name, std::to_string(shards),
+                        bench::FormatSeconds(elapsed),
+                        bench::FormatDouble(shard_scalar_seconds / elapsed, 2),
+                        match ? "yes" : "NO"});
+    }
   }
   e2e_table.Print();
+
+  // Primitive-vs-e2e ratio: how much of the micro-kernel speedup (the
+  // squared-distance primitive at the e2e workload's dimensionality, or
+  // the geometric mean over measured dims when absent) survives to the
+  // full unsharded fit. A ratio near 1 means the fit is distance-bound;
+  // well below 1 means Amdahl overhead (SMO, expansion bookkeeping)
+  // dominates.
+  double primitive_speedup = 0.0;
+  {
+    double log_sum = 0.0;
+    int matching = 0;
+    for (const PrimitiveRun& run : primitives) {
+      if (run.primitive == std::string("squared_distance") &&
+          run.dim == data.dim) {
+        primitive_speedup = run.speedup;
+      }
+    }
+    if (primitive_speedup == 0.0) {
+      for (const PrimitiveRun& run : primitives) {
+        if (run.primitive == std::string("squared_distance") &&
+            run.speedup > 0.0) {
+          log_sum += std::log(run.speedup);
+          ++matching;
+        }
+      }
+      primitive_speedup = matching > 0
+                              ? std::exp(log_sum / matching)
+                              : 1.0;
+    }
+  }
+  const double e2e_speedup =
+      simd_seconds > 0.0 ? scalar_seconds / simd_seconds : 1.0;
+  const double primitive_vs_e2e_ratio =
+      primitive_speedup > 0.0 ? e2e_speedup / primitive_speedup : 1.0;
+  std::printf("primitive speedup %.2fx, e2e speedup %.2fx — ratio %.2f\n",
+              primitive_speedup, e2e_speedup, primitive_vs_e2e_ratio);
 
   std::ofstream json(json_path);
   json << "{\n"
        << "  \"avx2_available\": " << (have_avx2 ? "true" : "false") << ",\n"
+       << "  \"avx512_available\": " << (have_avx512 ? "true" : "false")
+       << ",\n"
+       << "  \"simd_backend\": \"" << best_name << "\",\n"
        << "  \"primitive_points\": " << points << ",\n"
        << "  \"primitives\": [\n";
   for (size_t i = 0; i < primitives.size(); ++i) {
@@ -227,16 +312,28 @@ int Main(int argc, char** argv) {
        << params.min_pts << ", \"seed\": " << data.seed << "},\n"
        << "    \"scalar_seconds\": " << scalar_seconds
        << ", \"simd_seconds\": " << simd_seconds << ", \"speedup\": "
-       << (simd_seconds > 0.0 ? scalar_seconds / simd_seconds : 1.0)
+       << e2e_speedup
        << ", \"labels_match\": " << (labels_match ? "true" : "false")
-       << "}\n}\n";
+       << ",\n    \"runs\": [\n";
+  for (size_t i = 0; i < e2e_runs.size(); ++i) {
+    const E2eRun& run = e2e_runs[i];
+    json << "      {\"backend\": \"" << run.backend << "\", \"shards\": "
+         << run.shards << ", \"seconds\": " << run.seconds
+         << ", \"speedup\": " << run.speedup << ", \"labels_match\": "
+         << (run.labels_match ? "true" : "false") << "}"
+         << (i + 1 < e2e_runs.size() ? "," : "") << "\n";
+  }
+  json << "    ]\n  },\n"
+       << "  \"primitive_vs_e2e\": {\"primitive_speedup\": "
+       << primitive_speedup << ", \"e2e_speedup\": " << e2e_speedup
+       << ", \"ratio\": " << primitive_vs_e2e_ratio << "}\n}\n";
   std::printf("[json written to %s] (checksum %.3g)\n", json_path.c_str(),
               checksum);
 
   if (!labels_match) {
     std::fprintf(stderr,
-                 "FAIL: labels diverged between scalar and AVX2 backends — "
-                 "the determinism contract is broken\n");
+                 "FAIL: labels diverged between the scalar and %s backends "
+                 "— the determinism contract is broken\n", best_name);
     return 1;
   }
   return 0;

@@ -1,10 +1,14 @@
 // Thread-scaling harness: runs DBSVEC (and exact DBSCAN for reference) on
-// the Fig. 6 random-walk workload at increasing thread counts, reports
-// wall-clock speedup over the sequential run, and verifies the labels are
-// identical at every thread count (the determinism contract of the
-// parallel execution engine).
+// the Fig. 6 random-walk workload at increasing thread counts — and, per
+// thread count, across a list of shard counts (0 = the unsharded legacy
+// path) — reports wall-clock speedup over the sequential unsharded run,
+// and verifies the labels are identical at every thread count for a fixed
+// shard count (the determinism contract of the parallel execution engine;
+// across *shard* settings only 0-vs-sharded numbering may differ, see
+// bench_shard.cc).
 //
-// Flags: --n --dim --eps --minpts --seed --threads=1,2,4,8 --out
+// Flags: --n --dim --eps --minpts --seed --threads=1,2,4,8 --shards=0,4
+//        --out
 // Writes BENCH_threads.json (machine-readable) next to the text table.
 
 #include <cstdint>
@@ -26,6 +30,7 @@ namespace {
 
 struct Run {
   std::string algorithm;
+  int shards = 0;  // 0 = unsharded legacy path.
   int threads = 1;
   double seconds = 0.0;
   double speedup = 1.0;
@@ -62,6 +67,25 @@ int Main(int argc, char** argv) {
   const int min_pts = static_cast<int>(args.GetInt("minpts", 100));
   const std::vector<int> thread_counts =
       ParseThreadList(args.GetString("threads", "1,2,4,8"));
+  std::vector<int> shard_counts;
+  {
+    const std::string spec = args.GetString("shards", "0,4");
+    size_t start = 0;
+    while (start < spec.size()) {
+      size_t comma = spec.find(',', start);
+      if (comma == std::string::npos) {
+        comma = spec.size();
+      }
+      const int value = std::atoi(spec.substr(start, comma - start).c_str());
+      if (value >= 0) {
+        shard_counts.push_back(value);
+      }
+      start = comma + 1;
+    }
+    if (shard_counts.empty() || shard_counts.front() != 0) {
+      shard_counts.insert(shard_counts.begin(), 0);  // Timing baseline.
+    }
+  }
   const std::string json_path = args.GetString("out", "BENCH_threads.json");
   const unsigned hardware = std::thread::hardware_concurrency();
 
@@ -70,73 +94,87 @@ int Main(int argc, char** argv) {
   const Dataset dataset = GenerateRandomWalk(data);
 
   std::vector<Run> runs;
-  bench::Table table({"algorithm", "threads", "seconds", "speedup", "match"});
-  std::vector<int32_t> dbsvec_baseline;
-  std::vector<int32_t> dbscan_baseline;
+  bench::Table table(
+      {"algorithm", "shards", "threads", "seconds", "speedup", "match"});
 
-  for (const int threads : thread_counts) {
-    SetGlobalThreads(threads);
-    {
-      DbsvecParams params;
-      params.epsilon = epsilon;
-      params.min_pts = min_pts;
-      Clustering result;
-      Stopwatch timer;
-      const Status status = RunDbsvec(dataset, params, &result);
-      const double elapsed = timer.ElapsedSeconds();
-      if (!status.ok()) {
-        std::fprintf(stderr, "dbsvec(threads=%d): %s\n", threads,
-                     status.ToString().c_str());
-        return 1;
+  // Speedups are measured against the unsharded sequential run of the same
+  // algorithm; label agreement against the threads=1 run at the same shard
+  // count (labels are thread-count-invariant at every shard setting).
+  const auto seconds_baseline = [&runs](const std::string& algorithm,
+                                        double fallback) {
+    for (const Run& r : runs) {
+      if (r.algorithm == algorithm && r.shards == 0 && r.threads == 1) {
+        return r.seconds;
       }
-      if (threads == 1) {
-        dbsvec_baseline = result.labels;
-      }
-      Run run;
-      run.algorithm = "dbsvec";
-      run.threads = threads;
-      run.seconds = elapsed;
-      run.speedup = threads == 1 ? 1.0 : runs.front().seconds / elapsed;
-      run.labels_match_sequential = result.labels == dbsvec_baseline;
-      table.AddRow({run.algorithm, std::to_string(threads),
-                    bench::FormatSeconds(elapsed),
-                    bench::FormatDouble(run.speedup, 2),
-                    run.labels_match_sequential ? "yes" : "NO"});
-      runs.push_back(run);
     }
-    {
-      DbscanParams params;
-      params.epsilon = epsilon;
-      params.min_pts = min_pts;
-      Clustering result;
-      Stopwatch timer;
-      const Status status = RunDbscan(dataset, params, &result);
-      const double elapsed = timer.ElapsedSeconds();
-      if (!status.ok()) {
-        std::fprintf(stderr, "dbscan(threads=%d): %s\n", threads,
-                     status.ToString().c_str());
-        return 1;
-      }
-      if (threads == 1) {
-        dbscan_baseline = result.labels;
-      }
-      Run run;
-      run.algorithm = "dbscan";
-      run.threads = threads;
-      run.seconds = elapsed;
-      double base = elapsed;
-      for (const Run& r : runs) {
-        if (r.algorithm == "dbscan" && r.threads == 1) {
-          base = r.seconds;
+    return fallback;
+  };
+
+  for (const int shards : shard_counts) {
+    std::vector<int32_t> dbsvec_baseline;
+    std::vector<int32_t> dbscan_baseline;
+    for (const int threads : thread_counts) {
+      SetGlobalThreads(threads);
+      {
+        DbsvecParams params;
+        params.epsilon = epsilon;
+        params.min_pts = min_pts;
+        params.shards = shards;
+        Clustering result;
+        Stopwatch timer;
+        const Status status = RunDbsvec(dataset, params, &result);
+        const double elapsed = timer.ElapsedSeconds();
+        if (!status.ok()) {
+          std::fprintf(stderr, "dbsvec(shards=%d, threads=%d): %s\n", shards,
+                       threads, status.ToString().c_str());
+          return 1;
         }
+        if (threads == 1) {
+          dbsvec_baseline = result.labels;
+        }
+        Run run;
+        run.algorithm = "dbsvec";
+        run.shards = shards;
+        run.threads = threads;
+        run.seconds = elapsed;
+        run.speedup = seconds_baseline("dbsvec", elapsed) / elapsed;
+        run.labels_match_sequential = result.labels == dbsvec_baseline;
+        table.AddRow({run.algorithm, std::to_string(shards),
+                      std::to_string(threads), bench::FormatSeconds(elapsed),
+                      bench::FormatDouble(run.speedup, 2),
+                      run.labels_match_sequential ? "yes" : "NO"});
+        runs.push_back(run);
       }
-      run.speedup = base / elapsed;
-      run.labels_match_sequential = result.labels == dbscan_baseline;
-      table.AddRow({run.algorithm, std::to_string(threads),
-                    bench::FormatSeconds(elapsed),
-                    bench::FormatDouble(run.speedup, 2),
-                    run.labels_match_sequential ? "yes" : "NO"});
-      runs.push_back(run);
+      {
+        DbscanParams params;
+        params.epsilon = epsilon;
+        params.min_pts = min_pts;
+        params.shards = shards;
+        Clustering result;
+        Stopwatch timer;
+        const Status status = RunDbscan(dataset, params, &result);
+        const double elapsed = timer.ElapsedSeconds();
+        if (!status.ok()) {
+          std::fprintf(stderr, "dbscan(shards=%d, threads=%d): %s\n", shards,
+                       threads, status.ToString().c_str());
+          return 1;
+        }
+        if (threads == 1) {
+          dbscan_baseline = result.labels;
+        }
+        Run run;
+        run.algorithm = "dbscan";
+        run.shards = shards;
+        run.threads = threads;
+        run.seconds = elapsed;
+        run.speedup = seconds_baseline("dbscan", elapsed) / elapsed;
+        run.labels_match_sequential = result.labels == dbscan_baseline;
+        table.AddRow({run.algorithm, std::to_string(shards),
+                      std::to_string(threads), bench::FormatSeconds(elapsed),
+                      bench::FormatDouble(run.speedup, 2),
+                      run.labels_match_sequential ? "yes" : "NO"});
+        runs.push_back(run);
+      }
     }
   }
   SetGlobalThreads(0);
@@ -160,7 +198,8 @@ int Main(int argc, char** argv) {
   for (size_t i = 0; i < runs.size(); ++i) {
     const Run& run = runs[i];
     json << "    {\"algorithm\": \"" << run.algorithm
-         << "\", \"threads\": " << run.threads << ", \"seconds\": "
+         << "\", \"shards\": " << run.shards
+         << ", \"threads\": " << run.threads << ", \"seconds\": "
          << run.seconds << ", \"speedup\": " << run.speedup
          << ", \"labels_match_sequential\": "
          << (run.labels_match_sequential ? "true" : "false") << "}"

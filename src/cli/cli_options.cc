@@ -141,6 +141,10 @@ std::string HelpText() {
       "  --seed=N                RNG seed (default 7)\n"
       "  --threads=N             worker threads: 0 = all cores (default),\n"
       "                          1 = sequential; results are identical\n"
+      "  --shards=P              partition the dataset into P NUMA-homed\n"
+      "                          shards with per-shard indexes (dbsvec,\n"
+      "                          dbscan, assign, serve); 0 = unsharded\n"
+      "                          (default); labels are identical at any P\n"
       "\n"
       "Output:\n"
       "  --output=FILE.csv       write points + label column\n"
@@ -253,6 +257,14 @@ Status ParseCliOptions(const std::vector<std::string>& args,
             "--threads must be a non-negative integer");
       }
       options->threads = static_cast<int>(parsed);
+    } else if (key == "shards") {
+      char* end = nullptr;
+      const long parsed = std::strtol(value.c_str(), &end, 10);
+      if (end == value.c_str() || parsed < 0) {
+        return Status::InvalidArgument(
+            "--shards must be a non-negative integer");
+      }
+      options->shards = static_cast<int>(parsed);
     } else if (key == "compare-dbscan") {
       options->compare_dbscan = value != "0" && value != "false";
     } else if (key == "model-out") {

@@ -62,6 +62,7 @@ struct CliOptions {
   double rho = 0.001;
   uint64_t seed = 7;
   int threads = 0;  ///< 0 = hardware concurrency, 1 = sequential.
+  int shards = 0;   ///< >= 1: sharded execution engine; 0 = unsharded.
 
   bool compare_dbscan = false;  ///< Also run exact DBSCAN, report recall.
   bool show_help = false;

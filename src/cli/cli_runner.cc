@@ -80,6 +80,7 @@ Status RunAlgorithm(const CliOptions& options, const Dataset& dataset,
       params.fixed_nu = options.fixed_nu;
       params.index = options.index;
       params.seed = options.seed;
+      params.shards = options.shards;
       params.deadline = RunDeadline(options);
       return RunDbsvec(dataset, params, out);
     }
@@ -88,6 +89,7 @@ Status RunAlgorithm(const CliOptions& options, const Dataset& dataset,
       params.epsilon = epsilon;
       params.min_pts = options.min_pts;
       params.index = options.index;
+      params.shards = options.shards;
       return RunDbscan(dataset, params, out);
     }
     case Algorithm::kRhoApprox: {
@@ -142,6 +144,7 @@ Status RunFit(const CliOptions& options, Dataset* dataset, Clustering* out,
   params.fixed_nu = options.fixed_nu;
   params.index = options.index;
   params.seed = options.seed;
+  params.shards = options.shards;
   params.deadline = RunDeadline(options);
   DBSVEC_RETURN_IF_ERROR(RunDbsvec(*dataset, params, out, model));
   model->transform = std::move(transform);
@@ -154,6 +157,7 @@ Status RunAssign(const CliOptions& options, Dataset* points,
   std::unique_ptr<AssignmentEngine> engine;
   AssignmentOptions serve_options;
   serve_options.index = options.index;
+  serve_options.shards = options.shards;
   serve_options.build_deadline = deadline;
   DBSVEC_RETURN_IF_ERROR(
       AssignmentEngine::Load(options.model_path, serve_options, &engine));

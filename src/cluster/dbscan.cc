@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <deque>
 
+#include "common/deadline.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
+#include "exec/sharded_index.h"
+#include "exec/topology.h"
 
 namespace dbsvec {
 namespace {
@@ -12,17 +15,18 @@ namespace {
 constexpr int32_t kUnclassified = -2;
 
 /// Breadth-first cluster growth with the frontier queried level by level:
-/// all range queries of one BFS level fan out across the thread pool, then
-/// the neighborhoods are absorbed sequentially in frontier order. The
+/// all range queries of one BFS level fan out as one RangeQueryBatch
+/// (thread-pool parallel; shard-affine under the sharded engine), then the
+/// neighborhoods are absorbed sequentially in frontier order. The
 /// frontier is processed in insertion order exactly like the sequential
 /// deque, and every frontier point is queried unconditionally in both
 /// versions, so labels, core flags, and query counts are identical to the
 /// sequential run.
-void GrowClusterParallel(const NeighborIndex& index, double epsilon,
-                         int min_pts, int32_t cid,
-                         const std::vector<PointIndex>& seed_neighbors,
-                         std::vector<int32_t>* labels,
-                         std::vector<char>* is_core) {
+Status GrowClusterParallel(const NeighborIndex& index, double epsilon,
+                           int min_pts, int32_t cid,
+                           const std::vector<PointIndex>& seed_neighbors,
+                           std::vector<int32_t>* labels,
+                           std::vector<char>* is_core) {
   std::vector<PointIndex> frontier;
   std::vector<PointIndex> next;
   std::vector<std::vector<PointIndex>> neighborhoods;
@@ -33,12 +37,8 @@ void GrowClusterParallel(const NeighborIndex& index, double epsilon,
     }
   }
   while (!frontier.empty()) {
-    neighborhoods.resize(frontier.size());
-    ParallelFor(frontier.size(), 1, [&](size_t begin, size_t end) {
-      for (size_t k = begin; k < end; ++k) {
-        index.RangeQuery(frontier[k], epsilon, &neighborhoods[k]);
-      }
-    });
+    DBSVEC_RETURN_IF_ERROR(
+        index.RangeQueryBatch(frontier, epsilon, &neighborhoods));
     next.clear();
     for (size_t k = 0; k < frontier.size(); ++k) {
       const std::vector<PointIndex>& expansion = neighborhoods[k];
@@ -56,6 +56,7 @@ void GrowClusterParallel(const NeighborIndex& index, double epsilon,
     }
     frontier.swap(next);
   }
+  return Status::Ok();
 }
 
 }  // namespace
@@ -159,8 +160,8 @@ Status RunDbscanWithIndex(const NeighborIndex& index, double epsilon,
         const int32_t cid = next_cluster++;
         labels[i] = cid;
         is_core[i] = 1;
-        GrowClusterParallel(index, epsilon, min_pts, cid, neighbors,
-                            &labels, &is_core);
+        DBSVEC_RETURN_IF_ERROR(GrowClusterParallel(
+            index, epsilon, min_pts, cid, neighbors, &labels, &is_core));
       }
     }
   }
@@ -183,8 +184,20 @@ Status RunDbscanWithIndex(const NeighborIndex& index, double epsilon,
 Status RunDbscan(const Dataset& dataset, const DbscanParams& params,
                  Clustering* out) {
   Stopwatch timer;
-  const std::unique_ptr<NeighborIndex> index =
-      CreateIndex(params.index, dataset, params.epsilon);
+  std::unique_ptr<NeighborIndex> index;
+  if (params.shards >= 1) {
+    // Sharded engine (even at shards=1, the label baseline for every
+    // shard count); workers are pinned round-robin across NUMA nodes.
+    SetGlobalPinning(
+        exec::PinningPlan(exec::DetectTopology(), GlobalThreads()));
+    std::unique_ptr<exec::ShardedIndex> sharded;
+    DBSVEC_RETURN_IF_ERROR(
+        exec::ShardedIndex::Create(params.index, dataset, params.epsilon,
+                                   params.shards, Deadline(), &sharded));
+    index = std::move(sharded);
+  } else {
+    index = CreateIndex(params.index, dataset, params.epsilon);
+  }
   DBSVEC_RETURN_IF_ERROR(
       RunDbscanWithIndex(*index, params.epsilon, params.min_pts, out));
   // Report the full wall time including index construction.

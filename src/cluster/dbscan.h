@@ -18,6 +18,11 @@ struct DbscanParams {
   /// Range-query engine. kRStarTree reproduces the paper's R-DBSCAN
   /// baseline, kKdTree its kd-DBSCAN baseline.
   IndexType index = IndexType::kKdTree;
+  /// 0 = the legacy unsharded path (default); >= 1 routes every range
+  /// query through the sharded execution engine with this many
+  /// per-shard indexes of type `index` (see exec::ShardedIndex — labels
+  /// are bit-identical at any shards >= 1 and any thread count).
+  int shards = 0;
 };
 
 /// Exact DBSCAN [Ester et al. 1996]. Builds the requested index over

@@ -5,19 +5,26 @@
 #include <string>
 #include <utility>
 
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
 #include "fault/failpoint.h"
 
 namespace dbsvec {
 namespace {
 
 thread_local bool tls_inside_worker = false;
+thread_local int tls_worker_index = -1;
 
 }  // namespace
 
-ThreadPool::ThreadPool(int num_workers) {
+ThreadPool::ThreadPool(int num_workers, std::vector<int> pin_cpus)
+    : pin_cpus_(std::move(pin_cpus)) {
   workers_.reserve(static_cast<size_t>(std::max(1, num_workers)));
   for (int i = 0; i < std::max(1, num_workers); ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
 }
 
@@ -33,6 +40,8 @@ ThreadPool::~ThreadPool() {
 }
 
 bool ThreadPool::InsideWorker() { return tls_inside_worker; }
+
+int ThreadPool::WorkerIndex() { return tls_worker_index; }
 
 void ThreadPool::RecordTaskException(int task, std::exception_ptr exception) {
   std::lock_guard<std::mutex> lock(exception_mutex_);
@@ -61,8 +70,20 @@ void ThreadPool::RunTasks() {
   }
 }
 
-void ThreadPool::WorkerLoop() {
+void ThreadPool::WorkerLoop(int worker_index) {
+#if defined(__linux__)
+  if (!pin_cpus_.empty()) {
+    cpu_set_t cpus;
+    CPU_ZERO(&cpus);
+    CPU_SET(pin_cpus_[static_cast<size_t>(worker_index) % pin_cpus_.size()],
+            &cpus);
+    // Best effort: an EINVAL/EPERM (offline CPU, restricted cpuset) just
+    // leaves this worker on the default mask.
+    (void)pthread_setaffinity_np(pthread_self(), sizeof(cpus), &cpus);
+  }
+#endif
   tls_inside_worker = true;
+  tls_worker_index = worker_index;
   uint64_t seen_epoch = 0;
   while (true) {
     {
@@ -111,10 +132,13 @@ void ThreadPool::Execute(int num_tasks, const std::function<void(int)>& task) {
   wake_cv_.notify_all();
   // The caller participates as a de-facto worker; mark it so a nested
   // Execute issued from one of its tasks runs inline instead of
-  // clobbering the in-flight job.
+  // clobbering the in-flight job. Its worker index is one past the pool
+  // workers', giving every participating thread a distinct stable index.
   tls_inside_worker = true;
+  tls_worker_index = static_cast<int>(workers_.size());
   RunTasks();
   tls_inside_worker = false;
+  tls_worker_index = -1;
   // Every worker must check in before the next epoch may reuse the job
   // slots; this also guarantees all tasks have finished.
   {
@@ -131,6 +155,42 @@ void ThreadPool::Execute(int num_tasks, const std::function<void(int)>& task) {
   if (failure != nullptr) {
     std::rethrow_exception(failure);
   }
+}
+
+void ThreadPool::ExecuteGrouped(
+    const std::vector<int>& group_task_counts,
+    const std::function<void(int group, int item)>& task) {
+  const int num_groups = static_cast<int>(group_task_counts.size());
+  if (num_groups <= 0) {
+    return;
+  }
+  if (tls_inside_worker) {
+    for (int g = 0; g < num_groups; ++g) {
+      for (int item = 0; item < group_task_counts[g]; ++item) {
+        task(g, item);
+      }
+    }
+    return;
+  }
+  // One claim counter per group. Each participating thread drains its home
+  // group first, then cycles through the remaining groups; counters only
+  // grow, so after a thread has visited every group once no unclaimed item
+  // can remain anywhere.
+  std::vector<std::atomic<int>> counters(static_cast<size_t>(num_groups));
+  Execute(concurrency(), [&](int /*slot*/) {
+    const int home = std::max(0, WorkerIndex()) % num_groups;
+    for (int step = 0; step < num_groups; ++step) {
+      const int g = (home + step) % num_groups;
+      std::atomic<int>& counter = counters[static_cast<size_t>(g)];
+      while (true) {
+        const int item = counter.fetch_add(1, std::memory_order_relaxed);
+        if (item >= group_task_counts[static_cast<size_t>(g)]) {
+          break;
+        }
+        task(g, item);
+      }
+    }
+  });
 }
 
 Status ThreadPool::ExecuteWithStatus(int num_tasks,
@@ -172,6 +232,7 @@ struct GlobalPoolState {
   std::mutex mutex;
   int requested = 0;  // 0 = hardware concurrency.
   bool current = false;
+  std::vector<int> pin_cpus;
   std::unique_ptr<ThreadPool> pool;
 };
 
@@ -205,6 +266,18 @@ int GlobalThreads() {
   return ResolveThreads(state.requested);
 }
 
+void SetGlobalPinning(std::vector<int> cpus) {
+  GlobalPoolState& state = PoolState();
+  std::unique_ptr<ThreadPool> retired;
+  std::lock_guard<std::mutex> lock(state.mutex);
+  if (state.pin_cpus == cpus) {
+    return;  // Unchanged plan: keep the warm pool.
+  }
+  state.pin_cpus = std::move(cpus);
+  state.current = false;
+  retired = std::move(state.pool);  // Joined outside any parallel section.
+}
+
 ThreadPool* GlobalThreadPool() {
   GlobalPoolState& state = PoolState();
   std::lock_guard<std::mutex> lock(state.mutex);
@@ -212,7 +285,7 @@ ThreadPool* GlobalThreadPool() {
     const int threads = ResolveThreads(state.requested);
     state.pool.reset();
     if (threads > 1) {
-      state.pool = std::make_unique<ThreadPool>(threads - 1);
+      state.pool = std::make_unique<ThreadPool>(threads - 1, state.pin_cpus);
     }
     state.current = true;
   }

@@ -34,8 +34,11 @@ namespace dbsvec {
 /// lowest-index failure deterministically.
 class ThreadPool {
  public:
-  /// Spawns `num_workers` worker threads (>= 1).
-  explicit ThreadPool(int num_workers);
+  /// Spawns `num_workers` worker threads (>= 1). When `pin_cpus` is
+  /// non-empty, worker i pins itself to CPU `pin_cpus[i % pin_cpus.size()]`
+  /// (best-effort: a failed or unsupported affinity call leaves the worker
+  /// unpinned; the calling thread is never pinned).
+  explicit ThreadPool(int num_workers, std::vector<int> pin_cpus = {});
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -60,11 +63,28 @@ class ThreadPool {
   Status ExecuteWithStatus(int num_tasks,
                            const std::function<Status(int)>& task);
 
+  /// Runs task(group, item) for every group g in [0, group_task_counts
+  /// .size()) and item in [0, group_task_counts[g]). Group-affine claiming:
+  /// each participating thread starts draining the group matching its
+  /// worker index (modulo the group count) and only then migrates to other
+  /// groups, so with pinned workers a group's tasks mostly run on the
+  /// group's home CPUs while idle threads still steal cross-group work.
+  /// Tasks must not throw mid-group if full execution is required — prefer
+  /// a caller-managed Status channel. Runs inline, in (group, item) order,
+  /// when called from inside a pool task.
+  void ExecuteGrouped(const std::vector<int>& group_task_counts,
+                      const std::function<void(int group, int item)>& task);
+
   /// True when the current thread is a pool worker executing a task.
   static bool InsideWorker();
 
+  /// This thread's stable index within the pool job: workers are
+  /// 0..num_workers-1, the participating caller is num_workers, and any
+  /// other thread is -1.
+  static int WorkerIndex();
+
  private:
-  void WorkerLoop();
+  void WorkerLoop(int worker_index);
   void RunTasks();
 
   /// Records `exception` as the job's failure if it is the lowest task
@@ -72,6 +92,7 @@ class ThreadPool {
   void RecordTaskException(int task, std::exception_ptr exception);
 
   std::vector<std::thread> workers_;
+  const std::vector<int> pin_cpus_;
 
   std::mutex mutex_;
   std::condition_variable wake_cv_;
@@ -101,6 +122,14 @@ void SetGlobalThreads(int threads);
 
 /// The resolved global thread budget (>= 1).
 int GlobalThreads();
+
+/// Sets the CPU pinning plan for global-pool workers (see the ThreadPool
+/// constructor); empty (the default) leaves workers unpinned. A changed
+/// plan retires the current pool, so like SetGlobalThreads this must not
+/// race a parallel section. The plan itself never affects task-to-thread
+/// assignment, only which CPUs the threads run on, so clustering output is
+/// unchanged by pinning.
+void SetGlobalPinning(std::vector<int> cpus);
 
 /// The process-wide pool honoring `SetGlobalThreads`, or nullptr when the
 /// budget is 1 (sequential mode — callers take their unchanged serial

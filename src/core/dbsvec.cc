@@ -9,6 +9,8 @@
 #include "common/thread_pool.h"
 #include "common/union_find.h"
 #include "core/core_tracker.h"
+#include "exec/sharded_index.h"
+#include "exec/topology.h"
 #include "core/parameter_selection.h"
 #include "model/dbsvec_model.h"
 #include "svm/svdd.h"
@@ -92,8 +94,9 @@ class DbsvecRun {
   CoreTracker core_;
 
   UnionFind sub_clusters_;
-  // Scratch for the parallel support-vector fan-out (reused per round).
+  // Scratch for the batched support-vector fan-out (reused per round).
   std::vector<size_t> queried_svs_;
+  std::vector<PointIndex> sv_query_ids_;
   std::vector<std::vector<PointIndex>> sv_neighborhoods_;
   std::vector<int32_t> labels_;
   std::vector<int32_t> train_count_;     // t_i of Sec. IV-B1.
@@ -177,7 +180,6 @@ Status DbsvecRun::ExpandExact(int32_t cid,
 Status DbsvecRun::ExpandCluster(int32_t cid,
                                 std::vector<PointIndex>* members) {
   std::vector<PointIndex> target;
-  std::vector<PointIndex> neighborhood;
   // Stall recovery: when the incremental target produces no growth, one
   // round over the *full* member set runs before the sub-cluster is
   // declared stable. This keeps incremental learning an efficiency-only
@@ -274,47 +276,32 @@ Status DbsvecRun::ExpandCluster(int32_t cid,
     // of another SV in the list — those are all members of `cid`, and the
     // core test inside AbsorbNeighborhood only fires for points of other
     // sub-clusters), so the set of range queries is fixed upfront. That
-    // lets the queries fan out across the thread pool while the absorption
-    // — which mutates labels and the union-find — replays sequentially in
-    // SV order, producing labels, merges, and stats identical to the
-    // sequential run.
+    // lets the queries fan out as one RangeQueryBatch (thread-pool
+    // parallel; shard-affine under the sharded engine) while the
+    // absorption — which mutates labels and the union-find — replays
+    // sequentially in SV order, producing labels, merges, and stats
+    // identical to the sequential run.
     const size_t last_size = members->size();
     const auto& svs = model.support_vectors();
     queried_svs_.clear();
+    sv_query_ids_.clear();
     for (size_t s = 0; s < svs.size(); ++s) {
       if (core_.IsKnownNonCore(svs[s].index)) {
         continue;  // Known non-core support vector: cannot expand.
       }
       queried_svs_.push_back(s);
+      sv_query_ids_.push_back(svs[s].index);
     }
-    if (GlobalThreadPool() != nullptr && queried_svs_.size() > 1) {
-      sv_neighborhoods_.resize(queried_svs_.size());
-      ParallelFor(queried_svs_.size(), 1, [&](size_t begin, size_t end) {
-        for (size_t k = begin; k < end; ++k) {
-          index_.RangeQuery(svs[queried_svs_[k]].index, params_.epsilon,
-                            &sv_neighborhoods_[k]);
-        }
-      });
-      for (size_t k = 0; k < queried_svs_.size(); ++k) {
-        const SvddModel::SupportVector& sv = svs[queried_svs_[k]];
-        const std::vector<PointIndex>& hood = sv_neighborhoods_[k];
-        core_.RecordCount(sv.index, static_cast<int32_t>(hood.size()));
-        if (static_cast<int>(hood.size()) < params_.min_pts) {
-          continue;  // Non-core support vector (SV_2 in Fig. 3b).
-        }
-        AbsorbNeighborhood(hood, cid, members);
+    DBSVEC_RETURN_IF_ERROR(index_.RangeQueryBatch(
+        sv_query_ids_, params_.epsilon, &sv_neighborhoods_));
+    for (size_t k = 0; k < queried_svs_.size(); ++k) {
+      const SvddModel::SupportVector& sv = svs[queried_svs_[k]];
+      const std::vector<PointIndex>& hood = sv_neighborhoods_[k];
+      core_.RecordCount(sv.index, static_cast<int32_t>(hood.size()));
+      if (static_cast<int>(hood.size()) < params_.min_pts) {
+        continue;  // Non-core support vector (SV_2 in Fig. 3b).
       }
-    } else {
-      for (const size_t s : queried_svs_) {
-        const SvddModel::SupportVector& sv = svs[s];
-        index_.RangeQuery(sv.index, params_.epsilon, &neighborhood);
-        core_.RecordCount(sv.index,
-                          static_cast<int32_t>(neighborhood.size()));
-        if (static_cast<int>(neighborhood.size()) < params_.min_pts) {
-          continue;  // Non-core support vector (SV_2 in Fig. 3b).
-        }
-        AbsorbNeighborhood(neighborhood, cid, members);
-      }
+      AbsorbNeighborhood(hood, cid, members);
     }
     if (members->size() == last_size) {
       if (params_.incremental_learning && params_.stall_recovery && !full_pass) {
@@ -634,8 +621,22 @@ Status RunDbsvec(const Dataset& dataset, const DbsvecParams& params,
                  Clustering* out, DbsvecModel* model) {
   Stopwatch timer;
   std::unique_ptr<NeighborIndex> index;
-  const Status index_status = CreateIndexChecked(
-      params.index, dataset, params.epsilon, params.deadline, &index);
+  Status index_status;
+  if (params.shards >= 1) {
+    // Sharded engine (even at shards=1, whose sorted merge is the label
+    // baseline for every shard count). Pin pool workers round-robin
+    // across NUMA nodes so each shard's contiguous block stays node-local.
+    SetGlobalPinning(
+        exec::PinningPlan(exec::DetectTopology(), GlobalThreads()));
+    std::unique_ptr<exec::ShardedIndex> sharded;
+    index_status =
+        exec::ShardedIndex::Create(params.index, dataset, params.epsilon,
+                                   params.shards, params.deadline, &sharded);
+    index = std::move(sharded);
+  } else {
+    index_status = CreateIndexChecked(params.index, dataset, params.epsilon,
+                                      params.deadline, &index);
+  }
   if (!index_status.ok()) {
     out->labels.clear();
     out->num_clusters = 0;

@@ -59,6 +59,12 @@ struct DbsvecParams {
   /// scans (kBruteForce); kKdTree is this library's faster default.
   IndexType index = IndexType::kKdTree;
 
+  /// 0 = the legacy unsharded path (default); >= 1 routes every range
+  /// query through the sharded execution engine with this many per-shard
+  /// indexes of type `index` (see exec::ShardedIndex — labels are
+  /// bit-identical at any shards >= 1 and any thread count).
+  int shards = 0;
+
   /// Safety valve: SVDD target sets larger than this are uniformly
   /// subsampled before training (0 disables). The expansion recursion and
   /// sub-cluster merging recover any boundary coverage the sample misses.

@@ -1,0 +1,206 @@
+#include "exec/sharded_index.h"
+
+#include <algorithm>
+#include <numeric>
+#include <utility>
+
+#include "common/thread_pool.h"
+#include "fault/failpoint.h"
+
+namespace dbsvec::exec {
+
+Status ShardedIndex::Create(IndexType inner, const Dataset& dataset,
+                            double epsilon_hint, int shards,
+                            const Deadline& deadline,
+                            std::unique_ptr<ShardedIndex>* out) {
+  out->reset();
+  if (shards < 1) {
+    return Status::InvalidArgument("shards must be >= 1");
+  }
+  const PointIndex n = dataset.size();
+  // Clamp so every shard owns at least one point (a degenerate empty
+  // dataset keeps a single empty shard).
+  const int num_shards =
+      std::max(1, std::min(shards, std::max<PointIndex>(n, 1)));
+
+  std::unique_ptr<ShardedIndex> index(new ShardedIndex(dataset, inner));
+  index->topology_ = DetectTopology();
+  index->shards_.resize(static_cast<size_t>(num_shards));
+  for (int s = 0; s < num_shards; ++s) {
+    Shard& shard = index->shards_[static_cast<size_t>(s)];
+    const PointIndex begin =
+        static_cast<PointIndex>(static_cast<int64_t>(n) * s / num_shards);
+    const PointIndex end =
+        static_cast<PointIndex>(static_cast<int64_t>(n) * (s + 1) /
+                                num_shards);
+    shard.begin = begin;
+    Dataset local(dataset.dim());
+    local.Reserve(end - begin);
+    for (PointIndex i = begin; i < end; ++i) {
+      local.Append(dataset.point(i));
+    }
+    shard.points = std::move(local);
+    // Sequential per-shard builds: the inner bulk loads may parallelize
+    // internally, and a fixed build order keeps any build-time failure
+    // (deadline, index.build failpoint) deterministic.
+    DBSVEC_RETURN_IF_ERROR(CreateIndexChecked(inner, shard.points,
+                                              epsilon_hint, deadline,
+                                              &shard.index));
+  }
+  *out = std::move(index);
+  return Status::Ok();
+}
+
+uint64_t ShardedIndex::QueryShard(const Shard& shard,
+                                  std::span<const double> query,
+                                  double epsilon,
+                                  std::vector<PointIndex>* out) const {
+  QueryCounters local;
+  std::vector<PointIndex> hits;
+  {
+    // Divert the inner engine's counter bumps: sub-queries are an
+    // implementation detail, not externally visible range queries.
+    ScopedCounterCapture capture(&local);
+    shard.index->RangeQuery(query, epsilon, &hits);
+  }
+  std::sort(hits.begin(), hits.end());
+  out->reserve(out->size() + hits.size());
+  for (const PointIndex i : hits) {
+    out->push_back(shard.begin + i);
+  }
+  return local.distance_computations;
+}
+
+void ShardedIndex::RangeQuery(std::span<const double> query, double epsilon,
+                              std::vector<PointIndex>* out) const {
+  out->clear();
+  uint64_t distances = 0;
+  // Ascending shard order + per-shard ascending sort = globally sorted by
+  // id (shards cover contiguous ascending global ranges).
+  for (const Shard& shard : shards_) {
+    distances += QueryShard(shard, query, epsilon, out);
+  }
+  CountDistanceComputations(distances);
+  CountRangeQuery();
+}
+
+void ShardedIndex::RangeQueryWithDistances(std::span<const double> query,
+                                           double epsilon,
+                                           std::vector<PointIndex>* out,
+                                           std::vector<double>* dist_sq) const {
+  out->clear();
+  dist_sq->clear();
+  uint64_t distances = 0;
+  std::vector<PointIndex> hits;
+  std::vector<double> hit_dists;
+  std::vector<size_t> order;
+  for (const Shard& shard : shards_) {
+    QueryCounters local;
+    {
+      ScopedCounterCapture capture(&local);
+      shard.index->RangeQueryWithDistances(query, epsilon, &hits, &hit_dists);
+    }
+    distances += local.distance_computations;
+    order.resize(hits.size());
+    std::iota(order.begin(), order.end(), size_t{0});
+    std::sort(order.begin(), order.end(),
+              [&](size_t a, size_t b) { return hits[a] < hits[b]; });
+    out->reserve(out->size() + hits.size());
+    dist_sq->reserve(dist_sq->size() + hits.size());
+    for (const size_t k : order) {
+      out->push_back(shard.begin + hits[k]);
+      dist_sq->push_back(hit_dists[k]);
+    }
+  }
+  CountDistanceComputations(distances);
+  CountRangeQuery();
+}
+
+PointIndex ShardedIndex::RangeCount(std::span<const double> query,
+                                    double epsilon) const {
+  PointIndex count = 0;
+  uint64_t distances = 0;
+  for (const Shard& shard : shards_) {
+    QueryCounters local;
+    {
+      ScopedCounterCapture capture(&local);
+      count += shard.index->RangeCount(query, epsilon);
+    }
+    distances += local.distance_computations;
+  }
+  CountDistanceComputations(distances);
+  CountRangeQuery();
+  return count;
+}
+
+Status ShardedIndex::RangeQueryBatch(
+    std::span<const PointIndex> queries, double epsilon,
+    std::vector<std::vector<PointIndex>>* results) const {
+  const size_t num_queries = queries.size();
+  const int num_shards = this->num_shards();
+  results->clear();
+  results->resize(num_queries);
+  if (num_queries == 0) {
+    return FailpointCheck("exec.shard_merge");
+  }
+
+  // Fan out the (shard × query) grid. Each sub-query owns one partial
+  // slot, so the fan-out is pure; partial[s][q] holds shard s's sorted
+  // global hits for query q.
+  std::vector<std::vector<std::vector<PointIndex>>> partial(
+      static_cast<size_t>(num_shards));
+  std::vector<std::vector<uint64_t>> distances(
+      static_cast<size_t>(num_shards));
+  for (int s = 0; s < num_shards; ++s) {
+    partial[static_cast<size_t>(s)].resize(num_queries);
+    distances[static_cast<size_t>(s)].assign(num_queries, 0);
+  }
+  const auto sub_query = [&](int s, int q) {
+    const Shard& shard = shards_[static_cast<size_t>(s)];
+    distances[static_cast<size_t>(s)][static_cast<size_t>(q)] =
+        QueryShard(shard, dataset_.point(queries[static_cast<size_t>(q)]),
+                   epsilon, &partial[static_cast<size_t>(s)][static_cast<
+                       size_t>(q)]);
+  };
+  ThreadPool* pool = GlobalThreadPool();
+  if (pool == nullptr) {
+    for (int s = 0; s < num_shards; ++s) {
+      for (size_t q = 0; q < num_queries; ++q) {
+        sub_query(s, static_cast<int>(q));
+      }
+    }
+  } else {
+    // One group per shard: pinned workers drain their home shard's
+    // sub-queries first, keeping each shard's contiguous block hot on its
+    // home node, while finished workers still steal from other shards.
+    const std::vector<int> group_sizes(static_cast<size_t>(num_shards),
+                                       static_cast<int>(num_queries));
+    pool->ExecuteGrouped(group_sizes, sub_query);
+  }
+
+  // Deterministic merge, absorbed sequentially in (query, shard) order.
+  DBSVEC_RETURN_IF_ERROR(FailpointCheck("exec.shard_merge"));
+  uint64_t total_distances = 0;
+  for (size_t q = 0; q < num_queries; ++q) {
+    std::vector<PointIndex>& merged = (*results)[q];
+    size_t total = 0;
+    for (int s = 0; s < num_shards; ++s) {
+      total += partial[static_cast<size_t>(s)][q].size();
+    }
+    merged.reserve(total);
+    for (int s = 0; s < num_shards; ++s) {
+      std::vector<PointIndex>& part = partial[static_cast<size_t>(s)][q];
+      merged.insert(merged.end(), part.begin(), part.end());
+      total_distances += distances[static_cast<size_t>(s)][q];
+    }
+    CountRangeQuery();
+  }
+  CountDistanceComputations(total_distances);
+  return Status::Ok();
+}
+
+int ShardedIndex::shard_home_node(int s) const {
+  return ShardHomeNode(topology_, s);
+}
+
+}  // namespace dbsvec::exec

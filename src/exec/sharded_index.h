@@ -1,0 +1,98 @@
+#ifndef DBSVEC_EXEC_SHARDED_INDEX_H_
+#define DBSVEC_EXEC_SHARDED_INDEX_H_
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/dataset.h"
+#include "common/deadline.h"
+#include "common/status.h"
+#include "exec/topology.h"
+#include "index/neighbor_index.h"
+
+namespace dbsvec::exec {
+
+/// Partition-parallel range-query engine: the dataset is split into
+/// `shards` contiguous global-id ranges, each owning a compact local copy
+/// of its points (so every shard's working set — including the inner
+/// engine's structure-of-arrays blocks — is one contiguous region, NUMA-
+/// friendly under the round-robin shard→node placement of
+/// exec::ShardHomeNode) plus its own spatial index of the requested inner
+/// type.
+///
+/// Every query fans out to all shards and the per-shard hits are merged
+/// sorted by global point id. Shards cover contiguous ascending id ranges,
+/// so sorting each shard's local hits and concatenating in shard order
+/// yields the globally sorted result without a comparison-based merge.
+/// Because the merged neighbor order depends only on the point *set* — not
+/// on shard internals, the shard count, or the thread count — clustering
+/// output downstream of this engine is bit-identical at any shards >= 1
+/// and any thread count.
+///
+/// Counter policy: the sharded layer reports exactly one range query per
+/// external query (invariant across shard counts); distance computations
+/// are folded up from the shards and are partition-dependent (per-shard
+/// trees prune differently), so they are invariant across thread counts
+/// but not across shard counts.
+///
+/// Thread safety: matches the inner engine. The four static inner engines
+/// answer concurrent queries safely, so a ShardedIndex over them does too.
+class ShardedIndex final : public NeighborIndex {
+ public:
+  /// Builds `shards` per-shard indexes of type `inner` (clamped to the
+  /// dataset size so no shard is empty). Honors `deadline` and the
+  /// `index.build` failpoint through CreateIndexChecked per shard.
+  static Status Create(IndexType inner, const Dataset& dataset,
+                       double epsilon_hint, int shards,
+                       const Deadline& deadline,
+                       std::unique_ptr<ShardedIndex>* out);
+
+  void RangeQuery(std::span<const double> query, double epsilon,
+                  std::vector<PointIndex>* out) const override;
+  void RangeQueryWithDistances(std::span<const double> query, double epsilon,
+                               std::vector<PointIndex>* out,
+                               std::vector<double>* dist_sq) const override;
+  PointIndex RangeCount(std::span<const double> query,
+                        double epsilon) const override;
+
+  /// Shard-affine batched fan-out: the (shard, query) sub-query grid runs
+  /// on the global pool via ExecuteGrouped (one group per shard, so pinned
+  /// workers mostly stay on their home shard's memory), then the partial
+  /// results are absorbed sequentially in (query, shard) order. The
+  /// `exec.shard_merge` failpoint fires in the merge stage (error mode
+  /// fails the batch; delay mode stalls it).
+  Status RangeQueryBatch(std::span<const PointIndex> queries, double epsilon,
+                         std::vector<std::vector<PointIndex>>* results)
+      const override;
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  IndexType inner_type() const { return inner_type_; }
+  /// NUMA node homing shard `s` (round-robin over detected nodes).
+  int shard_home_node(int s) const;
+
+ private:
+  struct Shard {
+    PointIndex begin = 0;  // Global id of local point 0.
+    Dataset points{0};     // Contiguous local copy; local i = begin + i.
+    std::unique_ptr<NeighborIndex> index;
+  };
+
+  ShardedIndex(const Dataset& dataset, IndexType inner)
+      : NeighborIndex(dataset), inner_type_(inner) {}
+
+  /// Runs the sub-query against one shard, appending *global* ids sorted
+  /// ascending to `out`; returns the shard-local distance-computation
+  /// count (the sub-query is never reported as a range query — the
+  /// sharded layer counts one per external query).
+  uint64_t QueryShard(const Shard& shard, std::span<const double> query,
+                      double epsilon, std::vector<PointIndex>* out) const;
+
+  IndexType inner_type_;
+  std::vector<Shard> shards_;
+  Topology topology_;
+};
+
+}  // namespace dbsvec::exec
+
+#endif  // DBSVEC_EXEC_SHARDED_INDEX_H_

@@ -1,0 +1,139 @@
+#include "exec/topology.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+namespace dbsvec::exec {
+
+namespace {
+
+/// Parses a non-negative integer prefix; returns -1 on garbage.
+int ParseInt(const std::string& token) {
+  if (token.empty()) {
+    return -1;
+  }
+  char* end = nullptr;
+  const long value = std::strtol(token.c_str(), &end, 10);
+  if (end == token.c_str() || value < 0) {
+    return -1;
+  }
+  return static_cast<int>(value);
+}
+
+int HardwareCpus() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+}  // namespace
+
+std::vector<int> ParseCpuList(const std::string& list) {
+  std::vector<int> cpus;
+  std::stringstream stream(list);
+  std::string token;
+  while (std::getline(stream, token, ',')) {
+    // Trim whitespace (the sysfs file ends in '\n').
+    while (!token.empty() && std::isspace(static_cast<unsigned char>(
+                                 token.back())) != 0) {
+      token.pop_back();
+    }
+    while (!token.empty() && std::isspace(static_cast<unsigned char>(
+                                 token.front())) != 0) {
+      token.erase(token.begin());
+    }
+    if (token.empty()) {
+      continue;
+    }
+    const size_t dash = token.find('-');
+    if (dash == std::string::npos) {
+      const int cpu = ParseInt(token);
+      if (cpu >= 0) {
+        cpus.push_back(cpu);
+      }
+      continue;
+    }
+    const int lo = ParseInt(token.substr(0, dash));
+    const int hi = ParseInt(token.substr(dash + 1));
+    if (lo < 0 || hi < lo) {
+      continue;
+    }
+    for (int cpu = lo; cpu <= hi; ++cpu) {
+      cpus.push_back(cpu);
+    }
+  }
+  std::sort(cpus.begin(), cpus.end());
+  cpus.erase(std::unique(cpus.begin(), cpus.end()), cpus.end());
+  return cpus;
+}
+
+Topology DetectTopology() {
+  Topology topology;
+#if defined(__linux__)
+  // Node ids are dense in practice but probe a generous range anyway;
+  // missing ids simply have no cpulist file.
+  for (int id = 0; id < 1024; ++id) {
+    const std::string path =
+        "/sys/devices/system/node/node" + std::to_string(id) + "/cpulist";
+    std::ifstream file(path);
+    if (!file.is_open()) {
+      if (id > 0) {
+        break;  // Past the last populated node.
+      }
+      continue;
+    }
+    std::string list;
+    std::getline(file, list);
+    NumaNode node;
+    node.id = id;
+    node.cpus = ParseCpuList(list);
+    if (!node.cpus.empty()) {
+      topology.nodes.push_back(std::move(node));
+    }
+  }
+  topology.from_sysfs = !topology.nodes.empty();
+#endif
+  if (topology.nodes.empty()) {
+    NumaNode node;
+    node.id = 0;
+    const int hw = HardwareCpus();
+    node.cpus.reserve(static_cast<size_t>(hw));
+    for (int cpu = 0; cpu < hw; ++cpu) {
+      node.cpus.push_back(cpu);
+    }
+    topology.nodes.push_back(std::move(node));
+  }
+  return topology;
+}
+
+int ShardHomeNode(const Topology& topology, int shard) {
+  if (topology.nodes.empty()) {
+    return 0;
+  }
+  return topology.nodes[static_cast<size_t>(std::max(0, shard)) %
+                        topology.nodes.size()]
+      .id;
+}
+
+std::vector<int> PinningPlan(const Topology& topology, int threads) {
+  std::vector<int> plan;
+  if (threads <= 0 || topology.nodes.empty()) {
+    return plan;
+  }
+  plan.reserve(static_cast<size_t>(threads));
+  // Per-node cursor so consecutive workers on the same node take distinct
+  // CPUs before wrapping.
+  std::vector<size_t> cursor(topology.nodes.size(), 0);
+  for (int w = 0; w < threads; ++w) {
+    const size_t n = static_cast<size_t>(w) % topology.nodes.size();
+    const NumaNode& node = topology.nodes[n];
+    plan.push_back(node.cpus[cursor[n] % node.cpus.size()]);
+    ++cursor[n];
+  }
+  return plan;
+}
+
+}  // namespace dbsvec::exec

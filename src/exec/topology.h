@@ -1,0 +1,55 @@
+#ifndef DBSVEC_EXEC_TOPOLOGY_H_
+#define DBSVEC_EXEC_TOPOLOGY_H_
+
+#include <string>
+#include <vector>
+
+namespace dbsvec::exec {
+
+/// One NUMA node and the CPUs local to it.
+struct NumaNode {
+  int id = 0;
+  std::vector<int> cpus;
+};
+
+/// The machine's NUMA layout as seen by the sharded execution engine.
+struct Topology {
+  std::vector<NumaNode> nodes;
+  /// True when the layout came from /sys/devices/system/node; false for
+  /// the single-node fallback (non-Linux, masked sysfs, parse failure).
+  bool from_sysfs = false;
+
+  int num_cpus() const {
+    int n = 0;
+    for (const NumaNode& node : nodes) {
+      n += static_cast<int>(node.cpus.size());
+    }
+    return n;
+  }
+};
+
+/// Parses a kernel cpulist string ("0-3,8-11", "0", "") into sorted CPU
+/// ids. Malformed ranges are skipped; the result may be empty.
+std::vector<int> ParseCpuList(const std::string& list);
+
+/// Reads the NUMA layout from /sys/devices/system/node/node*/cpulist.
+/// Falls back to a single node holding CPUs [0, hardware_concurrency) when
+/// sysfs is unavailable or yields no CPUs, so callers always get at least
+/// one node with at least one CPU.
+Topology DetectTopology();
+
+/// NUMA node homing shard `shard` under the round-robin placement the
+/// sharded engine uses: shard s lives on node s % nodes.size().
+int ShardHomeNode(const Topology& topology, int shard);
+
+/// CPU pinning plan for `threads` pool workers: worker w is assigned a CPU
+/// from node w % nodes.size(), cycling through each node's CPUs. Matches
+/// ShardHomeNode, so worker w's home shard (w % shards, see
+/// ThreadPool::ExecuteGrouped) and its pinned CPU land on the same node
+/// whenever shards is a multiple of the node count. Pass the result to
+/// SetGlobalPinning.
+std::vector<int> PinningPlan(const Topology& topology, int threads);
+
+}  // namespace dbsvec::exec
+
+#endif  // DBSVEC_EXEC_TOPOLOGY_H_

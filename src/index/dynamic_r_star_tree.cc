@@ -24,7 +24,27 @@ int32_t DynamicRStarTree::NewNode(bool is_leaf) {
   const int dim = dataset_.dim();
   node.mbr_min.assign(dim, std::numeric_limits<double>::infinity());
   node.mbr_max.assign(dim, -std::numeric_limits<double>::infinity());
+  if (is_leaf) {
+    MarkLeafDirty(id);
+  }
   return id;
+}
+
+void DynamicRStarTree::MarkLeafDirty(int32_t node_id) {
+  Node& node = nodes_[node_id];
+  if (!node.soa_dirty) {
+    node.soa_dirty = true;
+    dirty_leaves_.push_back(node_id);
+  }
+}
+
+void DynamicRStarTree::RefreshLeafPages() {
+  for (const int32_t node_id : dirty_leaves_) {
+    Node& node = nodes_[node_id];
+    node.soa = simd::SoaBlockView(dataset_, node.children);
+    node.soa_dirty = false;
+  }
+  dirty_leaves_.clear();
 }
 
 void DynamicRStarTree::EntryBox(const Node& node, int entry,
@@ -201,6 +221,8 @@ void DynamicRStarTree::InsertEntry(int32_t entry, std::span<const double> lo,
   node.children.push_back(entry);
   if (!node.is_leaf) {
     nodes_[entry].parent = node_id;
+  } else {
+    MarkLeafDirty(node_id);
   }
   ExtendMbr(node_id, lo, hi);
   PropagateMbrUp(node_id);
@@ -264,6 +286,9 @@ void DynamicRStarTree::ReinsertEntries(int32_t node_id,
     }
   }
   node.children = std::move(kept);
+  if (node.is_leaf) {
+    MarkLeafDirty(node_id);
+  }
   RecomputeMbr(node_id);
   PropagateMbrUp(node_id);
 
@@ -385,6 +410,9 @@ void DynamicRStarTree::SplitNode(int32_t node_id,
     for (const int32_t child : sibling.children) {
       nodes_[child].parent = sibling_id;
     }
+  } else {
+    MarkLeafDirty(node_id);
+    MarkLeafDirty(sibling_id);
   }
   RecomputeMbr(node_id);
   RecomputeMbr(sibling_id);
@@ -419,6 +447,7 @@ void DynamicRStarTree::Insert(PointIndex i) {
   const auto p = dataset_.point(i);
   InsertEntry(i, p, p, /*target_level=*/0, &reinserted_levels);
   ++count_;
+  RefreshLeafPages();
 }
 
 void DynamicRStarTree::RangeQuery(std::span<const double> query,
@@ -441,10 +470,14 @@ void DynamicRStarTree::RangeQuery(std::span<const double> query,
       continue;
     }
     if (node.is_leaf) {
-      CountDistanceComputations(node.children.size());
-      for (const PointIndex i : node.children) {
-        if (dataset_.SquaredDistanceTo(i, query) <= eps_sq) {
-          out->push_back(i);
+      const size_t count = node.children.size();
+      CountDistanceComputations(count);
+      simd::ScratchLease scratch(count);
+      double* const dist = scratch.data();
+      node.soa.SquaredDistances(query, 0, count, dist);
+      for (size_t k = 0; k < count; ++k) {
+        if (dist[k] <= eps_sq) {
+          out->push_back(node.children[k]);
         }
       }
     } else {
@@ -471,6 +504,12 @@ bool DynamicRStarTree::CheckInvariants() const {
       return false;
     }
     if (static_cast<int>(node.children.size()) > kMaxEntries) {
+      return false;
+    }
+    // Leaf SoA pages must be fresh between inserts: every leaf's page
+    // covers exactly its current children.
+    if (node.is_leaf &&
+        (node.soa_dirty || node.soa.size() != node.children.size())) {
       return false;
     }
     for (int e = 0; e < static_cast<int>(node.children.size()); ++e) {

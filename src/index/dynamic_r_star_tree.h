@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "index/neighbor_index.h"
+#include "simd/soa_block.h"
 
 namespace dbsvec {
 
@@ -55,6 +56,13 @@ class DynamicRStarTree final : public NeighborIndex {
     std::vector<double> mbr_min;
     std::vector<double> mbr_max;
     int32_t parent = -1;
+    // SoA page over the leaf's points (leaf nodes only), scanned by the
+    // batched SIMD distance kernels. Rebuilt *eagerly* at the end of every
+    // Insert for the leaves whose children changed — RangeQuery stays
+    // const and safe under concurrent readers (the serving overlay tree is
+    // queried under a shared lock), which a lazy build-on-scan could not be.
+    simd::SoaBlockView soa;
+    bool soa_dirty = false;
   };
 
   int32_t NewNode(bool is_leaf);
@@ -84,7 +92,14 @@ class DynamicRStarTree final : public NeighborIndex {
   void SplitNode(int32_t node_id, std::vector<bool>* reinserted_levels);
   void PropagateMbrUp(int32_t node_id);
 
+  /// Queues `node_id` for a page rebuild (no-op if already queued).
+  void MarkLeafDirty(int32_t node_id);
+  /// Rebuilds the SoA page of every queued leaf; called at the end of each
+  /// Insert, so between inserts no leaf page is ever stale.
+  void RefreshLeafPages();
+
   std::vector<Node> nodes_;
+  std::vector<int32_t> dirty_leaves_;
   int32_t root_ = -1;
   int height_ = 0;
   PointIndex count_ = 0;

@@ -1,5 +1,6 @@
 #include "index/neighbor_index.h"
 
+#include "common/thread_pool.h"
 #include "fault/failpoint.h"
 #include "index/brute_force_index.h"
 #include "index/grid_index.h"
@@ -13,6 +14,20 @@ PointIndex NeighborIndex::RangeCount(std::span<const double> query,
   std::vector<PointIndex> scratch;
   RangeQuery(query, epsilon, &scratch);
   return static_cast<PointIndex>(scratch.size());
+}
+
+Status NeighborIndex::RangeQueryBatch(
+    std::span<const PointIndex> queries, double epsilon,
+    std::vector<std::vector<PointIndex>>* results) const {
+  results->resize(queries.size());
+  // Each query writes only its own slot, so the fan-out is pure and the
+  // batch output cannot depend on the thread count.
+  ParallelFor(queries.size(), 1, [&](size_t begin, size_t end) {
+    for (size_t k = begin; k < end; ++k) {
+      RangeQuery(queries[k], epsilon, &(*results)[k]);
+    }
+  });
+  return Status::Ok();
 }
 
 void NeighborIndex::RangeQueryWithDistances(

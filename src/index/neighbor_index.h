@@ -101,6 +101,19 @@ class NeighborIndex {
   virtual PointIndex RangeCount(std::span<const double> query,
                                 double epsilon) const;
 
+  /// Answers one range query per entry of `queries` (each a dataset point
+  /// index, matching RangeQuery(PointIndex, ...)), filling
+  /// `(*results)[k]` for query k. `*results` is resized; per-query result
+  /// order matches RangeQuery. The default implementation fans the
+  /// independent queries across the global thread pool; the sharded engine
+  /// overrides it with shard-affine routing and can surface merge-stage
+  /// failures, hence the Status return. Results are keyed by query
+  /// position, so output is deterministic at any thread count.
+  virtual Status RangeQueryBatch(std::span<const PointIndex> queries,
+                                 double epsilon,
+                                 std::vector<std::vector<PointIndex>>* results)
+      const;
+
   /// The indexed dataset.
   const Dataset& dataset() const { return dataset_; }
 

@@ -6,6 +6,7 @@
 
 #include "cluster/clustering.h"
 #include "common/thread_pool.h"
+#include "exec/sharded_index.h"
 #include "fault/failpoint.h"
 
 namespace dbsvec {
@@ -46,6 +47,15 @@ AssignmentEngine::AssignmentEngine(DbsvecModel model,
 Status AssignmentEngine::BuildIndex(const Deadline& deadline) {
   if (model_.core_points.size() == 0) {
     return Status::Ok();  // Empty core summary: everything is noise.
+  }
+  if (options_.shards >= 1) {
+    std::unique_ptr<exec::ShardedIndex> sharded;
+    DBSVEC_RETURN_IF_ERROR(exec::ShardedIndex::Create(
+        options_.index, model_.core_points, model_.epsilon, options_.shards,
+        deadline, &sharded));
+    shard_count_ = sharded->num_shards();
+    index_ = std::move(sharded);
+    return Status::Ok();
   }
   return CreateIndexChecked(options_.index, model_.core_points,
                             model_.epsilon, deadline, &index_);

@@ -25,6 +25,13 @@ struct AssignmentOptions {
   IndexType index = IndexType::kKdTree;
   /// Minimum points per thread-pool chunk of a batched Assign.
   int batch_grain = 64;
+  /// >= 1: build the serving index as a sharded execution engine
+  /// (exec::ShardedIndex) over the core summary — `shards` per-shard
+  /// indexes of type `index` over contiguous core-id ranges. 0 (default)
+  /// keeps the single unsharded index. Assignments are bit-identical at
+  /// every shard count (the merged range-query result depends only on the
+  /// point set).
+  int shards = 0;
   /// Skip queries outside every sub-cluster sphere (inflated by ε) without
   /// touching the index. Off is only useful for benchmarking the filter.
   bool sphere_prefilter = true;
@@ -106,6 +113,9 @@ class AssignmentEngine {
   /// checksum field for a model loaded from disk).
   uint32_t model_version() const { return DbsvecModel::kFormatVersion; }
   uint32_t model_crc() const { return model_crc_; }
+  /// Number of shards of the serving index (after clamping to the core
+  /// summary size); 0 when the engine is unsharded.
+  int shard_count() const { return shard_count_; }
 
   /// Cumulative serving counters (relaxed atomics; cheap, approximate
   /// under concurrency, exact when queries are serial).
@@ -150,6 +160,7 @@ class AssignmentEngine {
   const DbsvecModel model_;
   const AssignmentOptions options_;
   uint32_t model_crc_ = 0;
+  int shard_count_ = 0;  // Actual shard count of index_ (0 = unsharded).
   std::unique_ptr<NeighborIndex> index_;  // Over model_.core_points.
   // Sub-cluster sphere radii inflated by ε, squared, parallel to
   // model_.spheres (precomputed for the prefilter).

@@ -15,6 +15,7 @@
 
 #include "fault/failpoint.h"
 #include "server/payload.h"
+#include "simd/simd.h"
 
 namespace dbsvec::server {
 namespace {
@@ -672,7 +673,9 @@ std::string Server::HandleStatz() {
                        engine_stats.sphere_rejections,
                        engine_stats.range_queries,
                        inflight_.load(std::memory_order_relaxed),
-                       options_.max_inflight);
+                       options_.max_inflight,
+                       simd::BackendName(simd::ActiveBackend()),
+                       engine->shard_count());
 }
 
 std::string Server::HandleReload(const HttpRequest& request,

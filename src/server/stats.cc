@@ -39,7 +39,8 @@ std::string ServerStats::ToJson(uint32_t model_version, uint32_t model_crc,
                                 uint64_t engine_points_assigned,
                                 uint64_t engine_sphere_rejections,
                                 uint64_t engine_range_queries, int inflight,
-                                int max_inflight) const {
+                                int max_inflight, const char* simd_backend,
+                                int shard_count) const {
   char crc_hex[16];
   std::snprintf(crc_hex, sizeof(crc_hex), "%08x", model_crc);
   std::string out = "{";
@@ -74,6 +75,8 @@ std::string ServerStats::ToJson(uint32_t model_version, uint32_t model_crc,
   field("engine_range_queries", engine_range_queries);
   out += "\"inflight\":" + std::to_string(inflight) + ",";
   out += "\"max_inflight\":" + std::to_string(max_inflight) + ",";
+  out += "\"simd_backend\":\"" + std::string(simd_backend) + "\",";
+  out += "\"shard_count\":" + std::to_string(shard_count) + ",";
   out += "\"assign_latency_p50_us\":" +
          std::to_string(assign_latency.PercentileMicros(50.0)) + ",";
   out += "\"assign_latency_p99_us\":" +

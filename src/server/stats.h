@@ -46,13 +46,16 @@ struct ServerStats {
   std::atomic<uint64_t> refresh_failures{0};  ///< Failed absorb passes.
   LatencyHistogram assign_latency;
 
-  /// JSON object with every counter, assign p50/p99 (µs), and the provided
-  /// model identity fields.
+  /// JSON object with every counter, assign p50/p99 (µs), the provided
+  /// model identity fields, and the execution config of the serving
+  /// engine: `simd_backend` (active SIMD dispatch backend name) and
+  /// `shard_count` (0 = unsharded).
   std::string ToJson(uint32_t model_version, uint32_t model_crc,
                      uint64_t engine_points_assigned,
                      uint64_t engine_sphere_rejections,
                      uint64_t engine_range_queries, int inflight,
-                     int max_inflight) const;
+                     int max_inflight, const char* simd_backend,
+                     int shard_count) const;
 };
 
 }  // namespace dbsvec::server

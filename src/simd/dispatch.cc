@@ -34,7 +34,22 @@ constexpr Ops kAvx2Ops = {
 };
 #endif
 
+#if defined(DBSVEC_HAVE_AVX512)
+constexpr Ops kAvx512Ops = {
+    .name = "avx512",
+    .squared_distance_block = &SquaredDistanceBlockAvx512,
+    .count_within_block = &CountWithinBlockAvx512,
+    .axpy_float = &AxpyFloatAvx512,
+    .gradient_update = &GradientUpdateAvx512,
+};
+#endif
+
 const Ops* TableFor(Backend backend) {
+#if defined(DBSVEC_HAVE_AVX512)
+  if (backend == Backend::kAvx512) {
+    return &kAvx512Ops;
+  }
+#endif
 #if defined(DBSVEC_HAVE_AVX2)
   if (backend == Backend::kAvx2) {
     return &kAvx2Ops;
@@ -44,11 +59,17 @@ const Ops* TableFor(Backend backend) {
   return &kScalarOps;
 }
 
+Backend BestAvailable() {
+  if (Avx512Available()) {
+    return Backend::kAvx512;
+  }
+  return Avx2Available() ? Backend::kAvx2 : Backend::kScalar;
+}
+
 /// Backend requested by the DBSVEC_SIMD environment variable (auto when
-/// unset or unrecognized).
+/// unset; an unrecognized value warns and falls back to auto-detect).
 Backend ResolveDefault() {
-  const Backend best =
-      Avx2Available() ? Backend::kAvx2 : Backend::kScalar;
+  const Backend best = BestAvailable();
   const char* env = std::getenv("DBSVEC_SIMD");
   if (env == nullptr || *env == '\0') {
     return best;
@@ -66,7 +87,26 @@ Backend ResolveDefault() {
     }
     return Backend::kAvx2;
   }
-  return best;  // "on", "auto", "1", ...: best available.
+  if (std::strcmp(env, "avx512") == 0) {
+    if (!Avx512Available()) {
+      std::fprintf(stderr,
+                   "dbsvec: DBSVEC_SIMD=avx512 but AVX-512F is unavailable "
+                   "on this CPU/build; falling back to %s\n",
+                   BackendName(best));
+      return best;
+    }
+    return Backend::kAvx512;
+  }
+  if (std::strcmp(env, "on") == 0 || std::strcmp(env, "auto") == 0 ||
+      std::strcmp(env, "1") == 0 || std::strcmp(env, "true") == 0) {
+    return best;
+  }
+  std::fprintf(stderr,
+               "dbsvec: unrecognized DBSVEC_SIMD value \"%s\" (accepted: "
+               "off|0|scalar|false, avx2, avx512, on|auto|1|true); "
+               "auto-detecting %s\n",
+               env, BackendName(best));
+  return best;
 }
 
 std::atomic<const Ops*>& ActiveTable() {
@@ -85,18 +125,32 @@ bool Avx2Available() {
 #endif
 }
 
+bool Avx512Available() {
+#if defined(DBSVEC_HAVE_AVX512)
+  __builtin_cpu_init();
+  return __builtin_cpu_supports("avx512f") != 0;
+#else
+  return false;
+#endif
+}
+
 const char* BackendName(Backend backend) {
   switch (backend) {
     case Backend::kScalar:
       return "scalar";
     case Backend::kAvx2:
       return "avx2";
+    case Backend::kAvx512:
+      return "avx512";
   }
   return "unknown";
 }
 
 Backend ActiveBackend() {
   const Ops* ops = ActiveTable().load(std::memory_order_acquire);
+  if (std::strcmp(ops->name, "avx512") == 0) {
+    return Backend::kAvx512;
+  }
   return std::strcmp(ops->name, "avx2") == 0 ? Backend::kAvx2
                                              : Backend::kScalar;
 }
@@ -105,6 +159,11 @@ void ForceBackend(Backend backend) {
   if (backend == Backend::kAvx2 && !Avx2Available()) {
     std::fprintf(stderr,
                  "dbsvec: ForceBackend(avx2) ignored — AVX2 unavailable\n");
+    return;
+  }
+  if (backend == Backend::kAvx512 && !Avx512Available()) {
+    std::fprintf(
+        stderr, "dbsvec: ForceBackend(avx512) ignored — AVX-512 unavailable\n");
     return;
   }
   ActiveTable().store(TableFor(backend), std::memory_order_release);

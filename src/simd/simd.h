@@ -17,20 +17,26 @@ inline constexpr size_t kBlockWidth = 8;
 enum class Backend {
   kScalar,  ///< Portable fallback; the reference operation order.
   kAvx2,    ///< AVX2 256-bit lanes (x86-64, runtime-detected).
+  kAvx512,  ///< AVX-512F 512-bit lanes: one whole block per register.
 };
 
-/// Human-readable backend name ("scalar", "avx2").
+/// Human-readable backend name ("scalar", "avx2", "avx512").
 const char* BackendName(Backend backend);
 
 /// True when this build contains the AVX2 kernels and the running CPU
 /// (and OS) support them.
 bool Avx2Available();
 
+/// True when this build contains the AVX-512 kernels and the running CPU
+/// (and OS) support AVX-512F.
+bool Avx512Available();
+
 /// The backend the dispatch table currently points at. Resolved once on
 /// first use: the best available backend, unless the `DBSVEC_SIMD`
 /// environment variable says otherwise (`off`/`0`/`scalar`/`false` force
-/// the scalar fallback; `avx2` forces AVX2 and aborts if unavailable;
-/// anything else selects automatically).
+/// the scalar fallback; `avx2`/`avx512` force that backend and fall back
+/// with a warning if unavailable; `on`/`auto`/`1`/`true` select the best;
+/// any other value warns once and selects automatically).
 Backend ActiveBackend();
 
 /// Test/bench hook: repoints the dispatch table at `backend` (must be

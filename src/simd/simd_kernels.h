@@ -29,6 +29,16 @@ void GradientUpdateAvx2(double a, const float* xi, const float* xj,
                         double* y, size_t n);
 #endif  // DBSVEC_HAVE_AVX2
 
+#if defined(DBSVEC_HAVE_AVX512)
+void SquaredDistanceBlockAvx512(const double* query, const double* block,
+                                int dim, double* out);
+uint32_t CountWithinBlockAvx512(const double* query, const double* block,
+                                int dim, uint32_t lane_mask, double eps_sq);
+void AxpyFloatAvx512(double a, const float* x, double* y, size_t n);
+void GradientUpdateAvx512(double a, const float* xi, const float* xj,
+                          double* y, size_t n);
+#endif  // DBSVEC_HAVE_AVX512
+
 }  // namespace dbsvec::simd
 
 #endif  // DBSVEC_SIMD_SIMD_KERNELS_H_

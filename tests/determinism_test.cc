@@ -171,6 +171,153 @@ TEST(ThreadPoolTest, GlobalBudgetOfOneDisablesPool) {
   EXPECT_EQ(GlobalThreadPool(), nullptr);
 }
 
+// --- Sharded execution engine -------------------------------------------
+//
+// The sharded engine's merged range-query results depend only on the point
+// *set* (per-shard hits are globally sorted by id), so clustering output
+// must be bit-identical at every shard count >= 1 and every thread count.
+// Distance computations are partition-dependent (per-shard trees prune
+// differently), so they are compared only across thread counts at a fixed
+// shard count; every other statistic is invariant across both axes.
+
+// Deliberately includes a count (7) that divides the dataset unevenly.
+constexpr int kShardSweep[] = {1, 2, 4, 7};
+
+Dataset ShardDataset() {
+  // Smaller than WalkDataset: this sweep runs 4 engines x 4 shard counts
+  // x 2 thread counts, including under TSan in tools/ci.sh.
+  RandomWalkParams params;
+  params.n = 2'000;
+  params.dim = 4;
+  params.num_clusters = 5;
+  params.seed = 31;
+  return GenerateRandomWalk(params);
+}
+
+void ExpectSameStatsExceptDistances(const ClusteringStats& a,
+                                    const ClusteringStats& b) {
+  EXPECT_EQ(a.num_range_queries, b.num_range_queries);
+  EXPECT_EQ(a.num_svdd_trainings, b.num_svdd_trainings);
+  EXPECT_EQ(a.num_support_vectors, b.num_support_vectors);
+  EXPECT_EQ(a.num_merges, b.num_merges);
+  EXPECT_EQ(a.noise_list_size, b.noise_list_size);
+  EXPECT_EQ(a.smo_iterations, b.smo_iterations);
+}
+
+TEST(DeterminismTest, ShardedDbsvecBitIdenticalAtEveryShardAndThreadCount) {
+  const Dataset dataset = ShardDataset();
+  for (const IndexType engine : kEngines) {
+    DbsvecParams params;
+    params.epsilon = 5'000.0;
+    params.min_pts = 40;
+    params.index = engine;
+    params.classify_points = true;
+
+    params.shards = 1;
+    Clustering baseline;
+    {
+      ScopedThreads threads(1);
+      ASSERT_TRUE(RunDbsvec(dataset, params, &baseline).ok());
+    }
+    for (const int shards : kShardSweep) {
+      params.shards = shards;
+      Clustering fixed_shards;  // Reference at this shard count.
+      {
+        ScopedThreads threads(1);
+        ASSERT_TRUE(RunDbsvec(dataset, params, &fixed_shards).ok());
+      }
+      for (const int threads_choice : {1, kParallelThreads}) {
+        ScopedThreads threads(threads_choice);
+        Clustering run;
+        ASSERT_TRUE(RunDbsvec(dataset, params, &run).ok());
+        SCOPED_TRACE(testing::Message()
+                     << "engine=" << IndexTypeName(engine)
+                     << " shards=" << shards
+                     << " threads=" << threads_choice);
+        EXPECT_EQ(run.labels, baseline.labels);
+        EXPECT_EQ(run.point_types, baseline.point_types);
+        EXPECT_EQ(run.num_clusters, baseline.num_clusters);
+        ExpectSameStats(run.stats, fixed_shards.stats);
+        ExpectSameStatsExceptDistances(run.stats, baseline.stats);
+      }
+    }
+  }
+}
+
+TEST(DeterminismTest, ShardedDbscanBitIdenticalAtEveryShardAndThreadCount) {
+  const Dataset dataset = ShardDataset();
+  for (const IndexType engine : kEngines) {
+    DbscanParams params;
+    params.epsilon = 5'000.0;
+    params.min_pts = 40;
+    params.index = engine;
+
+    params.shards = 1;
+    Clustering baseline;
+    {
+      ScopedThreads threads(1);
+      ASSERT_TRUE(RunDbscan(dataset, params, &baseline).ok());
+    }
+    for (const int shards : kShardSweep) {
+      params.shards = shards;
+      Clustering fixed_shards;
+      {
+        ScopedThreads threads(1);
+        ASSERT_TRUE(RunDbscan(dataset, params, &fixed_shards).ok());
+      }
+      for (const int threads_choice : {1, kParallelThreads}) {
+        ScopedThreads threads(threads_choice);
+        Clustering run;
+        ASSERT_TRUE(RunDbscan(dataset, params, &run).ok());
+        SCOPED_TRACE(testing::Message()
+                     << "engine=" << IndexTypeName(engine)
+                     << " shards=" << shards
+                     << " threads=" << threads_choice);
+        EXPECT_EQ(run.labels, baseline.labels);
+        EXPECT_EQ(run.point_types, baseline.point_types);
+        EXPECT_EQ(run.num_clusters, baseline.num_clusters);
+        ExpectSameStats(run.stats, fixed_shards.stats);
+        ExpectSameStatsExceptDistances(run.stats, baseline.stats);
+      }
+    }
+  }
+}
+
+TEST(DeterminismTest, ShardedAssignmentMatchesUnsharded) {
+  // The serving index has no expansion loop: assignment answers depend only
+  // on the range-query *set*, so a sharded serving engine must agree with
+  // the unsharded one label for label.
+  const Dataset dataset = ShardDataset();
+  DbsvecParams params;
+  params.epsilon = 5'000.0;
+  params.min_pts = 40;
+  Clustering out;
+  DbsvecModel model;
+  ASSERT_TRUE(RunDbsvec(dataset, params, &out, &model).ok());
+
+  std::unique_ptr<AssignmentEngine> unsharded;
+  ASSERT_TRUE(
+      AssignmentEngine::Create(model, {}, &unsharded).ok());
+  std::vector<int32_t> reference;
+  ASSERT_TRUE(unsharded->AssignBatch(dataset, &reference).ok());
+  EXPECT_EQ(unsharded->shard_count(), 0);
+
+  for (const int shards : kShardSweep) {
+    AssignmentOptions options;
+    options.shards = shards;
+    std::unique_ptr<AssignmentEngine> engine;
+    ASSERT_TRUE(AssignmentEngine::Create(model, options, &engine).ok());
+    EXPECT_EQ(engine->shard_count(), shards);
+    for (const int threads_choice : {1, kParallelThreads}) {
+      ScopedThreads threads(threads_choice);
+      std::vector<int32_t> labels;
+      ASSERT_TRUE(engine->AssignBatch(dataset, &labels).ok());
+      EXPECT_EQ(labels, reference)
+          << "shards=" << shards << " threads=" << threads_choice;
+    }
+  }
+}
+
 TEST(DeterminismTest, AssignBatchMatchesSequential) {
   const Dataset dataset = WalkDataset();
   DbsvecParams params;

@@ -101,8 +101,9 @@ Clustering DbscanReference(const Dataset& dataset,
 TEST_F(FaultTest, SitesCoverEveryInstrumentedLayer) {
   const std::vector<std::string_view> sites = FailpointRegistry::Sites();
   const std::vector<std::string_view> expected = {
-      "csv.read",      "index.build",   "kernel_cache.materialize",
-      "smo.solve",     "svdd.train",    "thread_pool.task",
+      "csv.read",      "index.build",   "exec.shard_merge",
+      "kernel_cache.materialize",       "smo.solve",
+      "svdd.train",    "thread_pool.task",
       "model.save",    "model.load",    "assign.batch",
       "server.accept", "server.reload", "serve.refresh",
   };
@@ -701,13 +702,15 @@ TEST_F(FaultTest, ErrorSweepEverySiteFailsCleanlyOrDegrades) {
       "kernel_cache.materialize", "smo.solve", "svdd.train"};
   // The server sites live on the HTTP serving path, which this offline
   // fit/save/load/assign pipeline never crosses; tests/server_test.cc
-  // sweeps them through a live server instead.
-  const std::vector<std::string> server_sites = {
-      "server.accept", "server.reload", "serve.refresh"};
+  // sweeps them through a live server instead. exec.shard_merge sits on
+  // the sharded batch path, which the default shards=0 pipeline never
+  // takes; the ShardMerge* tests below exercise it through a sharded fit.
+  const std::vector<std::string> out_of_pipeline_sites = {
+      "server.accept", "server.reload", "serve.refresh", "exec.shard_merge"};
 
   for (const std::string_view site : FailpointRegistry::Sites()) {
-    if (std::find(server_sites.begin(), server_sites.end(),
-                  std::string(site)) != server_sites.end()) {
+    if (std::find(out_of_pipeline_sites.begin(), out_of_pipeline_sites.end(),
+                  std::string(site)) != out_of_pipeline_sites.end()) {
       continue;
     }
     registry().DisarmAll();
@@ -736,6 +739,37 @@ TEST_F(FaultTest, ErrorSweepEverySiteFailsCleanlyOrDegrades) {
           << site;
     }
   }
+}
+
+// The sharded-merge site only exists on the sharded batch path, so it gets
+// dedicated coverage: error mode must fail the sharded fit with a clean
+// Status naming the site, and delay mode must change nothing but time.
+TEST_F(FaultTest, ShardMergeErrorFailsShardedFit) {
+  const Dataset dataset = FaultScene();
+  DbsvecParams params = SceneParams(dataset);
+  params.shards = 2;
+  ASSERT_TRUE(registry().Arm("exec.shard_merge", Mode::kError).ok());
+  Clustering out;
+  const Status status = RunDbsvec(dataset, params, &out);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("exec.shard_merge"), std::string::npos);
+  EXPECT_GE(registry().HitCount("exec.shard_merge"), 1u);
+  // Interrupted fits hand back stats, never a half-expanded labelling.
+  EXPECT_TRUE(out.labels.empty());
+}
+
+TEST_F(FaultTest, ShardMergeDelayOnlySlowsTheShardedFit) {
+  const Dataset dataset = FaultScene();
+  DbsvecParams params = SceneParams(dataset);
+  params.shards = 2;
+  Clustering baseline;
+  ASSERT_TRUE(RunDbsvec(dataset, params, &baseline).ok());
+  ASSERT_TRUE(registry().Arm("exec.shard_merge", Mode::kDelayMs, "5").ok());
+  Clustering delayed;
+  ASSERT_TRUE(RunDbsvec(dataset, params, &delayed).ok());
+  EXPECT_GE(registry().HitCount("exec.shard_merge"), 1u);
+  EXPECT_EQ(baseline.labels, delayed.labels);
+  EXPECT_EQ(baseline.num_clusters, delayed.num_clusters);
 }
 
 TEST_F(FaultTest, NonconvergeSweepNeverFailsThePipeline) {

@@ -57,10 +57,12 @@ Dataset RandomDataset(int n, int dim, uint64_t seed) {
 }
 
 bool HaveAvx2() { return simd::Avx2Available(); }
+bool HaveAvx512() { return simd::Avx512Available(); }
 
 TEST(SimdTest, BackendNamesResolve) {
   EXPECT_STREQ(simd::BackendName(simd::Backend::kScalar), "scalar");
   EXPECT_STREQ(simd::BackendName(simd::Backend::kAvx2), "avx2");
+  EXPECT_STREQ(simd::BackendName(simd::Backend::kAvx512), "avx512");
   // Whatever the environment selected, the active table must be coherent.
   const simd::Backend active = simd::ActiveBackend();
   EXPECT_STREQ(simd::ActiveOps().name, simd::BackendName(active));
@@ -210,6 +212,92 @@ TEST(SimdTest, SmoRowProductsMatchScalar) {
   }
 }
 
+// --- AVX-512 backend: bit-exact agreement with the scalar reference -----
+//
+// One SoA block row is exactly one 512-bit register, so the AVX-512
+// kernels have no horizontal reductions at all; they must still match the
+// scalar operation order bit for bit. Auto-skips on hosts without
+// AVX-512F.
+
+TEST(SimdTest, Avx512SquaredDistancesExactlyMatchScalarAndDataset) {
+  if (!HaveAvx512()) {
+    GTEST_SKIP() << "AVX-512F unavailable on this host";
+  }
+  for (int dim = 1; dim <= 19; ++dim) {
+    const Dataset dataset = RandomDataset(61, dim, 2000 + dim);
+    const simd::SoaBlockView view(dataset);
+    const auto query = dataset.point(17);
+    const size_t n = static_cast<size_t>(dataset.size());
+    std::vector<double> avx512_d2(n);
+    {
+      ScopedBackend backend(simd::Backend::kAvx512);
+      view.SquaredDistances(query, 0, n, avx512_d2.data());
+    }
+    for (size_t i = 0; i < n; ++i) {
+      SCOPED_TRACE(testing::Message() << "dim=" << dim << " i=" << i);
+      EXPECT_EQ(avx512_d2[i], dataset.SquaredDistanceTo(
+                                  static_cast<PointIndex>(i), query));
+    }
+  }
+}
+
+TEST(SimdTest, Avx512CountWithinMatchesScalar) {
+  if (!HaveAvx512()) {
+    GTEST_SKIP() << "AVX-512F unavailable on this host";
+  }
+  for (int dim = 1; dim <= 19; ++dim) {
+    const Dataset dataset = RandomDataset(53, dim, 4000 + dim);
+    const simd::SoaBlockView view(dataset);
+    const auto query = dataset.point(5);
+    const size_t n = static_cast<size_t>(dataset.size());
+    std::vector<double> d2(n);
+    view.SquaredDistances(query, 0, n, d2.data());
+    for (const double eps_sq : {d2[11], d2[11] * 1.1, 50.0 * dim}) {
+      size_t full = 0, partial = 0;
+      for (size_t i = 0; i < n; ++i) {
+        full += d2[i] <= eps_sq ? 1 : 0;
+        partial += i >= 9 && i < 31 && d2[i] <= eps_sq ? 1 : 0;
+      }
+      ScopedBackend backend(simd::Backend::kAvx512);
+      EXPECT_EQ(view.CountWithin(query, 0, n, eps_sq), full)
+          << "dim=" << dim << " eps_sq=" << eps_sq;
+      EXPECT_EQ(view.CountWithin(query, 9, 31, eps_sq), partial)
+          << "dim=" << dim << " eps_sq=" << eps_sq;
+    }
+  }
+}
+
+TEST(SimdTest, Avx512SmoRowProductsMatchScalar) {
+  if (!HaveAvx512()) {
+    GTEST_SKIP() << "AVX-512F unavailable on this host";
+  }
+  Rng rng(99);
+  for (const size_t n : {1u, 4u, 7u, 8u, 64u, 1001u}) {
+    std::vector<float> xi(n), xj(n);
+    std::vector<double> y0(n);
+    for (size_t k = 0; k < n; ++k) {
+      xi[k] = static_cast<float>(rng.NextDouble());
+      xj[k] = static_cast<float>(rng.NextDouble());
+      y0[k] = rng.NextDouble() * 10.0 - 5.0;
+    }
+    const double a = 0.731;
+    std::vector<double> y_scalar = y0, y_avx512 = y0;
+    {
+      ScopedBackend backend(simd::Backend::kScalar);
+      simd::ActiveOps().axpy_float(a, xi.data(), y_scalar.data(), n);
+      simd::ActiveOps().gradient_update(a, xi.data(), xj.data(),
+                                        y_scalar.data(), n);
+    }
+    {
+      ScopedBackend backend(simd::Backend::kAvx512);
+      simd::ActiveOps().axpy_float(a, xi.data(), y_avx512.data(), n);
+      simd::ActiveOps().gradient_update(a, xi.data(), xj.data(),
+                                        y_avx512.data(), n);
+    }
+    EXPECT_EQ(y_scalar, y_avx512) << "n=" << n;
+  }
+}
+
 // --- End-to-end label agreement on the tier-1 synthetic workloads -------
 
 constexpr IndexType kEngines[] = {IndexType::kBruteForce, IndexType::kKdTree,
@@ -239,8 +327,12 @@ TEST(SimdTest, ClusteringLabelsBitIdenticalAcrossBackendsAndThreads) {
       ScopedThreads threads(1);
       ASSERT_TRUE(RunDbsvec(dataset, dbsvec_params, &reference).ok());
     }
-    for (const simd::Backend backend_choice :
-         {simd::Backend::kScalar, simd::Backend::kAvx2}) {
+    std::vector<simd::Backend> backends = {simd::Backend::kScalar,
+                                           simd::Backend::kAvx2};
+    if (HaveAvx512()) {
+      backends.push_back(simd::Backend::kAvx512);
+    }
+    for (const simd::Backend backend_choice : backends) {
       for (const int threads_choice : {1, 8}) {
         ScopedBackend backend(backend_choice);
         ScopedThreads threads(threads_choice);

@@ -27,6 +27,17 @@ echo "=== Release ctest with the scalar SIMD fallback (DBSVEC_SIMD=off) ==="
 DBSVEC_SIMD=off \
   ctest --test-dir "${repo}/build-ci-release" --output-on-failure -j "${jobs}"
 
+echo "=== Release ctest with the AVX-512 backend forced (DBSVEC_SIMD=avx512) ==="
+# Forcing avx512 on a host without AVX-512F would just warn and fall back
+# to auto-detect, re-running the first leg — skip it honestly instead.
+if grep -q avx512f /proc/cpuinfo 2>/dev/null; then
+  DBSVEC_SIMD=avx512 \
+    ctest --test-dir "${repo}/build-ci-release" --output-on-failure \
+    -j "${jobs}"
+else
+  echo "skipped: this host has no AVX-512F (the forced-avx512 leg needs it)"
+fi
+
 echo "=== ThreadSanitizer build + concurrency tests ==="
 cmake -S "${repo}" -B "${repo}/build-ci-tsan" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -35,11 +46,23 @@ cmake -S "${repo}" -B "${repo}/build-ci-tsan" \
   -DDBSVEC_BUILD_EXAMPLES=OFF >/dev/null
 cmake --build "${repo}/build-ci-tsan" -j "${jobs}" --target dbsvec_tests
 # Determinism + thread-pool tests force an 8-thread pool, so they exercise
-# every parallel section under TSan even on small machines. The server
-# reload-under-load test hammers /v1/assign from 8 connections while the
-# model pointer swaps, so the RCU handoff is race-checked too.
+# every parallel section under TSan even on small machines — including the
+# DeterminismTest.Sharded* sweep, which runs the sharded execution engine
+# (per-shard fan-out + deterministic merge) at shards up to 7 with 8
+# workers. The server reload-under-load test hammers /v1/assign from 8
+# connections while the model pointer swaps, so the RCU handoff is
+# race-checked too.
 ctest --test-dir "${repo}/build-ci-tsan" --output-on-failure -j "${jobs}" \
   -R 'Determinism|ThreadPool|ServerTest.ReloadUnderLoad'
+
+echo "=== TSan sharded fit through the CLI (shards=4, threads=8) ==="
+# One end-to-end sharded fit under TSan via the real CLI entry point: the
+# grouped shard-affine fan-out, worker pinning, and the sorted merge all
+# race-checked in one shot.
+cmake --build "${repo}/build-ci-tsan" -j "${jobs}" --target dbsvec_cli
+"${repo}/build-ci-tsan/tools/dbsvec_cli" \
+  --demo=blobs --demo-n=2000 --demo-dim=4 --minpts=10 \
+  --shards=4 --threads=8
 
 echo "=== AddressSanitizer build + model/serving tests ==="
 cmake -S "${repo}" -B "${repo}/build-ci-asan" \

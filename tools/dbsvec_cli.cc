@@ -128,6 +128,7 @@ void HandleStopSignal(int) { g_stop_requested = 1; }
 int RunServeCommand(const cli::CliOptions& options) {
   AssignmentOptions engine_options;
   engine_options.index = options.index;
+  engine_options.shards = options.shards;
   engine_options.online_refresh = options.serve_refresh;
   std::unique_ptr<AssignmentEngine> loaded;
   if (const Status status =
