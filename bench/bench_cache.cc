@@ -1,0 +1,272 @@
+// Cache-manager benchmark (docs/CACHING.md): fit and assign latency at
+// cache budgets {off, tiny, huge}, per-cache hit rates from the manager's
+// counters, and an RSS ceiling check for many concurrent solves sharing
+// one small budget. Labels are checked bit-identical at every budget —
+// the cache changes *when* work happens, never *what* comes out.
+//
+// Flags: --n --dim --eps --minpts --seed --queries --tiny-mb --huge-mb
+//        --solvers --rss-ceiling-mb --out
+// Writes BENCH_cache.json next to the text table.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "cache/cache_manager.h"
+#include "cache/shared_row_cache.h"
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
+#include "core/dbsvec.h"
+#include "data/synthetic.h"
+#include "model/dbsvec_model.h"
+#include "serve/assignment_engine.h"
+
+namespace dbsvec {
+namespace {
+
+/// Resident-set size from /proc/self/status, in KiB; 0 when unavailable
+/// (non-Linux), which skips the ceiling check.
+uint64_t RssKb() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmRSS:", 0) == 0) {
+      return static_cast<uint64_t>(std::atoll(line.c_str() + 6));
+    }
+  }
+  return 0;
+}
+
+struct CacheCounters {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+};
+
+/// Cumulative per-cache counters, summed for delta reporting per phase.
+CacheCounters TotalCounters() {
+  CacheCounters total;
+  for (const cache::CacheStats& stats :
+       cache::CacheManager::Global().Stats()) {
+    total.hits += stats.hits;
+    total.misses += stats.misses;
+    total.evictions += stats.evictions;
+  }
+  return total;
+}
+
+struct BudgetRun {
+  int64_t budget_mb = 0;
+  double fit_seconds = 0.0;
+  double refit_seconds = 0.0;        ///< Second fit: shared-row reuse.
+  double assign_cold_seconds = 0.0;  ///< First pass: cache misses.
+  double assign_warm_seconds = 0.0;  ///< Second pass: cell-cache hits.
+  double hit_rate = 0.0;             ///< Across all caches, this phase.
+  uint64_t evictions = 0;
+};
+
+int Main(int argc, char** argv) {
+  const bench::Args args(argc, argv);
+  RandomWalkParams data;
+  data.n = static_cast<PointIndex>(args.GetInt("n", 20'000));
+  data.dim = static_cast<int>(args.GetInt("dim", 8));
+  data.seed = static_cast<uint64_t>(args.GetInt("seed", 23));
+  const double epsilon = args.GetDouble("eps", 5'000.0);
+  const int min_pts = static_cast<int>(args.GetInt("minpts", 100));
+  const PointIndex num_queries =
+      static_cast<PointIndex>(args.GetInt("queries", 20'000));
+  const int64_t tiny_mb = args.GetInt("tiny-mb", 1);
+  const int64_t huge_mb = args.GetInt("huge-mb", 256);
+  const int num_solvers = static_cast<int>(args.GetInt("solvers", 4));
+  const int64_t rss_ceiling_mb = args.GetInt("rss-ceiling-mb", 512);
+  const std::string json_path = args.GetString("out", "BENCH_cache.json");
+
+  std::printf("dataset: n=%d dim=%d eps=%.4g minpts=%d\n", data.n,
+              data.dim, epsilon, min_pts);
+  const Dataset dataset = GenerateRandomWalk(data);
+  RandomWalkParams query_params = data;
+  query_params.n = num_queries;
+  query_params.seed = data.seed + 1;
+  const Dataset queries = GenerateRandomWalk(query_params);
+
+  DbsvecParams params;
+  params.epsilon = epsilon;
+  params.min_pts = min_pts;
+
+  std::vector<int32_t> fit_reference;
+  std::vector<int32_t> assign_reference;
+  bool all_match = true;
+  std::vector<BudgetRun> runs;
+  bench::Table table({"budget_mb", "fit_s", "refit_s", "assign_cold_s",
+                      "assign_warm_s", "hit_rate", "evictions"});
+
+  for (const int64_t budget_mb : {int64_t{0}, tiny_mb, huge_mb}) {
+    cache::SharedRowCache::Global().Clear();
+    cache::CacheManager::SetGlobalLimitBytes(
+        static_cast<size_t>(budget_mb) << 20);
+    const CacheCounters before = TotalCounters();
+
+    BudgetRun run;
+    run.budget_mb = budget_mb;
+
+    Clustering clustering;
+    DbsvecModel model;
+    Stopwatch fit_timer;
+    if (const Status status =
+            RunDbsvec(dataset, params, &clustering, &model);
+        !status.ok()) {
+      std::fprintf(stderr, "fit: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    run.fit_seconds = fit_timer.ElapsedSeconds();
+    if (fit_reference.empty()) {
+      fit_reference = clustering.labels;
+    }
+    all_match = all_match && clustering.labels == fit_reference;
+
+    Clustering refit;
+    Stopwatch refit_timer;
+    if (const Status status = RunDbsvec(dataset, params, &refit);
+        !status.ok()) {
+      std::fprintf(stderr, "refit: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    run.refit_seconds = refit_timer.ElapsedSeconds();
+    all_match = all_match && refit.labels == fit_reference;
+
+    std::unique_ptr<AssignmentEngine> engine;
+    if (const Status status =
+            AssignmentEngine::Create(std::move(model), {}, &engine);
+        !status.ok()) {
+      std::fprintf(stderr, "engine: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::vector<int32_t> labels;
+    Stopwatch cold_timer;
+    if (const Status status = engine->AssignBatch(queries, &labels);
+        !status.ok()) {
+      std::fprintf(stderr, "assign: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    run.assign_cold_seconds = cold_timer.ElapsedSeconds();
+    if (assign_reference.empty()) {
+      assign_reference = labels;
+    }
+    all_match = all_match && labels == assign_reference;
+
+    Stopwatch warm_timer;
+    if (const Status status = engine->AssignBatch(queries, &labels);
+        !status.ok()) {
+      std::fprintf(stderr, "assign: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    run.assign_warm_seconds = warm_timer.ElapsedSeconds();
+    all_match = all_match && labels == assign_reference;
+
+    const CacheCounters after = TotalCounters();
+    const uint64_t hits = after.hits - before.hits;
+    const uint64_t misses = after.misses - before.misses;
+    run.hit_rate = hits + misses > 0
+                       ? static_cast<double>(hits) /
+                             static_cast<double>(hits + misses)
+                       : 0.0;
+    run.evictions = after.evictions - before.evictions;
+    table.AddRow({std::to_string(budget_mb),
+                  bench::FormatSeconds(run.fit_seconds),
+                  bench::FormatSeconds(run.refit_seconds),
+                  bench::FormatSeconds(run.assign_cold_seconds),
+                  bench::FormatSeconds(run.assign_warm_seconds),
+                  bench::FormatDouble(run.hit_rate, 4),
+                  std::to_string(run.evictions)});
+    runs.push_back(run);
+  }
+  table.Print();
+
+  // RSS ceiling: many concurrent solves sharing one small budget must not
+  // multiply resident memory by the solver count — the shared budget (not
+  // per-solve max_bytes) bounds cached rows.
+  cache::SharedRowCache::Global().Clear();
+  cache::CacheManager::SetGlobalLimitBytes(
+      static_cast<size_t>(tiny_mb) << 20);
+  const uint64_t rss_before_kb = RssKb();
+  std::vector<std::thread> solvers;
+  std::vector<int> failures(static_cast<size_t>(num_solvers), 0);
+  for (int s = 0; s < num_solvers; ++s) {
+    solvers.emplace_back([&, s] {
+      Clustering solo;
+      if (!RunDbsvec(dataset, params, &solo).ok() ||
+          solo.labels != fit_reference) {
+        failures[static_cast<size_t>(s)] = 1;
+      }
+    });
+  }
+  for (std::thread& solver : solvers) {
+    solver.join();
+  }
+  const uint64_t rss_after_kb = RssKb();
+  const int64_t rss_delta_mb =
+      (static_cast<int64_t>(rss_after_kb) -
+       static_cast<int64_t>(rss_before_kb)) /
+      1024;
+  for (const int failed : failures) {
+    all_match = all_match && failed == 0;
+  }
+  const bool rss_ok =
+      rss_before_kb == 0 || rss_delta_mb <= rss_ceiling_mb;
+  std::printf("concurrent solves: %d solvers, rss delta %lld MB "
+              "(ceiling %lld MB) %s\n",
+              num_solvers, static_cast<long long>(rss_delta_mb),
+              static_cast<long long>(rss_ceiling_mb),
+              rss_ok ? "OK" : "FAIL");
+  cache::SharedRowCache::Global().Clear();
+  cache::CacheManager::SetGlobalLimitBytes(0);
+
+  std::ofstream json(json_path);
+  json << "{\n"
+       << "  \"workload\": {\"n\": " << data.n << ", \"dim\": " << data.dim
+       << ", \"eps\": " << epsilon << ", \"minpts\": " << min_pts
+       << ", \"seed\": " << data.seed << ", \"queries\": " << num_queries
+       << "},\n"
+       << "  \"deterministic\": " << (all_match ? "true" : "false")
+       << ",\n"
+       << "  \"concurrent_solvers\": " << num_solvers << ",\n"
+       << "  \"rss_delta_mb\": " << rss_delta_mb << ",\n"
+       << "  \"rss_ceiling_mb\": " << rss_ceiling_mb << ",\n"
+       << "  \"rss_ok\": " << (rss_ok ? "true" : "false") << ",\n"
+       << "  \"runs\": [\n";
+  for (size_t i = 0; i < runs.size(); ++i) {
+    const BudgetRun& run = runs[i];
+    json << "    {\"budget_mb\": " << run.budget_mb
+         << ", \"fit_seconds\": " << run.fit_seconds
+         << ", \"refit_seconds\": " << run.refit_seconds
+         << ", \"assign_cold_seconds\": " << run.assign_cold_seconds
+         << ", \"assign_warm_seconds\": " << run.assign_warm_seconds
+         << ", \"hit_rate\": " << run.hit_rate
+         << ", \"evictions\": " << run.evictions << "}"
+         << (i + 1 < runs.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  std::printf("[json written to %s]\n", json_path.c_str());
+
+  if (!all_match) {
+    std::fprintf(stderr, "FAIL: labels diverged across cache budgets\n");
+    return 1;
+  }
+  if (!rss_ok) {
+    std::fprintf(stderr, "FAIL: concurrent solves exceeded the RSS "
+                         "ceiling\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace dbsvec
+
+int main(int argc, char** argv) { return dbsvec::Main(argc, argv); }

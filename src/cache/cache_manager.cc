@@ -1,0 +1,216 @@
+#include "cache/cache_manager.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "fault/failpoint.h"
+
+namespace dbsvec::cache {
+namespace {
+
+/// DBSVEC_CACHE_MB at process start; 0 (disabled) when unset, negative,
+/// or unparsable — a bad value silently disabling the cache is acceptable,
+/// a bad value aborting a serving process is not.
+size_t LimitFromEnv() {
+  const char* env = std::getenv("DBSVEC_CACHE_MB");
+  if (env == nullptr || env[0] == '\0') {
+    return 0;
+  }
+  char* end = nullptr;
+  const long long mb = std::strtoll(env, &end, 10);
+  if (end == env || *end != '\0' || mb <= 0) {
+    return 0;
+  }
+  return static_cast<size_t>(mb) << 20;
+}
+
+}  // namespace
+
+bool CacheHandle::Reserve(size_t bytes) {
+  // The failpoint simulates an allocation failure: the reservation is
+  // refused exactly as if the budget were exhausted, so the caller's
+  // evict-and-retry / compute-uncached degradation path runs for real.
+  if (!FailpointCheck("cache.reserve").ok()) {
+    return false;
+  }
+  // Per-cache share first...
+  uint64_t used = used_.load(std::memory_order_relaxed);
+  do {
+    if (used + bytes > limit_.load(std::memory_order_relaxed)) {
+      return false;
+    }
+  } while (!used_.compare_exchange_weak(used, used + bytes,
+                                        std::memory_order_relaxed));
+  // ...then the global budget. Shares always sum to at most the global
+  // limit, but this second check keeps the Σ-accounted ≤ limit invariant
+  // airtight across transient states (a rebalance or SetGlobalLimitBytes
+  // shrinking limits below current usage).
+  uint64_t global = manager_->used_bytes_.load(std::memory_order_relaxed);
+  do {
+    if (global + bytes >
+        manager_->limit_bytes_.load(std::memory_order_relaxed)) {
+      used_.fetch_sub(bytes, std::memory_order_relaxed);
+      return false;
+    }
+  } while (!manager_->used_bytes_.compare_exchange_weak(
+      global, global + bytes, std::memory_order_relaxed));
+  return true;
+}
+
+void CacheHandle::Release(size_t bytes) {
+  used_.fetch_sub(bytes, std::memory_order_relaxed);
+  manager_->used_bytes_.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+void CacheHandle::RecordAccess(bool hit) {
+  freq_.Record(hit);
+  manager_->NoteAccess();
+}
+
+CacheManager& CacheManager::Global() {
+  static CacheManager* manager = new CacheManager(LimitFromEnv());
+  return *manager;
+}
+
+void CacheManager::SetGlobalLimitBytes(size_t limit_bytes) {
+  Global().SetLimitBytes(limit_bytes);
+}
+
+void CacheManager::SetLimitBytes(size_t limit_bytes) {
+  limit_bytes_.store(limit_bytes, std::memory_order_relaxed);
+  Rebalance();
+}
+
+std::shared_ptr<CacheHandle> CacheManager::Register(
+    const std::string& name) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& handle : handles_) {
+      if (handle->name() == name) {
+        return handle;
+      }
+    }
+    handles_.push_back(
+        std::shared_ptr<CacheHandle>(new CacheHandle(this, name)));
+  }
+  // Even split on registration; demand-driven shares come with the next
+  // rebalance. Outside the lock: Rebalance takes mutex_ itself.
+  Rebalance();
+  return Register(name);
+}
+
+void CacheManager::NoteAccess() {
+  const uint64_t count =
+      accesses_since_rebalance_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (count >= kRebalanceInterval) {
+    // One thread wins the reset and runs the rebalance; the others carry
+    // on — losing a few counted accesses to the race is harmless.
+    uint64_t expected = count;
+    if (accesses_since_rebalance_.compare_exchange_strong(
+            expected, 0, std::memory_order_relaxed)) {
+      Rebalance();
+    }
+  }
+}
+
+void CacheManager::Rebalance() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const uint64_t total = limit_bytes_.load(std::memory_order_relaxed);
+  if (handles_.empty()) {
+    return;
+  }
+  if (total == 0) {
+    for (const auto& handle : handles_) {
+      handle->limit_.store(0, std::memory_order_relaxed);
+    }
+    return;
+  }
+  // Every cache keeps a floor of total/(4·caches) so a cold cache can
+  // still warm back up; the remainder follows the frequency windows. A
+  // +1 smoothing keeps the split defined before any traffic.
+  const uint64_t floor_share =
+      total / (4 * static_cast<uint64_t>(handles_.size()));
+  std::vector<uint64_t> demand(handles_.size());
+  uint64_t demand_sum = 0;
+  for (size_t i = 0; i < handles_.size(); ++i) {
+    demand[i] = handles_[i]->frequency().Window().accesses + 1;
+    demand_sum += demand[i];
+  }
+  const uint64_t remainder =
+      total - floor_share * static_cast<uint64_t>(handles_.size());
+  uint64_t assigned = 0;
+  size_t hottest = 0;
+  for (size_t i = 0; i < handles_.size(); ++i) {
+    const uint64_t share =
+        floor_share + remainder * demand[i] / demand_sum;
+    handles_[i]->limit_.store(share, std::memory_order_relaxed);
+    assigned += share;
+    if (demand[i] > demand[hottest]) {
+      hottest = i;
+    }
+  }
+  // Integer-division slack goes to the hottest cache, so shares always
+  // sum to exactly the global limit.
+  if (assigned < total) {
+    handles_[hottest]->limit_.fetch_add(total - assigned,
+                                        std::memory_order_relaxed);
+  }
+  rebalances_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<CacheStats> CacheManager::Stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<CacheStats> stats;
+  stats.reserve(handles_.size());
+  for (const auto& handle : handles_) {
+    CacheStats s;
+    s.name = handle->name();
+    s.limit_bytes = handle->limit_bytes();
+    s.used_bytes = handle->used_bytes();
+    s.entries = handle->entries();
+    const uint64_t accesses = handle->frequency().total_accesses();
+    s.hits = handle->frequency().total_hits();
+    s.misses = accesses - s.hits;
+    s.evictions = handle->evictions();
+    const FrequencyBuffer::Snapshot window = handle->frequency().Window();
+    s.window_hit_rate =
+        window.accesses == 0
+            ? 0.0
+            : static_cast<double>(window.hits) /
+                  static_cast<double>(window.accesses);
+    stats.push_back(std::move(s));
+  }
+  return stats;
+}
+
+std::string CacheManager::StatsJson() const {
+  std::string out = "{";
+  out += "\"enabled\":";
+  out += enabled() ? "true" : "false";
+  out += ",\"limit_bytes\":" + std::to_string(limit_bytes());
+  out += ",\"used_bytes\":" + std::to_string(used_bytes());
+  out += ",\"rebalances\":" + std::to_string(rebalances());
+  out += ",\"caches\":[";
+  const std::vector<CacheStats> stats = Stats();
+  for (size_t i = 0; i < stats.size(); ++i) {
+    const CacheStats& s = stats[i];
+    if (i > 0) {
+      out += ",";
+    }
+    out += "{\"name\":\"" + s.name + "\"";
+    out += ",\"limit_bytes\":" + std::to_string(s.limit_bytes);
+    out += ",\"used_bytes\":" + std::to_string(s.used_bytes);
+    out += ",\"entries\":" + std::to_string(s.entries);
+    out += ",\"hits\":" + std::to_string(s.hits);
+    out += ",\"misses\":" + std::to_string(s.misses);
+    out += ",\"evictions\":" + std::to_string(s.evictions);
+    char rate[32];
+    std::snprintf(rate, sizeof(rate), "%.4f", s.window_hit_rate);
+    out += ",\"window_hit_rate\":" + std::string(rate);
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace dbsvec::cache

@@ -1,0 +1,182 @@
+#ifndef DBSVEC_CACHE_CACHE_MANAGER_H_
+#define DBSVEC_CACHE_CACHE_MANAGER_H_
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "cache/frequency_buffer.h"
+
+namespace dbsvec::cache {
+
+class CacheManager;
+
+/// Budget account of one registered cache (the PlainCache-facing half of
+/// the ArangoDB Manager split): the owning cache reserves bytes before
+/// inserting an entry, releases them on eviction, and reports every access
+/// into the frequency buffer the manager rebalances from.
+///
+/// All operations are lock-free atomics, safe from any thread. A handle
+/// never owns cache entries — eviction policy stays with the cache; the
+/// handle only says whether the bytes fit.
+class CacheHandle {
+ public:
+  /// Tries to account `bytes` against this cache's share and the global
+  /// budget. Returns false when either would be exceeded (or when the
+  /// `cache.reserve` failpoint simulates an allocation failure) — the
+  /// caller must evict and retry, or fall back to computing uncached.
+  bool Reserve(size_t bytes);
+
+  /// Returns bytes previously reserved.
+  void Release(size_t bytes);
+
+  /// Reports one lookup into the frequency buffer; the manager rebalances
+  /// shares every few thousand recorded accesses across all caches.
+  void RecordAccess(bool hit);
+
+  /// Instrumentation: entries evicted by the owning cache.
+  void RecordEviction() {
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+  /// Entry-count bookkeeping (occupancy reporting only).
+  void AddEntries(int64_t delta) {
+    entries_.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  const std::string& name() const { return name_; }
+  size_t used_bytes() const {
+    return used_.load(std::memory_order_relaxed);
+  }
+  size_t limit_bytes() const {
+    return limit_.load(std::memory_order_relaxed);
+  }
+  /// True when a rebalance (or a global limit change) shrank this cache's
+  /// share below its current usage; the owning cache should evict on its
+  /// next access until this clears.
+  bool over_limit() const { return used_bytes() > limit_bytes(); }
+  uint64_t entries() const {
+    return static_cast<uint64_t>(
+        std::max<int64_t>(0, entries_.load(std::memory_order_relaxed)));
+  }
+  uint64_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
+  const FrequencyBuffer& frequency() const { return freq_; }
+
+ private:
+  friend class CacheManager;
+  CacheHandle(CacheManager* manager, std::string name)
+      : manager_(manager), name_(std::move(name)) {}
+
+  CacheManager* manager_;
+  const std::string name_;
+  std::atomic<uint64_t> used_{0};
+  std::atomic<uint64_t> limit_{0};
+  std::atomic<int64_t> entries_{0};
+  std::atomic<uint64_t> evictions_{0};
+  FrequencyBuffer freq_;
+};
+
+/// Point-in-time statistics of one registered cache (for /v1/statz).
+struct CacheStats {
+  std::string name;
+  uint64_t limit_bytes = 0;
+  uint64_t used_bytes = 0;
+  uint64_t entries = 0;
+  uint64_t hits = 0;        ///< Cumulative.
+  uint64_t misses = 0;      ///< Cumulative.
+  uint64_t evictions = 0;
+  double window_hit_rate = 0.0;  ///< Over the frequency-buffer window.
+};
+
+/// Process-wide memory-budgeted cache manager (the Manager role of the
+/// ArangoDB Manager / PlainCache / FrequencyBuffer split).
+///
+/// One global byte budget is divided into per-cache shares. Every
+/// registered cache accounts its entries through a CacheHandle; the
+/// invariant — enforced by Reserve checking both the per-cache share and
+/// the global used-bytes atomic — is that the sum of accounted bytes never
+/// exceeds the global limit, even transiently while a rebalance is
+/// shifting shares. Shares are redistributed toward the caches with the
+/// most recent demand (frequency-buffer window accesses) every
+/// kRebalanceInterval recorded accesses; a cache whose share shrank below
+/// its usage evicts on its own next access (the manager never reaches into
+/// a cache's entries).
+///
+/// A zero limit disables the manager: enabled() is false and clients keep
+/// their legacy per-instance behavior. The process-wide instance
+/// (Global()) reads DBSVEC_CACHE_MB at first use; SetGlobalLimitBytes
+/// (the --cache-mb flag) overrides it at any time.
+class CacheManager {
+ public:
+  /// Accesses between automatic rebalances (across all caches).
+  static constexpr uint64_t kRebalanceInterval = 4096;
+
+  explicit CacheManager(size_t limit_bytes) : limit_bytes_(limit_bytes) {}
+
+  /// The process-wide manager. First use reads DBSVEC_CACHE_MB (megabytes;
+  /// unset/0/unparsable = disabled).
+  static CacheManager& Global();
+  /// Overrides the Global() budget (0 disables). Existing caches whose
+  /// share now exceeds the new limit evict on their next access.
+  static void SetGlobalLimitBytes(size_t limit_bytes);
+
+  /// True when a non-zero budget is set. Disabled managers hand out
+  /// handles whose Reserve always fails, so clients usually check this
+  /// once and keep their legacy uncached/locally-bounded path.
+  bool enabled() const {
+    return limit_bytes_.load(std::memory_order_relaxed) > 0;
+  }
+
+  /// Returns the handle registered under `name`, creating it on first use
+  /// (idempotent — all KernelCache instances share the "kernel_rows"
+  /// account). Registration splits the budget evenly across all handles;
+  /// the next rebalance shifts it toward measured demand.
+  std::shared_ptr<CacheHandle> Register(const std::string& name);
+
+  /// Redistributes per-cache shares by frequency-window demand: every
+  /// cache keeps a floor of limit/(4·caches) and the remainder is split
+  /// proportionally to window accesses. Runs automatically every
+  /// kRebalanceInterval accesses; public for tests and for explicit
+  /// pressure handling.
+  void Rebalance();
+
+  size_t limit_bytes() const {
+    return limit_bytes_.load(std::memory_order_relaxed);
+  }
+  size_t used_bytes() const {
+    return used_bytes_.load(std::memory_order_relaxed);
+  }
+  uint64_t rebalances() const {
+    return rebalances_.load(std::memory_order_relaxed);
+  }
+
+  std::vector<CacheStats> Stats() const;
+  /// JSON object for /v1/statz: {"enabled":...,"limit_bytes":...,
+  /// "used_bytes":...,"rebalances":...,"caches":[{...},...]}.
+  std::string StatsJson() const;
+
+ private:
+  friend class CacheHandle;
+
+  /// Resets the budget (SetGlobalLimitBytes) and re-splits shares.
+  void SetLimitBytes(size_t limit_bytes);
+  /// Called by CacheHandle::RecordAccess; triggers the periodic rebalance.
+  void NoteAccess();
+
+  std::atomic<uint64_t> limit_bytes_;
+  std::atomic<uint64_t> used_bytes_{0};  ///< Sum of all handle used_bytes.
+  std::atomic<uint64_t> rebalances_{0};
+  std::atomic<uint64_t> accesses_since_rebalance_{0};
+
+  mutable std::mutex mutex_;  ///< Guards handles_ and share re-splits.
+  std::vector<std::shared_ptr<CacheHandle>> handles_;
+};
+
+}  // namespace dbsvec::cache
+
+#endif  // DBSVEC_CACHE_CACHE_MANAGER_H_

@@ -1,0 +1,81 @@
+#ifndef DBSVEC_CACHE_FREQUENCY_BUFFER_H_
+#define DBSVEC_CACHE_FREQUENCY_BUFFER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace dbsvec::cache {
+
+/// Wait-free ring buffer of recent cache accesses, the signal the
+/// CacheManager's rebalancer reads (the FrequencyBuffer role of the
+/// ArangoDB cache subsystem): each access stamps one slot with hit/miss,
+/// overwriting the oldest, so the window always reflects the last
+/// `capacity` accesses without any reset or epoch bookkeeping.
+///
+/// Record is a relaxed fetch_add plus one relaxed byte store, safe from
+/// any number of threads; Window() is an approximate racy scan, which is
+/// fine — the rebalancer wants a demand *signal*, not an exact count.
+class FrequencyBuffer {
+ public:
+  explicit FrequencyBuffer(size_t capacity = 1024)
+      : slots_(capacity), cursor_(0) {
+    for (auto& slot : slots_) {
+      slot.store(kEmpty, std::memory_order_relaxed);
+    }
+  }
+
+  /// Stamps one access into the ring.
+  void Record(bool hit) {
+    const uint64_t at = cursor_.fetch_add(1, std::memory_order_relaxed);
+    slots_[at % slots_.size()].store(hit ? kHit : kMiss,
+                                     std::memory_order_relaxed);
+    total_accesses_.fetch_add(1, std::memory_order_relaxed);
+    if (hit) {
+      total_hits_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  struct Snapshot {
+    uint64_t accesses = 0;  ///< Stamped slots in the window.
+    uint64_t hits = 0;      ///< Hit slots among them.
+  };
+
+  /// Hit/miss tallies over the last `capacity` accesses.
+  Snapshot Window() const {
+    Snapshot snapshot;
+    for (const auto& slot : slots_) {
+      const uint8_t value = slot.load(std::memory_order_relaxed);
+      if (value == kEmpty) {
+        continue;
+      }
+      ++snapshot.accesses;
+      if (value == kHit) {
+        ++snapshot.hits;
+      }
+    }
+    return snapshot;
+  }
+
+  /// Cumulative totals since construction.
+  uint64_t total_accesses() const {
+    return total_accesses_.load(std::memory_order_relaxed);
+  }
+  uint64_t total_hits() const {
+    return total_hits_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  static constexpr uint8_t kEmpty = 0;
+  static constexpr uint8_t kMiss = 1;
+  static constexpr uint8_t kHit = 2;
+
+  std::vector<std::atomic<uint8_t>> slots_;
+  std::atomic<uint64_t> cursor_;
+  std::atomic<uint64_t> total_accesses_{0};
+  std::atomic<uint64_t> total_hits_{0};
+};
+
+}  // namespace dbsvec::cache
+
+#endif  // DBSVEC_CACHE_FREQUENCY_BUFFER_H_

@@ -1,0 +1,117 @@
+#include "cache/query_cell_cache.h"
+
+#include <cmath>
+#include <utility>
+
+namespace dbsvec::cache {
+
+QueryCellCache::QueryCellCache(const NeighborIndex* index, double epsilon,
+                               int dim,
+                               std::shared_ptr<CacheHandle> handle,
+                               int num_stripes)
+    : index_(index),
+      cell_side_(epsilon * kCellFraction),
+      // Any in-cell query sits within half the cell diagonal of the cell
+      // center, so candidates within ε of the query are within
+      // ε + (side/2)·√d of the center. The 1e-9 relative slack absorbs
+      // floating-point rounding of the center coordinates and the
+      // distance comparison — the triangle inequality is exact only in
+      // real arithmetic, and a candidate lost to an ulp would break the
+      // bit-identical-labels contract.
+      inflated_epsilon_((epsilon + 0.5 * epsilon * kCellFraction *
+                                       std::sqrt(static_cast<double>(dim))) *
+                        (1.0 + 1e-9)),
+      dim_(dim),
+      handle_(std::move(handle)) {
+  stripes_.reserve(static_cast<size_t>(num_stripes));
+  for (int i = 0; i < num_stripes; ++i) {
+    stripes_.push_back(std::make_unique<Stripe>());
+  }
+}
+
+void QueryCellCache::EvictOne(Stripe* stripe) {
+  const CellKey victim = stripe->lru.back();
+  stripe->lru.pop_back();
+  const auto it = stripe->cells.find(victim);
+  handle_->Release(it->second.bytes);
+  handle_->AddEntries(-1);
+  handle_->RecordEviction();
+  stripe->cells.erase(it);
+}
+
+void QueryCellCache::Candidates(std::span<const double> query,
+                                std::vector<PointIndex>* candidates) {
+  CellKey key;
+  key.cell.resize(query.size());
+  for (size_t d = 0; d < query.size(); ++d) {
+    const double cell = std::floor(query[d] / cell_side_);
+    if (!(cell >= -9.0e15 && cell <= 9.0e15)) {
+      // Quantization would overflow int64 (a far-out query with the
+      // sphere prefilter disabled): serve it uncached. Still a superset
+      // of the ε-neighborhood, so the caller's exact filter is unchanged.
+      index_->RangeQuery(query, inflated_epsilon_, candidates);
+      handle_->RecordAccess(false);
+      return;
+    }
+    key.cell[d] = static_cast<int64_t>(cell);
+  }
+  Stripe& stripe = StripeFor(key);
+  {
+    std::lock_guard<std::mutex> lock(stripe.mutex);
+    const auto it = stripe.cells.find(key);
+    if (it != stripe.cells.end()) {
+      stripe.lru.splice(stripe.lru.begin(), stripe.lru,
+                        it->second.lru_pos);
+      *candidates = it->second.candidates;
+      handle_->RecordAccess(true);
+      return;
+    }
+  }
+  handle_->RecordAccess(false);
+  // Miss: one inflated range query at the cell center covers every query
+  // this cell will ever see. Computed outside the stripe lock — a
+  // concurrent miss on the same cell computes the same set twice and the
+  // second insert is a no-op.
+  std::vector<double> center(query.size());
+  for (size_t d = 0; d < query.size(); ++d) {
+    center[d] =
+        (static_cast<double>(key.cell[d]) + 0.5) * cell_side_;
+  }
+  index_->RangeQuery(center, inflated_epsilon_, candidates);
+  const size_t bytes = key.cell.size() * sizeof(int64_t) +
+                       candidates->size() * sizeof(PointIndex) +
+                       kEntryOverheadBytes;
+  std::lock_guard<std::mutex> lock(stripe.mutex);
+  if (stripe.cells.find(key) != stripe.cells.end()) {
+    return;
+  }
+  while (handle_->over_limit() && !stripe.lru.empty()) {
+    EvictOne(&stripe);
+  }
+  while (!handle_->Reserve(bytes)) {
+    if (stripe.lru.empty()) {
+      return;  // Does not fit at all: serve uncached.
+    }
+    EvictOne(&stripe);
+  }
+  stripe.lru.push_front(key);
+  Entry& entry = stripe.cells[key];
+  entry.candidates = *candidates;
+  entry.bytes = bytes;
+  entry.lru_pos = stripe.lru.begin();
+  handle_->AddEntries(1);
+}
+
+void QueryCellCache::Clear() {
+  for (const auto& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe->mutex);
+    for (const auto& [key, entry] : stripe->cells) {
+      handle_->Release(entry.bytes);
+      handle_->AddEntries(-1);
+    }
+    stripe->cells.clear();
+    stripe->lru.clear();
+  }
+}
+
+}  // namespace dbsvec::cache

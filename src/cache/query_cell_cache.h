@@ -1,0 +1,107 @@
+#ifndef DBSVEC_CACHE_QUERY_CELL_CACHE_H_
+#define DBSVEC_CACHE_QUERY_CELL_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/cache_manager.h"
+#include "common/dataset.h"
+#include "index/neighbor_index.h"
+
+namespace dbsvec::cache {
+
+/// Serving-side cache of hot assign-path range-query results, keyed by the
+/// quantized query cell (one AssignmentEngine = one model snapshot, so the
+/// model identity is implicit in the cache's lifetime — a /v1/reload swaps
+/// in a new engine with a fresh cache via the RCU EngineHandle).
+///
+/// Design: space is quantized into cells of side ε/4. A cell's entry holds
+/// the *superset* of core candidates any in-cell query can reach — the
+/// result of one range query at the cell center with radius inflated by
+/// the cell half-diagonal (plus a relative slack absorbing floating-point
+/// rounding in the triangle inequality). The caller re-filters candidates
+/// with exact squared distances (bit-identical to the index's own leaf
+/// scans), so labels are exactly what the uncached path produces; the
+/// cache only changes how many points the exact filter touches.
+///
+/// Entries live in lock-striped LRU buckets accounted against the
+/// manager's "assign_query" share; a candidate set the budget cannot admit
+/// is not cached and the query falls through to the index.
+class QueryCellCache {
+ public:
+  static constexpr size_t kEntryOverheadBytes = 160;
+  /// Cell side as a fraction of ε: smaller cells mean tighter candidate
+  /// supersets (less exact-filter work per hit) but more distinct cells.
+  static constexpr double kCellFraction = 0.25;
+
+  QueryCellCache(const NeighborIndex* index, double epsilon, int dim,
+                 std::shared_ptr<CacheHandle> handle, int num_stripes = 16);
+  /// Returns every accounted byte to the manager (an engine's cache dies
+  /// on /v1/reload; its budget must not leak with it).
+  ~QueryCellCache() { Clear(); }
+
+  QueryCellCache(const QueryCellCache&) = delete;
+  QueryCellCache& operator=(const QueryCellCache&) = delete;
+
+  /// Fills `*candidates` with a superset of the core ids within ε of
+  /// `query` — from the cell's cached entry, or by issuing the inflated
+  /// range query and caching it. The caller must filter by exact distance.
+  void Candidates(std::span<const double> query,
+                  std::vector<PointIndex>* candidates);
+
+  /// Drops every entry (online refresh changes what a cell *could* answer
+  /// for the overlay path, so absorption clears the cache even though the
+  /// static-index candidates it stores would remain valid).
+  void Clear();
+
+  const CacheHandle& handle() const { return *handle_; }
+
+ private:
+  struct CellKey {
+    std::vector<int64_t> cell;
+    bool operator==(const CellKey& other) const {
+      return cell == other.cell;
+    }
+  };
+  struct CellKeyHash {
+    size_t operator()(const CellKey& key) const {
+      uint64_t h = 1469598103934665603ULL;
+      for (const int64_t c : key.cell) {
+        h ^= static_cast<uint64_t>(c);
+        h *= 1099511628211ULL;
+      }
+      return static_cast<size_t>(h);
+    }
+  };
+  struct Entry {
+    std::vector<PointIndex> candidates;
+    size_t bytes = 0;
+    std::list<CellKey>::iterator lru_pos;
+  };
+  struct Stripe {
+    std::mutex mutex;
+    std::list<CellKey> lru;  ///< Most recent at the front.
+    std::unordered_map<CellKey, Entry, CellKeyHash> cells;
+  };
+
+  Stripe& StripeFor(const CellKey& key) {
+    return *stripes_[CellKeyHash()(key) % stripes_.size()];
+  }
+  void EvictOne(Stripe* stripe);
+
+  const NeighborIndex* index_;
+  const double cell_side_;
+  const double inflated_epsilon_;
+  const int dim_;
+  std::shared_ptr<CacheHandle> handle_;
+  std::vector<std::unique_ptr<Stripe>> stripes_;
+};
+
+}  // namespace dbsvec::cache
+
+#endif  // DBSVEC_CACHE_QUERY_CELL_CACHE_H_

@@ -1,0 +1,155 @@
+#include "cache/shared_row_cache.h"
+
+#include <cstring>
+#include <utility>
+
+namespace dbsvec::cache {
+namespace {
+
+constexpr uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr uint64_t kFnvPrime = 1099511628211ULL;
+
+uint64_t FnvMix(uint64_t hash, const void* data, size_t bytes) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < bytes; ++i) {
+    hash ^= p[i];
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+}  // namespace
+
+TargetSignature MakeTargetSignature(const Dataset& dataset,
+                                    std::span<const PointIndex> target,
+                                    double sigma) {
+  TargetSignature signature;
+  std::memcpy(&signature.sigma_bits, &sigma, sizeof(sigma));
+  signature.ids.assign(target.begin(), target.end());
+  uint64_t fp = kFnvOffset;
+  const int dim = dataset.dim();
+  fp = FnvMix(fp, &dim, sizeof(dim));
+  for (const PointIndex i : target) {
+    const auto point = dataset.point(i);
+    fp = FnvMix(fp, point.data(), point.size() * sizeof(double));
+  }
+  signature.coord_fp = fp;
+  return signature;
+}
+
+SharedRowCache::SharedRowCache(std::shared_ptr<CacheHandle> handle,
+                               int num_stripes)
+    : handle_(std::move(handle)) {
+  stripes_.reserve(static_cast<size_t>(num_stripes));
+  for (int i = 0; i < num_stripes; ++i) {
+    stripes_.push_back(std::make_unique<Stripe>());
+  }
+}
+
+SharedRowCache& SharedRowCache::Global() {
+  static SharedRowCache* cache = new SharedRowCache(
+      CacheManager::Global().Register("svdd_rows"));
+  return *cache;
+}
+
+uint64_t SharedRowCache::InternSignature(TargetSignature signature) {
+  const size_t bytes =
+      signature.ids.size() * sizeof(PointIndex) + kEntryOverheadBytes;
+  std::lock_guard<std::mutex> lock(sig_mutex_);
+  for (auto it = signatures_.begin(); it != signatures_.end(); ++it) {
+    if (it->signature == signature) {
+      signatures_.splice(signatures_.begin(), signatures_, it);
+      return it->token;
+    }
+  }
+  while (signatures_.size() >= kMaxSignatures) {
+    handle_->Release(signatures_.back().bytes);
+    signatures_.pop_back();
+  }
+  // The registry is bounded and tiny next to the row store, but its id
+  // vectors are real memory — account them. A refused reservation still
+  // interns (tokens must exist for the row store to work) with zero
+  // accounted bytes; at most kMaxSignatures id vectors ride unaccounted.
+  const size_t accounted = handle_->Reserve(bytes) ? bytes : 0;
+  const uint64_t token = next_token_++;
+  signatures_.push_front(
+      {.signature = std::move(signature), .token = token,
+       .bytes = accounted});
+  return token;
+}
+
+std::shared_ptr<const std::vector<float>> SharedRowCache::Lookup(
+    uint64_t token, int row) {
+  const RowKey key{token, row};
+  Stripe& stripe = StripeFor(key);
+  std::shared_ptr<const std::vector<float>> values;
+  {
+    std::lock_guard<std::mutex> lock(stripe.mutex);
+    const auto it = stripe.rows.find(key);
+    if (it != stripe.rows.end()) {
+      stripe.lru.splice(stripe.lru.begin(), stripe.lru,
+                        it->second.lru_pos);
+      values = it->second.values;
+    }
+  }
+  handle_->RecordAccess(values != nullptr);
+  return values;
+}
+
+void SharedRowCache::EvictOne(Stripe* stripe) {
+  const RowKey victim = stripe->lru.back();
+  stripe->lru.pop_back();
+  const auto it = stripe->rows.find(victim);
+  handle_->Release(it->second.bytes);
+  handle_->AddEntries(-1);
+  handle_->RecordEviction();
+  stripe->rows.erase(it);
+}
+
+void SharedRowCache::Insert(uint64_t token, int row,
+                            std::shared_ptr<const std::vector<float>> values) {
+  const RowKey key{token, row};
+  const size_t bytes =
+      values->size() * sizeof(float) + kEntryOverheadBytes;
+  Stripe& stripe = StripeFor(key);
+  std::lock_guard<std::mutex> lock(stripe.mutex);
+  if (stripe.rows.find(key) != stripe.rows.end()) {
+    return;  // A concurrent solve cached it first (same bits either way).
+  }
+  // Shrink this stripe while the share is under pressure, then reserve;
+  // a row that still does not fit is simply not cached.
+  while (handle_->over_limit() && !stripe.lru.empty()) {
+    EvictOne(&stripe);
+  }
+  while (!handle_->Reserve(bytes)) {
+    if (stripe.lru.empty()) {
+      return;
+    }
+    EvictOne(&stripe);
+  }
+  stripe.lru.push_front(key);
+  Entry& entry = stripe.rows[key];
+  entry.values = std::move(values);
+  entry.bytes = bytes;
+  entry.lru_pos = stripe.lru.begin();
+  handle_->AddEntries(1);
+}
+
+void SharedRowCache::Clear() {
+  for (const auto& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe->mutex);
+    for (const auto& [key, entry] : stripe->rows) {
+      handle_->Release(entry.bytes);
+      handle_->AddEntries(-1);
+    }
+    stripe->rows.clear();
+    stripe->lru.clear();
+  }
+  std::lock_guard<std::mutex> lock(sig_mutex_);
+  for (const InternedSignature& sig : signatures_) {
+    handle_->Release(sig.bytes);
+  }
+  signatures_.clear();
+}
+
+}  // namespace dbsvec::cache

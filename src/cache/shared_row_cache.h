@@ -1,0 +1,143 @@
+#ifndef DBSVEC_CACHE_SHARED_ROW_CACHE_H_
+#define DBSVEC_CACHE_SHARED_ROW_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/cache_manager.h"
+#include "common/dataset.h"
+
+namespace dbsvec::cache {
+
+/// Identity of one kernel matrix: a kernel row depends on the *entire*
+/// target set (ids and coordinates) and the Gaussian width, so rows are
+/// only shareable between solves whose signatures match exactly. The
+/// coordinate fingerprint is a 64-bit FNV-1a over every target coordinate:
+/// together with the exact id-vector and sigma-bits comparison it guards
+/// against a recycled Dataset reusing the same indices with different
+/// contents (residual false-match odds are one 64-bit hash collision on
+/// top of identical ids — negligible against any hardware error rate).
+struct TargetSignature {
+  uint64_t sigma_bits = 0;  ///< Bit pattern of the kernel sigma.
+  uint64_t coord_fp = 0;    ///< FNV-1a over all target coordinates.
+  std::vector<PointIndex> ids;
+
+  bool operator==(const TargetSignature& other) const {
+    return sigma_bits == other.sigma_bits && coord_fp == other.coord_fp &&
+           ids == other.ids;
+  }
+};
+
+/// Builds the signature of (dataset, target, sigma). O(ñ·d) — one pass
+/// over the target coordinates, paid once per KernelCache construction.
+TargetSignature MakeTargetSignature(const Dataset& dataset,
+                                    std::span<const PointIndex> target,
+                                    double sigma);
+
+/// Process-wide store of materialized kernel rows, shared across SVDD
+/// solves (the PlainCache role): repeated or concurrent fits over the same
+/// target set pull rows from here instead of recomputing O(ñ·d) kernel
+/// evaluations per row. Rows are bit-identical to a fresh computation, so
+/// consulting the store never changes results.
+///
+/// Signatures are interned into 64-bit tokens through a small exact-match
+/// registry (LRU-capped — a long-lived process sees unboundedly many
+/// target sets); row entries are keyed by (token, row) in lock-striped
+/// LRU buckets. Every byte — rows, and the interned id vectors — is
+/// accounted against the manager's "svdd_rows" share; reservation failure
+/// evicts from the stripe's LRU tail, and if the entry still does not fit
+/// it is simply not cached (the caller recomputes, never blocks).
+class SharedRowCache {
+ public:
+  /// Flat per-row-entry bookkeeping estimate: hash node + LRU node +
+  /// shared_ptr control block + vector header.
+  static constexpr size_t kEntryOverheadBytes = 160;
+  /// Interned signatures kept at most; beyond it the least recently
+  /// interned signature retires (its cached rows age out of the LRU
+  /// unmatched — tokens are never reused).
+  static constexpr size_t kMaxSignatures = 64;
+
+  SharedRowCache(std::shared_ptr<CacheHandle> handle, int num_stripes = 8);
+  /// Returns every accounted byte to the manager (the Global() instance
+  /// never dies; this matters for test-local instances).
+  ~SharedRowCache() { Clear(); }
+
+  SharedRowCache(const SharedRowCache&) = delete;
+  SharedRowCache& operator=(const SharedRowCache&) = delete;
+
+  /// The process-wide store over CacheManager::Global(), registered as
+  /// "svdd_rows".
+  static SharedRowCache& Global();
+
+  /// Interns `signature`, returning its token. Exact match against the
+  /// registry; an equal signature interned twice gets the same token.
+  uint64_t InternSignature(TargetSignature signature);
+
+  /// Looks up row `row` of the matrix identified by `token`. Records the
+  /// access; returns null on miss.
+  std::shared_ptr<const std::vector<float>> Lookup(uint64_t token, int row);
+
+  /// Offers a freshly computed row for caching. Best-effort: dropped when
+  /// the budget cannot admit it even after evicting this stripe.
+  void Insert(uint64_t token, int row,
+              std::shared_ptr<const std::vector<float>> values);
+
+  /// Drops every entry and interned signature (tests).
+  void Clear();
+
+  const CacheHandle& handle() const { return *handle_; }
+
+ private:
+  struct RowKey {
+    uint64_t token = 0;
+    int32_t row = 0;
+    bool operator==(const RowKey& other) const {
+      return token == other.token && row == other.row;
+    }
+  };
+  struct RowKeyHash {
+    size_t operator()(const RowKey& key) const {
+      uint64_t h = key.token * 0x9e3779b97f4a7c15ULL;
+      h ^= static_cast<uint64_t>(key.row) + (h >> 29);
+      return static_cast<size_t>(h * 0xff51afd7ed558ccdULL);
+    }
+  };
+  struct Entry {
+    std::shared_ptr<const std::vector<float>> values;
+    size_t bytes = 0;
+    std::list<RowKey>::iterator lru_pos;
+  };
+  struct Stripe {
+    std::mutex mutex;
+    std::list<RowKey> lru;  ///< Most recent at the front.
+    std::unordered_map<RowKey, Entry, RowKeyHash> rows;
+  };
+
+  Stripe& StripeFor(const RowKey& key) {
+    return *stripes_[RowKeyHash()(key) % stripes_.size()];
+  }
+  /// Evicts the stripe's LRU tail. Caller holds the stripe mutex.
+  void EvictOne(Stripe* stripe);
+
+  std::shared_ptr<CacheHandle> handle_;
+  std::vector<std::unique_ptr<Stripe>> stripes_;
+
+  // Signature registry: exact signatures with their tokens, LRU-capped.
+  std::mutex sig_mutex_;
+  struct InternedSignature {
+    TargetSignature signature;
+    uint64_t token = 0;
+    size_t bytes = 0;
+  };
+  std::list<InternedSignature> signatures_;  ///< Most recent at the front.
+  uint64_t next_token_ = 1;
+};
+
+}  // namespace dbsvec::cache
+
+#endif  // DBSVEC_CACHE_SHARED_ROW_CACHE_H_

@@ -63,6 +63,10 @@ struct CliOptions {
   uint64_t seed = 7;
   int threads = 0;  ///< 0 = hardware concurrency, 1 = sequential.
   int shards = 0;   ///< >= 1: sharded execution engine; 0 = unsharded.
+  /// Process-wide cache budget (docs/CACHING.md), in MiB. 0 disables the
+  /// cache manager (legacy per-solve caching); -1 (unset) defers to the
+  /// DBSVEC_CACHE_MB environment variable.
+  int64_t cache_mb = -1;
 
   bool compare_dbscan = false;  ///< Also run exact DBSCAN, report recall.
   bool show_help = false;

@@ -116,6 +116,11 @@ void ThreadPool::Execute(int num_tasks, const std::function<void(int)>& task) {
     }
     return;
   }
+  // One job slot: external submitters take turns. A submitter blocks for
+  // its own job's completion regardless, so serializing here changes no
+  // semantics for a single caller and makes concurrent callers (server
+  // workers running AssignBatch while another thread fits) correct.
+  std::lock_guard<std::mutex> submit_lock(submit_mutex_);
   {
     std::lock_guard<std::mutex> lock(mutex_);
     task_ = &task;

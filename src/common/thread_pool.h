@@ -94,6 +94,14 @@ class ThreadPool {
   std::vector<std::thread> workers_;
   const std::vector<int> pin_cpus_;
 
+  // Serializes external (non-worker) submitters: the pool has exactly one
+  // job slot (`task_`/`num_tasks_`/`next_task_`/`epoch_`), so two threads
+  // submitting concurrently — e.g. server workers each running AssignBatch —
+  // must take turns. Held across the whole job, which a submitter already
+  // blocks for anyway; nested calls from pool tasks run inline and never
+  // touch this.
+  std::mutex submit_mutex_;
+
   std::mutex mutex_;
   std::condition_variable wake_cv_;
   std::condition_variable done_cv_;

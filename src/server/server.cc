@@ -13,6 +13,7 @@
 #include <cstring>
 #include <utility>
 
+#include "cache/cache_manager.h"
 #include "fault/failpoint.h"
 #include "server/payload.h"
 #include "simd/simd.h"
@@ -675,7 +676,8 @@ std::string Server::HandleStatz() {
                        inflight_.load(std::memory_order_relaxed),
                        options_.max_inflight,
                        simd::BackendName(simd::ActiveBackend()),
-                       engine->shard_count());
+                       engine->shard_count(),
+                       cache::CacheManager::Global().StatsJson());
 }
 
 std::string Server::HandleReload(const HttpRequest& request,

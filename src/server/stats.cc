@@ -40,7 +40,8 @@ std::string ServerStats::ToJson(uint32_t model_version, uint32_t model_crc,
                                 uint64_t engine_sphere_rejections,
                                 uint64_t engine_range_queries, int inflight,
                                 int max_inflight, const char* simd_backend,
-                                int shard_count) const {
+                                int shard_count,
+                                const std::string& cache_manager_json) const {
   char crc_hex[16];
   std::snprintf(crc_hex, sizeof(crc_hex), "%08x", model_crc);
   std::string out = "{";
@@ -81,6 +82,9 @@ std::string ServerStats::ToJson(uint32_t model_version, uint32_t model_crc,
          std::to_string(assign_latency.PercentileMicros(50.0)) + ",";
   out += "\"assign_latency_p99_us\":" +
          std::to_string(assign_latency.PercentileMicros(99.0));
+  if (!cache_manager_json.empty()) {
+    out += ",\"cache_manager\":" + cache_manager_json;
+  }
   out += "}";
   return out;
 }

@@ -49,13 +49,16 @@ struct ServerStats {
   /// JSON object with every counter, assign p50/p99 (µs), the provided
   /// model identity fields, and the execution config of the serving
   /// engine: `simd_backend` (active SIMD dispatch backend name) and
-  /// `shard_count` (0 = unsharded).
+  /// `shard_count` (0 = unsharded). `cache_manager_json` (a pre-rendered
+  /// JSON object, typically CacheManager::StatsJson) is spliced in as the
+  /// `cache_manager` field when non-empty.
   std::string ToJson(uint32_t model_version, uint32_t model_crc,
                      uint64_t engine_points_assigned,
                      uint64_t engine_sphere_rejections,
                      uint64_t engine_range_queries, int inflight,
                      int max_inflight, const char* simd_backend,
-                     int shard_count) const;
+                     int shard_count,
+                     const std::string& cache_manager_json = "") const;
 };
 
 }  // namespace dbsvec::server

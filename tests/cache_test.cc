@@ -1,0 +1,663 @@
+// Process-wide memory-budgeted cache manager (docs/CACHING.md): budget
+// accounting under concurrency, demand-driven rebalancing, the shared
+// SVDD row store, the serving query-cell cache, and the contract that
+// matters above all of it — labels and statistics are bit-identical with
+// the cache manager on, off, or thrashing at a tiny budget.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cache/cache_manager.h"
+#include "cache/frequency_buffer.h"
+#include "cache/query_cell_cache.h"
+#include "cache/shared_row_cache.h"
+#include "cluster/clustering.h"
+#include "common/thread_pool.h"
+#include "core/dbsvec.h"
+#include "data/synthetic.h"
+#include "fault/failpoint.h"
+#include "serve/assignment_engine.h"
+#include "svm/kernel_cache.h"
+
+namespace dbsvec {
+namespace {
+
+using cache::CacheHandle;
+using cache::CacheManager;
+using cache::FrequencyBuffer;
+using cache::QueryCellCache;
+using cache::SharedRowCache;
+
+// Restores the global thread budget on scope exit.
+class ScopedThreads {
+ public:
+  explicit ScopedThreads(int threads) { SetGlobalThreads(threads); }
+  ~ScopedThreads() { SetGlobalThreads(0); }
+};
+
+// Sets the process-wide cache budget for one test block and restores the
+// disabled default on exit, dropping everything the shared row store
+// accumulated so tests stay order-independent within one process.
+class ScopedCacheBudget {
+ public:
+  explicit ScopedCacheBudget(size_t bytes) {
+    CacheManager::SetGlobalLimitBytes(bytes);
+  }
+  ~ScopedCacheBudget() {
+    SharedRowCache::Global().Clear();
+    CacheManager::SetGlobalLimitBytes(0);
+  }
+};
+
+Dataset BlobsDataset(int n, int dim, uint64_t seed) {
+  GaussianBlobsParams params;
+  params.n = n;
+  params.dim = dim;
+  params.num_clusters = 4;
+  params.noise_fraction = 0.03;
+  params.seed = seed;
+  return GenerateGaussianBlobs(params);
+}
+
+void ExpectSameClustering(const Clustering& a, const Clustering& b) {
+  EXPECT_EQ(a.num_clusters, b.num_clusters);
+  EXPECT_EQ(a.labels, b.labels);
+  EXPECT_EQ(a.point_types, b.point_types);
+  EXPECT_EQ(a.stats.num_range_queries, b.stats.num_range_queries);
+  EXPECT_EQ(a.stats.num_distance_computations,
+            b.stats.num_distance_computations);
+  EXPECT_EQ(a.stats.num_svdd_trainings, b.stats.num_svdd_trainings);
+  EXPECT_EQ(a.stats.num_support_vectors, b.stats.num_support_vectors);
+  EXPECT_EQ(a.stats.num_merges, b.stats.num_merges);
+  EXPECT_EQ(a.stats.smo_iterations, b.stats.smo_iterations);
+}
+
+Clustering FitReference(const Dataset& dataset, DbsvecModel* model = nullptr) {
+  DbsvecParams params;
+  params.epsilon = 6.0;
+  params.min_pts = 15;
+  params.classify_points = true;
+  Clustering clustering;
+  EXPECT_TRUE(RunDbsvec(dataset, params, &clustering, model).ok());
+  return clustering;
+}
+
+// ---------------------------------------------------------------------------
+// FrequencyBuffer
+// ---------------------------------------------------------------------------
+
+TEST(CacheFrequencyBufferTest, WindowTracksRecentAccesses) {
+  FrequencyBuffer buffer(8);
+  for (int i = 0; i < 3; ++i) {
+    buffer.Record(true);
+  }
+  buffer.Record(false);
+  FrequencyBuffer::Snapshot window = buffer.Window();
+  EXPECT_EQ(window.accesses, 4u);
+  EXPECT_EQ(window.hits, 3u);
+  EXPECT_EQ(buffer.total_accesses(), 4u);
+  EXPECT_EQ(buffer.total_hits(), 3u);
+
+  // Wrap the ring with misses: the window forgets the early hits while
+  // the cumulative totals keep them.
+  for (int i = 0; i < 8; ++i) {
+    buffer.Record(false);
+  }
+  window = buffer.Window();
+  EXPECT_EQ(window.accesses, 8u);
+  EXPECT_EQ(window.hits, 0u);
+  EXPECT_EQ(buffer.total_hits(), 3u);
+  EXPECT_EQ(buffer.total_accesses(), 12u);
+}
+
+// ---------------------------------------------------------------------------
+// CacheManager budget accounting
+// ---------------------------------------------------------------------------
+
+TEST(CacheManagerTest, ReserveEnforcesPerCacheAndGlobalBudget) {
+  CacheManager manager(1000);
+  auto a = manager.Register("a");
+  auto b = manager.Register("b");
+  // Registration splits evenly; both shares sum to the global limit.
+  EXPECT_EQ(a->limit_bytes() + b->limit_bytes(), 1000u);
+
+  EXPECT_TRUE(a->Reserve(a->limit_bytes()));
+  EXPECT_FALSE(a->Reserve(1));  // Per-cache share exhausted.
+  EXPECT_EQ(manager.used_bytes(), a->used_bytes());
+
+  a->Release(a->used_bytes());
+  EXPECT_EQ(manager.used_bytes(), 0u);
+  EXPECT_FALSE(a->Reserve(1001));  // Larger than the whole budget.
+}
+
+TEST(CacheManagerTest, RegisterIsIdempotent) {
+  CacheManager manager(1 << 20);
+  auto first = manager.Register("kernel_rows");
+  auto second = manager.Register("kernel_rows");
+  EXPECT_EQ(first.get(), second.get());
+  EXPECT_EQ(manager.Stats().size(), 1u);
+}
+
+TEST(CacheManagerTest, DisabledManagerRefusesEveryReservation) {
+  CacheManager manager(0);
+  EXPECT_FALSE(manager.enabled());
+  auto handle = manager.Register("a");
+  EXPECT_FALSE(handle->Reserve(1));
+}
+
+TEST(CacheManagerTest, RebalanceShiftsBudgetTowardHotCache) {
+  CacheManager manager(1 << 20);
+  auto hot = manager.Register("hot");
+  auto cold = manager.Register("cold");
+  const size_t even_share = hot->limit_bytes();
+  EXPECT_EQ(cold->limit_bytes(), even_share);
+
+  for (int i = 0; i < 900; ++i) {
+    hot->RecordAccess(true);
+  }
+  for (int i = 0; i < 20; ++i) {
+    cold->RecordAccess(false);
+  }
+  manager.Rebalance();
+  EXPECT_GT(hot->limit_bytes(), cold->limit_bytes());
+  EXPECT_GT(hot->limit_bytes(), even_share);
+  // Every cache keeps its floor, and shares still sum to the budget.
+  EXPECT_GE(cold->limit_bytes(), manager.limit_bytes() / 8);
+  EXPECT_EQ(hot->limit_bytes() + cold->limit_bytes(), manager.limit_bytes());
+  EXPECT_GE(manager.rebalances(), 1u);
+}
+
+TEST(CacheManagerTest, ShrunkShareIsReportedAsOverLimit) {
+  CacheManager manager(1 << 20);
+  auto a = manager.Register("a");
+  ASSERT_TRUE(a->Reserve(a->limit_bytes()));
+  // A second registrant halves a's share below its usage; the owning
+  // cache is expected to evict on its next access.
+  auto b = manager.Register("b");
+  EXPECT_TRUE(a->over_limit());
+  a->Release(a->used_bytes());
+  EXPECT_FALSE(a->over_limit());
+  (void)b;
+}
+
+TEST(CacheManagerTest, ConcurrentReserveHammerNeverExceedsBudget) {
+  constexpr size_t kLimit = 64 << 10;
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 20'000;
+  CacheManager manager(kLimit);
+  std::vector<std::shared_ptr<CacheHandle>> handles = {
+      manager.Register("a"), manager.Register("b"), manager.Register("c")};
+
+  std::atomic<bool> over_budget{false};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      std::mt19937 rng(static_cast<uint32_t>(t) * 7919u + 13u);
+      // Per-thread ledger of what this thread holds on each handle, so
+      // everything reserved is eventually released.
+      std::vector<std::vector<size_t>> held(handles.size());
+      for (int op = 0; op < kOpsPerThread; ++op) {
+        const size_t h = rng() % handles.size();
+        CacheHandle& handle = *handles[h];
+        if (rng() % 2 == 0 || held[h].empty()) {
+          const size_t bytes = 64 + rng() % 512;
+          if (handle.Reserve(bytes)) {
+            held[h].push_back(bytes);
+            handle.AddEntries(1);
+          }
+          handle.RecordAccess(rng() % 4 != 0);
+        } else {
+          handle.Release(held[h].back());
+          handle.AddEntries(-1);
+          handle.RecordEviction();
+          held[h].pop_back();
+        }
+        // The invariant under test: at *every* step, accounted bytes stay
+        // within the global budget — even while rebalances are shifting
+        // shares underneath the reservations.
+        if (manager.used_bytes() > manager.limit_bytes()) {
+          over_budget.store(true, std::memory_order_relaxed);
+        }
+      }
+      for (size_t h = 0; h < handles.size(); ++h) {
+        for (const size_t bytes : held[h]) {
+          handles[h]->Release(bytes);
+          handles[h]->AddEntries(-1);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  EXPECT_FALSE(over_budget.load());
+  EXPECT_EQ(manager.used_bytes(), 0u);
+  for (const auto& handle : handles) {
+    EXPECT_EQ(handle->used_bytes(), 0u);
+    EXPECT_EQ(handle->entries(), 0u);
+  }
+  uint64_t total_share = 0;
+  for (const cache::CacheStats& stats : manager.Stats()) {
+    total_share += stats.limit_bytes;
+  }
+  EXPECT_EQ(total_share, kLimit);
+}
+
+TEST(CacheManagerTest, StatsJsonListsEveryRegisteredCache) {
+  CacheManager manager(1 << 20);
+  auto a = manager.Register("kernel_rows");
+  ASSERT_TRUE(a->Reserve(1024));
+  a->AddEntries(1);
+  a->RecordAccess(true);
+  a->RecordAccess(false);
+  const std::string json = manager.StatsJson();
+  EXPECT_NE(json.find("\"enabled\":true"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"name\":\"kernel_rows\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"used_bytes\":1024"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"entries\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"window_hit_rate\":0.5"), std::string::npos) << json;
+  a->Release(1024);
+}
+
+// ---------------------------------------------------------------------------
+// SharedRowCache
+// ---------------------------------------------------------------------------
+
+TEST(CacheSharedRowTest, RoundTripsRowsAndSharesTokensByExactSignature) {
+  CacheManager manager(1 << 20);
+  SharedRowCache store(manager.Register("svdd_rows"));
+
+  const Dataset dataset = BlobsDataset(64, 3, 11);
+  std::vector<PointIndex> target = {1, 5, 9, 13};
+  const uint64_t token = store.InternSignature(
+      cache::MakeTargetSignature(dataset, target, 2.0));
+  // Same set → same token; any difference → a distinct matrix identity.
+  EXPECT_EQ(store.InternSignature(
+                cache::MakeTargetSignature(dataset, target, 2.0)),
+            token);
+  EXPECT_NE(store.InternSignature(
+                cache::MakeTargetSignature(dataset, target, 3.0)),
+            token);
+  std::vector<PointIndex> other_target = {1, 5, 9, 14};
+  EXPECT_NE(store.InternSignature(
+                cache::MakeTargetSignature(dataset, other_target, 2.0)),
+            token);
+
+  EXPECT_EQ(store.Lookup(token, 0), nullptr);
+  const auto values =
+      std::make_shared<const std::vector<float>>(4, 0.5f);
+  store.Insert(token, 0, values);
+  const auto cached = store.Lookup(token, 0);
+  ASSERT_NE(cached, nullptr);
+  EXPECT_EQ(*cached, *values);
+  EXPECT_LE(manager.used_bytes(), manager.limit_bytes());
+
+  store.Clear();
+  EXPECT_EQ(store.Lookup(token, 0), nullptr);
+  EXPECT_EQ(manager.used_bytes(), 0u);
+}
+
+TEST(CacheSharedRowTest, EvictsUnderPressureAndStaysWithinBudget) {
+  // Budget fits only a handful of rows; insertions must evict, never
+  // blow the accounting.
+  CacheManager manager(4 << 10);
+  auto handle = manager.Register("svdd_rows");
+  SharedRowCache store(handle, /*num_stripes=*/1);
+  const Dataset dataset = BlobsDataset(16, 2, 3);
+  std::vector<PointIndex> target = {0, 1, 2, 3};
+  const uint64_t token = store.InternSignature(
+      cache::MakeTargetSignature(dataset, target, 1.0));
+  for (int row = 0; row < 64; ++row) {
+    store.Insert(token, row,
+                 std::make_shared<const std::vector<float>>(128, 1.0f));
+    EXPECT_LE(manager.used_bytes(), manager.limit_bytes());
+  }
+  EXPECT_GT(handle->evictions(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// KernelCache integration
+// ---------------------------------------------------------------------------
+
+TEST(CacheKernelTest, AtMissComputesSingleEntryWithoutTouchingLru) {
+  const Dataset dataset = BlobsDataset(64, 3, 17);
+  std::vector<PointIndex> target;
+  for (PointIndex i = 0; i < 32; ++i) {
+    target.push_back(i);
+  }
+  KernelCache kcache(dataset, target, 2.0);
+  ASSERT_EQ(kcache.rows_resident(), 0u);
+
+  // Double miss: the entry comes straight from the kernel function — no
+  // row is materialized and the LRU stays empty.
+  const double direct = kcache.At(3, 7);
+  EXPECT_EQ(kcache.rows_resident(), 0u);
+  EXPECT_EQ(kcache.rows_computed(), 0u);
+  EXPECT_EQ(direct, kcache.kernel().FromSquaredDistance(
+                        dataset.SquaredDistance(target[3], target[7])));
+
+  // With row 3 resident, At serves from it (and from the symmetric row)
+  // without materializing anything new.
+  const std::span<const float> row3 = kcache.Row(3);
+  EXPECT_EQ(kcache.rows_resident(), 1u);
+  EXPECT_EQ(kcache.At(3, 7), static_cast<double>(row3[7]));
+  EXPECT_EQ(kcache.At(7, 3), static_cast<double>(row3[7]));
+  EXPECT_EQ(kcache.rows_resident(), 1u);
+}
+
+TEST(CacheKernelTest, FootprintAccountsForBookkeepingOverhead) {
+  const Dataset dataset = BlobsDataset(64, 3, 17);
+  std::vector<PointIndex> target = {0, 1, 2, 3, 4, 5, 6, 7};
+  KernelCache kcache(dataset, target, 2.0, /*max_bytes=*/1 << 20);
+  // Footprint must exceed the raw payload: the list node, map node, and
+  // vector header are real bytes.
+  EXPECT_GT(kcache.row_footprint_bytes(), target.size() * sizeof(float));
+  EXPECT_EQ(kcache.max_rows(), (1u << 20) / kcache.row_footprint_bytes());
+}
+
+TEST(CacheKernelTest, SharedBudgetServesIdenticalRowsUnderThrashing) {
+  const Dataset dataset = BlobsDataset(128, 3, 23);
+  std::vector<PointIndex> target;
+  for (PointIndex i = 0; i < 96; ++i) {
+    target.push_back(i);
+  }
+  // Reference rows with the manager disabled.
+  std::vector<std::vector<float>> reference;
+  {
+    KernelCache kcache(dataset, target, 2.0);
+    for (int i = 0; i < 16; ++i) {
+      const auto row = kcache.Row(i);
+      reference.emplace_back(row.begin(), row.end());
+    }
+  }
+  // A budget too small for even one footprint forces the fallback-buffer
+  // path on every row; contents must not change.
+  ScopedCacheBudget budget(1);
+  KernelCache kcache(dataset, target, 2.0);
+  for (int i = 0; i < 16; ++i) {
+    const auto row = kcache.Row(i);
+    EXPECT_TRUE(std::equal(row.begin(), row.end(), reference[i].begin(),
+                           reference[i].end()))
+        << "row " << i;
+  }
+  EXPECT_LE(CacheManager::Global().used_bytes(),
+            CacheManager::Global().limit_bytes());
+}
+
+// ---------------------------------------------------------------------------
+// QueryCellCache
+// ---------------------------------------------------------------------------
+
+TEST(CacheQueryCellTest, CandidatesAreSupersetOfExactNeighbors) {
+  const Dataset dataset = BlobsDataset(600, 3, 31);
+  const double epsilon = 4.0;
+  std::unique_ptr<NeighborIndex> index =
+      CreateIndex(IndexType::kKdTree, dataset);
+  CacheManager manager(1 << 20);
+  QueryCellCache qcache(index.get(), epsilon, dataset.dim(),
+                        manager.Register("assign_query"));
+
+  std::mt19937 rng(5);
+  std::uniform_real_distribution<double> coord(-20.0, 20.0);
+  std::vector<PointIndex> exact;
+  std::vector<PointIndex> candidates;
+  for (int q = 0; q < 400; ++q) {
+    std::vector<double> query = {coord(rng), coord(rng), coord(rng)};
+    index->RangeQuery(query, epsilon, &exact);
+    qcache.Candidates(query, &candidates);
+    for (const PointIndex id : exact) {
+      EXPECT_NE(std::find(candidates.begin(), candidates.end(), id),
+                candidates.end())
+          << "query " << q << " lost neighbor " << id;
+    }
+    EXPECT_LE(manager.used_bytes(), manager.limit_bytes());
+  }
+  // Re-querying the same cells hits.
+  EXPECT_GT(qcache.handle().frequency().total_hits() +
+                qcache.handle().entries(),
+            0u);
+}
+
+TEST(CacheQueryCellTest, RepeatedCellQueriesHitAndClearEmptiesAccounting) {
+  const Dataset dataset = BlobsDataset(200, 2, 37);
+  std::unique_ptr<NeighborIndex> index =
+      CreateIndex(IndexType::kKdTree, dataset);
+  CacheManager manager(1 << 20);
+  QueryCellCache qcache(index.get(), 3.0, dataset.dim(),
+                        manager.Register("assign_query"));
+  std::vector<PointIndex> candidates;
+  std::vector<double> query = {1.0, 2.0};
+  qcache.Candidates(query, &candidates);
+  const std::vector<PointIndex> first = candidates;
+  query = {1.1, 2.1};  // Same ε/4 cell for ε = 3.
+  qcache.Candidates(query, &candidates);
+  EXPECT_EQ(candidates, first);
+  EXPECT_GE(qcache.handle().frequency().total_hits(), 1u);
+
+  qcache.Clear();
+  EXPECT_EQ(manager.used_bytes(), 0u);
+  EXPECT_EQ(qcache.handle().entries(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end bit-identity: fit and assign at budgets {off, tiny, huge}
+// ---------------------------------------------------------------------------
+
+TEST(CacheEndToEndTest, FitIsBitIdenticalAcrossBudgets) {
+  const Dataset dataset = BlobsDataset(1'200, 3, 41);
+  const Clustering reference = FitReference(dataset);
+
+  for (const size_t budget_bytes : {size_t{8} << 10, size_t{256} << 20}) {
+    SCOPED_TRACE(budget_bytes);
+    ScopedCacheBudget budget(budget_bytes);
+    const Clustering cached = FitReference(dataset);
+    ExpectSameClustering(reference, cached);
+    EXPECT_LE(CacheManager::Global().used_bytes(),
+              CacheManager::Global().limit_bytes());
+  }
+}
+
+TEST(CacheEndToEndTest, RepeatedFitsReuseSharedRowsBitIdentically) {
+  const Dataset dataset = BlobsDataset(1'200, 3, 43);
+  const Clustering reference = FitReference(dataset);
+
+  ScopedCacheBudget budget(size_t{256} << 20);
+  // First fit populates the cross-solve row store; the second pulls rows
+  // from it. Both must reproduce the reference exactly.
+  ExpectSameClustering(reference, FitReference(dataset));
+  const uint64_t hits_before =
+      SharedRowCache::Global().handle().frequency().total_hits();
+  ExpectSameClustering(reference, FitReference(dataset));
+  EXPECT_GT(SharedRowCache::Global().handle().frequency().total_hits(),
+            hits_before);
+}
+
+TEST(CacheEndToEndTest, AssignIsBitIdenticalAcrossBudgets) {
+  const Dataset dataset = BlobsDataset(1'200, 3, 47);
+  DbsvecModel model;
+  FitReference(dataset, &model);
+  const Dataset queries = BlobsDataset(2'000, 3, 48);
+
+  std::vector<int32_t> reference;
+  uint64_t reference_range_queries = 0;
+  {
+    std::unique_ptr<AssignmentEngine> engine;
+    ASSERT_TRUE(AssignmentEngine::Create(model, {}, &engine).ok());
+    ASSERT_TRUE(engine->AssignBatch(queries, &reference).ok());
+    reference_range_queries = engine->stats().range_queries;
+  }
+
+  for (const size_t budget_bytes : {size_t{8} << 10, size_t{256} << 20}) {
+    SCOPED_TRACE(budget_bytes);
+    ScopedCacheBudget budget(budget_bytes);
+    std::unique_ptr<AssignmentEngine> engine;
+    ASSERT_TRUE(AssignmentEngine::Create(model, {}, &engine).ok());
+    std::vector<int32_t> cached;
+    ASSERT_TRUE(engine->AssignBatch(queries, &cached).ok());
+    EXPECT_EQ(cached, reference);
+    // The range-query counter increments before the cache is consulted,
+    // so serving stats stay comparable cache-on vs. cache-off.
+    EXPECT_EQ(engine->stats().range_queries, reference_range_queries);
+    EXPECT_LE(CacheManager::Global().used_bytes(),
+              CacheManager::Global().limit_bytes());
+  }
+}
+
+TEST(CacheEndToEndTest, ShardedAssignIsBitIdenticalWithCache) {
+  const Dataset dataset = BlobsDataset(1'200, 3, 53);
+  DbsvecModel model;
+  FitReference(dataset, &model);
+  const Dataset queries = BlobsDataset(1'000, 3, 54);
+
+  std::vector<int32_t> reference;
+  {
+    std::unique_ptr<AssignmentEngine> engine;
+    ASSERT_TRUE(AssignmentEngine::Create(model, {}, &engine).ok());
+    ASSERT_TRUE(engine->AssignBatch(queries, &reference).ok());
+  }
+
+  ScopedCacheBudget budget(size_t{64} << 20);
+  AssignmentOptions options;
+  options.shards = 3;
+  std::unique_ptr<AssignmentEngine> engine;
+  ASSERT_TRUE(AssignmentEngine::Create(model, options, &engine).ok());
+  std::vector<int32_t> cached;
+  ASSERT_TRUE(engine->AssignBatch(queries, &cached).ok());
+  EXPECT_EQ(cached, reference);
+}
+
+TEST(CacheEndToEndTest, StatzJsonReportsPipelineCaches) {
+  const Dataset dataset = BlobsDataset(800, 3, 59);
+  ScopedCacheBudget budget(size_t{64} << 20);
+  DbsvecModel model;
+  FitReference(dataset, &model);
+  std::unique_ptr<AssignmentEngine> engine;
+  ASSERT_TRUE(AssignmentEngine::Create(model, {}, &engine).ok());
+  std::vector<int32_t> labels;
+  ASSERT_TRUE(engine->AssignBatch(dataset, &labels).ok());
+
+  const std::string json = CacheManager::Global().StatsJson();
+  EXPECT_NE(json.find("\"enabled\":true"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"name\":\"kernel_rows\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"name\":\"svdd_rows\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"name\":\"assign_query\""), std::string::npos)
+      << json;
+}
+
+// ---------------------------------------------------------------------------
+// cache.reserve failpoint: allocation failure degrades, never diverges
+// ---------------------------------------------------------------------------
+
+TEST(CacheFailpointTest, ReserveFailureSweepsThroughFitAndAssign) {
+  const Dataset dataset = BlobsDataset(1'000, 3, 61);
+  const Dataset queries = BlobsDataset(800, 3, 62);
+  Clustering reference_fit;
+  DbsvecModel model;
+  reference_fit = FitReference(dataset, &model);
+  std::vector<int32_t> reference_assign;
+  {
+    std::unique_ptr<AssignmentEngine> engine;
+    ASSERT_TRUE(AssignmentEngine::Create(model, {}, &engine).ok());
+    ASSERT_TRUE(engine->AssignBatch(queries, &reference_assign).ok());
+  }
+
+  ScopedCacheBudget budget(size_t{64} << 20);
+  FailpointRegistry& registry = FailpointRegistry::Instance();
+  registry.DisarmAll();
+  ASSERT_TRUE(
+      registry.Arm("cache.reserve", FailpointRegistry::Mode::kError).ok());
+
+  // Every reservation fails: all three clients fall back to their
+  // uncached paths and the results must not move by a bit.
+  DbsvecModel faulted_model;
+  DbsvecParams params;
+  params.epsilon = 6.0;
+  params.min_pts = 15;
+  params.classify_points = true;
+  Clustering faulted_fit;
+  ASSERT_TRUE(RunDbsvec(dataset, params, &faulted_fit, &faulted_model).ok());
+  ExpectSameClustering(reference_fit, faulted_fit);
+
+  std::unique_ptr<AssignmentEngine> engine;
+  ASSERT_TRUE(AssignmentEngine::Create(faulted_model, {}, &engine).ok());
+  std::vector<int32_t> faulted_assign;
+  ASSERT_TRUE(engine->AssignBatch(queries, &faulted_assign).ok());
+  EXPECT_EQ(faulted_assign, reference_assign);
+
+  EXPECT_GE(registry.HitCount("cache.reserve"), 1u);
+  EXPECT_EQ(CacheManager::Global().used_bytes(), 0u);
+  registry.DisarmAll();
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency: fits and serving traffic sharing one small budget
+// ---------------------------------------------------------------------------
+
+TEST(CacheConcurrencyTest, ConcurrentFitAndServeShareOneBudget) {
+  const Dataset dataset = BlobsDataset(700, 3, 67);
+  const Dataset queries = BlobsDataset(600, 3, 68);
+  const Clustering reference_fit = FitReference(dataset);
+  DbsvecModel model;
+  FitReference(dataset, &model);
+  std::vector<int32_t> reference_assign;
+  {
+    std::unique_ptr<AssignmentEngine> engine;
+    ASSERT_TRUE(AssignmentEngine::Create(model, {}, &engine).ok());
+    ASSERT_TRUE(engine->AssignBatch(queries, &reference_assign).ok());
+  }
+
+  ScopedThreads threads(8);
+  // Small enough that fits and serving evict each other's entries.
+  ScopedCacheBudget budget(size_t{256} << 10);
+  std::unique_ptr<AssignmentEngine> engine;
+  ASSERT_TRUE(AssignmentEngine::Create(model, {}, &engine).ok());
+
+  std::atomic<bool> over_budget{false};
+  std::atomic<bool> diverged{false};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 2; ++t) {
+    workers.emplace_back([&] {
+      for (int round = 0; round < 3; ++round) {
+        const Clustering fit = FitReference(dataset);
+        if (fit.labels != reference_fit.labels) {
+          diverged.store(true);
+        }
+        if (CacheManager::Global().used_bytes() >
+            CacheManager::Global().limit_bytes()) {
+          over_budget.store(true);
+        }
+      }
+    });
+  }
+  for (int t = 0; t < 2; ++t) {
+    workers.emplace_back([&] {
+      for (int round = 0; round < 6; ++round) {
+        std::vector<int32_t> labels;
+        if (!engine->AssignBatch(queries, &labels).ok() ||
+            labels != reference_assign) {
+          diverged.store(true);
+        }
+        if (CacheManager::Global().used_bytes() >
+            CacheManager::Global().limit_bytes()) {
+          over_budget.store(true);
+        }
+      }
+    });
+  }
+  for (std::thread& worker : workers) {
+    worker.join();
+  }
+  EXPECT_FALSE(diverged.load());
+  EXPECT_FALSE(over_budget.load());
+}
+
+}  // namespace
+}  // namespace dbsvec

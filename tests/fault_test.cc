@@ -102,8 +102,8 @@ TEST_F(FaultTest, SitesCoverEveryInstrumentedLayer) {
   const std::vector<std::string_view> sites = FailpointRegistry::Sites();
   const std::vector<std::string_view> expected = {
       "csv.read",      "index.build",   "exec.shard_merge",
-      "kernel_cache.materialize",       "smo.solve",
-      "svdd.train",    "thread_pool.task",
+      "kernel_cache.materialize",       "cache.reserve",
+      "smo.solve",     "svdd.train",    "thread_pool.task",
       "model.save",    "model.load",    "assign.batch",
       "server.accept", "server.reload", "serve.refresh",
   };
@@ -705,8 +705,12 @@ TEST_F(FaultTest, ErrorSweepEverySiteFailsCleanlyOrDegrades) {
   // sweeps them through a live server instead. exec.shard_merge sits on
   // the sharded batch path, which the default shards=0 pipeline never
   // takes; the ShardMerge* tests below exercise it through a sharded fit.
+  // cache.reserve sits inside CacheManager::Reserve, which is never called
+  // while the manager is disabled (the default here); tests/cache_test.cc
+  // sweeps it through fit+assign with a budget configured.
   const std::vector<std::string> out_of_pipeline_sites = {
-      "server.accept", "server.reload", "serve.refresh", "exec.shard_merge"};
+      "server.accept", "server.reload", "serve.refresh", "exec.shard_merge",
+      "cache.reserve"};
 
   for (const std::string_view site : FailpointRegistry::Sites()) {
     if (std::find(out_of_pipeline_sites.begin(), out_of_pipeline_sites.end(),

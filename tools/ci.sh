@@ -64,6 +64,18 @@ cmake --build "${repo}/build-ci-tsan" -j "${jobs}" --target dbsvec_cli
   --demo=blobs --demo-n=2000 --demo-dim=4 --minpts=10 \
   --shards=4 --threads=8
 
+echo "=== TSan cache manager: concurrent fit + serve on a small budget ==="
+# The Cache* tests hammer the budgeted manager from many threads —
+# Reserve/Release races, rebalances shifting shares mid-reservation, the
+# shared row store feeding concurrent solves, and the serving query cache
+# under concurrent AssignBatch traffic. A CLI fit at a deliberately tiny
+# --cache-mb race-checks the eviction/fallback paths end to end.
+ctest --test-dir "${repo}/build-ci-tsan" --output-on-failure -j "${jobs}" \
+  -R 'Cache'
+"${repo}/build-ci-tsan/tools/dbsvec_cli" \
+  --demo=blobs --demo-n=2000 --demo-dim=4 --minpts=10 \
+  --cache-mb=1 --threads=8
+
 echo "=== AddressSanitizer build + model/serving tests ==="
 cmake -S "${repo}" -B "${repo}/build-ci-asan" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
