@@ -1,0 +1,205 @@
+// Bounded-cost SVDD benchmark (docs/PERFORMANCE.md): fit wall time and
+// clustering agreement of the budgeted/sampled path against the exact
+// solver on a dense-blob workload whose sub-clusters produce large SVDD
+// targets. Each (B, S) cell reports speedup over exact, ARI/NMI against
+// the exact labels, and the solver counters (merges, sampled solves,
+// largest per-solve iteration count — the O(B·ñ) evidence).
+//
+// Flags: --n --dim --clusters --noise --minpts --eps --seed
+//        --min-ari --min-speedup --smoke --out
+// --smoke shrinks the workload for CI (seconds, not minutes) and drops
+// the speedup requirement; --min-speedup > 0 makes the harness fail when
+// no cell with ARI >= --min-ari reaches that speedup.
+// Writes BENCH_budget.json next to the text table.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "cluster/clustering.h"
+#include "common/stopwatch.h"
+#include "core/dbsvec.h"
+#include "data/synthetic.h"
+#include "eval/external_metrics.h"
+
+namespace dbsvec {
+namespace {
+
+struct CellResult {
+  int sv_budget = 0;
+  int sample_threshold = 0;
+  double seconds = 0.0;
+  double speedup = 1.0;  ///< Exact wall time / this cell's wall time.
+  double ari = 1.0;      ///< Against the exact run's labels.
+  double nmi = 1.0;
+  int32_t num_clusters = 0;
+  uint64_t merges = 0;
+  uint64_t forgets = 0;
+  uint64_t sampled_solves = 0;
+  uint64_t fallbacks = 0;
+  int64_t max_smo_iterations = 0;
+};
+
+int Main(int argc, char** argv) {
+  const bench::Args args(argc, argv);
+  const bool smoke = args.GetBool("smoke");
+
+  GaussianBlobsParams data;
+  data.n = static_cast<PointIndex>(args.GetInt("n", smoke ? 3'000 : 400'000));
+  data.dim = static_cast<int>(args.GetInt("dim", 2));
+  data.num_clusters = static_cast<int>(args.GetInt("clusters", 3));
+  data.stddev = 1.0;
+  data.noise_fraction = args.GetDouble("noise", 0.05);
+  data.seed = static_cast<uint64_t>(args.GetInt("seed", 17));
+  const int min_pts = static_cast<int>(args.GetInt("minpts", smoke ? 20 : 150));
+  const double min_ari = args.GetDouble("min-ari", 0.95);
+  const double min_speedup = args.GetDouble("min-speedup", 0.0);
+  const std::string json_path = args.GetString("out", "BENCH_budget.json");
+
+  const Dataset dataset = GenerateGaussianBlobs(data);
+  DbsvecParams params;
+  params.min_pts = min_pts;
+  params.epsilon = args.GetDouble("eps", 0.0);
+  if (params.epsilon <= 0.0) {
+    params.epsilon = SuggestEpsilon(dataset, min_pts);
+  }
+  std::printf("dataset: n=%d dim=%d clusters=%d eps=%.4g minpts=%d\n",
+              data.n, data.dim, data.num_clusters, params.epsilon, min_pts);
+
+  // Exact baseline: sv_budget = 0, sample_threshold = 0 (the defaults).
+  Clustering exact;
+  Stopwatch exact_timer;
+  if (const Status status = RunDbsvec(dataset, params, &exact);
+      !status.ok()) {
+    std::fprintf(stderr, "exact fit: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  const double exact_seconds = exact_timer.ElapsedSeconds();
+  std::printf("exact: %.3fs clusters=%d smo_iter=%lld max_per_solve=%lld\n",
+              exact_seconds, exact.num_clusters,
+              static_cast<long long>(exact.stats.smo_iterations),
+              static_cast<long long>(exact.stats.max_smo_iterations));
+
+  // The (B, S) sweep. B = 0 rows isolate sampling; S = 0 rows isolate the
+  // budget; combined rows are the intended production setting.
+  struct Cell {
+    int sv_budget;
+    int sample_threshold;
+  };
+  const std::vector<Cell> cells = {
+      {128, 0}, {32, 0},       {0, 1'024}, {0, 256},
+      {0, 128}, {128, 1'024},  {32, 256},
+  };
+
+  std::vector<CellResult> results;
+  bench::Table table({"B", "S", "fit_s", "speedup", "ari", "nmi",
+                      "clusters", "merges", "sampled", "fallbacks",
+                      "max_iter"});
+  table.AddRow({"0", "0", bench::FormatSeconds(exact_seconds), "1.00",
+                "1.0000", "1.0000", std::to_string(exact.num_clusters), "0",
+                "0", std::to_string(exact.stats.num_svdd_fallbacks),
+                std::to_string(exact.stats.max_smo_iterations)});
+
+  for (const Cell& cell : cells) {
+    DbsvecParams budgeted = params;
+    budgeted.sv_budget = cell.sv_budget;
+    budgeted.sample_threshold = cell.sample_threshold;
+    Clustering run;
+    Stopwatch timer;
+    if (const Status status = RunDbsvec(dataset, budgeted, &run);
+        !status.ok()) {
+      std::fprintf(stderr, "fit B=%d S=%d: %s\n", cell.sv_budget,
+                   cell.sample_threshold, status.ToString().c_str());
+      return 1;
+    }
+    CellResult result;
+    result.sv_budget = cell.sv_budget;
+    result.sample_threshold = cell.sample_threshold;
+    result.seconds = timer.ElapsedSeconds();
+    result.speedup =
+        result.seconds > 0.0 ? exact_seconds / result.seconds : 0.0;
+    result.ari = AdjustedRandIndex(exact.labels, run.labels);
+    result.nmi = NormalizedMutualInformation(exact.labels, run.labels);
+    result.num_clusters = run.num_clusters;
+    result.merges = run.stats.num_budget_merges;
+    result.forgets = run.stats.num_budget_forgets;
+    result.sampled_solves = run.stats.num_sampled_solves;
+    result.fallbacks = run.stats.num_svdd_fallbacks;
+    result.max_smo_iterations = run.stats.max_smo_iterations;
+    results.push_back(result);
+    table.AddRow({std::to_string(result.sv_budget),
+                  std::to_string(result.sample_threshold),
+                  bench::FormatSeconds(result.seconds),
+                  bench::FormatDouble(result.speedup, 2),
+                  bench::FormatDouble(result.ari, 4),
+                  bench::FormatDouble(result.nmi, 4),
+                  std::to_string(result.num_clusters),
+                  std::to_string(result.merges),
+                  std::to_string(result.sampled_solves),
+                  std::to_string(result.fallbacks),
+                  std::to_string(result.max_smo_iterations)});
+  }
+  table.Print();
+
+  // Best speedup among cells that keep the required agreement.
+  double best_speedup = 0.0;
+  const CellResult* best = nullptr;
+  for (const CellResult& result : results) {
+    if (result.ari >= min_ari && result.speedup > best_speedup) {
+      best_speedup = result.speedup;
+      best = &result;
+    }
+  }
+  if (best != nullptr) {
+    std::printf("best: B=%d S=%d speedup=%.2fx ari=%.4f\n", best->sv_budget,
+                best->sample_threshold, best_speedup, best->ari);
+  } else {
+    std::printf("best: no cell reached ari >= %.2f\n", min_ari);
+  }
+
+  std::ofstream json(json_path);
+  json << "{\n"
+       << "  \"workload\": {\"n\": " << data.n << ", \"dim\": " << data.dim
+       << ", \"clusters\": " << data.num_clusters
+       << ", \"eps\": " << params.epsilon << ", \"minpts\": " << min_pts
+       << ", \"seed\": " << data.seed << "},\n"
+       << "  \"exact_seconds\": " << exact_seconds << ",\n"
+       << "  \"exact_max_smo_iterations\": " << exact.stats.max_smo_iterations
+       << ",\n"
+       << "  \"min_ari\": " << min_ari << ",\n"
+       << "  \"best_speedup_at_min_ari\": " << best_speedup << ",\n"
+       << "  \"runs\": [\n";
+  for (size_t i = 0; i < results.size(); ++i) {
+    const CellResult& r = results[i];
+    json << "    {\"sv_budget\": " << r.sv_budget
+         << ", \"sample_threshold\": " << r.sample_threshold
+         << ", \"seconds\": " << r.seconds << ", \"speedup\": " << r.speedup
+         << ", \"ari\": " << r.ari << ", \"nmi\": " << r.nmi
+         << ", \"clusters\": " << r.num_clusters
+         << ", \"merges\": " << r.merges << ", \"forgets\": " << r.forgets
+         << ", \"sampled_solves\": " << r.sampled_solves
+         << ", \"fallbacks\": " << r.fallbacks
+         << ", \"max_smo_iterations\": " << r.max_smo_iterations << "}"
+         << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  std::printf("[json written to %s]\n", json_path.c_str());
+
+  if (min_speedup > 0.0 && best_speedup < min_speedup) {
+    std::fprintf(stderr,
+                 "FAIL: no cell with ari >= %.2f reached %.1fx "
+                 "(best %.2fx)\n",
+                 min_ari, min_speedup, best_speedup);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace dbsvec
+
+int main(int argc, char** argv) { return dbsvec::Main(argc, argv); }

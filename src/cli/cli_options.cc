@@ -150,6 +150,14 @@ std::string HelpText() {
       "                          shards with per-shard indexes (dbsvec,\n"
       "                          dbscan, assign, serve); 0 = unsharded\n"
       "                          (default); labels are identical at any P\n"
+      "  --sv-budget=B           cap each SVDD solve at B support vectors\n"
+      "                          (merge/forget maintenance, iteration cap\n"
+      "                          linear in B); 0 = exact SMO (default)\n"
+      "                          (docs/PERFORMANCE.md, bounded-cost SVDD)\n"
+      "  --sample-threshold=S    train SVDD targets larger than S on a\n"
+      "                          boundary-preserving sample of size S and\n"
+      "                          re-check the rest against the sphere;\n"
+      "                          0 = full targets (default)\n"
       "\n"
       "Output:\n"
       "  --output=FILE.csv       write points + label column\n"
@@ -270,6 +278,22 @@ Status ParseCliOptions(const std::vector<std::string>& args,
             "--shards must be a non-negative integer");
       }
       options->shards = static_cast<int>(parsed);
+    } else if (key == "sv-budget") {
+      char* end = nullptr;
+      const long parsed = std::strtol(value.c_str(), &end, 10);
+      if (end == value.c_str() || parsed < 0) {
+        return Status::InvalidArgument(
+            "--sv-budget must be a non-negative integer");
+      }
+      options->sv_budget = static_cast<int>(parsed);
+    } else if (key == "sample-threshold") {
+      char* end = nullptr;
+      const long parsed = std::strtol(value.c_str(), &end, 10);
+      if (end == value.c_str() || parsed < 0) {
+        return Status::InvalidArgument(
+            "--sample-threshold must be a non-negative integer");
+      }
+      options->sample_threshold = static_cast<int>(parsed);
     } else if (key == "cache-mb") {
       char* end = nullptr;
       const long long parsed = std::strtoll(value.c_str(), &end, 10);

@@ -81,6 +81,8 @@ Status RunAlgorithm(const CliOptions& options, const Dataset& dataset,
       params.index = options.index;
       params.seed = options.seed;
       params.shards = options.shards;
+      params.sv_budget = options.sv_budget;
+      params.sample_threshold = options.sample_threshold;
       params.deadline = RunDeadline(options);
       return RunDbsvec(dataset, params, out);
     }
@@ -145,6 +147,8 @@ Status RunFit(const CliOptions& options, Dataset* dataset, Clustering* out,
   params.index = options.index;
   params.seed = options.seed;
   params.shards = options.shards;
+  params.sv_budget = options.sv_budget;
+  params.sample_threshold = options.sample_threshold;
   params.deadline = RunDeadline(options);
   DBSVEC_RETURN_IF_ERROR(RunDbsvec(*dataset, params, out, model));
   model->transform = std::move(transform);

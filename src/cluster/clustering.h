@@ -36,6 +36,18 @@ struct ClusteringStats {
   /// SVDD trainings whose weighted caps were infeasible (Σ ω_iC < 1) and
   /// had to be scaled up minimally (DBSVEC only).
   uint64_t num_caps_rescaled = 0;
+  /// Largest single-solve SMO iteration count — with `smo_iterations` (the
+  /// sum) this surfaces per-solve cost without failpoints (DBSVEC only).
+  int64_t max_smo_iterations = 0;
+  /// Budget-maintenance SV merges across all budgeted solves (DBSVEC with
+  /// sv_budget > 0 only).
+  uint64_t num_budget_merges = 0;
+  /// Budget-maintenance SV forgets across all budgeted solves (DBSVEC with
+  /// sv_budget > 0 only).
+  uint64_t num_budget_forgets = 0;
+  /// SVDD solves trained on a boundary-preserving sample instead of the
+  /// full target set (DBSVEC with sample_threshold > 0 only).
+  uint64_t num_sampled_solves = 0;
 };
 
 /// Role of a point in the density structure (Definitions 1-2 of the

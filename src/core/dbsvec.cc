@@ -14,6 +14,7 @@
 #include "core/parameter_selection.h"
 #include "model/dbsvec_model.h"
 #include "svm/svdd.h"
+#include "svm/target_sampler.h"
 
 namespace dbsvec {
 namespace {
@@ -94,6 +95,8 @@ class DbsvecRun {
   CoreTracker core_;
 
   UnionFind sub_clusters_;
+  // Scratch for the boundary-preserving target sample (reused per round).
+  std::vector<PointIndex> sampled_target_;
   // Scratch for the batched support-vector fan-out (reused per round).
   std::vector<size_t> queried_svs_;
   std::vector<PointIndex> sv_query_ids_;
@@ -198,12 +201,33 @@ Status DbsvecRun::ExpandCluster(int32_t cid,
       break;  // Every member exhausted its learning budget: stable.
     }
 
+    // Boundary-preserving sampling (bounded-cost SVDD): above the
+    // threshold the solve trains on an outer-shell sample and the full
+    // target is re-checked against the learned sphere below, so the
+    // expansion semantics are those of training on everything. Off by
+    // default — when it does not fire, `train_target` aliases `target`
+    // and the round is bit-identical to the unsampled path.
+    std::span<const PointIndex> train_target{target};
+    bool sampled = false;
+    if (params_.sample_threshold > 0) {
+      TargetSamplerOptions sampler_options;
+      sampler_options.threshold = params_.sample_threshold;
+      sampler_options.seed = params_.seed;
+      sampled = TargetSampler::Sample(dataset_, target, sampler_options,
+                                      &sampled_target_);
+      if (sampled) {
+        train_target = sampled_target_;
+        ++stats_.num_sampled_solves;
+      }
+    }
+
     SvddParams svdd_params;
     svdd_params.smo = params_.smo;
+    svdd_params.sv_budget = params_.sv_budget;
     svdd_params.sigma = params_.auto_sigma
                             ? 0.0  // Svdd picks r/√2 itself.
-                            : RandomSigma(dataset_, target, &rng_);
-    const int nn = static_cast<int>(target.size());
+                            : RandomSigma(dataset_, train_target, &rng_);
+    const int nn = static_cast<int>(train_target.size());
     switch (params_.nu_mode) {
       case NuMode::kAuto:
         svdd_params.nu = SelectNuStar(dataset_.dim(), nn, params_.min_pts);
@@ -221,15 +245,16 @@ Status DbsvecRun::ExpandCluster(int32_t cid,
       weight_options.anchor_count = params_.penalty_anchor_count;
       const double sigma = svdd_params.sigma > 0.0
                                ? svdd_params.sigma
-                               : Svdd::SelectSigma(dataset_, target);
+                               : Svdd::SelectSigma(dataset_, train_target);
       svdd_params.sigma = sigma;
       svdd_params.weights = ComputePenaltyWeights(
-          dataset_, target, train_count_, sigma, weight_options, &rng_);
+          dataset_, train_target, train_count_, sigma, weight_options,
+          &rng_);
     }
 
     SvddModel model;
     const Status train_status =
-        Svdd::Train(dataset_, target, svdd_params, &model);
+        Svdd::Train(dataset_, train_target, svdd_params, &model);
     if (!train_status.ok()) {
       if (train_status.code() == Status::Code::kDeadlineExceeded) {
         return train_status;  // The caller asked to stop; do not degrade.
@@ -241,13 +266,18 @@ Status DbsvecRun::ExpandCluster(int32_t cid,
     ++stats_.num_svdd_trainings;
     stats_.num_support_vectors += model.support_vectors().size();
     stats_.smo_iterations += model.smo_iterations();
+    stats_.max_smo_iterations =
+        std::max(stats_.max_smo_iterations, model.smo_iterations());
+    stats_.num_budget_merges += static_cast<uint64_t>(model.budget_merges());
+    stats_.num_budget_forgets +=
+        static_cast<uint64_t>(model.budget_forgets());
     if (model.caps_rescaled()) {
       ++stats_.num_caps_rescaled;
     }
     if (!model.converged()) {
       ++stats_.num_nonconverged_solves;
     }
-    for (const PointIndex p : target) {
+    for (const PointIndex p : train_target) {
       ++train_count_[p];
     }
     if (!model.converged() || model.degenerate()) {
@@ -255,6 +285,24 @@ Status DbsvecRun::ExpandCluster(int32_t cid,
       // may miss support vectors on the true boundary; expanding from it
       // risks under-covering the sub-cluster. Degrade to exact expansion.
       return ExpandExact(cid, members);
+    }
+    if (sampled) {
+      // Re-check the full target against the learned sphere: members the
+      // sphere explains spend one training round (they leave future
+      // incremental targets exactly as if they had been trained on),
+      // members it does not explain keep their budget so later rounds
+      // revisit them. The sample preserves the target's relative order,
+      // so a two-pointer walk separates trained-on from re-checked.
+      size_t s = 0;
+      for (const PointIndex p : target) {
+        if (s < sampled_target_.size() && sampled_target_[s] == p) {
+          ++s;  // Trained on directly; counted above.
+          continue;
+        }
+        if (model.Contains(dataset_, dataset_.point(p))) {
+          ++train_count_[p];
+        }
+      }
     }
     if (model_out_ != nullptr) {
       // Capture the fitted sphere (the latest round wins) and the core-SV
@@ -355,6 +403,8 @@ void DbsvecRun::BuildModel(const std::vector<int32_t>& labels) {
   model.dim = dim;
   model.train_size = n;
   model.num_clusters = out_->num_clusters;
+  model.sv_budget = params_.sv_budget;
+  model.sample_threshold = params_.sample_threshold;
 
   if (n > 0) {
     model.train_min.assign(dim, std::numeric_limits<double>::infinity());
@@ -607,6 +657,13 @@ Status RunDbsvecWithIndex(const NeighborIndex& index,
   }
   if (params.memory_factor <= 1.0) {
     return Status::InvalidArgument("DBSVEC: memory_factor must be > 1");
+  }
+  if (params.sv_budget < 0) {
+    return Status::InvalidArgument("DBSVEC: sv_budget must be >= 0");
+  }
+  if (params.sample_threshold < 0) {
+    return Status::InvalidArgument(
+        "DBSVEC: sample_threshold must be >= 0");
   }
   if (params.nu_mode == NuMode::kFixed &&
       (params.fixed_nu <= 0.0 || params.fixed_nu > 1.0)) {

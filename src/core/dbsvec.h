@@ -70,6 +70,21 @@ struct DbsvecParams {
   /// sub-cluster merging recover any boundary coverage the sample misses.
   int max_svdd_target = 4096;
 
+  /// > 0: hard support-vector budget B per SVDD solve (bounded-cost SVDD,
+  /// docs/PERFORMANCE.md). The solver merges/forgets least-violating SVs
+  /// to stay within B and caps its iterations linearly in B, so each solve
+  /// is O(B·ñ) instead of O(ñ²); a budget too small for the box
+  /// constraints degrades that sub-cluster to exact expansion (Theorem
+  /// 1/3 semantics). 0 = exact SMO (default).
+  int sv_budget = 0;
+  /// > 0: SVDD targets larger than this train on a boundary-preserving
+  /// sample of exactly this size (outer shell by distance-to-centroid rank
+  /// plus a uniform floor, deterministic given `seed`); the full target is
+  /// then re-checked against the learned sphere, so expansion semantics
+  /// are unchanged — members the sphere does not explain stay in future
+  /// targets. 0 = train on the full (incremental) target (default).
+  int sample_threshold = 0;
+
   /// Fill Clustering::point_types (core/border/noise) in the result. Off
   /// by default: DBSVEC's whole point is *not* querying every point's
   /// neighborhood, and classifying the unqueried members costs one

@@ -14,7 +14,7 @@ namespace {
 /// Every failpoint site in the library, in pipeline order. A site name has
 /// the form "<layer>.<operation>"; adding a site means adding it here and
 /// placing the matching check in the instrumented code.
-constexpr std::array<std::string_view, 14> kSites = {
+constexpr std::array<std::string_view, 15> kSites = {
     "csv.read",                  // Dataset ingest from CSV.
     "index.build",               // Range-query index construction.
     "exec.shard_merge",          // Sharded batch deterministic merge.
@@ -22,6 +22,7 @@ constexpr std::array<std::string_view, 14> kSites = {
     "cache.reserve",             // CacheManager budget reservation.
     "smo.solve",                 // The SMO quadratic-program solve.
     "svdd.train",                // SVDD training entry.
+    "svdd.budget_merge",         // Budgeted-SMO SV merge/forget step.
     "thread_pool.task",          // Every fallible thread-pool task.
     "model.save",                // Model serialization + file write.
     "model.load",                // Model file read + parse.

@@ -32,6 +32,8 @@ bool AllFinite(std::span<const double> values) {
 
 bool DbsvecModel::operator==(const DbsvecModel& other) const {
   return epsilon == other.epsilon && min_pts == other.min_pts &&
+         sv_budget == other.sv_budget &&
+         sample_threshold == other.sample_threshold &&
          dim == other.dim && train_size == other.train_size &&
          num_clusters == other.num_clusters &&
          train_min == other.train_min && train_max == other.train_max &&
@@ -54,6 +56,10 @@ Status ValidateModel(const DbsvecModel& model) {
   }
   if (model.num_clusters < 0 || model.train_size < 0) {
     return Status::InvalidArgument("model: negative size field");
+  }
+  if (model.sv_budget < 0 || model.sample_threshold < 0) {
+    return Status::InvalidArgument(
+        "model: negative bounded-cost SVDD parameter");
   }
   if (model.core_points.dim() != model.dim) {
     return Status::InvalidArgument("model: core point dim mismatch");
@@ -134,6 +140,10 @@ Status SerializeModel(const DbsvecModel& model, std::vector<uint8_t>* bytes) {
     payload.WriteI64(sphere.num_members);
     payload.WriteI32(sphere.num_support_vectors);
   }
+
+  // v2 fields, appended so a v2 reader can parse the v1 prefix untouched.
+  payload.WriteI32(model.sv_budget);
+  payload.WriteI32(model.sample_threshold);
 
   ByteWriter out;
   out.WriteBytes(kMagic);
@@ -234,6 +244,10 @@ Status DeserializeModel(std::span<const uint8_t> bytes, DbsvecModel* model) {
     DBSVEC_RETURN_IF_ERROR(reader.ReadI64(&sphere.num_members));
     DBSVEC_RETURN_IF_ERROR(reader.ReadI32(&sphere.num_support_vectors));
     parsed.spheres.push_back(std::move(sphere));
+  }
+  if (version >= 2) {
+    DBSVEC_RETURN_IF_ERROR(reader.ReadI32(&parsed.sv_budget));
+    DBSVEC_RETURN_IF_ERROR(reader.ReadI32(&parsed.sample_threshold));
   }
   if (!reader.AtEnd()) {
     return Corrupt("unparsed bytes inside payload");

@@ -45,11 +45,20 @@ struct SubClusterSphere {
 /// docs/SERVING.md for the exact agreement guarantees.
 struct DbsvecModel {
   /// Current file-format version; see docs/SERVING.md for the policy.
-  static constexpr uint32_t kFormatVersion = 1;
+  /// v2 appends the bounded-cost SVDD provenance (sv_budget,
+  /// sample_threshold) to the payload; v1 files still load (both read
+  /// back as 0 — exact training, which is what v1 runs used).
+  static constexpr uint32_t kFormatVersion = 2;
 
   // -- Fitted parameters -------------------------------------------------
   double epsilon = 0.0;
   int32_t min_pts = 0;
+  /// Support-vector budget the fit ran with (0 = exact SMO). Provenance:
+  /// serving never re-solves, but a served model should say whether its
+  /// spheres came from budgeted solves.
+  int32_t sv_budget = 0;
+  /// Sampling threshold the fit ran with (0 = full targets).
+  int32_t sample_threshold = 0;
 
   // -- Dataset summary ---------------------------------------------------
   int32_t dim = 0;

@@ -670,6 +670,8 @@ std::string Server::HandleStatz() {
   std::shared_ptr<AssignmentEngine> engine = handle_.Get();
   const AssignmentEngine::ServeStats engine_stats = engine->stats();
   return stats_.ToJson(engine->model_version(), engine->model_crc(),
+                       engine->model().sv_budget,
+                       engine->model().sample_threshold,
                        engine_stats.points_assigned,
                        engine_stats.sphere_rejections,
                        engine_stats.range_queries,

@@ -36,6 +36,8 @@ double LatencyHistogram::PercentileMicros(double p) const {
 }
 
 std::string ServerStats::ToJson(uint32_t model_version, uint32_t model_crc,
+                                int model_sv_budget,
+                                int model_sample_threshold,
                                 uint64_t engine_points_assigned,
                                 uint64_t engine_sphere_rejections,
                                 uint64_t engine_range_queries, int inflight,
@@ -55,6 +57,9 @@ std::string ServerStats::ToJson(uint32_t model_version, uint32_t model_crc,
   };
   out += "\"model_version\":" + std::to_string(model_version) + ",";
   out += "\"model_crc\":\"" + std::string(crc_hex) + "\",";
+  out += "\"model_sv_budget\":" + std::to_string(model_sv_budget) + ",";
+  out += "\"model_sample_threshold\":" +
+         std::to_string(model_sample_threshold) + ",";
   field("connections_accepted",
         connections_accepted.load(std::memory_order_relaxed));
   field("connections_rejected",

@@ -47,12 +47,15 @@ struct ServerStats {
   LatencyHistogram assign_latency;
 
   /// JSON object with every counter, assign p50/p99 (µs), the provided
-  /// model identity fields, and the execution config of the serving
-  /// engine: `simd_backend` (active SIMD dispatch backend name) and
-  /// `shard_count` (0 = unsharded). `cache_manager_json` (a pre-rendered
-  /// JSON object, typically CacheManager::StatsJson) is spliced in as the
+  /// model identity fields (`model_sv_budget` / `model_sample_threshold`
+  /// are the bounded-cost SVDD provenance recorded in the model file; 0 =
+  /// exact training), and the execution config of the serving engine:
+  /// `simd_backend` (active SIMD dispatch backend name) and `shard_count`
+  /// (0 = unsharded). `cache_manager_json` (a pre-rendered JSON object,
+  /// typically CacheManager::StatsJson) is spliced in as the
   /// `cache_manager` field when non-empty.
   std::string ToJson(uint32_t model_version, uint32_t model_crc,
+                     int model_sv_budget, int model_sample_threshold,
                      uint64_t engine_points_assigned,
                      uint64_t engine_sphere_rejections,
                      uint64_t engine_range_queries, int inflight,

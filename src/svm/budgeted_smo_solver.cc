@@ -1,0 +1,326 @@
+#include "svm/budgeted_smo_solver.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/thread_pool.h"
+#include "fault/failpoint.h"
+#include "simd/simd.h"
+
+namespace dbsvec {
+namespace {
+
+/// Adds 2·delta·K(row k, ·) to the gradient — the exact repair for an α_k
+/// change of `delta`. Element-wise, so chunking is bit-identical to the
+/// sequential loop.
+void RepairGradient(KernelCache* kernel, int k, double delta,
+                    std::vector<double>* grad) {
+  const std::span<const float> row = kernel->Row(k);
+  const double d2 = 2.0 * delta;
+  ParallelFor(grad->size(), 2048, [&](size_t begin, size_t end) {
+    simd::ActiveOps().axpy_float(d2, row.data() + begin,
+                                 grad->data() + begin, end - begin);
+  });
+}
+
+/// One budget-maintenance step: the active set has grown past B, so merge
+/// the two least-violating SVs (or forget the least-violating one when the
+/// `svdd.budget_merge` nonconverge mode forces the forget path). Mass the
+/// survivor's cap cannot hold is projected onto the other active SVs in
+/// ascending-gradient order. `alpha` changes are applied here along with
+/// their exact gradient repairs.
+Status Maintain(const Dataset& dataset, KernelCache* kernel,
+                std::span<const double> upper_bounds,
+                std::vector<double>* alpha, std::vector<double>* grad,
+                int* active_count, BudgetedSmoSolution* solution) {
+  DBSVEC_RETURN_IF_ERROR(FailpointCheck("svdd.budget_merge"));
+  const int n = kernel->size();
+  std::vector<double>& a = *alpha;
+
+  // The two smallest-α active SVs: under a unit-norm kernel (K_ii = 1) the
+  // perturbation of the expansion from dropping SV p is ‖α_pΦ(x_p)‖ = α_p,
+  // so smallest α = least violating. Ties break on the smaller index.
+  int first = -1;
+  int second = -1;
+  for (int k = 0; k < n; ++k) {
+    if (a[k] <= 0.0) {
+      continue;
+    }
+    if (first < 0 || a[k] < a[first]) {
+      second = first;
+      first = k;
+    } else if (second < 0 || a[k] < a[second]) {
+      second = k;
+    }
+  }
+  if (first < 0 || second < 0) {
+    // Cannot happen (maintenance only runs with > B >= 1 actives); keep a
+    // clean error over UB if it ever does.
+    return Status::Internal("budgeted SMO: maintenance with < 2 active SVs");
+  }
+
+  int loser = first;
+  double leftover = 0.0;
+  // Deltas to apply: (index, change). At most 2 entries before projection.
+  std::vector<std::pair<int, double>> deltas;
+  if (!FailpointNonconverge("svdd.budget_merge")) {
+    // Weighted-midpoint merge: z = (α_f·x_f + α_s·x_s)/(α_f + α_s),
+    // snapped to the nearer of the two original points so the surviving SV
+    // stays an addressable dataset point.
+    const int dim = dataset.dim();
+    const auto pf = dataset.point(kernel->target(first));
+    const auto ps = dataset.point(kernel->target(second));
+    const double mass = a[first] + a[second];
+    const double wf = a[first] / mass;
+    double df = 0.0;  // ‖z − x_f‖² and ‖z − x_s‖², expanded per dimension.
+    double ds = 0.0;
+    for (int d = 0; d < dim; ++d) {
+      const double z = wf * pf[d] + (1.0 - wf) * ps[d];
+      df += (z - pf[d]) * (z - pf[d]);
+      ds += (z - ps[d]) * (z - ps[d]);
+    }
+    const int survivor = ds < df ? second : first;
+    loser = survivor == first ? second : first;
+    const double new_s = std::min(mass, upper_bounds[survivor]);
+    leftover = mass - new_s;
+    deltas.emplace_back(survivor, new_s - a[survivor]);
+    deltas.emplace_back(loser, -a[loser]);
+    ++solution->merges;
+  } else {
+    // Forced forget path: drop the least-violating SV outright and project
+    // its mass onto the rest of the active set.
+    leftover = a[first];
+    deltas.emplace_back(loser, -a[loser]);
+    ++solution->forgets;
+  }
+
+  if (leftover > 0.0) {
+    // Projection step: Σα = 1 must survive the merge, so the mass the
+    // survivor's box cap rejected goes to active SVs with headroom, lowest
+    // gradient first (the direction the objective most wants mass).
+    std::vector<int> recipients;
+    for (int k = 0; k < n; ++k) {
+      if (a[k] > 0.0 && k != loser && a[k] < upper_bounds[k]) {
+        recipients.push_back(k);
+      }
+    }
+    std::sort(recipients.begin(), recipients.end(), [&](int x, int y) {
+      const double gx = (*grad)[x];
+      const double gy = (*grad)[y];
+      return gx != gy ? gx < gy : x < y;
+    });
+    for (const int k : recipients) {
+      if (leftover <= 0.0) {
+        break;
+      }
+      double headroom = upper_bounds[k] - a[k];
+      for (const auto& [idx, delta] : deltas) {
+        if (idx == k) {
+          headroom -= delta;  // The survivor may already sit at its cap.
+        }
+      }
+      const double take = std::min(headroom, leftover);
+      if (take <= 0.0) {
+        continue;
+      }
+      deltas.emplace_back(k, take);
+      leftover -= take;
+    }
+    if (leftover > 1e-12) {
+      // The caps of at most B active SVs cannot carry Σα = 1: the budget is
+      // infeasible for this problem's box constraints. Fail the solve so
+      // the caller degrades to exact expansion.
+      return Status::InvalidArgument(
+          "budgeted SMO: support-vector budget too small for the box "
+          "constraints (raise --sv-budget or lower nu)");
+    }
+  }
+
+  for (const auto& [k, delta] : deltas) {
+    if (delta == 0.0) {
+      continue;
+    }
+    a[k] += delta;
+    RepairGradient(kernel, k, delta, grad);
+    DBSVEC_RETURN_IF_ERROR(kernel->status());
+  }
+  a[loser] = 0.0;  // Exact: its delta was -a[loser].
+  --*active_count;
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status BudgetedSmoSolver::Solve(const Dataset& dataset, KernelCache* kernel,
+                                std::span<const double> upper_bounds,
+                                const BudgetedSmoOptions& options,
+                                BudgetedSmoSolution* solution) {
+  DBSVEC_RETURN_IF_ERROR(FailpointCheck("smo.solve"));
+  const int n = kernel->size();
+  const int budget = options.budget;
+  if (budget < 1) {
+    return Status::InvalidArgument("budgeted SMO: budget must be >= 1");
+  }
+  if (n == 0) {
+    return Status::InvalidArgument("SMO: empty target set");
+  }
+  if (static_cast<int>(upper_bounds.size()) != n) {
+    return Status::InvalidArgument("SMO: bounds size mismatch");
+  }
+  double bound_sum = 0.0;
+  for (const double c : upper_bounds) {
+    if (c < 0.0) {
+      return Status::InvalidArgument("SMO: negative upper bound");
+    }
+    bound_sum += c;
+  }
+  if (bound_sum < 1.0) {
+    return Status::InvalidArgument(
+        "SMO: infeasible problem, sum of upper bounds < 1");
+  }
+
+  // Feasible start within the budget: fill the largest caps first (the
+  // order that reaches Σα = 1 with the fewest actives), at most B of them.
+  std::vector<int> by_cap(n);
+  std::iota(by_cap.begin(), by_cap.end(), 0);
+  std::sort(by_cap.begin(), by_cap.end(), [&](int x, int y) {
+    return upper_bounds[x] != upper_bounds[y]
+               ? upper_bounds[x] > upper_bounds[y]
+               : x < y;
+  });
+  std::vector<double>& alpha = solution->alpha;
+  alpha.assign(n, 0.0);
+  double remaining = 1.0;
+  int active_count = 0;
+  for (const int i : by_cap) {
+    if (remaining <= 0.0 || active_count >= budget) {
+      break;
+    }
+    const double take = std::min(upper_bounds[i], remaining);
+    if (take <= 0.0) {
+      continue;
+    }
+    alpha[i] = take;
+    remaining -= take;
+    ++active_count;
+  }
+  if (remaining > 0.0) {
+    return Status::InvalidArgument(
+        "budgeted SMO: support-vector budget too small for the box "
+        "constraints (raise --sv-budget or lower nu)");
+  }
+
+  // Gradient g_i = 2·(Kα)_i − K_ii over the initial actives, exactly as in
+  // the exact solver.
+  std::vector<double> grad(n);
+  for (int i = 0; i < n; ++i) {
+    grad[i] = -kernel->Diag(i);
+  }
+  std::vector<int> init_rows;
+  for (int j = 0; j < n; ++j) {
+    if (alpha[j] > 0.0) {
+      init_rows.push_back(j);
+    }
+  }
+  kernel->Materialize(init_rows);
+  DBSVEC_RETURN_IF_ERROR(kernel->status());
+  for (const int j : init_rows) {
+    RepairGradient(kernel, j, alpha[j], &grad);
+  }
+  DBSVEC_RETURN_IF_ERROR(kernel->status());
+
+  // The budget also caps the work: O(B) iterations of O(ñ) each keeps a
+  // budgeted solve O(B·ñ) total, independent of how hard the sub-problem
+  // is. Hitting this cap is the solver meeting its contract, not a
+  // failure — see BudgetedSmoSolution::converged.
+  const int64_t max_iterations =
+      options.smo.max_iterations > 0
+          ? options.smo.max_iterations
+          : std::max<int64_t>(64, 16LL * budget);
+
+  solution->budget_limited = false;
+  bool gap_closed = false;
+  std::vector<float> row_i_copy;
+  int64_t iter = 0;
+  for (; iter < max_iterations; ++iter) {
+    int i_up = -1;
+    int j_down = -1;
+    double min_grad = std::numeric_limits<double>::infinity();
+    double max_grad = -std::numeric_limits<double>::infinity();
+    for (int k = 0; k < n; ++k) {
+      if (alpha[k] < upper_bounds[k] && grad[k] < min_grad) {
+        min_grad = grad[k];
+        i_up = k;
+      }
+      if (alpha[k] > 0.0 && grad[k] > max_grad) {
+        max_grad = grad[k];
+        j_down = k;
+      }
+    }
+    if (i_up < 0 || j_down < 0 ||
+        max_grad - min_grad < options.smo.tolerance) {
+      gap_closed = true;
+      break;
+    }
+
+    const std::span<const float> row_i = kernel->Row(i_up);
+    // Copy: fetching row j may evict row i from the cache.
+    row_i_copy.assign(row_i.begin(), row_i.end());
+    const std::span<const float> row_j = kernel->Row(j_down);
+    DBSVEC_RETURN_IF_ERROR(kernel->status());
+
+    const double k_ii = kernel->Diag(i_up);
+    const double k_jj = kernel->Diag(j_down);
+    const double k_ij = row_j[i_up];
+    double eta = 2.0 * (k_ii + k_jj - 2.0 * k_ij);
+    if (eta <= 1e-12) {
+      eta = 1e-12;
+    }
+    double t = (grad[j_down] - grad[i_up]) / eta;
+    t = std::min(t, upper_bounds[i_up] - alpha[i_up]);
+    t = std::min(t, alpha[j_down]);
+    if (t <= 0.0) {
+      gap_closed = true;  // Numerical corner: the pair cannot move.
+      break;
+    }
+    const bool i_was_active = alpha[i_up] > 0.0;
+    alpha[i_up] += t;
+    alpha[j_down] -= t;
+    if (!i_was_active) {
+      ++active_count;
+    }
+    if (alpha[j_down] <= 0.0) {
+      alpha[j_down] = 0.0;
+      --active_count;
+    }
+    const double t2 = 2.0 * t;
+    simd::ActiveOps().gradient_update(t2, row_i_copy.data(), row_j.data(),
+                                      grad.data(), static_cast<size_t>(n));
+    if (active_count > budget) {
+      DBSVEC_RETURN_IF_ERROR(Maintain(dataset, kernel, upper_bounds, &alpha,
+                                      &grad, &active_count, solution));
+    }
+  }
+  solution->iterations = iter;
+  solution->budget_limited = !gap_closed;
+  // A feasible α within budget is a successful budgeted solve whether the
+  // KKT gap closed or the iteration budget ran out — bounded cost is the
+  // contract. Only injected faults report nonconvergence.
+  solution->converged = true;
+
+  double alpha_grad = 0.0;
+  double alpha_diag = 0.0;
+  for (int i = 0; i < n; ++i) {
+    alpha_grad += alpha[i] * grad[i];
+    alpha_diag += alpha[i] * kernel->Diag(i);
+  }
+  solution->alpha_k_alpha = 0.5 * (alpha_grad + alpha_diag);
+  if (FailpointNonconverge("smo.solve")) {
+    solution->converged = false;
+  }
+  return Status::Ok();
+}
+
+}  // namespace dbsvec

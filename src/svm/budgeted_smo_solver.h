@@ -1,0 +1,76 @@
+#ifndef DBSVEC_SVM_BUDGETED_SMO_SOLVER_H_
+#define DBSVEC_SVM_BUDGETED_SMO_SOLVER_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/dataset.h"
+#include "common/status.h"
+#include "svm/kernel_cache.h"
+#include "svm/smo_solver.h"
+
+namespace dbsvec {
+
+/// Options for the budget-capped SMO solver.
+struct BudgetedSmoOptions {
+  /// Hard cap B on active support vectors (α > 0). Must be >= 1.
+  int budget = 0;
+  /// Tolerance and iteration cap. `smo.max_iterations == 0` here means
+  /// max(64, 16·B) — linear in the budget, *not* in ñ, which is what makes
+  /// a budgeted solve O(B·ñ) total instead of O(ñ²).
+  SmoOptions smo;
+};
+
+/// Output of a budgeted SMO solve.
+struct BudgetedSmoSolution {
+  /// Feasible multipliers α (length ñ) with at most B nonzero entries.
+  std::vector<double> alpha;
+  /// αᵀKα at the final iterate (exact: the gradient is repaired through
+  /// every merge/forget, so the identity αᵀg = 2αᵀKα − Σα_iK_ii holds).
+  double alpha_k_alpha = 0.0;
+  /// Iterations actually performed.
+  int64_t iterations = 0;
+  /// A budgeted solve that produced a feasible α is converged by contract:
+  /// stopping at the iteration budget is the solver doing its job (bounded
+  /// cost), not a failure. False only under fault injection.
+  bool converged = false;
+  /// True when the solve stopped at the iteration budget with the KKT gap
+  /// still above the tolerance — the expected mode on hard sub-problems.
+  bool budget_limited = false;
+  /// Budget-maintenance events this solve: weighted-midpoint merges of the
+  /// two least-violating SVs, and outright forgets of the least-violating
+  /// one (the forced path under the `svdd.budget_merge` nonconverge mode).
+  int64_t merges = 0;
+  int64_t forgets = 0;
+};
+
+/// SMO for the weighted SVDD dual (see SmoSolver) with a hard cap B on the
+/// number of active support vectors, after *Scalable Support Vector
+/// Clustering Using Budget*: whenever a step would leave more than B points
+/// active, the two least-violating SVs (smallest α — the pair whose removal
+/// perturbs the expansion Σα_iΦ(x_i) least under a unit-norm kernel) are
+/// merged. The merge is a weighted midpoint in input space snapped to the
+/// nearer of the two original points, so every surviving SV remains an
+/// addressable dataset point (the sphere's Distance2 and the expansion's
+/// range queries both identify SVs by dataset index). Mass the survivor's
+/// box cap cannot hold is projected back onto the remaining active SVs in
+/// ascending-gradient order, keeping 0 ≤ α ≤ C_i and Σα = 1 feasible
+/// throughout; a budget whose active caps cannot carry Σα = 1 fails the
+/// solve with InvalidArgument, which callers treat as "budgeted solve
+/// failed" and degrade to exact expansion.
+class BudgetedSmoSolver {
+ public:
+  /// Solves the dual over the target set behind `kernel` (`dataset` is the
+  /// dataset the kernel's target indices point into; the merge step needs
+  /// the input-space coordinates). Same feasibility contract as
+  /// SmoSolver::Solve, plus `options.budget >= 1`.
+  static Status Solve(const Dataset& dataset, KernelCache* kernel,
+                      std::span<const double> upper_bounds,
+                      const BudgetedSmoOptions& options,
+                      BudgetedSmoSolution* solution);
+};
+
+}  // namespace dbsvec
+
+#endif  // DBSVEC_SVM_BUDGETED_SMO_SOLVER_H_

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "fault/failpoint.h"
+#include "svm/budgeted_smo_solver.h"
 
 namespace dbsvec {
 
@@ -75,8 +76,27 @@ Status Svdd::Train(const Dataset& dataset,
 
   KernelCache cache(dataset, target, sigma);
   SmoSolution solution;
-  DBSVEC_RETURN_IF_ERROR(
-      SmoSolver::Solve(&cache, bounds, params.smo, &solution));
+  int64_t budget_merges = 0;
+  int64_t budget_forgets = 0;
+  bool budget_limited = false;
+  if (params.sv_budget > 0) {
+    BudgetedSmoOptions budget_options;
+    budget_options.budget = params.sv_budget;
+    budget_options.smo = params.smo;
+    BudgetedSmoSolution budgeted;
+    DBSVEC_RETURN_IF_ERROR(BudgetedSmoSolver::Solve(
+        dataset, &cache, bounds, budget_options, &budgeted));
+    solution.alpha = std::move(budgeted.alpha);
+    solution.alpha_k_alpha = budgeted.alpha_k_alpha;
+    solution.iterations = budgeted.iterations;
+    solution.converged = budgeted.converged;
+    budget_merges = budgeted.merges;
+    budget_forgets = budgeted.forgets;
+    budget_limited = budgeted.budget_limited;
+  } else {
+    DBSVEC_RETURN_IF_ERROR(
+        SmoSolver::Solve(&cache, bounds, params.smo, &solution));
+  }
 
   model->support_vectors_.clear();
   model->sigma_ = sigma;
@@ -84,6 +104,9 @@ Status Svdd::Train(const Dataset& dataset,
   model->smo_iterations_ = solution.iterations;
   model->converged_ = solution.converged;
   model->caps_rescaled_ = caps_rescaled;
+  model->budget_merges_ = budget_merges;
+  model->budget_forgets_ = budget_forgets;
+  model->budget_limited_ = budget_limited;
   if (FailpointNonconverge("svdd.train")) {
     model->converged_ = false;
   }

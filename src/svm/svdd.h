@@ -30,6 +30,10 @@ struct SvddParams {
   /// 0 ≤ α_i ≤ ω_i·C. Empty means unweighted (all ω_i = 1). If the weighted
   /// caps are infeasible (Σ ω_iC < 1) they are scaled up minimally.
   std::vector<double> weights;
+  /// > 0: hard cap B on active support vectors. The solve runs through
+  /// BudgetedSmoSolver (merge/forget of least-violating SVs, iteration cap
+  /// linear in B), bounding per-solve cost at O(B·ñ). 0 = exact SMO.
+  int sv_budget = 0;
   /// Solver options.
   SmoOptions smo;
 };
@@ -62,6 +66,12 @@ class SvddModel {
   /// scaled up to admit a solution — a sign the caller's ν/weights were too
   /// aggressive for this target set.
   bool caps_rescaled() const { return caps_rescaled_; }
+  /// Budget-maintenance events of a budgeted solve (0 under exact SMO).
+  int64_t budget_merges() const { return budget_merges_; }
+  int64_t budget_forgets() const { return budget_forgets_; }
+  /// True when a budgeted solve stopped at its iteration budget with the
+  /// KKT gap still open — expected on hard sub-problems, not a failure.
+  bool budget_limited() const { return budget_limited_; }
 
   /// True when the trained sphere is unusable for expansion: a non-finite
   /// radius or constant term, or no support vectors at all. Callers should
@@ -93,6 +103,9 @@ class SvddModel {
   int64_t smo_iterations_ = 0;
   bool converged_ = false;
   bool caps_rescaled_ = false;
+  int64_t budget_merges_ = 0;
+  int64_t budget_forgets_ = 0;
+  bool budget_limited_ = false;
 };
 
 /// Trainer for the weighted SVDD model of Sec. IV-A.

@@ -1,0 +1,85 @@
+#include "svm/target_sampler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/rng.h"
+
+namespace dbsvec {
+
+bool TargetSampler::Sample(const Dataset& dataset,
+                           std::span<const PointIndex> target,
+                           const TargetSamplerOptions& options,
+                           std::vector<PointIndex>* sample) {
+  const size_t n = target.size();
+  const int threshold = options.threshold;
+  if (threshold <= 0 || n <= static_cast<size_t>(threshold)) {
+    return false;
+  }
+  const size_t budget = static_cast<size_t>(threshold);
+
+  // Distance of every member to the target centroid: the ranking that
+  // separates the outer shell (boundary candidates) from the interior.
+  const int dim = dataset.dim();
+  std::vector<double> centroid(dim, 0.0);
+  for (const PointIndex i : target) {
+    const auto p = dataset.point(i);
+    for (int d = 0; d < dim; ++d) {
+      centroid[d] += p[d];
+    }
+  }
+  for (double& c : centroid) {
+    c /= static_cast<double>(n);
+  }
+  std::vector<double> dist_sq(n);
+  for (size_t k = 0; k < n; ++k) {
+    dist_sq[k] = dataset.SquaredDistanceTo(target[k], centroid);
+  }
+
+  // Positions sorted by distance descending (ties on position, so the
+  // order never depends on anything but the target itself).
+  std::vector<size_t> by_dist(n);
+  std::iota(by_dist.begin(), by_dist.end(), 0);
+  std::sort(by_dist.begin(), by_dist.end(), [&](size_t x, size_t y) {
+    return dist_sq[x] != dist_sq[y] ? dist_sq[x] > dist_sq[y] : x < y;
+  });
+
+  const double outer_fraction =
+      std::clamp(options.outer_fraction, 0.0, 1.0);
+  const size_t outer = std::min(
+      budget, static_cast<size_t>(
+                  std::ceil(outer_fraction * static_cast<double>(budget))));
+  std::vector<uint8_t> chosen(n, 0);
+  for (size_t k = 0; k < outer; ++k) {
+    chosen[by_dist[k]] = 1;
+  }
+
+  // Uniform floor over the interior: a partial Fisher-Yates over the
+  // not-yet-chosen positions, driven by a sampler-local Rng (so runs with
+  // sampling off consume exactly the RNG stream they always did, and the
+  // sample never depends on what other sub-clusters trained before it).
+  const size_t floor_count = budget - outer;
+  if (floor_count > 0) {
+    std::vector<size_t> pool(by_dist.begin() + outer, by_dist.end());
+    Rng rng(options.seed * 0x9E3779B97F4A7C15ULL +
+            static_cast<uint64_t>(n));
+    for (size_t k = 0; k < floor_count; ++k) {
+      const size_t j =
+          k + static_cast<size_t>(rng.NextBounded(pool.size() - k));
+      std::swap(pool[k], pool[j]);
+      chosen[pool[k]] = 1;
+    }
+  }
+
+  sample->clear();
+  sample->reserve(budget);
+  for (size_t k = 0; k < n; ++k) {
+    if (chosen[k] != 0) {
+      sample->push_back(target[k]);
+    }
+  }
+  return true;
+}
+
+}  // namespace dbsvec

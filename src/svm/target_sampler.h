@@ -1,0 +1,46 @@
+#ifndef DBSVEC_SVM_TARGET_SAMPLER_H_
+#define DBSVEC_SVM_TARGET_SAMPLER_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/dataset.h"
+
+namespace dbsvec {
+
+/// Options for the boundary-preserving SVDD target sampler.
+struct TargetSamplerOptions {
+  /// Size threshold S: targets with more than S members are sampled down
+  /// to exactly S. <= 0 disables sampling.
+  int threshold = 0;
+  /// Fraction of the sample taken from the outer shell (largest distance
+  /// to the target centroid); the rest is a uniform floor over the
+  /// interior. The shell is where SVDD support vectors live, so ranking by
+  /// centroid distance preserves the decision boundary (after *Efficient
+  /// SVDD Sampling with Approximation Guarantees*); the uniform floor
+  /// keeps interior density represented so the fitted R² stays calibrated.
+  double outer_fraction = 0.7;
+  /// Seed for the uniform floor. The same seed always selects the same
+  /// sample for the same target, independent of thread or shard count.
+  uint64_t seed = 7;
+};
+
+/// Boundary-preserving sampler for large SVDD target sets.
+class TargetSampler {
+ public:
+  /// When `target` exceeds `options.threshold`, fills `*sample` with
+  /// exactly `threshold` members — the outer shell by distance-to-centroid
+  /// rank plus a uniform floor over the interior — preserving `target`'s
+  /// relative order, and returns true. Returns false (sample untouched)
+  /// when sampling does not apply. Deterministic given the seed; no global
+  /// RNG state is consumed.
+  static bool Sample(const Dataset& dataset,
+                     std::span<const PointIndex> target,
+                     const TargetSamplerOptions& options,
+                     std::vector<PointIndex>* sample);
+};
+
+}  // namespace dbsvec
+
+#endif  // DBSVEC_SVM_TARGET_SAMPLER_H_

@@ -1,0 +1,493 @@
+// Bounded-cost SVDD (docs/PERFORMANCE.md): the budgeted SMO solver's hard
+// support-vector cap and O(B·ñ) per-solve cost, the boundary-preserving
+// target sampler, their wiring through RunDbsvec (stats, degradation,
+// model provenance, CLI flags), the svdd.budget_merge failpoint, and the
+// determinism contract of the sampled path across threads, shards, and
+// range-query engines.
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "cli/cli_options.h"
+#include "cluster/dbscan.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "core/dbsvec.h"
+#include "data/shapes.h"
+#include "data/synthetic.h"
+#include "eval/external_metrics.h"
+#include "fault/failpoint.h"
+#include "gtest/gtest.h"
+#include "model/dbsvec_model.h"
+#include "svm/budgeted_smo_solver.h"
+#include "svm/kernel_cache.h"
+#include "svm/target_sampler.h"
+#include "test_util.h"
+
+namespace dbsvec {
+namespace {
+
+class BudgetTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FailpointRegistry::Instance().DisarmAll(); }
+  void TearDown() override {
+    FailpointRegistry::Instance().DisarmAll();
+    SetGlobalThreads(0);
+  }
+
+  FailpointRegistry& registry() { return FailpointRegistry::Instance(); }
+};
+
+std::vector<PointIndex> AllIndices(const Dataset& dataset) {
+  std::vector<PointIndex> idx(dataset.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  return idx;
+}
+
+int ActiveCount(const std::vector<double>& alpha) {
+  int active = 0;
+  for (const double a : alpha) {
+    active += a > 0.0 ? 1 : 0;
+  }
+  return active;
+}
+
+/// Dense Gaussian blobs: sub-clusters big enough that the expansion
+/// actually trains SVDD spheres and (with a small budget) runs merge
+/// maintenance.
+Dataset BlobScene(PointIndex n, uint64_t seed) {
+  GaussianBlobsParams gen;
+  gen.n = n;
+  gen.dim = 2;
+  gen.num_clusters = 3;
+  gen.stddev = 1.0;
+  gen.noise_fraction = 0.05;
+  gen.seed = seed;
+  return GenerateGaussianBlobs(gen);
+}
+
+DbsvecParams SceneParams(const Dataset& dataset) {
+  DbsvecParams params;
+  params.min_pts = 10;
+  params.epsilon = SuggestEpsilon(dataset, params.min_pts);
+  return params;
+}
+
+// ---------------------------------------------------------------------------
+// BudgetedSmoSolver: the cap, the cost bound, and the dual invariants.
+// ---------------------------------------------------------------------------
+
+TEST_F(BudgetTest, SolveRespectsBudgetAndDualInvariants) {
+  const Dataset dataset = testing::RandomDataset(200, 3, 5.0, 31);
+  const auto target = AllIndices(dataset);
+  KernelCache cache(dataset, target, 2.0);
+  const std::vector<double> bounds(dataset.size(), 0.1);
+
+  BudgetedSmoOptions options;
+  options.budget = 16;
+  BudgetedSmoSolution solution;
+  ASSERT_TRUE(BudgetedSmoSolver::Solve(dataset, &cache, bounds, options,
+                                       &solution)
+                  .ok());
+  EXPECT_TRUE(solution.converged);
+  EXPECT_LE(ActiveCount(solution.alpha), 16);
+  double sum = 0.0;
+  for (size_t i = 0; i < solution.alpha.size(); ++i) {
+    EXPECT_GE(solution.alpha[i], 0.0);
+    EXPECT_LE(solution.alpha[i], bounds[i] + 1e-12);
+    sum += solution.alpha[i];
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);  // Σα = 1 survives every merge/projection.
+}
+
+TEST_F(BudgetTest, SolveReportsExactAlphaKAlpha) {
+  const Dataset dataset = testing::RandomDataset(120, 2, 5.0, 37);
+  const auto target = AllIndices(dataset);
+  KernelCache cache(dataset, target, 1.5);
+  const std::vector<double> bounds(dataset.size(), 0.08);
+  BudgetedSmoOptions options;
+  options.budget = 20;
+  BudgetedSmoSolution solution;
+  ASSERT_TRUE(BudgetedSmoSolver::Solve(dataset, &cache, bounds, options,
+                                       &solution)
+                  .ok());
+  double direct = 0.0;
+  KernelCache fresh(dataset, target, 1.5);
+  const int n = static_cast<int>(target.size());
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      direct += solution.alpha[i] * solution.alpha[j] * fresh.At(i, j);
+    }
+  }
+  EXPECT_NEAR(solution.alpha_k_alpha, direct, 1e-6);
+}
+
+TEST_F(BudgetTest, IterationCapIsLinearInBudgetNotTargetSize) {
+  // The acceptance property of the whole feature: per-solve work is
+  // O(B·ñ). With the default cap the iteration count must be bounded by
+  // max(64, 16·B) — independent of ñ, where the exact solver's default
+  // cap would be 100·ñ.
+  const Dataset dataset = testing::RandomDataset(500, 3, 5.0, 41);
+  const auto target = AllIndices(dataset);
+  KernelCache cache(dataset, target, 2.0);
+  // Caps of 0.2 need at least 5 active SVs to carry Σα = 1, so every budget
+  // below stays feasible.
+  const std::vector<double> bounds(dataset.size(), 0.2);
+  for (const int budget : {8, 16, 64}) {
+    BudgetedSmoOptions options;
+    options.budget = budget;
+    BudgetedSmoSolution solution;
+    ASSERT_TRUE(BudgetedSmoSolver::Solve(dataset, &cache, bounds, options,
+                                         &solution)
+                    .ok())
+        << budget;
+    EXPECT_LE(solution.iterations, std::max<int64_t>(64, 16LL * budget))
+        << budget;
+    EXPECT_TRUE(solution.converged) << budget;
+  }
+}
+
+TEST_F(BudgetTest, MergeMaintenanceFiresAndIsCounted) {
+  // Tight caps force many actives; a small budget then has to merge.
+  const Dataset dataset = testing::RandomDataset(300, 2, 5.0, 43);
+  const auto target = AllIndices(dataset);
+  KernelCache cache(dataset, target, 1.0);
+  const std::vector<double> bounds(dataset.size(), 0.15);
+  BudgetedSmoOptions options;
+  options.budget = 8;
+  BudgetedSmoSolution solution;
+  ASSERT_TRUE(BudgetedSmoSolver::Solve(dataset, &cache, bounds, options,
+                                       &solution)
+                  .ok());
+  EXPECT_GT(solution.merges + solution.forgets, 0);
+  EXPECT_LE(ActiveCount(solution.alpha), 8);
+}
+
+TEST_F(BudgetTest, BudgetTooSmallForBoxConstraintsFailsCleanly) {
+  // 16 caps of 0.05 carry at most 0.8 < 1: no feasible α exists within
+  // the budget, and the solver must say so instead of looping.
+  const Dataset dataset = testing::RandomDataset(100, 2, 5.0, 47);
+  const auto target = AllIndices(dataset);
+  KernelCache cache(dataset, target, 1.0);
+  const std::vector<double> bounds(dataset.size(), 0.05);
+  BudgetedSmoOptions options;
+  options.budget = 16;
+  BudgetedSmoSolution solution;
+  const Status status =
+      BudgetedSmoSolver::Solve(dataset, &cache, bounds, options, &solution);
+  EXPECT_EQ(status.code(), Status::Code::kInvalidArgument);
+  EXPECT_NE(status.message().find("budget"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// TargetSampler: boundary-preserving, order-preserving, deterministic.
+// ---------------------------------------------------------------------------
+
+TEST_F(BudgetTest, SamplerIsInertAtOrBelowThreshold) {
+  const Dataset dataset = testing::RandomDataset(100, 2, 5.0, 53);
+  const auto target = AllIndices(dataset);
+  std::vector<PointIndex> sample;
+  TargetSamplerOptions options;
+  options.threshold = 0;  // Disabled.
+  EXPECT_FALSE(TargetSampler::Sample(dataset, target, options, &sample));
+  options.threshold = 100;  // n == threshold: nothing to shrink.
+  EXPECT_FALSE(TargetSampler::Sample(dataset, target, options, &sample));
+  options.threshold = 200;
+  EXPECT_FALSE(TargetSampler::Sample(dataset, target, options, &sample));
+}
+
+TEST_F(BudgetTest, SamplerReturnsOrderPreservingSubsequenceOfExactSize) {
+  const Dataset dataset = testing::RandomDataset(400, 3, 5.0, 59);
+  const auto target = AllIndices(dataset);
+  std::vector<PointIndex> sample;
+  TargetSamplerOptions options;
+  options.threshold = 64;
+  ASSERT_TRUE(TargetSampler::Sample(dataset, target, options, &sample));
+  ASSERT_EQ(sample.size(), 64u);
+  // A strictly increasing subsequence of an increasing target is exactly
+  // "order preserved, no duplicates".
+  EXPECT_TRUE(std::is_sorted(sample.begin(), sample.end()));
+  EXPECT_EQ(std::adjacent_find(sample.begin(), sample.end()), sample.end());
+}
+
+TEST_F(BudgetTest, SamplerKeepsTheOuterShell) {
+  // One far outlier must always survive sampling: it has the largest
+  // distance to the centroid, and the outer shell is taken by rank.
+  std::vector<double> values;
+  Rng rng(61);
+  for (int i = 0; i < 299; ++i) {
+    values.push_back(rng.Uniform(0.0, 1.0));
+    values.push_back(rng.Uniform(0.0, 1.0));
+  }
+  values.push_back(100.0);
+  values.push_back(100.0);
+  const Dataset dataset(2, std::move(values));
+  const auto target = AllIndices(dataset);
+  std::vector<PointIndex> sample;
+  TargetSamplerOptions options;
+  options.threshold = 32;
+  ASSERT_TRUE(TargetSampler::Sample(dataset, target, options, &sample));
+  EXPECT_NE(std::find(sample.begin(), sample.end(), PointIndex{299}),
+            sample.end());
+}
+
+TEST_F(BudgetTest, SamplerIsDeterministicPerSeed) {
+  const Dataset dataset = testing::RandomDataset(500, 2, 5.0, 67);
+  const auto target = AllIndices(dataset);
+  TargetSamplerOptions options;
+  options.threshold = 100;
+  options.seed = 7;
+  std::vector<PointIndex> first;
+  std::vector<PointIndex> second;
+  ASSERT_TRUE(TargetSampler::Sample(dataset, target, options, &first));
+  ASSERT_TRUE(TargetSampler::Sample(dataset, target, options, &second));
+  EXPECT_EQ(first, second);
+  options.seed = 8;
+  std::vector<PointIndex> other_seed;
+  ASSERT_TRUE(TargetSampler::Sample(dataset, target, options, &other_seed));
+  EXPECT_NE(first, other_seed);  // The uniform floor moves with the seed.
+}
+
+// ---------------------------------------------------------------------------
+// RunDbsvec wiring: stats, quality, validation, provenance.
+// ---------------------------------------------------------------------------
+
+TEST_F(BudgetTest, BudgetedFitBoundsPerSolveCostAndKeepsQuality) {
+  const Dataset dataset = BlobScene(2'000, 71);
+  const DbsvecParams exact_params = SceneParams(dataset);
+  Clustering exact;
+  ASSERT_TRUE(RunDbsvec(dataset, exact_params, &exact).ok());
+  ASSERT_GT(exact.stats.num_svdd_trainings, 0u);
+
+  DbsvecParams budgeted_params = exact_params;
+  budgeted_params.sv_budget = 32;
+  Clustering budgeted;
+  ASSERT_TRUE(RunDbsvec(dataset, budgeted_params, &budgeted).ok());
+  EXPECT_GT(budgeted.stats.num_svdd_trainings, 0u);
+  // The acceptance bound: per-solve SMO cost is O(B), not O(ñ).
+  EXPECT_LE(budgeted.stats.max_smo_iterations,
+            std::max<int64_t>(64, 16LL * budgeted_params.sv_budget));
+  EXPECT_EQ(budgeted.stats.num_nonconverged_solves, 0u);
+  EXPECT_GE(AdjustedRandIndex(exact.labels, budgeted.labels), 0.95);
+}
+
+TEST_F(BudgetTest, SampledFitKeepsQuality) {
+  const Dataset dataset = BlobScene(2'000, 73);
+  const DbsvecParams exact_params = SceneParams(dataset);
+  Clustering exact;
+  ASSERT_TRUE(RunDbsvec(dataset, exact_params, &exact).ok());
+
+  DbsvecParams sampled_params = exact_params;
+  sampled_params.sample_threshold = 128;
+  Clustering sampled;
+  ASSERT_TRUE(RunDbsvec(dataset, sampled_params, &sampled).ok());
+  EXPECT_GT(sampled.stats.num_sampled_solves, 0u);
+  EXPECT_GE(AdjustedRandIndex(exact.labels, sampled.labels), 0.95);
+}
+
+TEST_F(BudgetTest, InertThresholdIsBitIdenticalToDefaults) {
+  // sample_threshold larger than any target must not perturb anything:
+  // the sampler never fires, consumes no RNG, and the run is the default
+  // run bit for bit (labels and every counter).
+  const Dataset dataset = BlobScene(1'000, 79);
+  const DbsvecParams defaults = SceneParams(dataset);
+  Clustering base;
+  ASSERT_TRUE(RunDbsvec(dataset, defaults, &base).ok());
+
+  DbsvecParams inert = defaults;
+  inert.sample_threshold = dataset.size() + 1;
+  Clustering with_flag;
+  ASSERT_TRUE(RunDbsvec(dataset, inert, &with_flag).ok());
+  EXPECT_EQ(base.labels, with_flag.labels);
+  EXPECT_EQ(base.stats.num_range_queries, with_flag.stats.num_range_queries);
+  EXPECT_EQ(base.stats.smo_iterations, with_flag.stats.smo_iterations);
+  EXPECT_EQ(with_flag.stats.num_sampled_solves, 0u);
+}
+
+TEST_F(BudgetTest, NegativeParametersRejected) {
+  const Dataset dataset = testing::RandomDataset(50, 2, 10.0, 83);
+  DbsvecParams params;
+  params.epsilon = 1.0;
+  params.sv_budget = -1;
+  Clustering out;
+  EXPECT_EQ(RunDbsvec(dataset, params, &out).code(),
+            Status::Code::kInvalidArgument);
+  params.sv_budget = 0;
+  params.sample_threshold = -1;
+  EXPECT_EQ(RunDbsvec(dataset, params, &out).code(),
+            Status::Code::kInvalidArgument);
+}
+
+TEST_F(BudgetTest, ModelRecordsBudgetProvenanceAndRoundTrips) {
+  const Dataset dataset = BlobScene(800, 89);
+  DbsvecParams params = SceneParams(dataset);
+  params.sv_budget = 24;
+  params.sample_threshold = 96;
+  Clustering out;
+  DbsvecModel model;
+  ASSERT_TRUE(RunDbsvec(dataset, params, &out, &model).ok());
+  EXPECT_EQ(model.sv_budget, 24);
+  EXPECT_EQ(model.sample_threshold, 96);
+
+  std::vector<uint8_t> bytes;
+  ASSERT_TRUE(SerializeModel(model, &bytes).ok());
+  DbsvecModel loaded;
+  ASSERT_TRUE(DeserializeModel(bytes, &loaded).ok());
+  EXPECT_TRUE(loaded == model);
+  EXPECT_EQ(loaded.sv_budget, 24);
+  EXPECT_EQ(loaded.sample_threshold, 96);
+}
+
+TEST_F(BudgetTest, CliParsesBudgetFlags) {
+  cli::CliOptions options;
+  ASSERT_TRUE(cli::ParseCliOptions(
+                  {"--sv-budget=32", "--sample-threshold=256"}, &options)
+                  .ok());
+  EXPECT_EQ(options.sv_budget, 32);
+  EXPECT_EQ(options.sample_threshold, 256);
+  EXPECT_FALSE(cli::ParseCliOptions({"--sv-budget=-1"}, &options).ok());
+  EXPECT_FALSE(cli::ParseCliOptions({"--sv-budget=x"}, &options).ok());
+  EXPECT_FALSE(cli::ParseCliOptions({"--sample-threshold=-2"}, &options).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Failpoint: svdd.budget_merge.
+// ---------------------------------------------------------------------------
+
+/// Budgeted params tight enough that merge maintenance provably runs
+/// (asserted via the healthy run's counter before any fault is armed).
+DbsvecParams MergeHeavyParams(const Dataset& dataset) {
+  DbsvecParams params = SceneParams(dataset);
+  params.sv_budget = 8;
+  return params;
+}
+
+TEST_F(BudgetTest, BudgetMergeErrorDegradesToExactExpansion) {
+  const Dataset dataset = BlobScene(1'000, 97);
+  const DbsvecParams params = MergeHeavyParams(dataset);
+
+  Clustering healthy;
+  ASSERT_TRUE(RunDbsvec(dataset, params, &healthy).ok());
+  ASSERT_GT(healthy.stats.num_budget_merges, 0u)
+      << "workload does not reach the merge step; the sweep below would "
+         "pass vacuously";
+
+  ASSERT_TRUE(registry().ArmSpec("svdd.budget_merge:error").ok());
+  Clustering degraded;
+  ASSERT_TRUE(RunDbsvec(dataset, params, &degraded).ok());
+  EXPECT_GE(registry().HitCount("svdd.budget_merge"), 1u);
+  EXPECT_GT(degraded.stats.num_svdd_fallbacks, 0u);
+
+  // Theorem 1/3: exact expansion keeps the DBSCAN partition.
+  DbscanParams exact;
+  exact.epsilon = params.epsilon;
+  exact.min_pts = params.min_pts;
+  Clustering reference;
+  ASSERT_TRUE(RunDbscan(dataset, exact, &reference).ok());
+  EXPECT_TRUE(testing::SamePartition(degraded.labels, reference.labels));
+}
+
+TEST_F(BudgetTest, BudgetMergeNonconvergeForcesForgetPath) {
+  const Dataset dataset = BlobScene(1'000, 97);
+  const DbsvecParams params = MergeHeavyParams(dataset);
+
+  ASSERT_TRUE(registry().ArmSpec("svdd.budget_merge:nonconverge").ok());
+  Clustering forced;
+  ASSERT_TRUE(RunDbsvec(dataset, params, &forced).ok());
+  EXPECT_GE(registry().HitCount("svdd.budget_merge"), 1u);
+  EXPECT_GT(forced.stats.num_budget_forgets, 0u);
+  EXPECT_EQ(forced.stats.num_budget_merges, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Determinism of the sampled/budgeted path.
+// ---------------------------------------------------------------------------
+
+TEST_F(BudgetTest, SampledPathIsBitIdenticalAcrossThreadsAndShards) {
+  // The library's determinism contract, extended to the sampled/budgeted
+  // path (mirrors determinism_test.cc): labels are bit-identical across
+  // every engine × shard × thread combination, and the solver counters are
+  // bit-identical across thread counts at a fixed (engine, shards). Across
+  // engines — and between the legacy unsharded path and the sharded one —
+  // the neighbor *order* differs, so the solve trajectory (merge counts,
+  // iteration sums) legitimately differs; each configuration is held to
+  // its own threads=1 reference.
+  const Dataset dataset = BlobScene(2'000, 101);
+  DbsvecParams params = SceneParams(dataset);
+  params.sv_budget = 32;
+  params.sample_threshold = 96;
+
+  Clustering labels_baseline;
+  {
+    SetGlobalThreads(1);
+    ASSERT_TRUE(RunDbsvec(dataset, params, &labels_baseline).ok());
+    SetGlobalThreads(0);
+  }
+  ASSERT_GT(labels_baseline.stats.num_sampled_solves, 0u);
+
+  constexpr IndexType kEngines[] = {IndexType::kBruteForce,
+                                    IndexType::kKdTree,
+                                    IndexType::kRStarTree, IndexType::kGrid};
+  for (const IndexType engine : kEngines) {
+    for (const int shards : {0, 1, 4}) {
+      DbsvecParams variant = params;
+      variant.index = engine;
+      variant.shards = shards;
+      Clustering reference;  // threads=1 at this (engine, shards).
+      {
+        SetGlobalThreads(1);
+        ASSERT_TRUE(RunDbsvec(dataset, variant, &reference).ok());
+        SetGlobalThreads(0);
+      }
+      for (const int threads : {1, 8}) {
+        SetGlobalThreads(threads);
+        Clustering run;
+        ASSERT_TRUE(RunDbsvec(dataset, variant, &run).ok());
+        SetGlobalThreads(0);
+        SCOPED_TRACE("engine=" + std::to_string(static_cast<int>(engine)) +
+                     " threads=" + std::to_string(threads) +
+                     " shards=" + std::to_string(shards));
+        EXPECT_EQ(run.labels, labels_baseline.labels);
+        EXPECT_GT(run.stats.num_sampled_solves, 0u);
+        EXPECT_EQ(run.stats.num_sampled_solves,
+                  reference.stats.num_sampled_solves);
+        EXPECT_EQ(run.stats.num_budget_merges,
+                  reference.stats.num_budget_merges);
+        EXPECT_EQ(run.stats.num_budget_forgets,
+                  reference.stats.num_budget_forgets);
+        EXPECT_EQ(run.stats.smo_iterations, reference.stats.smo_iterations);
+      }
+    }
+  }
+}
+
+TEST_F(BudgetTest, SeedsOnlyShiftTheSampleNotTheQuality) {
+  // Fig-1-style shape scenes: any seed's sampled+budgeted run must stay
+  // close to the exact partition (the sample floor moves with the seed;
+  // the boundary shell, and thus the expansion, must not).
+  for (const ShapeScene scene : {ShapeScene::kT4, ShapeScene::kT7}) {
+    const Dataset dataset = GenerateShapeScene(scene, 4'000, 5);
+    DbsvecParams exact_params;
+    exact_params.min_pts = 10;
+    exact_params.epsilon = SuggestEpsilon(dataset, exact_params.min_pts);
+    Clustering exact;
+    ASSERT_TRUE(RunDbsvec(dataset, exact_params, &exact).ok());
+
+    for (const uint64_t seed : {7ull, 1234ull}) {
+      DbsvecParams sampled_params = exact_params;
+      sampled_params.seed = seed;
+      sampled_params.sample_threshold = 256;
+      sampled_params.sv_budget = 64;
+      Clustering sampled;
+      ASSERT_TRUE(RunDbsvec(dataset, sampled_params, &sampled).ok());
+      SCOPED_TRACE("scene=" + std::to_string(static_cast<int>(scene)) +
+                   " seed=" + std::to_string(seed));
+      EXPECT_GE(AdjustedRandIndex(exact.labels, sampled.labels), 0.80);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dbsvec

@@ -103,7 +103,8 @@ TEST_F(FaultTest, SitesCoverEveryInstrumentedLayer) {
   const std::vector<std::string_view> expected = {
       "csv.read",      "index.build",   "exec.shard_merge",
       "kernel_cache.materialize",       "cache.reserve",
-      "smo.solve",     "svdd.train",    "thread_pool.task",
+      "smo.solve",     "svdd.train",    "svdd.budget_merge",
+      "thread_pool.task",
       "model.save",    "model.load",    "assign.batch",
       "server.accept", "server.reload", "serve.refresh",
   };
@@ -708,9 +709,12 @@ TEST_F(FaultTest, ErrorSweepEverySiteFailsCleanlyOrDegrades) {
   // cache.reserve sits inside CacheManager::Reserve, which is never called
   // while the manager is disabled (the default here); tests/cache_test.cc
   // sweeps it through fit+assign with a budget configured.
+  // svdd.budget_merge sits inside the budgeted SMO maintenance step, which
+  // the default sv_budget=0 pipeline never enters; the Budget* tests in
+  // tests/budget_test.cc sweep it through a budgeted fit.
   const std::vector<std::string> out_of_pipeline_sites = {
       "server.accept", "server.reload", "serve.refresh", "exec.shard_merge",
-      "cache.reserve"};
+      "cache.reserve", "svdd.budget_merge"};
 
   for (const std::string_view site : FailpointRegistry::Sites()) {
     if (std::find(out_of_pipeline_sites.begin(), out_of_pipeline_sites.end(),

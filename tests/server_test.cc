@@ -579,10 +579,17 @@ TEST_F(ServerTest, StatzReportsModelIdentityWithoutRereadingFile) {
   ASSERT_TRUE(
       client.Roundtrip("GET", "/v1/statz", "", "", {}, &response).ok());
   ASSERT_EQ(response.status_code, 200);
-  EXPECT_NE(response.body.find("\"model_version\":1"), std::string::npos);
+  EXPECT_NE(response.body.find(
+                "\"model_version\":" +
+                std::to_string(DbsvecModel::kFormatVersion)),
+            std::string::npos)
+      << response.body;
   EXPECT_NE(response.body.find(std::string("\"model_crc\":") + expected_crc),
             std::string::npos)
       << response.body;
+  EXPECT_NE(response.body.find("\"model_sv_budget\":0"), std::string::npos);
+  EXPECT_NE(response.body.find("\"model_sample_threshold\":0"),
+            std::string::npos);
   EXPECT_NE(response.body.find("\"requests_total\""), std::string::npos);
   EXPECT_NE(response.body.find("\"assign_latency_p99_us\""),
             std::string::npos);

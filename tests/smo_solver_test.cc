@@ -1,3 +1,4 @@
+#include <algorithm>
 #include <cmath>
 #include <numeric>
 
@@ -132,6 +133,25 @@ TEST(SmoSolverTest, SolutionIsNoWorseThanUniform) {
   // any feasible alpha under the Gaussian kernel, so comparing the
   // quadratic part suffices.
   EXPECT_LE(solution.alpha_k_alpha, uniform_obj + 1e-6);
+}
+
+TEST(SmoSolverTest, DefaultIterationCapPinned) {
+  // max_iterations = 0 is a contract, not a placeholder: the solver
+  // interprets it as max(10'000, 100·ñ). Both halves are pinned — the
+  // default value itself, and that a default-capped solve on a problem
+  // needing many iterations actually converges (a regression to "0 means
+  // no iterations" or a much smaller cap would flip `converged`).
+  EXPECT_EQ(SmoOptions().max_iterations, 0);
+  const Dataset dataset = testing::RandomDataset(200, 4, 5.0, 13);
+  const auto target = AllIndices(dataset);
+  KernelCache cache(dataset, target, 2.0);
+  std::vector<double> bounds(dataset.size(), 0.02);
+  SmoSolution solution;
+  ASSERT_TRUE(SmoSolver::Solve(&cache, bounds, SmoOptions(), &solution).ok());
+  EXPECT_TRUE(solution.converged);
+  EXPECT_GT(solution.iterations, 3);  // Needs real work (see cap test below).
+  EXPECT_LE(solution.iterations,
+            std::max<int64_t>(10'000, 100LL * dataset.size()));
 }
 
 TEST(SmoSolverTest, IterationCapReported) {

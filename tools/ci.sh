@@ -38,6 +38,14 @@ else
   echo "skipped: this host has no AVX-512F (the forced-avx512 leg needs it)"
 fi
 
+echo "=== bench_budget smoke: bounded-cost SVDD sweep stays sane ==="
+# Seconds, not minutes: a tiny (B, S) sweep proving the budgeted and
+# sampled paths fit, agree with the exact labels, and emit their JSON.
+# No speedup requirement at this size (--min-speedup stays 0).
+cmake --build "${repo}/build-ci-release" -j "${jobs}" --target bench_budget
+"${repo}/build-ci-release/bench/bench_budget" --smoke \
+  --out="${repo}/build-ci-release/BENCH_budget_smoke.json"
+
 echo "=== ThreadSanitizer build + concurrency tests ==="
 cmake -S "${repo}" -B "${repo}/build-ci-tsan" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -91,7 +99,19 @@ cmake --build "${repo}/build-ci-asan" -j "${jobs}" --target dbsvec_tests \
 # every failpoint site through the full fit/save/load/assign pipeline, so
 # every injected failure path is leak- and overflow-checked too.
 ctest --test-dir "${repo}/build-ci-asan" --output-on-failure -j "${jobs}" \
-  -R 'Model|Serve|Cli|Simd|Fault'
+  -R 'Model|Serve|Cli|Simd|Fault|Budget'
+
+echo "=== ASan budget sweep through the CLI (--sv-budget 0/16/128) ==="
+# The bounded-cost SVDD path (docs/PERFORMANCE.md) exercised end to end
+# under ASan: the exact solver (budget 0), a merge-heavy tiny budget, and
+# a comfortable budget, each with the boundary-preserving sampler armed.
+# The budgeted solver's merge/projection arithmetic and the sampler's
+# re-check walk are exactly the kind of index-juggling ASan is for.
+for budget in 0 16 128; do
+  "${repo}/build-ci-asan/tools/dbsvec_cli" \
+    --demo=blobs --demo-n=2000 --demo-dim=2 --minpts=10 \
+    --sv-budget="${budget}" --sample-threshold=128
+done
 
 echo "=== DBSVEC_FAILPOINTS env sweep through the CLI (under ASan) ==="
 # The env-var arming path is only reachable at process start, so it gets

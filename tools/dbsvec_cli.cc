@@ -40,6 +40,29 @@ void PrintDegradedStats(const ClusteringStats& stats) {
               static_cast<unsigned long long>(stats.num_caps_rescaled));
 }
 
+/// SMO aggregate line shared by the cluster and fit outputs. The max makes
+/// per-solve cost visible without a profiler: under --sv-budget it must
+/// stay bounded in B, not in the target size. The budget line appears only
+/// when the bounded-cost machinery actually fired.
+void PrintSolverStats(const ClusteringStats& stats) {
+  if (stats.num_svdd_trainings == 0) {
+    return;
+  }
+  std::printf("smo: solves=%llu iterations=%lld max_per_solve=%lld "
+              "nonconverged=%llu\n",
+              static_cast<unsigned long long>(stats.num_svdd_trainings),
+              static_cast<long long>(stats.smo_iterations),
+              static_cast<long long>(stats.max_smo_iterations),
+              static_cast<unsigned long long>(stats.num_nonconverged_solves));
+  if (stats.num_budget_merges > 0 || stats.num_budget_forgets > 0 ||
+      stats.num_sampled_solves > 0) {
+    std::printf("budget: merges=%llu forgets=%llu sampled_solves=%llu\n",
+                static_cast<unsigned long long>(stats.num_budget_merges),
+                static_cast<unsigned long long>(stats.num_budget_forgets),
+                static_cast<unsigned long long>(stats.num_sampled_solves));
+  }
+}
+
 /// `fit`: cluster with DBSVEC, persist the model, report its summary.
 int RunFitCommand(const cli::CliOptions& options) {
   Dataset dataset(1);
@@ -61,6 +84,7 @@ int RunFitCommand(const cli::CliOptions& options) {
               dataset.size(), dataset.dim(), model.epsilon, model.min_pts);
   std::printf("clusters=%d noise=%d time=%.3fs\n", result.num_clusters,
               result.CountNoise(), timer.ElapsedSeconds());
+  PrintSolverStats(result.stats);
   PrintDegradedStats(result.stats);
   uint32_t model_crc = 0;
   if (const Status status = ModelPayloadCrc(model, &model_crc);
@@ -258,6 +282,7 @@ int Main(int argc, char** argv) {
                     result.stats.num_support_vectors),
                 static_cast<unsigned long long>(result.stats.num_merges));
   }
+  PrintSolverStats(result.stats);
   PrintDegradedStats(result.stats);
 
   if (options.compare_dbscan) {
