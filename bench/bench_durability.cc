@@ -1,0 +1,292 @@
+// Durability benchmark (docs/ROBUSTNESS.md): absorb throughput under the
+// three journal fsync policies {off, interval, always}, then recovery
+// latency from a journal replay versus from a folded checkpoint. Labels are
+// checked bit-identical across every policy and every recovery path — the
+// journal changes what survives a crash, never what the engine answers.
+//
+// Flags: --n --dim --clusters --eps --minpts --seed --traffic --batch
+//        --interval-batches --out
+// Writes BENCH_durability.json next to the text table.
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/stopwatch.h"
+#include "core/dbsvec.h"
+#include "data/synthetic.h"
+#include "model/dbsvec_model.h"
+#include "model/overlay_journal.h"
+#include "serve/assignment_engine.h"
+#include "server/durability.h"
+
+namespace dbsvec {
+namespace {
+
+struct PolicyRun {
+  std::string policy;
+  double absorb_seconds = 0.0;
+  uint64_t absorbed = 0;
+  uint64_t fsyncs = 0;
+  uint64_t journal_bytes = 0;
+};
+
+struct RecoveryRun {
+  std::string mode;
+  double seconds = 0.0;
+  uint64_t records_replayed = 0;
+  bool from_snapshot = false;
+};
+
+int Main(int argc, char** argv) {
+  const bench::Args args(argc, argv);
+  GaussianBlobsParams data;
+  data.n = static_cast<PointIndex>(args.GetInt("n", 20'000));
+  data.dim = static_cast<int>(args.GetInt("dim", 8));
+  data.num_clusters = static_cast<int>(args.GetInt("clusters", 6));
+  data.noise_fraction = 0.05;
+  data.seed = static_cast<uint64_t>(args.GetInt("seed", 29));
+  const double epsilon = args.GetDouble("eps", 9.0);
+  const int min_pts = static_cast<int>(args.GetInt("minpts", 30));
+  const PointIndex num_traffic =
+      static_cast<PointIndex>(args.GetInt("traffic", 20'000));
+  const PointIndex batch = static_cast<PointIndex>(args.GetInt("batch", 256));
+  // How many batches between Sync() calls under --fsync=interval; stands in
+  // for the serving loop's --fsync-interval-ms timer.
+  const PointIndex interval_batches =
+      static_cast<PointIndex>(args.GetInt("interval-batches", 8));
+  const std::string json_path = args.GetString("out", "BENCH_durability.json");
+
+  std::printf("dataset: n=%d dim=%d clusters=%d eps=%.4g minpts=%d "
+              "traffic=%d batch=%d\n",
+              data.n, data.dim, data.num_clusters, epsilon, min_pts,
+              num_traffic, batch);
+  const Dataset train = GenerateGaussianBlobs(data);
+  // Same seed → same blob centers: the traffic is drawn from the training
+  // distribution, so a healthy fraction of it is genuinely core-adjacent.
+  GaussianBlobsParams traffic_params = data;
+  traffic_params.n = num_traffic;
+  const Dataset traffic = GenerateGaussianBlobs(traffic_params);
+  GaussianBlobsParams probe_params = data;
+  probe_params.n = 2'000;
+  const Dataset probes = GenerateGaussianBlobs(probe_params);
+
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() /
+      ("dbsvec_bench_durability_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+  const std::string model_path = (dir / "model.dbsvm").string();
+
+  DbsvecParams params;
+  params.epsilon = epsilon;
+  params.min_pts = min_pts;
+  Clustering clustering;
+  DbsvecModel model;
+  Stopwatch fit_timer;
+  if (const Status status = RunDbsvec(train, params, &clustering, &model);
+      !status.ok()) {
+    std::fprintf(stderr, "fit: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  const double fit_seconds = fit_timer.ElapsedSeconds();
+  if (const Status status = SaveModel(model, model_path); !status.ok()) {
+    std::fprintf(stderr, "save: %s\n", status.ToString().c_str());
+    return 1;
+  }
+
+  bool all_match = true;
+  std::vector<int32_t> probe_reference;
+  std::vector<PolicyRun> policy_runs;
+  bench::Table policy_table(
+      {"fsync", "absorb_s", "absorbed", "points/s", "fsyncs", "wal_bytes"});
+
+  for (const FsyncPolicy policy :
+       {FsyncPolicy::kOff, FsyncPolicy::kInterval, FsyncPolicy::kAlways}) {
+    const std::string name = FsyncPolicyName(policy);
+    server::DurabilityOptions durability;
+    durability.enabled = true;
+    durability.snapshot_path = (dir / (name + ".ckpt")).string();
+    durability.journal_path = (dir / (name + ".wal")).string();
+    durability.fsync = policy;
+
+    std::unique_ptr<AssignmentEngine> engine;
+    std::shared_ptr<OverlayJournal> journal;
+    if (const Status status =
+            server::RecoverEngine(model_path, durability, {},
+                                  server::RetryOptions(), &engine, &journal,
+                                  nullptr);
+        !status.ok()) {
+      std::fprintf(stderr, "recover(%s): %s\n", name.c_str(),
+                   status.ToString().c_str());
+      return 1;
+    }
+
+    PolicyRun run;
+    run.policy = name;
+    Stopwatch absorb_timer;
+    PointIndex batches = 0;
+    for (PointIndex begin = 0; begin < traffic.size(); begin += batch) {
+      const PointIndex count = std::min(batch, traffic.size() - begin);
+      Dataset slice(traffic.dim());
+      for (PointIndex i = 0; i < count; ++i) {
+        slice.Append(traffic.point(begin + i));
+      }
+      std::vector<int32_t> labels;
+      if (const Status status = engine->AssignBatch(slice, &labels);
+          !status.ok()) {
+        std::fprintf(stderr, "assign: %s\n", status.ToString().c_str());
+        return 1;
+      }
+      uint64_t absorbed = 0;
+      if (const Status status =
+              engine->AbsorbCoreAdjacent(slice, labels, &absorbed);
+          !status.ok()) {
+        std::fprintf(stderr, "absorb: %s\n", status.ToString().c_str());
+        return 1;
+      }
+      run.absorbed += absorbed;
+      if (policy == FsyncPolicy::kInterval &&
+          ++batches % interval_batches == 0) {
+        (void)journal->Sync();
+      }
+    }
+    (void)journal->Sync();
+    run.absorb_seconds = absorb_timer.ElapsedSeconds();
+    const OverlayJournalStats stats = journal->stats();
+    run.fsyncs = stats.fsyncs;
+    run.journal_bytes = stats.bytes;
+    if (stats.records_dropped != 0 || journal->degraded()) {
+      std::fprintf(stderr, "FAIL: journal degraded under policy %s\n",
+                   name.c_str());
+      return 1;
+    }
+
+    std::vector<int32_t> probe_labels;
+    if (const Status status = engine->AssignBatch(probes, &probe_labels);
+        !status.ok()) {
+      std::fprintf(stderr, "probe: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    if (probe_reference.empty()) {
+      probe_reference = probe_labels;
+    }
+    all_match = all_match && probe_labels == probe_reference;
+
+    const double rate = run.absorb_seconds > 0.0
+                            ? static_cast<double>(traffic.size()) /
+                                  run.absorb_seconds
+                            : 0.0;
+    policy_table.AddRow({run.policy, bench::FormatSeconds(run.absorb_seconds),
+                         std::to_string(run.absorbed),
+                         bench::FormatDouble(rate, 0),
+                         std::to_string(run.fsyncs),
+                         std::to_string(run.journal_bytes)});
+    policy_runs.push_back(run);
+  }
+  std::printf("fit: %s s\n", bench::FormatSeconds(fit_seconds).c_str());
+  policy_table.Print();
+
+  // Recovery latency. The "always" run left the longest-lived journal;
+  // recover from it (full replay), then checkpoint and recover again (the
+  // snapshot already holds the overlay, nothing to replay).
+  server::DurabilityOptions durability;
+  durability.enabled = true;
+  durability.snapshot_path = (dir / "always.ckpt").string();
+  durability.journal_path = (dir / "always.wal").string();
+  durability.fsync = FsyncPolicy::kOff;
+
+  std::vector<RecoveryRun> recovery_runs;
+  bench::Table recovery_table(
+      {"recovery", "seconds", "replayed", "from_snapshot"});
+  for (const bool checkpoint_first : {false, true}) {
+    std::unique_ptr<AssignmentEngine> engine;
+    server::RecoveryReport report;
+    Stopwatch recover_timer;
+    if (const Status status =
+            server::RecoverEngine(model_path, durability, {},
+                                  server::RetryOptions(), &engine, nullptr,
+                                  &report);
+        !status.ok()) {
+      std::fprintf(stderr, "recover: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    RecoveryRun run;
+    run.mode = checkpoint_first ? "snapshot" : "journal_replay";
+    run.seconds = recover_timer.ElapsedSeconds();
+    run.records_replayed = report.records_replayed;
+    run.from_snapshot = report.loaded_from_snapshot;
+
+    std::vector<int32_t> probe_labels;
+    if (const Status status = engine->AssignBatch(probes, &probe_labels);
+        !status.ok()) {
+      std::fprintf(stderr, "probe: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    all_match = all_match && probe_labels == probe_reference;
+
+    recovery_table.AddRow({run.mode, bench::FormatSeconds(run.seconds),
+                           std::to_string(run.records_replayed),
+                           run.from_snapshot ? "yes" : "no"});
+    recovery_runs.push_back(run);
+    if (!checkpoint_first) {
+      // Fold the journal for the second pass.
+      if (const Status status =
+              engine->Checkpoint(durability.snapshot_path, nullptr, nullptr);
+          !status.ok()) {
+        std::fprintf(stderr, "checkpoint: %s\n", status.ToString().c_str());
+        return 1;
+      }
+    }
+  }
+  recovery_table.Print();
+
+  std::ofstream json(json_path);
+  json << "{\n"
+       << "  \"workload\": {\"n\": " << data.n << ", \"dim\": " << data.dim
+       << ", \"clusters\": " << data.num_clusters << ", \"eps\": " << epsilon
+       << ", \"minpts\": " << min_pts << ", \"seed\": " << data.seed
+       << ", \"traffic\": " << num_traffic << ", \"batch\": " << batch
+       << "},\n"
+       << "  \"fit_seconds\": " << fit_seconds << ",\n"
+       << "  \"deterministic\": " << (all_match ? "true" : "false") << ",\n"
+       << "  \"policies\": [\n";
+  for (size_t i = 0; i < policy_runs.size(); ++i) {
+    const PolicyRun& run = policy_runs[i];
+    json << "    {\"fsync\": \"" << run.policy
+         << "\", \"absorb_seconds\": " << run.absorb_seconds
+         << ", \"absorbed\": " << run.absorbed
+         << ", \"fsyncs\": " << run.fsyncs
+         << ", \"journal_bytes\": " << run.journal_bytes << "}"
+         << (i + 1 < policy_runs.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n  \"recovery\": [\n";
+  for (size_t i = 0; i < recovery_runs.size(); ++i) {
+    const RecoveryRun& run = recovery_runs[i];
+    json << "    {\"mode\": \"" << run.mode
+         << "\", \"seconds\": " << run.seconds
+         << ", \"records_replayed\": " << run.records_replayed
+         << ", \"from_snapshot\": " << (run.from_snapshot ? "true" : "false")
+         << "}" << (i + 1 < recovery_runs.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  std::printf("[json written to %s]\n", json_path.c_str());
+
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+  if (!all_match) {
+    std::fprintf(stderr,
+                 "FAIL: labels diverged across fsync policies or recovery\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace dbsvec
+
+int main(int argc, char** argv) { return dbsvec::Main(argc, argv); }

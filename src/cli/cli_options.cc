@@ -185,6 +185,18 @@ std::string HelpText() {
       "  --refresh               absorb core-adjacent assigned points into\n"
       "                          the dynamic overlay (online refresh)\n"
       "\n"
+      "Durability (serve; --snapshot/--journal also apply to assign, which\n"
+      "then recovers state exactly like a restarted server):\n"
+      "  --durable               journal absorbed overlay points and answer\n"
+      "                          POST /v1/snapshot; implies --refresh\n"
+      "  --snapshot=FILE         checkpoint artifact (default <model>.ckpt)\n"
+      "  --journal=FILE          write-ahead journal (default <model>.wal)\n"
+      "  --fsync=always|interval|off   journal fsync policy (default\n"
+      "                          interval; always = fsync per record)\n"
+      "  --fsync-interval-ms=N   background fsync period (default 50)\n"
+      "  --checkpoint-interval-ms=N  automatic checkpoint period;\n"
+      "                          0 = manual only (default)\n"
+      "\n"
       "Robustness:\n"
       "  --deadline-ms=N         overall time budget; an exceeded budget\n"
       "                          exits with a DeadlineExceeded status\n"
@@ -341,6 +353,23 @@ Status ParseCliOptions(const std::vector<std::string>& args,
       options->serve_default_deadline_ms = default_ms;
     } else if (key == "refresh") {
       options->serve_refresh = value != "0" && value != "false";
+    } else if (key == "durable") {
+      options->serve_durable = value != "0" && value != "false";
+    } else if (key == "snapshot") {
+      options->snapshot_path = value;
+    } else if (key == "journal") {
+      options->journal_path = value;
+    } else if (key == "fsync") {
+      DBSVEC_RETURN_IF_ERROR(
+          ParseFsyncPolicy(value, &options->fsync_policy));
+    } else if (key == "fsync-interval-ms") {
+      int interval_ms = 0;
+      DBSVEC_RETURN_IF_ERROR(ParsePositiveInt(key, value, &interval_ms));
+      options->fsync_interval_ms = interval_ms;
+    } else if (key == "checkpoint-interval-ms") {
+      int interval_ms = 0;
+      DBSVEC_RETURN_IF_ERROR(ParsePositiveInt(key, value, &interval_ms));
+      options->checkpoint_interval_ms = interval_ms;
     } else if (key == "failpoints") {
       if (value.empty()) {
         return Status::InvalidArgument(
@@ -367,6 +396,10 @@ Status ParseCliOptions(const std::vector<std::string>& args,
   if (options->command == Command::kServe && !options->show_help &&
       options->model_path.empty()) {
     return Status::InvalidArgument("serve requires --model=FILE");
+  }
+  if (options->serve_durable) {
+    // A durable server journals absorbed points, so absorption must be on.
+    options->serve_refresh = true;
   }
   return Status::Ok();
 }

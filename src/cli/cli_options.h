@@ -7,6 +7,7 @@
 #include "common/status.h"
 #include "core/dbsvec.h"
 #include "index/neighbor_index.h"
+#include "model/overlay_journal.h"
 
 namespace dbsvec::cli {
 
@@ -93,6 +94,17 @@ struct CliOptions {
   int serve_max_inflight = 64;
   int64_t serve_default_deadline_ms = 0;  ///< Per-request default budget.
   bool serve_refresh = false;  ///< Online core absorption (overlay).
+
+  // Durability (docs/ROBUSTNESS.md). --durable implies --refresh for
+  // serve. assign also honors --snapshot/--journal: it then recovers
+  // engine state exactly like a restarted server (the offline recovery
+  // oracle the crash harness compares against).
+  bool serve_durable = false;
+  std::string snapshot_path;  ///< Empty => `<model>.ckpt`.
+  std::string journal_path;   ///< Empty => `<model>.wal`.
+  FsyncPolicy fsync_policy = FsyncPolicy::kInterval;
+  int64_t fsync_interval_ms = 50;
+  int64_t checkpoint_interval_ms = 0;  ///< 0 = manual (POST /v1/snapshot).
 };
 
 /// Parses argv into `*options`. Returns InvalidArgument with a message

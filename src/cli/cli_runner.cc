@@ -14,6 +14,7 @@
 #include "data/shapes.h"
 #include "data/synthetic.h"
 #include "serve/assignment_engine.h"
+#include "server/durability.h"
 
 namespace dbsvec::cli {
 namespace {
@@ -163,8 +164,26 @@ Status RunAssign(const CliOptions& options, Dataset* points,
   serve_options.index = options.index;
   serve_options.shards = options.shards;
   serve_options.build_deadline = deadline;
-  DBSVEC_RETURN_IF_ERROR(
-      AssignmentEngine::Load(options.model_path, serve_options, &engine));
+  if (!options.snapshot_path.empty() || !options.journal_path.empty()) {
+    // Offline recovery oracle: rebuild the exact engine state a restarted
+    // durable server would serve from (snapshot + journal replay), then
+    // assign against it. The crash-recovery harness compares server output
+    // against this path.
+    server::DurabilityOptions durability;
+    durability.enabled = true;
+    durability.snapshot_path = options.snapshot_path;
+    durability.journal_path = options.journal_path;
+    durability.fsync = FsyncPolicy::kOff;  // Read-only replay; never sync.
+    server::ResolveDurabilityPaths(options.model_path, &durability);
+    DBSVEC_RETURN_IF_ERROR(server::RecoverEngine(
+        options.model_path, durability, serve_options, server::RetryOptions(),
+        &engine, /*journal=*/nullptr, /*report=*/nullptr));
+    // Recovery opened the journal for append; this process only reads.
+    engine->AttachJournal(nullptr);
+  } else {
+    DBSVEC_RETURN_IF_ERROR(
+        AssignmentEngine::Load(options.model_path, serve_options, &engine));
+  }
   DBSVEC_RETURN_IF_ERROR(ReadCsv(options.input_path,
                                  /*last_column_is_label=*/false, points,
                                  nullptr));

@@ -14,7 +14,7 @@ namespace {
 /// Every failpoint site in the library, in pipeline order. A site name has
 /// the form "<layer>.<operation>"; adding a site means adding it here and
 /// placing the matching check in the instrumented code.
-constexpr std::array<std::string_view, 15> kSites = {
+constexpr std::array<std::string_view, 17> kSites = {
     "csv.read",                  // Dataset ingest from CSV.
     "index.build",               // Range-query index construction.
     "exec.shard_merge",          // Sharded batch deterministic merge.
@@ -30,6 +30,8 @@ constexpr std::array<std::string_view, 15> kSites = {
     "server.accept",             // Server accept path (per connection).
     "server.reload",             // Server model reload (/v1/reload).
     "serve.refresh",             // Online core absorption (per batch).
+    "journal.append",            // Overlay WAL record append (per record).
+    "journal.fsync",             // Overlay WAL fsync (per sync).
 };
 
 Status InjectedError(std::string_view site, std::string_view code) {
@@ -207,6 +209,12 @@ Status FailpointRegistry::ArmSpec(std::string_view spec) {
       mode = Mode::kNonconverge;
     } else if (mode_name == "corrupt") {
       mode = Mode::kCorrupt;
+    } else if (mode_name == "short_write") {
+      mode = Mode::kShortWrite;
+    } else if (mode_name == "enospc") {
+      mode = Mode::kEnospc;
+    } else if (mode_name == "fsync_error") {
+      mode = Mode::kFsyncError;
     } else {
       return Status::InvalidArgument("failpoint: unknown mode '" +
                                      std::string(mode_name) + "'");
@@ -279,6 +287,9 @@ Status FailpointRegistry::Check(std::string_view site) {
       return Status::Ok();
     case Mode::kNonconverge:
     case Mode::kCorrupt:
+    case Mode::kShortWrite:
+    case Mode::kEnospc:
+    case Mode::kFsyncError:
       // Self-interpreted modes: the site asks via IsArmed instead.
       return Status::Ok();
   }

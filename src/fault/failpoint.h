@@ -35,6 +35,13 @@ namespace dbsvec {
 ///   corrupt        Data sites deterministically corrupt their payload
 ///                  (a NaN coordinate, a flipped model byte) so the
 ///                  downstream validation layer must catch it.
+///   short_write    Disk-write sites persist only a prefix of the payload
+///                  and then report an I/O error — the torn-tail shape a
+///                  crash mid-write leaves behind. Other sites ignore it.
+///   enospc         Disk-write sites fail before writing anything, as if
+///                  the filesystem were full. Other sites ignore it.
+///   fsync_error    Disk-sync sites report that fsync failed after the data
+///                  was handed to the kernel. Other sites ignore it.
 ///
 /// The set of sites is fixed at compile time (`FailpointRegistry::Sites`),
 /// so a sweep test can enumerate and arm every site one at a time. Arming
@@ -50,6 +57,9 @@ class FailpointRegistry {
     kDelayMs,
     kNonconverge,
     kCorrupt,
+    kShortWrite,
+    kEnospc,
+    kFsyncError,
   };
 
   /// The process-wide registry. Reads DBSVEC_FAILPOINTS once, on first use.
@@ -84,7 +94,8 @@ class FailpointRegistry {
   Status Check(std::string_view site);
 
   /// True iff `site` is armed with the given self-interpreted mode
-  /// (kNonconverge or kCorrupt); counts a hit when it is.
+  /// (kNonconverge, kCorrupt, or a disk-failure mode); counts a hit when
+  /// it is.
   bool IsArmed(std::string_view site, Mode mode);
 
   /// Opaque per-site slot (defined in failpoint.cc).
@@ -108,6 +119,18 @@ inline bool FailpointNonconverge(std::string_view site) {
 inline bool FailpointCorrupt(std::string_view site) {
   return FailpointRegistry::Instance().IsArmed(
       site, FailpointRegistry::Mode::kCorrupt);
+}
+inline bool FailpointShortWrite(std::string_view site) {
+  return FailpointRegistry::Instance().IsArmed(
+      site, FailpointRegistry::Mode::kShortWrite);
+}
+inline bool FailpointEnospc(std::string_view site) {
+  return FailpointRegistry::Instance().IsArmed(
+      site, FailpointRegistry::Mode::kEnospc);
+}
+inline bool FailpointFsyncError(std::string_view site) {
+  return FailpointRegistry::Instance().IsArmed(
+      site, FailpointRegistry::Mode::kFsyncError);
 }
 
 }  // namespace dbsvec

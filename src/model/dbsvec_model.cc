@@ -41,7 +41,11 @@ bool DbsvecModel::operator==(const DbsvecModel& other) const {
          core_points.dim() == other.core_points.dim() &&
          core_points.data() == other.core_points.data() &&
          core_labels == other.core_labels &&
-         core_is_sv == other.core_is_sv && spheres == other.spheres;
+         core_is_sv == other.core_is_sv && spheres == other.spheres &&
+         // Compare overlay content, not Dataset dim: an empty overlay is
+         // dim-0 after fit but dim-`dim` after a file round trip.
+         absorbed_points.data() == other.absorbed_points.data() &&
+         absorbed_labels == other.absorbed_labels;
 }
 
 Status ValidateModel(const DbsvecModel& model) {
@@ -99,6 +103,21 @@ Status ValidateModel(const DbsvecModel& model) {
       return Status::InvalidArgument("model: invalid sphere geometry");
     }
   }
+  const size_t num_absorbed = static_cast<size_t>(model.absorbed_points.size());
+  if (num_absorbed > 0 && model.absorbed_points.dim() != model.dim) {
+    return Status::InvalidArgument("model: absorbed point dim mismatch");
+  }
+  if (model.absorbed_labels.size() != num_absorbed) {
+    return Status::InvalidArgument("model: absorbed overlay arrays disagree");
+  }
+  for (const int32_t label : model.absorbed_labels) {
+    if (label < 0 || label >= model.num_clusters) {
+      return Status::InvalidArgument("model: absorbed label out of range");
+    }
+  }
+  if (!AllFinite(model.absorbed_points.data())) {
+    return Status::InvalidArgument("model: non-finite absorbed coordinate");
+  }
   return Status::Ok();
 }
 
@@ -144,6 +163,13 @@ Status SerializeModel(const DbsvecModel& model, std::vector<uint8_t>* bytes) {
   // v2 fields, appended so a v2 reader can parse the v1 prefix untouched.
   payload.WriteI32(model.sv_budget);
   payload.WriteI32(model.sample_threshold);
+
+  // v3 fields: the absorbed-core overlay, appended the same way.
+  payload.WriteU64(static_cast<uint64_t>(model.absorbed_points.size()));
+  payload.WriteF64Span(model.absorbed_points.data());
+  for (const int32_t label : model.absorbed_labels) {
+    payload.WriteI32(label);
+  }
 
   ByteWriter out;
   out.WriteBytes(kMagic);
@@ -249,6 +275,23 @@ Status DeserializeModel(std::span<const uint8_t> bytes, DbsvecModel* model) {
     DBSVEC_RETURN_IF_ERROR(reader.ReadI32(&parsed.sv_budget));
     DBSVEC_RETURN_IF_ERROR(reader.ReadI32(&parsed.sample_threshold));
   }
+  if (version >= 3) {
+    uint64_t num_absorbed = 0;
+    DBSVEC_RETURN_IF_ERROR(reader.ReadU64(&num_absorbed));
+    if (num_absorbed > reader.remaining() / (dim * 8)) {
+      return Corrupt("absorbed overlay larger than the file");
+    }
+    std::vector<double> absorbed_values;
+    DBSVEC_RETURN_IF_ERROR(
+        reader.ReadF64Vector(num_absorbed * dim, &absorbed_values));
+    parsed.absorbed_points = Dataset(parsed.dim, std::move(absorbed_values));
+    parsed.absorbed_labels.reserve(num_absorbed);
+    for (uint64_t i = 0; i < num_absorbed; ++i) {
+      int32_t label = 0;
+      DBSVEC_RETURN_IF_ERROR(reader.ReadI32(&label));
+      parsed.absorbed_labels.push_back(label);
+    }
+  }
   if (!reader.AtEnd()) {
     return Corrupt("unparsed bytes inside payload");
   }
@@ -277,7 +320,7 @@ Status SaveModel(const DbsvecModel& model, const std::string& path) {
     // mismatch instead of parsing garbage.
     bytes[kHeaderBytes] ^= 0x01;
   }
-  return WriteFileBytes(path, bytes);
+  return WriteFileBytesAtomic(path, bytes, "model.save");
 }
 
 Status LoadModel(const std::string& path, DbsvecModel* model) {

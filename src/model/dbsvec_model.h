@@ -48,7 +48,10 @@ struct DbsvecModel {
   /// v2 appends the bounded-cost SVDD provenance (sv_budget,
   /// sample_threshold) to the payload; v1 files still load (both read
   /// back as 0 — exact training, which is what v1 runs used).
-  static constexpr uint32_t kFormatVersion = 2;
+  /// v3 appends the absorbed-core overlay (points taken in online via
+  /// AbsorbCoreAdjacent, folded in by a checkpoint); v1/v2 files read
+  /// back with an empty overlay.
+  static constexpr uint32_t kFormatVersion = 3;
 
   // -- Fitted parameters -------------------------------------------------
   double epsilon = 0.0;
@@ -83,6 +86,15 @@ struct DbsvecModel {
 
   // -- Sub-cluster spheres ----------------------------------------------
   std::vector<SubClusterSphere> spheres;
+
+  // -- Absorbed-core overlay (v3) ---------------------------------------
+  /// Points absorbed online through AbsorbCoreAdjacent and folded into
+  /// this artifact by a checkpoint, in TRANSFORMED coordinates (the
+  /// overlay lives post-transform, exactly as the engine stores it).
+  /// Empty after a plain fit and for v1/v2 files.
+  Dataset absorbed_points{0};
+  /// Cluster id of each absorbed point, parallel to `absorbed_points`.
+  std::vector<int32_t> absorbed_labels;
 
   bool operator==(const DbsvecModel& other) const;
 };

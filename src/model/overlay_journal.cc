@@ -1,0 +1,332 @@
+#include "model/overlay_journal.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <vector>
+
+#include "fault/failpoint.h"
+#include "model/serialize.h"
+
+namespace dbsvec {
+namespace {
+
+/// Journal magic: "DBSVECJ1" as raw bytes at offset 0.
+constexpr uint8_t kJournalMagic[8] = {'D', 'B', 'S', 'V', 'E', 'C', 'J', '1'};
+constexpr uint32_t kJournalVersion = 1;
+/// Header: magic (8) + version (4) + base_crc (4) + header CRC-32 (4).
+constexpr size_t kJournalHeaderBytes = 20;
+/// Per record: payload length (4) + payload CRC-32 (4).
+constexpr size_t kRecordOverhead = 8;
+
+std::string ErrnoSuffix() {
+  return errno != 0 ? std::string(": ") + std::strerror(errno) : std::string();
+}
+
+std::vector<uint8_t> BuildHeader(uint32_t base_crc) {
+  ByteWriter writer;
+  writer.WriteBytes(kJournalMagic);
+  writer.WriteU32(kJournalVersion);
+  writer.WriteU32(base_crc);
+  writer.WriteU32(Crc32(writer.bytes()));
+  return writer.TakeBytes();
+}
+
+/// True iff `bytes` starts with an intact header bound to `base_crc`.
+bool HeaderMatches(std::span<const uint8_t> bytes, uint32_t base_crc) {
+  if (bytes.size() < kJournalHeaderBytes) {
+    return false;
+  }
+  const std::vector<uint8_t> expected = BuildHeader(base_crc);
+  return std::equal(expected.begin(), expected.end(), bytes.begin());
+}
+
+size_t RecordPayloadBytes(int dim) {
+  return 4 + static_cast<size_t>(dim) * 8;
+}
+
+}  // namespace
+
+Status ParseFsyncPolicy(std::string_view name, FsyncPolicy* policy) {
+  if (name == "always") {
+    *policy = FsyncPolicy::kAlways;
+  } else if (name == "interval") {
+    *policy = FsyncPolicy::kInterval;
+  } else if (name == "off") {
+    *policy = FsyncPolicy::kOff;
+  } else {
+    return Status::InvalidArgument("unknown fsync policy '" +
+                                   std::string(name) +
+                                   "' (want always|interval|off)");
+  }
+  return Status::Ok();
+}
+
+const char* FsyncPolicyName(FsyncPolicy policy) {
+  switch (policy) {
+    case FsyncPolicy::kAlways:
+      return "always";
+    case FsyncPolicy::kInterval:
+      return "interval";
+    case FsyncPolicy::kOff:
+      return "off";
+  }
+  return "unknown";
+}
+
+OverlayJournal::OverlayJournal(std::string path, uint32_t base_crc, int dim,
+                               FsyncPolicy policy)
+    : path_(std::move(path)), dim_(dim), policy_(policy), base_crc_(base_crc) {}
+
+OverlayJournal::~OverlayJournal() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (fd_ >= 0) {
+    ::close(fd_);
+  }
+}
+
+Status OverlayJournal::Open(const std::string& path, uint32_t base_crc,
+                            int dim, FsyncPolicy policy,
+                            const ReplayFn& replay,
+                            std::unique_ptr<OverlayJournal>* journal) {
+  if (dim < 1) {
+    return Status::InvalidArgument("journal: dim must be >= 1");
+  }
+  std::unique_ptr<OverlayJournal> opened(
+      new OverlayJournal(path, base_crc, dim, policy));
+
+  std::vector<uint8_t> bytes;
+  const bool exists = ReadFileBytes(path, &bytes).ok();
+  bool rewrite_header = !exists;
+  if (exists && !HeaderMatches(bytes, base_crc)) {
+    // The journal extends a model that is not the one being recovered
+    // (or its header is corrupt); its records are either already folded
+    // into a newer snapshot or meaningless. Discard, never replay.
+    opened->stats_.journals_discarded = 1;
+    rewrite_header = true;
+  }
+  if (rewrite_header) {
+    DBSVEC_RETURN_IF_ERROR(WriteFileBytesAtomic(path, BuildHeader(base_crc)));
+    opened->stats_.bytes = kJournalHeaderBytes;
+    DBSVEC_RETURN_IF_ERROR(opened->ReopenForAppendLocked());
+    *journal = std::move(opened);
+    return Status::Ok();
+  }
+
+  // Replay the valid record prefix; the first torn record ends it.
+  const size_t expected_payload = RecordPayloadBytes(dim);
+  size_t offset = kJournalHeaderBytes;
+  size_t good_end = offset;
+  while (offset + kRecordOverhead <= bytes.size()) {
+    ByteReader frame(std::span<const uint8_t>(bytes).subspan(offset, 8));
+    uint32_t length = 0;
+    uint32_t expected_crc = 0;
+    (void)frame.ReadU32(&length);
+    (void)frame.ReadU32(&expected_crc);
+    if (length != expected_payload ||
+        offset + kRecordOverhead + length > bytes.size()) {
+      break;  // Torn length field or truncated payload.
+    }
+    const std::span<const uint8_t> payload =
+        std::span<const uint8_t>(bytes).subspan(offset + kRecordOverhead,
+                                                length);
+    if (Crc32(payload) != expected_crc) {
+      break;  // Torn payload.
+    }
+    ByteReader reader(payload);
+    int32_t label = 0;
+    std::vector<double> point;
+    DBSVEC_RETURN_IF_ERROR(reader.ReadI32(&label));
+    DBSVEC_RETURN_IF_ERROR(reader.ReadF64Vector(dim, &point));
+    if (replay != nullptr) {
+      DBSVEC_RETURN_IF_ERROR(replay(label, point));
+    }
+    offset += kRecordOverhead + length;
+    good_end = offset;
+    ++opened->stats_.records_replayed;
+    ++opened->stats_.records;
+  }
+  if (good_end < bytes.size()) {
+    opened->stats_.torn_bytes_truncated = bytes.size() - good_end;
+    errno = 0;
+    if (::truncate(path.c_str(), static_cast<off_t>(good_end)) != 0) {
+      return Status::IoError("journal: cannot truncate torn tail of " + path +
+                             ErrnoSuffix());
+    }
+  }
+  opened->stats_.bytes = good_end;
+  DBSVEC_RETURN_IF_ERROR(opened->ReopenForAppendLocked());
+  *journal = std::move(opened);
+  return Status::Ok();
+}
+
+Status OverlayJournal::ReopenForAppendLocked() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+  }
+  errno = 0;
+  fd_ = ::open(path_.c_str(), O_WRONLY | O_APPEND | O_CLOEXEC);
+  if (fd_ < 0) {
+    return Status::IoError("journal: cannot open for append: " + path_ +
+                           ErrnoSuffix());
+  }
+  return Status::Ok();
+}
+
+Status OverlayJournal::Append(int32_t label, std::span<const double> point) {
+  if (point.size() != static_cast<size_t>(dim_)) {
+    return Status::InvalidArgument("journal: point dim mismatch");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto drop = [this](Status status) {
+    ++stats_.records_dropped;
+    degraded_.store(true, std::memory_order_relaxed);
+    stats_.degraded = true;
+    return status;
+  };
+  if (fd_ < 0 || poisoned_) {
+    return drop(Status::IoError(
+        "journal: unusable after an unrepaired write failure: " + path_));
+  }
+  if (Status injected = FailpointCheck("journal.append"); !injected.ok()) {
+    return drop(std::move(injected));
+  }
+
+  ByteWriter payload;
+  payload.WriteI32(label);
+  payload.WriteF64Span(point);
+  ByteWriter record;
+  record.WriteU32(static_cast<uint32_t>(payload.bytes().size()));
+  record.WriteU32(Crc32(payload.bytes()));
+  record.WriteBytes(payload.bytes());
+  const std::vector<uint8_t>& frame = record.bytes();
+
+  if (FailpointEnospc("journal.append")) {
+    return drop(Status::IoError("journal: no space left on device: " + path_ +
+                                " (injected)"));
+  }
+
+  struct stat st{};
+  const off_t pre_size = ::fstat(fd_, &st) == 0 ? st.st_size : -1;
+
+  if (FailpointShortWrite("journal.append")) {
+    // Persist a torn prefix — the on-disk shape of a crash mid-append —
+    // and poison the journal so later appends cannot land after it (a
+    // record behind a torn one would be silently lost by recovery).
+    (void)!::write(fd_, frame.data(), frame.size() / 2);
+    poisoned_ = true;
+    return drop(
+        Status::IoError("journal: short write: " + path_ + " (injected)"));
+  }
+
+  size_t written = 0;
+  while (written < frame.size()) {
+    errno = 0;
+    const ssize_t wrote =
+        ::write(fd_, frame.data() + written, frame.size() - written);
+    if (wrote < 0 && errno == EINTR) {
+      continue;
+    }
+    if (wrote <= 0) {
+      break;
+    }
+    written += static_cast<size_t>(wrote);
+  }
+  Status status = Status::Ok();
+  if (written != frame.size()) {
+    status = Status::IoError("journal: write failed: " + path_ +
+                             ErrnoSuffix());
+  } else if (policy_ == FsyncPolicy::kAlways) {
+    status = SyncLocked();
+  }
+  if (!status.ok()) {
+    // Roll the partial (or unsynced) record back so "applied in memory"
+    // and "present in the journal" stay exactly equivalent.
+    if (pre_size < 0 || ::ftruncate(fd_, pre_size) != 0) {
+      poisoned_ = true;
+    }
+    return drop(status);
+  }
+  ++stats_.appends_ok;
+  ++stats_.records;
+  stats_.bytes += frame.size();
+  degraded_.store(false, std::memory_order_relaxed);
+  stats_.degraded = false;
+  return Status::Ok();
+}
+
+Status OverlayJournal::SyncLocked() {
+  const auto fail = [this](Status status) {
+    ++stats_.fsync_failures;
+    degraded_.store(true, std::memory_order_relaxed);
+    stats_.degraded = true;
+    return status;
+  };
+  const Status injected = FailpointCheck("journal.fsync");
+  if (!injected.ok()) {
+    return fail(injected);
+  }
+  if (FailpointFsyncError("journal.fsync")) {
+    return fail(Status::IoError("journal: fsync failed: " + path_ +
+                                " (injected)"));
+  }
+  errno = 0;
+  if (::fsync(fd_) != 0) {
+    return fail(
+        Status::IoError("journal: fsync failed: " + path_ + ErrnoSuffix()));
+  }
+  ++stats_.fsyncs;
+  return Status::Ok();
+}
+
+Status OverlayJournal::Sync() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (fd_ < 0) {
+    return Status::IoError("journal: not open: " + path_);
+  }
+  return SyncLocked();
+}
+
+Status OverlayJournal::Reset(uint32_t new_base_crc) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  const Status written = WriteFileBytesAtomic(path_, BuildHeader(new_base_crc));
+  const Status reopened = written.ok() ? ReopenForAppendLocked() : written;
+  if (!written.ok() || !reopened.ok()) {
+    // The old journal file (still bound to the old base) survives the
+    // failed atomic rewrite, but this handle can no longer trust its
+    // append position; fail fast until the next successful Reset.
+    poisoned_ = true;
+    degraded_.store(true, std::memory_order_relaxed);
+    stats_.degraded = true;
+    return written.ok() ? reopened : written;
+  }
+  base_crc_ = new_base_crc;
+  poisoned_ = false;
+  stats_.records = 0;
+  stats_.bytes = kJournalHeaderBytes;
+  ++stats_.resets;
+  degraded_.store(false, std::memory_order_relaxed);
+  stats_.degraded = false;
+  return Status::Ok();
+}
+
+uint32_t OverlayJournal::base_crc() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return base_crc_;
+}
+
+OverlayJournalStats OverlayJournal::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  OverlayJournalStats copy = stats_;
+  copy.degraded = degraded_.load(std::memory_order_relaxed);
+  return copy;
+}
+
+}  // namespace dbsvec

@@ -1,0 +1,138 @@
+#ifndef DBSVEC_MODEL_OVERLAY_JOURNAL_H_
+#define DBSVEC_MODEL_OVERLAY_JOURNAL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace dbsvec {
+
+/// When an appended record is made durable (docs/ROBUSTNESS.md).
+enum class FsyncPolicy : uint8_t {
+  kAlways,    ///< fsync after every record; a crash loses nothing acked.
+  kInterval,  ///< fsync on a timer (the server's durability thread).
+  kOff,       ///< never fsync; the OS page cache decides.
+};
+
+/// Parses "always" / "interval" / "off".
+Status ParseFsyncPolicy(std::string_view name, FsyncPolicy* policy);
+const char* FsyncPolicyName(FsyncPolicy policy);
+
+/// Counters of one journal's whole life, including what its Open-time
+/// recovery pass found. Snapshot via OverlayJournal::stats().
+struct OverlayJournalStats {
+  uint64_t records = 0;        ///< Intact records currently in the file.
+  uint64_t bytes = 0;          ///< Current file size.
+  uint64_t appends_ok = 0;     ///< Records durably appended by this process.
+  uint64_t records_dropped = 0;  ///< Append failures (the absorb was skipped).
+  uint64_t fsyncs = 0;
+  uint64_t fsync_failures = 0;
+  uint64_t resets = 0;         ///< Checkpoint truncations.
+  uint64_t records_replayed = 0;       ///< Replayed at Open.
+  uint64_t torn_bytes_truncated = 0;   ///< Torn tail discarded at Open.
+  uint64_t journals_discarded = 0;     ///< 1 if Open dropped a stale journal.
+  bool degraded = false;
+};
+
+/// Append-only write-ahead journal of absorbed overlay points.
+///
+/// File layout (all little-endian):
+///   header   "DBSVECJ1" + u32 format version + u32 base_crc
+///            + u32 CRC-32 of the preceding 16 bytes
+///   record*  u32 payload length + u32 CRC-32(payload) + payload
+///   payload  i32 cluster label + dim × f64 raw (untransformed) point
+///
+/// `base_crc` is the payload CRC of the model/snapshot the journal
+/// extends: replaying these records (in order, through the public
+/// AbsorbCoreAdjacent) on an engine built from exactly that artifact
+/// reproduces the crashed engine's overlay bit-identically. A journal
+/// whose base_crc does not match the artifact being recovered extends a
+/// state that no longer exists and is discarded — which is precisely what
+/// makes the checkpoint sequence (write snapshot, then reset journal)
+/// crash-safe at every intermediate point.
+///
+/// Records hold RAW query coordinates so replay passes through the same
+/// transform + dedupe + sphere checks the original absorb did.
+///
+/// Torn tails: a record whose length, CRC, or byte count is wrong (a crash
+/// mid-append) ends the valid prefix; Open physically truncates the file
+/// there and counts the discarded bytes. Nothing at or past a torn record
+/// was ever acked, so truncation never loses an applied point.
+///
+/// Degradation: a failed append or fsync marks the journal degraded (the
+/// server keeps serving and reports `durability: degraded`); a fully
+/// successful append clears the flag. A failed append that cannot roll its
+/// partial bytes back poisons the journal — every further append fails
+/// fast — until a Reset (i.e. a checkpoint) rewrites the file.
+///
+/// Thread-safe; Append serializes internally.
+class OverlayJournal {
+ public:
+  using ReplayFn =
+      std::function<Status(int32_t label, std::span<const double> point)>;
+
+  /// Opens (creating if absent) the journal at `path` for a base artifact
+  /// with payload CRC `base_crc` and dimensionality `dim`. Existing
+  /// records bound to `base_crc` are replayed in order through `replay`
+  /// (null skips replay) and any torn tail is truncated; a journal bound
+  /// to a different base or with a corrupt header is discarded and the
+  /// file reset. On success `*journal` is ready for appends.
+  static Status Open(const std::string& path, uint32_t base_crc, int dim,
+                     FsyncPolicy policy, const ReplayFn& replay,
+                     std::unique_ptr<OverlayJournal>* journal);
+
+  ~OverlayJournal();
+  OverlayJournal(const OverlayJournal&) = delete;
+  OverlayJournal& operator=(const OverlayJournal&) = delete;
+
+  /// Appends one absorbed-point record (raw coordinates, length dim) and
+  /// makes it durable per the fsync policy. On error the caller must NOT
+  /// apply the point in memory: un-journaled state would not survive a
+  /// restart.
+  Status Append(int32_t label, std::span<const double> point);
+
+  /// fsyncs now regardless of policy (the interval timer, and tests).
+  Status Sync();
+
+  /// Empties the journal and rebinds it to `new_base_crc`, after a
+  /// checkpoint folded every record into the snapshot whose payload CRC
+  /// that is. Atomic (fresh header to `<path>.tmp`, fsync, rename, dir
+  /// fsync); clears the degraded/poisoned state on success.
+  Status Reset(uint32_t new_base_crc);
+
+  const std::string& path() const { return path_; }
+  FsyncPolicy policy() const { return policy_; }
+  uint32_t base_crc() const;
+  /// Lock-free; the health endpoint polls this.
+  bool degraded() const { return degraded_.load(std::memory_order_relaxed); }
+  OverlayJournalStats stats() const;
+
+ private:
+  OverlayJournal(std::string path, uint32_t base_crc, int dim,
+                 FsyncPolicy policy);
+
+  Status SyncLocked();
+  Status ReopenForAppendLocked();
+
+  const std::string path_;
+  const int dim_;
+  const FsyncPolicy policy_;
+
+  mutable std::mutex mutex_;
+  uint32_t base_crc_;
+  int fd_ = -1;
+  bool poisoned_ = false;  ///< Unrepaired partial write; appends fail fast.
+  std::atomic<bool> degraded_{false};
+  OverlayJournalStats stats_;
+};
+
+}  // namespace dbsvec
+
+#endif  // DBSVEC_MODEL_OVERLAY_JOURNAL_H_

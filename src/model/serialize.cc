@@ -1,8 +1,15 @@
 #include "model/serialize.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <array>
 #include <bit>
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
+
+#include "fault/failpoint.h"
 
 namespace dbsvec {
 namespace {
@@ -150,6 +157,107 @@ Status WriteFileBytes(const std::string& path,
     return Status::IoError("write failed: " + path);
   }
   return Status::Ok();
+}
+
+namespace {
+
+std::string ErrnoSuffix() {
+  return errno != 0 ? std::string(": ") + std::strerror(errno) : std::string();
+}
+
+/// Writes all of `bytes` to `fd`, retrying partial writes.
+Status WriteAll(int fd, std::span<const uint8_t> bytes,
+                const std::string& path) {
+  size_t offset = 0;
+  while (offset < bytes.size()) {
+    const ssize_t wrote =
+        ::write(fd, bytes.data() + offset, bytes.size() - offset);
+    if (wrote < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return Status::IoError("write failed: " + path + ErrnoSuffix());
+    }
+    offset += static_cast<size_t>(wrote);
+  }
+  return Status::Ok();
+}
+
+/// fsyncs the directory containing `path` so the rename itself is durable.
+Status SyncParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::IoError("cannot open directory for fsync: " + dir +
+                           ErrnoSuffix());
+  }
+  const bool synced = ::fsync(fd) == 0;
+  const std::string suffix = synced ? std::string() : ErrnoSuffix();
+  ::close(fd);
+  if (!synced) {
+    return Status::IoError("directory fsync failed: " + dir + suffix);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status WriteFileBytesAtomic(const std::string& path,
+                            std::span<const uint8_t> bytes,
+                            std::string_view failpoint_site) {
+  const std::string tmp_path = path + ".tmp";
+  errno = 0;
+  const int fd = ::open(tmp_path.c_str(),
+                        O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return Status::IoError("cannot open for writing: " + tmp_path +
+                           ErrnoSuffix());
+  }
+  Status status = Status::Ok();
+  if (!failpoint_site.empty() && FailpointEnospc(failpoint_site)) {
+    status = Status::IoError("no space left on device writing: " + tmp_path +
+                             " (injected)");
+  } else if (!failpoint_site.empty() && FailpointShortWrite(failpoint_site)) {
+    // Persist a torn prefix, exactly what a crash mid-write leaves behind.
+    status = WriteAll(fd, bytes.subspan(0, bytes.size() / 2), tmp_path);
+    if (status.ok()) {
+      status = Status::IoError("short write: " + tmp_path + " (injected)");
+    }
+  } else {
+    status = WriteAll(fd, bytes, tmp_path);
+  }
+  if (status.ok()) {
+    errno = 0;
+    const bool sync_injected =
+        !failpoint_site.empty() && FailpointFsyncError(failpoint_site);
+    if (sync_injected) {
+      status = Status::IoError("fsync failed: " + tmp_path + " (injected)");
+    } else if (::fsync(fd) != 0) {
+      status = Status::IoError("fsync failed: " + tmp_path + ErrnoSuffix());
+    }
+  }
+  if (::close(fd) != 0 && status.ok()) {
+    status = Status::IoError("close failed: " + tmp_path + ErrnoSuffix());
+  }
+  if (status.ok()) {
+    errno = 0;
+    if (::rename(tmp_path.c_str(), path.c_str()) != 0) {
+      status = Status::IoError("rename failed: " + tmp_path + " -> " + path +
+                               ErrnoSuffix());
+    }
+  }
+  if (status.ok()) {
+    status = SyncParentDir(path);
+  }
+  if (!status.ok()) {
+    // Leave no torn artifact behind; `path` still holds its previous
+    // content (or stays absent).
+    ::unlink(tmp_path.c_str());
+  }
+  return status;
 }
 
 Status ReadFileBytes(const std::string& path, std::vector<uint8_t>* bytes) {

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/status.h"
@@ -64,9 +65,21 @@ class ByteReader {
   size_t offset_ = 0;
 };
 
-/// Writes `bytes` to `path` atomically enough for a model artifact (single
-/// write, error-checked close).
+/// Writes `bytes` to `path` in one shot (single write, error-checked
+/// close). NOT crash-safe: a crash mid-write leaves a torn file. Use
+/// WriteFileBytesAtomic for any artifact another process may load.
 Status WriteFileBytes(const std::string& path, std::span<const uint8_t> bytes);
+
+/// Crash-safe replacement of `path` with `bytes`: writes `<path>.tmp`,
+/// fsyncs it, renames it over `path`, and fsyncs the parent directory, so
+/// readers observe either the old file or the complete new one — never a
+/// torn mix. The tmp file is unlinked on any failure and every error
+/// Status names the path. When `failpoint_site` is non-empty, the
+/// disk-failure modes (short_write / enospc / fsync_error) armed at that
+/// site are honored.
+Status WriteFileBytesAtomic(const std::string& path,
+                            std::span<const uint8_t> bytes,
+                            std::string_view failpoint_site = {});
 
 /// Reads the whole of `path` into `*bytes`.
 Status ReadFileBytes(const std::string& path, std::vector<uint8_t>* bytes);

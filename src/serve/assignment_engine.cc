@@ -40,9 +40,19 @@ AssignmentEngine::AssignmentEngine(DbsvecModel model,
       bbox_max_[d] += model_.epsilon;
     }
   }
-  if (options_.online_refresh) {
-    absorbed_tree_ = std::make_unique<DynamicRStarTree>(absorbed_points_);
+  // Seed the overlay from a v3 snapshot's folded absorbed cores (already
+  // transformed — the overlay lives post-transform).
+  if (model_.absorbed_points.size() > 0) {
+    absorbed_points_ = model_.absorbed_points;
+    absorbed_labels_ = model_.absorbed_labels;
   }
+  if (options_.online_refresh || absorbed_points_.size() > 0) {
+    absorbed_tree_ = std::make_unique<DynamicRStarTree>(absorbed_points_);
+    for (PointIndex i = 0; i < absorbed_points_.size(); ++i) {
+      absorbed_tree_->Insert(i);
+    }
+  }
+  overlay_size_.store(absorbed_points_.size(), std::memory_order_release);
 }
 
 Status AssignmentEngine::BuildIndex(const Deadline& deadline) {
@@ -132,8 +142,9 @@ bool AssignmentEngine::InsideMemberSphere(
 int32_t AssignmentEngine::AssignTransformed(std::span<const double> query,
                                             QueryScratch* scratch) const {
   points_assigned_.fetch_add(1, std::memory_order_relaxed);
+  // Live whenever cores exist — absorbed online or seeded from a v3
+  // snapshot — so a recovered engine answers like the one that absorbed.
   const bool overlay_live =
-      options_.online_refresh &&
       overlay_size_.load(std::memory_order_acquire) > 0;
   if (index_ == nullptr && !overlay_live) {
     return Clustering::kNoise;  // Model with an empty core summary.
@@ -291,6 +302,7 @@ Status AssignmentEngine::AbsorbCoreAdjacent(const Dataset& points,
   uint64_t added = 0;
   std::vector<double> transformed(model_.dim);
   std::vector<PointIndex> near;
+  std::lock_guard<std::mutex> serial(absorb_mutex_);
   std::unique_lock<std::shared_mutex> lock(overlay_mutex_);
   for (PointIndex i = 0; i < points.size(); ++i) {
     if (labels[static_cast<size_t>(i)] < 0) {
@@ -313,6 +325,15 @@ Status AssignmentEngine::AbsorbCoreAdjacent(const Dataset& points,
     if (!near.empty()) {
       continue;
     }
+    // Write-ahead: the raw point must be durable (per the fsync policy)
+    // before it can influence any answer. A failed append skips the point
+    // — both sides stay in exact agreement — and the journal counts the
+    // drop for /v1/statz.
+    if (journal_ != nullptr &&
+        !journal_->Append(labels[static_cast<size_t>(i)], points.point(i))
+             .ok()) {
+      continue;
+    }
     absorbed_points_.Append(query);
     absorbed_labels_.push_back(labels[static_cast<size_t>(i)]);
     absorbed_tree_->Insert(absorbed_points_.size() - 1);
@@ -329,6 +350,51 @@ Status AssignmentEngine::AbsorbCoreAdjacent(const Dataset& points,
   cores_absorbed_.fetch_add(added, std::memory_order_relaxed);
   if (absorbed != nullptr) {
     *absorbed = added;
+  }
+  return Status::Ok();
+}
+
+void AssignmentEngine::AttachJournal(std::shared_ptr<OverlayJournal> journal) {
+  std::lock_guard<std::mutex> serial(absorb_mutex_);
+  journal_ = std::move(journal);
+}
+
+std::shared_ptr<OverlayJournal> AssignmentEngine::journal() const {
+  std::lock_guard<std::mutex> serial(absorb_mutex_);
+  return journal_;
+}
+
+Status AssignmentEngine::SnapshotModel(DbsvecModel* out) const {
+  *out = model_;
+  std::shared_lock<std::shared_mutex> lock(overlay_mutex_);
+  out->absorbed_points = absorbed_points_;
+  out->absorbed_labels = absorbed_labels_;
+  return Status::Ok();
+}
+
+Status AssignmentEngine::Checkpoint(const std::string& snapshot_path,
+                                    uint32_t* snapshot_crc,
+                                    uint64_t* folded_records) {
+  // Pausing absorbs (not reads) makes the fold exact: no record can land
+  // in the journal between the overlay copy below and the journal reset,
+  // so the snapshot + empty journal describe the same state the engine
+  // serves. A crash between SaveModel and Reset is also safe: the stale
+  // journal's base CRC no longer matches the new snapshot, so recovery
+  // discards it — and all of its records are inside the snapshot.
+  std::lock_guard<std::mutex> serial(absorb_mutex_);
+  DbsvecModel snapshot;
+  DBSVEC_RETURN_IF_ERROR(SnapshotModel(&snapshot));
+  if (folded_records != nullptr) {
+    *folded_records = static_cast<uint64_t>(snapshot.absorbed_points.size());
+  }
+  DBSVEC_RETURN_IF_ERROR(SaveModel(snapshot, snapshot_path));
+  uint32_t crc = 0;
+  DBSVEC_RETURN_IF_ERROR(ModelPayloadCrc(snapshot, &crc));
+  if (snapshot_crc != nullptr) {
+    *snapshot_crc = crc;
+  }
+  if (journal_ != nullptr) {
+    DBSVEC_RETURN_IF_ERROR(journal_->Reset(crc));
   }
   return Status::Ok();
 }

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <shared_mutex>
 #include <span>
 #include <string>
@@ -16,6 +17,7 @@
 #include "index/dynamic_r_star_tree.h"
 #include "index/neighbor_index.h"
 #include "model/dbsvec_model.h"
+#include "model/overlay_journal.h"
 
 namespace dbsvec {
 
@@ -107,6 +109,31 @@ class AssignmentEngine {
                             const std::vector<int32_t>& labels,
                             uint64_t* absorbed = nullptr);
 
+  /// Durability hook (docs/ROBUSTNESS.md): once a journal is attached,
+  /// every point AbsorbCoreAdjacent accepts is appended to it — raw
+  /// coordinates, before the in-memory apply — and a point whose append
+  /// fails is skipped entirely, so the in-memory overlay and the journal
+  /// describe exactly the same state at all times. Pass nullptr to detach
+  /// (e.g. before discarding this engine on a reload). Must not be
+  /// attached until any journal replay into this engine has finished, or
+  /// replayed records would be re-journaled.
+  void AttachJournal(std::shared_ptr<OverlayJournal> journal);
+  std::shared_ptr<OverlayJournal> journal() const;
+
+  /// Copies the model plus the current overlay into `*out` — the artifact
+  /// a checkpoint writes. Concurrent-safe (shared overlay lock).
+  Status SnapshotModel(DbsvecModel* out) const;
+
+  /// Atomically persists SnapshotModel() to `snapshot_path` and, when a
+  /// journal is attached, truncates it (every journaled record is now
+  /// folded into the snapshot) and rebinds it to the snapshot's payload
+  /// CRC. Absorbs are paused for the duration; assignments are not.
+  /// `*snapshot_crc` / `*folded_records` (optional) receive the written
+  /// snapshot's identity and overlay size.
+  Status Checkpoint(const std::string& snapshot_path,
+                    uint32_t* snapshot_crc = nullptr,
+                    uint64_t* folded_records = nullptr);
+
   const DbsvecModel& model() const { return model_; }
   int dim() const { return model_.dim; }
   /// Model identity without re-reading the file: the format version this
@@ -151,7 +178,7 @@ class AssignmentEngine {
 
   /// Overlay lookup of one transformed query; merges the nearest absorbed
   /// core within ε into (best_dist, best_cluster) under the same
-  /// tie-break. No-op unless online_refresh is on and cores were absorbed.
+  /// tie-break. No-op while the overlay is empty.
   void MergeOverlayNearest(std::span<const double> query, double* best_dist,
                            int32_t* best_cluster) const;
 
@@ -181,12 +208,20 @@ class AssignmentEngine {
   std::vector<double> bbox_min_;
   std::vector<double> bbox_max_;
 
-  // -- Online-refresh overlay (online_refresh only) ----------------------
+  // -- Online-refresh overlay --------------------------------------------
   // Absorbed cores live in their own append-only dataset indexed by a
   // dynamic R*-tree; readers take the shared side of the lock, absorption
   // the exclusive side. The count of usable overlay points is published
   // through overlay_size_ so the common no-overlay read path stays a
-  // single relaxed load (no lock).
+  // single relaxed load (no lock). Present when online_refresh is on OR
+  // the model carries a folded overlay (a v3 snapshot), so a recovered
+  // snapshot serves identically everywhere.
+  //
+  // absorb_mutex_ serializes overlay *mutators* (absorb, checkpoint,
+  // attach) against each other without touching the read path, and is
+  // always taken before overlay_mutex_.
+  mutable std::mutex absorb_mutex_;
+  std::shared_ptr<OverlayJournal> journal_;  // Guarded by absorb_mutex_.
   mutable std::shared_mutex overlay_mutex_;
   Dataset absorbed_points_;
   std::vector<int32_t> absorbed_labels_;

@@ -1,0 +1,120 @@
+#include "server/durability.h"
+
+#include <sys/stat.h>
+
+#include <utility>
+#include <vector>
+
+#include "model/dbsvec_model.h"
+
+namespace dbsvec::server {
+namespace {
+
+bool FileExists(const std::string& path) {
+  struct stat st{};
+  return !path.empty() && ::stat(path.c_str(), &st) == 0;
+}
+
+/// LoadModel under the retry policy: transient I/O errors back off and
+/// retry, terminal errors (corrupt file, version skew) fail fast.
+Status LoadModelWithRetry(const std::string& path, const RetryOptions& retry,
+                          DbsvecModel* model, int* attempts) {
+  const RetryPolicy policy(retry);
+  RetryReport report;
+  const Status status = policy.Run(
+      "load " + path, Deadline(), [&] { return LoadModel(path, model); },
+      &report);
+  if (attempts != nullptr) {
+    *attempts += report.attempts;
+  }
+  return status;
+}
+
+}  // namespace
+
+void ResolveDurabilityPaths(const std::string& model_path,
+                            DurabilityOptions* durability) {
+  if (!durability->enabled) {
+    return;
+  }
+  if (durability->snapshot_path.empty()) {
+    durability->snapshot_path = model_path + ".ckpt";
+  }
+  if (durability->journal_path.empty()) {
+    durability->journal_path = model_path + ".wal";
+  }
+}
+
+Status RecoverEngine(const std::string& model_path,
+                     const DurabilityOptions& durability,
+                     const AssignmentOptions& engine_options,
+                     const RetryOptions& retry,
+                     std::unique_ptr<AssignmentEngine>* engine,
+                     std::shared_ptr<OverlayJournal>* journal,
+                     RecoveryReport* report) {
+  RecoveryReport local;
+  RecoveryReport& out = report != nullptr ? *report : local;
+  out = RecoveryReport();
+
+  DbsvecModel model;
+  bool loaded = false;
+  if (durability.enabled && FileExists(durability.snapshot_path)) {
+    // The checkpoint writer is atomic, so an existing snapshot is normally
+    // valid; bit rot or a foreign file falls back to the fitted model (and
+    // the journal's base-CRC binding then discards any records that
+    // extended the bad snapshot).
+    const Status status = LoadModelWithRetry(durability.snapshot_path, retry,
+                                             &model, &out.load_attempts);
+    if (status.ok()) {
+      loaded = true;
+      out.loaded_from_snapshot = true;
+    }
+  }
+  if (!loaded) {
+    DBSVEC_RETURN_IF_ERROR(
+        LoadModelWithRetry(model_path, retry, &model, &out.load_attempts));
+  }
+
+  // Durable state implies the absorb path: journal replay and subsequent
+  // journaled absorbs both run through AbsorbCoreAdjacent.
+  AssignmentOptions options = engine_options;
+  options.online_refresh |= durability.enabled;
+  std::unique_ptr<AssignmentEngine> recovered;
+  DBSVEC_RETURN_IF_ERROR(
+      AssignmentEngine::Create(std::move(model), options, &recovered));
+
+  if (durability.enabled) {
+    // Replay journaled absorbs through the public absorb path — one-point
+    // batches, in record order — so every transform/dedupe/sphere decision
+    // re-runs exactly as it did live. The journal is attached only after
+    // replay: replayed records must not be re-journaled.
+    AssignmentEngine* raw = recovered.get();
+    const OverlayJournal::ReplayFn replay =
+        [raw](int32_t label, std::span<const double> point) -> Status {
+      Dataset one(raw->dim());
+      one.Append(point);
+      const std::vector<int32_t> labels = {label};
+      return raw->AbsorbCoreAdjacent(one, labels);
+    };
+    std::shared_ptr<OverlayJournal> opened;
+    {
+      std::unique_ptr<OverlayJournal> owned;
+      DBSVEC_RETURN_IF_ERROR(OverlayJournal::Open(
+          durability.journal_path, recovered->model_crc(), recovered->dim(),
+          durability.fsync, replay, &owned));
+      opened = std::move(owned);
+    }
+    const OverlayJournalStats stats = opened->stats();
+    out.records_replayed = stats.records_replayed;
+    out.torn_bytes_truncated = stats.torn_bytes_truncated;
+    out.journals_discarded = stats.journals_discarded;
+    recovered->AttachJournal(opened);
+    if (journal != nullptr) {
+      *journal = std::move(opened);
+    }
+  }
+  *engine = std::move(recovered);
+  return Status::Ok();
+}
+
+}  // namespace dbsvec::server

@@ -1,0 +1,75 @@
+#ifndef DBSVEC_SERVER_DURABILITY_H_
+#define DBSVEC_SERVER_DURABILITY_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "model/overlay_journal.h"
+#include "serve/assignment_engine.h"
+#include "server/retry.h"
+
+namespace dbsvec::server {
+
+/// Durability configuration of the serving path (docs/ROBUSTNESS.md).
+struct DurabilityOptions {
+  /// Master switch; off leaves serving exactly as before (in-memory
+  /// overlay, no journal, no checkpoints).
+  bool enabled = false;
+  /// Atomic checkpoint artifact. Defaults to `<model>.ckpt` (see
+  /// ResolveDurabilityPaths); preferred over the fitted model at startup
+  /// when present and valid.
+  std::string snapshot_path;
+  /// Overlay write-ahead journal. Defaults to `<model>.wal`.
+  std::string journal_path;
+  FsyncPolicy fsync = FsyncPolicy::kInterval;
+  /// kInterval only: period of the background fsync.
+  int64_t fsync_interval_ms = 50;
+  /// Period of automatic checkpoints; 0 = manual only (POST /v1/snapshot).
+  int64_t checkpoint_interval_ms = 0;
+};
+
+/// Fills empty snapshot/journal paths from `model_path` (`<model>.ckpt` /
+/// `<model>.wal`). No-op when durability is disabled.
+void ResolveDurabilityPaths(const std::string& model_path,
+                            DurabilityOptions* durability);
+
+/// What startup recovery found and did; surfaced in /v1/statz and the
+/// serve banner.
+struct RecoveryReport {
+  bool loaded_from_snapshot = false;
+  int load_attempts = 0;  ///< Model-load tries (RetryPolicy, satellite 2).
+  uint64_t records_replayed = 0;
+  uint64_t torn_bytes_truncated = 0;
+  uint64_t journals_discarded = 0;
+};
+
+/// Builds the serving engine with full crash recovery:
+///
+///   1. Load the snapshot if it exists (falling back to `model_path` when
+///      it is unreadable or corrupt), retrying transient I/O errors under
+///      `retry`.
+///   2. Build the engine; a v3 snapshot seeds its overlay.
+///   3. Open the journal bound to the loaded artifact's payload CRC,
+///      replay every intact record in order through AbsorbCoreAdjacent
+///      (truncating a torn tail), and attach it for subsequent absorbs.
+///
+/// The result is bit-identical to the engine that wrote the journal: the
+/// journal holds raw points in absorb order, and absorb decisions depend
+/// only on (model, overlay state), both reproduced exactly.
+///
+/// With durability disabled this is a plain load + engine build, still
+/// under `retry` (startup transient-I/O resilience costs nothing).
+/// `journal`/`report` may be null.
+Status RecoverEngine(const std::string& model_path,
+                     const DurabilityOptions& durability,
+                     const AssignmentOptions& engine_options,
+                     const RetryOptions& retry,
+                     std::unique_ptr<AssignmentEngine>* engine,
+                     std::shared_ptr<OverlayJournal>* journal,
+                     RecoveryReport* report);
+
+}  // namespace dbsvec::server
+
+#endif  // DBSVEC_SERVER_DURABILITY_H_

@@ -8,6 +8,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdlib>
 #include <cstring>
@@ -178,6 +179,13 @@ Status Server::SpawnThreads() {
   workers_.reserve(static_cast<size_t>(options_.num_workers));
   for (int i = 0; i < options_.num_workers; ++i) {
     workers_.emplace_back([this] { WorkerMain(); });
+  }
+  if (options_.durability.enabled &&
+      ((options_.durability.fsync == FsyncPolicy::kInterval &&
+        options_.durability.fsync_interval_ms > 0 &&
+        options_.journal != nullptr) ||
+       options_.durability.checkpoint_interval_ms > 0)) {
+    durability_thread_ = std::thread([this] { DurabilityMain(); });
   }
   return Status::Ok();
 }
@@ -570,7 +578,14 @@ std::string Server::ProcessRequest(const HttpRequest& request,
       return SerializeResponse(405, "text/plain", "method not allowed\n", {},
                                request.keep_alive);
     }
-    return SerializeResponse(200, "text/plain", "ok\n", {},
+    // Still 200 while durability is degraded: the server keeps answering
+    // queries correctly, it just cannot promise the overlay survives a
+    // crash. Probes that care grep the body.
+    std::string body = "ok\n";
+    if (options_.journal != nullptr && options_.journal->degraded()) {
+      body += "durability: degraded\n";
+    }
+    return SerializeResponse(200, "text/plain", std::move(body), {},
                              request.keep_alive);
   }
   if (request.target == "/v1/statz") {
@@ -597,6 +612,14 @@ std::string Server::ProcessRequest(const HttpRequest& request,
                                request.keep_alive);
     }
     return HandleReload(request, deadline);
+  }
+  if (request.target == "/v1/snapshot") {
+    if (request.method != "POST") {
+      stats_.requests_bad.fetch_add(1, std::memory_order_relaxed);
+      return SerializeResponse(405, "text/plain", "method not allowed\n", {},
+                               request.keep_alive);
+    }
+    return HandleSnapshot(request);
   }
   stats_.requests_bad.fetch_add(1, std::memory_order_relaxed);
   return SerializeResponse(404, "application/json",
@@ -649,7 +672,7 @@ std::string Server::HandleAssign(const HttpRequest& request,
   stats_.requests_assign.fetch_add(1, std::memory_order_relaxed);
   stats_.points_assigned.fetch_add(static_cast<uint64_t>(points.size()),
                                    std::memory_order_relaxed);
-  if (options_.online_refresh) {
+  if (options_.online_refresh || options_.durability.enabled) {
     uint64_t absorbed = 0;
     const Status refresh =
         engine->AbsorbCoreAdjacent(points, labels, &absorbed);
@@ -669,6 +692,55 @@ std::string Server::HandleAssign(const HttpRequest& request,
 std::string Server::HandleStatz() {
   std::shared_ptr<AssignmentEngine> engine = handle_.Get();
   const AssignmentEngine::ServeStats engine_stats = engine->stats();
+
+  // Per-site injected-fault hit counters (satellite observability of the
+  // fault framework): always rendered, all zeros when nothing is armed.
+  std::string failpoints = "{";
+  bool first_site = true;
+  for (const std::string_view site : FailpointRegistry::Sites()) {
+    if (!first_site) {
+      failpoints += ",";
+    }
+    first_site = false;
+    failpoints += "\"";
+    failpoints += site;
+    failpoints += "\":" +
+                  std::to_string(FailpointRegistry::Instance().HitCount(site));
+  }
+  failpoints += "}";
+
+  std::string durability;
+  if (options_.durability.enabled && options_.journal != nullptr) {
+    const OverlayJournalStats js = options_.journal->stats();
+    const auto field = [&durability](const char* name, uint64_t value) {
+      durability += "\"";
+      durability += name;
+      durability += "\":" + std::to_string(value) + ",";
+    };
+    durability = "{";
+    durability += "\"fsync\":\"";
+    durability += FsyncPolicyName(options_.journal->policy());
+    durability += "\",";
+    field("journal_records", js.records);
+    field("journal_bytes", js.bytes);
+    field("appends_ok", js.appends_ok);
+    field("records_dropped", js.records_dropped);
+    field("fsyncs", js.fsyncs);
+    field("fsync_failures", js.fsync_failures);
+    field("journal_resets", js.resets);
+    field("records_replayed", options_.recovery.records_replayed);
+    field("torn_bytes_truncated", options_.recovery.torn_bytes_truncated);
+    field("journals_discarded", options_.recovery.journals_discarded);
+    field("recovery_load_attempts",
+          static_cast<uint64_t>(options_.recovery.load_attempts));
+    durability += std::string("\"loaded_from_snapshot\":") +
+                  (options_.recovery.loaded_from_snapshot ? "true" : "false") +
+                  ",";
+    durability += std::string("\"degraded\":") +
+                  (options_.journal->degraded() ? "true" : "false");
+    durability += "}";
+  }
+
   return stats_.ToJson(engine->model_version(), engine->model_crc(),
                        engine->model().sv_budget,
                        engine->model().sample_threshold,
@@ -679,7 +751,8 @@ std::string Server::HandleStatz() {
                        options_.max_inflight,
                        simd::BackendName(simd::ActiveBackend()),
                        engine->shard_count(),
-                       cache::CacheManager::Global().StatsJson());
+                       cache::CacheManager::Global().StatsJson(), durability,
+                       failpoints);
 }
 
 std::string Server::HandleReload(const HttpRequest& request,
@@ -746,6 +819,92 @@ std::string Server::HandleReload(const HttpRequest& request,
       {}, request.keep_alive);
 }
 
+std::string Server::HandleSnapshot(const HttpRequest& request) {
+  uint32_t crc = 0;
+  uint64_t folded = 0;
+  const Status status = Snapshot(&crc, &folded);
+  if (!status.ok()) {
+    const int code = HttpStatusFromStatus(status);
+    if (code >= 400 && code < 500) {
+      stats_.requests_bad.fetch_add(1, std::memory_order_relaxed);
+    }
+    return SerializeResponse(code, "application/json",
+                             JsonError(status.ToString()), {},
+                             request.keep_alive);
+  }
+  char crc_hex[16];
+  std::snprintf(crc_hex, sizeof(crc_hex), "%08x", crc);
+  return SerializeResponse(
+      200, "application/json",
+      "{\"snapshot\":true,\"path\":\"" + options_.durability.snapshot_path +
+          "\",\"model_crc\":\"" + crc_hex +
+          "\",\"folded_records\":" + std::to_string(folded) + "}",
+      {}, request.keep_alive);
+}
+
+Status Server::Snapshot(uint32_t* snapshot_crc, uint64_t* folded_records) {
+  if (!options_.durability.enabled) {
+    return Status::FailedPrecondition(
+        "snapshot: server is not durable (start with --durable)");
+  }
+  // reload_mutex_ keeps the checkpoint from racing a journal rebind in the
+  // durable reload path (the engine's own absorb_mutex_ handles everything
+  // else).
+  std::lock_guard<std::mutex> serialize(reload_mutex_);
+  const Status status = handle_.Get()->Checkpoint(
+      options_.durability.snapshot_path, snapshot_crc, folded_records);
+  if (status.ok()) {
+    stats_.checkpoints_ok.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    stats_.checkpoints_failed.fetch_add(1, std::memory_order_relaxed);
+  }
+  return status;
+}
+
+void Server::DurabilityMain() {
+  using Clock = std::chrono::steady_clock;
+  const bool interval_fsync =
+      options_.journal != nullptr &&
+      options_.durability.fsync == FsyncPolicy::kInterval &&
+      options_.durability.fsync_interval_ms > 0;
+  const bool auto_checkpoint = options_.durability.checkpoint_interval_ms > 0;
+  const auto fsync_period =
+      std::chrono::milliseconds(options_.durability.fsync_interval_ms);
+  const auto checkpoint_period =
+      std::chrono::milliseconds(options_.durability.checkpoint_interval_ms);
+  Clock::time_point next_fsync = Clock::now() + fsync_period;
+  Clock::time_point next_checkpoint = Clock::now() + checkpoint_period;
+
+  std::unique_lock<std::mutex> lock(durability_mutex_);
+  while (!stopping_.load(std::memory_order_acquire)) {
+    Clock::time_point wake = Clock::now() + std::chrono::seconds(1);
+    if (interval_fsync) {
+      wake = std::min(wake, next_fsync);
+    }
+    if (auto_checkpoint) {
+      wake = std::min(wake, next_checkpoint);
+    }
+    durability_cv_.wait_until(lock, wake, [this] {
+      return stopping_.load(std::memory_order_acquire);
+    });
+    if (stopping_.load(std::memory_order_acquire)) {
+      break;
+    }
+    lock.unlock();
+    if (interval_fsync && Clock::now() >= next_fsync) {
+      // Failures are counted by the journal and surface as degraded
+      // durability; the timer keeps ticking (the disk may come back).
+      (void)options_.journal->Sync();
+      next_fsync = Clock::now() + fsync_period;
+    }
+    if (auto_checkpoint && Clock::now() >= next_checkpoint) {
+      (void)Snapshot();
+      next_checkpoint = Clock::now() + checkpoint_period;
+    }
+    lock.lock();
+  }
+}
+
 Status Server::Reload(const std::string& path, const Deadline& deadline,
                       RetryReport* report) {
   std::lock_guard<std::mutex> serialize_reloads(reload_mutex_);
@@ -756,7 +915,30 @@ Status Server::Reload(const std::string& path, const Deadline& deadline,
       "reload " + path, deadline,
       [&]() -> Status {
         DBSVEC_RETURN_IF_ERROR(FailpointCheck("server.reload"));
-        return handle_.LoadAndSwap(path, options_.engine_options, deadline);
+        if (options_.journal == nullptr) {
+          return handle_.LoadAndSwap(path, options_.engine_options, deadline);
+        }
+        // Durable swap: build the replacement fully off to the side, then
+        // move the journal over to the new model identity before it starts
+        // serving. A reloaded model starts with an empty overlay, so the
+        // journal restarts empty too, bound to the new payload CRC.
+        AssignmentOptions build_options = options_.engine_options;
+        build_options.online_refresh = true;
+        build_options.build_deadline = deadline;
+        std::unique_ptr<AssignmentEngine> next;
+        DBSVEC_RETURN_IF_ERROR(
+            AssignmentEngine::Load(path, build_options, &next));
+        std::shared_ptr<AssignmentEngine> old = handle_.Get();
+        old->AttachJournal(nullptr);
+        if (Status reset = options_.journal->Reset(next->model_crc());
+            !reset.ok()) {
+          // The old engine keeps serving — keep journaling it.
+          old->AttachJournal(options_.journal);
+          return reset;
+        }
+        next->AttachJournal(options_.journal);
+        handle_.Swap(std::move(next));
+        return Status::Ok();
       },
       &out);
   stats_.reload_attempts.fetch_add(static_cast<uint64_t>(out.attempts),
@@ -787,9 +969,10 @@ void Server::Shutdown(const Deadline& drain) {
           pending_responses_.load(std::memory_order_relaxed) > 0)) {
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
-  // Phase 3: tear down loops and workers.
+  // Phase 3: tear down loops, workers, and the durability timer.
   stopping_.store(true, std::memory_order_release);
   queue_cv_.notify_all();
+  durability_cv_.notify_all();
   for (auto& loop : loops_) {
     WakeLoop(loop.get());
   }
@@ -799,8 +982,16 @@ void Server::Shutdown(const Deadline& drain) {
   for (auto& loop : loops_) {
     loop->thread.join();
   }
+  if (durability_thread_.joinable()) {
+    durability_thread_.join();
+  }
   workers_.clear();
   loops_.clear();
+  // Make everything absorbed up to the graceful stop durable, whatever the
+  // fsync policy (failures already marked the journal degraded).
+  if (options_.journal != nullptr) {
+    (void)options_.journal->Sync();
+  }
 }
 
 Server::~Server() { Shutdown(); }

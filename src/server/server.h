@@ -15,7 +15,9 @@
 
 #include "common/deadline.h"
 #include "common/status.h"
+#include "model/overlay_journal.h"
 #include "serve/engine_swap.h"
+#include "server/durability.h"
 #include "server/http.h"
 #include "server/retry.h"
 #include "server/stats.h"
@@ -57,15 +59,25 @@ struct ServerOptions {
   /// overlay after each successful /v1/assign (requires
   /// engine_options.online_refresh on the engine actually serving).
   bool online_refresh = false;
+  /// Durability of the online overlay (docs/ROBUSTNESS.md). When enabled,
+  /// `journal` must be the journal RecoverEngine attached to the initial
+  /// engine (and `recovery` its report): the server then runs the
+  /// background fsync/checkpoint timer, answers POST /v1/snapshot, keeps
+  /// the journal bound across /v1/reload, and reports degraded durability
+  /// in /v1/healthz.
+  DurabilityOptions durability;
+  std::shared_ptr<OverlayJournal> journal;
+  RecoveryReport recovery;
 };
 
 /// Dependency-free epoll TCP server speaking the minimal HTTP/1.1 subset
 /// of docs/SERVING.md over an AssignmentEngine:
 ///
 ///   POST /v1/assign   batched point -> label assignment (JSON or binary)
-///   GET  /v1/healthz  liveness
+///   GET  /v1/healthz  liveness (+ degraded-durability flag)
 ///   GET  /v1/statz    counters, latency percentiles, model identity
 ///   POST /v1/reload   atomic model swap with retry/backoff + rollback
+///   POST /v1/snapshot atomic checkpoint of the overlay (durable mode)
 ///
 /// Requests, not datasets, are the unit of work here: connections are
 /// multiplexed on epoll event loops, parsed requests flow through a
@@ -102,6 +114,13 @@ class Server {
   Status Reload(const std::string& path, const Deadline& deadline,
                 RetryReport* report = nullptr);
 
+  /// The /v1/snapshot implementation: folds the live overlay into an
+  /// atomic model-v3 snapshot and truncates the journal. Requires durable
+  /// mode. `*snapshot_crc` / `*folded_records` (optional) receive the
+  /// written snapshot's identity and overlay size.
+  Status Snapshot(uint32_t* snapshot_crc = nullptr,
+                  uint64_t* folded_records = nullptr);
+
  private:
   struct Connection;
   struct IoLoop;
@@ -135,6 +154,10 @@ class Server {
   std::string HandleStatz();
   std::string HandleReload(const HttpRequest& request,
                            const Deadline& deadline);
+  std::string HandleSnapshot(const HttpRequest& request);
+
+  /// Background fsync (interval policy) + periodic checkpoint timer.
+  void DurabilityMain();
   /// Appends the response to the connection's out buffer and wakes its
   /// loop. Called from workers (and from RespondInline via the same path).
   void EnqueueResponse(const std::shared_ptr<Connection>& conn,
@@ -162,8 +185,13 @@ class Server {
   std::atomic<bool> accepting_{false};
   std::atomic<bool> stopping_{false};
   // Serializes concurrent /v1/reload requests: swaps stay ordered and a
-  // retry storm cannot pile up N simultaneous index builds.
+  // retry storm cannot pile up N simultaneous index builds. Snapshot takes
+  // it too, so a checkpoint never interleaves with a journal rebind.
   std::mutex reload_mutex_;
+  // Durability timer thread (started only when it has work to do).
+  std::thread durability_thread_;
+  std::mutex durability_mutex_;
+  std::condition_variable durability_cv_;
   bool shutdown_done_ = false;
   std::mutex shutdown_mutex_;
 };

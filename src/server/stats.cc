@@ -43,7 +43,9 @@ std::string ServerStats::ToJson(uint32_t model_version, uint32_t model_crc,
                                 uint64_t engine_range_queries, int inflight,
                                 int max_inflight, const char* simd_backend,
                                 int shard_count,
-                                const std::string& cache_manager_json) const {
+                                const std::string& cache_manager_json,
+                                const std::string& durability_json,
+                                const std::string& failpoints_json) const {
   char crc_hex[16];
   std::snprintf(crc_hex, sizeof(crc_hex), "%08x", model_crc);
   std::string out = "{";
@@ -76,6 +78,9 @@ std::string ServerStats::ToJson(uint32_t model_version, uint32_t model_crc,
   field("reload_attempts", reload_attempts.load(std::memory_order_relaxed));
   field("cores_absorbed", cores_absorbed.load(std::memory_order_relaxed));
   field("refresh_failures", refresh_failures.load(std::memory_order_relaxed));
+  field("checkpoints_ok", checkpoints_ok.load(std::memory_order_relaxed));
+  field("checkpoints_failed",
+        checkpoints_failed.load(std::memory_order_relaxed));
   field("engine_points_assigned", engine_points_assigned);
   field("engine_sphere_rejections", engine_sphere_rejections);
   field("engine_range_queries", engine_range_queries);
@@ -89,6 +94,12 @@ std::string ServerStats::ToJson(uint32_t model_version, uint32_t model_crc,
          std::to_string(assign_latency.PercentileMicros(99.0));
   if (!cache_manager_json.empty()) {
     out += ",\"cache_manager\":" + cache_manager_json;
+  }
+  if (!durability_json.empty()) {
+    out += ",\"durability\":" + durability_json;
+  }
+  if (!failpoints_json.empty()) {
+    out += ",\"failpoints\":" + failpoints_json;
   }
   out += "}";
   return out;

@@ -44,6 +44,8 @@ struct ServerStats {
   std::atomic<uint64_t> reload_attempts{0};  ///< Retry attempts, all reloads.
   std::atomic<uint64_t> cores_absorbed{0};   ///< Online-refresh insertions.
   std::atomic<uint64_t> refresh_failures{0};  ///< Failed absorb passes.
+  std::atomic<uint64_t> checkpoints_ok{0};    ///< Durable-mode snapshots.
+  std::atomic<uint64_t> checkpoints_failed{0};
   LatencyHistogram assign_latency;
 
   /// JSON object with every counter, assign p50/p99 (µs), the provided
@@ -53,7 +55,9 @@ struct ServerStats {
   /// `simd_backend` (active SIMD dispatch backend name) and `shard_count`
   /// (0 = unsharded). `cache_manager_json` (a pre-rendered JSON object,
   /// typically CacheManager::StatsJson) is spliced in as the
-  /// `cache_manager` field when non-empty.
+  /// `cache_manager` field when non-empty; `durability_json` (journal +
+  /// recovery state of a durable server) and `failpoints_json` (per-site
+  /// injected-fault hit counters) likewise as `durability` / `failpoints`.
   std::string ToJson(uint32_t model_version, uint32_t model_crc,
                      int model_sv_budget, int model_sample_threshold,
                      uint64_t engine_points_assigned,
@@ -61,7 +65,9 @@ struct ServerStats {
                      uint64_t engine_range_queries, int inflight,
                      int max_inflight, const char* simd_backend,
                      int shard_count,
-                     const std::string& cache_manager_json = "") const;
+                     const std::string& cache_manager_json = "",
+                     const std::string& durability_json = "",
+                     const std::string& failpoints_json = "") const;
 };
 
 }  // namespace dbsvec::server

@@ -1,0 +1,653 @@
+// The durability layer end to end: overlay write-ahead journal round
+// trips, torn-write fuzzing of the reader, crash recovery that reproduces
+// the uncrashed engine bit-identically, atomic checkpoints folding the
+// journal, disk-failure modes (short_write / enospc / fsync_error) at the
+// model.save / journal.append / journal.fsync sites, graceful degradation
+// of a durable server, and the /v1/snapshot + degraded-healthz endpoints.
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/dbsvec.h"
+#include "data/synthetic.h"
+#include "fault/failpoint.h"
+#include "gtest/gtest.h"
+#include "model/dbsvec_model.h"
+#include "model/overlay_journal.h"
+#include "model/serialize.h"
+#include "serve/assignment_engine.h"
+#include "server/durability.h"
+#include "server/http_client.h"
+#include "server/server.h"
+
+namespace dbsvec {
+namespace {
+
+using server::DurabilityOptions;
+using server::HttpClient;
+using server::HttpResponse;
+using server::RecoveryReport;
+using server::Server;
+using server::ServerOptions;
+
+// ---------------------------------------------------------------------------
+// Journal unit tests (no engine)
+
+struct Replayed {
+  int32_t label;
+  std::vector<double> point;
+};
+
+/// Opens `path` collecting every replayed record into `*out`.
+Status OpenCollecting(const std::string& path, uint32_t base_crc, int dim,
+                      std::vector<Replayed>* out,
+                      std::unique_ptr<OverlayJournal>* journal) {
+  return OverlayJournal::Open(
+      path, base_crc, dim, FsyncPolicy::kOff,
+      [out](int32_t label, std::span<const double> point) -> Status {
+        out->push_back({label, {point.begin(), point.end()}});
+        return Status::Ok();
+      },
+      journal);
+}
+
+class JournalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    FailpointRegistry::Instance().DisarmAll();
+    dir_ = std::filesystem::temp_directory_path() /
+           ("dbsvec_journal_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+    path_ = (dir_ / "overlay.wal").string();
+  }
+
+  void TearDown() override {
+    FailpointRegistry::Instance().DisarmAll();
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  /// A fresh journal holding `n` deterministic dim-3 records.
+  void WriteRecords(uint32_t base_crc, int n) {
+    std::unique_ptr<OverlayJournal> journal;
+    ASSERT_TRUE(OverlayJournal::Open(path_, base_crc, 3, FsyncPolicy::kOff,
+                                     nullptr, &journal)
+                    .ok());
+    for (int i = 0; i < n; ++i) {
+      const std::vector<double> point = {1.0 * i, 2.0 * i, 3.0 * i};
+      ASSERT_TRUE(journal->Append(i % 4, point).ok());
+    }
+  }
+
+  std::vector<uint8_t> FileBytes() const {
+    std::vector<uint8_t> bytes;
+    EXPECT_TRUE(ReadFileBytes(path_, &bytes).ok());
+    return bytes;
+  }
+
+  std::filesystem::path dir_;
+  std::string path_;
+};
+
+TEST_F(JournalTest, AppendReplayRoundTrip) {
+  WriteRecords(/*base_crc=*/42, /*n=*/7);
+  std::vector<Replayed> replayed;
+  std::unique_ptr<OverlayJournal> journal;
+  ASSERT_TRUE(OpenCollecting(path_, 42, 3, &replayed, &journal).ok());
+  ASSERT_EQ(replayed.size(), 7u);
+  for (int i = 0; i < 7; ++i) {
+    EXPECT_EQ(replayed[static_cast<size_t>(i)].label, i % 4);
+    EXPECT_EQ(replayed[static_cast<size_t>(i)].point,
+              (std::vector<double>{1.0 * i, 2.0 * i, 3.0 * i}));
+  }
+  const OverlayJournalStats stats = journal->stats();
+  EXPECT_EQ(stats.records, 7u);
+  EXPECT_EQ(stats.records_replayed, 7u);
+  EXPECT_EQ(stats.torn_bytes_truncated, 0u);
+  EXPECT_EQ(stats.journals_discarded, 0u);
+  EXPECT_FALSE(journal->degraded());
+}
+
+TEST_F(JournalTest, TornTailFuzzedAtEveryByteNeverCrashes) {
+  WriteRecords(/*base_crc=*/7, /*n=*/5);
+  const std::vector<uint8_t> full = FileBytes();
+  constexpr size_t kHeader = 20;
+  constexpr size_t kFrame = 8 + 4 + 3 * 8;  // overhead + label + 3 doubles.
+  ASSERT_EQ(full.size(), kHeader + 5 * kFrame);
+
+  for (size_t cut = 0; cut <= full.size(); ++cut) {
+    std::filesystem::remove(path_);
+    {
+      std::ofstream out(path_, std::ios::binary);
+      out.write(reinterpret_cast<const char*>(full.data()),
+                static_cast<std::streamsize>(cut));
+    }
+    std::vector<Replayed> replayed;
+    std::unique_ptr<OverlayJournal> journal;
+    ASSERT_TRUE(OpenCollecting(path_, 7, 3, &replayed, &journal).ok())
+        << "cut at byte " << cut;
+    const OverlayJournalStats stats = journal->stats();
+    if (cut < kHeader) {
+      // A torn header is indistinguishable from a foreign file: the journal
+      // is discarded and reset, never replayed.
+      EXPECT_EQ(stats.journals_discarded, 1u) << "cut at byte " << cut;
+      EXPECT_TRUE(replayed.empty());
+    } else {
+      const size_t complete = (cut - kHeader) / kFrame;
+      EXPECT_EQ(replayed.size(), complete) << "cut at byte " << cut;
+      EXPECT_EQ(stats.torn_bytes_truncated, (cut - kHeader) % kFrame)
+          << "cut at byte " << cut;
+      // The torn tail is physically gone: the file ends at the last good
+      // record and fresh appends land right there.
+      EXPECT_EQ(std::filesystem::file_size(path_), kHeader + complete * kFrame);
+    }
+    // The reopened journal must accept appends whatever the damage was.
+    EXPECT_TRUE(journal->Append(0, std::vector<double>{9, 9, 9}).ok())
+        << "cut at byte " << cut;
+  }
+}
+
+TEST_F(JournalTest, CorruptRecordEndsTheValidPrefix) {
+  WriteRecords(/*base_crc=*/7, /*n=*/5);
+  std::vector<uint8_t> bytes = FileBytes();
+  constexpr size_t kHeader = 20;
+  constexpr size_t kFrame = 8 + 4 + 3 * 8;
+  // Flip one payload byte of record 2: records 0-1 stay valid, everything
+  // from record 2 on is a torn tail even though records 3-4 are intact —
+  // replay order would otherwise diverge from the original absorb order.
+  bytes[kHeader + 2 * kFrame + 8 + 5] ^= 0x80;
+  {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+  }
+  std::vector<Replayed> replayed;
+  std::unique_ptr<OverlayJournal> journal;
+  ASSERT_TRUE(OpenCollecting(path_, 7, 3, &replayed, &journal).ok());
+  EXPECT_EQ(replayed.size(), 2u);
+  EXPECT_EQ(journal->stats().torn_bytes_truncated, 3 * kFrame);
+  EXPECT_EQ(std::filesystem::file_size(path_), kHeader + 2 * kFrame);
+}
+
+TEST_F(JournalTest, BaseCrcMismatchDiscardsTheJournal) {
+  WriteRecords(/*base_crc=*/42, /*n=*/4);
+  std::vector<Replayed> replayed;
+  std::unique_ptr<OverlayJournal> journal;
+  ASSERT_TRUE(OpenCollecting(path_, /*base_crc=*/43, 3, &replayed, &journal)
+                  .ok());
+  EXPECT_TRUE(replayed.empty());
+  EXPECT_EQ(journal->stats().journals_discarded, 1u);
+  EXPECT_EQ(journal->base_crc(), 43u);
+  EXPECT_EQ(std::filesystem::file_size(path_), 20u);  // Fresh header only.
+}
+
+TEST_F(JournalTest, AppendFaultsDegradeAndRollBack) {
+  std::unique_ptr<OverlayJournal> journal;
+  ASSERT_TRUE(OverlayJournal::Open(path_, 1, 3, FsyncPolicy::kAlways, nullptr,
+                                   &journal)
+                  .ok());
+  const std::vector<double> point = {1, 2, 3};
+  ASSERT_TRUE(journal->Append(0, point).ok());
+  const auto size_after_one = std::filesystem::file_size(path_);
+
+  // enospc: fails before writing a byte; degraded, file untouched.
+  ASSERT_TRUE(FailpointRegistry::Instance()
+                  .ArmSpec("journal.append:enospc")
+                  .ok());
+  EXPECT_FALSE(journal->Append(1, point).ok());
+  EXPECT_TRUE(journal->degraded());
+  EXPECT_EQ(std::filesystem::file_size(path_), size_after_one);
+  FailpointRegistry::Instance().Disarm("journal.append");
+
+  // fsync_error under --fsync=always: the record was written but cannot be
+  // made durable, so it is rolled back — an acked-in-memory point must
+  // never depend on an unsynced journal byte.
+  ASSERT_TRUE(FailpointRegistry::Instance()
+                  .ArmSpec("journal.fsync:fsync_error")
+                  .ok());
+  EXPECT_FALSE(journal->Append(1, point).ok());
+  EXPECT_TRUE(journal->degraded());
+  EXPECT_EQ(std::filesystem::file_size(path_), size_after_one);
+  EXPECT_GE(journal->stats().fsync_failures, 1u);
+  FailpointRegistry::Instance().Disarm("journal.fsync");
+
+  // Recovery: the next clean append clears the degraded flag.
+  EXPECT_TRUE(journal->Append(2, point).ok());
+  EXPECT_FALSE(journal->degraded());
+  EXPECT_EQ(journal->stats().records_dropped, 2u);
+
+  // short_write leaves a torn prefix on disk (simulated crash) and poisons
+  // the handle: every later append fails fast so no good record can land
+  // beyond the tear. Reset (a checkpoint) repairs it.
+  ASSERT_TRUE(FailpointRegistry::Instance()
+                  .ArmSpec("journal.append:short_write")
+                  .ok());
+  EXPECT_FALSE(journal->Append(3, point).ok());
+  FailpointRegistry::Instance().Disarm("journal.append");
+  EXPECT_FALSE(journal->Append(3, point).ok());  // Poisoned: fail fast.
+  ASSERT_TRUE(journal->Reset(/*new_base_crc=*/2).ok());
+  EXPECT_FALSE(journal->degraded());
+  EXPECT_TRUE(journal->Append(3, point).ok());
+
+  // And the torn bytes the short write left behind never corrupt a reader:
+  // the journal was reset, so a reopen sees header + one clean record.
+  journal.reset();
+  std::vector<Replayed> replayed;
+  ASSERT_TRUE(OpenCollecting(path_, 2, 3, &replayed, &journal).ok());
+  ASSERT_EQ(replayed.size(), 1u);
+  EXPECT_EQ(replayed[0].label, 3);
+}
+
+// ---------------------------------------------------------------------------
+// Atomic model saves (satellite: fit --model-out crash safety)
+
+TEST_F(JournalTest, AtomicWriteFaultsLeaveTheOldFileIntact) {
+  const std::string path = (dir_ / "artifact.bin").string();
+  const std::vector<uint8_t> old_bytes = {1, 2, 3, 4, 5};
+  ASSERT_TRUE(WriteFileBytesAtomic(path, old_bytes, "model.save").ok());
+
+  const std::vector<uint8_t> new_bytes(1024, 0xab);
+  for (const char* mode : {"short_write", "enospc", "fsync_error"}) {
+    ASSERT_TRUE(FailpointRegistry::Instance()
+                    .ArmSpec(std::string("model.save:") + mode)
+                    .ok());
+    const Status status = WriteFileBytesAtomic(path, new_bytes, "model.save");
+    ASSERT_FALSE(status.ok()) << mode;
+    // The error names the path, the old file is untouched, and no .tmp
+    // litter survives the failure.
+    EXPECT_NE(status.message().find(path), std::string::npos) << mode;
+    std::vector<uint8_t> on_disk;
+    ASSERT_TRUE(ReadFileBytes(path, &on_disk).ok());
+    EXPECT_EQ(on_disk, old_bytes) << mode;
+    EXPECT_FALSE(std::filesystem::exists(path + ".tmp")) << mode;
+    FailpointRegistry::Instance().Disarm("model.save");
+  }
+  ASSERT_TRUE(WriteFileBytesAtomic(path, new_bytes, "model.save").ok());
+  std::vector<uint8_t> on_disk;
+  ASSERT_TRUE(ReadFileBytes(path, &on_disk).ok());
+  EXPECT_EQ(on_disk, new_bytes);
+}
+
+// ---------------------------------------------------------------------------
+// Engine-level crash recovery
+
+class DurabilityTest : public ::testing::Test {
+ protected:
+  static constexpr int kDim = 3;
+
+  void SetUp() override {
+    FailpointRegistry::Instance().DisarmAll();
+    dir_ = std::filesystem::temp_directory_path() /
+           ("dbsvec_durability_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+    model_path_ = (dir_ / "model.dbsvm").string();
+    snapshot_path_ = (dir_ / "model.ckpt").string();
+    journal_path_ = (dir_ / "model.wal").string();
+
+    const Dataset train = MakeBlobs(1'000, /*seed=*/29);
+    DbsvecParams params;
+    params.epsilon = 6.0;
+    params.min_pts = 15;
+    Clustering result;
+    DbsvecModel model;
+    ASSERT_TRUE(RunDbsvec(train, params, &result, &model).ok());
+    ASSERT_TRUE(SaveModel(model, model_path_).ok());
+    // Same distribution as training: the traffic lands inside member
+    // spheres, so absorbs actually happen.
+    traffic_ = MakeBlobs(300, /*seed=*/29);
+    probes_ = MakeBlobs(200, /*seed=*/33);
+  }
+
+  void TearDown() override {
+    FailpointRegistry::Instance().DisarmAll();
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  static Dataset MakeBlobs(int n, uint64_t seed) {
+    GaussianBlobsParams params;
+    params.n = n;
+    params.dim = kDim;
+    params.num_clusters = 4;
+    params.noise_fraction = 0.05;
+    params.seed = seed;
+    return GenerateGaussianBlobs(params);
+  }
+
+  DurabilityOptions Durability() const {
+    DurabilityOptions durability;
+    durability.enabled = true;
+    durability.snapshot_path = snapshot_path_;
+    durability.journal_path = journal_path_;
+    durability.fsync = FsyncPolicy::kOff;
+    return durability;
+  }
+
+  /// A live journaling engine, as the serving path builds it.
+  std::unique_ptr<AssignmentEngine> LiveEngine(
+      std::shared_ptr<OverlayJournal>* journal_out = nullptr) {
+    std::unique_ptr<AssignmentEngine> engine;
+    std::shared_ptr<OverlayJournal> journal;
+    EXPECT_TRUE(server::RecoverEngine(model_path_, Durability(), {},
+                                      server::RetryOptions(), &engine,
+                                      &journal, nullptr)
+                    .ok());
+    if (journal_out != nullptr) {
+      *journal_out = journal;
+    }
+    return engine;
+  }
+
+  /// Assigns `points` and absorbs the labeled result (the /v1/assign +
+  /// refresh sequence), returning how many cores were absorbed.
+  uint64_t Absorb(AssignmentEngine* engine, const Dataset& points) {
+    std::vector<int32_t> labels;
+    EXPECT_TRUE(engine->AssignBatch(points, &labels).ok());
+    uint64_t absorbed = 0;
+    EXPECT_TRUE(engine->AbsorbCoreAdjacent(points, labels, &absorbed).ok());
+    return absorbed;
+  }
+
+  std::vector<int32_t> Labels(AssignmentEngine* engine, const Dataset& points) {
+    std::vector<int32_t> labels;
+    EXPECT_TRUE(engine->AssignBatch(points, &labels).ok());
+    return labels;
+  }
+
+  std::filesystem::path dir_;
+  std::string model_path_;
+  std::string snapshot_path_;
+  std::string journal_path_;
+  Dataset traffic_{kDim};
+  Dataset probes_{kDim};
+};
+
+TEST_F(DurabilityTest, RecoveryReproducesTheUncrashedEngineBitIdentically) {
+  std::unique_ptr<AssignmentEngine> live = LiveEngine();
+  const uint64_t absorbed = Absorb(live.get(), traffic_);
+  ASSERT_GT(absorbed, 0u);
+  const std::vector<int32_t> live_labels = Labels(live.get(), probes_);
+  // "Crash": drop the engine without checkpointing. Only model + journal
+  // survive on disk.
+  live.reset();
+
+  std::unique_ptr<AssignmentEngine> recovered;
+  RecoveryReport report;
+  ASSERT_TRUE(server::RecoverEngine(model_path_, Durability(), {},
+                                    server::RetryOptions(), &recovered,
+                                    nullptr, &report)
+                  .ok());
+  EXPECT_FALSE(report.loaded_from_snapshot);
+  EXPECT_EQ(report.records_replayed, absorbed);
+  EXPECT_EQ(report.torn_bytes_truncated, 0u);
+  EXPECT_EQ(recovered->stats().cores_absorbed, absorbed);
+  EXPECT_EQ(Labels(recovered.get(), probes_), live_labels);
+}
+
+TEST_F(DurabilityTest, CheckpointFoldsTheJournalAndRebindsIt) {
+  std::shared_ptr<OverlayJournal> journal;
+  std::unique_ptr<AssignmentEngine> live = LiveEngine(&journal);
+  const uint64_t before = Absorb(live.get(), traffic_);
+  ASSERT_GT(before, 0u);
+
+  uint32_t snapshot_crc = 0;
+  uint64_t folded = 0;
+  ASSERT_TRUE(live->Checkpoint(snapshot_path_, &snapshot_crc, &folded).ok());
+  EXPECT_EQ(folded, before);
+  EXPECT_EQ(journal->stats().records, 0u);
+  EXPECT_EQ(journal->stats().resets, 1u);
+  EXPECT_EQ(journal->base_crc(), snapshot_crc);
+
+  // More absorbs after the checkpoint journal against the new base.
+  const uint64_t after = Absorb(live.get(), probes_);
+  const std::vector<int32_t> live_labels = Labels(live.get(), traffic_);
+  live.reset();
+
+  std::unique_ptr<AssignmentEngine> recovered;
+  RecoveryReport report;
+  ASSERT_TRUE(server::RecoverEngine(model_path_, Durability(), {},
+                                    server::RetryOptions(), &recovered,
+                                    nullptr, &report)
+                  .ok());
+  EXPECT_TRUE(report.loaded_from_snapshot);
+  EXPECT_EQ(report.records_replayed, after);
+  EXPECT_EQ(report.journals_discarded, 0u);
+  EXPECT_EQ(Labels(recovered.get(), traffic_), live_labels);
+}
+
+TEST_F(DurabilityTest, CrashBetweenSnapshotAndJournalResetIsSafe) {
+  std::unique_ptr<AssignmentEngine> live = LiveEngine();
+  ASSERT_GT(Absorb(live.get(), traffic_), 0u);
+  const std::vector<int32_t> live_labels = Labels(live.get(), probes_);
+
+  // Simulate dying inside Checkpoint after the snapshot rename but before
+  // the journal reset: write the snapshot by hand, leave the journal bound
+  // to the original model.
+  DbsvecModel folded;
+  ASSERT_TRUE(live->SnapshotModel(&folded).ok());
+  ASSERT_TRUE(SaveModel(folded, snapshot_path_).ok());
+  live.reset();
+
+  std::unique_ptr<AssignmentEngine> recovered;
+  RecoveryReport report;
+  ASSERT_TRUE(server::RecoverEngine(model_path_, Durability(), {},
+                                    server::RetryOptions(), &recovered,
+                                    nullptr, &report)
+                  .ok());
+  // The snapshot already contains every journaled record; the stale journal
+  // (bound to the pre-checkpoint base) must be discarded, not replayed on
+  // top — that would double-apply the overlay.
+  EXPECT_TRUE(report.loaded_from_snapshot);
+  EXPECT_EQ(report.journals_discarded, 1u);
+  EXPECT_EQ(report.records_replayed, 0u);
+  EXPECT_EQ(Labels(recovered.get(), probes_), live_labels);
+}
+
+TEST_F(DurabilityTest, FailedAppendSkipsTheInMemoryAbsorb) {
+  std::shared_ptr<OverlayJournal> journal;
+  std::unique_ptr<AssignmentEngine> live = LiveEngine(&journal);
+  ASSERT_TRUE(FailpointRegistry::Instance()
+                  .ArmSpec("journal.append:error:io")
+                  .ok());
+  EXPECT_EQ(Absorb(live.get(), traffic_), 0u);
+  EXPECT_EQ(live->stats().cores_absorbed, 0u);
+  EXPECT_GT(journal->stats().records_dropped, 0u);
+  EXPECT_TRUE(journal->degraded());
+  FailpointRegistry::Instance().Disarm("journal.append");
+
+  // With the disk healthy again the same traffic absorbs, and a restart
+  // sees exactly the overlay the live engine holds: no record was applied
+  // without being journaled first.
+  const uint64_t absorbed = Absorb(live.get(), traffic_);
+  ASSERT_GT(absorbed, 0u);
+  EXPECT_FALSE(journal->degraded());
+  const std::vector<int32_t> live_labels = Labels(live.get(), probes_);
+  live.reset();
+  std::unique_ptr<AssignmentEngine> recovered;
+  ASSERT_TRUE(server::RecoverEngine(model_path_, Durability(), {},
+                                    server::RetryOptions(), &recovered,
+                                    nullptr, nullptr)
+                  .ok());
+  EXPECT_EQ(recovered->stats().cores_absorbed, absorbed);
+  EXPECT_EQ(Labels(recovered.get(), probes_), live_labels);
+}
+
+// ---------------------------------------------------------------------------
+// Durable server over loopback
+
+class DurableServerTest : public DurabilityTest {
+ protected:
+  void StartDurable() {
+    std::unique_ptr<AssignmentEngine> engine;
+    std::shared_ptr<OverlayJournal> journal;
+    RecoveryReport recovery;
+    ASSERT_TRUE(server::RecoverEngine(model_path_, Durability(), {},
+                                      server::RetryOptions(), &engine,
+                                      &journal, &recovery)
+                    .ok());
+    ServerOptions options;
+    options.port = 0;
+    options.online_refresh = true;
+    options.engine_options.online_refresh = true;
+    options.durability = Durability();
+    options.journal = journal;
+    options.recovery = recovery;
+    ASSERT_TRUE(Server::Start(
+                    std::shared_ptr<AssignmentEngine>(std::move(engine)),
+                    options, &server_)
+                    .ok());
+  }
+
+  std::string AssignBody(const Dataset& points, int count) {
+    std::string body = "{\"points\":[";
+    char buffer[64];
+    for (int i = 0; i < count; ++i) {
+      body += i > 0 ? ",[" : "[";
+      const auto point = points.point(i);
+      for (size_t d = 0; d < point.size(); ++d) {
+        std::snprintf(buffer, sizeof(buffer), "%s%.17g", d > 0 ? "," : "",
+                      point[d]);
+        body += buffer;
+      }
+      body += "]";
+    }
+    return body + "]}";
+  }
+
+  HttpResponse Roundtrip(const std::string& method, const std::string& target,
+                         const std::string& body) {
+    HttpClient client;
+    EXPECT_TRUE(client.Connect("127.0.0.1", server_->port()).ok());
+    HttpResponse response;
+    EXPECT_TRUE(client
+                    .Roundtrip(method, target,
+                               body.empty() ? "" : "application/json", body,
+                               {}, &response)
+                    .ok());
+    return response;
+  }
+
+  std::unique_ptr<Server> server_;
+};
+
+TEST_F(DurableServerTest, SnapshotEndpointCheckpointsTheOverlay) {
+  StartDurable();
+  const HttpResponse assigned =
+      Roundtrip("POST", "/v1/assign", AssignBody(traffic_, 200));
+  ASSERT_EQ(assigned.status_code, 200);
+  ASSERT_GT(server_->stats().cores_absorbed.load(), 0u);
+
+  const HttpResponse snapshot = Roundtrip("POST", "/v1/snapshot", "");
+  EXPECT_EQ(snapshot.status_code, 200);
+  EXPECT_NE(snapshot.body.find("\"snapshot\":true"), std::string::npos);
+  EXPECT_NE(snapshot.body.find("\"folded_records\":"), std::string::npos);
+  EXPECT_EQ(server_->stats().checkpoints_ok.load(), 1u);
+  EXPECT_TRUE(std::filesystem::exists(snapshot_path_));
+
+  // statz carries the durability + failpoint observability objects.
+  const HttpResponse statz = Roundtrip("GET", "/v1/statz", "");
+  ASSERT_EQ(statz.status_code, 200);
+  EXPECT_NE(statz.body.find("\"durability\":{"), std::string::npos);
+  EXPECT_NE(statz.body.find("\"fsync\":\"off\""), std::string::npos);
+  EXPECT_NE(statz.body.find("\"checkpoints_ok\":1"), std::string::npos);
+  EXPECT_NE(statz.body.find("\"failpoints\":{"), std::string::npos);
+  EXPECT_NE(statz.body.find("\"journal.append\":"), std::string::npos);
+
+  // A restarted server serves the same labels the live one does.
+  const std::vector<int32_t> live_labels =
+      Labels(server_->engine().get(), probes_);
+  server_->Shutdown();
+  server_.reset();
+  std::unique_ptr<AssignmentEngine> recovered;
+  RecoveryReport report;
+  ASSERT_TRUE(server::RecoverEngine(model_path_, Durability(), {},
+                                    server::RetryOptions(), &recovered,
+                                    nullptr, &report)
+                  .ok());
+  EXPECT_TRUE(report.loaded_from_snapshot);
+  EXPECT_EQ(Labels(recovered.get(), probes_), live_labels);
+}
+
+TEST_F(DurableServerTest, DegradedDurabilityKeepsServingAndFlagsHealthz) {
+  StartDurable();
+  EXPECT_EQ(Roundtrip("GET", "/v1/healthz", "").body, "ok\n");
+
+  ASSERT_TRUE(FailpointRegistry::Instance()
+                  .ArmSpec("journal.append:error:io")
+                  .ok());
+  const HttpResponse assigned =
+      Roundtrip("POST", "/v1/assign", AssignBody(traffic_, 100));
+  // Serving survives the dead disk; only durability degrades.
+  EXPECT_EQ(assigned.status_code, 200);
+  const HttpResponse health = Roundtrip("GET", "/v1/healthz", "");
+  EXPECT_EQ(health.status_code, 200);
+  EXPECT_NE(health.body.find("durability: degraded"), std::string::npos);
+  const HttpResponse statz = Roundtrip("GET", "/v1/statz", "");
+  EXPECT_NE(statz.body.find("\"degraded\":true"), std::string::npos);
+  EXPECT_NE(statz.body.find("\"records_dropped\":"), std::string::npos);
+  FailpointRegistry::Instance().Disarm("journal.append");
+
+  // Healthy disk: the next absorbed point clears the flag.
+  ASSERT_EQ(Roundtrip("POST", "/v1/assign", AssignBody(traffic_, 200))
+                .status_code,
+            200);
+  EXPECT_EQ(Roundtrip("GET", "/v1/healthz", "").body, "ok\n");
+}
+
+TEST_F(DurableServerTest, SnapshotRequiresDurableMode) {
+  ServerOptions options;
+  options.port = 0;
+  std::unique_ptr<AssignmentEngine> engine;
+  ASSERT_TRUE(AssignmentEngine::Load(model_path_, {}, &engine).ok());
+  ASSERT_TRUE(Server::Start(
+                  std::shared_ptr<AssignmentEngine>(std::move(engine)),
+                  options, &server_)
+                  .ok());
+  const HttpResponse response = Roundtrip("POST", "/v1/snapshot", "");
+  EXPECT_EQ(response.status_code, 412);
+  EXPECT_EQ(server_->stats().checkpoints_failed.load(), 0u);
+}
+
+TEST_F(DurableServerTest, DurableReloadRebindsTheJournal) {
+  StartDurable();
+  ASSERT_EQ(Roundtrip("POST", "/v1/assign", AssignBody(traffic_, 200))
+                .status_code,
+            200);
+  ASSERT_GT(server_->stats().cores_absorbed.load(), 0u);
+
+  // Reload the same model file: the overlay restarts empty and the journal
+  // must restart with it, bound to the reloaded model's identity.
+  const HttpResponse reload =
+      Roundtrip("POST", "/v1/reload", "{\"path\": \"" + model_path_ + "\"}");
+  ASSERT_EQ(reload.status_code, 200);
+  const std::shared_ptr<AssignmentEngine> engine = server_->engine();
+  EXPECT_EQ(engine->stats().cores_absorbed, 0u);
+  ASSERT_NE(engine->journal(), nullptr);
+  EXPECT_EQ(engine->journal()->base_crc(), engine->model_crc());
+  EXPECT_EQ(engine->journal()->stats().records, 0u);
+
+  // Post-reload absorbs journal against the new base and recover cleanly.
+  ASSERT_EQ(Roundtrip("POST", "/v1/assign", AssignBody(traffic_, 200))
+                .status_code,
+            200);
+  const std::vector<int32_t> live_labels = Labels(engine.get(), probes_);
+  const uint64_t live_absorbed = engine->stats().cores_absorbed;
+  ASSERT_GT(live_absorbed, 0u);
+  server_->Shutdown();
+  server_.reset();
+  std::unique_ptr<AssignmentEngine> recovered;
+  ASSERT_TRUE(server::RecoverEngine(model_path_, Durability(), {},
+                                    server::RetryOptions(), &recovered,
+                                    nullptr, nullptr)
+                  .ok());
+  EXPECT_EQ(recovered->stats().cores_absorbed, live_absorbed);
+  EXPECT_EQ(Labels(recovered.get(), probes_), live_labels);
+}
+
+}  // namespace
+}  // namespace dbsvec

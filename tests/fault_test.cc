@@ -107,6 +107,7 @@ TEST_F(FaultTest, SitesCoverEveryInstrumentedLayer) {
       "thread_pool.task",
       "model.save",    "model.load",    "assign.batch",
       "server.accept", "server.reload", "serve.refresh",
+      "journal.append", "journal.fsync",
   };
   EXPECT_EQ(sites.size(), expected.size());
   for (const std::string_view site : expected) {
@@ -712,9 +713,13 @@ TEST_F(FaultTest, ErrorSweepEverySiteFailsCleanlyOrDegrades) {
   // svdd.budget_merge sits inside the budgeted SMO maintenance step, which
   // the default sv_budget=0 pipeline never enters; the Budget* tests in
   // tests/budget_test.cc sweep it through a budgeted fit.
+  // journal.append / journal.fsync sit on the durable serving path, which
+  // the offline fit+assign pipeline never takes; tests/durability_test.cc
+  // sweeps them through journaled absorbs.
   const std::vector<std::string> out_of_pipeline_sites = {
       "server.accept", "server.reload", "serve.refresh", "exec.shard_merge",
-      "cache.reserve", "svdd.budget_merge"};
+      "cache.reserve", "svdd.budget_merge", "journal.append",
+      "journal.fsync"};
 
   for (const std::string_view site : FailpointRegistry::Sites()) {
     if (std::find(out_of_pipeline_sites.begin(), out_of_pipeline_sites.end(),

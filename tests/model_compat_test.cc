@@ -1,0 +1,97 @@
+// Backward compatibility of the model file format: committed golden v1 and
+// v2 binaries (tests/data/) must keep loading under the v3 reader, validate,
+// serve assignments, and re-save as well-formed v3 files. The goldens were
+// written by the historical serializers and are never regenerated — they are
+// the contract with models already on disk in the field.
+
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/clustering.h"
+#include "gtest/gtest.h"
+#include "model/dbsvec_model.h"
+#include "serve/assignment_engine.h"
+
+namespace dbsvec {
+namespace {
+
+std::string GoldenPath(const std::string& name) {
+  return std::string(DBSVEC_TEST_DATA_DIR) + "/" + name;
+}
+
+class ModelCompatTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ModelCompatTest, GoldenFileLoadsAndServes) {
+  const int version = GetParam();
+  DbsvecModel model;
+  ASSERT_TRUE(
+      LoadModel(GoldenPath("model_v" + std::to_string(version) + ".dbsvm"),
+                &model)
+          .ok());
+
+  // The shared v1 prefix.
+  EXPECT_DOUBLE_EQ(model.epsilon, 1.5);
+  EXPECT_EQ(model.min_pts, 2);
+  EXPECT_EQ(model.dim, 2);
+  EXPECT_EQ(model.train_size, 8);
+  EXPECT_EQ(model.num_clusters, 2);
+  ASSERT_EQ(model.core_points.size(), 4);
+  EXPECT_EQ(model.core_labels, (std::vector<int32_t>{0, 0, 1, 1}));
+  ASSERT_EQ(model.spheres.size(), 2u);
+  EXPECT_EQ(model.spheres[0].cluster, 0);
+  EXPECT_EQ(model.spheres[1].cluster, 1);
+
+  // v2 appended the bounded-cost SVDD provenance; a v1 file reads back with
+  // the "exact training" defaults.
+  if (version >= 2) {
+    EXPECT_EQ(model.sv_budget, 16);
+    EXPECT_EQ(model.sample_threshold, 32);
+  } else {
+    EXPECT_EQ(model.sv_budget, 0);
+    EXPECT_EQ(model.sample_threshold, 0);
+  }
+
+  // v3 appended the absorbed overlay; pre-v3 files read back with none.
+  EXPECT_EQ(model.absorbed_points.size(), 0);
+  EXPECT_TRUE(model.absorbed_labels.empty());
+
+  // The loaded model must actually serve.
+  std::unique_ptr<AssignmentEngine> engine;
+  ASSERT_TRUE(AssignmentEngine::Create(std::move(model), {}, &engine).ok());
+  int32_t label = Clustering::kNoise;
+  ASSERT_TRUE(engine->Assign(std::vector<double>{0.1, 0.1}, &label).ok());
+  EXPECT_EQ(label, 0);
+  ASSERT_TRUE(engine->Assign(std::vector<double>{10.2, 10.0}, &label).ok());
+  EXPECT_EQ(label, 1);
+  ASSERT_TRUE(engine->Assign(std::vector<double>{5.0, -40.0}, &label).ok());
+  EXPECT_EQ(label, Clustering::kNoise);
+}
+
+TEST_P(ModelCompatTest, GoldenFileRoundTripsThroughV3Writer) {
+  const int version = GetParam();
+  DbsvecModel model;
+  ASSERT_TRUE(
+      LoadModel(GoldenPath("model_v" + std::to_string(version) + ".dbsvm"),
+                &model)
+          .ok());
+  const std::filesystem::path resaved =
+      std::filesystem::temp_directory_path() /
+      ("dbsvec_compat_resave_v" + std::to_string(version) + "_" +
+       std::to_string(::getpid()) + ".dbsvm");
+  ASSERT_TRUE(SaveModel(model, resaved.string()).ok());
+  DbsvecModel reloaded;
+  ASSERT_TRUE(LoadModel(resaved.string(), &reloaded).ok());
+  EXPECT_TRUE(reloaded == model);
+  std::filesystem::remove(resaved);
+}
+
+INSTANTIATE_TEST_SUITE_P(Versions, ModelCompatTest, ::testing::Values(1, 2),
+                         [](const auto& info) {
+                           return "v" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace dbsvec

@@ -10,7 +10,11 @@
 # failpoint site armed via the environment (docs/ROBUSTNESS.md), and a
 # serve smoke leg: the ASan server with a delay failpoint armed takes
 # client traffic (JSON + binary assign, reload, an expect-504 deadline
-# probe) and must drain cleanly on SIGTERM (docs/SERVING.md).
+# probe) and must drain cleanly on SIGTERM (docs/SERVING.md). A
+# crash-recovery harness SIGKILLs a durable server (quiesced and
+# mid-absorb) and asserts label bit-identity after restart, followed by a
+# torn-journal truncation fuzz through the offline recovery oracle
+# (docs/ROBUSTNESS.md).
 # Run from anywhere; builds land in <repo>/build-ci-{release,tsan,asan,ubsan}.
 set -euo pipefail
 
@@ -61,7 +65,7 @@ cmake --build "${repo}/build-ci-tsan" -j "${jobs}" --target dbsvec_tests
 # connections while the model pointer swaps, so the RCU handoff is
 # race-checked too.
 ctest --test-dir "${repo}/build-ci-tsan" --output-on-failure -j "${jobs}" \
-  -R 'Determinism|ThreadPool|ServerTest.ReloadUnderLoad'
+  -R 'Determinism|ThreadPool|ServerTest.ReloadUnderLoad|DurableServer'
 
 echo "=== TSan sharded fit through the CLI (shards=4, threads=8) ==="
 # One end-to-end sharded fit under TSan via the real CLI entry point: the
@@ -99,7 +103,7 @@ cmake --build "${repo}/build-ci-asan" -j "${jobs}" --target dbsvec_tests \
 # every failpoint site through the full fit/save/load/assign pipeline, so
 # every injected failure path is leak- and overflow-checked too.
 ctest --test-dir "${repo}/build-ci-asan" --output-on-failure -j "${jobs}" \
-  -R 'Model|Serve|Cli|Simd|Fault|Budget'
+  -R 'Model|Serve|Cli|Simd|Fault|Budget|Durab|Journal'
 
 echo "=== ASan budget sweep through the CLI (--sv-budget 0/16/128) ==="
 # The bounded-cost SVDD path (docs/PERFORMANCE.md) exercised end to end
@@ -215,6 +219,165 @@ grep -q 'shut down cleanly' "${serve_log}" || {
   exit 1
 }
 
+echo "=== Crash-recovery harness under ASan: SIGKILL, restart, bit-identity ==="
+# A durable server (--fsync=always) is killed with SIGKILL — once quiesced
+# and once mid-absorb with a delay failpoint stretching the window — and
+# restarted from its snapshot + journal. Labels must be bit-identical to
+# the pre-kill fixpoint, and the offline recovery oracle (assign with
+# --snapshot/--journal) must agree with the restarted server
+# (docs/ROBUSTNESS.md). Absorption during a label dump can itself grow the
+# overlay, so dumps are repeated until two consecutive passes agree: at
+# that fixpoint a dump is a pure read and survives kill/restart unchanged.
+crash_dir="${sweep_dir}/crash"
+mkdir -p "${crash_dir}"
+snapshot="${crash_dir}/model.ckpt"
+journal="${crash_dir}/model.wal"
+durable_log="${crash_dir}/serve.log"
+
+start_durable_serve() {
+  # Args: logfile [extra env as KEY=VALUE...]; sets serve_pid and port.
+  local log="$1"
+  shift
+  env "$@" "${cli}" serve --model="${sweep_dir}/model.bin" --port=0 \
+    --workers=2 --durable --fsync=always \
+    --snapshot="${snapshot}" --journal="${journal}" \
+    > "${log}" 2>&1 &
+  serve_pid=$!
+  port=""
+  for _ in $(seq 1 100); do
+    port="$(sed -n 's/.*listening on [0-9.]*:\([0-9]*\).*/\1/p' \
+      "${log}" 2>/dev/null || true)"
+    [ -n "${port}" ] && break
+    if ! kill -0 "${serve_pid}" 2>/dev/null; then
+      echo "crash harness: server died before listening" >&2
+      cat "${log}" >&2
+      exit 1
+    fi
+    sleep 0.1
+  done
+  if [ -z "${port}" ]; then
+    echo "crash harness: no listening banner within 10s" >&2
+    cat "${log}" >&2
+    exit 1
+  fi
+}
+
+dump_labels_fixpoint() {
+  # Dump labels for points.csv until two consecutive passes agree; the
+  # converged dump lands in $1.
+  local out="$1"
+  local prev="${crash_dir}/dump.prev"
+  rm -f "${prev}"
+  local converged=""
+  for _ in $(seq 1 10); do
+    "${client}" --mode=assign --port="${port}" --dim=2 \
+      --input="${sweep_dir}/points.csv" --labels-out="${out}" --quiet
+    if [ -f "${prev}" ] && cmp -s "${prev}" "${out}"; then
+      converged=1
+      break
+    fi
+    cp "${out}" "${prev}"
+  done
+  if [ -z "${converged}" ]; then
+    echo "crash harness: label dump did not reach a fixpoint" >&2
+    exit 1
+  fi
+}
+
+# --- Phase 1: quiesced kill. Absorb traffic, converge, SIGKILL, restart,
+# and the restarted server must serve the exact same labels.
+start_durable_serve "${durable_log}"
+grep -q 'serve: durable' "${durable_log}" || {
+  echo "crash harness: durable banner missing" >&2
+  cat "${durable_log}" >&2
+  exit 1
+}
+"${client}" --mode=assign --port="${port}" --requests=20 --batch=16 \
+  --threads=2 --dim=2 --quiet
+dump_labels_fixpoint "${crash_dir}/labels.before"
+kill -9 "${serve_pid}"
+wait "${serve_pid}" 2>/dev/null || true
+start_durable_serve "${durable_log}.2"
+grep -q 'recovered:' "${durable_log}.2" || {
+  echo "crash harness: recovery banner missing after restart" >&2
+  cat "${durable_log}.2" >&2
+  exit 1
+}
+"${client}" --mode=assign --port="${port}" --dim=2 \
+  --input="${sweep_dir}/points.csv" \
+  --labels-out="${crash_dir}/labels.after" --quiet
+cmp "${crash_dir}/labels.before" "${crash_dir}/labels.after" || {
+  echo "crash harness: labels diverged across SIGKILL + recovery" >&2
+  exit 1
+}
+
+# --- Phase 2: kill mid-absorb. The delay failpoint inside the refresh path
+# guarantees the SIGKILL lands while an absorb (journal append included) is
+# in flight; recovery must truncate any torn tail, never crash, and agree
+# with the offline oracle recovering from the same snapshot + journal.
+"${client}" --mode=statz --port="${port}" --quiet | grep -q '"durability"' || {
+  echo "crash harness: statz durability section missing" >&2
+  exit 1
+}
+kill -9 "${serve_pid}"
+wait "${serve_pid}" 2>/dev/null || true
+start_durable_serve "${durable_log}.3" \
+  DBSVEC_FAILPOINTS="serve.refresh:delay_ms:5"
+"${client}" --mode=assign --port="${port}" --requests=50 --batch=8 \
+  --threads=2 --dim=2 --quiet &
+traffic_pid=$!
+sleep 0.4
+kill -9 "${serve_pid}"
+wait "${serve_pid}" 2>/dev/null || true
+wait "${traffic_pid}" 2>/dev/null || true  # Traffic dies with the server.
+start_durable_serve "${durable_log}.4"
+dump_labels_fixpoint "${crash_dir}/labels.midkill"
+kill -TERM "${serve_pid}"
+wait "${serve_pid}" || {
+  echo "crash harness: clean shutdown after recovery failed" >&2
+  cat "${durable_log}.4" >&2
+  exit 1
+}
+# Offline oracle: recover the identical state through the CLI (the journal
+# is detached for a read-only process, so this mutates nothing) and the
+# labels must match the restarted server's fixpoint.
+"${cli}" assign --model="${sweep_dir}/model.bin" \
+  --snapshot="${snapshot}" --journal="${journal}" \
+  --input="${sweep_dir}/points.csv" \
+  --output="${crash_dir}/oracle.csv"
+cut -d, -f3 "${crash_dir}/oracle.csv" > "${crash_dir}/labels.oracle"
+cmp "${crash_dir}/labels.midkill" "${crash_dir}/labels.oracle" || {
+  echo "crash harness: server recovery disagrees with the offline oracle" >&2
+  exit 1
+}
+
+echo "=== Torn-journal fuzz under ASan: truncated tails must recover ==="
+# Chop the live journal at awkward byte counts (mid-record, mid-header,
+# empty) and recover each stump through the CLI oracle: always exit 0,
+# never crash — ASan turns any overread of a torn record into a failure.
+wal_bytes="$(stat -c %s "${journal}")"
+for cut_bytes in "${wal_bytes}" $((wal_bytes - 1)) $((wal_bytes - 13)) \
+                 $((wal_bytes / 2)) 21 20 7 0; do
+  [ "${cut_bytes}" -ge 0 ] || continue
+  cp "${journal}" "${crash_dir}/torn.wal.orig"
+  head -c "${cut_bytes}" "${crash_dir}/torn.wal.orig" \
+    > "${crash_dir}/torn.wal"
+  "${cli}" assign --model="${sweep_dir}/model.bin" \
+    --snapshot="${snapshot}" --journal="${crash_dir}/torn.wal" \
+    --input="${sweep_dir}/points.csv" \
+    --output="${crash_dir}/torn.out.csv" || {
+    echo "torn fuzz: recovery failed at ${cut_bytes} bytes" >&2
+    exit 1
+  }
+done
+
+echo "=== bench_durability smoke: fsync sweep + recovery stay deterministic ==="
+cmake --build "${repo}/build-ci-release" -j "${jobs}" \
+  --target bench_durability
+"${repo}/build-ci-release/bench/bench_durability" \
+  --n=4000 --traffic=4000 --minpts=20 \
+  --out="${repo}/build-ci-release/BENCH_durability_smoke.json"
+
 echo "=== UndefinedBehaviorSanitizer build + model/serving/fault tests ==="
 cmake -S "${repo}" -B "${repo}/build-ci-ubsan" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -226,6 +389,6 @@ cmake --build "${repo}/build-ci-ubsan" -j "${jobs}" --target dbsvec_tests
 # computation, misaligned load in the serializers, ...) into a test
 # failure rather than a diagnostic that scrolls by.
 ctest --test-dir "${repo}/build-ci-ubsan" --output-on-failure -j "${jobs}" \
-  -R 'Model|Serve|Cli|Simd|Fault'
+  -R 'Model|Serve|Cli|Simd|Fault|Durab|Journal'
 
 echo "=== CI green ==="

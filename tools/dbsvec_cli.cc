@@ -20,7 +20,9 @@
 #include "eval/recall.h"
 #include "fault/failpoint.h"
 #include "model/dbsvec_model.h"
+#include "model/overlay_journal.h"
 #include "serve/assignment_engine.h"
+#include "server/durability.h"
 #include "server/server.h"
 
 namespace dbsvec {
@@ -148,16 +150,32 @@ volatile std::sig_atomic_t g_stop_requested = 0;
 
 void HandleStopSignal(int) { g_stop_requested = 1; }
 
-/// `serve`: load a model, serve it over HTTP until SIGTERM/SIGINT, then
-/// drain and shut down cleanly.
+/// `serve`: load a model (with crash recovery in durable mode), serve it
+/// over HTTP until SIGTERM/SIGINT, then drain and shut down cleanly.
 int RunServeCommand(const cli::CliOptions& options) {
   AssignmentOptions engine_options;
   engine_options.index = options.index;
   engine_options.shards = options.shards;
   engine_options.online_refresh = options.serve_refresh;
+
+  server::DurabilityOptions durability;
+  durability.enabled = options.serve_durable;
+  durability.snapshot_path = options.snapshot_path;
+  durability.journal_path = options.journal_path;
+  durability.fsync = options.fsync_policy;
+  durability.fsync_interval_ms = options.fsync_interval_ms;
+  durability.checkpoint_interval_ms = options.checkpoint_interval_ms;
+  server::ResolveDurabilityPaths(options.model_path, &durability);
+
+  // Startup goes through RecoverEngine even without --durable: transient
+  // I/O errors while loading the model retry with backoff instead of
+  // failing the process.
   std::unique_ptr<AssignmentEngine> loaded;
-  if (const Status status =
-          AssignmentEngine::Load(options.model_path, engine_options, &loaded);
+  std::shared_ptr<OverlayJournal> journal;
+  server::RecoveryReport recovery;
+  if (const Status status = server::RecoverEngine(
+          options.model_path, durability, engine_options,
+          server::RetryOptions(), &loaded, &journal, &recovery);
       !status.ok()) {
     std::fprintf(stderr, "serve: %s\n", status.ToString().c_str());
     return 1;
@@ -173,6 +191,9 @@ int RunServeCommand(const cli::CliOptions& options) {
   server_options.default_deadline_ms = options.serve_default_deadline_ms;
   server_options.engine_options = engine_options;
   server_options.online_refresh = options.serve_refresh;
+  server_options.durability = durability;
+  server_options.journal = journal;
+  server_options.recovery = recovery;
   std::unique_ptr<server::Server> server;
   if (const Status status =
           server::Server::Start(engine, server_options, &server);
@@ -183,6 +204,20 @@ int RunServeCommand(const cli::CliOptions& options) {
   std::printf("serve: model=%s version=%u crc=%08x\n",
               options.model_path.c_str(), engine->model_version(),
               engine->model_crc());
+  if (options.serve_durable) {
+    std::printf("serve: durable snapshot=%s journal=%s fsync=%s "
+                "(recovered: from_snapshot=%d replayed=%llu "
+                "torn_bytes=%llu discarded=%llu)\n",
+                durability.snapshot_path.c_str(),
+                durability.journal_path.c_str(),
+                FsyncPolicyName(durability.fsync),
+                recovery.loaded_from_snapshot ? 1 : 0,
+                static_cast<unsigned long long>(recovery.records_replayed),
+                static_cast<unsigned long long>(
+                    recovery.torn_bytes_truncated),
+                static_cast<unsigned long long>(
+                    recovery.journals_discarded));
+  }
   std::printf("serve: listening on %s:%d (io=%d workers=%d inflight<=%d%s)\n",
               server_options.host.c_str(), server->port(),
               server_options.num_io_threads, server_options.num_workers,

@@ -52,6 +52,10 @@ struct ClientOptions {
   std::string reload_model;
   int expect_status = 0;
   bool quiet = false;
+  /// assign mode: sequentially assign every input point (one thread, in
+  /// file order, JSON) and write one label per line here — the
+  /// crash-recovery harness diffs these dumps for bit-identity.
+  std::string labels_out;
 };
 
 bool ParseFlag(const std::string& arg, std::string* key, std::string* value) {
@@ -72,6 +76,9 @@ int Usage() {
       "  assign: --requests=N --batch=N --threads=N --dim=D [--seed=N]\n"
       "          [--input=FILE.csv] [--deadline-ms=N] [--binary]\n"
       "          [--expect-status=N] [--quiet]\n"
+      "          [--labels-out=FILE]  dump every point's label, one per\n"
+      "                               line, in input order (single-threaded\n"
+      "                               sweep; for bit-identity checks)\n"
       "  reload: --reload-model=PATH\n");
   return 2;
 }
@@ -185,6 +192,77 @@ void AssignWorker(const ClientOptions& options, const Dataset& points,
   }
 }
 
+/// Parses the JSON assign response body {"labels":[l0,l1,...]}.
+bool ParseLabelsJson(const std::string& body, std::vector<long>* labels) {
+  const size_t key = body.find("\"labels\"");
+  const size_t open = key == std::string::npos ? key : body.find('[', key);
+  if (open == std::string::npos) {
+    return false;
+  }
+  labels->clear();
+  const char* p = body.c_str() + open + 1;
+  while (*p != '\0' && *p != ']') {
+    char* end = nullptr;
+    const long value = std::strtol(p, &end, 10);
+    if (end == p) {
+      return false;
+    }
+    labels->push_back(value);
+    p = end;
+    while (*p == ',' || *p == ' ') {
+      ++p;
+    }
+  }
+  return *p == ']';
+}
+
+/// --labels-out: one connection, batches in input order from offset 0, one
+/// label per line. Deterministic given a quiescent server, so two dumps
+/// over the same engine state diff clean.
+int RunLabelsDump(const ClientOptions& options, const Dataset& points) {
+  server::HttpClient client;
+  if (const Status status = client.Connect(options.host, options.port);
+      !status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::FILE* out = std::fopen(options.labels_out.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", options.labels_out.c_str());
+    return 1;
+  }
+  std::vector<long> labels;
+  int written = 0;
+  for (int begin = 0; begin < points.size();
+       begin += options.batch) {
+    const int count =
+        std::min(options.batch, static_cast<int>(points.size()) - begin);
+    const std::string body =
+        BuildAssignBody(points, begin, count, /*binary=*/false);
+    server::HttpResponse response;
+    const Status status = client.Roundtrip(
+        "POST", "/v1/assign", "application/json", body, {}, &response);
+    if (!status.ok() || response.status_code != 200 ||
+        !ParseLabelsJson(response.body, &labels) ||
+        labels.size() != static_cast<size_t>(count)) {
+      std::fprintf(stderr, "labels dump failed at offset %d: %s (http %d)\n",
+                   begin, status.ToString().c_str(), response.status_code);
+      std::fclose(out);
+      return 1;
+    }
+    for (const long label : labels) {
+      std::fprintf(out, "%ld\n", label);
+      ++written;
+    }
+  }
+  std::fclose(out);
+  if (!options.quiet) {
+    std::printf("labels: %d written to %s\n", written,
+                options.labels_out.c_str());
+  }
+  return 0;
+}
+
 int RunAssign(const ClientOptions& options) {
   Dataset points(options.dim);
   if (!options.input_path.empty()) {
@@ -220,6 +298,9 @@ int RunAssign(const ClientOptions& options) {
   if (points.size() == 0) {
     std::fprintf(stderr, "no points to assign\n");
     return 1;
+  }
+  if (!options.labels_out.empty()) {
+    return RunLabelsDump(options, points);
   }
 
   Tally tally;
@@ -360,6 +441,8 @@ int Main(int argc, char** argv) {
       options.input_path = value;
     } else if (key == "reload-model") {
       options.reload_model = value;
+    } else if (key == "labels-out") {
+      options.labels_out = value;
     } else if (key == "expect-status") {
       options.expect_status = std::atoi(value.c_str());
     } else if (key == "quiet") {
