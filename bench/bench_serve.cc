@@ -4,12 +4,20 @@
 // Everything runs in-process over loopback: the server under test is the
 // production Server, the clients are the blocking keep-alive HttpClient.
 //
+// A second sweep measures multi-tenant isolation: one registry server
+// hosting 1 / 4 / 16 named models takes mixed traffic (JSON, binary, and
+// chunked streaming assign) round-robined across the tenants, and the
+// harness reports per-tenant QPS and tail latency so a noisy-neighbour
+// regression shows up as p99 skew between tenants of the same cell.
+//
 // Labels must be bit-identical to the offline engine for every cell — the
 // harness fails otherwise, so a throughput number can never be quoted for
 // a server that returns wrong answers.
 //
-// Flags: --n --dim --clusters --eps --minpts --seed --requests --out
-// Writes BENCH_serve.json next to the text tables.
+// Flags: --n --dim --clusters --eps --minpts --seed --requests
+//        --tenant-requests --out
+// Writes BENCH_serve.json ("cells" + "tenant_cells") next to the text
+// tables.
 
 #include <algorithm>
 #include <atomic>
@@ -31,6 +39,7 @@
 #include "core/dbsvec.h"
 #include "data/synthetic.h"
 #include "model/dbsvec_model.h"
+#include "registry/model_registry.h"
 #include "serve/assignment_engine.h"
 #include "server/http_client.h"
 #include "server/server.h"
@@ -48,6 +57,16 @@ struct Cell {
   double p50_us = 0.0;
   double p99_us = 0.0;
   double max_us = 0.0;
+};
+
+struct TenantCell {
+  int tenants = 0;
+  std::string encoding;
+  std::string tenant;
+  double qps = 0.0;
+  double points_per_sec = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
 };
 
 double Percentile(std::vector<double>* sorted_us, double q) {
@@ -268,6 +287,186 @@ int Main(int argc, char** argv) {
   }
   table.Print();
 
+  // -------------------------------------------------------------------
+  // Multi-tenant sweep: one registry server hosting `tenants` copies of
+  // the model, 4 clients round-robining mixed traffic across them. The
+  // per-tenant rows of one cell share a wall-clock window, so skew
+  // between them is contention, not load imbalance.
+  const int tenant_requests =
+      static_cast<int>(args.GetInt("tenant_requests", 200));
+  constexpr int kTenantClients = 4;
+  constexpr int kTenantBatch = 64;
+  constexpr int kStreamFrames = 4;
+  static_assert(kTenantBatch % kStreamFrames == 0,
+                "streaming frames must tile the batch");
+  std::vector<TenantCell> tenant_cells;
+  bench::Table tenant_table({"tenants", "encoding", "tenant", "qps",
+                             "Mpt/s", "p50 us", "p99 us"});
+  const std::vector<std::string> encodings = {"json", "binary", "stream"};
+  for (const int tenants : {1, 4, 16}) {
+    const std::string data_dir =
+        (std::filesystem::temp_directory_path() /
+         ("bench_serve_registry_" + std::to_string(::getpid()) + "_" +
+          std::to_string(tenants)))
+            .string();
+    server::ServerOptions options;
+    options.num_workers = 4;
+    options.max_inflight = 256;
+    options.port = 0;
+    options.data_dir = data_dir;
+    options.max_models = tenants + 1;
+    std::unique_ptr<server::Server> server;
+    status = server::Server::Start(nullptr, options, &server);
+    if (!status.ok()) {
+      std::fprintf(stderr, "registry start: %s\n",
+                   status.ToString().c_str());
+      return 1;
+    }
+    std::vector<std::string> names;
+    for (int t = 0; t < tenants; ++t) {
+      names.push_back("tenant_" + std::to_string(t));
+      status = server->registry().CreateFromFile(names.back(), model_path);
+      if (!status.ok()) {
+        std::fprintf(stderr, "registry create %s: %s\n",
+                     names.back().c_str(), status.ToString().c_str());
+        return 1;
+      }
+    }
+    for (const std::string& encoding : encodings) {
+      // latencies[client][tenant]: lock-free during the run, merged after.
+      std::vector<std::vector<std::vector<double>>> latencies(
+          kTenantClients,
+          std::vector<std::vector<double>>(tenants));
+      std::atomic<int> mismatches{0};
+      std::atomic<int> failures{0};
+      Stopwatch wall;
+      std::vector<std::thread> threads;
+      for (int c = 0; c < kTenantClients; ++c) {
+        threads.emplace_back([&, c] {
+          server::HttpClient client;
+          if (!client.Connect("127.0.0.1", server->port()).ok()) {
+            failures.fetch_add(1);
+            return;
+          }
+          for (int r = 0; r < tenant_requests; ++r) {
+            const int tenant = (c + r) % tenants;
+            const std::string target =
+                "/v1/models/" + names[tenant] + "/assign";
+            const int offset = (c * tenant_requests + r) * kTenantBatch;
+            Stopwatch timer;
+            std::vector<int32_t> labels;
+            if (encoding == "stream") {
+              std::vector<std::string> frames;
+              const int per_frame = kTenantBatch / kStreamFrames;
+              for (int f = 0; f < kStreamFrames; ++f) {
+                frames.push_back(MakeBody(queries, offset + f * per_frame,
+                                          per_frame, /*binary=*/true));
+              }
+              std::vector<std::string> chunks;
+              server::HttpResponse response;
+              const Status rt = client.StreamingRoundtrip(target, frames,
+                                                          &chunks,
+                                                          &response);
+              if (!rt.ok() || response.status_code != 200 ||
+                  chunks.size() != frames.size()) {
+                failures.fetch_add(1);
+                return;
+              }
+              for (const std::string& chunk : chunks) {
+                uint32_t count = 0;
+                if (chunk.size() < 4) {
+                  failures.fetch_add(1);
+                  return;
+                }
+                std::memcpy(&count, chunk.data(), 4);
+                for (uint32_t i = 0; i < count; ++i) {
+                  int32_t label = 0;
+                  std::memcpy(&label, chunk.data() + 4 + i * 4, 4);
+                  labels.push_back(label);
+                }
+              }
+            } else {
+              const bool binary = encoding == "binary";
+              const std::string body =
+                  MakeBody(queries, offset, kTenantBatch, binary);
+              server::HttpResponse response;
+              const Status rt = client.Roundtrip(
+                  "POST", target,
+                  binary ? "application/octet-stream" : "application/json",
+                  body, {}, &response);
+              if (!rt.ok() || response.status_code != 200) {
+                failures.fetch_add(1);
+                return;
+              }
+              if (binary) {
+                for (int i = 0; i < kTenantBatch; ++i) {
+                  int32_t label = 0;
+                  std::memcpy(&label,
+                              response.body.data() + 4 + i * 4, 4);
+                  labels.push_back(label);
+                }
+              }
+            }
+            const double us = timer.ElapsedSeconds() * 1e6;
+            // Every tenant serves the same artifact, so every tenant must
+            // agree with the one offline reference.
+            for (size_t i = 0; i < labels.size(); ++i) {
+              const int32_t want =
+                  expected[(offset + static_cast<int>(i)) %
+                           queries.size()];
+              if (labels[i] != want) {
+                mismatches.fetch_add(1);
+                return;
+              }
+            }
+            latencies[c][tenant].push_back(us);
+          }
+        });
+      }
+      for (auto& thread : threads) {
+        thread.join();
+      }
+      const double seconds = wall.ElapsedSeconds();
+      if (failures.load() > 0 || mismatches.load() > 0) {
+        std::fprintf(stderr,
+                     "FAIL: tenants=%d encoding=%s: %d failures, "
+                     "%d label mismatches\n",
+                     tenants, encoding.c_str(), failures.load(),
+                     mismatches.load());
+        all_match = false;
+        continue;
+      }
+      for (int t = 0; t < tenants; ++t) {
+        std::vector<double> merged;
+        for (int c = 0; c < kTenantClients; ++c) {
+          merged.insert(merged.end(), latencies[c][t].begin(),
+                        latencies[c][t].end());
+        }
+        std::sort(merged.begin(), merged.end());
+        TenantCell cell;
+        cell.tenants = tenants;
+        cell.encoding = encoding;
+        cell.tenant = names[t];
+        cell.qps = static_cast<double>(merged.size()) / seconds;
+        cell.points_per_sec = cell.qps * kTenantBatch;
+        cell.p50_us = Percentile(&merged, 0.50);
+        cell.p99_us = Percentile(&merged, 0.99);
+        tenant_cells.push_back(cell);
+        tenant_table.AddRow({std::to_string(cell.tenants), cell.encoding,
+                             cell.tenant, bench::FormatDouble(cell.qps, 0),
+                             bench::FormatDouble(cell.points_per_sec / 1e6,
+                                                 3),
+                             bench::FormatDouble(cell.p50_us, 0),
+                             bench::FormatDouble(cell.p99_us, 0)});
+      }
+    }
+    server->Shutdown();
+    server.reset();
+    std::error_code ec;
+    std::filesystem::remove_all(data_dir, ec);
+  }
+  tenant_table.Print();
+
   std::ofstream json(json_path);
   json << "{\n"
        << "  \"workload\": {\"generator\": \"gaussian_blobs\", \"n\": "
@@ -288,6 +487,18 @@ int Main(int argc, char** argv) {
          << ", \"p50_us\": " << cell.p50_us << ", \"p99_us\": "
          << cell.p99_us << ", \"max_us\": " << cell.max_us << "}"
          << (i + 1 < cells.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n"
+       << "  \"tenant_requests\": " << tenant_requests << ",\n"
+       << "  \"tenant_cells\": [\n";
+  for (size_t i = 0; i < tenant_cells.size(); ++i) {
+    const TenantCell& cell = tenant_cells[i];
+    json << "    {\"tenants\": " << cell.tenants << ", \"encoding\": \""
+         << cell.encoding << "\", \"tenant\": \"" << cell.tenant
+         << "\", \"qps\": " << cell.qps << ", \"points_per_sec\": "
+         << cell.points_per_sec << ", \"p50_us\": " << cell.p50_us
+         << ", \"p99_us\": " << cell.p99_us << "}"
+         << (i + 1 < tenant_cells.size() ? "," : "") << "\n";
   }
   json << "  ]\n}\n";
   std::printf("[json written to %s]\n", json_path.c_str());

@@ -184,6 +184,14 @@ std::string HelpText() {
       "                          no X-Deadline-Ms header (default: none)\n"
       "  --refresh               absorb core-adjacent assigned points into\n"
       "                          the dynamic overlay (online refresh)\n"
+      "  --data-dir=DIR          multi-tenant model registry root: every\n"
+      "                          model (PUT /v1/models/<name>) gets its own\n"
+      "                          DIR/<name>/{model.dbsvec,snapshot.dbsvec,\n"
+      "                          overlay.journal} and is recovered on start;\n"
+      "                          --model then only seeds `default` once\n"
+      "  --max-models=N          registry capacity (default 64)\n"
+      "  --model-max-inflight=N  per-model admission bound on top of\n"
+      "                          --max-inflight; 0 = global only (default)\n"
       "\n"
       "Durability (serve; --snapshot/--journal also apply to assign, which\n"
       "then recovers state exactly like a restarted server):\n"
@@ -353,6 +361,22 @@ Status ParseCliOptions(const std::vector<std::string>& args,
       options->serve_default_deadline_ms = default_ms;
     } else if (key == "refresh") {
       options->serve_refresh = value != "0" && value != "false";
+    } else if (key == "data-dir") {
+      if (value.empty()) {
+        return Status::InvalidArgument("--data-dir needs a directory path");
+      }
+      options->serve_data_dir = value;
+    } else if (key == "max-models") {
+      DBSVEC_RETURN_IF_ERROR(
+          ParsePositiveInt(key, value, &options->serve_max_models));
+    } else if (key == "model-max-inflight") {
+      char* end = nullptr;
+      const long parsed = std::strtol(value.c_str(), &end, 10);
+      if (end == value.c_str() || parsed < 0) {
+        return Status::InvalidArgument(
+            "--model-max-inflight must be a non-negative integer");
+      }
+      options->serve_model_max_inflight = static_cast<int>(parsed);
     } else if (key == "durable") {
       options->serve_durable = value != "0" && value != "false";
     } else if (key == "snapshot") {
@@ -394,8 +418,9 @@ Status ParseCliOptions(const std::vector<std::string>& args,
     }
   }
   if (options->command == Command::kServe && !options->show_help &&
-      options->model_path.empty()) {
-    return Status::InvalidArgument("serve requires --model=FILE");
+      options->model_path.empty() && options->serve_data_dir.empty()) {
+    return Status::InvalidArgument(
+        "serve requires --model=FILE or --data-dir=DIR");
   }
   if (options->serve_durable) {
     // A durable server journals absorbed points, so absorption must be on.

@@ -95,6 +95,15 @@ struct CliOptions {
   int64_t serve_default_deadline_ms = 0;  ///< Per-request default budget.
   bool serve_refresh = false;  ///< Online core absorption (overlay).
 
+  // Multi-tenant registry (docs/SERVING.md, "Model registry"). With a
+  // data dir, each model lives under <data-dir>/<name>/ with its own
+  // snapshot + journal, and --model (optional) seeds the `default` model
+  // on first start; without one the server is single-model in-memory
+  // unless models are uploaded.
+  std::string serve_data_dir;       ///< Empty = no per-model durability.
+  int serve_max_models = 64;        ///< Registry capacity.
+  int serve_model_max_inflight = 0; ///< Per-model admission; 0 = global only.
+
   // Durability (docs/ROBUSTNESS.md). --durable implies --refresh for
   // serve. assign also honors --snapshot/--journal: it then recovers
   // engine state exactly like a restarted server (the offline recovery

@@ -23,6 +23,8 @@ const char* CodeName(Status::Code code) {
       return "ResourceExhausted";
     case Status::Code::kUnavailable:
       return "Unavailable";
+    case Status::Code::kAlreadyExists:
+      return "AlreadyExists";
   }
   return "Unknown";
 }

@@ -22,6 +22,7 @@ class Status {
     kDeadlineExceeded,   ///< A deadline expired or the run was cancelled.
     kResourceExhausted,  ///< A resource budget (memory, quota) ran out.
     kUnavailable,        ///< Transiently unable to serve (shed load, retry).
+    kAlreadyExists,      ///< Create-style conflict (a named resource exists).
   };
 
   /// Default-constructed Status is OK.
@@ -54,6 +55,9 @@ class Status {
   }
   static Status Unavailable(std::string message) {
     return Status(Code::kUnavailable, std::move(message));
+  }
+  static Status AlreadyExists(std::string message) {
+    return Status(Code::kAlreadyExists, std::move(message));
   }
 
   /// True iff the operation succeeded.

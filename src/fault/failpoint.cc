@@ -14,7 +14,7 @@ namespace {
 /// Every failpoint site in the library, in pipeline order. A site name has
 /// the form "<layer>.<operation>"; adding a site means adding it here and
 /// placing the matching check in the instrumented code.
-constexpr std::array<std::string_view, 17> kSites = {
+constexpr std::array<std::string_view, 19> kSites = {
     "csv.read",                  // Dataset ingest from CSV.
     "index.build",               // Range-query index construction.
     "exec.shard_merge",          // Sharded batch deterministic merge.
@@ -32,6 +32,8 @@ constexpr std::array<std::string_view, 17> kSites = {
     "serve.refresh",             // Online core absorption (per batch).
     "journal.append",            // Overlay WAL record append (per record).
     "journal.fsync",             // Overlay WAL fsync (per sync).
+    "registry.create",           // ModelRegistry create (per model).
+    "registry.recover",          // ModelRegistry startup recovery (per model).
 };
 
 Status InjectedError(std::string_view site, std::string_view code) {

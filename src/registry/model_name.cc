@@ -1,0 +1,50 @@
+#include "registry/model_name.h"
+
+#include <cstdio>
+#include <string>
+
+namespace dbsvec::registry {
+namespace {
+
+bool IsAllowed(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_' ||
+         c == '-';
+}
+
+/// Renders one byte for an error message without ever emitting it raw: a
+/// printable non-quote/backslash character appears as 'c', everything else
+/// as its hex code. Keeps the message safe to splice into a JSON error
+/// body after the standard quote/backslash escaping.
+std::string DescribeChar(unsigned char c) {
+  if (c >= 0x20 && c < 0x7f && c != '"' && c != '\\') {
+    return std::string("'") + static_cast<char>(c) + "'";
+  }
+  char buffer[16];
+  std::snprintf(buffer, sizeof(buffer), "0x%02x", c);
+  return buffer;
+}
+
+}  // namespace
+
+Status ValidateModelName(std::string_view name) {
+  if (name.empty()) {
+    return Status::InvalidArgument("model name: must not be empty");
+  }
+  if (name.size() > kMaxModelNameLength) {
+    return Status::InvalidArgument(
+        "model name: " + std::to_string(name.size()) +
+        " characters exceeds the " + std::to_string(kMaxModelNameLength) +
+        "-character limit");
+  }
+  for (size_t i = 0; i < name.size(); ++i) {
+    if (!IsAllowed(name[i])) {
+      return Status::InvalidArgument(
+          "model name: character " +
+          DescribeChar(static_cast<unsigned char>(name[i])) + " at position " +
+          std::to_string(i) + " is outside [a-z0-9_-]");
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace dbsvec::registry

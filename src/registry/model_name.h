@@ -1,0 +1,29 @@
+#ifndef DBSVEC_REGISTRY_MODEL_NAME_H_
+#define DBSVEC_REGISTRY_MODEL_NAME_H_
+
+#include <string_view>
+
+#include "common/status.h"
+
+namespace dbsvec::registry {
+
+/// Maximum length of a registered model name.
+inline constexpr size_t kMaxModelNameLength = 64;
+
+/// Validates a model name against the registry grammar `[a-z0-9_-]{1,64}`.
+///
+/// The grammar is deliberately strict because a name becomes a directory
+/// component of the `--data-dir` layout (`<data-dir>/<name>/...`): no
+/// slashes, no dots, no uppercase, nothing a filesystem or a URL could
+/// reinterpret, so "../../etc" or "a/b" can never escape the data
+/// directory. Shared by the server's REST handlers and the CLI tools so
+/// both sides reject the same names with the same message.
+///
+/// Returns InvalidArgument naming the first offending character (or the
+/// length violation); the message is JSON-safe (offending bytes are
+/// rendered as an escaped hex code, never verbatim).
+Status ValidateModelName(std::string_view name);
+
+}  // namespace dbsvec::registry
+
+#endif  // DBSVEC_REGISTRY_MODEL_NAME_H_

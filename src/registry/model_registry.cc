@@ -1,0 +1,401 @@
+#include "registry/model_registry.h"
+
+#include <dirent.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "fault/failpoint.h"
+#include "model/dbsvec_model.h"
+#include "model/serialize.h"
+#include "registry/model_name.h"
+
+namespace dbsvec::registry {
+namespace {
+
+constexpr const char* kBaseModelFile = "model.dbsvec";
+constexpr const char* kSnapshotFile = "snapshot.dbsvec";
+constexpr const char* kJournalFile = "overlay.journal";
+
+bool FileExists(const std::string& path) {
+  struct stat st{};
+  return !path.empty() && ::stat(path.c_str(), &st) == 0;
+}
+
+Status EnsureDir(const std::string& path) {
+  if (::mkdir(path.c_str(), 0755) == 0 || errno == EEXIST) {
+    return Status::Ok();
+  }
+  return Status::IoError("registry: mkdir " + path + ": " +
+                         std::strerror(errno));
+}
+
+/// Best-effort unlink; ENOENT is success (the goal state).
+void RemoveFile(const std::string& path) {
+  if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+    // Deletion is best-effort cleanup after the entry already left the
+    // serving map; a stray file only wastes disk until the next create.
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ModelEntry
+
+ModelEntry::ModelEntry(std::string name,
+                       std::shared_ptr<AssignmentEngine> engine,
+                       std::shared_ptr<OverlayJournal> journal,
+                       server::DurabilityOptions durability,
+                       server::RecoveryReport recovery,
+                       std::string base_model_path, bool managed_base,
+                       AssignmentOptions engine_options,
+                       server::RetryOptions retry)
+    : name_(std::move(name)),
+      handle_(std::move(engine)),
+      journal_(std::move(journal)),
+      durability_(std::move(durability)),
+      recovery_(recovery),
+      base_model_path_(std::move(base_model_path)),
+      managed_base_(managed_base),
+      engine_options_(engine_options),
+      retry_(retry) {}
+
+void ModelEntry::DetachJournal() {
+  if (journal_ != nullptr) {
+    handle_.Get()->AttachJournal(nullptr);
+  }
+}
+
+Status ModelEntry::Reload(const std::string& path, const Deadline& deadline,
+                          server::RetryReport* report) {
+  std::lock_guard<std::mutex> serialize(reload_mutex_);
+  server::RetryReport local;
+  server::RetryReport& out = report != nullptr ? *report : local;
+  const server::RetryPolicy policy(retry_);
+  const Status status = policy.Run(
+      "reload " + name_ + " <- " + path, deadline,
+      [&]() -> Status {
+        DBSVEC_RETURN_IF_ERROR(FailpointCheck("server.reload"));
+        if (journal_ == nullptr) {
+          return handle_.LoadAndSwap(path, engine_options_, deadline);
+        }
+        // Durable swap: build the replacement fully off to the side,
+        // import it into the layout (restart must recover what reload
+        // installed), then rebind the journal to the new identity before
+        // it starts serving. A reloaded model starts with an empty
+        // overlay, so the journal restarts empty too.
+        AssignmentOptions build_options = engine_options_;
+        build_options.online_refresh = true;
+        build_options.build_deadline = deadline;
+        std::unique_ptr<AssignmentEngine> next;
+        DBSVEC_RETURN_IF_ERROR(
+            AssignmentEngine::Load(path, build_options, &next));
+        if (managed_base_ && path != base_model_path_) {
+          std::vector<uint8_t> bytes;
+          DBSVEC_RETURN_IF_ERROR(ReadFileBytes(path, &bytes));
+          DBSVEC_RETURN_IF_ERROR(
+              WriteFileBytesAtomic(base_model_path_, bytes, "model.save"));
+        }
+        std::shared_ptr<AssignmentEngine> old = handle_.Get();
+        old->AttachJournal(nullptr);
+        if (Status reset = journal_->Reset(next->model_crc()); !reset.ok()) {
+          // The old engine keeps serving — keep journaling it.
+          old->AttachJournal(journal_);
+          return reset;
+        }
+        next->AttachJournal(journal_);
+        handle_.Swap(std::move(next));
+        return Status::Ok();
+      },
+      &out);
+  stats.reload_attempts.fetch_add(static_cast<uint64_t>(out.attempts),
+                                  std::memory_order_relaxed);
+  if (status.ok()) {
+    stats.reloads_ok.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    stats.reloads_failed.fetch_add(1, std::memory_order_relaxed);
+  }
+  return status;
+}
+
+Status ModelEntry::Snapshot(uint32_t* snapshot_crc, uint64_t* folded_records) {
+  if (!durability_.enabled) {
+    return Status::FailedPrecondition("snapshot: model '" + name_ +
+                                      "' is not durable");
+  }
+  std::lock_guard<std::mutex> serialize(reload_mutex_);
+  const Status status = handle_.Get()->Checkpoint(durability_.snapshot_path,
+                                                  snapshot_crc,
+                                                  folded_records);
+  if (status.ok()) {
+    stats.checkpoints_ok.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    stats.checkpoints_failed.fetch_add(1, std::memory_order_relaxed);
+  }
+  return status;
+}
+
+// ---------------------------------------------------------------------------
+// ModelRegistry
+
+ModelRegistry::ModelRegistry(RegistryOptions options)
+    : options_(std::move(options)) {}
+
+std::string ModelRegistry::ModelDir(std::string_view name) const {
+  return options_.data_dir + "/" + std::string(name);
+}
+
+Status ModelRegistry::BuildEntry(const std::string& name,
+                                 const std::string& model_path,
+                                 std::shared_ptr<ModelEntry>* out) const {
+  server::DurabilityOptions durability;
+  durability.enabled = options_.durable && !options_.data_dir.empty();
+  if (durability.enabled) {
+    const std::string dir = ModelDir(name);
+    durability.snapshot_path = dir + "/" + kSnapshotFile;
+    durability.journal_path = dir + "/" + kJournalFile;
+    durability.fsync = options_.fsync;
+    durability.fsync_interval_ms = options_.fsync_interval_ms;
+    durability.checkpoint_interval_ms = options_.checkpoint_interval_ms;
+  }
+  std::unique_ptr<AssignmentEngine> engine;
+  std::shared_ptr<OverlayJournal> journal;
+  server::RecoveryReport recovery;
+  DBSVEC_RETURN_IF_ERROR(server::RecoverEngine(model_path, durability,
+                                               options_.engine_options,
+                                               options_.retry, &engine,
+                                               &journal, &recovery));
+  const bool managed =
+      !options_.data_dir.empty() && model_path == ModelDir(name) + "/" +
+                                                      kBaseModelFile;
+  *out = std::make_shared<ModelEntry>(
+      name, std::shared_ptr<AssignmentEngine>(std::move(engine)),
+      std::move(journal), std::move(durability), recovery, model_path,
+      managed, options_.engine_options, options_.retry);
+  return Status::Ok();
+}
+
+Status ModelRegistry::InsertEntry(const std::string& name,
+                                  const std::shared_ptr<ModelEntry>& entry) {
+  std::unique_lock<std::shared_mutex> lock(map_mutex_);
+  if (entries_.size() >= static_cast<size_t>(options_.max_models)) {
+    return Status::ResourceExhausted(
+        "registry: " + std::to_string(options_.max_models) +
+        " models already registered");
+  }
+  if (!entries_.emplace(name, entry).second) {
+    return Status::AlreadyExists("registry: model '" + name +
+                                 "' already exists");
+  }
+  return Status::Ok();
+}
+
+Status ModelRegistry::CreateFromFile(const std::string& name,
+                                     const std::string& model_path,
+                                     std::shared_ptr<ModelEntry>* out) {
+  DBSVEC_RETURN_IF_ERROR(ValidateModelName(name));
+  std::lock_guard<std::mutex> admin(admin_mutex_);
+  if (Find(name) != nullptr) {
+    return Status::AlreadyExists("registry: model '" + name +
+                                 "' already exists");
+  }
+  DBSVEC_RETURN_IF_ERROR(FailpointCheck("registry.create"));
+  std::string base_path = model_path;
+  if (!options_.data_dir.empty()) {
+    // Import the artifact into the layout so a restart recovers it from
+    // the registry's own directory, not from a path that may have moved.
+    std::vector<uint8_t> bytes;
+    DBSVEC_RETURN_IF_ERROR(ReadFileBytes(model_path, &bytes));
+    DBSVEC_RETURN_IF_ERROR(EnsureDir(ModelDir(name)));
+    base_path = ModelDir(name) + "/" + kBaseModelFile;
+    DBSVEC_RETURN_IF_ERROR(
+        WriteFileBytesAtomic(base_path, bytes, "model.save"));
+  }
+  std::shared_ptr<ModelEntry> entry;
+  DBSVEC_RETURN_IF_ERROR(BuildEntry(name, base_path, &entry));
+  DBSVEC_RETURN_IF_ERROR(InsertEntry(name, entry));
+  if (out != nullptr) {
+    *out = std::move(entry);
+  }
+  return Status::Ok();
+}
+
+Status ModelRegistry::CreateFromBytes(const std::string& name,
+                                      std::span<const uint8_t> bytes,
+                                      std::shared_ptr<ModelEntry>* out) {
+  DBSVEC_RETURN_IF_ERROR(ValidateModelName(name));
+  std::lock_guard<std::mutex> admin(admin_mutex_);
+  if (Find(name) != nullptr) {
+    return Status::AlreadyExists("registry: model '" + name +
+                                 "' already exists");
+  }
+  DBSVEC_RETURN_IF_ERROR(FailpointCheck("registry.create"));
+  std::shared_ptr<ModelEntry> entry;
+  if (!options_.data_dir.empty()) {
+    DBSVEC_RETURN_IF_ERROR(EnsureDir(ModelDir(name)));
+    const std::string base_path = ModelDir(name) + "/" + kBaseModelFile;
+    DBSVEC_RETURN_IF_ERROR(
+        WriteFileBytesAtomic(base_path, bytes, "model.save"));
+    DBSVEC_RETURN_IF_ERROR(BuildEntry(name, base_path, &entry));
+  } else {
+    // In-memory registry: validate + build straight from the upload.
+    DbsvecModel model;
+    DBSVEC_RETURN_IF_ERROR(DeserializeModel(bytes, &model));
+    std::unique_ptr<AssignmentEngine> engine;
+    DBSVEC_RETURN_IF_ERROR(AssignmentEngine::Create(
+        std::move(model), options_.engine_options, &engine));
+    entry = std::make_shared<ModelEntry>(
+        name, std::shared_ptr<AssignmentEngine>(std::move(engine)), nullptr,
+        server::DurabilityOptions(), server::RecoveryReport(),
+        /*base_model_path=*/"", /*managed_base=*/false,
+        options_.engine_options, options_.retry);
+  }
+  DBSVEC_RETURN_IF_ERROR(InsertEntry(name, entry));
+  if (out != nullptr) {
+    *out = std::move(entry);
+  }
+  return Status::Ok();
+}
+
+Status ModelRegistry::Adopt(const std::string& name,
+                            std::shared_ptr<AssignmentEngine> engine,
+                            std::shared_ptr<OverlayJournal> journal,
+                            const server::DurabilityOptions& durability,
+                            const server::RecoveryReport& recovery,
+                            const std::string& base_model_path) {
+  DBSVEC_RETURN_IF_ERROR(ValidateModelName(name));
+  if (engine == nullptr) {
+    return Status::InvalidArgument("registry: adopted engine must not be null");
+  }
+  std::lock_guard<std::mutex> admin(admin_mutex_);
+  const bool managed =
+      !options_.data_dir.empty() &&
+      base_model_path == ModelDir(name) + "/" + kBaseModelFile;
+  auto entry = std::make_shared<ModelEntry>(
+      name, std::move(engine), std::move(journal), durability, recovery,
+      base_model_path, managed, options_.engine_options, options_.retry);
+  return InsertEntry(name, entry);
+}
+
+Status ModelRegistry::RecoverAll(RegistryRecoveryReport* report) {
+  RegistryRecoveryReport local;
+  RegistryRecoveryReport& out = report != nullptr ? *report : local;
+  out = RegistryRecoveryReport();
+  if (options_.data_dir.empty()) {
+    return Status::Ok();
+  }
+  DBSVEC_RETURN_IF_ERROR(EnsureDir(options_.data_dir));
+  DIR* dir = ::opendir(options_.data_dir.c_str());
+  if (dir == nullptr) {
+    return Status::IoError("registry: opendir " + options_.data_dir + ": " +
+                           std::strerror(errno));
+  }
+  std::vector<std::string> names;
+  while (const dirent* entry = ::readdir(dir)) {
+    const std::string name = entry->d_name;
+    if (name == "." || name == "..") {
+      continue;
+    }
+    // Only directories whose name passes the registry grammar and that
+    // hold a base artifact are model homes; anything else (tmp files,
+    // foreign dirs) is left alone.
+    if (!ValidateModelName(name).ok()) {
+      continue;
+    }
+    if (!FileExists(ModelDir(name) + "/" + kBaseModelFile)) {
+      continue;
+    }
+    names.push_back(name);
+  }
+  ::closedir(dir);
+  std::sort(names.begin(), names.end());
+
+  std::lock_guard<std::mutex> admin(admin_mutex_);
+  for (const std::string& name : names) {
+    if (Find(name) != nullptr) {
+      continue;  // Adopted before recovery (the CLI's default model).
+    }
+    const Status gate = FailpointCheck("registry.recover");
+    if (!gate.ok()) {
+      ++out.failed;
+      out.failed_names.push_back(name);
+      continue;
+    }
+    std::shared_ptr<ModelEntry> entry;
+    const Status built =
+        BuildEntry(name, ModelDir(name) + "/" + kBaseModelFile, &entry);
+    if (!built.ok() || !InsertEntry(name, entry).ok()) {
+      // One unrecoverable model must not take the rest of the fleet down:
+      // skip it (its directory stays for offline repair) and keep going.
+      ++out.failed;
+      out.failed_names.push_back(name);
+      continue;
+    }
+    ++out.recovered;
+  }
+  return Status::Ok();
+}
+
+std::shared_ptr<ModelEntry> ModelRegistry::Find(std::string_view name) const {
+  std::shared_lock<std::shared_mutex> lock(map_mutex_);
+  const auto it = entries_.find(std::string(name));
+  return it == entries_.end() ? nullptr : it->second;
+}
+
+Status ModelRegistry::Remove(const std::string& name) {
+  DBSVEC_RETURN_IF_ERROR(ValidateModelName(name));
+  std::lock_guard<std::mutex> admin(admin_mutex_);
+  std::shared_ptr<ModelEntry> entry;
+  {
+    std::unique_lock<std::shared_mutex> lock(map_mutex_);
+    const auto it = entries_.find(name);
+    if (it == entries_.end()) {
+      return Status::NotFound("registry: no model named '" + name + "'");
+    }
+    entry = it->second;
+    entries_.erase(it);
+  }
+  // In-flight requests still hold the entry (and its engine) and finish
+  // normally; new lookups miss. Detach the journal so a late absorb does
+  // not append to files we are about to unlink.
+  entry->DetachJournal();
+  if (!options_.data_dir.empty()) {
+    const std::string dir = ModelDir(name);
+    RemoveFile(dir + "/" + kBaseModelFile);
+    RemoveFile(dir + "/" + kSnapshotFile);
+    RemoveFile(std::string(dir + "/" + kSnapshotFile) + ".tmp");
+    RemoveFile(dir + "/" + kJournalFile);
+    RemoveFile(std::string(dir + "/" + kJournalFile) + ".tmp");
+    ::rmdir(dir.c_str());
+  }
+  return Status::Ok();
+}
+
+std::vector<std::shared_ptr<ModelEntry>> ModelRegistry::List() const {
+  std::vector<std::shared_ptr<ModelEntry>> out;
+  {
+    std::shared_lock<std::shared_mutex> lock(map_mutex_);
+    out.reserve(entries_.size());
+    for (const auto& [name, entry] : entries_) {
+      out.push_back(entry);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const std::shared_ptr<ModelEntry>& a,
+               const std::shared_ptr<ModelEntry>& b) {
+              return a->name() < b->name();
+            });
+  return out;
+}
+
+size_t ModelRegistry::size() const {
+  std::shared_lock<std::shared_mutex> lock(map_mutex_);
+  return entries_.size();
+}
+
+}  // namespace dbsvec::registry

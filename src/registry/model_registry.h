@@ -1,0 +1,219 @@
+#ifndef DBSVEC_REGISTRY_MODEL_REGISTRY_H_
+#define DBSVEC_REGISTRY_MODEL_REGISTRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/deadline.h"
+#include "common/status.h"
+#include "model/overlay_journal.h"
+#include "serve/assignment_engine.h"
+#include "serve/engine_swap.h"
+#include "server/durability.h"
+#include "server/retry.h"
+#include "server/stats.h"
+
+namespace dbsvec::registry {
+
+/// Configuration of a ModelRegistry (one per Server).
+struct RegistryOptions {
+  /// Root of the on-disk layout. Every named model owns the directory
+  /// `<data_dir>/<name>/` holding
+  ///   model.dbsvec      the base artifact (uploaded or imported)
+  ///   snapshot.dbsvec   the latest atomic checkpoint (durable mode)
+  ///   overlay.journal   the overlay write-ahead journal (durable mode)
+  /// Empty = in-memory registry: models are created from uploads or
+  /// external paths and do not survive a restart.
+  std::string data_dir;
+  /// Engine construction options for created/recovered/reloaded models.
+  AssignmentOptions engine_options;
+  /// Retry/backoff for model loads (create, recover, reload).
+  server::RetryOptions retry;
+  /// Per-model durability (requires data_dir): each model gets its own
+  /// journal/snapshot pair and replays through RecoverEngine at startup.
+  bool durable = false;
+  FsyncPolicy fsync = FsyncPolicy::kInterval;
+  int64_t fsync_interval_ms = 50;
+  int64_t checkpoint_interval_ms = 0;
+  /// Hard cap on registered models (create beyond it => ResourceExhausted).
+  int max_models = 64;
+  /// Per-model admission limit on in-flight assign/refresh requests;
+  /// 0 = no per-model gate (the server-wide gate still applies).
+  int model_max_inflight = 0;
+};
+
+/// Cumulative per-model serving counters, all relaxed atomics (same
+/// discipline as ServerStats); rendered into the `models` object of
+/// /v1/statz and into GET /v1/models/<name>.
+struct ModelStats {
+  std::atomic<uint64_t> requests_assign{0};
+  std::atomic<uint64_t> points_assigned{0};
+  std::atomic<uint64_t> requests_stream{0};  ///< Streaming-assign requests.
+  std::atomic<uint64_t> stream_frames{0};    ///< Frames across all streams.
+  std::atomic<uint64_t> requests_shed{0};    ///< Per-model 503 rejections.
+  std::atomic<uint64_t> deadline_hits{0};
+  std::atomic<uint64_t> cores_absorbed{0};
+  std::atomic<uint64_t> refresh_failures{0};
+  std::atomic<uint64_t> reloads_ok{0};
+  std::atomic<uint64_t> reloads_failed{0};
+  std::atomic<uint64_t> reload_attempts{0};
+  std::atomic<uint64_t> checkpoints_ok{0};
+  std::atomic<uint64_t> checkpoints_failed{0};
+  server::LatencyHistogram assign_latency;
+};
+
+/// One named model: its RCU engine handle, its journal/snapshot pair, its
+/// recovery report, and its serving stats. Handed out as a shared_ptr so a
+/// request that resolved the entry keeps serving from it even if the model
+/// is deleted mid-flight (the same drain-by-refcount semantics EngineHandle
+/// gives reloads).
+class ModelEntry {
+ public:
+  ModelEntry(std::string name, std::shared_ptr<AssignmentEngine> engine,
+             std::shared_ptr<OverlayJournal> journal,
+             server::DurabilityOptions durability,
+             server::RecoveryReport recovery, std::string base_model_path,
+             bool managed_base, AssignmentOptions engine_options,
+             server::RetryOptions retry);
+
+  const std::string& name() const { return name_; }
+  /// Snapshot of the model's currently serving engine; never null.
+  std::shared_ptr<AssignmentEngine> engine() const { return handle_.Get(); }
+  /// Null when the model is not durable.
+  const std::shared_ptr<OverlayJournal>& journal() const { return journal_; }
+  const server::DurabilityOptions& durability() const { return durability_; }
+  const server::RecoveryReport& recovery() const { return recovery_; }
+  /// The artifact a restart would recover from (`<dir>/model.dbsvec` for
+  /// data-dir models, the external path otherwise).
+  const std::string& base_model_path() const { return base_model_path_; }
+
+  /// Atomic model swap with retry/backoff + rollback — the per-model
+  /// /v1/models/<name>/reload implementation. In durable mode the new
+  /// artifact is imported into the model's data directory first, then the
+  /// journal is rebound to the new identity before the swap, so a restart
+  /// at any point recovers a consistent (model, overlay) pair.
+  Status Reload(const std::string& path, const Deadline& deadline,
+                server::RetryReport* report = nullptr);
+
+  /// Folds the live overlay into an atomic snapshot and truncates the
+  /// journal — the per-model /v1/models/<name>/snapshot implementation.
+  Status Snapshot(uint32_t* snapshot_crc = nullptr,
+                  uint64_t* folded_records = nullptr);
+
+  /// Detaches the journal from the live engine (delete path): in-flight
+  /// requests finish on their pinned engine, but nothing is appended to a
+  /// journal whose files are about to be unlinked.
+  void DetachJournal();
+
+  ModelStats stats;
+  /// Requests currently executing against this model (per-model admission).
+  std::atomic<int> inflight{0};
+
+ private:
+  const std::string name_;
+  EngineHandle handle_;
+  const std::shared_ptr<OverlayJournal> journal_;
+  const server::DurabilityOptions durability_;
+  const server::RecoveryReport recovery_;
+  const std::string base_model_path_;
+  /// True when base_model_path_ lives inside the registry layout: a reload
+  /// then imports the new artifact there so a restart recovers it. False
+  /// for external paths (adopted models) — those are never overwritten.
+  const bool managed_base_;
+  const AssignmentOptions engine_options_;
+  const server::RetryOptions retry_;
+  /// Serializes reload/snapshot per model (same invariant as the server's
+  /// reload_mutex_: a checkpoint never interleaves with a journal rebind).
+  std::mutex reload_mutex_;
+};
+
+/// What RecoverAll found under the data directory.
+struct RegistryRecoveryReport {
+  int recovered = 0;  ///< Models now serving.
+  int failed = 0;     ///< Directories that failed recovery (skipped).
+  std::vector<std::string> failed_names;
+};
+
+/// Owner of every named model a Server hosts (the ArangoDB named-view
+/// lifecycle shape: a feature-level registry, per-view state objects, and
+/// thin REST handlers over both). Create/Remove serialize on one admin
+/// mutex (engine builds happen outside the map lock); Find/List are
+/// shared-locked and wait on neither, so lookups on the hot assign path
+/// never stall behind a create building an index.
+class ModelRegistry {
+ public:
+  explicit ModelRegistry(RegistryOptions options);
+
+  /// Registers a model from an artifact already on disk. With a data_dir
+  /// the file is imported (copied atomically) into the model's directory
+  /// so a restart recovers it; without one the external file is loaded in
+  /// place. AlreadyExists on a name collision.
+  Status CreateFromFile(const std::string& name,
+                        const std::string& model_path,
+                        std::shared_ptr<ModelEntry>* out = nullptr);
+
+  /// Registers a model from uploaded artifact bytes (the PUT body).
+  Status CreateFromBytes(const std::string& name,
+                         std::span<const uint8_t> bytes,
+                         std::shared_ptr<ModelEntry>* out = nullptr);
+
+  /// Registers an already-recovered engine under `name` — the CLI's
+  /// `default` model, whose recovery ran before the server started.
+  Status Adopt(const std::string& name,
+               std::shared_ptr<AssignmentEngine> engine,
+               std::shared_ptr<OverlayJournal> journal,
+               const server::DurabilityOptions& durability,
+               const server::RecoveryReport& recovery,
+               const std::string& base_model_path);
+
+  /// Scans data_dir and recovers every model directory through the
+  /// RecoverEngine path (snapshot preferred, journal replayed). A model
+  /// that fails recovery is skipped and reported — the rest of the fleet
+  /// still serves. Names already registered (an adopted `default`) are
+  /// left untouched.
+  Status RecoverAll(RegistryRecoveryReport* report = nullptr);
+
+  /// The entry serving `name`, or null. Lock-cheap (shared).
+  std::shared_ptr<ModelEntry> Find(std::string_view name) const;
+
+  /// Unregisters `name` and deletes its on-disk directory (a deleted model
+  /// must stay deleted across restarts). In-flight requests holding the
+  /// entry finish normally. NotFound when absent.
+  Status Remove(const std::string& name);
+
+  /// Every entry, name-sorted (stable listings and deterministic
+  /// durability-timer sweeps).
+  std::vector<std::shared_ptr<ModelEntry>> List() const;
+
+  size_t size() const;
+  const RegistryOptions& options() const { return options_; }
+  /// `<data_dir>/<name>` (valid only with a data_dir).
+  std::string ModelDir(std::string_view name) const;
+
+ private:
+  /// Builds a durability config + entry for `model_path` via RecoverEngine.
+  Status BuildEntry(const std::string& name, const std::string& model_path,
+                    std::shared_ptr<ModelEntry>* out) const;
+  Status InsertEntry(const std::string& name,
+                     const std::shared_ptr<ModelEntry>& entry);
+
+  const RegistryOptions options_;
+
+  /// Serializes create/remove/recover end to end (slow work included).
+  mutable std::mutex admin_mutex_;
+  /// Guards only the map itself; held for lookups and point mutations.
+  mutable std::shared_mutex map_mutex_;
+  std::unordered_map<std::string, std::shared_ptr<ModelEntry>> entries_;
+};
+
+}  // namespace dbsvec::registry
+
+#endif  // DBSVEC_REGISTRY_MODEL_REGISTRY_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdio>
 #include <cstdlib>
 
 namespace dbsvec::server {
@@ -107,7 +108,10 @@ Status HttpParser::ParseHead(std::string_view head, HttpRequest* request) {
 
 Status HttpParser::Feed(std::string_view data) {
   buffer_.append(data);
-  while (!ready_) {
+  // While a streaming body is being drained the buffer only accumulates;
+  // TakeStreamBytes consumes it and re-enters parsing once the declared
+  // length is exhausted.
+  while (!ready_ && !stream_active_) {
     if (!head_done_) {
       const size_t head_end = buffer_.find(kHeadEnd);
       if (head_end == std::string::npos) {
@@ -121,6 +125,7 @@ Status HttpParser::Feed(std::string_view data) {
           ParseHead(std::string_view(buffer_).substr(0, head_end), &pending_));
       buffer_.erase(0, head_end + kHeadEnd.size());
       body_needed_ = 0;
+      uint64_t declared_length = 0;
       if (const std::string_view length = pending_.Header("Content-Length");
           !length.empty()) {
         char* end = nullptr;
@@ -131,13 +136,24 @@ Status HttpParser::Feed(std::string_view data) {
           return Status::InvalidArgument("http: bad Content-Length '" +
                                          length_str + "'");
         }
-        if (parsed > max_body_bytes_) {
-          return Status::ResourceExhausted(
-              "http: body of " + length_str + " bytes exceeds the " +
-              std::to_string(max_body_bytes_) + "-byte cap");
-        }
-        body_needed_ = static_cast<size_t>(parsed);
+        declared_length = parsed;
       }
+      if (stream_predicate_ && stream_predicate_(pending_)) {
+        // Streaming body: deliver the head now; the body is exempt from the
+        // cap and drains through TakeStreamBytes in bounded pieces.
+        pending_.is_stream = true;
+        pending_.stream_length = declared_length;
+        head_done_ = false;
+        ready_ = true;
+        return Status::Ok();
+      }
+      if (declared_length > max_body_bytes_) {
+        return Status::ResourceExhausted(
+            "http: body of " + std::to_string(declared_length) +
+            " bytes exceeds the " + std::to_string(max_body_bytes_) +
+            "-byte cap");
+      }
+      body_needed_ = static_cast<size_t>(declared_length);
       head_done_ = true;
     }
     if (buffer_.size() < body_needed_) {
@@ -158,6 +174,11 @@ bool HttpParser::Next(HttpRequest* out) {
   *out = std::move(pending_);
   pending_ = HttpRequest();
   ready_ = false;
+  if (out->is_stream) {
+    stream_active_ = out->stream_length > 0;
+    stream_remaining_ = out->stream_length;
+    return true;
+  }
   // Pipelined bytes already buffered may complete the next request.
   if (!buffer_.empty()) {
     std::string carry;
@@ -167,16 +188,41 @@ bool HttpParser::Next(HttpRequest* out) {
   return true;
 }
 
+size_t HttpParser::TakeStreamBytes(size_t max, std::string* out) {
+  if (!stream_active_ || max == 0) {
+    return 0;
+  }
+  const size_t take = static_cast<size_t>(
+      std::min<uint64_t>({stream_remaining_, buffer_.size(), max}));
+  out->append(buffer_, 0, take);
+  buffer_.erase(0, take);
+  stream_remaining_ -= take;
+  if (stream_remaining_ == 0) {
+    stream_active_ = false;
+    // Pipelined bytes behind the stream body parse as the next request.
+    if (!buffer_.empty()) {
+      std::string carry;
+      carry.swap(buffer_);
+      (void)Feed(carry);  // Errors resurface on the caller's next Feed.
+    }
+  }
+  return take;
+}
+
 std::string_view ReasonPhrase(int status_code) {
   switch (status_code) {
     case 200:
       return "OK";
+    case 201:
+      return "Created";
     case 400:
       return "Bad Request";
     case 404:
       return "Not Found";
     case 405:
       return "Method Not Allowed";
+    case 409:
+      return "Conflict";
     case 412:
       return "Precondition Failed";
     case 413:
@@ -202,6 +248,8 @@ int HttpStatusFromStatus(const Status& status) {
       return 404;
     case Status::Code::kFailedPrecondition:
       return 412;
+    case Status::Code::kAlreadyExists:
+      return 409;
     case Status::Code::kDeadlineExceeded:
       return 504;
     case Status::Code::kIoError:
@@ -236,6 +284,39 @@ std::string SerializeResponse(int status_code, std::string_view content_type,
   }
   out += kCrlf;
   out += body;
+  return out;
+}
+
+std::string SerializeChunkedResponseHead(
+    int status_code, std::string_view content_type,
+    const std::vector<std::string>& extra_headers, bool keep_alive) {
+  std::string out = "HTTP/1.1 " + std::to_string(status_code) + " ";
+  out += ReasonPhrase(status_code);
+  out += kCrlf;
+  out += "Content-Type: ";
+  out += content_type;
+  out += kCrlf;
+  out += "Transfer-Encoding: chunked";
+  out += kCrlf;
+  if (!keep_alive) {
+    out += "Connection: close";
+    out += kCrlf;
+  }
+  for (const std::string& header : extra_headers) {
+    out += header;
+    out += kCrlf;
+  }
+  out += kCrlf;
+  return out;
+}
+
+std::string EncodeChunk(std::string_view payload) {
+  char size_hex[24];
+  std::snprintf(size_hex, sizeof(size_hex), "%zx", payload.size());
+  std::string out = size_hex;
+  out += kCrlf;
+  out += payload;
+  out += kCrlf;
   return out;
 }
 

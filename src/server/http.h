@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -22,6 +23,10 @@ struct HttpRequest {
   std::vector<std::pair<std::string, std::string>> headers;
   std::string body;
   bool keep_alive = true;  ///< false on "Connection: close".
+  /// True when the stream predicate claimed this request: `body` is empty
+  /// and the declared Content-Length bytes flow through TakeStreamBytes.
+  bool is_stream = false;
+  uint64_t stream_length = 0;  ///< Declared Content-Length of the stream.
 
   /// Value of the first header matching `name` (case-insensitive), or ""
   /// when absent.
@@ -46,6 +51,31 @@ class HttpParser {
   /// call). False when more bytes are needed.
   bool Next(HttpRequest* out);
 
+  /// True when Next would succeed (a complete request, or a streaming head,
+  /// is buffered and unharvested).
+  bool HasReady() const { return ready_; }
+
+  /// Streaming bodies: when the predicate returns true for a parsed head,
+  /// the request is delivered immediately with `is_stream` set and an empty
+  /// `body`; its Content-Length is exempt from the body cap and the body
+  /// bytes are drained incrementally via TakeStreamBytes. This is how
+  /// bodies larger than max_body_bytes are processed in bounded memory
+  /// (docs/SERVING.md, "Streaming assign").
+  using StreamPredicate = std::function<bool(const HttpRequest&)>;
+  void SetStreamPredicate(StreamPredicate predicate) {
+    stream_predicate_ = std::move(predicate);
+  }
+
+  /// Moves up to `max` buffered stream-body bytes into `*out` (appended).
+  /// Returns the number of bytes taken. Once the declared length has been
+  /// consumed the stream deactivates and pipelined bytes parse normally.
+  size_t TakeStreamBytes(size_t max, std::string* out);
+
+  /// Stream-body bytes not yet taken (0 once the stream is fully drained).
+  uint64_t stream_remaining() const { return stream_remaining_; }
+  /// True while a streaming body is being drained.
+  bool stream_active() const { return stream_active_; }
+
  private:
   Status ParseHead(std::string_view head, HttpRequest* request);
 
@@ -56,6 +86,9 @@ class HttpParser {
   size_t body_needed_ = 0;
   HttpRequest pending_;
   bool ready_ = false;
+  StreamPredicate stream_predicate_;
+  bool stream_active_ = false;
+  uint64_t stream_remaining_ = 0;
 };
 
 /// Serializes a response with the given status code, reason inferred from
@@ -66,13 +99,25 @@ std::string SerializeResponse(int status_code, std::string_view content_type,
                               const std::vector<std::string>& extra_headers = {},
                               bool keep_alive = true);
 
+/// Serializes the head of a `Transfer-Encoding: chunked` response (status
+/// line + headers + blank line, no body). Chunks follow via EncodeChunk;
+/// the terminal chunk is EncodeChunk("").
+std::string SerializeChunkedResponseHead(
+    int status_code, std::string_view content_type,
+    const std::vector<std::string>& extra_headers = {}, bool keep_alive = true);
+
+/// One chunk of a chunked response body: hex size, CRLF, payload, CRLF.
+/// An empty payload encodes the terminal "0\r\n\r\n" chunk.
+std::string EncodeChunk(std::string_view payload);
+
 /// Canonical reason phrase of a status code ("OK", "Bad Request", ...).
 std::string_view ReasonPhrase(int status_code);
 
 /// Maps a library Status to the HTTP status code the wire protocol
 /// prescribes (docs/SERVING.md): OK=200, InvalidArgument=400, NotFound=404,
-/// FailedPrecondition=412, DeadlineExceeded=504, Unavailable /
-/// ResourceExhausted / IoError=503, Internal (and anything else)=500.
+/// AlreadyExists=409, FailedPrecondition=412, DeadlineExceeded=504,
+/// Unavailable / ResourceExhausted / IoError=503, Internal (and anything
+/// else)=500.
 int HttpStatusFromStatus(const Status& status);
 
 /// ASCII case-insensitive string equality (header names, header values).

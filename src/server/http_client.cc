@@ -11,6 +11,7 @@
 #include <cstring>
 
 #include "server/http.h"
+#include "server/payload.h"
 
 namespace dbsvec::server {
 
@@ -183,6 +184,185 @@ Status HttpClient::Roundtrip(std::string_view method, std::string_view target,
   }
   response->body = buffer.substr(body_start, content_length);
   residual_ = buffer.substr(body_start + content_length);
+  return Status::Ok();
+}
+
+Status HttpClient::StreamingRoundtrip(std::string_view target,
+                                      const std::vector<std::string>& frames,
+                                      std::vector<std::string>* chunks,
+                                      HttpResponse* response) {
+  if (fd_ < 0) {
+    return Status::FailedPrecondition("client: not connected");
+  }
+  chunks->clear();
+  response->status_code = 0;
+  response->headers.clear();
+  response->body.clear();
+
+  uint64_t total = 4;  // Terminator frame.
+  for (const std::string& frame : frames) {
+    total += 4 + frame.size();
+  }
+  std::string head_request;
+  head_request.append("POST ").append(target).append(" HTTP/1.1\r\n");
+  head_request.append("Host: dbsvec\r\n");
+  head_request.append("Content-Type: ").append(kStreamContentType);
+  head_request.append("\r\nContent-Length: ")
+      .append(std::to_string(total))
+      .append("\r\n\r\n");
+  Status send_status = SendAll(fd_, head_request);
+
+  std::string buffer = std::move(residual_);
+  residual_.clear();
+  const auto read_more = [this, &buffer]() -> Status {
+    char chunk[64 * 1024];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n == 0) {
+      return Status::IoError("client: connection closed mid-response");
+    }
+    if (n < 0) {
+      if (errno == EINTR) {
+        return Status::Ok();
+      }
+      return Status::IoError(std::string("client: recv: ") +
+                             std::strerror(errno));
+    }
+    buffer.append(chunk, static_cast<size_t>(n));
+    return Status::Ok();
+  };
+
+  bool head_parsed = false;
+  bool chunked = false;
+  size_t content_length = 0;
+  const auto parse_head = [&]() -> Status {
+    size_t head_end;
+    while ((head_end = buffer.find("\r\n\r\n")) == std::string::npos) {
+      DBSVEC_RETURN_IF_ERROR(read_more());
+    }
+    const std::string_view head(buffer.data(), head_end);
+    size_t line_end = head.find("\r\n");
+    if (line_end == std::string_view::npos) {
+      line_end = head.size();
+    }
+    const std::string_view status_line = head.substr(0, line_end);
+    const size_t sp = status_line.find(' ');
+    if (sp == std::string_view::npos || status_line.size() < sp + 4) {
+      return Status::IoError("client: malformed status line '" +
+                             std::string(status_line) + "'");
+    }
+    response->status_code =
+        std::atoi(std::string(status_line.substr(sp + 1, 3)).c_str());
+    size_t cursor = line_end + 2;
+    while (cursor < head.size()) {
+      size_t next = head.find("\r\n", cursor);
+      if (next == std::string_view::npos) {
+        next = head.size();
+      }
+      const std::string_view line = head.substr(cursor, next - cursor);
+      cursor = next + 2;
+      const size_t colon = line.find(':');
+      if (colon == std::string_view::npos) {
+        continue;
+      }
+      std::string_view value = line.substr(colon + 1);
+      while (!value.empty() &&
+             (value.front() == ' ' || value.front() == '\t')) {
+        value.remove_prefix(1);
+      }
+      response->headers.emplace_back(std::string(line.substr(0, colon)),
+                                     std::string(value));
+      if (AsciiCaseEqual(line.substr(0, colon), "Content-Length")) {
+        content_length =
+            static_cast<size_t>(std::atoll(std::string(value).c_str()));
+      } else if (AsciiCaseEqual(line.substr(0, colon), "Transfer-Encoding")) {
+        chunked = AsciiCaseEqual(value, "chunked");
+      }
+    }
+    buffer.erase(0, head_end + 4);
+    head_parsed = true;
+    return Status::Ok();
+  };
+  // Reads one response chunk into `*out` (terminal chunk → empty).
+  const auto read_chunk = [&](std::string* out) -> Status {
+    size_t line_end;
+    while ((line_end = buffer.find("\r\n")) == std::string::npos) {
+      DBSVEC_RETURN_IF_ERROR(read_more());
+    }
+    const size_t size = static_cast<size_t>(
+        std::strtoull(buffer.substr(0, line_end).c_str(), nullptr, 16));
+    const size_t need = line_end + 2 + size + 2;
+    while (buffer.size() < need) {
+      DBSVEC_RETURN_IF_ERROR(read_more());
+    }
+    out->assign(buffer, line_end + 2, size);
+    buffer.erase(0, need);
+    return Status::Ok();
+  };
+  // Fixed-length (non-chunked) response: the server rejected the stream
+  // before its first frame answered. Hand the error body back.
+  const auto finish_plain = [&]() -> Status {
+    while (buffer.size() < content_length) {
+      DBSVEC_RETURN_IF_ERROR(read_more());
+    }
+    response->body = buffer.substr(0, content_length);
+    residual_ = buffer.substr(content_length);
+    return Status::Ok();
+  };
+
+  for (const std::string& frame : frames) {
+    if (send_status.ok()) {
+      std::string framed;
+      framed.reserve(4 + frame.size());
+      const uint32_t len = static_cast<uint32_t>(frame.size());
+      framed.append(reinterpret_cast<const char*>(&len), 4);
+      framed.append(frame);
+      send_status = SendAll(fd_, framed);
+    }
+    if (!send_status.ok()) {
+      break;
+    }
+    if (!head_parsed) {
+      DBSVEC_RETURN_IF_ERROR(parse_head());
+      if (!chunked) {
+        return finish_plain();
+      }
+    }
+    std::string payload;
+    DBSVEC_RETURN_IF_ERROR(read_chunk(&payload));
+    if (payload.empty()) {
+      return Status::IoError("client: stream ended before every frame");
+    }
+    chunks->push_back(std::move(payload));
+  }
+  if (send_status.ok()) {
+    const uint32_t zero = 0;
+    send_status =
+        SendAll(fd_, std::string_view(reinterpret_cast<const char*>(&zero), 4));
+  }
+  if (!send_status.ok()) {
+    // The server may have rejected the stream and closed; whatever error
+    // response it flushed beats the raw EPIPE.
+    if (!head_parsed && !parse_head().ok()) {
+      return send_status;
+    }
+    if (!chunked) {
+      return finish_plain().ok() ? Status::Ok() : send_status;
+    }
+    return send_status;
+  }
+  if (!head_parsed) {
+    DBSVEC_RETURN_IF_ERROR(parse_head());
+    if (!chunked) {
+      return finish_plain();
+    }
+  }
+  std::string terminal;
+  DBSVEC_RETURN_IF_ERROR(read_chunk(&terminal));
+  if (!terminal.empty()) {
+    return Status::IoError("client: expected terminal chunk, got " +
+                           std::to_string(terminal.size()) + " bytes");
+  }
+  residual_ = std::move(buffer);
   return Status::Ok();
 }
 

@@ -44,6 +44,20 @@ class HttpClient {
                    const std::vector<std::string>& extra_headers,
                    HttpResponse* response);
 
+  /// Drives one streaming-assign request (kStreamContentType framing):
+  /// sends the request head with a Content-Length covering every frame plus
+  /// the terminator, then writes each frame and reads its chunked label
+  /// payload before sending the next — lock-step, so neither side ever
+  /// holds more than one frame. `frames` are pre-encoded binary assign
+  /// payloads; each response chunk is appended to `*chunks` verbatim. When
+  /// the server rejects the stream with a plain (non-chunked) error
+  /// response, that response lands in `*response` and the call returns Ok —
+  /// check `response->status_code`.
+  Status StreamingRoundtrip(std::string_view target,
+                            const std::vector<std::string>& frames,
+                            std::vector<std::string>* chunks,
+                            HttpResponse* response);
+
  private:
   int fd_ = -1;
   std::string residual_;  // Bytes past the previous response (keep-alive).

@@ -25,6 +25,14 @@ namespace dbsvec::server {
 /// u32 count followed by count i32 labels.
 enum class PayloadEncoding { kJson, kBinary };
 
+/// Content-Type of the streaming assign protocol (docs/SERVING.md,
+/// "Streaming assign"). The body is a sequence of frames, each a u32 LE
+/// payload length followed by a binary assign payload; a zero-length frame
+/// terminates the stream. The response is chunked, one binary label chunk
+/// (u32 count, count i32 labels) per frame.
+inline constexpr std::string_view kStreamContentType =
+    "application/x-dbsvec-stream";
+
 /// Picks the encoding from a Content-Type value; defaults to JSON when the
 /// header is absent, rejects anything else.
 Status EncodingFromContentType(std::string_view content_type,

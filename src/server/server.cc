@@ -16,6 +16,7 @@
 
 #include "cache/cache_manager.h"
 #include "fault/failpoint.h"
+#include "registry/model_name.h"
 #include "server/payload.h"
 #include "simd/simd.h"
 
@@ -39,10 +40,158 @@ std::string JsonError(const std::string& message) {
   return "{\"error\":\"" + escaped + "\"}";
 }
 
+/// Where a request target routes. Legacy unnamed routes alias the model
+/// "default"; named routes are /v1/models[/<name>[/<action>]]. A name that
+/// fails validation becomes kBadName with the validator's message — the
+/// name is rejected before it can touch the filesystem or the map.
+struct Route {
+  enum class Kind {
+    kHealthz,
+    kStatz,
+    kModels,
+    kModel,
+    kAssign,
+    kReload,
+    kSnapshot,
+    kRefresh,
+    kBadName,
+    kUnknown,
+  };
+  Kind kind = Kind::kUnknown;
+  std::string model;
+  std::string error;  // kBadName only.
+};
+
+Route ParseRoute(const std::string& target) {
+  Route route;
+  if (target == "/v1/healthz") {
+    route.kind = Route::Kind::kHealthz;
+    return route;
+  }
+  if (target == "/v1/statz") {
+    route.kind = Route::Kind::kStatz;
+    return route;
+  }
+  if (target == "/v1/assign" || target == "/v1/reload" ||
+      target == "/v1/snapshot" || target == "/v1/refresh") {
+    route.kind = target == "/v1/assign"     ? Route::Kind::kAssign
+                 : target == "/v1/reload"   ? Route::Kind::kReload
+                 : target == "/v1/snapshot" ? Route::Kind::kSnapshot
+                                            : Route::Kind::kRefresh;
+    route.model = "default";
+    return route;
+  }
+  if (target == "/v1/models") {
+    route.kind = Route::Kind::kModels;
+    return route;
+  }
+  constexpr std::string_view kPrefix = "/v1/models/";
+  if (target.size() > kPrefix.size() &&
+      std::string_view(target).substr(0, kPrefix.size()) == kPrefix) {
+    std::string_view rest = std::string_view(target).substr(kPrefix.size());
+    std::string_view name = rest;
+    std::string_view action;
+    if (const size_t slash = rest.find('/'); slash != std::string_view::npos) {
+      name = rest.substr(0, slash);
+      action = rest.substr(slash + 1);
+    }
+    if (const Status valid = registry::ValidateModelName(name); !valid.ok()) {
+      route.kind = Route::Kind::kBadName;
+      route.error = valid.message();
+      return route;
+    }
+    route.model = std::string(name);
+    if (action.empty()) {
+      route.kind = Route::Kind::kModel;
+    } else if (action == "assign") {
+      route.kind = Route::Kind::kAssign;
+    } else if (action == "reload") {
+      route.kind = Route::Kind::kReload;
+    } else if (action == "snapshot") {
+      route.kind = Route::Kind::kSnapshot;
+    } else if (action == "refresh") {
+      route.kind = Route::Kind::kRefresh;
+    } else {
+      route.kind = Route::Kind::kUnknown;
+    }
+    return route;
+  }
+  return route;
+}
+
+/// Extracts a model path from a request body: either a plain-text path or
+/// {"path": "..."} (no escapes) — the grammar /v1/reload has always spoken.
+Status ExtractPathBody(std::string_view body, std::string* path) {
+  while (!body.empty() && (body.front() == ' ' || body.front() == '\n' ||
+                           body.front() == '\r' || body.front() == '\t')) {
+    body.remove_prefix(1);
+  }
+  while (!body.empty() && (body.back() == ' ' || body.back() == '\n' ||
+                           body.back() == '\r' || body.back() == '\t')) {
+    body.remove_suffix(1);
+  }
+  if (!body.empty() && body.front() == '{') {
+    const size_t key = body.find("\"path\"");
+    const size_t colon =
+        key == std::string_view::npos ? key : body.find(':', key);
+    const size_t open =
+        colon == std::string_view::npos ? colon : body.find('"', colon);
+    const size_t close =
+        open == std::string_view::npos ? open : body.find('"', open + 1);
+    if (close == std::string_view::npos) {
+      return Status::InvalidArgument(
+          "body must be a path or {\"path\": \"...\"}");
+    }
+    *path = std::string(body.substr(open + 1, close - open - 1));
+  } else {
+    *path = std::string(body);
+  }
+  if (path->empty()) {
+    return Status::InvalidArgument("empty model path");
+  }
+  return Status::Ok();
+}
+
+/// The parser-level predicate that flips a request into streaming mode.
+bool IsStreamRequest(const HttpRequest& request) {
+  return request.method == "POST" &&
+         AsciiCaseEqual(request.Header("Content-Type"), kStreamContentType);
+}
+
+std::string MethodNotAllowed(const HttpRequest& request) {
+  return SerializeResponse(405, "text/plain", "method not allowed\n", {},
+                           request.keep_alive);
+}
+
 }  // namespace
 
+/// One streaming-assign session: the model entry + engine pinned at stream
+/// start (every frame of a stream is answered by the same engine snapshot,
+/// whatever reloads or deletes happen mid-stream), the frame cursor, and
+/// the admission slots the stream holds for its whole life. Io thread and
+/// worker hand the session back and forth through Connection::processing
+/// (guarded by Connection::mutex), so the non-atomic fields never see
+/// concurrent access.
+struct Server::StreamSession {
+  std::shared_ptr<registry::ModelEntry> entry;
+  std::shared_ptr<AssignmentEngine> engine;
+  Deadline deadline;
+  bool keep_alive = true;
+  bool counted = false;   ///< Holds a server-wide inflight_ slot.
+  bool released = false;  ///< Slots given back (finish, error, or close).
+  bool head_sent = false;  ///< Chunked response head already queued.
+  // Frame cursor: 4-byte little-endian length prefix, then the payload.
+  bool have_len = false;
+  uint32_t frame_len = 0;
+  std::string lenbuf;
+  std::string frame;
+  uint64_t frames = 0;
+};
+
 struct Server::Connection {
-  Connection(int fd, size_t max_body) : fd(fd), parser(max_body) {}
+  Connection(int fd, size_t max_body) : fd(fd), parser(max_body) {
+    parser.SetStreamPredicate(IsStreamRequest);
+  }
 
   const int fd;
   IoLoop* loop = nullptr;
@@ -51,10 +200,12 @@ struct Server::Connection {
   HttpParser parser;
   bool protocol_error = false;  ///< Parser poisoned; stop dispatching.
   bool want_epollout = false;
+  bool read_paused = false;  ///< EPOLLIN off while a frame is in flight.
 
   // Cross-thread state: workers append responses, the loop flushes them.
   std::mutex mutex;
   bool processing = false;
+  std::shared_ptr<StreamSession> stream;  ///< Active streaming session.
   std::string out;
   size_t out_offset = 0;
   int unflushed_responses = 0;
@@ -79,31 +230,67 @@ struct Server::IoLoop {
 struct Server::RequestWork {
   std::shared_ptr<Connection> conn;
   HttpRequest request;
+  Route route;
   Deadline deadline;
   std::chrono::steady_clock::time_point start;
-  bool counted = false;  ///< Holds an inflight_ slot (assign/reload).
+  bool counted = false;  ///< Holds an inflight_ slot (gated endpoints).
+  // Streaming: one decoded frame for the session (request/route unused).
+  std::shared_ptr<StreamSession> stream;
+  std::string frame;
 };
 
-Server::Server(std::shared_ptr<AssignmentEngine> engine,
-               const ServerOptions& options)
-    : options_(options), handle_(std::move(engine)) {}
+Server::Server(const ServerOptions& options) : options_(options) {
+  registry::RegistryOptions registry_options;
+  registry_options.data_dir = options_.data_dir;
+  registry_options.engine_options = options_.engine_options;
+  registry_options.retry = options_.reload_retry;
+  registry_options.durable = options_.durability.enabled;
+  registry_options.fsync = options_.durability.fsync;
+  registry_options.fsync_interval_ms = options_.durability.fsync_interval_ms;
+  registry_options.checkpoint_interval_ms =
+      options_.durability.checkpoint_interval_ms;
+  registry_options.max_models = options_.max_models;
+  registry_options.model_max_inflight = options_.model_max_inflight;
+  registry_ =
+      std::make_unique<registry::ModelRegistry>(std::move(registry_options));
+}
 
 Status Server::Start(std::shared_ptr<AssignmentEngine> engine,
                      const ServerOptions& options,
                      std::unique_ptr<Server>* out) {
-  if (engine == nullptr) {
-    return Status::InvalidArgument("server: engine must not be null");
+  if (engine == nullptr && options.data_dir.empty()) {
+    return Status::InvalidArgument(
+        "server: engine must not be null (set data_dir to start a "
+        "registry-only server)");
   }
   if (options.num_io_threads < 1 || options.num_workers < 1 ||
       options.max_inflight < 1) {
     return Status::InvalidArgument(
         "server: num_io_threads, num_workers, and max_inflight must be >= 1");
   }
-  std::unique_ptr<Server> server(new Server(std::move(engine), options));
+  if (options.max_models < 1) {
+    return Status::InvalidArgument("server: max_models must be >= 1");
+  }
+  std::unique_ptr<Server> server(new Server(options));
+  if (engine != nullptr) {
+    DBSVEC_RETURN_IF_ERROR(server->registry_->Adopt(
+        "default", std::move(engine), options.journal, options.durability,
+        options.recovery, /*base_model_path=*/""));
+  }
+  if (!options.data_dir.empty()) {
+    DBSVEC_RETURN_IF_ERROR(
+        server->registry_->RecoverAll(&server->registry_recovery_));
+  }
   DBSVEC_RETURN_IF_ERROR(server->Listen());
   DBSVEC_RETURN_IF_ERROR(server->SpawnThreads());
   *out = std::move(server);
   return Status::Ok();
+}
+
+std::shared_ptr<AssignmentEngine> Server::engine() const {
+  const std::shared_ptr<registry::ModelEntry> entry =
+      registry_->Find("default");
+  return entry == nullptr ? nullptr : entry->engine();
 }
 
 Status Server::Listen() {
@@ -182,8 +369,7 @@ Status Server::SpawnThreads() {
   }
   if (options_.durability.enabled &&
       ((options_.durability.fsync == FsyncPolicy::kInterval &&
-        options_.durability.fsync_interval_ms > 0 &&
-        options_.journal != nullptr) ||
+        options_.durability.fsync_interval_ms > 0) ||
        options_.durability.checkpoint_interval_ms > 0)) {
     durability_thread_ = std::thread([this] { DurabilityMain(); });
   }
@@ -241,7 +427,16 @@ void Server::IoLoopMain(IoLoop* loop) {
     }
     for (const auto& conn : ready) {
       FlushWrites(loop, conn);
-      MaybeDispatch(loop, conn);
+      if (conn->closed) {
+        continue;
+      }
+      if (conn->stream != nullptr) {
+        // A frame answer just landed: resume cutting frames.
+        PumpStream(loop, conn);
+      }
+      if (!conn->closed) {
+        MaybeDispatch(loop, conn);
+      }
     }
     if (stopping_.load(std::memory_order_acquire)) {
       break;
@@ -254,6 +449,16 @@ void Server::IoLoopMain(IoLoop* loop) {
       pending_responses_.fetch_sub(conn->unflushed_responses,
                                    std::memory_order_relaxed);
       conn->unflushed_responses = 0;
+      if (conn->stream != nullptr && !conn->stream->released) {
+        conn->stream->released = true;
+        if (conn->stream->counted) {
+          inflight_.fetch_sub(1, std::memory_order_acq_rel);
+        }
+        if (conn->stream->entry != nullptr) {
+          conn->stream->entry->inflight.fetch_sub(1,
+                                                  std::memory_order_acq_rel);
+        }
+      }
       ::close(fd);
     }
   }
@@ -337,16 +542,41 @@ void Server::CloseConnection(IoLoop* loop,
     pending_responses_.fetch_sub(conn->unflushed_responses,
                                  std::memory_order_relaxed);
     conn->unflushed_responses = 0;
+    if (conn->stream != nullptr && !conn->stream->released) {
+      // An aborted stream gives back its admission slots exactly once.
+      conn->stream->released = true;
+      if (conn->stream->counted) {
+        inflight_.fetch_sub(1, std::memory_order_acq_rel);
+      }
+      if (conn->stream->entry != nullptr) {
+        conn->stream->entry->inflight.fetch_sub(1, std::memory_order_acq_rel);
+      }
+    }
+    conn->stream.reset();
   }
   ::epoll_ctl(loop->epoll_fd, EPOLL_CTL_DEL, conn->fd, nullptr);
   ::close(conn->fd);
   loop->conns.erase(conn->fd);
 }
 
+void Server::SetReadPaused(IoLoop* loop,
+                           const std::shared_ptr<Connection>& conn,
+                           bool paused) {
+  if (conn->read_paused == paused) {
+    return;
+  }
+  conn->read_paused = paused;
+  epoll_event event{};
+  event.events = (paused ? 0u : static_cast<uint32_t>(EPOLLIN)) |
+                 (conn->want_epollout ? static_cast<uint32_t>(EPOLLOUT) : 0u);
+  event.data.fd = conn->fd;
+  ::epoll_ctl(loop->epoll_fd, EPOLL_CTL_MOD, conn->fd, &event);
+}
+
 void Server::OnReadable(IoLoop* loop,
                         const std::shared_ptr<Connection>& conn) {
   char buffer[kReadChunk];
-  while (true) {
+  while (!conn->read_paused) {
     const ssize_t n = ::recv(conn->fd, buffer, sizeof(buffer), 0);
     if (n == 0) {
       CloseConnection(loop, conn);
@@ -379,8 +609,26 @@ void Server::OnReadable(IoLoop* loop,
                     /*close_after=*/true);
       return;
     }
+    // Dispatch as soon as a head is ready and pump streams per read chunk:
+    // a streaming body must start draining (and pausing reads) instead of
+    // accumulating in the parser buffer, or the memory bound is lost.
+    if (conn->parser.HasReady()) {
+      MaybeDispatch(loop, conn);
+    }
+    if (conn->stream != nullptr) {
+      PumpStream(loop, conn);
+    }
+    if (conn->closed) {
+      return;
+    }
+  }
+  if (conn->closed || conn->protocol_error) {
+    return;
   }
   MaybeDispatch(loop, conn);
+  if (conn->stream != nullptr) {
+    PumpStream(loop, conn);
+  }
 }
 
 void Server::MaybeDispatch(IoLoop* loop,
@@ -391,7 +639,7 @@ void Server::MaybeDispatch(IoLoop* loop,
   HttpRequest request;
   {
     std::lock_guard<std::mutex> lock(conn->mutex);
-    if (conn->closed || conn->processing) {
+    if (conn->closed || conn->processing || conn->stream != nullptr) {
       return;
     }
     if (!conn->parser.Next(&request)) {
@@ -410,26 +658,39 @@ void Server::MaybeDispatch(IoLoop* loop,
     const long long parsed = std::strtoll(header_str.c_str(), &end, 10);
     if (end == header_str.c_str() || *end != '\0' || parsed <= 0) {
       stats_.requests_bad.fetch_add(1, std::memory_order_relaxed);
+      if (request.is_stream) {
+        conn->protocol_error = true;  // Unread body bytes are inbound.
+      }
       RespondInline(loop, conn,
                     SerializeResponse(
                         400, "application/json",
                         JsonError("bad X-Deadline-Ms '" + header_str + "'"),
-                        {}, request.keep_alive),
-                    !request.keep_alive);
+                        {}, request.keep_alive && !request.is_stream),
+                    !request.keep_alive || request.is_stream);
       return;
     }
     deadline_ms = parsed;
   }
+  const Deadline deadline =
+      deadline_ms > 0 ? Deadline::AfterMillis(deadline_ms) : Deadline();
+
+  if (request.is_stream) {
+    BeginStream(loop, conn, std::move(request), deadline);
+    return;
+  }
 
   RequestWork work;
-  work.deadline =
-      deadline_ms > 0 ? Deadline::AfterMillis(deadline_ms) : Deadline();
+  work.deadline = deadline;
   work.start = std::chrono::steady_clock::now();
+  work.route = ParseRoute(request.target);
 
   // Admission control covers the expensive endpoints; health and stats
   // always pass so the server stays observable under overload.
   const bool gated =
-      request.target == "/v1/assign" || request.target == "/v1/reload";
+      work.route.kind == Route::Kind::kAssign ||
+      work.route.kind == Route::Kind::kReload ||
+      work.route.kind == Route::Kind::kRefresh ||
+      (work.route.kind == Route::Kind::kModel && request.method == "PUT");
   if (gated) {
     const int current = inflight_.fetch_add(1, std::memory_order_acq_rel);
     if (current >= options_.max_inflight) {
@@ -533,11 +794,326 @@ void Server::FlushWrites(IoLoop* loop,
   if (want_out != conn->want_epollout) {
     conn->want_epollout = want_out;
     epoll_event event{};
-    event.events = want_out ? (EPOLLIN | EPOLLOUT) : EPOLLIN;
+    event.events =
+        (conn->read_paused ? 0u : static_cast<uint32_t>(EPOLLIN)) |
+        (want_out ? static_cast<uint32_t>(EPOLLOUT) : 0u);
     event.data.fd = conn->fd;
     ::epoll_ctl(loop->epoll_fd, EPOLL_CTL_MOD, conn->fd, &event);
   }
 }
+
+// ---------------------------------------------------------------------------
+// Streaming assign
+
+void Server::BeginStream(IoLoop* loop,
+                         const std::shared_ptr<Connection>& conn,
+                         HttpRequest request, const Deadline& deadline) {
+  auto session = std::make_shared<StreamSession>();
+  session->keep_alive = request.keep_alive;
+  session->deadline = deadline;
+  stats_.requests_stream.fetch_add(1, std::memory_order_relaxed);
+
+  const Route route = ParseRoute(request.target);
+  Status status;
+  std::shared_ptr<registry::ModelEntry> entry;
+  if (route.kind == Route::Kind::kBadName) {
+    status = Status::InvalidArgument(route.error);
+  } else if (route.kind != Route::Kind::kAssign) {
+    status = Status::InvalidArgument(
+        "stream: only assign targets accept " +
+        std::string(kStreamContentType));
+  } else {
+    entry = registry_->Find(route.model);
+    if (entry == nullptr) {
+      status = Status::NotFound("no model named '" + route.model + "'");
+    }
+  }
+  if (!status.ok()) {
+    const int code = HttpStatusFromStatus(status);
+    if (code >= 400 && code < 500) {
+      stats_.requests_bad.fetch_add(1, std::memory_order_relaxed);
+    }
+    // The declared body is still inbound: poison the parser path so it is
+    // drained and discarded, answer, and close.
+    conn->protocol_error = true;
+    {
+      std::lock_guard<std::mutex> lock(conn->mutex);
+      conn->processing = false;
+    }
+    RespondInline(loop, conn,
+                  SerializeResponse(code, "application/json",
+                                    JsonError(status.ToString()), {},
+                                    /*keep_alive=*/false),
+                  /*close_after=*/true);
+    return;
+  }
+
+  // Admission: a stream holds one server-wide slot (and one per-model
+  // slot) for its entire life, however many frames it carries.
+  const int current = inflight_.fetch_add(1, std::memory_order_acq_rel);
+  const int model_current =
+      entry->inflight.fetch_add(1, std::memory_order_acq_rel);
+  if (current >= options_.max_inflight ||
+      (options_.model_max_inflight > 0 &&
+       model_current >= options_.model_max_inflight)) {
+    inflight_.fetch_sub(1, std::memory_order_acq_rel);
+    entry->inflight.fetch_sub(1, std::memory_order_acq_rel);
+    stats_.requests_shed.fetch_add(1, std::memory_order_relaxed);
+    entry->stats.requests_shed.fetch_add(1, std::memory_order_relaxed);
+    conn->protocol_error = true;
+    {
+      std::lock_guard<std::mutex> lock(conn->mutex);
+      conn->processing = false;
+    }
+    RespondInline(loop, conn,
+                  SerializeResponse(503, "application/json",
+                                    JsonError("shed: stream admission"),
+                                    {"Retry-After: 1"},
+                                    /*keep_alive=*/false),
+                  /*close_after=*/true);
+    return;
+  }
+  session->counted = true;
+  session->entry = std::move(entry);
+  // Pin the engine once: every frame of this stream is answered by the
+  // same snapshot, whatever reloads or deletes happen mid-stream.
+  session->engine = session->entry->engine();
+  session->entry->stats.requests_stream.fetch_add(1,
+                                                  std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(conn->mutex);
+    conn->processing = false;
+    conn->stream = session;
+  }
+  PumpStream(loop, conn);
+}
+
+void Server::PumpStream(IoLoop* loop,
+                        const std::shared_ptr<Connection>& conn) {
+  std::shared_ptr<StreamSession> session;
+  {
+    std::lock_guard<std::mutex> lock(conn->mutex);
+    if (conn->closed || conn->processing) {
+      return;  // A worker owns the connection; resume when it answers.
+    }
+    session = conn->stream;
+  }
+  if (session == nullptr) {
+    return;
+  }
+  HttpParser& parser = conn->parser;
+  while (true) {
+    if (!session->have_len) {
+      parser.TakeStreamBytes(4 - session->lenbuf.size(), &session->lenbuf);
+      if (session->lenbuf.size() < 4) {
+        if (!parser.stream_active()) {
+          EndStreamWithError(
+              loop, conn, session,
+              Status::InvalidArgument(
+                  "stream: body ended inside a frame header"));
+          return;
+        }
+        SetReadPaused(loop, conn, false);
+        return;  // Need more bytes.
+      }
+      const auto* p =
+          reinterpret_cast<const unsigned char*>(session->lenbuf.data());
+      const uint32_t frame_len =
+          static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+          (static_cast<uint32_t>(p[2]) << 16) |
+          (static_cast<uint32_t>(p[3]) << 24);
+      session->lenbuf.clear();
+      if (frame_len == 0) {
+        FinishStream(loop, conn, session);
+        return;
+      }
+      if (frame_len > options_.max_body_bytes) {
+        EndStreamWithError(
+            loop, conn, session,
+            Status::ResourceExhausted(
+                "stream: frame of " + std::to_string(frame_len) +
+                " bytes exceeds the " +
+                std::to_string(options_.max_body_bytes) + "-byte cap"));
+        return;
+      }
+      session->frame_len = frame_len;
+      session->have_len = true;
+      session->frame.clear();
+      session->frame.reserve(frame_len);
+    }
+    parser.TakeStreamBytes(session->frame_len - session->frame.size(),
+                           &session->frame);
+    if (session->frame.size() < session->frame_len) {
+      if (!parser.stream_active()) {
+        EndStreamWithError(
+            loop, conn, session,
+            Status::InvalidArgument("stream: body ended inside a frame"));
+        return;
+      }
+      SetReadPaused(loop, conn, false);
+      return;  // Need more bytes.
+    }
+    // Frame complete: hand it to a worker. Reads stay paused until the
+    // frame answers — one frame in flight per connection is the
+    // backpressure that bounds both queue depth and memory.
+    session->have_len = false;
+    {
+      std::lock_guard<std::mutex> lock(conn->mutex);
+      if (conn->closed) {
+        return;
+      }
+      conn->processing = true;
+    }
+    SetReadPaused(loop, conn, true);
+    RequestWork work;
+    work.conn = conn;
+    work.stream = session;
+    work.frame = std::move(session->frame);
+    session->frame = std::string();
+    work.deadline = session->deadline;
+    work.start = std::chrono::steady_clock::now();
+    {
+      std::lock_guard<std::mutex> lock(queue_mutex_);
+      queue_.push_back(std::move(work));
+    }
+    queue_cv_.notify_one();
+    return;
+  }
+}
+
+void Server::FinishStream(IoLoop* loop,
+                          const std::shared_ptr<Connection>& conn,
+                          const std::shared_ptr<StreamSession>& session) {
+  if (conn->parser.stream_active()) {
+    EndStreamWithError(
+        loop, conn, session,
+        Status::InvalidArgument(
+            "stream: trailing bytes after the terminator frame"));
+    return;
+  }
+  std::string out;
+  if (!session->head_sent) {
+    // Zero-frame stream: the response is just head + terminal chunk.
+    out += SerializeChunkedResponseHead(200, "application/octet-stream", {},
+                                        session->keep_alive);
+  }
+  out += EncodeChunk("");
+  const bool close_after = !session->keep_alive;
+  {
+    std::lock_guard<std::mutex> lock(conn->mutex);
+    if (!session->released) {
+      session->released = true;
+      if (session->counted) {
+        inflight_.fetch_sub(1, std::memory_order_acq_rel);
+      }
+      session->entry->inflight.fetch_sub(1, std::memory_order_acq_rel);
+    }
+    conn->stream.reset();
+  }
+  SetReadPaused(loop, conn, false);
+  RespondInline(loop, conn, std::move(out), close_after);
+}
+
+void Server::EndStreamWithError(IoLoop* loop,
+                                const std::shared_ptr<Connection>& conn,
+                                const std::shared_ptr<StreamSession>& session,
+                                const Status& status) {
+  stats_.requests_bad.fetch_add(1, std::memory_order_relaxed);
+  std::string response;
+  if (!session->head_sent) {
+    response = SerializeResponse(HttpStatusFromStatus(status),
+                                 "application/json",
+                                 JsonError(status.ToString()), {},
+                                 /*keep_alive=*/false);
+  }
+  // After the chunked head went out there is no in-band way to signal the
+  // error: abort without the terminal chunk so the client sees a torn
+  // stream, never a silently truncated success.
+  {
+    std::lock_guard<std::mutex> lock(conn->mutex);
+    if (!session->released) {
+      session->released = true;
+      if (session->counted) {
+        inflight_.fetch_sub(1, std::memory_order_acq_rel);
+      }
+      session->entry->inflight.fetch_sub(1, std::memory_order_acq_rel);
+    }
+    conn->stream.reset();
+  }
+  conn->protocol_error = true;
+  SetReadPaused(loop, conn, false);
+  RespondInline(loop, conn, std::move(response), /*close_after=*/true);
+}
+
+void Server::ProcessStreamFrame(RequestWork& work) {
+  const std::shared_ptr<StreamSession>& session = work.stream;
+  const std::shared_ptr<registry::ModelEntry>& entry = session->entry;
+  Dataset points(1);
+  Status status = ParseAssignBody(work.frame, PayloadEncoding::kBinary,
+                                  options_.max_points_per_request, &points);
+  if (status.ok() && points.dim() != session->engine->dim()) {
+    status = Status::InvalidArgument(
+        "assign: frame has dimension " + std::to_string(points.dim()) +
+        ", model expects " + std::to_string(session->engine->dim()));
+  }
+  std::vector<int32_t> labels;
+  if (status.ok()) {
+    status = session->engine->AssignBatch(points, &labels, work.deadline);
+  }
+  if (!status.ok()) {
+    const int code = HttpStatusFromStatus(status);
+    if (code == 504) {
+      stats_.num_deadline_hits.fetch_add(1, std::memory_order_relaxed);
+      entry->stats.deadline_hits.fetch_add(1, std::memory_order_relaxed);
+    } else if (code >= 400 && code < 500) {
+      stats_.requests_bad.fetch_add(1, std::memory_order_relaxed);
+    }
+    std::string response;
+    if (!session->head_sent) {
+      response = SerializeResponse(code, "application/json",
+                                   JsonError(status.ToString()), {},
+                                   /*keep_alive=*/false);
+    }
+    // Empty response after the head => abrupt close (torn stream), which
+    // is the only honest signal left mid-response.
+    EnqueueResponse(work.conn, std::move(response), /*close_after=*/true);
+    return;
+  }
+  stats_.stream_frames.fetch_add(1, std::memory_order_relaxed);
+  stats_.points_assigned.fetch_add(static_cast<uint64_t>(points.size()),
+                                   std::memory_order_relaxed);
+  entry->stats.stream_frames.fetch_add(1, std::memory_order_relaxed);
+  entry->stats.points_assigned.fetch_add(
+      static_cast<uint64_t>(points.size()), std::memory_order_relaxed);
+  ++session->frames;
+  if (options_.online_refresh || entry->journal() != nullptr) {
+    uint64_t absorbed = 0;
+    const Status refresh =
+        session->engine->AbsorbCoreAdjacent(points, labels, &absorbed);
+    if (refresh.ok()) {
+      stats_.cores_absorbed.fetch_add(absorbed, std::memory_order_relaxed);
+      entry->stats.cores_absorbed.fetch_add(absorbed,
+                                            std::memory_order_relaxed);
+    } else {
+      stats_.refresh_failures.fetch_add(1, std::memory_order_relaxed);
+      entry->stats.refresh_failures.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  const auto elapsed = std::chrono::duration<double, std::micro>(
+      std::chrono::steady_clock::now() - work.start);
+  entry->stats.assign_latency.Record(elapsed.count());
+  std::string out;
+  if (!session->head_sent) {
+    out += SerializeChunkedResponseHead(200, "application/octet-stream", {},
+                                        session->keep_alive);
+    session->head_sent = true;
+  }
+  out += EncodeChunk(EncodeAssignResponse(labels, PayloadEncoding::kBinary));
+  EnqueueResponse(work.conn, std::move(out), /*close_after=*/false);
+}
+
+// ---------------------------------------------------------------------------
+// Worker pool
 
 void Server::WorkerMain() {
   while (true) {
@@ -556,8 +1132,13 @@ void Server::WorkerMain() {
       work = std::move(queue_.front());
       queue_.pop_front();
     }
-    std::string response = ProcessRequest(work.request, work.deadline);
-    if (work.request.target == "/v1/assign") {
+    if (work.stream != nullptr) {
+      // One stream frame; the session's admission slots outlive it.
+      ProcessStreamFrame(work);
+      continue;
+    }
+    std::string response = ProcessRequest(work);
+    if (work.route.kind == Route::Kind::kAssign) {
       const auto elapsed = std::chrono::duration<double, std::micro>(
           std::chrono::steady_clock::now() - work.start);
       stats_.assign_latency.Record(elapsed.count());
@@ -570,56 +1151,131 @@ void Server::WorkerMain() {
   }
 }
 
-std::string Server::ProcessRequest(const HttpRequest& request,
-                                   const Deadline& deadline) {
-  if (request.target == "/v1/healthz") {
-    if (request.method != "GET") {
-      stats_.requests_bad.fetch_add(1, std::memory_order_relaxed);
-      return SerializeResponse(405, "text/plain", "method not allowed\n", {},
+std::string Server::ProcessRequest(const RequestWork& work) {
+  const HttpRequest& request = work.request;
+  const Deadline& deadline = work.deadline;
+  const Route& route = work.route;
+  switch (route.kind) {
+    case Route::Kind::kHealthz: {
+      if (request.method != "GET") {
+        stats_.requests_bad.fetch_add(1, std::memory_order_relaxed);
+        return MethodNotAllowed(request);
+      }
+      // Still 200 while durability is degraded: the server keeps answering
+      // queries correctly, it just cannot promise overlays survive a
+      // crash. Probes that care grep the body.
+      std::string body = "ok\n";
+      bool degraded = false;
+      for (const auto& entry : registry_->List()) {
+        if (entry->journal() != nullptr && entry->journal()->degraded()) {
+          degraded = true;
+          break;
+        }
+      }
+      if (degraded) {
+        body += "durability: degraded\n";
+      }
+      return SerializeResponse(200, "text/plain", std::move(body), {},
                                request.keep_alive);
     }
-    // Still 200 while durability is degraded: the server keeps answering
-    // queries correctly, it just cannot promise the overlay survives a
-    // crash. Probes that care grep the body.
-    std::string body = "ok\n";
-    if (options_.journal != nullptr && options_.journal->degraded()) {
-      body += "durability: degraded\n";
-    }
-    return SerializeResponse(200, "text/plain", std::move(body), {},
-                             request.keep_alive);
-  }
-  if (request.target == "/v1/statz") {
-    if (request.method != "GET") {
-      stats_.requests_bad.fetch_add(1, std::memory_order_relaxed);
-      return SerializeResponse(405, "text/plain", "method not allowed\n", {},
+    case Route::Kind::kStatz: {
+      if (request.method != "GET") {
+        stats_.requests_bad.fetch_add(1, std::memory_order_relaxed);
+        return MethodNotAllowed(request);
+      }
+      return SerializeResponse(200, "application/json", HandleStatz(), {},
                                request.keep_alive);
     }
-    return SerializeResponse(200, "application/json", HandleStatz(), {},
-                             request.keep_alive);
-  }
-  if (request.target == "/v1/assign") {
-    if (request.method != "POST") {
+    case Route::Kind::kModels: {
+      if (request.method != "GET") {
+        stats_.requests_bad.fetch_add(1, std::memory_order_relaxed);
+        return MethodNotAllowed(request);
+      }
+      return HandleModelList(request);
+    }
+    case Route::Kind::kModel: {
+      if (request.method == "PUT") {
+        return HandleModelCreate(request, route.model);
+      }
+      if (request.method == "GET") {
+        return HandleModelGet(request, route.model);
+      }
+      if (request.method == "DELETE") {
+        return HandleModelDelete(request, route.model);
+      }
       stats_.requests_bad.fetch_add(1, std::memory_order_relaxed);
-      return SerializeResponse(405, "text/plain", "method not allowed\n", {},
+      return MethodNotAllowed(request);
+    }
+    case Route::Kind::kAssign:
+    case Route::Kind::kRefresh: {
+      if (request.method != "POST") {
+        stats_.requests_bad.fetch_add(1, std::memory_order_relaxed);
+        return MethodNotAllowed(request);
+      }
+      const std::shared_ptr<registry::ModelEntry> entry =
+          registry_->Find(route.model);
+      if (entry == nullptr) {
+        stats_.requests_bad.fetch_add(1, std::memory_order_relaxed);
+        return SerializeResponse(
+            404, "application/json",
+            JsonError("no model named '" + route.model + "'"), {},
+            request.keep_alive);
+      }
+      // Per-model admission rides on top of the server-wide gate: one
+      // tenant saturating its own limit cannot starve the others.
+      const int model_current =
+          entry->inflight.fetch_add(1, std::memory_order_acq_rel);
+      if (options_.model_max_inflight > 0 &&
+          model_current >= options_.model_max_inflight) {
+        entry->inflight.fetch_sub(1, std::memory_order_acq_rel);
+        stats_.requests_shed.fetch_add(1, std::memory_order_relaxed);
+        entry->stats.requests_shed.fetch_add(1, std::memory_order_relaxed);
+        return SerializeResponse(
+            503, "application/json",
+            JsonError("shed: model '" + route.model + "' has " +
+                      std::to_string(options_.model_max_inflight) +
+                      " requests already in flight"),
+            {"Retry-After: 1"}, request.keep_alive);
+      }
+      std::string response =
+          route.kind == Route::Kind::kAssign
+              ? HandleAssign(entry, request, deadline)
+              : HandleRefresh(entry, request, deadline);
+      entry->inflight.fetch_sub(1, std::memory_order_acq_rel);
+      if (route.kind == Route::Kind::kAssign) {
+        const auto elapsed = std::chrono::duration<double, std::micro>(
+            std::chrono::steady_clock::now() - work.start);
+        entry->stats.assign_latency.Record(elapsed.count());
+      }
+      return response;
+    }
+    case Route::Kind::kReload:
+    case Route::Kind::kSnapshot: {
+      if (request.method != "POST") {
+        stats_.requests_bad.fetch_add(1, std::memory_order_relaxed);
+        return MethodNotAllowed(request);
+      }
+      const std::shared_ptr<registry::ModelEntry> entry =
+          registry_->Find(route.model);
+      if (entry == nullptr) {
+        stats_.requests_bad.fetch_add(1, std::memory_order_relaxed);
+        return SerializeResponse(
+            404, "application/json",
+            JsonError("no model named '" + route.model + "'"), {},
+            request.keep_alive);
+      }
+      return route.kind == Route::Kind::kReload
+                 ? HandleReload(entry, request, deadline)
+                 : HandleSnapshot(entry, request);
+    }
+    case Route::Kind::kBadName: {
+      stats_.requests_bad.fetch_add(1, std::memory_order_relaxed);
+      return SerializeResponse(400, "application/json",
+                               JsonError(route.error), {},
                                request.keep_alive);
     }
-    return HandleAssign(request, deadline);
-  }
-  if (request.target == "/v1/reload") {
-    if (request.method != "POST") {
-      stats_.requests_bad.fetch_add(1, std::memory_order_relaxed);
-      return SerializeResponse(405, "text/plain", "method not allowed\n", {},
-                               request.keep_alive);
-    }
-    return HandleReload(request, deadline);
-  }
-  if (request.target == "/v1/snapshot") {
-    if (request.method != "POST") {
-      stats_.requests_bad.fetch_add(1, std::memory_order_relaxed);
-      return SerializeResponse(405, "text/plain", "method not allowed\n", {},
-                               request.keep_alive);
-    }
-    return HandleSnapshot(request);
+    case Route::Kind::kUnknown:
+      break;
   }
   stats_.requests_bad.fetch_add(1, std::memory_order_relaxed);
   return SerializeResponse(404, "application/json",
@@ -627,8 +1283,12 @@ std::string Server::ProcessRequest(const HttpRequest& request,
                            request.keep_alive);
 }
 
-std::string Server::HandleAssign(const HttpRequest& request,
-                                 const Deadline& deadline) {
+// ---------------------------------------------------------------------------
+// Handlers
+
+std::string Server::HandleAssign(
+    const std::shared_ptr<registry::ModelEntry>& entry,
+    const HttpRequest& request, const Deadline& deadline) {
   PayloadEncoding encoding = PayloadEncoding::kJson;
   Status status =
       EncodingFromContentType(request.Header("Content-Type"), &encoding);
@@ -637,7 +1297,7 @@ std::string Server::HandleAssign(const HttpRequest& request,
     status = ParseAssignBody(request.body, encoding,
                              options_.max_points_per_request, &points);
   }
-  std::shared_ptr<AssignmentEngine> engine = handle_.Get();
+  std::shared_ptr<AssignmentEngine> engine = entry->engine();
   if (status.ok() && points.dim() != engine->dim()) {
     status = Status::InvalidArgument(
         "assign: request has dimension " + std::to_string(points.dim()) +
@@ -655,6 +1315,7 @@ std::string Server::HandleAssign(const HttpRequest& request,
       const uint64_t hits =
           stats_.num_deadline_hits.fetch_add(1, std::memory_order_relaxed) +
           1;
+      entry->stats.deadline_hits.fetch_add(1, std::memory_order_relaxed);
       return SerializeResponse(
           504, "application/json",
           "{\"error\":\"deadline exceeded\",\"num_deadline_hits\":" +
@@ -672,16 +1333,22 @@ std::string Server::HandleAssign(const HttpRequest& request,
   stats_.requests_assign.fetch_add(1, std::memory_order_relaxed);
   stats_.points_assigned.fetch_add(static_cast<uint64_t>(points.size()),
                                    std::memory_order_relaxed);
-  if (options_.online_refresh || options_.durability.enabled) {
+  entry->stats.requests_assign.fetch_add(1, std::memory_order_relaxed);
+  entry->stats.points_assigned.fetch_add(
+      static_cast<uint64_t>(points.size()), std::memory_order_relaxed);
+  if (options_.online_refresh || entry->journal() != nullptr) {
     uint64_t absorbed = 0;
     const Status refresh =
         engine->AbsorbCoreAdjacent(points, labels, &absorbed);
     if (refresh.ok()) {
       stats_.cores_absorbed.fetch_add(absorbed, std::memory_order_relaxed);
+      entry->stats.cores_absorbed.fetch_add(absorbed,
+                                            std::memory_order_relaxed);
     } else {
       // Refresh is best-effort: the labels are already correct for the
       // pinned snapshot, so a failed absorb pass degrades to no-op.
       stats_.refresh_failures.fetch_add(1, std::memory_order_relaxed);
+      entry->stats.refresh_failures.fetch_add(1, std::memory_order_relaxed);
     }
   }
   return SerializeResponse(200, ContentTypeName(encoding),
@@ -689,9 +1356,128 @@ std::string Server::HandleAssign(const HttpRequest& request,
                            request.keep_alive);
 }
 
+std::string Server::HandleRefresh(
+    const std::shared_ptr<registry::ModelEntry>& entry,
+    const HttpRequest& request, const Deadline& deadline) {
+  PayloadEncoding encoding = PayloadEncoding::kJson;
+  Status status =
+      EncodingFromContentType(request.Header("Content-Type"), &encoding);
+  Dataset points(1);
+  if (status.ok()) {
+    status = ParseAssignBody(request.body, encoding,
+                             options_.max_points_per_request, &points);
+  }
+  std::shared_ptr<AssignmentEngine> engine = entry->engine();
+  if (status.ok() && points.dim() != engine->dim()) {
+    status = Status::InvalidArgument(
+        "refresh: request has dimension " + std::to_string(points.dim()) +
+        ", model expects " + std::to_string(engine->dim()));
+  }
+  std::vector<int32_t> labels;
+  if (status.ok()) {
+    status = engine->AssignBatch(points, &labels, deadline);
+  }
+  uint64_t absorbed = 0;
+  if (status.ok()) {
+    // Unlike assign, refresh exists to feed the overlay: an absorb failure
+    // is the request's failure, not a background shrug.
+    status = engine->AbsorbCoreAdjacent(points, labels, &absorbed);
+  }
+  if (!status.ok()) {
+    const int code = HttpStatusFromStatus(status);
+    if (code >= 400 && code < 500) {
+      stats_.requests_bad.fetch_add(1, std::memory_order_relaxed);
+    }
+    entry->stats.refresh_failures.fetch_add(1, std::memory_order_relaxed);
+    stats_.refresh_failures.fetch_add(1, std::memory_order_relaxed);
+    return SerializeResponse(code, "application/json",
+                             JsonError(status.ToString()), {},
+                             request.keep_alive);
+  }
+  stats_.cores_absorbed.fetch_add(absorbed, std::memory_order_relaxed);
+  entry->stats.cores_absorbed.fetch_add(absorbed, std::memory_order_relaxed);
+  return SerializeResponse(
+      200, "application/json",
+      "{\"refreshed\":true,\"points\":" + std::to_string(points.size()) +
+          ",\"absorbed\":" + std::to_string(absorbed) + "}",
+      {}, request.keep_alive);
+}
+
+std::string Server::ModelJson(
+    const std::shared_ptr<registry::ModelEntry>& entry) {
+  const std::shared_ptr<AssignmentEngine> engine = entry->engine();
+  const registry::ModelStats& s = entry->stats;
+  char crc_hex[16];
+  std::snprintf(crc_hex, sizeof(crc_hex), "%08x", engine->model_crc());
+  std::string out = "{";
+  const auto field = [&out](const char* name, uint64_t value) {
+    out += "\"";
+    out += name;
+    out += "\":" + std::to_string(value) + ",";
+  };
+  // The name charset is [a-z0-9_-], so it is JSON-safe by construction.
+  out += "\"name\":\"" + entry->name() + "\",";
+  out += "\"model_version\":" + std::to_string(engine->model_version()) + ",";
+  out += "\"model_crc\":\"" + std::string(crc_hex) + "\",";
+  out += "\"dim\":" + std::to_string(engine->dim()) + ",";
+  field("requests_assign", s.requests_assign.load(std::memory_order_relaxed));
+  field("points_assigned", s.points_assigned.load(std::memory_order_relaxed));
+  field("requests_stream", s.requests_stream.load(std::memory_order_relaxed));
+  field("stream_frames", s.stream_frames.load(std::memory_order_relaxed));
+  field("requests_shed", s.requests_shed.load(std::memory_order_relaxed));
+  field("deadline_hits", s.deadline_hits.load(std::memory_order_relaxed));
+  field("cores_absorbed", s.cores_absorbed.load(std::memory_order_relaxed));
+  field("refresh_failures",
+        s.refresh_failures.load(std::memory_order_relaxed));
+  field("reloads_ok", s.reloads_ok.load(std::memory_order_relaxed));
+  field("reloads_failed", s.reloads_failed.load(std::memory_order_relaxed));
+  field("reload_attempts", s.reload_attempts.load(std::memory_order_relaxed));
+  field("checkpoints_ok", s.checkpoints_ok.load(std::memory_order_relaxed));
+  field("checkpoints_failed",
+        s.checkpoints_failed.load(std::memory_order_relaxed));
+  out += "\"inflight\":" +
+         std::to_string(entry->inflight.load(std::memory_order_relaxed)) +
+         ",";
+  out += "\"assign_latency_p50_us\":" +
+         std::to_string(s.assign_latency.PercentileMicros(50.0)) + ",";
+  out += "\"assign_latency_p99_us\":" +
+         std::to_string(s.assign_latency.PercentileMicros(99.0)) + ",";
+  out += std::string("\"durable\":") +
+         (entry->journal() != nullptr ? "true" : "false") + ",";
+  out += std::string("\"degraded\":") +
+         (entry->journal() != nullptr && entry->journal()->degraded()
+              ? "true"
+              : "false");
+  out += "}";
+  return out;
+}
+
+std::string Server::ModelsJson() {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& entry : registry_->List()) {
+    if (!first) {
+      out += ",";
+    }
+    first = false;
+    out += "\"" + entry->name() + "\":" + ModelJson(entry);
+  }
+  out += "}";
+  return out;
+}
+
 std::string Server::HandleStatz() {
-  std::shared_ptr<AssignmentEngine> engine = handle_.Get();
-  const AssignmentEngine::ServeStats engine_stats = engine->stats();
+  // Legacy single-model identity fields come from the default model (the
+  // one the unnamed routes alias); a registry-only server without one
+  // reports zeros there and everything real under "models".
+  const std::shared_ptr<registry::ModelEntry> default_entry =
+      registry_->Find("default");
+  const std::shared_ptr<AssignmentEngine> engine =
+      default_entry == nullptr ? nullptr : default_entry->engine();
+  AssignmentEngine::ServeStats engine_stats;
+  if (engine != nullptr) {
+    engine_stats = engine->stats();
+  }
 
   // Per-site injected-fault hit counters (satellite observability of the
   // fault framework): always rendered, all zeros when nothing is armed.
@@ -710,8 +1496,10 @@ std::string Server::HandleStatz() {
   failpoints += "}";
 
   std::string durability;
-  if (options_.durability.enabled && options_.journal != nullptr) {
-    const OverlayJournalStats js = options_.journal->stats();
+  if (default_entry != nullptr && default_entry->journal() != nullptr) {
+    const std::shared_ptr<OverlayJournal>& journal = default_entry->journal();
+    const RecoveryReport& recovery = default_entry->recovery();
+    const OverlayJournalStats js = journal->stats();
     const auto field = [&durability](const char* name, uint64_t value) {
       durability += "\"";
       durability += name;
@@ -719,7 +1507,7 @@ std::string Server::HandleStatz() {
     };
     durability = "{";
     durability += "\"fsync\":\"";
-    durability += FsyncPolicyName(options_.journal->policy());
+    durability += FsyncPolicyName(journal->policy());
     durability += "\",";
     field("journal_records", js.records);
     field("journal_bytes", js.bytes);
@@ -728,74 +1516,45 @@ std::string Server::HandleStatz() {
     field("fsyncs", js.fsyncs);
     field("fsync_failures", js.fsync_failures);
     field("journal_resets", js.resets);
-    field("records_replayed", options_.recovery.records_replayed);
-    field("torn_bytes_truncated", options_.recovery.torn_bytes_truncated);
-    field("journals_discarded", options_.recovery.journals_discarded);
+    field("records_replayed", recovery.records_replayed);
+    field("torn_bytes_truncated", recovery.torn_bytes_truncated);
+    field("journals_discarded", recovery.journals_discarded);
     field("recovery_load_attempts",
-          static_cast<uint64_t>(options_.recovery.load_attempts));
+          static_cast<uint64_t>(recovery.load_attempts));
     durability += std::string("\"loaded_from_snapshot\":") +
-                  (options_.recovery.loaded_from_snapshot ? "true" : "false") +
-                  ",";
+                  (recovery.loaded_from_snapshot ? "true" : "false") + ",";
     durability += std::string("\"degraded\":") +
-                  (options_.journal->degraded() ? "true" : "false");
+                  (journal->degraded() ? "true" : "false");
     durability += "}";
   }
 
-  return stats_.ToJson(engine->model_version(), engine->model_crc(),
-                       engine->model().sv_budget,
-                       engine->model().sample_threshold,
-                       engine_stats.points_assigned,
-                       engine_stats.sphere_rejections,
-                       engine_stats.range_queries,
-                       inflight_.load(std::memory_order_relaxed),
-                       options_.max_inflight,
-                       simd::BackendName(simd::ActiveBackend()),
-                       engine->shard_count(),
-                       cache::CacheManager::Global().StatsJson(), durability,
-                       failpoints);
+  return stats_.ToJson(
+      engine != nullptr ? engine->model_version() : 0,
+      engine != nullptr ? engine->model_crc() : 0,
+      engine != nullptr ? engine->model().sv_budget : 0,
+      engine != nullptr ? engine->model().sample_threshold : 0,
+      engine_stats.points_assigned, engine_stats.sphere_rejections,
+      engine_stats.range_queries,
+      inflight_.load(std::memory_order_relaxed), options_.max_inflight,
+      simd::BackendName(simd::ActiveBackend()),
+      engine != nullptr ? engine->shard_count() : 0,
+      cache::CacheManager::Global().StatsJson(), durability, failpoints,
+      ModelsJson());
 }
 
-std::string Server::HandleReload(const HttpRequest& request,
-                                 const Deadline& deadline) {
-  // Body: either a plain-text path or {"path": "..."} (no escapes).
+std::string Server::HandleReload(
+    const std::shared_ptr<registry::ModelEntry>& entry,
+    const HttpRequest& request, const Deadline& deadline) {
   std::string path;
-  std::string_view body = request.body;
-  while (!body.empty() && (body.front() == ' ' || body.front() == '\n' ||
-                           body.front() == '\r' || body.front() == '\t')) {
-    body.remove_prefix(1);
-  }
-  while (!body.empty() && (body.back() == ' ' || body.back() == '\n' ||
-                           body.back() == '\r' || body.back() == '\t')) {
-    body.remove_suffix(1);
-  }
-  if (!body.empty() && body.front() == '{') {
-    const size_t key = body.find("\"path\"");
-    const size_t colon =
-        key == std::string_view::npos ? key : body.find(':', key);
-    const size_t open =
-        colon == std::string_view::npos ? colon : body.find('"', colon);
-    const size_t close =
-        open == std::string_view::npos ? open : body.find('"', open + 1);
-    if (close == std::string_view::npos) {
-      stats_.requests_bad.fetch_add(1, std::memory_order_relaxed);
-      return SerializeResponse(
-          400, "application/json",
-          JsonError("reload body must be a path or {\"path\": \"...\"}"), {},
-          request.keep_alive);
-    }
-    path = std::string(body.substr(open + 1, close - open - 1));
-  } else {
-    path = std::string(body);
-  }
-  if (path.empty()) {
+  if (const Status parsed = ExtractPathBody(request.body, &path);
+      !parsed.ok()) {
     stats_.requests_bad.fetch_add(1, std::memory_order_relaxed);
     return SerializeResponse(400, "application/json",
-                             JsonError("reload: empty model path"), {},
+                             JsonError("reload: " + parsed.message()), {},
                              request.keep_alive);
   }
-
   RetryReport report;
-  const Status status = Reload(path, deadline, &report);
+  const Status status = ReloadEntry(entry, path, deadline, &report);
   if (!status.ok()) {
     const int code = HttpStatusFromStatus(status);
     if (code >= 400 && code < 500) {
@@ -807,22 +1566,25 @@ std::string Server::HandleReload(const HttpRequest& request,
             std::to_string(report.attempts) + "}",
         {}, request.keep_alive);
   }
-  std::shared_ptr<AssignmentEngine> engine = handle_.Get();
+  std::shared_ptr<AssignmentEngine> engine = entry->engine();
   char crc_hex[16];
   std::snprintf(crc_hex, sizeof(crc_hex), "%08x", engine->model_crc());
   return SerializeResponse(
       200, "application/json",
-      "{\"reloaded\":true,\"model_version\":" +
+      "{\"reloaded\":true,\"model\":\"" + entry->name() +
+          "\",\"model_version\":" +
           std::to_string(engine->model_version()) + ",\"model_crc\":\"" +
           crc_hex + "\",\"attempts\":" + std::to_string(report.attempts) +
           "}",
       {}, request.keep_alive);
 }
 
-std::string Server::HandleSnapshot(const HttpRequest& request) {
+std::string Server::HandleSnapshot(
+    const std::shared_ptr<registry::ModelEntry>& entry,
+    const HttpRequest& request) {
   uint32_t crc = 0;
   uint64_t folded = 0;
-  const Status status = Snapshot(&crc, &folded);
+  const Status status = SnapshotEntry(entry, &crc, &folded);
   if (!status.ok()) {
     const int code = HttpStatusFromStatus(status);
     if (code >= 400 && code < 500) {
@@ -836,35 +1598,158 @@ std::string Server::HandleSnapshot(const HttpRequest& request) {
   std::snprintf(crc_hex, sizeof(crc_hex), "%08x", crc);
   return SerializeResponse(
       200, "application/json",
-      "{\"snapshot\":true,\"path\":\"" + options_.durability.snapshot_path +
+      "{\"snapshot\":true,\"path\":\"" + entry->durability().snapshot_path +
           "\",\"model_crc\":\"" + crc_hex +
           "\",\"folded_records\":" + std::to_string(folded) + "}",
       {}, request.keep_alive);
 }
 
-Status Server::Snapshot(uint32_t* snapshot_crc, uint64_t* folded_records) {
-  if (!options_.durability.enabled) {
-    return Status::FailedPrecondition(
-        "snapshot: server is not durable (start with --durable)");
+std::string Server::HandleModelCreate(const HttpRequest& request,
+                                      const std::string& name) {
+  Status status;
+  std::shared_ptr<registry::ModelEntry> entry;
+  if (AsciiCaseEqual(request.Header("Content-Type"),
+                     "application/octet-stream")) {
+    // Create-from-upload: the body is the serialized model artifact.
+    status = registry_->CreateFromBytes(
+        name,
+        std::span<const uint8_t>(
+            reinterpret_cast<const uint8_t*>(request.body.data()),
+            request.body.size()),
+        &entry);
+  } else {
+    // Create-from-path: plain text or {"path": "..."} like reload.
+    std::string path;
+    status = ExtractPathBody(request.body, &path);
+    if (status.ok()) {
+      status = registry_->CreateFromFile(name, path, &entry);
+    }
   }
-  // reload_mutex_ keeps the checkpoint from racing a journal rebind in the
-  // durable reload path (the engine's own absorb_mutex_ handles everything
-  // else).
-  std::lock_guard<std::mutex> serialize(reload_mutex_);
-  const Status status = handle_.Get()->Checkpoint(
-      options_.durability.snapshot_path, snapshot_crc, folded_records);
+  if (!status.ok()) {
+    const int code = HttpStatusFromStatus(status);
+    if (code >= 400 && code < 500) {
+      stats_.requests_bad.fetch_add(1, std::memory_order_relaxed);
+    }
+    return SerializeResponse(code, "application/json",
+                             JsonError(status.ToString()), {},
+                             request.keep_alive);
+  }
+  stats_.models_created.fetch_add(1, std::memory_order_relaxed);
+  const std::shared_ptr<AssignmentEngine> engine = entry->engine();
+  char crc_hex[16];
+  std::snprintf(crc_hex, sizeof(crc_hex), "%08x", engine->model_crc());
+  return SerializeResponse(
+      201, "application/json",
+      "{\"created\":true,\"model\":\"" + name + "\",\"model_version\":" +
+          std::to_string(engine->model_version()) + ",\"model_crc\":\"" +
+          crc_hex + "\",\"dim\":" + std::to_string(engine->dim()) + "}",
+      {}, request.keep_alive);
+}
+
+std::string Server::HandleModelGet(const HttpRequest& request,
+                                   const std::string& name) {
+  const std::shared_ptr<registry::ModelEntry> entry = registry_->Find(name);
+  if (entry == nullptr) {
+    stats_.requests_bad.fetch_add(1, std::memory_order_relaxed);
+    return SerializeResponse(404, "application/json",
+                             JsonError("no model named '" + name + "'"), {},
+                             request.keep_alive);
+  }
+  return SerializeResponse(200, "application/json", ModelJson(entry), {},
+                           request.keep_alive);
+}
+
+std::string Server::HandleModelDelete(const HttpRequest& request,
+                                      const std::string& name) {
+  const Status status = registry_->Remove(name);
+  if (!status.ok()) {
+    const int code = HttpStatusFromStatus(status);
+    if (code >= 400 && code < 500) {
+      stats_.requests_bad.fetch_add(1, std::memory_order_relaxed);
+    }
+    return SerializeResponse(code, "application/json",
+                             JsonError(status.ToString()), {},
+                             request.keep_alive);
+  }
+  stats_.models_deleted.fetch_add(1, std::memory_order_relaxed);
+  return SerializeResponse(200, "application/json",
+                           "{\"deleted\":true,\"model\":\"" + name + "\"}",
+                           {}, request.keep_alive);
+}
+
+std::string Server::HandleModelList(const HttpRequest& request) {
+  std::string body = "{\"models\":[";
+  bool first = true;
+  size_t count = 0;
+  for (const auto& entry : registry_->List()) {
+    if (!first) {
+      body += ",";
+    }
+    first = false;
+    body += ModelJson(entry);
+    ++count;
+  }
+  body += "],\"count\":" + std::to_string(count) + "}";
+  return SerializeResponse(200, "application/json", std::move(body), {},
+                           request.keep_alive);
+}
+
+// ---------------------------------------------------------------------------
+// Reload / snapshot / durability
+
+Status Server::ReloadEntry(const std::shared_ptr<registry::ModelEntry>& entry,
+                           const std::string& path, const Deadline& deadline,
+                           RetryReport* report) {
+  RetryReport local;
+  RetryReport& out = report != nullptr ? *report : local;
+  const Status status = entry->Reload(path, deadline, &out);
+  stats_.reload_attempts.fetch_add(static_cast<uint64_t>(out.attempts),
+                                   std::memory_order_relaxed);
+  if (status.ok()) {
+    stats_.reloads_ok.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    stats_.reloads_failed.fetch_add(1, std::memory_order_relaxed);
+  }
+  return status;
+}
+
+Status Server::SnapshotEntry(
+    const std::shared_ptr<registry::ModelEntry>& entry,
+    uint32_t* snapshot_crc, uint64_t* folded_records) {
+  const Status status = entry->Snapshot(snapshot_crc, folded_records);
   if (status.ok()) {
     stats_.checkpoints_ok.fetch_add(1, std::memory_order_relaxed);
-  } else {
+  } else if (status.code() != Status::Code::kFailedPrecondition) {
+    // Asking a non-durable model for a snapshot is a client error, not a
+    // failed checkpoint attempt.
     stats_.checkpoints_failed.fetch_add(1, std::memory_order_relaxed);
   }
   return status;
 }
 
+Status Server::Reload(const std::string& path, const Deadline& deadline,
+                      RetryReport* report) {
+  const std::shared_ptr<registry::ModelEntry> entry =
+      registry_->Find("default");
+  if (entry == nullptr) {
+    return Status::NotFound("reload: no default model registered");
+  }
+  return ReloadEntry(entry, path, deadline, report);
+}
+
+Status Server::Snapshot(uint32_t* snapshot_crc, uint64_t* folded_records) {
+  const std::shared_ptr<registry::ModelEntry> entry =
+      registry_->Find("default");
+  if (entry == nullptr) {
+    return Status::FailedPrecondition(
+        "snapshot: no default model registered");
+  }
+  return SnapshotEntry(entry, snapshot_crc, folded_records);
+}
+
 void Server::DurabilityMain() {
   using Clock = std::chrono::steady_clock;
   const bool interval_fsync =
-      options_.journal != nullptr &&
       options_.durability.fsync == FsyncPolicy::kInterval &&
       options_.durability.fsync_interval_ms > 0;
   const bool auto_checkpoint = options_.durability.checkpoint_interval_ms > 0;
@@ -891,64 +1776,28 @@ void Server::DurabilityMain() {
       break;
     }
     lock.unlock();
+    // One timer sweeps every registered model's journal: models created
+    // after startup are picked up on the next tick automatically.
     if (interval_fsync && Clock::now() >= next_fsync) {
-      // Failures are counted by the journal and surface as degraded
-      // durability; the timer keeps ticking (the disk may come back).
-      (void)options_.journal->Sync();
+      for (const auto& entry : registry_->List()) {
+        if (entry->journal() != nullptr) {
+          // Failures are counted by the journal and surface as degraded
+          // durability; the timer keeps ticking (the disk may come back).
+          (void)entry->journal()->Sync();
+        }
+      }
       next_fsync = Clock::now() + fsync_period;
     }
     if (auto_checkpoint && Clock::now() >= next_checkpoint) {
-      (void)Snapshot();
+      for (const auto& entry : registry_->List()) {
+        if (entry->journal() != nullptr) {
+          (void)SnapshotEntry(entry, nullptr, nullptr);
+        }
+      }
       next_checkpoint = Clock::now() + checkpoint_period;
     }
     lock.lock();
   }
-}
-
-Status Server::Reload(const std::string& path, const Deadline& deadline,
-                      RetryReport* report) {
-  std::lock_guard<std::mutex> serialize_reloads(reload_mutex_);
-  RetryReport local;
-  RetryReport& out = report != nullptr ? *report : local;
-  const RetryPolicy policy(options_.reload_retry);
-  const Status status = policy.Run(
-      "reload " + path, deadline,
-      [&]() -> Status {
-        DBSVEC_RETURN_IF_ERROR(FailpointCheck("server.reload"));
-        if (options_.journal == nullptr) {
-          return handle_.LoadAndSwap(path, options_.engine_options, deadline);
-        }
-        // Durable swap: build the replacement fully off to the side, then
-        // move the journal over to the new model identity before it starts
-        // serving. A reloaded model starts with an empty overlay, so the
-        // journal restarts empty too, bound to the new payload CRC.
-        AssignmentOptions build_options = options_.engine_options;
-        build_options.online_refresh = true;
-        build_options.build_deadline = deadline;
-        std::unique_ptr<AssignmentEngine> next;
-        DBSVEC_RETURN_IF_ERROR(
-            AssignmentEngine::Load(path, build_options, &next));
-        std::shared_ptr<AssignmentEngine> old = handle_.Get();
-        old->AttachJournal(nullptr);
-        if (Status reset = options_.journal->Reset(next->model_crc());
-            !reset.ok()) {
-          // The old engine keeps serving — keep journaling it.
-          old->AttachJournal(options_.journal);
-          return reset;
-        }
-        next->AttachJournal(options_.journal);
-        handle_.Swap(std::move(next));
-        return Status::Ok();
-      },
-      &out);
-  stats_.reload_attempts.fetch_add(static_cast<uint64_t>(out.attempts),
-                                   std::memory_order_relaxed);
-  if (status.ok()) {
-    stats_.reloads_ok.fetch_add(1, std::memory_order_relaxed);
-  } else {
-    stats_.reloads_failed.fetch_add(1, std::memory_order_relaxed);
-  }
-  return status;
 }
 
 void Server::Shutdown(const Deadline& drain) {
@@ -987,10 +1836,12 @@ void Server::Shutdown(const Deadline& drain) {
   }
   workers_.clear();
   loops_.clear();
-  // Make everything absorbed up to the graceful stop durable, whatever the
-  // fsync policy (failures already marked the journal degraded).
-  if (options_.journal != nullptr) {
-    (void)options_.journal->Sync();
+  // Make everything absorbed up to the graceful stop durable, whatever
+  // the fsync policy (failures already marked journals degraded).
+  for (const auto& entry : registry_->List()) {
+    if (entry->journal() != nullptr) {
+      (void)entry->journal()->Sync();
+    }
   }
 }
 

@@ -16,6 +16,7 @@
 #include "common/deadline.h"
 #include "common/status.h"
 #include "model/overlay_journal.h"
+#include "registry/model_registry.h"
 #include "serve/engine_swap.h"
 #include "server/durability.h"
 #include "server/http.h"
@@ -39,58 +40,87 @@ struct ServerOptions {
   /// fans out on the global thread pool).
   int num_workers = 2;
   /// Admission control: requests dispatched but not yet answered. At the
-  /// bound, /v1/assign and /v1/reload are shed with 503 + Retry-After
+  /// bound, assign/reload/refresh/create are shed with 503 + Retry-After
   /// (healthz/statz always pass — observability must survive overload).
   int max_inflight = 64;
   /// Default per-request time budget when the client sends no
   /// X-Deadline-Ms header; 0 = unlimited.
   int64_t default_deadline_ms = 0;
   /// Request-body cap; a larger declared Content-Length is answered 413.
+  /// Streaming assign (Content-Type: application/x-dbsvec-stream) is
+  /// exempt from this cap body-wide — each frame is capped instead, so an
+  /// arbitrarily large stream is processed in bounded memory.
   size_t max_body_bytes = 64u << 20;
   /// Cap on points per assign request (defense against a tiny body
   /// declaring a huge binary count is structural; this bounds JSON too).
   uint32_t max_points_per_request = 1u << 20;
-  /// Engine construction options used for /v1/reload swaps (index type,
-  /// online_refresh, ...). The initial engine is built by the caller.
+  /// Engine construction options used for reload swaps and registry model
+  /// creation (index type, online_refresh, ...). The initial engine is
+  /// built by the caller.
   AssignmentOptions engine_options;
-  /// Retry/backoff policy for model load + index build inside /v1/reload.
+  /// Retry/backoff policy for model load + index build inside reloads.
   RetryOptions reload_retry;
   /// Absorb core-adjacent assigned points into the engine's dynamic
-  /// overlay after each successful /v1/assign (requires
+  /// overlay after each successful assign (requires
   /// engine_options.online_refresh on the engine actually serving).
   bool online_refresh = false;
   /// Durability of the online overlay (docs/ROBUSTNESS.md). When enabled,
   /// `journal` must be the journal RecoverEngine attached to the initial
   /// engine (and `recovery` its report): the server then runs the
-  /// background fsync/checkpoint timer, answers POST /v1/snapshot, keeps
-  /// the journal bound across /v1/reload, and reports degraded durability
-  /// in /v1/healthz.
+  /// background fsync/checkpoint timer, answers snapshot requests, keeps
+  /// journals bound across reloads, and reports degraded durability in
+  /// /v1/healthz. With a data_dir, every registry model gets its own
+  /// journal/snapshot pair under the same policy.
   DurabilityOptions durability;
   std::shared_ptr<OverlayJournal> journal;
   RecoveryReport recovery;
+  /// Multi-tenant model registry (docs/SERVING.md, "Model registry"):
+  /// root of the per-model durable layout. Non-empty => every named model
+  /// persists under <data_dir>/<name>/ and is recovered at startup; the
+  /// initial engine may then be null (a pure-registry server that starts
+  /// empty or from recovered models only).
+  std::string data_dir;
+  /// Hard cap on registered models.
+  int max_models = 64;
+  /// Per-model in-flight admission limit on assign/refresh requests;
+  /// 0 = only the server-wide gate applies.
+  int model_max_inflight = 0;
 };
 
 /// Dependency-free epoll TCP server speaking the minimal HTTP/1.1 subset
-/// of docs/SERVING.md over an AssignmentEngine:
+/// of docs/SERVING.md over a registry of AssignmentEngines:
 ///
-///   POST /v1/assign   batched point -> label assignment (JSON or binary)
-///   GET  /v1/healthz  liveness (+ degraded-durability flag)
-///   GET  /v1/statz    counters, latency percentiles, model identity
-///   POST /v1/reload   atomic model swap with retry/backoff + rollback
-///   POST /v1/snapshot atomic checkpoint of the overlay (durable mode)
+///   PUT    /v1/models/<name>          create (upload bytes or {"path": ...})
+///   GET    /v1/models/<name>          per-model identity + counters
+///   DELETE /v1/models/<name>          unregister + delete on-disk state
+///   GET    /v1/models                 list every model
+///   POST   /v1/models/<name>/assign   batched point -> label assignment
+///   POST   /v1/models/<name>/reload   atomic model swap (retry + rollback)
+///   POST   /v1/models/<name>/snapshot atomic overlay checkpoint (durable)
+///   POST   /v1/models/<name>/refresh  feed points into the online overlay
+///   GET    /v1/healthz                liveness (+ degraded-durability flag)
+///   GET    /v1/statz                  counters, percentiles, per-model stats
+///
+/// The unnamed legacy routes (/v1/assign, /v1/reload, /v1/snapshot,
+/// /v1/refresh) alias the model named "default". Assign routes also accept
+/// Content-Type: application/x-dbsvec-stream — a framed body processed
+/// incrementally with bounded memory, answered as one chunked response
+/// (docs/SERVING.md, "Streaming assign").
 ///
 /// Requests, not datasets, are the unit of work here: connections are
 /// multiplexed on epoll event loops, parsed requests flow through a
 /// bounded in-flight gate into a worker pool, and responses stream back
 /// through the owning loop (partial writes re-armed via EPOLLOUT). Model
-/// swaps are RCU-style through EngineHandle: every request pins the
-/// engine snapshot it started with, so labels for a fixed snapshot stay
-/// bit-identical at any thread count and a reload never tears an
-/// in-flight response.
+/// swaps are RCU-style through each entry's EngineHandle: every request
+/// pins the engine snapshot it started with, so labels for a fixed
+/// snapshot stay bit-identical at any thread count, and neither a reload
+/// nor a model delete ever tears an in-flight response.
 class Server {
  public:
   /// Binds, listens, and starts the loops + workers. On success the
   /// server is live and `*out` owns it; on failure nothing is running.
+  /// `engine` (registered as the model "default") may be null when
+  /// options.data_dir is set — the registry then starts from recovery.
   static Status Start(std::shared_ptr<AssignmentEngine> engine,
                       const ServerOptions& options,
                       std::unique_ptr<Server>* out);
@@ -105,19 +135,27 @@ class Server {
   /// The bound port (resolves an ephemeral bind).
   int port() const { return port_; }
   const ServerStats& stats() const { return stats_; }
-  /// Snapshot of the currently serving engine.
-  std::shared_ptr<AssignmentEngine> engine() const { return handle_.Get(); }
+  /// Snapshot of the engine serving the "default" model (null when no
+  /// default model is registered).
+  std::shared_ptr<AssignmentEngine> engine() const;
+  /// The model registry backing every named route.
+  registry::ModelRegistry& registry() { return *registry_; }
+  /// What startup recovery found under data_dir (empty report otherwise).
+  const registry::RegistryRecoveryReport& registry_recovery() const {
+    return registry_recovery_;
+  }
 
-  /// The /v1/reload implementation, exposed for tests and operators:
-  /// retry/backoff over load + index build, atomic swap, rollback on
-  /// failure. `report` (optional) receives the retry trace.
+  /// The legacy /v1/reload implementation (the "default" model), exposed
+  /// for tests and operators: retry/backoff over load + index build,
+  /// atomic swap, rollback on failure. `report` (optional) receives the
+  /// retry trace.
   Status Reload(const std::string& path, const Deadline& deadline,
                 RetryReport* report = nullptr);
 
-  /// The /v1/snapshot implementation: folds the live overlay into an
-  /// atomic model-v3 snapshot and truncates the journal. Requires durable
-  /// mode. `*snapshot_crc` / `*folded_records` (optional) receive the
-  /// written snapshot's identity and overlay size.
+  /// The legacy /v1/snapshot implementation (the "default" model): folds
+  /// the live overlay into an atomic model-v3 snapshot and truncates the
+  /// journal. Requires durable mode. `*snapshot_crc` / `*folded_records`
+  /// (optional) receive the written snapshot's identity and overlay size.
   Status Snapshot(uint32_t* snapshot_crc = nullptr,
                   uint64_t* folded_records = nullptr);
 
@@ -125,9 +163,9 @@ class Server {
   struct Connection;
   struct IoLoop;
   struct RequestWork;
+  struct StreamSession;
 
-  Server(std::shared_ptr<AssignmentEngine> engine,
-         const ServerOptions& options);
+  explicit Server(const ServerOptions& options);
 
   Status Listen();
   Status SpawnThreads();
@@ -146,17 +184,67 @@ class Server {
   void RespondInline(IoLoop* loop, const std::shared_ptr<Connection>& conn,
                      std::string response, bool close_after);
 
-  // -- Worker-side request handling --------------------------------------
-  std::string ProcessRequest(const HttpRequest& request,
-                             const Deadline& deadline);
-  std::string HandleAssign(const HttpRequest& request,
-                           const Deadline& deadline);
-  std::string HandleStatz();
-  std::string HandleReload(const HttpRequest& request,
-                           const Deadline& deadline);
-  std::string HandleSnapshot(const HttpRequest& request);
+  // -- Streaming assign (io-thread pump + worker frame processing) -------
+  /// Admits a parsed streaming head and installs the StreamSession.
+  void BeginStream(IoLoop* loop, const std::shared_ptr<Connection>& conn,
+                   HttpRequest request, const Deadline& deadline);
+  /// Advances the stream state machine: cuts frames out of the parser's
+  /// buffered body bytes, dispatches complete frames to workers (reads
+  /// pause while one is in flight — the backpressure that bounds memory),
+  /// finishes on the zero-length terminator frame.
+  void PumpStream(IoLoop* loop, const std::shared_ptr<Connection>& conn);
+  void FinishStream(IoLoop* loop, const std::shared_ptr<Connection>& conn,
+                    const std::shared_ptr<StreamSession>& session);
+  void EndStreamWithError(IoLoop* loop,
+                          const std::shared_ptr<Connection>& conn,
+                          const std::shared_ptr<StreamSession>& session,
+                          const Status& status);
+  /// Worker side: one frame -> one response chunk.
+  void ProcessStreamFrame(RequestWork& work);
+  /// Toggles EPOLLIN on the connection (level-triggered epoll would spin
+  /// on unread stream bytes otherwise).
+  void SetReadPaused(IoLoop* loop, const std::shared_ptr<Connection>& conn,
+                     bool paused);
 
-  /// Background fsync (interval policy) + periodic checkpoint timer.
+  // -- Worker-side request handling --------------------------------------
+  std::string ProcessRequest(const RequestWork& work);
+  std::string HandleAssign(const std::shared_ptr<registry::ModelEntry>& entry,
+                           const HttpRequest& request,
+                           const Deadline& deadline);
+  std::string HandleRefresh(const std::shared_ptr<registry::ModelEntry>& entry,
+                            const HttpRequest& request,
+                            const Deadline& deadline);
+  std::string HandleStatz();
+  std::string HandleReload(const std::shared_ptr<registry::ModelEntry>& entry,
+                           const HttpRequest& request,
+                           const Deadline& deadline);
+  std::string HandleSnapshot(
+      const std::shared_ptr<registry::ModelEntry>& entry,
+      const HttpRequest& request);
+  std::string HandleModelCreate(const HttpRequest& request,
+                                const std::string& name);
+  std::string HandleModelGet(const HttpRequest& request,
+                             const std::string& name);
+  std::string HandleModelDelete(const HttpRequest& request,
+                                const std::string& name);
+  std::string HandleModelList(const HttpRequest& request);
+
+  /// Reload/snapshot against a specific entry, mirroring the outcome into
+  /// the server-wide counters.
+  Status ReloadEntry(const std::shared_ptr<registry::ModelEntry>& entry,
+                     const std::string& path, const Deadline& deadline,
+                     RetryReport* report);
+  Status SnapshotEntry(const std::shared_ptr<registry::ModelEntry>& entry,
+                       uint32_t* snapshot_crc, uint64_t* folded_records);
+
+  /// JSON object for one model (GET /v1/models/<name> and the statz
+  /// `models` breakdown).
+  std::string ModelJson(const std::shared_ptr<registry::ModelEntry>& entry);
+  /// `{"<name>": {...}, ...}` across the registry.
+  std::string ModelsJson();
+
+  /// Background fsync (interval policy) + periodic checkpoint timer,
+  /// sweeping every registered model's journal.
   void DurabilityMain();
   /// Appends the response to the connection's out buffer and wakes its
   /// loop. Called from workers (and from RespondInline via the same path).
@@ -166,7 +254,8 @@ class Server {
   void WakeLoop(IoLoop* loop);
 
   const ServerOptions options_;
-  EngineHandle handle_;
+  std::unique_ptr<registry::ModelRegistry> registry_;
+  registry::RegistryRecoveryReport registry_recovery_;
   ServerStats stats_;
 
   int listen_fd_ = -1;
@@ -184,10 +273,6 @@ class Server {
   std::atomic<int> pending_responses_{0};  // Answered, not yet flushed.
   std::atomic<bool> accepting_{false};
   std::atomic<bool> stopping_{false};
-  // Serializes concurrent /v1/reload requests: swaps stay ordered and a
-  // retry storm cannot pile up N simultaneous index builds. Snapshot takes
-  // it too, so a checkpoint never interleaves with a journal rebind.
-  std::mutex reload_mutex_;
   // Durability timer thread (started only when it has work to do).
   std::thread durability_thread_;
   std::mutex durability_mutex_;

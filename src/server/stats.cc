@@ -45,7 +45,8 @@ std::string ServerStats::ToJson(uint32_t model_version, uint32_t model_crc,
                                 int shard_count,
                                 const std::string& cache_manager_json,
                                 const std::string& durability_json,
-                                const std::string& failpoints_json) const {
+                                const std::string& failpoints_json,
+                                const std::string& models_json) const {
   char crc_hex[16];
   std::snprintf(crc_hex, sizeof(crc_hex), "%08x", model_crc);
   std::string out = "{";
@@ -68,6 +69,10 @@ std::string ServerStats::ToJson(uint32_t model_version, uint32_t model_crc,
         connections_rejected.load(std::memory_order_relaxed));
   field("requests_total", requests_total.load(std::memory_order_relaxed));
   field("requests_assign", requests_assign.load(std::memory_order_relaxed));
+  field("requests_stream", requests_stream.load(std::memory_order_relaxed));
+  field("stream_frames", stream_frames.load(std::memory_order_relaxed));
+  field("models_created", models_created.load(std::memory_order_relaxed));
+  field("models_deleted", models_deleted.load(std::memory_order_relaxed));
   field("requests_bad", requests_bad.load(std::memory_order_relaxed));
   field("requests_shed", requests_shed.load(std::memory_order_relaxed));
   field("num_deadline_hits",
@@ -100,6 +105,9 @@ std::string ServerStats::ToJson(uint32_t model_version, uint32_t model_crc,
   }
   if (!failpoints_json.empty()) {
     out += ",\"failpoints\":" + failpoints_json;
+  }
+  if (!models_json.empty()) {
+    out += ",\"models\":" + models_json;
   }
   out += "}";
   return out;

@@ -35,6 +35,10 @@ struct ServerStats {
   std::atomic<uint64_t> connections_rejected{0};  ///< accept failpoint/limit.
   std::atomic<uint64_t> requests_total{0};
   std::atomic<uint64_t> requests_assign{0};
+  std::atomic<uint64_t> requests_stream{0};  ///< Streaming-assign requests.
+  std::atomic<uint64_t> stream_frames{0};    ///< Frames across all streams.
+  std::atomic<uint64_t> models_created{0};   ///< Registry create successes.
+  std::atomic<uint64_t> models_deleted{0};   ///< Registry delete successes.
   std::atomic<uint64_t> requests_bad{0};       ///< 4xx responses.
   std::atomic<uint64_t> requests_shed{0};      ///< 503 admission rejections.
   std::atomic<uint64_t> num_deadline_hits{0};  ///< 504 responses.
@@ -57,7 +61,8 @@ struct ServerStats {
   /// typically CacheManager::StatsJson) is spliced in as the
   /// `cache_manager` field when non-empty; `durability_json` (journal +
   /// recovery state of a durable server) and `failpoints_json` (per-site
-  /// injected-fault hit counters) likewise as `durability` / `failpoints`.
+  /// injected-fault hit counters) likewise as `durability` / `failpoints`;
+  /// `models_json` (the per-model registry breakdown) as `models`.
   std::string ToJson(uint32_t model_version, uint32_t model_crc,
                      int model_sv_budget, int model_sample_threshold,
                      uint64_t engine_points_assigned,
@@ -67,7 +72,8 @@ struct ServerStats {
                      int shard_count,
                      const std::string& cache_manager_json = "",
                      const std::string& durability_json = "",
-                     const std::string& failpoints_json = "") const;
+                     const std::string& failpoints_json = "",
+                     const std::string& models_json = "") const;
 };
 
 }  // namespace dbsvec::server

@@ -108,6 +108,7 @@ TEST_F(FaultTest, SitesCoverEveryInstrumentedLayer) {
       "model.save",    "model.load",    "assign.batch",
       "server.accept", "server.reload", "serve.refresh",
       "journal.append", "journal.fsync",
+      "registry.create", "registry.recover",
   };
   EXPECT_EQ(sites.size(), expected.size());
   for (const std::string_view site : expected) {
@@ -716,10 +717,13 @@ TEST_F(FaultTest, ErrorSweepEverySiteFailsCleanlyOrDegrades) {
   // journal.append / journal.fsync sit on the durable serving path, which
   // the offline fit+assign pipeline never takes; tests/durability_test.cc
   // sweeps them through journaled absorbs.
+  // registry.create / registry.recover sit on the multi-tenant model
+  // registry path; tests/registry_test.cc sweeps them through a live
+  // registry server.
   const std::vector<std::string> out_of_pipeline_sites = {
       "server.accept", "server.reload", "serve.refresh", "exec.shard_merge",
       "cache.reserve", "svdd.budget_merge", "journal.append",
-      "journal.fsync"};
+      "journal.fsync", "registry.create", "registry.recover"};
 
   for (const std::string_view site : FailpointRegistry::Sites()) {
     if (std::find(out_of_pipeline_sites.begin(), out_of_pipeline_sites.end(),

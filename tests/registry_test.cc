@@ -1,0 +1,707 @@
+// The multi-tenant model registry end to end: name validation (the
+// path-traversal guard), REST lifecycle (create 201 / conflict 409 /
+// unknown 404 / bad-name 400), create-from-upload vs create-from-path,
+// delete-while-assigning drain semantics, bit-identity of N registry
+// tenants against N independent single-model servers, per-model journal
+// recovery across a restart, the streaming assign protocol past the body
+// cap, registry failpoints, and a concurrent create/delete/reload/assign
+// churn (the TSan leg of tools/ci.sh).
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/dbsvec.h"
+#include "data/synthetic.h"
+#include "fault/failpoint.h"
+#include "gtest/gtest.h"
+#include "model/dbsvec_model.h"
+#include "registry/model_name.h"
+#include "registry/model_registry.h"
+#include "serve/assignment_engine.h"
+#include "server/http_client.h"
+#include "server/payload.h"
+#include "server/server.h"
+
+namespace dbsvec {
+namespace {
+
+using server::HttpClient;
+using server::HttpResponse;
+using server::Server;
+using server::ServerOptions;
+
+// ---------------------------------------------------------------------------
+// Name grammar
+
+TEST(ModelNameTest, AcceptsTheDocumentedGrammar) {
+  EXPECT_TRUE(registry::ValidateModelName("default").ok());
+  EXPECT_TRUE(registry::ValidateModelName("tenant-7_x").ok());
+  EXPECT_TRUE(registry::ValidateModelName("a").ok());
+  EXPECT_TRUE(
+      registry::ValidateModelName(std::string(64, 'a')).ok());
+}
+
+TEST(ModelNameTest, RejectsEverythingAFilesystemCouldReinterpret) {
+  EXPECT_FALSE(registry::ValidateModelName("").ok());
+  EXPECT_FALSE(registry::ValidateModelName(std::string(65, 'a')).ok());
+  for (const char* name : {"..", "a/b", "a\\b", "A", "a.b", "a b", "a\nb"}) {
+    const Status status = registry::ValidateModelName(name);
+    EXPECT_EQ(status.code(), Status::Code::kInvalidArgument) << name;
+  }
+  // The message names the offending character and position — the payload
+  // the server returns verbatim in its 400 body.
+  const Status status = registry::ValidateModelName("ok.bad");
+  EXPECT_NE(status.message().find("character '.' at position 2"),
+            std::string::npos)
+      << status.message();
+}
+
+// ---------------------------------------------------------------------------
+// Fixture: trained models + a registry server over loopback
+
+class RegistryServerTest : public ::testing::Test {
+ protected:
+  static constexpr int kDim = 3;
+  static constexpr int kNumModels = 3;
+
+  void SetUp() override {
+    FailpointRegistry::Instance().DisarmAll();
+    temp_dir_ =
+        std::filesystem::temp_directory_path() /
+        ("dbsvec_registry_test_" + std::to_string(::getpid()) + "_" +
+         ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(temp_dir_);
+    data_dir_ = (temp_dir_ / "data").string();
+    queries_ = MakeBlobs(/*n=*/200, /*seed=*/29);
+    const uint64_t seeds[kNumModels] = {29, 31, 37};
+    for (int m = 0; m < kNumModels; ++m) {
+      model_paths_[m] =
+          (temp_dir_ / ("m" + std::to_string(m) + ".dbsvm")).string();
+      FitAndSave(seeds[m], model_paths_[m]);
+    }
+  }
+
+  void TearDown() override {
+    server_.reset();
+    FailpointRegistry::Instance().DisarmAll();
+    std::error_code ec;
+    std::filesystem::remove_all(temp_dir_, ec);
+  }
+
+  static Dataset MakeBlobs(int n, uint64_t seed) {
+    GaussianBlobsParams params;
+    params.n = n;
+    params.dim = kDim;
+    params.num_clusters = 4;
+    params.noise_fraction = 0.05;
+    params.seed = seed;
+    return GenerateGaussianBlobs(params);
+  }
+
+  void FitAndSave(uint64_t seed, const std::string& path) {
+    const Dataset train = MakeBlobs(700, seed);
+    DbsvecParams params;
+    params.epsilon = 6.0;
+    params.min_pts = 15;
+    Clustering result;
+    DbsvecModel model;
+    ASSERT_TRUE(RunDbsvec(train, params, &result, &model).ok());
+    ASSERT_GT(model.core_points.size(), 0);
+    ASSERT_TRUE(SaveModel(model, path).ok());
+  }
+
+  /// Starts a pure-registry server (no initial engine) over `data_dir_`.
+  void StartRegistryServer(ServerOptions options = {}) {
+    options.port = 0;
+    options.data_dir = data_dir_;
+    ASSERT_TRUE(Server::Start(nullptr, options, &server_).ok());
+  }
+
+  Status Connect(HttpClient* client) {
+    return client->Connect("127.0.0.1", server_->port());
+  }
+
+  /// PUT /v1/models/<name> from a server-side path; returns the status
+  /// code.
+  int CreateFromPath(HttpClient* client, const std::string& name,
+                     const std::string& path) {
+    HttpResponse response;
+    EXPECT_TRUE(client
+                    ->Roundtrip("PUT", "/v1/models/" + name,
+                                "application/json",
+                                "{\"path\": \"" + path + "\"}", {},
+                                &response)
+                    .ok());
+    return response.status_code;
+  }
+
+  std::vector<int32_t> OfflineLabels(const std::string& model_path,
+                                     const Dataset& points) {
+    std::unique_ptr<AssignmentEngine> engine;
+    EXPECT_TRUE(AssignmentEngine::Load(model_path, {}, &engine).ok());
+    std::vector<int32_t> labels;
+    EXPECT_TRUE(engine->AssignBatch(points, &labels).ok());
+    return labels;
+  }
+
+  /// Binary assign request payload (u32 count, u32 dim, f64 row-major).
+  static std::string BinaryBody(const Dataset& points, int begin,
+                                int count) {
+    std::string body;
+    const auto put_u32 = [&body](uint32_t v) {
+      body.append(reinterpret_cast<const char*>(&v), 4);
+    };
+    put_u32(static_cast<uint32_t>(count));
+    put_u32(static_cast<uint32_t>(points.dim()));
+    for (int i = 0; i < count; ++i) {
+      const auto point = points.point(begin + i);
+      body.append(reinterpret_cast<const char*>(point.data()),
+                  point.size() * sizeof(double));
+    }
+    return body;
+  }
+
+  /// Binary label payload (u32 count, i32 labels) -> labels.
+  static std::vector<int32_t> LabelsFromBinary(const std::string& body) {
+    std::vector<int32_t> labels;
+    if (body.size() < 4) {
+      return labels;
+    }
+    uint32_t count = 0;
+    std::memcpy(&count, body.data(), 4);
+    labels.resize(count);
+    std::memcpy(labels.data(), body.data() + 4,
+                static_cast<size_t>(count) * 4);
+    return labels;
+  }
+
+  /// One binary assign roundtrip against a model route.
+  std::vector<int32_t> AssignBinary(HttpClient* client,
+                                    const std::string& target,
+                                    const Dataset& points,
+                                    int* status_code = nullptr) {
+    HttpResponse response;
+    EXPECT_TRUE(client
+                    ->Roundtrip("POST", target, "application/octet-stream",
+                                BinaryBody(points, 0, points.size()), {},
+                                &response)
+                    .ok());
+    if (status_code != nullptr) {
+      *status_code = response.status_code;
+    }
+    if (response.status_code != 200) {
+      return {};
+    }
+    return LabelsFromBinary(response.body);
+  }
+
+  std::filesystem::path temp_dir_;
+  std::string data_dir_;
+  std::string model_paths_[kNumModels];
+  Dataset queries_{kDim};
+  std::unique_ptr<Server> server_;
+};
+
+// ---------------------------------------------------------------------------
+// Lifecycle
+
+TEST_F(RegistryServerTest, CreateConflictUnknownAndDelete) {
+  StartRegistryServer();
+  HttpClient client;
+  ASSERT_TRUE(Connect(&client).ok());
+
+  EXPECT_EQ(CreateFromPath(&client, "tenant_a", model_paths_[0]), 201);
+  // Same name again: 409, and the original keeps serving.
+  EXPECT_EQ(CreateFromPath(&client, "tenant_a", model_paths_[1]), 409);
+
+  HttpResponse response;
+  ASSERT_TRUE(client
+                  .Roundtrip("GET", "/v1/models/tenant_a", "", "", {},
+                             &response)
+                  .ok());
+  EXPECT_EQ(response.status_code, 200);
+  EXPECT_NE(response.body.find("\"name\":\"tenant_a\""), std::string::npos);
+
+  // Unknown model: 404 on every model-scoped route.
+  ASSERT_TRUE(
+      client.Roundtrip("GET", "/v1/models/ghost", "", "", {}, &response)
+          .ok());
+  EXPECT_EQ(response.status_code, 404);
+  int status_code = 0;
+  AssignBinary(&client, "/v1/models/ghost/assign", queries_, &status_code);
+  EXPECT_EQ(status_code, 404);
+  ASSERT_TRUE(client
+                  .Roundtrip("DELETE", "/v1/models/ghost", "", "", {},
+                             &response)
+                  .ok());
+  EXPECT_EQ(response.status_code, 404);
+
+  // Delete: gone from the listing, its directory removed, recreate works.
+  ASSERT_TRUE(client
+                  .Roundtrip("DELETE", "/v1/models/tenant_a", "", "", {},
+                             &response)
+                  .ok());
+  EXPECT_EQ(response.status_code, 200);
+  EXPECT_FALSE(
+      std::filesystem::exists(std::filesystem::path(data_dir_) / "tenant_a"));
+  ASSERT_TRUE(
+      client.Roundtrip("GET", "/v1/models", "", "", {}, &response).ok());
+  EXPECT_EQ(response.status_code, 200);
+  EXPECT_NE(response.body.find("\"count\":0"), std::string::npos);
+  EXPECT_EQ(CreateFromPath(&client, "tenant_a", model_paths_[1]), 201);
+}
+
+TEST_F(RegistryServerTest, BadNamesAnswer400NamingTheOffendingCharacter) {
+  StartRegistryServer();
+  HttpClient client;
+  ASSERT_TRUE(Connect(&client).ok());
+  HttpResponse response;
+
+  // Uppercase: the offending character and position come back verbatim.
+  ASSERT_TRUE(client
+                  .Roundtrip("PUT", "/v1/models/Bad", "application/json",
+                             "{\"path\": \"" + model_paths_[0] + "\"}", {},
+                             &response)
+                  .ok());
+  EXPECT_EQ(response.status_code, 400);
+  EXPECT_NE(response.body.find("character 'B' at position 0"),
+            std::string::npos)
+      << response.body;
+
+  // Path traversal: ".." is not a model name, so the route can never
+  // resolve outside the data directory.
+  ASSERT_TRUE(client
+                  .Roundtrip("PUT", "/v1/models/..", "application/json",
+                             "{\"path\": \"" + model_paths_[0] + "\"}", {},
+                             &response)
+                  .ok());
+  EXPECT_EQ(response.status_code, 400);
+  ASSERT_TRUE(client
+                  .Roundtrip("GET", "/v1/models/../default", "", "", {},
+                             &response)
+                  .ok());
+  EXPECT_NE(response.status_code, 200);
+}
+
+TEST_F(RegistryServerTest, CreateFromUploadMatchesCreateFromPath) {
+  StartRegistryServer();
+  HttpClient client;
+  ASSERT_TRUE(Connect(&client).ok());
+
+  std::ifstream in(model_paths_[0], std::ios::binary);
+  std::ostringstream bytes;
+  bytes << in.rdbuf();
+  HttpResponse response;
+  ASSERT_TRUE(client
+                  .Roundtrip("PUT", "/v1/models/uploaded",
+                             "application/octet-stream", bytes.str(), {},
+                             &response)
+                  .ok());
+  ASSERT_EQ(response.status_code, 201) << response.body;
+  ASSERT_EQ(CreateFromPath(&client, "from_path", model_paths_[0]), 201);
+
+  const std::vector<int32_t> expected =
+      OfflineLabels(model_paths_[0], queries_);
+  EXPECT_EQ(AssignBinary(&client, "/v1/models/uploaded/assign", queries_),
+            expected);
+  EXPECT_EQ(AssignBinary(&client, "/v1/models/from_path/assign", queries_),
+            expected);
+  // The uploaded artifact persisted under the data dir.
+  EXPECT_TRUE(std::filesystem::exists(std::filesystem::path(data_dir_) /
+                                      "uploaded" / "model.dbsvec"));
+}
+
+// ---------------------------------------------------------------------------
+// Multi-tenant bit-identity
+
+TEST_F(RegistryServerTest, TenantsMatchIndependentSingleModelServers) {
+  StartRegistryServer();
+  HttpClient client;
+  ASSERT_TRUE(Connect(&client).ok());
+  for (int m = 0; m < kNumModels; ++m) {
+    ASSERT_EQ(CreateFromPath(&client, "tenant_" + std::to_string(m),
+                             model_paths_[m]),
+              201);
+  }
+
+  for (int m = 0; m < kNumModels; ++m) {
+    // Ground truth: a dedicated single-model server over the same artifact.
+    std::unique_ptr<AssignmentEngine> engine;
+    ASSERT_TRUE(AssignmentEngine::Load(model_paths_[m], {}, &engine).ok());
+    ServerOptions solo_options;
+    solo_options.port = 0;
+    std::unique_ptr<Server> solo;
+    ASSERT_TRUE(Server::Start(std::shared_ptr<AssignmentEngine>(
+                                  std::move(engine)),
+                              solo_options, &solo)
+                    .ok());
+    HttpClient solo_client;
+    ASSERT_TRUE(solo_client.Connect("127.0.0.1", solo->port()).ok());
+    const std::vector<int32_t> expected =
+        AssignBinary(&solo_client, "/v1/assign", queries_);
+    ASSERT_FALSE(expected.empty());
+    EXPECT_EQ(AssignBinary(&client,
+                           "/v1/models/tenant_" + std::to_string(m) +
+                               "/assign",
+                           queries_),
+              expected)
+        << "tenant_" << m;
+  }
+}
+
+TEST_F(RegistryServerTest, LegacyRoutesAliasTheDefaultModel) {
+  StartRegistryServer();
+  HttpClient client;
+  ASSERT_TRUE(Connect(&client).ok());
+  ASSERT_EQ(CreateFromPath(&client, "default", model_paths_[0]), 201);
+  const std::vector<int32_t> via_legacy =
+      AssignBinary(&client, "/v1/assign", queries_);
+  const std::vector<int32_t> via_named =
+      AssignBinary(&client, "/v1/models/default/assign", queries_);
+  ASSERT_FALSE(via_legacy.empty());
+  EXPECT_EQ(via_legacy, via_named);
+  EXPECT_EQ(via_legacy, OfflineLabels(model_paths_[0], queries_));
+}
+
+// ---------------------------------------------------------------------------
+// Delete-while-assigning
+
+TEST_F(RegistryServerTest, InFlightAssignFinishesOnItsEngineAcrossDelete) {
+  StartRegistryServer();
+  HttpClient client;
+  ASSERT_TRUE(Connect(&client).ok());
+  ASSERT_EQ(CreateFromPath(&client, "victim", model_paths_[0]), 201);
+  const std::vector<int32_t> expected =
+      OfflineLabels(model_paths_[0], queries_);
+
+  // Slow the assign down so the DELETE lands mid-request; the request
+  // pinned its entry + engine at dispatch, so it must answer 200 with the
+  // same labels as an undisturbed server.
+  ASSERT_TRUE(FailpointRegistry::Instance()
+                  .Arm("assign.batch", FailpointRegistry::Mode::kDelayMs,
+                       "100")
+                  .ok());
+  std::vector<int32_t> labels;
+  int status_code = 0;
+  std::thread assigner([&] {
+    HttpClient slow;
+    ASSERT_TRUE(Connect(&slow).ok());
+    labels =
+        AssignBinary(&slow, "/v1/models/victim/assign", queries_,
+                     &status_code);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  HttpClient deleter;
+  ASSERT_TRUE(Connect(&deleter).ok());
+  HttpResponse response;
+  ASSERT_TRUE(deleter
+                  .Roundtrip("DELETE", "/v1/models/victim", "", "", {},
+                             &response)
+                  .ok());
+  EXPECT_EQ(response.status_code, 200);
+  assigner.join();
+  FailpointRegistry::Instance().Disarm("assign.batch");
+
+  EXPECT_EQ(status_code, 200);
+  EXPECT_EQ(labels, expected);
+  // After the drain the model really is gone.
+  int after = 0;
+  AssignBinary(&client, "/v1/models/victim/assign", queries_, &after);
+  EXPECT_EQ(after, 404);
+}
+
+// ---------------------------------------------------------------------------
+// Per-model durability across restart
+
+TEST_F(RegistryServerTest, JournaledOverlaysRecoverBitIdentically) {
+  ServerOptions options;
+  options.durability.enabled = true;
+  options.durability.fsync = FsyncPolicy::kAlways;
+  StartRegistryServer(options);
+  HttpClient client;
+  ASSERT_TRUE(Connect(&client).ok());
+  for (int m = 0; m < kNumModels; ++m) {
+    ASSERT_EQ(CreateFromPath(&client, "tenant_" + std::to_string(m),
+                             model_paths_[m]),
+              201);
+  }
+
+  // Feed every tenant's overlay (absorption journals each point), then
+  // capture the post-absorption labels — the state a restart must rebuild.
+  std::vector<int32_t> before[kNumModels];
+  for (int m = 0; m < kNumModels; ++m) {
+    const std::string target =
+        "/v1/models/tenant_" + std::to_string(m) + "/assign";
+    ASSERT_FALSE(AssignBinary(&client, target, queries_).empty());
+    before[m] = AssignBinary(&client, target, queries_);
+    ASSERT_FALSE(before[m].empty());
+  }
+
+  server_.reset();  // Journals are synced per record (fsync=always).
+  StartRegistryServer(options);
+  EXPECT_EQ(server_->registry_recovery().recovered, kNumModels);
+  EXPECT_EQ(server_->registry_recovery().failed, 0);
+
+  HttpClient again;
+  ASSERT_TRUE(Connect(&again).ok());
+  for (int m = 0; m < kNumModels; ++m) {
+    EXPECT_EQ(AssignBinary(&again,
+                           "/v1/models/tenant_" + std::to_string(m) +
+                               "/assign",
+                           queries_),
+              before[m])
+        << "tenant_" << m;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Streaming assign
+
+TEST_F(RegistryServerTest, StreamingAssignProcessesBodiesPastTheCap) {
+  ServerOptions options;
+  options.max_body_bytes = 8 * 1024;  // Every frame must fit; the body not.
+  StartRegistryServer(options);
+  HttpClient client;
+  ASSERT_TRUE(Connect(&client).ok());
+  ASSERT_EQ(CreateFromPath(&client, "default", model_paths_[0]), 201);
+
+  // 40 frames x ~5 KB ≈ 200 KB total, 25x the request-body cap. A plain
+  // request of the same size must be rejected, the stream must not.
+  std::vector<std::string> frames;
+  std::vector<int32_t> expected;
+  const std::vector<int32_t> offline =
+      OfflineLabels(model_paths_[0], queries_);
+  for (int f = 0; f < 40; ++f) {
+    frames.push_back(BinaryBody(queries_, 0, queries_.size()));
+    expected.insert(expected.end(), offline.begin(), offline.end());
+  }
+  size_t total = 0;
+  for (const std::string& frame : frames) {
+    total += frame.size();
+  }
+  ASSERT_GT(total, 10 * options.max_body_bytes);
+
+  HttpResponse oversized;
+  ASSERT_TRUE(client
+                  .Roundtrip("POST", "/v1/assign",
+                             "application/octet-stream",
+                             std::string(options.max_body_bytes + 1, 'x'),
+                             {}, &oversized)
+                  .ok());
+  EXPECT_EQ(oversized.status_code, 413);
+
+  HttpClient streamer;
+  ASSERT_TRUE(Connect(&streamer).ok());
+  std::vector<std::string> chunks;
+  HttpResponse response;
+  ASSERT_TRUE(streamer
+                  .StreamingRoundtrip("/v1/models/default/assign", frames,
+                                      &chunks, &response)
+                  .ok());
+  ASSERT_EQ(chunks.size(), frames.size());
+  std::vector<int32_t> streamed;
+  for (const std::string& chunk : chunks) {
+    const std::vector<int32_t> labels = LabelsFromBinary(chunk);
+    streamed.insert(streamed.end(), labels.begin(), labels.end());
+  }
+  EXPECT_EQ(streamed, expected);
+
+  // The connection survived the stream: a normal request still works.
+  EXPECT_EQ(AssignBinary(&streamer, "/v1/assign", queries_), offline);
+  EXPECT_GE(server_->stats().stream_frames.load(), frames.size());
+}
+
+TEST_F(RegistryServerTest, StreamingRejectsOversizedFramesAndBadRoutes) {
+  ServerOptions options;
+  options.max_body_bytes = 4 * 1024;
+  StartRegistryServer(options);
+  HttpClient client;
+  ASSERT_TRUE(Connect(&client).ok());
+  ASSERT_EQ(CreateFromPath(&client, "default", model_paths_[0]), 201);
+
+  // One frame over the cap: rejected before processing, connection closed.
+  {
+    HttpClient streamer;
+    ASSERT_TRUE(Connect(&streamer).ok());
+    std::vector<std::string> chunks;
+    HttpResponse response;
+    const Status status = streamer.StreamingRoundtrip(
+        "/v1/assign", {std::string(options.max_body_bytes + 1, 'x')},
+        &chunks, &response);
+    if (status.ok()) {
+      EXPECT_EQ(response.status_code, 503) << response.body;
+      EXPECT_NE(response.body.find("exceeds"), std::string::npos);
+    }  // An EPIPE racing the error response is also a valid outcome.
+    EXPECT_TRUE(chunks.empty());
+  }
+  // Streams target assign routes only.
+  {
+    HttpClient streamer;
+    ASSERT_TRUE(Connect(&streamer).ok());
+    std::vector<std::string> chunks;
+    HttpResponse response;
+    const Status status = streamer.StreamingRoundtrip(
+        "/v1/models/default/reload",
+        {BinaryBody(queries_, 0, queries_.size())}, &chunks, &response);
+    if (status.ok()) {
+      EXPECT_EQ(response.status_code, 400);
+    }
+    EXPECT_TRUE(chunks.empty());
+  }
+  // Unknown tenant: 404 before any frame is processed.
+  {
+    HttpClient streamer;
+    ASSERT_TRUE(Connect(&streamer).ok());
+    std::vector<std::string> chunks;
+    HttpResponse response;
+    const Status status = streamer.StreamingRoundtrip(
+        "/v1/models/ghost/assign",
+        {BinaryBody(queries_, 0, queries_.size())}, &chunks, &response);
+    if (status.ok()) {
+      EXPECT_EQ(response.status_code, 404);
+    }
+    EXPECT_TRUE(chunks.empty());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Failpoints
+
+TEST_F(RegistryServerTest, CreateFailpointSurfacesCleanlyAndLeavesNoGhost) {
+  StartRegistryServer();
+  HttpClient client;
+  ASSERT_TRUE(Connect(&client).ok());
+
+  ASSERT_TRUE(FailpointRegistry::Instance()
+                  .Arm("registry.create", FailpointRegistry::Mode::kError,
+                       "io")
+                  .ok());
+  EXPECT_EQ(CreateFromPath(&client, "doomed", model_paths_[0]), 503);
+  FailpointRegistry::Instance().Disarm("registry.create");
+
+  // The failed create left nothing behind: the name is free and the
+  // listing is empty.
+  HttpResponse response;
+  ASSERT_TRUE(
+      client.Roundtrip("GET", "/v1/models", "", "", {}, &response).ok());
+  EXPECT_NE(response.body.find("\"count\":0"), std::string::npos)
+      << response.body;
+  EXPECT_EQ(CreateFromPath(&client, "doomed", model_paths_[0]), 201);
+}
+
+TEST_F(RegistryServerTest, RecoverFailpointSkipsModelsButKeepsServing) {
+  StartRegistryServer();
+  {
+    HttpClient client;
+    ASSERT_TRUE(Connect(&client).ok());
+    ASSERT_EQ(CreateFromPath(&client, "tenant_0", model_paths_[0]), 201);
+    ASSERT_EQ(CreateFromPath(&client, "tenant_1", model_paths_[1]), 201);
+  }
+  server_.reset();
+
+  ASSERT_TRUE(FailpointRegistry::Instance()
+                  .Arm("registry.recover", FailpointRegistry::Mode::kError,
+                       "io")
+                  .ok());
+  StartRegistryServer();
+  FailpointRegistry::Instance().DisarmAll();
+  // Every model failed recovery, none serves — but the server is up and
+  // the failures are reported, not fatal.
+  EXPECT_EQ(server_->registry_recovery().recovered, 0);
+  EXPECT_EQ(server_->registry_recovery().failed, 2);
+  HttpClient client;
+  ASSERT_TRUE(Connect(&client).ok());
+  HttpResponse response;
+  ASSERT_TRUE(
+      client.Roundtrip("GET", "/v1/healthz", "", "", {}, &response).ok());
+  EXPECT_EQ(response.status_code, 200);
+
+  // A clean restart recovers both.
+  server_.reset();
+  StartRegistryServer();
+  EXPECT_EQ(server_->registry_recovery().recovered, 2);
+}
+
+// ---------------------------------------------------------------------------
+// Concurrent churn (the TSan leg)
+
+TEST_F(RegistryServerTest, ConcurrentCreateDeleteReloadAssignChurn) {
+  ServerOptions options;
+  options.num_workers = 4;
+  options.max_models = 16;
+  StartRegistryServer(options);
+  {
+    HttpClient seed_client;
+    ASSERT_TRUE(Connect(&seed_client).ok());
+    ASSERT_EQ(CreateFromPath(&seed_client, "stable", model_paths_[0]), 201);
+  }
+
+  std::atomic<int> oks{0};
+  std::atomic<int> transport_errors{0};
+  const auto worker = [&](int id) {
+    HttpClient client;
+    if (!Connect(&client).ok()) {
+      transport_errors.fetch_add(1);
+      return;
+    }
+    const std::string mine = "churn_" + std::to_string(id);
+    for (int iter = 0; iter < 12; ++iter) {
+      HttpResponse response;
+      // Create/delete my own tenant while assigning to the stable one and
+      // reloading it — every combination of lifecycle x traffic races.
+      client.Roundtrip("PUT", "/v1/models/" + mine, "application/json",
+                       "{\"path\": \"" + model_paths_[id % kNumModels] +
+                           "\"}",
+                       {}, &response);
+      int status_code = 0;
+      AssignBinary(&client, "/v1/models/stable/assign", queries_,
+                   &status_code);
+      if (status_code == 200) {
+        oks.fetch_add(1);
+      }
+      AssignBinary(&client, "/v1/models/" + mine + "/assign", queries_,
+                   &status_code);
+      client.Roundtrip("POST", "/v1/models/stable/reload",
+                       "application/json",
+                       "{\"path\": \"" + model_paths_[0] + "\"}", {},
+                       &response);
+      client.Roundtrip("DELETE", "/v1/models/" + mine, "", "", {},
+                       &response);
+      if (!client.connected()) {
+        break;
+      }
+    }
+  };
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back(worker, t);
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  EXPECT_GT(oks.load(), 0);
+  EXPECT_EQ(transport_errors.load(), 0);
+
+  // The registry is consistent after the storm: stable serves, churn_*
+  // are gone, and a fresh client sees a healthy server.
+  HttpClient client;
+  ASSERT_TRUE(Connect(&client).ok());
+  EXPECT_EQ(AssignBinary(&client, "/v1/models/stable/assign", queries_),
+            OfflineLabels(model_paths_[0], queries_));
+  HttpResponse response;
+  ASSERT_TRUE(
+      client.Roundtrip("GET", "/v1/statz", "", "", {}, &response).ok());
+  EXPECT_EQ(response.status_code, 200);
+  EXPECT_NE(response.body.find("\"models\":{"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dbsvec

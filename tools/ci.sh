@@ -14,7 +14,12 @@
 # crash-recovery harness SIGKILLs a durable server (quiesced and
 # mid-absorb) and asserts label bit-identity after restart, followed by a
 # torn-journal truncation fuzz through the offline recovery oracle
-# (docs/ROBUSTNESS.md).
+# (docs/ROBUSTNESS.md). The multi-tenant registry gets three legs of its
+# own: a TSan churn run (concurrent create/delete/reload/assign against
+# named models), an ASan registry harness that creates three tenants over
+# REST, SIGKILLs the server, and asserts per-model label bit-identity
+# after recovery, and a registry.create / registry.recover failpoint
+# sweep through the CLI (docs/SERVING.md).
 # Run from anywhere; builds land in <repo>/build-ci-{release,tsan,asan,ubsan}.
 set -euo pipefail
 
@@ -87,6 +92,14 @@ ctest --test-dir "${repo}/build-ci-tsan" --output-on-failure -j "${jobs}" \
 "${repo}/build-ci-tsan/tools/dbsvec_cli" \
   --demo=blobs --demo-n=2000 --demo-dim=4 --minpts=10 \
   --cache-mb=1 --threads=8
+
+echo "=== TSan registry churn: concurrent create/delete/reload/assign ==="
+# Four client threads hammer one registry server with model creates,
+# deletes, reloads, and assigns (plus streaming bodies and a
+# delete-while-assigning race), so the registry's admin lock, the RCU
+# engine handoff, and the per-model in-flight pin are all race-checked.
+ctest --test-dir "${repo}/build-ci-tsan" --output-on-failure -j "${jobs}" \
+  -R 'RegistryServerTest.ConcurrentCreateDeleteReloadAssignChurn|RegistryServerTest.InFlightAssignFinishesOnItsEngineAcrossDelete|RegistryServerTest.StreamingAssignProcessesBodiesPastTheCap'
 
 echo "=== AddressSanitizer build + model/serving tests ==="
 cmake -S "${repo}" -B "${repo}/build-ci-asan" \
@@ -370,6 +383,168 @@ for cut_bytes in "${wal_bytes}" $((wal_bytes - 1)) $((wal_bytes - 13)) \
     exit 1
   }
 done
+
+echo "=== Registry harness under ASan: three tenants, SIGKILL, recovery ==="
+# One registry server (--data-dir) hosts three named models created over
+# REST from the same artifact. Mixed traffic (round-robin JSON assigns
+# plus chunked streaming bodies) grows each tenant's overlay; after a
+# SIGKILL the restarted server must recover every model and serve labels
+# bit-identical to each tenant's pre-kill fixpoint (docs/SERVING.md).
+reg_dir="${sweep_dir}/registry"
+reg_data="${reg_dir}/data"
+reg_log="${reg_dir}/serve.log"
+mkdir -p "${reg_dir}"
+
+start_registry_serve() {
+  # Args: logfile [extra env as KEY=VALUE...]; sets serve_pid and port.
+  local log="$1"
+  shift
+  env "$@" "${cli}" serve --data-dir="${reg_data}" --port=0 --workers=2 \
+    --durable --fsync=always \
+    > "${log}" 2>&1 &
+  serve_pid=$!
+  port=""
+  for _ in $(seq 1 100); do
+    port="$(sed -n 's/.*listening on [0-9.]*:\([0-9]*\).*/\1/p' \
+      "${log}" 2>/dev/null || true)"
+    [ -n "${port}" ] && break
+    if ! kill -0 "${serve_pid}" 2>/dev/null; then
+      echo "registry harness: server died before listening" >&2
+      cat "${log}" >&2
+      exit 1
+    fi
+    sleep 0.1
+  done
+  if [ -z "${port}" ]; then
+    echo "registry harness: no listening banner within 10s" >&2
+    cat "${log}" >&2
+    exit 1
+  fi
+}
+
+dump_tenant_fixpoint() {
+  # Args: tenant outfile — dump the tenant's labels for points.csv until
+  # two consecutive passes agree (absorption during a dump can itself
+  # grow that tenant's overlay, same as the single-model harness above).
+  local tenant="$1"
+  local out="$2"
+  local prev="${reg_dir}/dump.prev"
+  rm -f "${prev}"
+  local converged=""
+  for _ in $(seq 1 10); do
+    "${client}" --mode=assign --port="${port}" --model="${tenant}" \
+      --dim=2 --input="${sweep_dir}/points.csv" --labels-out="${out}" \
+      --quiet
+    if [ -f "${prev}" ] && cmp -s "${prev}" "${out}"; then
+      converged=1
+      break
+    fi
+    cp "${out}" "${prev}"
+  done
+  if [ -z "${converged}" ]; then
+    echo "registry harness: ${tenant} dump did not reach a fixpoint" >&2
+    exit 1
+  fi
+}
+
+start_registry_serve "${reg_log}"
+grep -q 'serve: registry' "${reg_log}" || {
+  echo "registry harness: registry banner missing" >&2
+  cat "${reg_log}" >&2
+  exit 1
+}
+for tenant in tenant_a tenant_b tenant_c; do
+  "${client}" --mode=create --port="${port}" --model="${tenant}" \
+    --model-path="${sweep_dir}/model.bin" >/dev/null
+done
+# The REST contract around the happy path: a duplicate name answers 409,
+# a name the filesystem could reinterpret answers 400, a ghost answers
+# 404 — all without disturbing the three live tenants.
+"${client}" --mode=create --port="${port}" --model=tenant_a \
+  --model-path="${sweep_dir}/model.bin" --expect-status=409 >/dev/null
+"${client}" --mode=create --port="${port}" --model='Bad.Name' \
+  --model-path="${sweep_dir}/model.bin" --expect-status=400 >/dev/null
+"${client}" --mode=delete --port="${port}" --model=ghost \
+  --expect-status=404 >/dev/null
+# Round-robin JSON traffic plus streaming bodies across all three
+# tenants, then a per-tenant fixpoint dump.
+"${client}" --mode=assign --port="${port}" \
+  --models=tenant_a,tenant_b,tenant_c --requests=30 --batch=8 \
+  --threads=3 --dim=2 --quiet
+"${client}" --mode=assign --port="${port}" \
+  --models=tenant_a,tenant_b,tenant_c --requests=12 --batch=8 \
+  --threads=3 --dim=2 --stream --frames=3 --quiet
+for tenant in tenant_a tenant_b tenant_c; do
+  dump_tenant_fixpoint "${tenant}" "${reg_dir}/${tenant}.before"
+done
+kill -9 "${serve_pid}"
+wait "${serve_pid}" 2>/dev/null || true
+start_registry_serve "${reg_log}.2"
+grep -q 'recovered=3 failed=0' "${reg_log}.2" || {
+  echo "registry harness: restart did not recover all three models" >&2
+  cat "${reg_log}.2" >&2
+  exit 1
+}
+for tenant in tenant_a tenant_b tenant_c; do
+  "${client}" --mode=assign --port="${port}" --model="${tenant}" \
+    --dim=2 --input="${sweep_dir}/points.csv" \
+    --labels-out="${reg_dir}/${tenant}.after" --quiet
+  cmp "${reg_dir}/${tenant}.before" "${reg_dir}/${tenant}.after" || {
+    echo "registry harness: ${tenant} diverged across SIGKILL" >&2
+    exit 1
+  }
+done
+kill -TERM "${serve_pid}"
+wait "${serve_pid}" || {
+  echo "registry harness: clean shutdown after recovery failed" >&2
+  cat "${reg_log}.2" >&2
+  exit 1
+}
+
+echo "=== Registry failpoint sweep under ASan (registry.create/.recover) ==="
+# registry.create armed: seeding the default model through the import
+# path must exit 1 with a clean error and leave no half-created model
+# directory behind — never crash or hang.
+rm -rf "${reg_dir}/create-armed"
+DBSVEC_FAILPOINTS="registry.create:error" \
+  timeout 60 "${cli}" serve --data-dir="${reg_dir}/create-armed" \
+    --model="${sweep_dir}/model.bin" --port=0 --workers=2 \
+    > "${reg_dir}/create-armed.log" 2>&1 && status=0 || status=$?
+if [ "${status}" -ne 1 ]; then
+  echo "registry sweep: create-armed serve exited ${status}, expected 1" >&2
+  cat "${reg_dir}/create-armed.log" >&2
+  exit 1
+fi
+if [ -d "${reg_dir}/create-armed/default" ]; then
+  echo "registry sweep: failed create left a ghost model dir" >&2
+  exit 1
+fi
+# registry.recover armed: every model under the data dir is skipped, but
+# the server must come up and answer /v1/healthz anyway — per-model
+# recovery failures degrade, they don't take down the process.
+start_registry_serve "${reg_log}.3" \
+  DBSVEC_FAILPOINTS="registry.recover:error"
+grep -q 'recovered=0 failed=3' "${reg_log}.3" || {
+  echo "registry sweep: recover-armed banner wrong" >&2
+  cat "${reg_log}.3" >&2
+  exit 1
+}
+"${client}" --mode=health --port="${port}" --quiet
+kill -TERM "${serve_pid}"
+wait "${serve_pid}" || {
+  echo "registry sweep: recover-armed shutdown failed" >&2
+  exit 1
+}
+# Disarmed restart: the same data dir recovers all three models again, so
+# the armed run mutated nothing.
+start_registry_serve "${reg_log}.4"
+grep -q 'recovered=3 failed=0' "${reg_log}.4" || {
+  echo "registry sweep: post-sweep restart lost models" >&2
+  cat "${reg_log}.4" >&2
+  exit 1
+}
+kill -TERM "${serve_pid}"
+wait "${serve_pid}"
 
 echo "=== bench_durability smoke: fsync sweep + recovery stay deterministic ==="
 cmake --build "${repo}/build-ci-release" -j "${jobs}" \

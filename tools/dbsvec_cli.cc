@@ -160,27 +160,35 @@ int RunServeCommand(const cli::CliOptions& options) {
 
   server::DurabilityOptions durability;
   durability.enabled = options.serve_durable;
-  durability.snapshot_path = options.snapshot_path;
-  durability.journal_path = options.journal_path;
   durability.fsync = options.fsync_policy;
   durability.fsync_interval_ms = options.fsync_interval_ms;
   durability.checkpoint_interval_ms = options.checkpoint_interval_ms;
-  server::ResolveDurabilityPaths(options.model_path, &durability);
 
-  // Startup goes through RecoverEngine even without --durable: transient
-  // I/O errors while loading the model retry with backoff instead of
-  // failing the process.
-  std::unique_ptr<AssignmentEngine> loaded;
+  const bool registry_mode = !options.serve_data_dir.empty();
+  std::shared_ptr<AssignmentEngine> engine;
   std::shared_ptr<OverlayJournal> journal;
   server::RecoveryReport recovery;
-  if (const Status status = server::RecoverEngine(
-          options.model_path, durability, engine_options,
-          server::RetryOptions(), &loaded, &journal, &recovery);
-      !status.ok()) {
-    std::fprintf(stderr, "serve: %s\n", status.ToString().c_str());
-    return 1;
+  if (!registry_mode) {
+    durability.snapshot_path = options.snapshot_path;
+    durability.journal_path = options.journal_path;
+    server::ResolveDurabilityPaths(options.model_path, &durability);
+
+    // Startup goes through RecoverEngine even without --durable: transient
+    // I/O errors while loading the model retry with backoff instead of
+    // failing the process.
+    std::unique_ptr<AssignmentEngine> loaded;
+    if (const Status status = server::RecoverEngine(
+            options.model_path, durability, engine_options,
+            server::RetryOptions(), &loaded, &journal, &recovery);
+        !status.ok()) {
+      std::fprintf(stderr, "serve: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    engine = std::move(loaded);
   }
-  std::shared_ptr<AssignmentEngine> engine(std::move(loaded));
+  // In registry mode the server recovers every model under the data dir
+  // itself (per-model snapshot + journal); --model only seeds `default`
+  // after startup, below.
 
   server::ServerOptions server_options;
   server_options.host = options.serve_host;
@@ -194,6 +202,9 @@ int RunServeCommand(const cli::CliOptions& options) {
   server_options.durability = durability;
   server_options.journal = journal;
   server_options.recovery = recovery;
+  server_options.data_dir = options.serve_data_dir;
+  server_options.max_models = options.serve_max_models;
+  server_options.model_max_inflight = options.serve_model_max_inflight;
   std::unique_ptr<server::Server> server;
   if (const Status status =
           server::Server::Start(engine, server_options, &server);
@@ -201,10 +212,37 @@ int RunServeCommand(const cli::CliOptions& options) {
     std::fprintf(stderr, "serve: %s\n", status.ToString().c_str());
     return 1;
   }
-  std::printf("serve: model=%s version=%u crc=%08x\n",
-              options.model_path.c_str(), engine->model_version(),
-              engine->model_crc());
-  if (options.serve_durable) {
+  if (registry_mode) {
+    const registry::RegistryRecoveryReport& recovered =
+        server->registry_recovery();
+    if (!options.model_path.empty() &&
+        server->registry().Find("default") == nullptr) {
+      // Seed-once: import the artifact as `default`; a restart recovers it
+      // from the data dir instead, so re-running the same command is safe.
+      if (const Status status = server->registry().CreateFromFile(
+              "default", options.model_path);
+          !status.ok()) {
+        std::fprintf(stderr, "serve: seed default model: %s\n",
+                     status.ToString().c_str());
+        return 1;
+      }
+    }
+    std::printf("serve: registry data-dir=%s models=%zu "
+                "(recovered=%d failed=%d) max-models=%d%s\n",
+                options.serve_data_dir.c_str(), server->registry().size(),
+                recovered.recovered, recovered.failed,
+                options.serve_max_models,
+                options.serve_durable ? " durable" : "");
+    for (const std::string& failed : recovered.failed_names) {
+      std::fprintf(stderr, "serve: model '%s' failed recovery, skipped\n",
+                   failed.c_str());
+    }
+  } else {
+    std::printf("serve: model=%s version=%u crc=%08x\n",
+                options.model_path.c_str(), engine->model_version(),
+                engine->model_crc());
+  }
+  if (options.serve_durable && !registry_mode) {
     std::printf("serve: durable snapshot=%s journal=%s fsync=%s "
                 "(recovered: from_snapshot=%d replayed=%llu "
                 "torn_bytes=%llu discarded=%llu)\n",

@@ -1,12 +1,24 @@
 // dbsvec_client — load generator and smoke client for the dbsvec serving
 // endpoint (docs/SERVING.md). Four modes:
 //
-//   --mode=assign  (default) fire --requests batched /v1/assign calls of
+//   --mode=assign  (default) fire --requests batched assign calls of
 //                  --batch points each from --threads connections; points
 //                  come from --input=FILE.csv or a seeded generator.
 //   --mode=health  one GET /v1/healthz.
 //   --mode=statz   one GET /v1/statz (prints the JSON).
-//   --mode=reload  one POST /v1/reload with --reload-model=PATH.
+//   --mode=reload  one POST reload with --reload-model=PATH.
+//   --mode=create  one PUT /v1/models/<--model> (requires --model;
+//                  --model-path=PATH registers a server-side artifact,
+//                  --upload=FILE uploads the artifact bytes).
+//   --mode=delete  one DELETE /v1/models/<--model>.
+//   --mode=models  one GET /v1/models (prints the JSON).
+//
+// Multi-tenant targeting: --model=NAME routes assign/reload/snapshot
+// through /v1/models/NAME/...; --models=a,b,c makes assign mode drive all
+// the named tenants round-robin (request r goes to model r mod N).
+// --stream switches assign mode to the streaming protocol: each request
+// becomes one application/x-dbsvec-stream body of --frames frames of
+// --batch points, answered as chunked per-frame labels.
 //
 // --deadline-ms sets the X-Deadline-Ms header on assign requests;
 // --binary switches the assign payload to application/octet-stream.
@@ -52,6 +64,15 @@ struct ClientOptions {
   std::string reload_model;
   int expect_status = 0;
   bool quiet = false;
+  /// Model routing: `model` scopes requests to /v1/models/<model>/...;
+  /// `models` (comma-separated) round-robins assign traffic across
+  /// tenants. Empty both => the legacy unnamed routes (`default`).
+  std::string model;
+  std::string models;
+  std::string model_path;   ///< create: server-side artifact path.
+  std::string upload_path;  ///< create: local artifact to upload.
+  bool stream = false;      ///< assign: streaming protocol.
+  int frames = 4;           ///< stream: frames per streaming request.
   /// assign mode: sequentially assign every input point (one thread, in
   /// file order, JSON) and write one label per line here — the
   /// crash-recovery harness diffs these dumps for bit-identity.
@@ -71,16 +92,45 @@ bool ParseFlag(const std::string& arg, std::string* key, std::string* value) {
 int Usage() {
   std::fprintf(
       stderr,
-      "dbsvec_client --mode=assign|health|statz|reload [--host=ADDR] "
-      "[--port=N]\n"
+      "dbsvec_client --mode=assign|health|statz|reload|create|delete|models\n"
+      "              [--host=ADDR] [--port=N] [--model=NAME]\n"
       "  assign: --requests=N --batch=N --threads=N --dim=D [--seed=N]\n"
       "          [--input=FILE.csv] [--deadline-ms=N] [--binary]\n"
+      "          [--models=a,b,c]     round-robin across named tenants\n"
+      "          [--stream --frames=N] streaming protocol, N frames/request\n"
       "          [--expect-status=N] [--quiet]\n"
       "          [--labels-out=FILE]  dump every point's label, one per\n"
       "                               line, in input order (single-threaded\n"
       "                               sweep; for bit-identity checks)\n"
-      "  reload: --reload-model=PATH\n");
+      "  reload: --reload-model=PATH\n"
+      "  create: --model=NAME + --model-path=PATH (server-side file) or\n"
+      "          --upload=FILE (send artifact bytes)\n"
+      "  delete: --model=NAME\n");
   return 2;
+}
+
+/// The assign route for one tenant ("" => legacy unnamed route).
+std::string AssignTarget(const std::string& model) {
+  return model.empty() ? "/v1/assign" : "/v1/models/" + model + "/assign";
+}
+
+/// Splits "a,b,c"; an empty spec yields {""} (the legacy route).
+std::vector<std::string> SplitModels(const ClientOptions& options) {
+  std::vector<std::string> out;
+  std::string spec = options.models.empty() ? options.model : options.models;
+  size_t begin = 0;
+  while (begin <= spec.size()) {
+    size_t comma = spec.find(',', begin);
+    if (comma == std::string::npos) {
+      comma = spec.size();
+    }
+    out.push_back(spec.substr(begin, comma - begin));
+    begin = comma + 1;
+  }
+  if (out.empty()) {
+    out.push_back("");
+  }
+  return out;
 }
 
 /// Shared outcome counters across driver threads.
@@ -157,6 +207,7 @@ void AssignWorker(const ClientOptions& options, const Dataset& points,
   }
   const char* content_type =
       options.binary ? "application/octet-stream" : "application/json";
+  const std::vector<std::string> tenants = SplitModels(options);
   for (int r = 0; r < num_requests; ++r) {
     const int max_begin = points.size() - options.batch;
     const int begin =
@@ -165,12 +216,31 @@ void AssignWorker(const ClientOptions& options, const Dataset& points,
                   static_cast<uint64_t>(max_begin) + 1))
             : 0;
     const int count = std::min(options.batch, static_cast<int>(points.size()));
-    const std::string body =
-        BuildAssignBody(points, begin, count, options.binary);
+    // Round-robin across tenants so N models see interleaved, not phased,
+    // traffic from every driver thread.
+    const std::string target = AssignTarget(
+        tenants[static_cast<size_t>(r) % tenants.size()]);
     server::HttpResponse response;
+    Status status;
     const auto start = std::chrono::steady_clock::now();
-    Status status = client.Roundtrip("POST", "/v1/assign", content_type, body,
-                                     extra, &response);
+    if (options.stream) {
+      std::vector<std::string> frames;
+      frames.reserve(static_cast<size_t>(options.frames));
+      for (int f = 0; f < options.frames; ++f) {
+        frames.push_back(
+            BuildAssignBody(points, begin, count, /*binary=*/true));
+      }
+      std::vector<std::string> chunks;
+      status = client.StreamingRoundtrip(target, frames, &chunks, &response);
+      if (status.ok() && response.status_code == 0) {
+        response.status_code = 200;  // All frames answered, chunked.
+      }
+    } else {
+      const std::string body =
+          BuildAssignBody(points, begin, count, options.binary);
+      status = client.Roundtrip("POST", target, content_type, body, extra,
+                                &response);
+    }
     const double elapsed_ms =
         std::chrono::duration<double, std::milli>(
             std::chrono::steady_clock::now() - start)
@@ -240,8 +310,9 @@ int RunLabelsDump(const ClientOptions& options, const Dataset& points) {
     const std::string body =
         BuildAssignBody(points, begin, count, /*binary=*/false);
     server::HttpResponse response;
-    const Status status = client.Roundtrip(
-        "POST", "/v1/assign", "application/json", body, {}, &response);
+    const Status status =
+        client.Roundtrip("POST", AssignTarget(options.model),
+                         "application/json", body, {}, &response);
     if (!status.ok() || response.status_code != 200 ||
         !ParseLabelsJson(response.body, &labels) ||
         labels.size() != static_cast<size_t>(count)) {
@@ -384,6 +455,48 @@ int RunSimple(const ClientOptions& options) {
     status = client.Roundtrip("GET", "/v1/healthz", "", "", {}, &response);
   } else if (options.mode == "statz") {
     status = client.Roundtrip("GET", "/v1/statz", "", "", {}, &response);
+  } else if (options.mode == "models") {
+    status = client.Roundtrip("GET", "/v1/models", "", "", {}, &response);
+  } else if (options.mode == "create") {
+    if (options.model.empty()) {
+      std::fprintf(stderr, "create mode requires --model=NAME\n");
+      return 2;
+    }
+    const std::string target = "/v1/models/" + options.model;
+    if (!options.upload_path.empty()) {
+      // Create-from-upload: the PUT body is the raw artifact.
+      std::FILE* in = std::fopen(options.upload_path.c_str(), "rb");
+      if (in == nullptr) {
+        std::fprintf(stderr, "cannot open %s\n",
+                     options.upload_path.c_str());
+        return 1;
+      }
+      std::string bytes;
+      char buffer[64 * 1024];
+      size_t n;
+      while ((n = std::fread(buffer, 1, sizeof(buffer), in)) > 0) {
+        bytes.append(buffer, n);
+      }
+      std::fclose(in);
+      status = client.Roundtrip("PUT", target, "application/octet-stream",
+                                bytes, {}, &response);
+    } else if (!options.model_path.empty()) {
+      status = client.Roundtrip(
+          "PUT", target, "application/json",
+          "{\"path\": \"" + options.model_path + "\"}", {}, &response);
+    } else {
+      std::fprintf(stderr,
+                   "create mode requires --model-path=PATH or "
+                   "--upload=FILE\n");
+      return 2;
+    }
+  } else if (options.mode == "delete") {
+    if (options.model.empty()) {
+      std::fprintf(stderr, "delete mode requires --model=NAME\n");
+      return 2;
+    }
+    status = client.Roundtrip("DELETE", "/v1/models/" + options.model, "",
+                              "", {}, &response);
   } else {  // reload
     if (options.reload_model.empty()) {
       std::fprintf(stderr, "reload mode requires --reload-model=PATH\n");
@@ -394,8 +507,11 @@ int RunSimple(const ClientOptions& options) {
       extra.push_back("X-Deadline-Ms: " +
                       std::to_string(options.deadline_ms));
     }
+    const std::string target =
+        options.model.empty() ? "/v1/reload"
+                              : "/v1/models/" + options.model + "/reload";
     status = client.Roundtrip(
-        "POST", "/v1/reload", "application/json",
+        "POST", target, "application/json",
         "{\"path\": \"" + options.reload_model + "\"}", extra, &response);
   }
   if (!status.ok()) {
@@ -406,7 +522,7 @@ int RunSimple(const ClientOptions& options) {
   if (options.expect_status != 0) {
     return response.status_code == options.expect_status ? 0 : 1;
   }
-  return response.status_code == 200 ? 0 : 1;
+  return response.status_code == 200 || response.status_code == 201 ? 0 : 1;
 }
 
 int Main(int argc, char** argv) {
@@ -441,6 +557,18 @@ int Main(int argc, char** argv) {
       options.input_path = value;
     } else if (key == "reload-model") {
       options.reload_model = value;
+    } else if (key == "model") {
+      options.model = value;
+    } else if (key == "models") {
+      options.models = value;
+    } else if (key == "model-path") {
+      options.model_path = value;
+    } else if (key == "upload") {
+      options.upload_path = value;
+    } else if (key == "stream") {
+      options.stream = value != "0" && value != "false";
+    } else if (key == "frames") {
+      options.frames = std::atoi(value.c_str());
     } else if (key == "labels-out") {
       options.labels_out = value;
     } else if (key == "expect-status") {
@@ -455,14 +583,15 @@ int Main(int argc, char** argv) {
     }
   }
   if (options.port <= 0 || options.requests < 0 || options.batch <= 0 ||
-      options.dim <= 0 || options.threads <= 0) {
+      options.dim <= 0 || options.threads <= 0 || options.frames <= 0) {
     return Usage();
   }
   if (options.mode == "assign") {
     return RunAssign(options);
   }
   if (options.mode == "health" || options.mode == "statz" ||
-      options.mode == "reload") {
+      options.mode == "reload" || options.mode == "create" ||
+      options.mode == "delete" || options.mode == "models") {
     return RunSimple(options);
   }
   return Usage();
